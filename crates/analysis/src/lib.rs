@@ -1,0 +1,27 @@
+//! Security-analysis toolkit on top of the cost-damage solvers.
+//!
+//! The paper's case studies end with defensive advice ("security improvements
+//! should focus on …; after defenses are put in place, a new cost-damage
+//! analysis is needed") and contrast cost-damage analysis with classical
+//! *minimal attack* analysis ("of these Pareto optimal attacks only A2 would
+//! have been found by a minimal attack analysis"). This crate turns both
+//! remarks into tools:
+//!
+//! * [`whatif`] — defense what-ifs: disable BASs (the defender hardens a
+//!   step) and obtain the residual cd-AT, with the dead parts of the tree
+//!   pruned away;
+//! * [`ranking`] — rank candidate single-BAS defenses by the residual damage
+//!   an attacker can still do;
+//! * [`minimal`] — extract all minimal successful attacks (minimal cut sets)
+//!   via the BDD substrate, for comparison with the Pareto-optimal attacks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod minimal;
+pub mod ranking;
+pub mod whatif;
+
+pub use minimal::minimal_attacks;
+pub use ranking::{rank_single_defenses, DefenseEffect};
+pub use whatif::{defend, defend_cdp, defend_tree};

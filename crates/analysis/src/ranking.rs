@@ -1,0 +1,129 @@
+//! Ranking candidate defenses by residual attacker capability.
+//!
+//! "Which single step should we harden first?" — for every BAS, disable it
+//! ([`whatif::defend`](crate::whatif::defend)) and measure how much damage an
+//! attacker with the given budget can still do (DgC on the residual tree).
+//! Sorting ascending by residual damage yields the defense priority list;
+//! the paper's case-study narratives ("security improvements should focus on
+//! …") are instances of this computation.
+
+use cdat_core::{BasId, CdAttackTree, NotTreelike};
+
+use crate::whatif::{defend, Defended};
+
+/// The effect of defending one BAS.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DefenseEffect {
+    /// The defended BAS.
+    pub bas: BasId,
+    /// Its name, for reporting.
+    pub name: String,
+    /// Damage the attacker can still do within the budget after the defense.
+    pub residual_damage: f64,
+    /// Maximal damage still achievable with an unlimited budget.
+    pub residual_max_damage: f64,
+}
+
+/// Evaluates every single-BAS defense and sorts ascending by residual damage
+/// within `budget` (ties broken by residual max damage, then name): the
+/// front of the list is the best first hardening step.
+///
+/// Works on treelike and DAG-like trees (dispatching to the appropriate
+/// solver per residual tree — defenses can change the shape).
+pub fn rank_single_defenses(cd: &CdAttackTree, budget: f64) -> Vec<DefenseEffect> {
+    let mut effects: Vec<DefenseEffect> = cd
+        .tree()
+        .bas_ids()
+        .map(|bas| {
+            let name = cd.tree().name(cd.tree().node_of_bas(bas)).to_owned();
+            let (residual_damage, residual_max_damage) = match defend(cd, &[bas]) {
+                Defended::Neutralized => (0.0, 0.0),
+                Defended::Residual(residual, _) => {
+                    let damage = dgc_any(&residual, budget);
+                    (damage, residual.max_damage())
+                }
+            };
+            DefenseEffect { bas, name, residual_damage, residual_max_damage }
+        })
+        .collect();
+    effects.sort_by(|a, b| {
+        a.residual_damage
+            .partial_cmp(&b.residual_damage)
+            .expect("damages are not NaN")
+            .then(
+                a.residual_max_damage
+                    .partial_cmp(&b.residual_max_damage)
+                    .expect("damages are not NaN"),
+            )
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    effects
+}
+
+/// DgC on any tree shape.
+fn dgc_any(cd: &CdAttackTree, budget: f64) -> f64 {
+    let entry = match cdat_bottomup::dgc(cd, budget) {
+        Ok(e) => e,
+        Err(NotTreelike) => cdat_bilp::dgc(cd, budget),
+    };
+    entry.map(|e| e.point.damage).unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_best_single_defense_is_the_cyberattack() {
+        // Budget 2: undefended damage is 200 via {ca}. Defending ca leaves
+        // only {fd} = damage 10 within budget; defending pb or fd leaves
+        // {ca} = 200.
+        let cd = cdat_models::factory();
+        let ranking = rank_single_defenses(&cd, 2.0);
+        assert_eq!(ranking[0].name, "cyberattack");
+        assert_eq!(ranking[0].residual_damage, 10.0);
+        assert!(ranking[1..].iter().all(|e| e.residual_damage == 200.0));
+    }
+
+    #[test]
+    fn panda_best_defense_is_internal_leakage_at_small_budgets() {
+        // At budget 3 the only damaging attack is {b18}; defending b18 drops
+        // the residual to zero.
+        let cd = cdat_models::panda();
+        let ranking = rank_single_defenses(&cd, 3.0);
+        assert_eq!(ranking[0].name, "internal leakage");
+        assert_eq!(ranking[0].residual_damage, 0.0);
+    }
+
+    #[test]
+    fn dataserver_best_defense_hits_the_shared_connection() {
+        // Budget 250: only {b6,b8} does damage. Defending either b6 or b8
+        // zeroes the residual; b6 (the shared internet connection) also
+        // reduces the unlimited-budget damage more, so it ranks first.
+        let cd = cdat_models::dataserver();
+        let ranking = rank_single_defenses(&cd, 250.0);
+        assert_eq!(ranking[0].residual_damage, 0.0);
+        assert_eq!(ranking[0].name, "internet connection to FTP server");
+        assert!(ranking[0].residual_max_damage < cd.max_damage());
+    }
+
+    #[test]
+    fn residuals_never_exceed_the_undefended_damage() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let treelike = rng.gen_bool(0.5);
+            let tree = cdat_gen::random_small(&mut rng, 6, treelike);
+            let cd = cdat_gen::decorate(tree, &mut rng);
+            let budget = rng.gen_range(0.0..=cd.total_cost());
+            let undefended = dgc_any(&cd, budget);
+            for e in rank_single_defenses(&cd, budget) {
+                assert!(
+                    e.residual_damage <= undefended + 1e-9,
+                    "defending {} increased damage", e.name
+                );
+                assert!(e.residual_max_damage <= cd.max_damage() + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Defense what-ifs: forcing BASs off and pruning the dead tree parts.
+//!
+//! Defending a BAS means the attacker can no longer activate it
+//! (`x_b ≡ 0`). Under a monotone structure function this kills exactly the
+//! nodes that *require* the BAS: an `AND` with a dead child never fires, an
+//! `OR` fires iff a surviving child does. [`defend_tree`] computes the
+//! surviving tree; every surviving node keeps its structure function, cost
+//! and damage, so running the solvers on the result answers "how much can
+//! the attacker still do once we harden these steps?".
+
+use cdat_core::{
+    AttackTree, AttackTreeBuilder, BasId, CdAttackTree, CdpAttackTree, NodeId, NodeType,
+};
+
+/// Result of removing BASs from a tree.
+#[derive(Clone, Debug)]
+pub enum Defended<T> {
+    /// Part of the tree survives; contains the residual model and, per
+    /// original node, its id in the residual tree (`None` for dead nodes).
+    Residual(T, Vec<Option<NodeId>>),
+    /// Every node is dead: the defended BASs neutralize the whole tree and
+    /// no attack can do any damage.
+    Neutralized,
+}
+
+impl<T> Defended<T> {
+    /// The residual model, if any.
+    pub fn residual(&self) -> Option<&T> {
+        match self {
+            Defended::Residual(t, _) => Some(t),
+            Defended::Neutralized => None,
+        }
+    }
+}
+
+/// Removes the given BASs from a tree, pruning nodes that can no longer
+/// fire. If several disconnected fragments survive (e.g. the root was an
+/// `AND` of a dead and several live branches), they are joined under a fresh
+/// zero-damage `OR` root named `#residual`, which leaves every surviving
+/// node's structure function, cost and damage unchanged.
+pub fn defend_tree(tree: &AttackTree, defended: &[BasId]) -> Defended<AttackTree> {
+    let dead_bas: Vec<bool> = {
+        let mut v = vec![false; tree.bas_count()];
+        for &b in defended {
+            v[b.index()] = true;
+        }
+        v
+    };
+    let mut builder = AttackTreeBuilder::new();
+    let mut map: Vec<Option<NodeId>> = vec![None; tree.node_count()];
+    for v in tree.node_ids() {
+        let new_id = match tree.node_type(v) {
+            NodeType::Bas => {
+                let b = tree.bas_of_node(v).expect("leaf has BAS id");
+                if dead_bas[b.index()] {
+                    None
+                } else {
+                    Some(builder.bas(tree.name(v)))
+                }
+            }
+            NodeType::And => {
+                let kids: Option<Vec<NodeId>> =
+                    tree.children(v).iter().map(|c| map[c.index()]).collect();
+                kids.map(|kids| builder.and(tree.name(v), kids))
+            }
+            NodeType::Or => {
+                let kids: Vec<NodeId> =
+                    tree.children(v).iter().filter_map(|c| map[c.index()]).collect();
+                if kids.is_empty() {
+                    None
+                } else {
+                    Some(builder.or(tree.name(v), kids))
+                }
+            }
+        };
+        map[v.index()] = new_id;
+    }
+    // Surviving parentless nodes: the original root if alive, otherwise the
+    // orphaned fragments of dead AND ancestors.
+    let survivors: Vec<NodeId> = {
+        let mut has_parent = vec![false; builder.node_count()];
+        for v in tree.node_ids() {
+            if map[v.index()].is_some() {
+                for c in tree.children(v) {
+                    if let Some(nc) = map[c.index()] {
+                        has_parent[nc.index()] = true;
+                    }
+                }
+            }
+        }
+        (0..builder.node_count()).map(NodeId::new).filter(|v| !has_parent[v.index()]).collect()
+    };
+    match survivors.len() {
+        0 => Defended::Neutralized,
+        1 => {
+            let out = builder.build().expect("pruned tree is valid");
+            Defended::Residual(out, map)
+        }
+        _ => {
+            // Fresh root name (repeated defenses may already contain one).
+            let used: std::collections::HashSet<&str> =
+                tree.node_ids().map(|v| tree.name(v)).collect();
+            let mut name = String::from("#residual");
+            let mut k = 0usize;
+            while used.contains(name.as_str()) {
+                name = format!("#residual{k}");
+                k += 1;
+            }
+            builder.or(&name, survivors);
+            let out = builder.build().expect("pruned tree with residual root is valid");
+            Defended::Residual(out, map)
+        }
+    }
+}
+
+/// [`defend_tree`] lifted to cd-ATs: surviving BASs keep their costs,
+/// surviving nodes their damages (the `#residual` root, if added, has zero
+/// damage).
+pub fn defend(cd: &CdAttackTree, defended: &[BasId]) -> Defended<CdAttackTree> {
+    match defend_tree(cd.tree(), defended) {
+        Defended::Neutralized => Defended::Neutralized,
+        Defended::Residual(tree, map) => {
+            let mut cost = vec![0.0; tree.bas_count()];
+            let mut damage = vec![0.0; tree.node_count()];
+            for v in cd.tree().node_ids() {
+                if let Some(nv) = map[v.index()] {
+                    damage[nv.index()] = cd.damage(v);
+                    if let Some(b) = cd.tree().bas_of_node(v) {
+                        let nb = tree.bas_of_node(nv).expect("BAS maps to BAS");
+                        cost[nb.index()] = cd.cost(b);
+                    }
+                }
+            }
+            let out =
+                CdAttackTree::from_parts(tree, cost, damage).expect("attributes stay valid");
+            Defended::Residual(out, map)
+        }
+    }
+}
+
+/// [`defend`] for cdp-ATs: surviving BASs also keep their probabilities.
+pub fn defend_cdp(cdp: &CdpAttackTree, defended: &[BasId]) -> Defended<CdpAttackTree> {
+    match defend(cdp.cd(), defended) {
+        Defended::Neutralized => Defended::Neutralized,
+        Defended::Residual(cd, map) => {
+            let mut prob = vec![1.0; cd.tree().bas_count()];
+            for b in cdp.tree().bas_ids() {
+                let v = cdp.tree().node_of_bas(b);
+                if let Some(nv) = map[v.index()] {
+                    let nb = cd.tree().bas_of_node(nv).expect("BAS maps to BAS");
+                    prob[nb.index()] = cdp.prob(b);
+                }
+            }
+            let out = CdpAttackTree::from_parts(cd, prob).expect("probabilities stay valid");
+            Defended::Residual(out, map)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdat_core::Attack;
+
+    fn bas_named(cd: &CdAttackTree, name: &str) -> BasId {
+        cd.tree().bas_of_node(cd.tree().find(name).expect("known node")).expect("is a BAS")
+    }
+
+    #[test]
+    fn defending_one_or_branch_keeps_the_other() {
+        let cd = cdat_models::factory();
+        let ca = bas_named(&cd, "cyberattack");
+        let out = defend(&cd, &[ca]);
+        let residual = out.residual().expect("robot branch survives");
+        assert_eq!(residual.tree().bas_count(), 2);
+        assert!(residual.tree().find("cyberattack").is_none());
+        // The Pareto front now starts at the bomb attack.
+        let front = cdat_bottomup::cdpf(residual).expect("treelike");
+        assert_eq!(front.to_string(), "{(0, 0), (2, 10), (5, 310)}");
+    }
+
+    #[test]
+    fn defending_an_and_leg_orphans_the_other_leg() {
+        // root = AND(a, b) with damage on b: defending a leaves b analyzable.
+        let mut builder = cdat_core::AttackTreeBuilder::new();
+        let a = builder.bas("a");
+        let b = builder.bas("b");
+        let _root = builder.and("root", [a, b]);
+        let cd = CdAttackTree::builder(builder.build().unwrap())
+            .cost("a", 1.0)
+            .unwrap()
+            .cost("b", 2.0)
+            .unwrap()
+            .damage("b", 7.0)
+            .unwrap()
+            .damage("root", 100.0)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let a_id = bas_named(&cd, "a");
+        let out = defend(&cd, &[a_id]);
+        let residual = out.residual().expect("b survives");
+        // Root is gone; b remains with its damage; max damage drops 107 → 7.
+        assert_eq!(residual.max_damage(), 7.0);
+        assert_eq!(residual.tree().bas_count(), 1);
+    }
+
+    #[test]
+    fn neutralizing_every_bas() {
+        let cd = cdat_models::factory();
+        let all: Vec<BasId> = cd.tree().bas_ids().collect();
+        assert!(matches!(defend(&cd, &all), Defended::Neutralized));
+    }
+
+    #[test]
+    fn multiple_orphans_get_a_residual_root() {
+        // root = AND(a, b, c) with damage on b and c.
+        let mut builder = cdat_core::AttackTreeBuilder::new();
+        let a = builder.bas("a");
+        let b = builder.bas("b");
+        let c = builder.bas("c");
+        let _root = builder.and("root", [a, b, c]);
+        let cd = CdAttackTree::builder(builder.build().unwrap())
+            .cost("b", 1.0)
+            .unwrap()
+            .cost("c", 2.0)
+            .unwrap()
+            .damage("b", 3.0)
+            .unwrap()
+            .damage("c", 4.0)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let a_id = bas_named(&cd, "a");
+        let out = defend(&cd, &[a_id]);
+        let residual = out.residual().expect("b and c survive");
+        assert_eq!(residual.tree().name(residual.tree().root()), "#residual");
+        assert_eq!(residual.max_damage(), 7.0);
+        assert_eq!(residual.damage(residual.tree().root()), 0.0);
+    }
+
+    #[test]
+    fn defense_equals_forcing_the_bas_off_semantically() {
+        // For every attack avoiding the defended BAS, cost and damage agree
+        // between the original and residual models.
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(808);
+        for case in 0..60 {
+            let treelike = rng.gen_bool(0.5);
+            let tree = cdat_gen::random_small(&mut rng, 6, treelike);
+            let cd = cdat_gen::decorate(tree, &mut rng);
+            let victim = BasId::new(rng.gen_range(0..cd.tree().bas_count()));
+            let out = defend(&cd, &[victim]);
+            let n = cd.tree().bas_count();
+            match out {
+                Defended::Neutralized => {
+                    // Only possible when removing the BAS kills everything:
+                    // then every b-free attack does zero damage.
+                    for x in Attack::all(n) {
+                        if !x.contains(victim) {
+                            assert_eq!(cd.damage_of(&x), 0.0, "case {case}");
+                        }
+                    }
+                }
+                Defended::Residual(residual, map) => {
+                    // Map original b-free attacks into the residual tree.
+                    for x in Attack::all(n) {
+                        if x.contains(victim) {
+                            continue;
+                        }
+                        let mut rx = residual.tree().empty_attack();
+                        for b in x.iter() {
+                            let v = cd.tree().node_of_bas(b);
+                            let nv = map[v.index()].expect("surviving BAS");
+                            rx.insert(residual.tree().bas_of_node(nv).expect("BAS"));
+                        }
+                        assert_eq!(cd.cost_of(&x), residual.cost_of(&rx), "case {case}");
+                        assert_eq!(cd.damage_of(&x), residual.damage_of(&rx), "case {case}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_defenses_do_not_collide_on_residual_names() {
+        // Chain defenses until neutralized; each round must build cleanly
+        // even when a #residual root already exists.
+        let mut current = cdat_models::panda();
+        for _ in 0..22 {
+            let victim = current.tree().bas_ids().next().expect("has BASs");
+            match defend(&current, &[victim]) {
+                Defended::Residual(next, _) => current = next,
+                Defended::Neutralized => return,
+            }
+        }
+        panic!("defending every BAS one by one must eventually neutralize");
+    }
+
+    #[test]
+    fn cdp_defense_preserves_probabilities() {
+        let cdp = cdat_models::factory_cdp();
+        let ca = bas_named(cdp.cd(), "cyberattack");
+        let out = defend_cdp(&cdp, &[ca]);
+        let residual = out.residual().expect("robot branch survives");
+        let pb = bas_named(residual.cd(), "place bomb");
+        assert_eq!(residual.prob(pb), 0.4);
+    }
+}

@@ -1,0 +1,533 @@
+//! Reduced ordered binary decision diagrams (ROBDDs) for attack trees.
+//!
+//! This crate is the substrate behind the *exact probabilistic analysis of
+//! DAG-like attack trees* — the problem the paper leaves open. A treelike
+//! tree propagates reach probabilities bottom-up because children are
+//! independent; in a DAG, shared BASs correlate the children and the naive
+//! recursion double-counts. Compiling each node's structure function to a
+//! BDD ([`compile_structure`]) restores exactness: the probability of a BDD
+//! is computed by Shannon decomposition in time linear in its size
+//! ([`Bdd::probability`]), correlation and all.
+//!
+//! The manager is a classic hash-consed node store with an apply cache. Only
+//! monotone connectives are needed for attack trees, but negation is provided
+//! for completeness.
+//!
+//! # Example
+//!
+//! ```
+//! use cdat_bdd::Bdd;
+//!
+//! let mut bdd = Bdd::new(2);
+//! let x = bdd.var(0);
+//! let y = bdd.var(1);
+//! let f = bdd.or(x, y);
+//! // P(x ∨ y) with P(x)=0.5, P(y)=0.5 is 0.75.
+//! assert!((bdd.probability(f, &[0.5, 0.5]) - 0.75).abs() < 1e-12);
+//! assert_eq!(bdd.satisfying_assignments(f), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use cdat_core::{AttackTree, NodeType};
+
+/// Reference to a BDD node inside its [`Bdd`] manager.
+///
+/// References are only meaningful for the manager that produced them.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct NodeRef(u32);
+
+impl NodeRef {
+    /// The constant-false BDD.
+    pub const FALSE: NodeRef = NodeRef(0);
+    /// The constant-true BDD.
+    pub const TRUE: NodeRef = NodeRef(1);
+
+    /// Whether this is one of the two terminal nodes.
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+#[derive(Copy, Clone)]
+struct Node {
+    var: u32,
+    lo: u32,
+    hi: u32,
+}
+
+#[derive(Copy, Clone, Eq, PartialEq, Hash)]
+enum Op {
+    And,
+    Or,
+}
+
+/// A hash-consed BDD manager over a fixed set of Boolean variables.
+///
+/// Variables are indexed `0..num_vars` and ordered by index (for attack
+/// trees: BAS id order). All operations return canonical nodes, so semantic
+/// equality of functions is pointer equality of [`NodeRef`]s.
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, u32, u32), u32>,
+    apply_cache: HashMap<(Op, u32, u32), u32>,
+    num_vars: usize,
+}
+
+impl std::fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bdd")
+            .field("num_vars", &self.num_vars)
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl Bdd {
+    /// Creates a manager for `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        let sentinel = u32::try_from(num_vars).expect("too many variables");
+        Bdd {
+            // Terminal nodes live at indices 0 (false) and 1 (true); their
+            // `var` is the past-the-end sentinel so the min-var recursion
+            // never descends into them.
+            nodes: vec![
+                Node { var: sentinel, lo: 0, hi: 0 },
+                Node { var: sentinel, lo: 1, hi: 1 },
+            ],
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            num_vars,
+        }
+    }
+
+    /// Number of variables of the manager.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Total number of live nodes in the manager (a capacity measure).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constant BDD for `value`.
+    pub fn terminal(&self, value: bool) -> NodeRef {
+        if value {
+            NodeRef::TRUE
+        } else {
+            NodeRef::FALSE
+        }
+    }
+
+    /// The single-variable function `x_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn var(&mut self, i: usize) -> NodeRef {
+        assert!(i < self.num_vars, "variable {i} out of range 0..{}", self.num_vars);
+        let v = i as u32;
+        NodeRef(self.mk(v, 0, 1))
+    }
+
+    fn mk(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
+        if lo == hi {
+            return lo;
+        }
+        *self.unique.entry((var, lo, hi)).or_insert_with(|| {
+            self.nodes.push(Node { var, lo, hi });
+            (self.nodes.len() - 1) as u32
+        })
+    }
+
+    fn apply(&mut self, op: Op, a: u32, b: u32) -> u32 {
+        match (op, a, b) {
+            (Op::And, 0, _) | (Op::And, _, 0) => return 0,
+            (Op::And, 1, x) | (Op::And, x, 1) => return x,
+            (Op::Or, 1, _) | (Op::Or, _, 1) => return 1,
+            (Op::Or, 0, x) | (Op::Or, x, 0) => return x,
+            _ if a == b => return a,
+            _ => {}
+        }
+        let key = (op, a.min(b), a.max(b));
+        if let Some(&r) = self.apply_cache.get(&key) {
+            return r;
+        }
+        let (na, nb) = (self.nodes[a as usize], self.nodes[b as usize]);
+        let v = na.var.min(nb.var);
+        let (a_lo, a_hi) = if na.var == v { (na.lo, na.hi) } else { (a, a) };
+        let (b_lo, b_hi) = if nb.var == v { (nb.lo, nb.hi) } else { (b, b) };
+        let lo = self.apply(op, a_lo, b_lo);
+        let hi = self.apply(op, a_hi, b_hi);
+        let r = self.mk(v, lo, hi);
+        self.apply_cache.insert(key, r);
+        r
+    }
+
+    /// Conjunction `a ∧ b`.
+    pub fn and(&mut self, a: NodeRef, b: NodeRef) -> NodeRef {
+        NodeRef(self.apply(Op::And, a.0, b.0))
+    }
+
+    /// Disjunction `a ∨ b`.
+    pub fn or(&mut self, a: NodeRef, b: NodeRef) -> NodeRef {
+        NodeRef(self.apply(Op::Or, a.0, b.0))
+    }
+
+    /// Negation `¬a` (not needed for attack trees, provided for completeness).
+    pub fn not(&mut self, a: NodeRef) -> NodeRef {
+        NodeRef(self.negate(a.0))
+    }
+
+    fn negate(&mut self, a: u32) -> u32 {
+        match a {
+            0 => 1,
+            1 => 0,
+            _ => {
+                let n = self.nodes[a as usize];
+                let lo = self.negate(n.lo);
+                let hi = self.negate(n.hi);
+                self.mk(n.var, lo, hi)
+            }
+        }
+    }
+
+    /// Evaluates `f` under a total truth assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != num_vars`.
+    pub fn eval(&self, f: NodeRef, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars, "assignment must cover all variables");
+        let mut cur = f.0;
+        while cur > 1 {
+            let n = self.nodes[cur as usize];
+            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+        }
+        cur == 1
+    }
+
+    /// Probability that `f` is true when variable `i` is independently true
+    /// with probability `probs[i]` (Shannon decomposition, linear in the BDD
+    /// size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != num_vars`.
+    pub fn probability(&self, f: NodeRef, probs: &[f64]) -> f64 {
+        assert_eq!(probs.len(), self.num_vars, "one probability per variable");
+        let mut memo: HashMap<u32, f64> = HashMap::new();
+        self.prob_rec(f.0, probs, &mut memo)
+    }
+
+    fn prob_rec(&self, n: u32, probs: &[f64], memo: &mut HashMap<u32, f64>) -> f64 {
+        match n {
+            0 => 0.0,
+            1 => 1.0,
+            _ => {
+                if let Some(&p) = memo.get(&n) {
+                    return p;
+                }
+                let node = self.nodes[n as usize];
+                let pv = probs[node.var as usize];
+                let p = (1.0 - pv) * self.prob_rec(node.lo, probs, memo)
+                    + pv * self.prob_rec(node.hi, probs, memo);
+                memo.insert(n, p);
+                p
+            }
+        }
+    }
+
+    /// Number of satisfying assignments of `f` over all `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 127` (the count may overflow `u128`).
+    pub fn satisfying_assignments(&self, f: NodeRef) -> u128 {
+        assert!(self.num_vars <= 127, "model count may overflow u128");
+        let mut memo: HashMap<u32, u128> = HashMap::new();
+        let scaled = self.count_rec(f.0, &mut memo);
+        // count_rec treats the node's own variable as the first free one;
+        // scale by the variables above the root.
+        scaled << self.nodes[f.0 as usize].var
+    }
+
+    fn count_rec(&self, n: u32, memo: &mut HashMap<u32, u128>) -> u128 {
+        match n {
+            0 => 0,
+            1 => 1,
+            _ => {
+                if let Some(&c) = memo.get(&n) {
+                    return c;
+                }
+                let node = self.nodes[n as usize];
+                let lo = self.count_rec(node.lo, memo)
+                    << (self.nodes[node.lo as usize].var - node.var - 1);
+                let hi = self.count_rec(node.hi, memo)
+                    << (self.nodes[node.hi as usize].var - node.var - 1);
+                let c = lo + hi;
+                memo.insert(n, c);
+                c
+            }
+        }
+    }
+
+    /// Shannon-decomposes a non-terminal node into `(variable, lo, hi)`:
+    /// `f = if x_variable then hi else lo`. Returns `None` on terminals.
+    pub fn decompose(&self, f: NodeRef) -> Option<(usize, NodeRef, NodeRef)> {
+        if f.is_terminal() {
+            return None;
+        }
+        let n = self.nodes[f.0 as usize];
+        Some((n.var as usize, NodeRef(n.lo), NodeRef(n.hi)))
+    }
+
+    /// Number of distinct BDD nodes reachable from `f` (including terminals).
+    pub fn size(&self, f: NodeRef) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f.0];
+        while let Some(n) = stack.pop() {
+            if seen.insert(n) && n > 1 {
+                let node = self.nodes[n as usize];
+                stack.push(node.lo);
+                stack.push(node.hi);
+            }
+        }
+        seen.len()
+    }
+}
+
+/// Compiles the structure function of **every** node of an attack tree into
+/// one shared BDD manager, with BAS id `b` as variable `b`.
+///
+/// Returns the manager and, per tree node (indexed by `NodeId::index`), the
+/// BDD of `S(·, v)`. Shared sub-DAGs share BDD nodes, so the result is
+/// typically far smaller than one BDD per node built in isolation.
+pub fn compile_structure(tree: &AttackTree) -> (Bdd, Vec<NodeRef>) {
+    let mut bdd = Bdd::new(tree.bas_count());
+    let mut refs: Vec<NodeRef> = Vec::with_capacity(tree.node_count());
+    for v in tree.node_ids() {
+        let r = match tree.node_type(v) {
+            NodeType::Bas => {
+                let b = tree.bas_of_node(v).expect("leaf has BAS id");
+                bdd.var(b.index())
+            }
+            gate @ (NodeType::Or | NodeType::And) => {
+                let mut kids = tree.children(v).iter();
+                let first = refs[kids.next().expect("gates have children").index()];
+                kids.fold(first, |acc, c| {
+                    let cr = refs[c.index()];
+                    match gate {
+                        NodeType::Or => bdd.or(acc, cr),
+                        NodeType::And => bdd.and(acc, cr),
+                        NodeType::Bas => unreachable!(),
+                    }
+                })
+            }
+        };
+        refs.push(r);
+    }
+    (bdd, refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdat_core::{Attack, AttackTreeBuilder};
+
+    #[test]
+    fn canonicity_makes_equal_functions_identical() {
+        let mut bdd = Bdd::new(3);
+        let x = bdd.var(0);
+        let y = bdd.var(1);
+        let xy = bdd.and(x, y);
+        let yx = bdd.and(y, x);
+        assert_eq!(xy, yx);
+        let idem = bdd.or(xy, xy);
+        assert_eq!(idem, xy);
+        // (x ∧ y) ∨ x = x  (absorption).
+        let absorbed = bdd.or(xy, x);
+        assert_eq!(absorbed, x);
+    }
+
+    #[test]
+    fn negation_is_involutive_and_complements() {
+        let mut bdd = Bdd::new(2);
+        let x = bdd.var(0);
+        let y = bdd.var(1);
+        let f = bdd.or(x, y);
+        let nf = bdd.not(f);
+        let nnf = bdd.not(nf);
+        assert_eq!(nnf, f);
+        let both = bdd.and(f, nf);
+        assert_eq!(both, NodeRef::FALSE);
+        let either = bdd.or(f, nf);
+        assert_eq!(either, NodeRef::TRUE);
+    }
+
+    #[test]
+    fn eval_matches_truth_table() {
+        let mut bdd = Bdd::new(3);
+        let x = bdd.var(0);
+        let y = bdd.var(1);
+        let z = bdd.var(2);
+        let xy = bdd.and(x, y);
+        let f = bdd.or(xy, z); // (x ∧ y) ∨ z
+        for m in 0..8u32 {
+            let a = [m & 1 == 1, m & 2 == 2, m & 4 == 4];
+            let expect = (a[0] && a[1]) || a[2];
+            assert_eq!(bdd.eval(f, &a), expect, "assignment {a:?}");
+        }
+    }
+
+    #[test]
+    fn model_count_on_known_functions() {
+        let mut bdd = Bdd::new(3);
+        let x = bdd.var(0);
+        let y = bdd.var(1);
+        let z = bdd.var(2);
+        assert_eq!(bdd.satisfying_assignments(NodeRef::TRUE), 8);
+        assert_eq!(bdd.satisfying_assignments(NodeRef::FALSE), 0);
+        assert_eq!(bdd.satisfying_assignments(x), 4);
+        assert_eq!(bdd.satisfying_assignments(z), 4);
+        let xy = bdd.and(x, y);
+        assert_eq!(bdd.satisfying_assignments(xy), 2);
+        let f = bdd.or(xy, z);
+        assert_eq!(bdd.satisfying_assignments(f), 5);
+    }
+
+    #[test]
+    fn probability_is_exact_under_correlation() {
+        // f = (x ∧ y) ∨ (x ∧ z): P = P(x)·P(y ∨ z) — naive per-gate
+        // propagation would double-count the shared x.
+        let mut bdd = Bdd::new(3);
+        let x = bdd.var(0);
+        let y = bdd.var(1);
+        let z = bdd.var(2);
+        let xy = bdd.and(x, y);
+        let xz = bdd.and(x, z);
+        let f = bdd.or(xy, xz);
+        let p = [0.5, 0.25, 0.5];
+        let expect = 0.5 * (1.0 - (1.0 - 0.25) * (1.0 - 0.5));
+        assert!((bdd.probability(f, &p) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_matches_brute_force_on_random_functions() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let n = 4;
+            let mut bdd = Bdd::new(n);
+            // Random monotone DNF of 3 cubes.
+            let mut f = NodeRef::FALSE;
+            for _ in 0..3 {
+                let mut cube = NodeRef::TRUE;
+                for i in 0..n {
+                    if rng.gen_bool(0.5) {
+                        let v = bdd.var(i);
+                        cube = bdd.and(cube, v);
+                    }
+                }
+                f = bdd.or(f, cube);
+            }
+            let probs: Vec<f64> = (0..n).map(|_| rng.gen_range(0..=10) as f64 / 10.0).collect();
+            let mut expect = 0.0;
+            for m in 0..(1u32 << n) {
+                let a: Vec<bool> = (0..n).map(|i| m >> i & 1 == 1).collect();
+                if bdd.eval(f, &a) {
+                    let w: f64 =
+                        (0..n).map(|i| if a[i] { probs[i] } else { 1.0 - probs[i] }).product();
+                    expect += w;
+                }
+            }
+            assert!((bdd.probability(f, &probs) - expect).abs() < 1e-9);
+        }
+    }
+
+    fn shared_dag() -> AttackTree {
+        // r = (x ∧ y) ∨ (x ∧ z): x is shared.
+        let mut b = AttackTreeBuilder::new();
+        let x = b.bas("x");
+        let y = b.bas("y");
+        let z = b.bas("z");
+        let g1 = b.and("g1", [x, y]);
+        let g2 = b.and("g2", [x, z]);
+        let _r = b.or("r", [g1, g2]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn compiled_structure_matches_structure_function() {
+        let t = shared_dag();
+        let (bdd, refs) = compile_structure(&t);
+        for x in Attack::all(t.bas_count()) {
+            let s = t.structure(&x);
+            let a: Vec<bool> =
+                (0..t.bas_count()).map(|i| x.contains(cdat_core::BasId::new(i))).collect();
+            for v in t.node_ids() {
+                assert_eq!(bdd.eval(refs[v.index()], &a), s[v.index()], "node {}", t.name(v));
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_structure_probability_matches_treelike_propagation() {
+        // On a treelike tree, BDD probability and PS propagation agree.
+        let mut b = AttackTreeBuilder::new();
+        let x = b.bas("x");
+        let y = b.bas("y");
+        let z = b.bas("z");
+        let g = b.and("g", [x, y]);
+        let _r = b.or("r", [g, z]);
+        let t = b.build().unwrap();
+        let (bdd, refs) = compile_structure(&t);
+        let probs = [0.3, 0.7, 0.5];
+        for attack in Attack::all(3) {
+            let ps = t.probabilistic_structure(&attack, &probs).unwrap();
+            let masked: Vec<f64> = (0..3)
+                .map(|i| if attack.contains(cdat_core::BasId::new(i)) { probs[i] } else { 0.0 })
+                .collect();
+            for v in t.node_ids() {
+                let via_bdd = bdd.probability(refs[v.index()], &masked);
+                assert!((via_bdd - ps[v.index()]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_bas_probability_is_exact_where_propagation_is_not() {
+        let t = shared_dag();
+        let (bdd, refs) = compile_structure(&t);
+        let root = refs[t.root().index()];
+        let p = 0.5;
+        // P((x∧y) ∨ (x∧z)) with all probs 0.5 = P(x)·P(y∨z) = 0.5·0.75.
+        let exact = bdd.probability(root, &[p, p, p]);
+        assert!((exact - 0.375).abs() < 1e-12);
+        // The (incorrect) independent propagation would give
+        // 1-(1-0.25)² = 0.4375 ≠ 0.375.
+        assert!((exact - 0.4375).abs() > 1e-3);
+    }
+
+    #[test]
+    fn size_reports_reachable_nodes() {
+        let mut bdd = Bdd::new(2);
+        let x = bdd.var(0);
+        let y = bdd.var(1);
+        let f = bdd.and(x, y);
+        assert_eq!(bdd.size(NodeRef::TRUE), 1);
+        assert_eq!(bdd.size(x), 3); // x node + 2 terminals
+        assert_eq!(bdd.size(f), 4); // two decision nodes + 2 terminals
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn var_out_of_range_panics() {
+        let mut bdd = Bdd::new(1);
+        let _ = bdd.var(1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Ablation benches for the design decisions called out in DESIGN.md.
+//!
+//! * `budget_pruning` — DgC with and without the in-recursion `min_U` cost
+//!   cut (answers are identical; the cut is the point of Theorem 3's
+//!   formulation).
+//! * `witness_tracking` — front computation with and without witness
+//!   attacks.
+//! * `third_dimension` — the sound 3-D bottom-up vs the unsound 2-D variant
+//!   (the 2-D one is *faster and wrong*; the sound one must not cost much
+//!   more).
+//! * `staircase_pruning` — the `O(k log k)` staircase `min_U` vs a naive
+//!   `O(k²)` pairwise filter on random triple sets.
+
+use cdat_pareto::{prune_unbudgeted, Triple};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn budget_pruning(c: &mut Criterion) {
+    let cdp = cdat_models::panda_cdp();
+    let budget = 15.0; // mid-range: pruning has something to cut
+    let pruning = cdat_bottomup::BottomUp::new();
+    let no_pruning = cdat_bottomup::BottomUp::new().without_budget_pruning();
+    // The answers agree; the bench measures the cost of not pruning.
+    let a = pruning.edgc(&cdp, budget).unwrap().unwrap();
+    let b = no_pruning.edgc(&cdp, budget).unwrap().unwrap();
+    assert_eq!(a.point, b.point);
+
+    let mut group = c.benchmark_group("ablation_budget_pruning");
+    group.bench_function("edgc_with_min_u", |bch| {
+        bch.iter(|| pruning.edgc(black_box(&cdp), budget).expect("treelike"))
+    });
+    group.bench_function("edgc_without_min_u", |bch| {
+        bch.iter(|| no_pruning.edgc(black_box(&cdp), budget).expect("treelike"))
+    });
+    group.finish();
+}
+
+fn witness_tracking(c: &mut Criterion) {
+    let cdp = cdat_models::panda_cdp();
+    let with = cdat_bottomup::BottomUp::new();
+    let without = cdat_bottomup::BottomUp::new().without_witnesses();
+    let mut group = c.benchmark_group("ablation_witnesses");
+    group.bench_function("cedpf_with_witnesses", |b| {
+        b.iter(|| with.cedpf(black_box(&cdp)).expect("treelike"))
+    });
+    group.bench_function("cedpf_without_witnesses", |b| {
+        b.iter(|| without.cedpf(black_box(&cdp)).expect("treelike"))
+    });
+    group.finish();
+}
+
+fn third_dimension(c: &mut Criterion) {
+    let cd = cdat_models::panda();
+    // Sanity: the 2-D variant is genuinely wrong on this model…
+    let sound = cdat_bottomup::cdpf(&cd).expect("treelike");
+    let unsound = cdat_bottomup::ablation::cdpf_without_activation_dimension(&cd)
+        .expect("treelike");
+    assert!(!sound.approx_eq(&unsound, 1e-9), "2-D ablation should lose points on the panda AT");
+    // …and the bench quantifies what the extra dimension costs.
+    let mut group = c.benchmark_group("ablation_third_dimension");
+    group.bench_function("cdpf_3d_sound", |b| {
+        b.iter(|| cdat_bottomup::cdpf(black_box(&cd)).expect("treelike"))
+    });
+    group.bench_function("cdpf_2d_unsound", |b| {
+        b.iter(|| {
+            cdat_bottomup::ablation::cdpf_without_activation_dimension(black_box(&cd))
+                .expect("treelike")
+        })
+    });
+    group.finish();
+}
+
+/// Naive quadratic reference for `min_U`.
+fn prune_naive(entries: &[(Triple<bool>, ())]) -> Vec<Triple<bool>> {
+    let mut out = Vec::new();
+    for (x, _) in entries {
+        if entries.iter().any(|(y, _)| y.strictly_dominates(x)) {
+            continue;
+        }
+        if !out.contains(x) {
+            out.push(*x);
+        }
+    }
+    out
+}
+
+fn staircase_pruning(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut group = c.benchmark_group("ablation_staircase");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for k in [1000usize, 5000] {
+        // Random inputs: most points dominated, the naive filter's early
+        // exit makes it competitive.
+        let random: Vec<(Triple<bool>, ())> = (0..k)
+            .map(|_| {
+                (
+                    Triple {
+                        cost: rng.gen_range(0..1000) as f64,
+                        damage: rng.gen_range(0..1000) as f64,
+                        act: rng.gen_bool(0.5),
+                    },
+                    (),
+                )
+            })
+            .collect();
+        // Antichain-heavy inputs: large surviving fronts are where node
+        // fronts actually hurt (Example 6's exponential front), and where
+        // the naive filter degenerates to Θ(k²).
+        let antichain: Vec<(Triple<bool>, ())> = (0..k)
+            .map(|i| {
+                // Damage grows with cost: an (almost) incomparable set, the
+                // shape of Example 6's exponentially large front.
+                let jitter = rng.gen_range(0..3) as f64;
+                (
+                    Triple { cost: i as f64, damage: i as f64 + jitter, act: i % 2 == 0 },
+                    (),
+                )
+            })
+            .collect();
+        for (shape, entries) in [("random", &random), ("antichain", &antichain)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("staircase_{shape}"), k),
+                entries,
+                |b, e| b.iter(|| prune_unbudgeted(black_box(e.clone()))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("naive_quadratic_{shape}"), k),
+                entries,
+                |b, e| b.iter(|| prune_naive(black_box(e))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, budget_pruning, witness_tracking, third_dimension, staircase_pruning);
+criterion_main!(benches);

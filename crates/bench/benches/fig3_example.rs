@@ -1,0 +1,30 @@
+//! Fig. 3 micro-benchmark: the running example through every solver.
+//!
+//! The factory AT is tiny; this bench pins down per-call overhead and keeps
+//! all three deterministic solvers honest on the same instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let cd = cdat_models::factory();
+    let cdp = cdat_models::factory_cdp();
+    let mut group = c.benchmark_group("fig3_factory");
+    group.bench_function("cdpf_bottom_up", |b| {
+        b.iter(|| cdat_bottomup::cdpf(black_box(&cd)).expect("treelike"))
+    });
+    group.bench_function("cdpf_bilp", |b| b.iter(|| cdat_bilp::cdpf(black_box(&cd))));
+    group.bench_function("cdpf_enumerative", |b| {
+        b.iter(|| cdat_enumerative::cdpf(black_box(&cd), false))
+    });
+    group.bench_function("cedpf_bottom_up", |b| {
+        b.iter(|| cdat_bottomup::cedpf(black_box(&cdp)).expect("treelike"))
+    });
+    group.bench_function("dgc_bottom_up", |b| {
+        b.iter(|| cdat_bottomup::dgc(black_box(&cd), 2.0).expect("treelike"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Fig. 7: computation time on randomly generated AT suites, by size.
+//!
+//! `cargo bench` runs a subsample (one AT per size in {20, 40, 60, 80, 100};
+//! enumeration only where its 2^|B| search is quick, BILP only up to size 40
+//! where a criterion iteration stays sub-second). The `experiments fig7`
+//! binary sweeps the full 500-AT suites with the paper's grouping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+const SIZES: [usize; 5] = [20, 40, 60, 80, 100];
+
+fn instance(treelike: bool, target: usize, seed: u64) -> cdat_core::AttackTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (blocks, ops): (Vec<_>, &[cdat_gen::CombineOp]) = if treelike {
+        (cdat_models::blocks::treelike(), &[cdat_gen::CombineOp::Graft, cdat_gen::CombineOp::Join])
+    } else {
+        (
+            cdat_models::blocks::all(),
+            &[
+                cdat_gen::CombineOp::Graft,
+                cdat_gen::CombineOp::Join,
+                cdat_gen::CombineOp::JoinIdentify,
+            ],
+        )
+    };
+    cdat_gen::random_at(&mut rng, &blocks, ops, target)
+}
+
+fn tree_det(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7001);
+    let mut group = c.benchmark_group("fig7a_tree_det");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for size in SIZES {
+        let cd = cdat_gen::decorate(instance(true, size, 100 + size as u64), &mut rng);
+        let n = cd.tree().node_count();
+        group.bench_with_input(BenchmarkId::new("bottom_up", n), &cd, |b, cd| {
+            b.iter(|| cdat_bottomup::cdpf(black_box(cd)).expect("treelike"))
+        });
+        if size <= 40 {
+            group.bench_with_input(BenchmarkId::new("bilp", n), &cd, |b, cd| {
+                b.iter(|| cdat_bilp::cdpf(black_box(cd)))
+            });
+        }
+        if cd.tree().bas_count() <= 18 {
+            group.bench_with_input(BenchmarkId::new("enumerative", n), &cd, |b, cd| {
+                b.iter(|| cdat_enumerative::cdpf(black_box(cd), false))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn tree_prob(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7002);
+    let mut group = c.benchmark_group("fig7b_tree_prob");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for size in SIZES {
+        let cdp = cdat_gen::decorate_prob(instance(true, size, 200 + size as u64), &mut rng);
+        let n = cdp.tree().node_count();
+        group.bench_with_input(BenchmarkId::new("bottom_up", n), &cdp, |b, cdp| {
+            b.iter(|| cdat_bottomup::cedpf(black_box(cdp)).expect("treelike"))
+        });
+        if cdp.tree().bas_count() <= 18 {
+            group.bench_with_input(BenchmarkId::new("enumerative", n), &cdp, |b, cdp| {
+                b.iter(|| {
+                    cdat_enumerative::cedpf_treelike(black_box(cdp), false).expect("treelike")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn dag_det(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7003);
+    let mut group = c.benchmark_group("fig7c_dag_det");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for size in SIZES {
+        if size > 40 {
+            break; // BILP iterations exceed criterion budgets beyond this
+        }
+        let cd = cdat_gen::decorate(instance(false, size, 300 + size as u64), &mut rng);
+        let n = cd.tree().node_count();
+        group.bench_with_input(BenchmarkId::new("bilp", n), &cd, |b, cd| {
+            b.iter(|| cdat_bilp::cdpf(black_box(cd)))
+        });
+        if cd.tree().bas_count() <= 18 {
+            group.bench_with_input(BenchmarkId::new("enumerative", n), &cd, |b, cd| {
+                b.iter(|| cdat_enumerative::cdpf(black_box(cd), false))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tree_det, tree_prob, dag_det);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Table III: C(E)DPF computation time on the two case studies.
+//!
+//! Paper reference points (Matlab + Gurobi, i7-10750HQ): panda det BU
+//! 0.044 s, BILP 0.438 s, enum 34 h; panda prob BU 0.047 s, enum 49 h;
+//! data server BILP 0.380 s, enum 79.5 s. We reproduce the *ordering*
+//! (BU ≪ BILP ≪ enumeration on the treelike panda AT), not the constants.
+//!
+//! The 2^22-attack enumerations take seconds per iteration; they only run
+//! when `CDAT_BENCH_FULL=1` is set, so a default `cargo bench` stays quick.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_case_studies(c: &mut Criterion) {
+    let panda = cdat_models::panda();
+    let panda_p = cdat_models::panda_cdp();
+    let server = cdat_models::dataserver();
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("panda_det_bottom_up", |b| {
+        b.iter(|| cdat_bottomup::cdpf(black_box(&panda)).expect("treelike"))
+    });
+    group.bench_function("panda_det_bilp", |b| b.iter(|| cdat_bilp::cdpf(black_box(&panda))));
+    group.bench_function("panda_prob_bottom_up", |b| {
+        b.iter(|| cdat_bottomup::cedpf(black_box(&panda_p)).expect("treelike"))
+    });
+    group.bench_function("server_det_bilp", |b| b.iter(|| cdat_bilp::cdpf(black_box(&server))));
+    group.bench_function("server_det_enumerative", |b| {
+        b.iter(|| cdat_enumerative::cdpf(black_box(&server), false))
+    });
+
+    if std::env::var_os("CDAT_BENCH_FULL").is_some() {
+        group.measurement_time(Duration::from_secs(30));
+        group.bench_function("panda_det_enumerative_2pow22", |b| {
+            b.iter(|| cdat_enumerative::cdpf(black_box(&panda), false))
+        });
+        group.bench_function("panda_prob_enumerative_2pow22", |b| {
+            b.iter(|| {
+                cdat_enumerative::cedpf_treelike(black_box(&panda_p), false).expect("treelike")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_case_studies);
+criterion_main!(benches);

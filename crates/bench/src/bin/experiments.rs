@@ -1,0 +1,287 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p cdat-bench --bin experiments -- all
+//! cargo run --release -p cdat-bench --bin experiments -- fig3 fig6a fig6b fig6c
+//! cargo run --release -p cdat-bench --bin experiments -- table3 [--with-enum]
+//! cargo run --release -p cdat-bench --bin experiments -- fig7 [--cap-seconds 1.0] [--max-n 100] [--per-n 5]
+//! ```
+//!
+//! `all` runs the quick configuration of everything. The enumerative column
+//! for the panda tree (2^22 attacks) is skipped unless `--with-enum` is
+//! given; the Matlab original took 34–49 hours, ours takes seconds-to-
+//! minutes, but it is still the slow part.
+//!
+//! Fig. 7 replays the paper's random-suite sweep. Each method is dropped for
+//! larger size groups once its mean runtime in a group exceeds
+//! `--cap-seconds` (the paper similarly evaluated the enumerative method
+//! only on the first three groups).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use cdat_bench::{fmt_duration, mean_std, run_det, run_prob, timed, Method, RunStats};
+use cdat_core::{CdAttackTree, CdpAttackTree};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments [all|fig3|fig6a|fig6b|fig6c|table3|fig7] [options]");
+        std::process::exit(2);
+    }
+    let opt_flag = |name: &str| args.iter().any(|a| a == name);
+    let opt_value = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let run_all = args.iter().any(|a| a == "all");
+    let wants = |name: &str| run_all || args.iter().any(|a| a == name);
+
+    if wants("fig3") {
+        fig3();
+    }
+    if wants("fig6a") {
+        fig6a();
+    }
+    if wants("fig6b") {
+        fig6b();
+    }
+    if wants("fig6c") {
+        fig6c();
+    }
+    if wants("table3") {
+        table3(opt_flag("--with-enum"));
+    }
+    if wants("fig7") {
+        let cap: f64 = opt_value("--cap-seconds").and_then(|v| v.parse().ok()).unwrap_or(1.0);
+        let max_n: usize = opt_value("--max-n").and_then(|v| v.parse().ok()).unwrap_or(100);
+        let per_n: usize = opt_value("--per-n").and_then(|v| v.parse().ok()).unwrap_or(5);
+        fig7(cap, max_n, per_n);
+    }
+}
+
+fn header(title: &str) {
+    println!("\n══════════════════════════════════════════════════════════════");
+    println!("  {title}");
+    println!("══════════════════════════════════════════════════════════════");
+}
+
+fn print_front(cd: &CdAttackTree, front: &cdat_pareto::ParetoFront) {
+    println!("{:>8} {:>9} {:>4}  attack", "cost", "damage", "top");
+    for e in front.entries() {
+        let w = e.witness.as_ref().expect("witness tracked");
+        let ids: Vec<String> = w.iter().map(|b| format!("b{}", b.index() + 1)).collect();
+        println!(
+            "{:>8} {:>9} {:>4}  {{{}}}",
+            e.point.cost,
+            format!("{:.6}", e.point.damage).trim_end_matches('0').trim_end_matches('.'),
+            if cd.tree().reaches_root(w) { "y" } else { "n" },
+            ids.join(",")
+        );
+    }
+}
+
+/// Fig. 3: CDPF of the running example.
+fn fig3() {
+    header("Fig. 3 — CDPF of the factory example (paper: {(0,0),(1,200),(3,210),(5,310)})");
+    let cd = cdat_models::factory();
+    let front = cdat_bottomup::cdpf(&cd).expect("treelike");
+    println!("front: {front}");
+    print_front(&cd, &front);
+}
+
+/// Fig. 6a: deterministic Pareto front of the panda AT, bottom-up.
+fn fig6a() {
+    header("Fig. 6a — deterministic CDPF of the panda IoT AT (bottom-up, Thm 4)");
+    let cd = cdat_models::panda();
+    let (front, t) = timed(|| cdat_bottomup::cdpf(&cd).expect("treelike"));
+    println!("computed in {}; paper front: (3,20) (4,50) (7,65) (11,75) (13,80) (17,90) (22,95) (30,100)", fmt_duration(t));
+    print_front(&cd, &front);
+}
+
+/// Fig. 6b: probabilistic Pareto front of the panda AT, bottom-up.
+fn fig6b() {
+    header("Fig. 6b — CEDPF of the panda IoT AT (bottom-up, Thm 9)");
+    let cdp = cdat_models::panda_cdp();
+    let (front, t) = timed(|| cdat_bottomup::cedpf(&cdp).expect("treelike"));
+    println!(
+        "computed in {}; {} Pareto-optimal attacks (paper: 31); paper prefix: (3,18.0) (7,27.6) (11,30.8) (13,37.0) (16,39.8)",
+        fmt_duration(t),
+        front.len()
+    );
+    print_front(cdp.cd(), &front);
+}
+
+/// Fig. 6c: deterministic front of the data-server AT, BILP.
+fn fig6c() {
+    header("Fig. 6c — CDPF of the data-server AT (BILP, Thm 6; DAG-like)");
+    let cd = cdat_models::dataserver();
+    let (front, t) = timed(|| cdat_bilp::cdpf(&cd));
+    println!("computed in {}; paper front: (250,24) (568,60) (976,70.8) (1131,75.8) (1281,82.8)", fmt_duration(t));
+    print_front(&cd, &front);
+}
+
+/// Table III: timings on the case studies, true and random attributes.
+fn table3(with_enum: bool) {
+    header("Table III — C(E)DPF computation times on the case studies");
+    println!("(paper, Matlab+Gurobi: panda BU 0.044s / BILP 0.438s / enum 34h;");
+    println!(" panda prob BU 0.047s / enum 49h; dataserver BILP 0.380s / enum 79.5s)");
+    let panda = cdat_models::panda();
+    let panda_p = cdat_models::panda_cdp();
+    let server = cdat_models::dataserver();
+
+    // True attributes.
+    println!("\n-- true attributes --");
+    let (_, t) = timed(|| cdat_bottomup::cdpf(&panda).expect("treelike"));
+    println!("panda  det  BU    {}", fmt_duration(t));
+    let (_, t) = timed(|| cdat_bilp::cdpf(&panda));
+    println!("panda  det  BILP  {}", fmt_duration(t));
+    let (_, t) = timed(|| cdat_bottomup::cedpf(&panda_p).expect("treelike"));
+    println!("panda  prob BU    {}", fmt_duration(t));
+    let (_, t) = timed(|| cdat_bilp::cdpf(&server));
+    println!("server det  BILP  {}", fmt_duration(t));
+    let (_, t) = timed(|| cdat_enumerative::cdpf(&server, false));
+    println!("server det  enum  {}  (2^12 attacks)", fmt_duration(t));
+    if with_enum {
+        let (_, t) = timed(|| cdat_enumerative::cdpf(&panda, false));
+        println!("panda  det  enum  {}  (2^22 attacks; paper: 34h in Matlab)", fmt_duration(t));
+        let (_, t) = timed(|| cdat_enumerative::cedpf_treelike(&panda_p, false).expect("treelike"));
+        println!("panda  prob enum  {}  (2^22 attacks; paper: 49h in Matlab)", fmt_duration(t));
+    } else {
+        println!("panda  det  enum  (skipped; pass --with-enum to run 2^22 attacks)");
+        println!("panda  prob enum  (skipped; pass --with-enum)");
+    }
+
+    // Random attributes, 100 draws as in the paper.
+    println!("\n-- random attributes (mean ± sd over 100 draws) --");
+    let mut rng = StdRng::seed_from_u64(1234);
+    let mut samples: BTreeMap<&str, Vec<Duration>> = BTreeMap::new();
+    for _ in 0..100 {
+        let p_cd = cdat_gen::decorate(panda.tree().clone(), &mut rng);
+        let p_cdp = cdat_gen::decorate_prob(panda.tree().clone(), &mut rng);
+        let s_cd = cdat_gen::decorate(server.tree().clone(), &mut rng);
+        let (_, t) = timed(|| cdat_bottomup::cdpf(&p_cd).expect("treelike"));
+        samples.entry("panda  det  BU  ").or_default().push(t);
+        let (_, t) = timed(|| cdat_bilp::cdpf(&p_cd));
+        samples.entry("panda  det  BILP").or_default().push(t);
+        let (_, t) = timed(|| cdat_bottomup::cedpf(&p_cdp).expect("treelike"));
+        samples.entry("panda  prob BU  ").or_default().push(t);
+        let (_, t) = timed(|| cdat_bilp::cdpf(&s_cd));
+        samples.entry("server det  BILP").or_default().push(t);
+        let (_, t) = timed(|| cdat_enumerative::cdpf(&s_cd, false));
+        samples.entry("server det  enum").or_default().push(t);
+    }
+    for (label, times) in samples {
+        let (mean, sd) = mean_std(&times);
+        println!("{label}  {mean:.4}s ± {sd:.4}s");
+    }
+}
+
+/// Fig. 7: random-suite sweeps, grouped by ⌊N/10⌋.
+fn fig7(cap_seconds: f64, max_n: usize, per_n: usize) {
+    header("Fig. 7 — computation time on randomly generated AT suites");
+    println!("(cap per method: drop it once a size group's mean exceeds {cap_seconds}s)");
+
+    let tree_suite = cdat_gen::generate_suite(cdat_gen::SuiteConfig {
+        treelike: true,
+        max_target: max_n,
+        per_target: per_n,
+        seed: 77,
+    });
+    let dag_suite = cdat_gen::generate_suite(cdat_gen::SuiteConfig {
+        treelike: false,
+        max_target: max_n,
+        per_target: per_n,
+        seed: 78,
+    });
+    let mut rng = StdRng::seed_from_u64(4321);
+    let tree_det: Vec<CdAttackTree> =
+        tree_suite.iter().map(|t| cdat_gen::decorate(t.clone(), &mut rng)).collect();
+    let tree_prob: Vec<CdpAttackTree> =
+        tree_suite.iter().map(|t| cdat_gen::decorate_prob(t.clone(), &mut rng)).collect();
+    let dag_det: Vec<CdAttackTree> =
+        dag_suite.iter().map(|t| cdat_gen::decorate(t.clone(), &mut rng)).collect();
+
+    println!("\n(a) T_tree deterministic ({} ATs)", tree_det.len());
+    sweep("Enum", cap_seconds, &tree_det, |cd| run_det(Method::Enumerative, cd).map(|x| x.1));
+    sweep("BU", cap_seconds, &tree_det, |cd| run_det(Method::BottomUp, cd).map(|x| x.1));
+    sweep("BILP", cap_seconds, &tree_det, |cd| run_det(Method::Bilp, cd).map(|x| x.1));
+
+    println!("\n(b) T_tree probabilistic ({} ATs)", tree_prob.len());
+    sweep("Enum", cap_seconds, &tree_prob, |c| run_prob(Method::Enumerative, c).map(|x| x.1));
+    sweep("BU", cap_seconds, &tree_prob, |c| run_prob(Method::BottomUp, c).map(|x| x.1));
+
+    println!("\n(c) T_DAG deterministic ({} ATs)", dag_det.len());
+    sweep("Enum", cap_seconds, &dag_det, |cd| run_det(Method::Enumerative, cd).map(|x| x.1));
+    sweep("BILP", cap_seconds, &dag_det, |cd| run_det(Method::Bilp, cd).map(|x| x.1));
+}
+
+trait HasTree {
+    fn tree(&self) -> &cdat_core::AttackTree;
+}
+impl HasTree for CdAttackTree {
+    fn tree(&self) -> &cdat_core::AttackTree {
+        CdAttackTree::tree(self)
+    }
+}
+impl HasTree for CdpAttackTree {
+    fn tree(&self) -> &cdat_core::AttackTree {
+        CdpAttackTree::tree(self)
+    }
+}
+
+/// Runs one method over a suite, printing mean time per ⌊N/10⌋ group and the
+/// Fig. 7d min/mean/max summary; escalating groups are dropped at the cap.
+fn sweep<T: HasTree>(
+    label: &str,
+    cap_seconds: f64,
+    suite: &[T],
+    mut run: impl FnMut(&T) -> Option<Duration>,
+) {
+    let mut groups: BTreeMap<usize, Vec<Duration>> = BTreeMap::new();
+    let mut by_size: BTreeMap<usize, Vec<&T>> = BTreeMap::new();
+    for inst in suite {
+        by_size.entry(inst.tree().node_count() / 10).or_default().push(inst);
+    }
+    let mut capped = false;
+    let mut all: Vec<Duration> = Vec::new();
+    for (group, instances) in by_size {
+        if capped {
+            break;
+        }
+        let mut times = Vec::new();
+        for inst in instances {
+            if let Some(t) = run(inst) {
+                times.push(t);
+                all.push(t);
+            }
+        }
+        if times.is_empty() {
+            continue; // method not applicable at this size (e.g. enum caps)
+        }
+        let (mean, _) = mean_std(&times);
+        println!("  {label:<5} group N∈[{}0,{}9]: mean {mean:.4}s over {} instances", group, group, times.len());
+        groups.insert(group, times);
+        if mean > cap_seconds {
+            capped = true;
+            println!("  {label:<5} capped after this group (mean exceeded {cap_seconds}s)");
+        }
+    }
+    if all.is_empty() {
+        println!("  {label:<5} not applicable to this suite");
+    } else {
+        let s = RunStats::of(&all);
+        println!(
+            "  {label:<5} overall: min {}, mean {}, max {}  ({} instances)",
+            fmt_sec(s.min),
+            fmt_sec(s.mean),
+            fmt_sec(s.max),
+            all.len()
+        );
+    }
+}
+
+fn fmt_sec(s: f64) -> String {
+    fmt_duration(Duration::from_secs_f64(s))
+}

@@ -1,0 +1,221 @@
+//! Shared harness utilities for the benchmark suite and the `experiments`
+//! binary that regenerates every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use cdat_core::{CdAttackTree, CdpAttackTree};
+use cdat_pareto::ParetoFront;
+
+/// Times a closure once, returning its result and the wall-clock duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Mean and (population) standard deviation of a sample of durations, in
+/// seconds — the format of the paper's Table III.
+pub fn mean_std(samples: &[Duration]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    let secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+    let mean = secs.iter().sum::<f64>() / secs.len() as f64;
+    let var = secs.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / secs.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Formats a duration like the paper ("0.044s", "<0.01s", "34h").
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 0.01 {
+        "<0.01s".to_owned()
+    } else if s < 120.0 {
+        format!("{s:.3}s")
+    } else if s < 7200.0 {
+        format!("{:.1}min", s / 60.0)
+    } else {
+        format!("{:.1}h", s / 3600.0)
+    }
+}
+
+/// Renders a front as the paper's per-figure table rows:
+/// `attack BASs | cost | damage | top`.
+pub fn front_rows(cd: &CdAttackTree, front: &ParetoFront) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>10} {:>10} {:>5}  attack", "cost", "damage", "top");
+    for e in front.entries() {
+        let (bas_list, top) = match &e.witness {
+            Some(w) => {
+                let names: Vec<String> = w
+                    .iter()
+                    .map(|b| {
+                        let v = cd.tree().node_of_bas(b);
+                        // Prefer the paper's compact b<i> indices when the
+                        // model uses numbered BASs; otherwise full names.
+                        let _ = v;
+                        format!("b{}", b.index() + 1)
+                    })
+                    .collect();
+                let top = if cd.tree().reaches_root(w) { "y" } else { "n" };
+                (format!("{{{}}}", names.join(",")), top)
+            }
+            None => ("-".to_owned(), "?"),
+        };
+        let _ = writeln!(
+            out,
+            "{:>10} {:>10} {:>5}  {}",
+            e.point.cost, e.point.damage, top, bas_list
+        );
+    }
+    out
+}
+
+/// Summary statistics over per-instance runtimes, as in Fig. 7d.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// Fastest instance, seconds.
+    pub min: f64,
+    /// Mean over instances, seconds.
+    pub mean: f64,
+    /// Slowest instance, seconds.
+    pub max: f64,
+}
+
+impl RunStats {
+    /// Computes min/mean/max of a set of durations.
+    pub fn of(samples: &[Duration]) -> RunStats {
+        if samples.is_empty() {
+            return RunStats::default();
+        }
+        let secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+        RunStats {
+            min: secs.iter().copied().fold(f64::INFINITY, f64::min),
+            mean: secs.iter().sum::<f64>() / secs.len() as f64,
+            max: secs.iter().copied().fold(0.0, f64::max),
+        }
+    }
+}
+
+/// The solvers compared across the experiments, as labelled in the paper.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum Method {
+    /// Bottom-up propagation (treelike only).
+    BottomUp,
+    /// Bi-objective integer linear programming (deterministic only).
+    Bilp,
+    /// Exhaustive enumeration.
+    Enumerative,
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Method::BottomUp => "BU",
+            Method::Bilp => "BILP",
+            Method::Enumerative => "Enum",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Runs one deterministic CDPF with the given method; `None` when the method
+/// does not apply to the tree shape or size.
+pub fn run_det(method: Method, cd: &CdAttackTree) -> Option<(ParetoFront, Duration)> {
+    match method {
+        Method::BottomUp => {
+            if !cd.tree().is_treelike() {
+                return None;
+            }
+            let (front, t) = timed(|| cdat_bottomup::cdpf(cd).expect("treelike"));
+            Some((front, t))
+        }
+        Method::Bilp => {
+            let (front, t) = timed(|| cdat_bilp::cdpf(cd));
+            Some((front, t))
+        }
+        Method::Enumerative => {
+            if cd.tree().bas_count() > 25 {
+                return None;
+            }
+            let (front, t) = timed(|| cdat_enumerative::cdpf(cd, false));
+            Some((front, t))
+        }
+    }
+}
+
+/// Runs one probabilistic CEDPF with the given method; `None` when the
+/// method does not apply.
+pub fn run_prob(method: Method, cdp: &CdpAttackTree) -> Option<(ParetoFront, Duration)> {
+    match method {
+        Method::BottomUp => {
+            if !cdp.tree().is_treelike() {
+                return None;
+            }
+            let (front, t) = timed(|| cdat_bottomup::cedpf(cdp).expect("treelike"));
+            Some((front, t))
+        }
+        Method::Bilp => None, // open problem in the paper
+        Method::Enumerative => {
+            if !cdp.tree().is_treelike() || cdp.tree().bas_count() > 25 {
+                return None;
+            }
+            let (front, t) =
+                timed(|| cdat_enumerative::cedpf_treelike(cdp, false).expect("treelike"));
+            Some((front, t))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_of_known_samples() {
+        let samples = [Duration::from_secs(1), Duration::from_secs(3)];
+        let (mean, std) = mean_std(&samples);
+        assert_eq!(mean, 2.0);
+        assert_eq!(std, 1.0);
+        let (m, s) = mean_std(&[]);
+        assert!(m.is_nan() && s.is_nan());
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_millis(1)), "<0.01s");
+        assert_eq!(fmt_duration(Duration::from_millis(44)), "0.044s");
+        assert_eq!(fmt_duration(Duration::from_secs(3600 * 34)), "34.0h");
+    }
+
+    #[test]
+    fn run_stats() {
+        let s = RunStats::of(&[Duration::from_secs(1), Duration::from_secs(2)]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.mean, 1.5);
+    }
+
+    #[test]
+    fn methods_dispatch_on_shape() {
+        let panda = cdat_models::panda();
+        let server = cdat_models::dataserver();
+        assert!(run_det(Method::BottomUp, &panda).is_some());
+        assert!(run_det(Method::BottomUp, &server).is_none(), "DAG rejected by BU");
+        assert!(run_det(Method::Bilp, &server).is_some());
+    }
+
+    #[test]
+    fn all_applicable_methods_agree_on_the_factory() {
+        let cd = cdat_models::factory();
+        let (bu, _) = run_det(Method::BottomUp, &cd).unwrap();
+        let (bilp, _) = run_det(Method::Bilp, &cd).unwrap();
+        let (en, _) = run_det(Method::Enumerative, &cd).unwrap();
+        assert!(bu.approx_eq(&bilp, 1e-9));
+        assert!(bu.approx_eq(&en, 1e-9));
+    }
+}

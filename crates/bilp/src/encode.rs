@@ -1,0 +1,138 @@
+//! The Theorem 6 encoding of a cd-AT as a bi-objective 0-1 program.
+
+use cdat_core::{Attack, CdAttackTree, NodeType};
+use cdat_ilp::{LinearConstraint, Relation};
+
+/// The BILP encoding of a cd-AT: one binary variable per tree node (indexed
+/// by `NodeId::index()`), gate constraints, and the two objective vectors.
+#[derive(Clone, Debug)]
+pub struct Encoding {
+    /// Number of variables (= number of tree nodes).
+    pub num_vars: usize,
+    /// Cost objective `Σ c(v)·y_v` (nonzero only at BAS indices); minimized.
+    pub cost: Vec<f64>,
+    /// Negated damage objective `−Σ d(v)·y_v`; minimized (= damage maximized).
+    pub neg_damage: Vec<f64>,
+    /// The gate constraints of Theorem 6.
+    pub constraints: Vec<LinearConstraint>,
+}
+
+impl Encoding {
+    /// Extracts the attack encoded by an assignment: the BASs with `y = 1`.
+    pub fn attack_of(&self, cd: &CdAttackTree, values: &[bool]) -> Attack {
+        let tree = cd.tree();
+        let mut attack = tree.empty_attack();
+        for b in tree.bas_ids() {
+            if values[tree.node_of_bas(b).index()] {
+                attack.insert(b);
+            }
+        }
+        attack
+    }
+}
+
+/// Builds the Theorem 6 encoding of `cd`.
+///
+/// The constraints only enforce `y_v ≤ S(y|_B, v)`; solutions where the
+/// inequality is strict are feasible but never Pareto-optimal, because
+/// raising `y_v` to `S(y|_B, v)` is free and weakly increases damage.
+pub fn encode(cd: &CdAttackTree) -> Encoding {
+    let tree = cd.tree();
+    let n = tree.node_count();
+    let mut cost = vec![0.0; n];
+    for b in tree.bas_ids() {
+        cost[tree.node_of_bas(b).index()] = cd.cost(b);
+    }
+    let neg_damage: Vec<f64> = (0..n).map(|i| -cd.damages()[i]).collect();
+
+    let mut constraints = Vec::new();
+    for v in tree.node_ids() {
+        match tree.node_type(v) {
+            NodeType::Bas => {}
+            NodeType::And => {
+                for &w in tree.children(v) {
+                    // y_v − y_w ≤ 0
+                    constraints.push(LinearConstraint::new(
+                        vec![(v.index(), 1.0), (w.index(), -1.0)],
+                        Relation::Le,
+                        0.0,
+                    ));
+                }
+            }
+            NodeType::Or => {
+                // y_v − Σ y_w ≤ 0
+                let mut coefficients = vec![(v.index(), 1.0)];
+                coefficients
+                    .extend(tree.children(v).iter().map(|w| (w.index(), -1.0)));
+                constraints.push(LinearConstraint::new(coefficients, Relation::Le, 0.0));
+            }
+        }
+    }
+    Encoding { num_vars: n, cost, neg_damage, constraints }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdat_core::AttackTreeBuilder;
+
+    fn factory_cd() -> CdAttackTree {
+        let mut b = AttackTreeBuilder::new();
+        let ca = b.bas("ca");
+        let pb = b.bas("pb");
+        let fd = b.bas("fd");
+        let dr = b.and("dr", [pb, fd]);
+        let _ps = b.or("ps", [ca, dr]);
+        CdAttackTree::builder(b.build().unwrap())
+            .cost("ca", 1.0)
+            .unwrap()
+            .cost("pb", 3.0)
+            .unwrap()
+            .cost("fd", 2.0)
+            .unwrap()
+            .damage("fd", 10.0)
+            .unwrap()
+            .damage("dr", 100.0)
+            .unwrap()
+            .damage("ps", 200.0)
+            .unwrap()
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn example_7_encoding_shape() {
+        // Example 7: one constraint per AND child + one per OR gate.
+        let cd = factory_cd();
+        let e = encode(&cd);
+        assert_eq!(e.num_vars, 5);
+        assert_eq!(e.constraints.len(), 3); // dr≤pb, dr≤fd, ps≤ca+dr
+        assert_eq!(e.cost, vec![1.0, 3.0, 2.0, 0.0, 0.0]);
+        assert_eq!(e.neg_damage, vec![0.0, 0.0, -10.0, -100.0, -200.0]);
+    }
+
+    #[test]
+    fn structure_function_assignments_are_feasible() {
+        // y = S(x, ·) satisfies every constraint, for every attack.
+        let cd = factory_cd();
+        let e = encode(&cd);
+        for x in Attack::all(3) {
+            let s = cd.tree().structure(&x);
+            let yf: Vec<f64> = s.iter().map(|&b| f64::from(b)).collect();
+            for c in &e.constraints {
+                assert!(c.satisfied_by(&yf, 1e-12), "S(x,·) infeasible for {x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn attack_extraction_reads_bas_variables() {
+        let cd = factory_cd();
+        let e = encode(&cd);
+        let values = vec![true, false, true, false, true]; // ca, fd set
+        let attack = e.attack_of(&cd, &values);
+        let names: Vec<&str> =
+            attack.iter().map(|b| cd.tree().name(cd.tree().node_of_bas(b))).collect();
+        assert_eq!(names, vec!["ca", "fd"]);
+    }
+}

@@ -1,0 +1,33 @@
+//! BILP solvers for DAG-like attack trees (paper Section VII).
+//!
+//! Bottom-up propagation breaks on DAG-like attack trees: a shared node's
+//! cost and damage would be counted once per parent. The paper's answer is a
+//! translation to *bi-objective integer linear programming*: one binary
+//! variable `y_v` per node, intended to represent `S(x, v)`, with
+//!
+//! * `y_v ≤ y_w` for every child `w` of an `AND` gate `v`,
+//! * `y_v ≤ Σ_{w∈Ch(v)} y_w` for every `OR` gate `v`,
+//!
+//! and objectives `min Σ_{v∈B} c(v)·y_v` (cost) and `max Σ_{v∈N} d(v)·y_v`
+//! (damage). The constraints only force `y_v ≤ S(x, v)`; maximizing damage
+//! makes the inequality tight at every Pareto-optimal solution (Theorem 6),
+//! which [`cdpf`] double-checks by re-evaluating each witness attack with the
+//! exact tree semantics.
+//!
+//! [`dgc`] and [`cgd`] are the constrained single-objective versions
+//! (Theorem 7) — they do not need the full front.
+//!
+//! Everything works on treelike trees too (useful for cross-validation), but
+//! the bottom-up solver is the better tool there. The probabilistic problems
+//! are **not** expressible this way (`PS` makes the constraints nonlinear);
+//! the paper leaves them open, and `cdat-enumerative::cedpf_dag` provides an
+//! exact exponential fallback.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod encode;
+mod solver;
+
+pub use encode::{encode, Encoding};
+pub use solver::{cdpf, cdpf_with_delta, cgd, dgc};

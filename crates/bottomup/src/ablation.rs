@@ -1,0 +1,157 @@
+//! Ablation variants that demonstrate *why* the main algorithm is shaped the
+//! way it is.
+//!
+//! These are **not** part of the supported analysis API. They exist so the
+//! benchmark suite (and curious readers) can measure and observe the design
+//! decisions called out in DESIGN.md.
+
+use cdat_core::{Attack, CdAttackTree, NodeType, NotTreelike};
+use cdat_pareto::{CostDamage, ParetoFront};
+
+/// The naive two-dimensional bottom-up: propagate `(cost, damage)` pairs only
+/// and Pareto-prune them at every node, **without** the activation
+/// coordinate.
+///
+/// This is the natural-but-wrong generalization of prior Pareto work to
+/// cost-damage analysis; the paper's Example 4 shows it loses optimal
+/// attacks (it discards a child attack that pays for activation before the
+/// payoff at an ancestor is visible). It is exposed so tests and benches can
+/// demonstrate the failure: on the factory example it reports a front that
+/// misses `(5, 310)`.
+///
+/// # Errors
+///
+/// Returns [`NotTreelike`] for DAG-like trees.
+pub fn cdpf_without_activation_dimension(cd: &CdAttackTree) -> Result<ParetoFront, NotTreelike> {
+    let tree = cd.tree();
+    if !tree.is_treelike() {
+        return Err(NotTreelike);
+    }
+    // Pairs (cost, damage-if-this-subtree-alone, reached) — but pruning
+    // ignores `reached`, which is the deliberate mistake under study.
+    type Pair = (f64, f64, bool);
+    let mut fronts: Vec<Option<Vec<Pair>>> = vec![None; tree.node_count()];
+    for v in tree.node_ids() {
+        let front: Vec<Pair> = match tree.node_type(v) {
+            NodeType::Bas => {
+                let b = tree.bas_of_node(v).expect("leaf has BAS id");
+                prune_2d(vec![(0.0, 0.0, false), (cd.cost(b), cd.damage(v), true)])
+            }
+            gate => {
+                let mut kids = tree.children(v).iter();
+                let first = kids.next().expect("gates have children");
+                let mut acc = fronts[first.index()].take().expect("child computed");
+                for c in kids {
+                    let cf = fronts[c.index()].take().expect("child computed");
+                    let mut combined = Vec::with_capacity(acc.len() * cf.len());
+                    for &(c1, d1, a1) in &acc {
+                        for &(c2, d2, a2) in &cf {
+                            let a = match gate {
+                                NodeType::Or => a1 || a2,
+                                NodeType::And => a1 && a2,
+                                NodeType::Bas => unreachable!(),
+                            };
+                            combined.push((c1 + c2, d1 + d2, a));
+                        }
+                    }
+                    acc = prune_2d(combined);
+                }
+                let dv = cd.damage(v);
+                prune_2d(
+                    acc.into_iter()
+                        .map(|(c, d, a)| (c, if a { d + dv } else { d }, a))
+                        .collect(),
+                )
+            }
+        };
+        fronts[v.index()] = Some(front);
+    }
+    let root = fronts[tree.root().index()].take().expect("root computed");
+    Ok(ParetoFront::from_points(root.into_iter().map(|(c, d, _)| CostDamage::new(c, d))))
+}
+
+/// 2-D Pareto minimization that deliberately ignores the activation flag.
+fn prune_2d(mut pairs: Vec<(f64, f64, bool)>) -> Vec<(f64, f64, bool)> {
+    pairs.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("no NaN")
+            .then(b.1.partial_cmp(&a.1).expect("no NaN"))
+            .then(b.2.cmp(&a.2))
+    });
+    let mut kept: Vec<(f64, f64, bool)> = Vec::new();
+    for p in pairs {
+        match kept.last() {
+            Some(&(_, d, _)) if d >= p.1 => continue,
+            _ => kept.push(p),
+        }
+    }
+    kept
+}
+
+/// The fully enumerative CDPF (all `2^|B|` attacks), used by benches as the
+/// "no bottom-up at all" extreme of the ablation. Identical to the baseline
+/// in `cdat-enumerative`, duplicated here in minimal form to keep the
+/// ablation module self-contained.
+///
+/// # Panics
+///
+/// Panics if the tree has more than 25 BASs.
+pub fn cdpf_enumerative_reference(cd: &CdAttackTree) -> ParetoFront {
+    let n = cd.tree().bas_count();
+    assert!(n <= 25, "reference enumeration is exponential; refusing |B| > 25");
+    ParetoFront::from_points(
+        Attack::all(n).map(|x| CostDamage::new(cd.cost_of(&x), cd.damage_of(&x))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdpf;
+    use cdat_core::AttackTreeBuilder;
+
+    fn factory_cd() -> CdAttackTree {
+        let mut b = AttackTreeBuilder::new();
+        let ca = b.bas("ca");
+        let pb = b.bas("pb");
+        let fd = b.bas("fd");
+        let dr = b.and("dr", [pb, fd]);
+        let _ps = b.or("ps", [ca, dr]);
+        CdAttackTree::builder(b.build().unwrap())
+            .cost("ca", 1.0)
+            .unwrap()
+            .cost("pb", 3.0)
+            .unwrap()
+            .cost("fd", 2.0)
+            .unwrap()
+            .damage("fd", 10.0)
+            .unwrap()
+            .damage("dr", 100.0)
+            .unwrap()
+            .damage("ps", 200.0)
+            .unwrap()
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn two_dimensional_pruning_loses_example_4_attack() {
+        // Without the activation dimension, {pb} = (3, 0) is pruned at pb
+        // (dominated by (0,0)), so the optimal attack (5, 310) = {pb, fd} is
+        // never discovered.
+        let cd = factory_cd();
+        let sound = cdpf(&cd).unwrap();
+        let unsound = cdpf_without_activation_dimension(&cd).unwrap();
+        assert!(sound.points().any(|p| p == CostDamage::new(5.0, 310.0)));
+        assert!(
+            !unsound.points().any(|p| p == CostDamage::new(5.0, 310.0)),
+            "the 2-D ablation should miss the (5,310) attack; got {unsound}"
+        );
+    }
+
+    #[test]
+    fn enumerative_reference_agrees_with_bottom_up() {
+        let cd = factory_cd();
+        assert!(cdpf(&cd).unwrap().approx_eq(&cdpf_enumerative_reference(&cd), 1e-12));
+    }
+}

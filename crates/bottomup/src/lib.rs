@@ -1,0 +1,63 @@
+//! Bottom-up cost-damage solvers for treelike attack trees.
+//!
+//! This crate implements the paper's central algorithmic contribution
+//! (Sections VI and IX): a single bottom-up pass that computes, for every
+//! node `v`, the Pareto front `C_U(v)` of attribute triples
+//! `(cost, damage, activation)` of attacks on the sub-tree below `v`. Because
+//! a treelike AT has disjoint child sub-trees, the fronts of the children of
+//! a gate combine independently:
+//!
+//! * costs and damages add,
+//! * activations conjoin (`AND`) or disjoin (`OR`),
+//! * the node's own damage is added once, weighted by the resulting
+//!   activation,
+//! * triples that exceed the cost budget or are ⊑-dominated are discarded
+//!   (`min_U`).
+//!
+//! The third coordinate is essential: an attack that is locally dominated but
+//! activates its node can become optimal at an ancestor (paper Example 4).
+//! The [`ablation`] module contains the *unsound* two-dimensional variant for
+//! exactly that demonstration.
+//!
+//! All entry points work directly on n-ary gates (folding children pairwise,
+//! which is equivalent to binarizing first) and return witness attacks along
+//! with each Pareto point.
+//!
+//! # Problems solved
+//!
+//! | problem | deterministic | probabilistic |
+//! |---------|---------------|---------------|
+//! | Pareto front | [`cdpf`] (Thm 4) | [`cedpf`] (Thm 9) |
+//! | max damage given budget | [`dgc`] (Thm 3) | [`edgc`] (Thm 8) |
+//! | min cost given damage | [`cgd`] | [`cged`] |
+//!
+//! # Example
+//!
+//! ```
+//! use cdat_core::{AttackTreeBuilder, CdAttackTree};
+//! use cdat_bottomup::cdpf;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = AttackTreeBuilder::new();
+//! let ca = b.bas("ca");
+//! let pb = b.bas("pb");
+//! let fd = b.bas("fd");
+//! let dr = b.and("dr", [pb, fd]);
+//! let _ps = b.or("ps", [ca, dr]);
+//! let cd = CdAttackTree::builder(b.build()?)
+//!     .cost("ca", 1.0)?.cost("pb", 3.0)?.cost("fd", 2.0)?
+//!     .damage("fd", 10.0)?.damage("dr", 100.0)?.damage("ps", 200.0)?
+//!     .finish()?;
+//! let front = cdpf(&cd)?;
+//! assert_eq!(front.to_string(), "{(0, 0), (1, 200), (3, 210), (5, 310)}");
+//! # Ok(()) }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+mod recursion;
+mod solver;
+
+pub use solver::{cdpf, cedpf, cgd, cged, dgc, edgc, BottomUp};

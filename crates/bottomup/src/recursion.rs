@@ -1,0 +1,296 @@
+//! The generic bottom-up recursion over the extended attribute domain.
+
+use cdat_core::{Attack, AttackTree, NodeType, NotTreelike};
+use cdat_pareto::{prune, Activation, Triple};
+
+/// One candidate attack at a node: its attribute triple plus (optionally) a
+/// witness attack realizing the triple.
+pub(crate) type Entry<A> = (Triple<A>, Option<Attack>);
+
+/// Computes the Pareto fronts `C_U(v)` of attribute triples at **every**
+/// node, for a treelike tree (the per-node sets of the paper's Example 5).
+///
+/// Same contract as [`root_front`], but child fronts are retained instead of
+/// consumed, so peak memory is proportional to the whole tree.
+pub(crate) fn node_fronts<A, F>(
+    tree: &AttackTree,
+    damages: &[f64],
+    leaf: F,
+    budget: Option<f64>,
+    witnesses: bool,
+) -> Result<Vec<Vec<Entry<A>>>, NotTreelike>
+where
+    A: Activation,
+    F: Fn(cdat_core::BasId) -> Triple<A>,
+{
+    if !tree.is_treelike() {
+        return Err(NotTreelike);
+    }
+    assert_eq!(damages.len(), tree.node_count(), "damage table must be indexed by node id");
+    let n_bas = tree.bas_count();
+    let mut fronts: Vec<Vec<Entry<A>>> = Vec::with_capacity(tree.node_count());
+    for v in tree.node_ids() {
+        let front = match tree.node_type(v) {
+            NodeType::Bas => {
+                let b = tree.bas_of_node(v).expect("leaf has a BAS id");
+                let mut entries: Vec<Entry<A>> =
+                    vec![(Triple::zero(), witnesses.then(|| Attack::empty(n_bas)))];
+                let active = leaf(b);
+                if budget.is_none_or(|u| active.cost <= u) {
+                    entries.push((active, witnesses.then(|| Attack::from_bas_ids(n_bas, [b]))));
+                }
+                prune(entries, budget)
+            }
+            gate @ (NodeType::Or | NodeType::And) => {
+                let mut kids = tree.children(v).iter();
+                let first = kids.next().expect("gates have at least one child");
+                let mut acc = fronts[first.index()].clone();
+                for c in kids {
+                    let cf = &fronts[c.index()];
+                    let mut combined: Vec<Entry<A>> = Vec::with_capacity(acc.len() * cf.len());
+                    for (t1, w1) in &acc {
+                        for (t2, w2) in cf {
+                            let t = match gate {
+                                NodeType::Or => t1.combine_or(t2),
+                                NodeType::And => t1.combine_and(t2),
+                                NodeType::Bas => unreachable!(),
+                            };
+                            if budget.is_some_and(|u| t.cost > u) {
+                                continue;
+                            }
+                            let w = match (w1, w2) {
+                                (Some(a), Some(b)) => Some(a.union(b)),
+                                _ => None,
+                            };
+                            combined.push((t, w));
+                        }
+                    }
+                    acc = prune(combined, budget);
+                }
+                let dv = damages[v.index()];
+                let settled: Vec<Entry<A>> =
+                    acc.into_iter().map(|(t, w)| (t.settle(dv), w)).collect();
+                prune(settled, budget)
+            }
+        };
+        fronts.push(front);
+    }
+    Ok(fronts)
+}
+
+/// Computes the Pareto front of attribute triples at the **root**,
+/// `C_U(R_T)`, for a treelike tree.
+///
+/// * `damages[v]` — `d(v)`, indexed by node id;
+/// * `leaf(b)` — the triple of *activating* BAS `b` (the inactive triple is
+///   always added implicitly);
+/// * `budget` — the cost bound `U` of `min_U`; `None` means `U = ∞`;
+/// * `witnesses` — whether to track one witness attack per triple.
+///
+/// Child fronts are consumed as soon as their parent is processed, so peak
+/// memory is proportional to the fronts on one root-to-leaf "frontier", not
+/// to the whole tree.
+pub(crate) fn root_front<A, F>(
+    tree: &AttackTree,
+    damages: &[f64],
+    leaf: F,
+    budget: Option<f64>,
+    witnesses: bool,
+) -> Result<Vec<Entry<A>>, NotTreelike>
+where
+    A: Activation,
+    F: Fn(cdat_core::BasId) -> Triple<A>,
+{
+    if !tree.is_treelike() {
+        return Err(NotTreelike);
+    }
+    assert_eq!(damages.len(), tree.node_count(), "damage table must be indexed by node id");
+    if let Some(u) = budget {
+        assert!(!u.is_nan(), "cost budget must not be NaN");
+    }
+
+    let n_bas = tree.bas_count();
+    let mut fronts: Vec<Option<Vec<Entry<A>>>> = vec![None; tree.node_count()];
+
+    for v in tree.node_ids() {
+        let front = match tree.node_type(v) {
+            NodeType::Bas => {
+                let b = tree.bas_of_node(v).expect("leaf has a BAS id");
+                let mut entries: Vec<Entry<A>> = Vec::with_capacity(2);
+                entries.push((
+                    Triple::zero(),
+                    witnesses.then(|| Attack::empty(n_bas)),
+                ));
+                let active = leaf(b);
+                if budget.is_none_or(|u| active.cost <= u) {
+                    entries.push((
+                        active,
+                        witnesses.then(|| Attack::from_bas_ids(n_bas, [b])),
+                    ));
+                }
+                // A BAS with zero cost and zero damage yields two identical
+                // triples; prune collapses them.
+                prune(entries, budget)
+            }
+            gate @ (NodeType::Or | NodeType::And) => {
+                let mut kids = tree.children(v).iter();
+                let first = kids.next().expect("gates have at least one child");
+                let mut acc = fronts[first.index()].take().expect("children precede parents");
+                for c in kids {
+                    let cf = fronts[c.index()].take().expect("children precede parents");
+                    let mut combined: Vec<Entry<A>> = Vec::with_capacity(acc.len() * cf.len());
+                    for (t1, w1) in &acc {
+                        for (t2, w2) in &cf {
+                            let t = match gate {
+                                NodeType::Or => t1.combine_or(t2),
+                                NodeType::And => t1.combine_and(t2),
+                                NodeType::Bas => unreachable!(),
+                            };
+                            if budget.is_some_and(|u| t.cost > u) {
+                                continue;
+                            }
+                            let w = match (w1, w2) {
+                                (Some(a), Some(b)) => Some(a.union(b)),
+                                _ => None,
+                            };
+                            combined.push((t, w));
+                        }
+                    }
+                    // Pruning between folds is sound: the gate operators and
+                    // the later damage increment are monotone in every
+                    // coordinate, so dominated partial combinations stay
+                    // dominated.
+                    acc = prune(combined, budget);
+                }
+                let dv = damages[v.index()];
+                let settled: Vec<Entry<A>> =
+                    acc.into_iter().map(|(t, w)| (t.settle(dv), w)).collect();
+                prune(settled, budget)
+            }
+        };
+        fronts[v.index()] = Some(front);
+    }
+
+    Ok(fronts[tree.root().index()].take().expect("root front computed"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdat_core::AttackTreeBuilder;
+
+    /// Example 5 of the paper: the per-node fronts of the factory AT.
+    #[test]
+    fn factory_root_front_matches_example_5() {
+        let mut b = AttackTreeBuilder::new();
+        let ca = b.bas("ca");
+        let pb = b.bas("pb");
+        let fd = b.bas("fd");
+        let dr = b.and("dr", [pb, fd]);
+        let _ps = b.or("ps", [ca, dr]);
+        let tree = b.build().unwrap();
+        let costs = [1.0, 3.0, 2.0]; // ca, pb, fd (BAS id order)
+        let damages = [0.0, 0.0, 10.0, 100.0, 200.0];
+        let front = root_front::<bool, _>(
+            &tree,
+            &damages,
+            |b| Triple { cost: costs[b.index()], damage: damages[b.index()], act: true },
+            None,
+            true,
+        )
+        .unwrap();
+        // C_∞(ps): of the six combinations shown in Example 5, (6,310,1) is
+        // dominated by (5,310,1) and (2,10,0) by (1,200,1) — the feasible
+        // root triples are the four below (their projection is equation (3)).
+        let mut got: Vec<(f64, f64, bool)> =
+            front.iter().map(|(t, _)| (t.cost, t.damage, t.act)).collect();
+        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(
+            got,
+            vec![
+                (0.0, 0.0, false),
+                (1.0, 200.0, true),
+                (3.0, 210.0, true),
+                (5.0, 310.0, true),
+            ]
+        );
+        // Witnesses reproduce their triples.
+        for (t, w) in &front {
+            let w = w.as_ref().unwrap();
+            let c: f64 = w.iter().map(|b| costs[b.index()]).sum();
+            assert_eq!(c, t.cost);
+        }
+    }
+
+    #[test]
+    fn budget_prunes_leaves_and_combinations() {
+        let mut b = AttackTreeBuilder::new();
+        let x = b.bas("x");
+        let y = b.bas("y");
+        let _r = b.and("r", [x, y]);
+        let tree = b.build().unwrap();
+        let costs = [2.0, 3.0];
+        let damages = [0.0, 0.0, 50.0];
+        // Budget 4: the AND (cost 5) is unreachable; x alone (2) and y alone
+        // (3) survive but do no damage.
+        let front = root_front::<bool, _>(
+            &tree,
+            &damages,
+            |b| Triple { cost: costs[b.index()], damage: 0.0, act: true },
+            Some(4.0),
+            true,
+        )
+        .unwrap();
+        assert!(front.iter().all(|(t, _)| t.cost <= 4.0));
+        assert!(front.iter().all(|(t, _)| !t.act));
+        // Budget 5: the full attack appears.
+        let front = root_front::<bool, _>(
+            &tree,
+            &damages,
+            |b| Triple { cost: costs[b.index()], damage: 0.0, act: true },
+            Some(5.0),
+            true,
+        )
+        .unwrap();
+        assert!(front.iter().any(|(t, _)| t.act && t.damage == 50.0));
+    }
+
+    #[test]
+    fn dag_is_rejected() {
+        let mut b = AttackTreeBuilder::new();
+        let x = b.bas("x");
+        let g1 = b.or("g1", [x]);
+        let g2 = b.or("g2", [x]);
+        let _r = b.and("r", [g1, g2]);
+        let tree = b.build().unwrap();
+        let damages = vec![0.0; 4];
+        let err = root_front::<bool, _>(
+            &tree,
+            &damages,
+            |_| Triple { cost: 1.0, damage: 0.0, act: true },
+            None,
+            false,
+        )
+        .unwrap_err();
+        assert_eq!(err, NotTreelike);
+    }
+
+    #[test]
+    fn witnesses_disabled_yields_none() {
+        let mut b = AttackTreeBuilder::new();
+        let x = b.bas("x");
+        let y = b.bas("y");
+        let _r = b.or("r", [x, y]);
+        let tree = b.build().unwrap();
+        let damages = vec![0.0, 0.0, 1.0];
+        let front = root_front::<bool, _>(
+            &tree,
+            &damages,
+            |_| Triple { cost: 1.0, damage: 0.0, act: true },
+            None,
+            false,
+        )
+        .unwrap();
+        assert!(front.iter().all(|(_, w)| w.is_none()));
+    }
+}

@@ -1,0 +1,621 @@
+//! Public solver API: CDPF/DgC/CgD and their probabilistic counterparts.
+
+use cdat_core::{Attack, CdAttackTree, CdpAttackTree, NotTreelike};
+use cdat_pareto::{FrontEntry, ParetoFront, Prob, Triple};
+
+use crate::recursion::{node_fronts, root_front, Entry};
+
+/// Per-node deterministic fronts, indexed by `NodeId::index()`.
+pub type NodeFronts = Vec<Vec<(Triple<bool>, Option<Attack>)>>;
+/// Per-node probabilistic fronts, indexed by `NodeId::index()`.
+pub type NodeFrontsProbabilistic = Vec<Vec<(Triple<Prob>, Option<Attack>)>>;
+
+/// Configurable bottom-up solver for treelike attack trees.
+///
+/// The free functions [`cdpf`], [`dgc`], … use the default configuration;
+/// construct a `BottomUp` to disable witness tracking (slightly faster, no
+/// attack sets in the output) or budget pruning (for ablation studies — the
+/// answer is unchanged, only slower to compute).
+///
+/// # Example
+///
+/// ```
+/// use cdat_bottomup::BottomUp;
+/// use cdat_core::{AttackTreeBuilder, CdAttackTree};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = AttackTreeBuilder::new();
+/// let x = b.bas("x");
+/// let y = b.bas("y");
+/// let _r = b.or("r", [x, y]);
+/// let cd = CdAttackTree::builder(b.build()?)
+///     .cost("x", 1.0)?.cost("y", 2.0)?.damage("r", 10.0)?
+///     .finish()?;
+/// let front = BottomUp::new().without_witnesses().cdpf(&cd)?;
+/// assert_eq!(front.len(), 2); // (0,0) and (1,10)
+/// # Ok(()) }
+/// ```
+#[derive(Clone, Debug)]
+pub struct BottomUp {
+    witnesses: bool,
+    budget_pruning: bool,
+}
+
+impl Default for BottomUp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BottomUp {
+    /// Default solver: tracks witnesses and prunes with the cost budget.
+    pub fn new() -> Self {
+        BottomUp { witnesses: true, budget_pruning: true }
+    }
+
+    /// Disables witness tracking; front entries will have `witness: None`.
+    pub fn without_witnesses(mut self) -> Self {
+        self.witnesses = false;
+        self
+    }
+
+    /// Disables in-recursion cost pruning for the budgeted problems (DgC,
+    /// EDgC). Results are identical; this exists to measure how much the
+    /// `min_U` pruning buys (ablation).
+    pub fn without_budget_pruning(mut self) -> Self {
+        self.budget_pruning = false;
+        self
+    }
+
+    fn det_front(
+        &self,
+        cd: &CdAttackTree,
+        budget: Option<f64>,
+    ) -> Result<Vec<Entry<bool>>, NotTreelike> {
+        let budget = if self.budget_pruning { budget } else { None };
+        root_front::<bool, _>(
+            cd.tree(),
+            cd.damages(),
+            |b| Triple {
+                cost: cd.cost(b),
+                damage: cd.damage(cd.tree().node_of_bas(b)),
+                act: true,
+            },
+            budget,
+            self.witnesses,
+        )
+    }
+
+    fn prob_front(
+        &self,
+        cdp: &CdpAttackTree,
+        budget: Option<f64>,
+    ) -> Result<Vec<Entry<Prob>>, NotTreelike> {
+        let budget = if self.budget_pruning { budget } else { None };
+        root_front::<Prob, _>(
+            cdp.tree(),
+            cdp.cd().damages(),
+            |b| {
+                let p = cdp.prob(b);
+                Triple {
+                    cost: cdp.cd().cost(b),
+                    damage: p * cdp.cd().damage(cdp.tree().node_of_bas(b)),
+                    act: Prob::new(p),
+                }
+            },
+            budget,
+            self.witnesses,
+        )
+    }
+
+    /// Cost-damage Pareto front of a treelike cd-AT (Theorem 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotTreelike`] for DAG-like trees; use `cdat-bilp` there.
+    pub fn cdpf(&self, cd: &CdAttackTree) -> Result<ParetoFront, NotTreelike> {
+        let front = self.det_front(cd, None)?;
+        Ok(project(front))
+    }
+
+    /// Maximal damage within a cost budget (DgC, Theorem 3), with the
+    /// cheapest witnessing entry. `None` only when the budget is negative
+    /// (even the empty attack is too expensive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotTreelike`] for DAG-like trees.
+    pub fn dgc(&self, cd: &CdAttackTree, budget: f64) -> Result<Option<FrontEntry>, NotTreelike> {
+        let front = self.det_front(cd, Some(budget))?;
+        Ok(best_within(project(front), budget))
+    }
+
+    /// Minimal cost achieving a damage threshold (CgD), with a witnessing
+    /// entry. `None` when the threshold exceeds the maximal damage.
+    ///
+    /// As the paper notes, CgD cannot prune by cost mid-recursion (an attack
+    /// below the damage goal at `v` may reach it higher up), so this always
+    /// computes the full front first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotTreelike`] for DAG-like trees.
+    pub fn cgd(
+        &self,
+        cd: &CdAttackTree,
+        threshold: f64,
+    ) -> Result<Option<FrontEntry>, NotTreelike> {
+        let front = self.cdpf(cd)?;
+        Ok(front.min_cost_achieving(threshold).cloned())
+    }
+
+    /// Cost–expected-damage Pareto front of a treelike cdp-AT (Theorem 9).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotTreelike`] for DAG-like trees (open problem in the paper;
+    /// `cdat-enumerative` offers an exact exponential fallback).
+    pub fn cedpf(&self, cdp: &CdpAttackTree) -> Result<ParetoFront, NotTreelike> {
+        let front = self.prob_front(cdp, None)?;
+        Ok(project(front))
+    }
+
+    /// Maximal expected damage within a cost budget (EDgC, Theorem 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotTreelike`] for DAG-like trees.
+    pub fn edgc(
+        &self,
+        cdp: &CdpAttackTree,
+        budget: f64,
+    ) -> Result<Option<FrontEntry>, NotTreelike> {
+        let front = self.prob_front(cdp, Some(budget))?;
+        Ok(best_within(project(front), budget))
+    }
+
+    /// Minimal cost achieving an expected-damage threshold (CgED).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotTreelike`] for DAG-like trees.
+    pub fn cged(
+        &self,
+        cdp: &CdpAttackTree,
+        threshold: f64,
+    ) -> Result<Option<FrontEntry>, NotTreelike> {
+        let front = self.cedpf(cdp)?;
+        Ok(front.min_cost_achieving(threshold).cloned())
+    }
+
+    /// The per-node deterministic fronts `C_U(v)` (the sets the paper prints
+    /// in Example 5), indexed by `NodeId::index()`. Each entry is a
+    /// `(cost, damage, reached)` triple with an optional witness.
+    ///
+    /// `budget` is the `U` of `min_U`; pass `None` for `U = ∞`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotTreelike`] for DAG-like trees.
+    pub fn node_fronts(
+        &self,
+        cd: &CdAttackTree,
+        budget: Option<f64>,
+    ) -> Result<NodeFronts, NotTreelike> {
+        let budget = if self.budget_pruning { budget } else { None };
+        node_fronts::<bool, _>(
+            cd.tree(),
+            cd.damages(),
+            |b| Triple {
+                cost: cd.cost(b),
+                damage: cd.damage(cd.tree().node_of_bas(b)),
+                act: true,
+            },
+            budget,
+            self.witnesses,
+        )
+    }
+
+    /// The per-node probabilistic fronts `C_U(v)` with
+    /// `(cost, expected damage, reach probability)` triples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotTreelike`] for DAG-like trees.
+    pub fn node_fronts_probabilistic(
+        &self,
+        cdp: &CdpAttackTree,
+        budget: Option<f64>,
+    ) -> Result<NodeFrontsProbabilistic, NotTreelike> {
+        let budget = if self.budget_pruning { budget } else { None };
+        node_fronts::<Prob, _>(
+            cdp.tree(),
+            cdp.cd().damages(),
+            |b| {
+                let p = cdp.prob(b);
+                Triple {
+                    cost: cdp.cd().cost(b),
+                    damage: p * cdp.cd().damage(cdp.tree().node_of_bas(b)),
+                    act: Prob::new(p),
+                }
+            },
+            budget,
+            self.witnesses,
+        )
+    }
+}
+
+/// Projects root triples to the cost-damage plane and minimizes (the map `π`
+/// followed by `min` — Theorems 4 and 9).
+fn project<A: cdat_pareto::Activation>(front: Vec<Entry<A>>) -> ParetoFront {
+    ParetoFront::from_entries(
+        front.into_iter().map(|(t, w)| FrontEntry { point: t.project(), witness: w }),
+    )
+}
+
+fn best_within(front: ParetoFront, budget: f64) -> Option<FrontEntry> {
+    front.max_damage_within(budget).cloned()
+}
+
+/// Cost-damage Pareto front of a treelike cd-AT (Theorem 4).
+///
+/// # Errors
+///
+/// Returns [`NotTreelike`] for DAG-like trees; use `cdat-bilp` there.
+pub fn cdpf(cd: &CdAttackTree) -> Result<ParetoFront, NotTreelike> {
+    BottomUp::new().cdpf(cd)
+}
+
+/// Maximal damage within a cost budget (DgC, Theorem 3).
+///
+/// # Errors
+///
+/// Returns [`NotTreelike`] for DAG-like trees.
+pub fn dgc(cd: &CdAttackTree, budget: f64) -> Result<Option<FrontEntry>, NotTreelike> {
+    BottomUp::new().dgc(cd, budget)
+}
+
+/// Minimal cost achieving a damage threshold (CgD).
+///
+/// # Errors
+///
+/// Returns [`NotTreelike`] for DAG-like trees.
+pub fn cgd(cd: &CdAttackTree, threshold: f64) -> Result<Option<FrontEntry>, NotTreelike> {
+    BottomUp::new().cgd(cd, threshold)
+}
+
+/// Cost–expected-damage Pareto front of a treelike cdp-AT (Theorem 9).
+///
+/// # Errors
+///
+/// Returns [`NotTreelike`] for DAG-like trees.
+pub fn cedpf(cdp: &CdpAttackTree) -> Result<ParetoFront, NotTreelike> {
+    BottomUp::new().cedpf(cdp)
+}
+
+/// Maximal expected damage within a cost budget (EDgC, Theorem 8).
+///
+/// # Errors
+///
+/// Returns [`NotTreelike`] for DAG-like trees.
+pub fn edgc(cdp: &CdpAttackTree, budget: f64) -> Result<Option<FrontEntry>, NotTreelike> {
+    BottomUp::new().edgc(cdp, budget)
+}
+
+/// Minimal cost achieving an expected-damage threshold (CgED).
+///
+/// # Errors
+///
+/// Returns [`NotTreelike`] for DAG-like trees.
+pub fn cged(cdp: &CdpAttackTree, threshold: f64) -> Result<Option<FrontEntry>, NotTreelike> {
+    BottomUp::new().cged(cdp, threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdat_core::{Attack, AttackTreeBuilder};
+    use cdat_pareto::CostDamage;
+
+    fn factory_cd() -> CdAttackTree {
+        let mut b = AttackTreeBuilder::new();
+        let ca = b.bas("ca");
+        let pb = b.bas("pb");
+        let fd = b.bas("fd");
+        let dr = b.and("dr", [pb, fd]);
+        let _ps = b.or("ps", [ca, dr]);
+        CdAttackTree::builder(b.build().unwrap())
+            .cost("ca", 1.0)
+            .unwrap()
+            .cost("pb", 3.0)
+            .unwrap()
+            .cost("fd", 2.0)
+            .unwrap()
+            .damage("fd", 10.0)
+            .unwrap()
+            .damage("dr", 100.0)
+            .unwrap()
+            .damage("ps", 200.0)
+            .unwrap()
+            .finish()
+            .unwrap()
+    }
+
+    fn factory_cdp() -> CdpAttackTree {
+        factory_cd()
+            .with_probabilities()
+            .probability("ca", 0.2)
+            .unwrap()
+            .probability("pb", 0.4)
+            .unwrap()
+            .probability("fd", 0.9)
+            .unwrap()
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn factory_cdpf_matches_equation_3() {
+        let front = cdpf(&factory_cd()).unwrap();
+        let expect = [(0.0, 0.0), (1.0, 200.0), (3.0, 210.0), (5.0, 310.0)];
+        assert_eq!(front.len(), 4);
+        for (e, (c, d)) in front.entries().iter().zip(expect) {
+            assert_eq!(e.point, CostDamage::new(c, d));
+        }
+    }
+
+    #[test]
+    fn factory_witnesses_are_the_pareto_optimal_attacks() {
+        let cd = factory_cd();
+        let front = cdpf(&cd).unwrap();
+        let names: Vec<Vec<String>> = front
+            .entries()
+            .iter()
+            .map(|e| {
+                e.witness
+                    .as_ref()
+                    .unwrap()
+                    .iter()
+                    .map(|b| cd.tree().name(cd.tree().node_of_bas(b)).to_owned())
+                    .collect()
+            })
+            .collect();
+        // Fig. 3 of the paper: the filled (Pareto-optimal) attacks are
+        // ∅, {ca}, {ca, fd} and {pb, fd}.
+        assert_eq!(
+            names,
+            vec![
+                Vec::<String>::new(),
+                vec!["ca".to_owned()],
+                vec!["ca".to_owned(), "fd".to_owned()],
+                vec!["pb".to_owned(), "fd".to_owned()],
+            ]
+        );
+        // Each witness reproduces its point exactly.
+        for e in front.entries() {
+            let w = e.witness.as_ref().unwrap();
+            assert_eq!(cd.cost_of(w), e.point.cost);
+            assert_eq!(cd.damage_of(w), e.point.damage);
+        }
+    }
+
+    #[test]
+    fn factory_dgc_matches_example_2() {
+        let cd = factory_cd();
+        assert_eq!(dgc(&cd, 2.0).unwrap().unwrap().point.damage, 200.0);
+        assert_eq!(dgc(&cd, 0.0).unwrap().unwrap().point.damage, 0.0);
+        assert_eq!(dgc(&cd, 5.0).unwrap().unwrap().point.damage, 310.0);
+        assert_eq!(dgc(&cd, 4.0).unwrap().unwrap().point.damage, 210.0);
+        assert!(dgc(&cd, -1.0).unwrap().is_none());
+    }
+
+    #[test]
+    fn factory_cgd() {
+        let cd = factory_cd();
+        assert_eq!(cgd(&cd, 1.0).unwrap().unwrap().point.cost, 1.0);
+        assert_eq!(cgd(&cd, 200.5).unwrap().unwrap().point.cost, 3.0);
+        assert_eq!(cgd(&cd, 310.0).unwrap().unwrap().point.cost, 5.0);
+        assert!(cgd(&cd, 310.5).unwrap().is_none());
+    }
+
+    #[test]
+    fn example_10_probabilistic_front() {
+        // OR of two BASs (c=1, d=0, p=0.5) with root damage 1:
+        // CEDPF = {(0,0), (1,0.5), (2,0.75)}.
+        let mut b = AttackTreeBuilder::new();
+        let v1 = b.bas("v1");
+        let v2 = b.bas("v2");
+        let _w = b.or("w", [v1, v2]);
+        let cdp = CdAttackTree::builder(b.build().unwrap())
+            .cost("v1", 1.0)
+            .unwrap()
+            .cost("v2", 1.0)
+            .unwrap()
+            .damage("w", 1.0)
+            .unwrap()
+            .finish()
+            .unwrap()
+            .with_probabilities()
+            .probability("v1", 0.5)
+            .unwrap()
+            .probability("v2", 0.5)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let front = cedpf(&cdp).unwrap();
+        assert_eq!(front.len(), 3);
+        let pts: Vec<(f64, f64)> = front.points().map(|p| (p.cost, p.damage)).collect();
+        assert_eq!(pts[0], (0.0, 0.0));
+        assert_eq!(pts[1], (1.0, 0.5));
+        assert_eq!(pts[2], (2.0, 0.75));
+        // The deterministic front of the same tree has only 2 points: adding
+        // the second BAS is useless when success is certain.
+        let det = cdpf(cdp.cd()).unwrap();
+        assert_eq!(det.len(), 2);
+    }
+
+    #[test]
+    fn factory_cedpf_matches_brute_force() {
+        let cdp = factory_cdp();
+        let front = cedpf(&cdp).unwrap();
+        // Brute force over all 8 attacks.
+        let brute = ParetoFront::from_points(Attack::all(3).map(|x| {
+            CostDamage::new(cdp.cost_of(&x), cdp.expected_damage(&x).unwrap())
+        }));
+        assert!(front.approx_eq(&brute, 1e-9), "bottom-up {front} vs brute {brute}");
+        // Witnesses reproduce their points.
+        for e in front.entries() {
+            let w = e.witness.as_ref().unwrap();
+            assert!((cdp.expected_damage(w).unwrap() - e.point.damage).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn edgc_and_cged_agree_with_the_front() {
+        let cdp = factory_cdp();
+        let front = cedpf(&cdp).unwrap();
+        for budget in [0.0, 1.0, 2.0, 3.0, 4.5, 6.0] {
+            let direct = edgc(&cdp, budget).unwrap().unwrap();
+            let via_front = front.max_damage_within(budget).unwrap();
+            assert!((direct.point.damage - via_front.point.damage).abs() < 1e-12);
+        }
+        for threshold in [0.0, 10.0, 50.0, 100.0] {
+            let direct = cged(&cdp, threshold).unwrap();
+            let via_front = front.min_cost_achieving(threshold);
+            assert_eq!(direct.map(|e| e.point.cost), via_front.map(|e| e.point.cost));
+        }
+    }
+
+    #[test]
+    fn budget_pruning_does_not_change_answers() {
+        let cd = factory_cd();
+        let pruned = BottomUp::new();
+        let unpruned = BottomUp::new().without_budget_pruning();
+        for budget in [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 100.0] {
+            let a = pruned.dgc(&cd, budget).unwrap().map(|e| e.point);
+            let b = unpruned.dgc(&cd, budget).unwrap().map(|e| e.point);
+            assert_eq!(a, b, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn without_witnesses_produces_same_points() {
+        let cd = factory_cd();
+        let with = cdpf(&cd).unwrap();
+        let without = BottomUp::new().without_witnesses().cdpf(&cd).unwrap();
+        assert!(with.approx_eq(&without, 0.0));
+        assert!(without.entries().iter().all(|e| e.witness.is_none()));
+    }
+
+    #[test]
+    fn single_bas_tree() {
+        let mut b = AttackTreeBuilder::new();
+        b.bas("only");
+        let cd = CdAttackTree::builder(b.build().unwrap())
+            .cost("only", 4.0)
+            .unwrap()
+            .damage("only", 9.0)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let front = cdpf(&cd).unwrap();
+        assert_eq!(front.to_string(), "{(0, 0), (4, 9)}");
+        assert_eq!(dgc(&cd, 3.9).unwrap().unwrap().point.damage, 0.0);
+        assert_eq!(dgc(&cd, 4.0).unwrap().unwrap().point.damage, 9.0);
+    }
+
+    #[test]
+    fn node_fronts_reproduce_examples_3_4_and_5() {
+        let cd = factory_cd();
+        let fronts = BottomUp::new().node_fronts(&cd, None).unwrap();
+        let at = |name: &str| {
+            let v = cd.tree().find(name).unwrap();
+            let mut set: Vec<(f64, f64, bool)> =
+                fronts[v.index()].iter().map(|(t, _)| (t.cost, t.damage, t.act)).collect();
+            set.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            set
+        };
+        // Example 3: the BAS fronts.
+        assert_eq!(at("pb"), vec![(0.0, 0.0, false), (3.0, 0.0, true)]);
+        assert_eq!(at("fd"), vec![(0.0, 0.0, false), (2.0, 10.0, true)]);
+        // Example 4: at dr, (3,0,0) is discarded but (5,110,1) is kept.
+        assert_eq!(
+            at("dr"),
+            vec![(0.0, 0.0, false), (2.0, 10.0, false), (5.0, 110.0, true)]
+        );
+        // Example 5: the root front (see the recursion test for the full
+        // domination discussion).
+        assert_eq!(
+            at("ps"),
+            vec![
+                (0.0, 0.0, false),
+                (1.0, 200.0, true),
+                (3.0, 210.0, true),
+                (5.0, 310.0, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn probabilistic_node_fronts_reproduce_example_10() {
+        // Example 10's table: at the root w, PTrip keeps three triples where
+        // DTrip keeps two.
+        let mut b = AttackTreeBuilder::new();
+        let v1 = b.bas("v1");
+        let v2 = b.bas("v2");
+        let _w = b.or("w", [v1, v2]);
+        let cdp = CdAttackTree::builder(b.build().unwrap())
+            .cost("v1", 1.0)
+            .unwrap()
+            .cost("v2", 1.0)
+            .unwrap()
+            .damage("w", 1.0)
+            .unwrap()
+            .finish()
+            .unwrap()
+            .with_probabilities()
+            .probability("v1", 0.5)
+            .unwrap()
+            .probability("v2", 0.5)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let solver = BottomUp::new();
+        let det = solver.node_fronts(cdp.cd(), None).unwrap();
+        let prob = solver.node_fronts_probabilistic(&cdp, None).unwrap();
+        let root = cdp.tree().root().index();
+        assert_eq!(det[root].len(), 2, "DTrip: {{(0,0,0), (1,1,1)}}");
+        assert_eq!(prob[root].len(), 3, "PTrip: {{(0,0,0), (1,.5,.5), (2,.75,.75)}}");
+        let both = prob[root]
+            .iter()
+            .find(|(t, _)| t.cost == 2.0)
+            .expect("attempting both BASs is kept");
+        assert!((both.0.damage - 0.75).abs() < 1e-12);
+        assert!((both.0.act.value() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_fronts_agree_with_root_front() {
+        let cd = factory_cd();
+        let fronts = BottomUp::new().node_fronts(&cd, None).unwrap();
+        let via_root = cdpf(&cd).unwrap();
+        let projected = ParetoFront::from_entries(fronts[cd.tree().root().index()].iter().map(
+            |(t, w)| FrontEntry { point: t.project(), witness: w.clone() },
+        ));
+        assert!(via_root.approx_eq(&projected, 0.0));
+    }
+
+    #[test]
+    fn dag_inputs_are_rejected() {
+        let mut b = AttackTreeBuilder::new();
+        let x = b.bas("x");
+        let g1 = b.or("g1", [x]);
+        let g2 = b.or("g2", [x]);
+        let _r = b.and("r", [g1, g2]);
+        let cd = CdAttackTree::builder(b.build().unwrap()).finish().unwrap();
+        assert_eq!(cdpf(&cd).unwrap_err(), NotTreelike);
+        assert_eq!(dgc(&cd, 1.0).unwrap_err(), NotTreelike);
+        let cdp = cd.with_probabilities().finish().unwrap();
+        assert_eq!(cedpf(&cdp).unwrap_err(), NotTreelike);
+    }
+}

@@ -1,0 +1,251 @@
+//! Attacks: sets of activated basic attack steps.
+
+use std::fmt;
+
+use crate::bitset::BitSet;
+use crate::node::BasId;
+
+/// An attack `x ∈ 𝔹^B`: the set of BASs the adversary activates.
+///
+/// Attacks are partially ordered by inclusion (`x ⪯ y` iff every BAS of `x`
+/// is in `y`); the damage function of a cd-AT is nondecreasing along this
+/// order. Attacks carry the size of their BAS universe so mixing attacks from
+/// different trees is caught at run time.
+#[derive(Clone, Eq, PartialEq, Ord, PartialOrd, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Attack {
+    bits: BitSet,
+}
+
+impl Attack {
+    /// The attack activating no BAS, over a universe of `bas_count` BASs.
+    pub fn empty(bas_count: usize) -> Self {
+        Attack { bits: BitSet::new(bas_count) }
+    }
+
+    /// The attack activating every BAS.
+    pub fn full(bas_count: usize) -> Self {
+        Attack { bits: BitSet::full(bas_count) }
+    }
+
+    /// Builds an attack from BAS ids.
+    pub fn from_bas_ids<I>(bas_count: usize, ids: I) -> Self
+    where
+        I: IntoIterator<Item = BasId>,
+    {
+        let mut a = Self::empty(bas_count);
+        for b in ids {
+            a.insert(b);
+        }
+        a
+    }
+
+    /// Size of the BAS universe (not the number of activated BASs).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of activated BASs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits.count()
+    }
+
+    /// Whether no BAS is activated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Whether BAS `b` is activated.
+    #[inline]
+    pub fn contains(&self, b: BasId) -> bool {
+        self.bits.contains(b.index())
+    }
+
+    /// Activates BAS `b`.
+    #[inline]
+    pub fn insert(&mut self, b: BasId) {
+        self.bits.insert(b.index());
+    }
+
+    /// Deactivates BAS `b`.
+    #[inline]
+    pub fn remove(&mut self, b: BasId) {
+        self.bits.remove(b.index());
+    }
+
+    /// Tests `self ⪯ other` in the attack order (set inclusion).
+    pub fn is_subset(&self, other: &Attack) -> bool {
+        self.bits.is_subset(&other.bits)
+    }
+
+    /// Whether the two attacks activate no common BAS.
+    pub fn is_disjoint(&self, other: &Attack) -> bool {
+        self.bits.is_disjoint(&other.bits)
+    }
+
+    /// Returns the union of the two attacks.
+    pub fn union(&self, other: &Attack) -> Attack {
+        Attack { bits: self.bits.union(&other.bits) }
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &Attack) {
+        self.bits.union_with(&other.bits);
+    }
+
+    /// Iterates over the activated BAS ids in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = BasId> + '_ {
+        self.bits.iter().map(BasId::from_index)
+    }
+
+    /// Enumerates **all** `2^bas_count` attacks over the universe, in
+    /// ascending bit-pattern order (the empty attack first).
+    ///
+    /// This is the naive search space of the enumerative baseline; it is
+    /// intentionally exponential.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bas_count > 63`, where exhaustive enumeration is hopeless
+    /// anyway (use the solvers instead).
+    pub fn all(bas_count: usize) -> AttackIter {
+        assert!(bas_count <= 63, "cannot exhaustively enumerate more than 2^63 attacks");
+        AttackIter { universe: bas_count, next: 0, end: 1u64 << bas_count }
+    }
+
+    /// View of the underlying bit set (for solvers that index bits directly).
+    pub fn as_bitset(&self) -> &BitSet {
+        &self.bits
+    }
+}
+
+impl fmt::Debug for Attack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render BAS ids with their compact `b<i>` display form.
+        f.write_str("{")?;
+        for (k, b) in self.iter().enumerate() {
+            if k > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl FromIterator<BasId> for Attack {
+    /// Collects BAS ids into an attack sized to fit the largest id.
+    fn from_iter<I: IntoIterator<Item = BasId>>(iter: I) -> Self {
+        let ids: Vec<BasId> = iter.into_iter().collect();
+        let universe = ids.iter().map(|b| b.index() + 1).max().unwrap_or(0);
+        Attack::from_bas_ids(universe, ids)
+    }
+}
+
+/// Iterator over every attack of a BAS universe, produced by [`Attack::all`].
+#[derive(Clone, Debug)]
+pub struct AttackIter {
+    universe: usize,
+    next: u64,
+    end: u64,
+}
+
+impl Iterator for AttackIter {
+    type Item = Attack;
+
+    fn next(&mut self) -> Option<Attack> {
+        if self.next == self.end {
+            return None;
+        }
+        let mut a = Attack::empty(self.universe);
+        a.bits.set_from_u128(self.next as u128);
+        self.next += 1;
+        Some(a)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.end - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for AttackIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: usize) -> BasId {
+        BasId::from_index(i)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut a = Attack::empty(5);
+        a.insert(b(2));
+        a.insert(b(4));
+        assert!(a.contains(b(2)) && a.contains(b(4)) && !a.contains(b(0)));
+        a.remove(b(2));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn subset_is_the_attack_order() {
+        let x = Attack::from_bas_ids(4, [b(1)]);
+        let y = Attack::from_bas_ids(4, [b(1), b(3)]);
+        assert!(x.is_subset(&y));
+        assert!(!y.is_subset(&x));
+        assert!(Attack::empty(4).is_subset(&x));
+        assert!(x.is_subset(&Attack::full(4)));
+    }
+
+    #[test]
+    fn union_behaves_like_set_union() {
+        let x = Attack::from_bas_ids(6, [b(0), b(2)]);
+        let y = Attack::from_bas_ids(6, [b(2), b(5)]);
+        let u = x.union(&y);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![b(0), b(2), b(5)]);
+        assert!(x.is_subset(&u));
+    }
+
+    #[test]
+    fn all_enumerates_exactly_the_powerset() {
+        let attacks: Vec<Attack> = Attack::all(3).collect();
+        assert_eq!(attacks.len(), 8);
+        assert!(attacks[0].is_empty());
+        assert_eq!(attacks[7].len(), 3);
+        // All distinct.
+        let set: std::collections::HashSet<_> = attacks.iter().cloned().collect();
+        assert_eq!(set.len(), 8);
+    }
+
+    #[test]
+    fn all_reports_exact_size() {
+        let it = Attack::all(5);
+        assert_eq!(it.len(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^63")]
+    fn all_rejects_huge_universes() {
+        let _ = Attack::all(64);
+    }
+
+    #[test]
+    fn from_iterator_and_debug() {
+        let a: Attack = [b(0), b(3)].into_iter().collect();
+        assert_eq!(a.universe(), 4);
+        assert_eq!(format!("{a:?}"), "{b0, b3}");
+    }
+
+    #[test]
+    fn disjointness() {
+        let x = Attack::from_bas_ids(4, [b(0)]);
+        let y = Attack::from_bas_ids(4, [b(1)]);
+        assert!(x.is_disjoint(&y));
+        assert!(!x.is_disjoint(&x));
+    }
+}

@@ -1,0 +1,225 @@
+//! Binarization: splitting wide gates into chains of binary gates.
+//!
+//! The paper's bottom-up recursion is stated for binary trees ("every AT is
+//! equivalent to a binary one"). The solvers in this workspace handle n-ary
+//! gates natively, but [`binarize`] makes the equivalence executable — and
+//! testable: splitting a `k`-ary gate into a chain of `k−1` binary gates of
+//! the same type preserves the structure function at all original nodes,
+//! hence also costs, damages and expected damages (auxiliary gates carry zero
+//! damage).
+
+use std::collections::HashSet;
+
+use crate::attributes::{CdAttackTree, CdpAttackTree};
+use crate::builder::AttackTreeBuilder;
+use crate::node::{NodeId, NodeType};
+use crate::tree::AttackTree;
+
+/// Rewrites every gate with more than two children into a chain of binary
+/// gates of the same type.
+///
+/// Returns the new tree together with the mapping from original node ids to
+/// their counterparts in the new tree. BAS ids are preserved (the new tree
+/// enumerates BASs in the same order), gates keep their names, and auxiliary
+/// chain gates get fresh `name#bin<k>` names with zero damage.
+pub fn binarize(tree: &AttackTree) -> (AttackTree, Vec<NodeId>) {
+    let mut b = AttackTreeBuilder::new();
+    let mut map: Vec<Option<NodeId>> = vec![None; tree.node_count()];
+    let mut used: HashSet<String> = tree.node_ids().map(|v| tree.name(v).to_owned()).collect();
+    let mut aux_counter = 0usize;
+
+    for v in tree.node_ids() {
+        let new_id = match tree.node_type(v) {
+            NodeType::Bas => b.bas(tree.name(v)),
+            ty @ (NodeType::Or | NodeType::And) => {
+                let kids: Vec<NodeId> = tree
+                    .children(v)
+                    .iter()
+                    .map(|c| map[c.index()].expect("children precede parents"))
+                    .collect();
+                if kids.len() <= 2 {
+                    b.gate(tree.name(v), ty, kids)
+                } else {
+                    // Fold left: aux = g(c1, c2); aux = g(aux, c3); ...;
+                    // the original node becomes the last link so its id (and
+                    // name, and damage) stays meaningful.
+                    let mut acc = kids[0];
+                    for &next in &kids[1..kids.len() - 1] {
+                        let name = loop {
+                            let candidate = format!("{}#bin{aux_counter}", tree.name(v));
+                            aux_counter += 1;
+                            if used.insert(candidate.clone()) {
+                                break candidate;
+                            }
+                        };
+                        acc = b.gate(&name, ty, [acc, next]);
+                    }
+                    b.gate(tree.name(v), ty, [acc, kids[kids.len() - 1]])
+                }
+            }
+        };
+        map[v.index()] = Some(new_id);
+    }
+
+    let new_tree = b.build().expect("binarization of a valid tree is valid");
+    (new_tree, map.into_iter().map(|m| m.expect("every node mapped")).collect())
+}
+
+/// Binarizes a cd-AT, carrying costs and damages over (auxiliary gates get
+/// zero damage).
+pub fn binarize_cd(cd: &CdAttackTree) -> (CdAttackTree, Vec<NodeId>) {
+    let (tree, map) = binarize(cd.tree());
+    let mut damage = vec![0.0; tree.node_count()];
+    for v in cd.tree().node_ids() {
+        damage[map[v.index()].index()] = cd.damage(v);
+    }
+    // BAS order is preserved by construction, so the cost table carries over.
+    let cost = cd.costs().to_vec();
+    let out = CdAttackTree::from_parts(tree, cost, damage)
+        .expect("binarization preserves attribute validity");
+    (out, map)
+}
+
+/// Binarizes a cdp-AT, carrying costs, damages and probabilities over.
+pub fn binarize_cdp(cdp: &CdpAttackTree) -> (CdpAttackTree, Vec<NodeId>) {
+    let (cd, map) = binarize_cd(cdp.cd());
+    let out = CdpAttackTree::from_parts(cd, cdp.probs().to_vec())
+        .expect("binarization preserves probability validity");
+    (out, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::Attack;
+
+    fn wide_tree() -> AttackTree {
+        let mut b = AttackTreeBuilder::new();
+        let x1 = b.bas("x1");
+        let x2 = b.bas("x2");
+        let x3 = b.bas("x3");
+        let x4 = b.bas("x4");
+        let g = b.or("g", [x1, x2, x3]);
+        let _r = b.and("r", [g, x4, x1]); // shared x1 makes it a DAG
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn binarize_makes_all_gates_binary() {
+        let t = wide_tree();
+        let (bt, _map) = binarize(&t);
+        for v in bt.node_ids() {
+            if bt.node_type(v).is_gate() {
+                assert!(bt.children(v).len() <= 2, "gate {} still wide", bt.name(v));
+            }
+        }
+        // 3-ary OR -> +1 aux, 3-ary AND -> +1 aux.
+        assert_eq!(bt.node_count(), t.node_count() + 2);
+        assert_eq!(bt.bas_count(), t.bas_count());
+    }
+
+    #[test]
+    fn binarize_preserves_structure_function() {
+        let t = wide_tree();
+        let (bt, map) = binarize(&t);
+        for x in Attack::all(t.bas_count()) {
+            let s = t.structure(&x);
+            let sb = bt.structure(&x);
+            for v in t.node_ids() {
+                assert_eq!(s[v.index()], sb[map[v.index()].index()], "node {} on {x:?}", t.name(v));
+            }
+        }
+    }
+
+    #[test]
+    fn binarize_cd_preserves_cost_and_damage() {
+        let t = wide_tree();
+        let cd = CdAttackTree::builder(t)
+            .cost("x1", 1.0)
+            .unwrap()
+            .cost("x2", 2.0)
+            .unwrap()
+            .cost("x3", 3.0)
+            .unwrap()
+            .cost("x4", 4.0)
+            .unwrap()
+            .damage("g", 7.0)
+            .unwrap()
+            .damage("r", 11.0)
+            .unwrap()
+            .damage("x2", 1.5)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let (bcd, _map) = binarize_cd(&cd);
+        for x in Attack::all(cd.tree().bas_count()) {
+            assert_eq!(cd.cost_of(&x), bcd.cost_of(&x));
+            assert_eq!(cd.damage_of(&x), bcd.damage_of(&x), "damage differs on {x:?}");
+        }
+    }
+
+    #[test]
+    fn binarize_cdp_preserves_expected_damage() {
+        // Use a treelike wide tree so expected_damage is defined.
+        let mut b = AttackTreeBuilder::new();
+        let x1 = b.bas("x1");
+        let x2 = b.bas("x2");
+        let x3 = b.bas("x3");
+        let g = b.and("g", [x1, x2, x3]);
+        let x4 = b.bas("x4");
+        let _r = b.or("r", [g, x4]);
+        let t = b.build().unwrap();
+        let cdp = CdAttackTree::builder(t)
+            .damage("g", 5.0)
+            .unwrap()
+            .damage("r", 3.0)
+            .unwrap()
+            .finish()
+            .unwrap()
+            .with_probabilities()
+            .probability("x1", 0.5)
+            .unwrap()
+            .probability("x2", 0.8)
+            .unwrap()
+            .probability("x3", 0.9)
+            .unwrap()
+            .probability("x4", 0.25)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let (bcdp, _map) = binarize_cdp(&cdp);
+        assert!(bcdp.tree().is_treelike());
+        for x in Attack::all(4) {
+            let a = cdp.expected_damage(&x).unwrap();
+            let b = bcdp.expected_damage(&x).unwrap();
+            assert!((a - b).abs() < 1e-12, "expected damage differs on {x:?}");
+        }
+    }
+
+    #[test]
+    fn binarize_is_identity_on_binary_trees() {
+        let mut b = AttackTreeBuilder::new();
+        let x = b.bas("x");
+        let y = b.bas("y");
+        let _r = b.and("r", [x, y]);
+        let t = b.build().unwrap();
+        let (bt, map) = binarize(&t);
+        assert_eq!(bt.node_count(), t.node_count());
+        for v in t.node_ids() {
+            assert_eq!(map[v.index()], v);
+            assert_eq!(bt.name(v), t.name(v));
+        }
+    }
+
+    #[test]
+    fn aux_names_do_not_collide_with_user_names() {
+        let mut b = AttackTreeBuilder::new();
+        let x1 = b.bas("x1");
+        let x2 = b.bas("x2");
+        let x3 = b.bas("g#bin0"); // adversarial user name
+        let _g = b.or("g", [x1, x2, x3]);
+        let t = b.build().unwrap();
+        let (bt, _) = binarize(&t); // must not panic on duplicate names
+        assert_eq!(bt.bas_count(), 3);
+    }
+}

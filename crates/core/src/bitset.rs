@@ -1,0 +1,277 @@
+//! A compact fixed-length bit set used to represent attacks.
+
+use std::fmt;
+
+const BITS: usize = 64;
+
+/// A fixed-length set of bits backed by `u64` words.
+///
+/// `BitSet` is the storage behind [`Attack`](crate::Attack); it supports the
+/// set algebra needed by the solvers (union, intersection, subset tests) and
+/// implements `Ord` (lexicographic on the underlying words, lowest index =
+/// least significant) so witness attacks can be ordered deterministically.
+#[derive(Clone, Eq, PartialEq, Ord, PartialOrd, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty bit set with capacity for `len` bits.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            len,
+            words: vec![0; len.div_ceil(BITS)],
+        }
+    }
+
+    /// Creates a bit set of `len` bits that are all set.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::new(len);
+        for i in 0..len {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Number of bits this set ranges over (not the number of set bits).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Tests whether bit `i` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
+        self.words[i / BITS] >> (i % BITS) & 1 == 1
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
+        self.words[i / BITS] |= 1 << (i % BITS);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
+        self.words[i / BITS] &= !(1 << (i % BITS));
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different lengths.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bit set length mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Returns the union of `self` and `other` as a new set.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different lengths.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bit set length mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// Tests whether `self ⊆ other` (every set bit of `self` is set in `other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different lengths.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bit set length mismatch");
+        self.words.iter().zip(&other.words).all(|(w, o)| w & !o == 0)
+    }
+
+    /// Tests whether the two sets share no bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different lengths.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bit set length mismatch");
+        self.words.iter().zip(&other.words).all(|(w, o)| w & o == 0)
+    }
+
+    /// Iterates over the indices of set bits in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut rem = w;
+            std::iter::from_fn(move || {
+                if rem == 0 {
+                    None
+                } else {
+                    let tz = rem.trailing_zeros() as usize;
+                    rem &= rem - 1;
+                    Some(wi * BITS + tz)
+                }
+            })
+        })
+    }
+
+    /// Loads the lowest 128 bits from `bits` (used by exhaustive enumeration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.len() > 128`.
+    pub fn set_from_u128(&mut self, bits: u128) {
+        assert!(self.len <= 128, "set_from_u128 requires at most 128 bits");
+        self.words[0] = bits as u64;
+        if self.words.len() > 1 {
+            self.words[1] = (bits >> 64) as u64;
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects bit indices into a set sized to fit the largest index.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let indices: Vec<usize> = iter.into_iter().collect();
+        let len = indices.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(len);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(65));
+        assert_eq!(s.count(), 3);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn iter_yields_sorted_indices() {
+        let mut s = BitSet::new(200);
+        for i in [5, 70, 3, 199, 64] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![3, 5, 64, 70, 199]);
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        a.insert(1);
+        a.insert(2);
+        b.insert(2);
+        b.insert(7);
+        let u = a.union(&b);
+        assert!(a.is_subset(&u) && b.is_subset(&u));
+        assert_eq!(u.count(), 3);
+        assert!(!a.is_subset(&b));
+        assert!(BitSet::new(10).is_subset(&a));
+    }
+
+    #[test]
+    fn disjointness() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        a.insert(0);
+        b.insert(69);
+        assert!(a.is_disjoint(&b));
+        b.insert(0);
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn full_and_from_u128() {
+        let f = BitSet::full(67);
+        assert_eq!(f.count(), 67);
+        let mut s = BitSet::new(100);
+        s.set_from_u128((1u128 << 99) | 0b101);
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 2, 99]);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: BitSet = [0usize, 4, 2].into_iter().collect();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent_with_eq() {
+        let mut a = BitSet::new(5);
+        let mut b = BitSet::new(5);
+        a.insert(0);
+        b.insert(1);
+        assert!(a != b);
+        assert!(a < b || b < a);
+        let c = a.clone();
+        assert_eq!(a.cmp(&c), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn contains_out_of_range_panics() {
+        let s = BitSet::new(3);
+        let _ = s.contains(3);
+    }
+}

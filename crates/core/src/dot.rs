@@ -1,0 +1,119 @@
+//! Graphviz (DOT) export for attack trees.
+
+use std::fmt::Write as _;
+
+use crate::attributes::{CdAttackTree, CdpAttackTree};
+use crate::node::NodeType;
+use crate::tree::AttackTree;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render(tree: &AttackTree, label: impl Fn(crate::NodeId) -> String) -> String {
+    let mut out = String::from("digraph attack_tree {\n  rankdir=TB;\n");
+    for v in tree.node_ids() {
+        let shape = match tree.node_type(v) {
+            NodeType::Bas => "box",
+            NodeType::Or => "ellipse",
+            NodeType::And => "house",
+        };
+        let _ = writeln!(out, "  {} [shape={shape}, label=\"{}\"];", v, escape(&label(v)));
+    }
+    for v in tree.node_ids() {
+        for &c in tree.children(v) {
+            let _ = writeln!(out, "  {v} -> {c};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the bare tree structure as a Graphviz digraph.
+///
+/// BASs are boxes, `OR` gates ellipses, `AND` gates house shapes; edges point
+/// from gates to their children (the paper's drawing convention).
+pub fn to_dot(tree: &AttackTree) -> String {
+    render(tree, |v| tree.name(v).to_owned())
+}
+
+/// Renders a cd-AT with costs and damages in the node labels.
+pub fn to_dot_cd(cd: &CdAttackTree) -> String {
+    render(cd.tree(), |v| {
+        let tree = cd.tree();
+        let mut label = tree.name(v).to_owned();
+        if let Some(b) = tree.bas_of_node(v) {
+            let _ = write!(label, "\nc={}", cd.cost(b));
+        }
+        if cd.damage(v) != 0.0 {
+            let _ = write!(label, "\nd={}", cd.damage(v));
+        }
+        label
+    })
+}
+
+/// Renders a cdp-AT with costs, damages and success probabilities.
+pub fn to_dot_cdp(cdp: &CdpAttackTree) -> String {
+    render(cdp.tree(), |v| {
+        let tree = cdp.tree();
+        let mut label = tree.name(v).to_owned();
+        if let Some(b) = tree.bas_of_node(v) {
+            let _ = write!(label, "\nc={} p={}", cdp.cd().cost(b), cdp.prob(b));
+        }
+        if cdp.cd().damage(v) != 0.0 {
+            let _ = write!(label, "\nd={}", cdp.cd().damage(v));
+        }
+        label
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::AttackTreeBuilder;
+
+    fn small_cd() -> CdAttackTree {
+        let mut b = AttackTreeBuilder::new();
+        let x = b.bas("break \"lock\"");
+        let y = b.bas("y");
+        let _r = b.or("root", [x, y]);
+        CdAttackTree::builder(b.build().unwrap())
+            .cost("y", 2.0)
+            .unwrap()
+            .damage("root", 5.0)
+            .unwrap()
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let cd = small_cd();
+        let dot = to_dot(cd.tree());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 [shape=box"));
+        assert!(dot.contains("n2 -> n0;"));
+        assert!(dot.contains("n2 -> n1;"));
+        assert!(dot.contains("break \\\"lock\\\""), "quotes must be escaped");
+    }
+
+    #[test]
+    fn cd_labels_include_attributes() {
+        let cd = small_cd();
+        let dot = to_dot_cd(&cd);
+        assert!(dot.contains("c=2"));
+        assert!(dot.contains("d=5"));
+    }
+
+    #[test]
+    fn cdp_labels_include_probability() {
+        let cdp = small_cd()
+            .with_probabilities()
+            .probability("y", 0.25)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let dot = to_dot_cdp(&cdp);
+        assert!(dot.contains("p=0.25"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Error types for attack-tree construction and decoration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building an [`AttackTree`](crate::AttackTree).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// The builder contained no nodes at all.
+    Empty,
+    /// More than one node has no parent, so there is no unique root.
+    ///
+    /// Carries the names of two parentless nodes as evidence.
+    MultipleRoots(String, String),
+    /// A gate was declared without children; leaves must be BASs.
+    EmptyGate(String),
+    /// Two nodes share the same name.
+    DuplicateName(String),
+    /// A child id did not come from this builder.
+    ForeignChild(String),
+    /// The same child appears twice under one gate.
+    DuplicateChild {
+        /// Name of the offending gate.
+        gate: String,
+        /// Name of the repeated child.
+        child: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Empty => write!(f, "attack tree has no nodes"),
+            BuildError::MultipleRoots(a, b) => {
+                write!(f, "attack tree has more than one root (e.g. {a:?} and {b:?})")
+            }
+            BuildError::EmptyGate(name) => {
+                write!(f, "gate {name:?} has no children; leaves must be BASs")
+            }
+            BuildError::DuplicateName(name) => write!(f, "duplicate node name {name:?}"),
+            BuildError::ForeignChild(gate) => {
+                write!(f, "gate {gate:?} references a node from another builder")
+            }
+            BuildError::DuplicateChild { gate, child } => {
+                write!(f, "gate {gate:?} lists child {child:?} more than once")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Errors raised while decorating a tree with costs, damages or probabilities.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum AttributeError {
+    /// Referenced node name does not exist in the tree.
+    UnknownNode(String),
+    /// A cost was assigned to a non-BAS node (only BASs carry costs).
+    CostOnGate(String),
+    /// A success probability was assigned to a non-BAS node.
+    ProbabilityOnGate(String),
+    /// A numeric attribute was negative or not finite.
+    InvalidValue {
+        /// Node the value was assigned to.
+        node: String,
+        /// Attribute kind ("cost", "damage" or "probability").
+        attribute: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A probability was outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Node the value was assigned to.
+        node: String,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for AttributeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttributeError::UnknownNode(name) => write!(f, "unknown node {name:?}"),
+            AttributeError::CostOnGate(name) => {
+                write!(f, "cost assigned to gate {name:?}; only BASs carry costs")
+            }
+            AttributeError::ProbabilityOnGate(name) => {
+                write!(f, "probability assigned to gate {name:?}; only BASs carry probabilities")
+            }
+            AttributeError::InvalidValue { node, attribute, value } => {
+                write!(f, "{attribute} {value} on node {node:?} is not a finite nonnegative number")
+            }
+            AttributeError::ProbabilityOutOfRange { node, value } => {
+                write!(f, "probability {value} on node {node:?} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl Error for AttributeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = BuildError::EmptyGate("g".into());
+        assert!(e.to_string().contains("\"g\""));
+        let e = AttributeError::ProbabilityOutOfRange { node: "x".into(), value: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+        let e = AttributeError::InvalidValue { node: "x".into(), attribute: "cost", value: -1.0 };
+        assert!(e.to_string().contains("cost"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<BuildError>();
+        assert_err::<AttributeError>();
+    }
+}

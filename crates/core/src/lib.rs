@@ -1,0 +1,84 @@
+//! Attack-tree data model and cost-damage semantics.
+//!
+//! This crate implements the formal model of *cost-damage attack trees* from
+//! "Cost-damage analysis of attack trees" (Lopuhaä-Zwakenberg & Stoelinga,
+//! DSN 2023):
+//!
+//! * An **attack tree** ([`AttackTree`]) is a rooted directed acyclic graph
+//!   whose leaves are *basic attack steps* (BASs) and whose internal nodes are
+//!   `OR`/`AND` gates ([`NodeType`]). Despite the name, sharing is allowed:
+//!   when the DAG is an actual tree we call it *treelike*
+//!   ([`AttackTree::is_treelike`]).
+//! * An **attack** ([`Attack`]) is a set of BASs the adversary activates. The
+//!   **structure function** `S(x, v)` ([`AttackTree::structure`]) tells which
+//!   nodes an attack reaches.
+//! * A **cd-AT** ([`CdAttackTree`]) decorates every BAS with a cost and every
+//!   node with a damage value; the total cost of an attack is the sum of its
+//!   BAS costs and its total damage is the sum of damage over *all reached
+//!   nodes* — attacks that fail to reach the root still do damage.
+//! * A **cdp-AT** ([`CdpAttackTree`]) additionally gives every BAS an
+//!   independent success probability, turning the damage of an attack into a
+//!   random variable with an *expected damage*.
+//!
+//! The crate also ships executable versions of the paper's theory section
+//! ([`theory`]): the knapsack reduction behind NP-completeness (Theorem 1) and
+//! the construction showing that cd-AT damage functions are exactly the
+//! nondecreasing functions (Theorem 2).
+//!
+//! # Example
+//!
+//! The running example of the paper (Fig. 1): a factory whose production can
+//! be shut down by a cyberattack, or by forcing a door and placing a bomb.
+//!
+//! ```
+//! use cdat_core::{AttackTreeBuilder, CdAttackTree};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = AttackTreeBuilder::new();
+//! let ca = b.bas("cyberattack");
+//! let pb = b.bas("place bomb");
+//! let fd = b.bas("force door");
+//! let dr = b.and("destroy robot", [pb, fd]);
+//! let _ps = b.or("production shutdown", [ca, dr]);
+//! let tree = b.build()?;
+//!
+//! let cd = CdAttackTree::builder(tree)
+//!     .cost("cyberattack", 1.0)?
+//!     .cost("place bomb", 3.0)?
+//!     .cost("force door", 2.0)?
+//!     .damage("force door", 10.0)?
+//!     .damage("destroy robot", 100.0)?
+//!     .damage("production shutdown", 200.0)?
+//!     .finish()?;
+//!
+//! let attack = cd.tree().attack_of_names(["place bomb", "force door"])?;
+//! assert_eq!(cd.cost_of(&attack), 5.0);
+//! assert_eq!(cd.damage_of(&attack), 310.0); // 10 (door) + 100 (robot) + 200 (shutdown)
+//! # Ok(()) }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attack;
+mod attributes;
+mod binarize;
+mod bitset;
+mod builder;
+mod dot;
+mod error;
+mod node;
+mod structure;
+pub mod theory;
+mod tree;
+
+pub use attack::{Attack, AttackIter};
+pub use attributes::{CdAttackTree, CdAttackTreeBuilder, CdpAttackTree, CdpAttackTreeBuilder};
+pub use binarize::{binarize, binarize_cd, binarize_cdp};
+pub use bitset::BitSet;
+pub use builder::AttackTreeBuilder;
+pub use dot::{to_dot, to_dot_cd, to_dot_cdp};
+pub use error::{AttributeError, BuildError};
+pub use node::{BasId, NodeId, NodeType};
+pub use structure::NotTreelike;
+pub use tree::AttackTree;

@@ -1,0 +1,145 @@
+//! Node identifiers and node types.
+
+use std::fmt;
+
+/// Identifier of a node inside an [`AttackTree`](crate::AttackTree).
+///
+/// Node ids are dense indices handed out by
+/// [`AttackTreeBuilder`](crate::AttackTreeBuilder) in insertion order; because
+/// gates can only reference already-created children, insertion order is also
+/// a topological order (children before parents).
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    ///
+    /// Ids are only meaningful for the tree that handed them out; using a
+    /// fabricated id with the wrong tree panics on the next bounds check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    pub fn new(index: usize) -> Self {
+        Self::from_index(index)
+    }
+
+    /// Returns the dense index of this node, usable to index per-node tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("attack tree larger than u32::MAX nodes"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a basic attack step (a leaf of the attack tree).
+///
+/// BAS ids index the *BAS universe* of a tree: they are dense in
+/// `0..tree.bas_count()` and define the bit positions of
+/// [`Attack`](crate::Attack) vectors.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BasId(pub(crate) u32);
+
+impl BasId {
+    /// Creates a BAS id from a dense index.
+    ///
+    /// Ids are only meaningful for the tree (or attack universe) that handed
+    /// them out; a fabricated id panics on the next bounds check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    pub fn new(index: usize) -> Self {
+        Self::from_index(index)
+    }
+
+    /// Returns the dense index of this BAS in the tree's BAS universe.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_index(index: usize) -> Self {
+        BasId(u32::try_from(index).expect("attack tree has more than u32::MAX BASs"))
+    }
+}
+
+impl fmt::Display for BasId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// The type `γ(v)` of an attack-tree node.
+///
+/// Leaves are exactly the [`NodeType::Bas`] nodes; internal nodes are `OR` or
+/// `AND` gates that activate depending on their children.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum NodeType {
+    /// Basic attack step: a leaf directly activated by the adversary.
+    Bas,
+    /// OR gate: reached when at least one child is reached.
+    Or,
+    /// AND gate: reached when all children are reached.
+    And,
+}
+
+impl NodeType {
+    /// Returns `true` for gate types (`OR`/`AND`), `false` for BASs.
+    #[inline]
+    pub fn is_gate(self) -> bool {
+        !matches!(self, NodeType::Bas)
+    }
+}
+
+impl fmt::Display for NodeType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeType::Bas => "BAS",
+            NodeType::Or => "OR",
+            NodeType::And => "AND",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_type_display_and_gate_predicate() {
+        assert_eq!(NodeType::Bas.to_string(), "BAS");
+        assert_eq!(NodeType::Or.to_string(), "OR");
+        assert_eq!(NodeType::And.to_string(), "AND");
+        assert!(!NodeType::Bas.is_gate());
+        assert!(NodeType::Or.is_gate());
+        assert!(NodeType::And.is_gate());
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId(0) < NodeId(1));
+        assert!(BasId(3) > BasId(2));
+        assert_eq!(NodeId::from_index(7).index(), 7);
+        assert_eq!(BasId::from_index(5).index(), 5);
+    }
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+        assert_eq!(BasId(9).to_string(), "b9");
+    }
+}

@@ -1,0 +1,220 @@
+//! The structure function `S(x, v)` and its probabilistic counterpart.
+
+use crate::attack::Attack;
+use crate::node::{NodeId, NodeType};
+use crate::tree::AttackTree;
+
+impl AttackTree {
+    /// Evaluates the structure function `S(x, ·)` for every node.
+    ///
+    /// The result is indexed by [`NodeId::index`]; entry `v` is `true` iff the
+    /// attack reaches node `v` (Definition 3 of the paper): a BAS is reached
+    /// iff it is activated, an `OR` gate iff some child is reached, an `AND`
+    /// gate iff all children are reached. Runs in `O(|N| + |E|)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attack's BAS universe does not match this tree.
+    pub fn structure(&self, attack: &Attack) -> Vec<bool> {
+        assert_eq!(
+            attack.universe(),
+            self.bas_count(),
+            "attack universe does not match tree BAS count"
+        );
+        let mut reached = vec![false; self.node_count()];
+        for v in self.node_ids() {
+            let i = v.index();
+            reached[i] = match self.node_type(v) {
+                NodeType::Bas => attack.contains(self.bas_of_node[i].expect("leaf has BAS id")),
+                NodeType::Or => self.children(v).iter().any(|c| reached[c.index()]),
+                NodeType::And => self.children(v).iter().all(|c| reached[c.index()]),
+            };
+        }
+        reached
+    }
+
+    /// Evaluates `S(x, v)` for a single node.
+    ///
+    /// Convenience wrapper over [`structure`](Self::structure); when querying
+    /// many nodes, call `structure` once instead.
+    pub fn reaches(&self, attack: &Attack, v: NodeId) -> bool {
+        self.structure(attack)[v.index()]
+    }
+
+    /// Whether the attack is *successful*, i.e. reaches the root.
+    ///
+    /// Cost-damage analysis deliberately also considers unsuccessful attacks;
+    /// this predicate reproduces the classical notion for comparison and for
+    /// the `top` column of the paper's Fig. 6.
+    pub fn reaches_root(&self, attack: &Attack) -> bool {
+        self.reaches(attack, self.root())
+    }
+
+    /// Evaluates the probabilistic structure function `PS(x, ·) = P(S(Y_x, ·) = 1)`
+    /// for every node, where each activated BAS `b` succeeds independently
+    /// with probability `prob[b]`.
+    ///
+    /// **Only exact on treelike trees**: the recursion
+    /// `PS(OR) = p₁ ⋆ p₂`, `PS(AND) = p₁·p₂` requires the children's success
+    /// events to be independent, which fails when sub-DAGs share BASs.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(NotTreelike)` on DAG-like trees; use the BDD-based
+    /// evaluation from `cdat-enumerative` there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is not indexed by BAS id or the attack universe
+    /// mismatches.
+    pub fn probabilistic_structure(
+        &self,
+        attack: &Attack,
+        prob: &[f64],
+    ) -> Result<Vec<f64>, NotTreelike> {
+        if !self.is_treelike() {
+            return Err(NotTreelike);
+        }
+        assert_eq!(prob.len(), self.bas_count(), "prob table must be indexed by BAS id");
+        assert_eq!(attack.universe(), self.bas_count(), "attack universe mismatch");
+        let mut ps = vec![0.0; self.node_count()];
+        for v in self.node_ids() {
+            let i = v.index();
+            ps[i] = match self.node_type(v) {
+                NodeType::Bas => {
+                    let b = self.bas_of_node[i].expect("leaf has BAS id");
+                    if attack.contains(b) {
+                        prob[b.index()]
+                    } else {
+                        0.0
+                    }
+                }
+                NodeType::Or => {
+                    // p1 ⋆ p2 ⋆ … : probability that at least one child is reached.
+                    let mut none = 1.0;
+                    for c in self.children(v) {
+                        none *= 1.0 - ps[c.index()];
+                    }
+                    1.0 - none
+                }
+                NodeType::And => self.children(v).iter().map(|c| ps[c.index()]).product(),
+            };
+        }
+        Ok(ps)
+    }
+}
+
+/// Error: an operation that requires a treelike attack tree was invoked on a
+/// DAG-like one.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct NotTreelike;
+
+impl std::fmt::Display for NotTreelike {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "operation requires a treelike attack tree, but the tree is DAG-like")
+    }
+}
+
+impl std::error::Error for NotTreelike {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::AttackTreeBuilder;
+
+    fn factory() -> AttackTree {
+        let mut b = AttackTreeBuilder::new();
+        let ca = b.bas("ca");
+        let pb = b.bas("pb");
+        let fd = b.bas("fd");
+        let dr = b.and("dr", [pb, fd]);
+        let _ps = b.or("ps", [ca, dr]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn structure_matches_example_1() {
+        let t = factory();
+        let dr = t.find("dr").unwrap();
+        // {ca}: reaches root via OR but not dr.
+        let x = t.attack_of_names(["ca"]).unwrap();
+        assert!(t.reaches_root(&x));
+        assert!(!t.reaches(&x, dr));
+        // {pb}: reaches nothing internal.
+        let x = t.attack_of_names(["pb"]).unwrap();
+        assert!(!t.reaches_root(&x));
+        assert!(!t.reaches(&x, dr));
+        // {pb, fd}: reaches dr and the root.
+        let x = t.attack_of_names(["pb", "fd"]).unwrap();
+        assert!(t.reaches_root(&x));
+        assert!(t.reaches(&x, dr));
+        // empty attack reaches nothing.
+        assert!(!t.reaches_root(&t.empty_attack()));
+    }
+
+    #[test]
+    fn structure_is_monotone() {
+        let t = factory();
+        for x in Attack::all(t.bas_count()) {
+            let sx = t.structure(&x);
+            for y in Attack::all(t.bas_count()) {
+                if x.is_subset(&y) {
+                    let sy = t.structure(&y);
+                    for i in 0..t.node_count() {
+                        assert!(!sx[i] || sy[i], "S must be monotone in the attack");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probabilistic_structure_on_factory() {
+        let t = factory();
+        // p(ca) = 0.2, p(pb) = 0.4, p(fd) = 0.9 as in Example 8.
+        let prob = vec![0.2, 0.4, 0.9];
+        let x = t.full_attack();
+        let ps = t.probabilistic_structure(&x, &prob).unwrap();
+        let dr = t.find("dr").unwrap().index();
+        let root = t.root().index();
+        assert!((ps[dr] - 0.4 * 0.9).abs() < 1e-12);
+        let expect_root = 1.0 - (1.0 - 0.2) * (1.0 - 0.36);
+        assert!((ps[root] - expect_root).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilistic_structure_of_inactive_bas_is_zero() {
+        let t = factory();
+        let prob = vec![0.5, 0.5, 0.5];
+        let x = t.attack_of_names(["pb"]).unwrap();
+        let ps = t.probabilistic_structure(&x, &prob).unwrap();
+        let ca = t.find("ca").unwrap().index();
+        assert_eq!(ps[ca], 0.0);
+        assert_eq!(ps[t.root().index()], 0.0); // AND sibling missing, OR side inactive
+    }
+
+    #[test]
+    fn probabilistic_structure_rejects_dags() {
+        let mut b = AttackTreeBuilder::new();
+        let x = b.bas("x");
+        let g1 = b.or("g1", [x]);
+        let g2 = b.or("g2", [x]);
+        b.and("r", [g1, g2]);
+        let t = b.build().unwrap();
+        let err = t.probabilistic_structure(&t.full_attack(), &[0.5]).unwrap_err();
+        assert_eq!(err, NotTreelike);
+    }
+
+    #[test]
+    fn deterministic_probabilities_recover_structure() {
+        let t = factory();
+        for x in Attack::all(3) {
+            let prob = vec![1.0, 1.0, 1.0];
+            let ps = t.probabilistic_structure(&x, &prob).unwrap();
+            let s = t.structure(&x);
+            for i in 0..t.node_count() {
+                assert_eq!(ps[i] == 1.0, s[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Executable artifacts of the paper's theory section (§V).
+//!
+//! * [`cddp`] — the *cost-damage decision problem*: "is there an attack with
+//!   cost at most `U` and damage at least `L`?" This is the NP-complete core
+//!   of all three cost-damage problems (Theorem 1).
+//! * [`knapsack_to_cd_at`] — the reduction used to prove Theorem 1: a binary
+//!   knapsack decision instance becomes a one-level AND-rooted cd-AT whose
+//!   cost/damage functions coincide with the knapsack constraint/objective.
+//! * [`nondecreasing_to_cd_at`] — the construction of Theorem 2: **any**
+//!   nondecreasing set function is the damage function of some cd-AT. This is
+//!   why quadratic/cubic/submodular knapsack heuristics cannot solve
+//!   cost-damage problems: cd-AT damage functions form a strictly larger
+//!   class.
+
+use crate::attack::Attack;
+use crate::attributes::CdAttackTree;
+use crate::builder::AttackTreeBuilder;
+use crate::error::AttributeError;
+
+/// Decides the cost-damage decision problem by exhaustive search, returning a
+/// witness attack `x` with `ĉ(x) ≤ budget` and `d̂(x) ≥ threshold` if one
+/// exists.
+///
+/// This is the reference decision procedure used to validate solvers on small
+/// instances; it enumerates all `2^|B|` attacks.
+///
+/// # Panics
+///
+/// Panics if the tree has more than 25 BASs (use the real solvers there).
+pub fn cddp(cd: &CdAttackTree, budget: f64, threshold: f64) -> Option<Attack> {
+    let n = cd.tree().bas_count();
+    assert!(n <= 25, "cddp is an exhaustive reference procedure; use the solvers for |B| > 25");
+    Attack::all(n).find(|x| cd.cost_of(x) <= budget && cd.damage_of(x) >= threshold)
+}
+
+/// Builds the cd-AT of the Theorem 1 reduction from a binary knapsack
+/// decision instance.
+///
+/// Given item values `f_i` and weights `g_i`, the resulting cd-AT has one BAS
+/// per item with `c(v_i) = g_i` and `d(v_i) = f_i`, joined under an AND root
+/// with zero damage. Its cost function is the knapsack weight and its damage
+/// function the knapsack value, so "attack with `ĉ ≤ U`, `d̂ ≥ L`" is exactly
+/// "knapsack selection with weight ≤ U, value ≥ L".
+///
+/// # Errors
+///
+/// Returns [`AttributeError::InvalidValue`] if any value or weight is
+/// negative or not finite.
+///
+/// # Panics
+///
+/// Panics if `values` and `weights` have different lengths or are empty.
+pub fn knapsack_to_cd_at(values: &[f64], weights: &[f64]) -> Result<CdAttackTree, AttributeError> {
+    assert_eq!(values.len(), weights.len(), "one value and one weight per item");
+    assert!(!values.is_empty(), "knapsack instance must have at least one item");
+    let mut b = AttackTreeBuilder::new();
+    let items: Vec<_> = (0..values.len()).map(|i| b.bas(&format!("item{i}"))).collect();
+    b.and("root", items);
+    let tree = b.build().expect("reduction tree is structurally valid");
+    let mut damage = vec![0.0; tree.node_count()];
+    for (i, &f) in values.iter().enumerate() {
+        damage[i] = f; // BASs were inserted first, in order
+    }
+    CdAttackTree::from_parts(tree, weights.to_vec(), damage)
+}
+
+/// Errors of [`nondecreasing_to_cd_at`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum MonotoneError {
+    /// The provided function is not nondecreasing: `smaller ⪯ larger` but
+    /// `f(smaller) > f(larger)`.
+    NotMonotone {
+        /// The smaller attack (as sorted BAS indices).
+        smaller: Vec<usize>,
+        /// The larger attack.
+        larger: Vec<usize>,
+    },
+    /// `f(∅) ≠ 0`. Damage functions always vanish on the empty attack, so
+    /// only functions with `f(∅) = 0` are representable.
+    NonzeroOnEmpty(f64),
+    /// A function value was negative or not finite.
+    InvalidValue(f64),
+}
+
+impl std::fmt::Display for MonotoneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonotoneError::NotMonotone { smaller, larger } => {
+                write!(f, "function decreases from {smaller:?} to its superset {larger:?}")
+            }
+            MonotoneError::NonzeroOnEmpty(v) => {
+                write!(f, "f(empty) = {v}, but damage functions vanish on the empty attack")
+            }
+            MonotoneError::InvalidValue(v) => {
+                write!(f, "function value {v} is not a finite nonnegative number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MonotoneError {}
+
+/// Builds a cd-AT over `n` BASs whose damage function equals the given
+/// nondecreasing set function `f` (Theorem 2).
+///
+/// The construction enumerates all `2^n` attacks `x¹ ⪯-compatibly` sorted by
+/// `f`, creates an AND gate `A_i` per nonempty attack, OR gates
+/// `O_j = OR(A_i | i ≥ j)` carrying the damage increments
+/// `d(O_j) = f(xʲ) − f(xʲ⁻¹)`, and an AND root over all `O_j`. Every cost is
+/// zero (Theorem 2 is about damage only).
+///
+/// The result is exponentially large by design — this is a theory artifact,
+/// not a modelling tool.
+///
+/// # Errors
+///
+/// Returns [`MonotoneError`] if `f` is not nondecreasing, `f(∅) ≠ 0`, or any
+/// value is invalid.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or greater than 10 (the output has `Θ(4^n)` edges).
+pub fn nondecreasing_to_cd_at(
+    n: usize,
+    f: impl Fn(&Attack) -> f64,
+) -> Result<CdAttackTree, MonotoneError> {
+    assert!(n >= 1, "need at least one BAS");
+    assert!(n <= 10, "construction has Θ(4^n) edges; refusing n > 10");
+
+    let attacks: Vec<Attack> = Attack::all(n).collect();
+    let values: Vec<f64> = attacks.iter().map(&f).collect();
+    for &v in &values {
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(MonotoneError::InvalidValue(v));
+        }
+    }
+    if values[0] != 0.0 {
+        return Err(MonotoneError::NonzeroOnEmpty(values[0]));
+    }
+    for (i, x) in attacks.iter().enumerate() {
+        for (j, y) in attacks.iter().enumerate() {
+            if x.is_subset(y) && values[i] > values[j] {
+                return Err(MonotoneError::NotMonotone {
+                    smaller: x.iter().map(|b| b.index()).collect(),
+                    larger: y.iter().map(|b| b.index()).collect(),
+                });
+            }
+        }
+    }
+
+    // Order attacks by (f, |x|, bits): nondecreasing in f, and x ⪯ y ⇒ x first
+    // (a strict subset has strictly smaller popcount).
+    let mut order: Vec<usize> = (0..attacks.len()).collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("values are finite")
+            .then(attacks[a].len().cmp(&attacks[b].len()))
+            .then(attacks[a].cmp(&attacks[b]))
+    });
+    debug_assert_eq!(order[0], 0, "empty attack sorts first");
+
+    let mut b = AttackTreeBuilder::new();
+    let bas: Vec<_> = (0..n).map(|i| b.bas(&format!("x{i}"))).collect();
+    // A_i gates for the nonempty attacks, in sorted order (index 1..2^n).
+    let ands: Vec<_> = order[1..]
+        .iter()
+        .enumerate()
+        .map(|(k, &ai)| {
+            let children: Vec<_> = attacks[ai].iter().map(|bid| bas[bid.index()]).collect();
+            b.and(&format!("A{}", k + 1), children)
+        })
+        .collect();
+    // O_j = OR(A_i | i ≥ j) for j = 1..2^n-1 over the nonempty A's.
+    let ors: Vec<_> =
+        (0..ands.len()).map(|j| b.or(&format!("O{}", j + 1), ands[j..].iter().copied())).collect();
+    b.and("root", ors.iter().copied());
+    let tree = b.build().expect("Theorem 2 construction is structurally valid");
+
+    let mut damage = vec![0.0; tree.node_count()];
+    for (j, o) in ors.iter().enumerate() {
+        // O_{j+1} carries f(x^{j+1}) − f(x^{j}) in the sorted order, where
+        // x^0 is the empty attack with f = 0.
+        let prev = if j == 0 { 0.0 } else { values[order[j]] };
+        damage[o.index()] = values[order[j + 1]] - prev;
+    }
+    let cost = vec![0.0; tree.bas_count()];
+    CdAttackTree::from_parts(tree, cost, damage).map_err(|_| {
+        // from_parts can only fail on invalid values, which we pre-validated;
+        // damage increments are nonnegative by the sort order.
+        unreachable!("increments of a sorted nondecreasing function are nonnegative")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cddp_finds_witness_or_proves_absence() {
+        let cd = knapsack_to_cd_at(&[10.0, 7.0, 3.0], &[4.0, 3.0, 2.0]).unwrap();
+        // Weight budget 5, value target 13: impossible (10+7 needs weight 7;
+        // 10+3 needs 6; 7+3 gives 10 < 13).
+        assert!(cddp(&cd, 5.0, 13.0).is_none());
+        // Weight budget 6, value target 13: {item0, item2}.
+        let w = cddp(&cd, 6.0, 13.0).expect("witness exists");
+        assert!(cd.cost_of(&w) <= 6.0 && cd.damage_of(&w) >= 13.0);
+    }
+
+    #[test]
+    fn knapsack_reduction_matches_brute_force_on_random_instances() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..=6);
+            let values: Vec<f64> = (0..n).map(|_| rng.gen_range(0..10) as f64).collect();
+            let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0..10) as f64).collect();
+            let cd = knapsack_to_cd_at(&values, &weights).unwrap();
+            let budget = rng.gen_range(0..20) as f64;
+            let target = rng.gen_range(0..25) as f64;
+            // Brute-force knapsack decision.
+            let mut feasible = false;
+            for mask in 0u32..(1 << n) {
+                let (mut v, mut w) = (0.0, 0.0);
+                for i in 0..n {
+                    if mask >> i & 1 == 1 {
+                        v += values[i];
+                        w += weights[i];
+                    }
+                }
+                feasible |= w <= budget && v >= target;
+            }
+            assert_eq!(cddp(&cd, budget, target).is_some(), feasible);
+        }
+    }
+
+    #[test]
+    fn knapsack_reduction_has_linear_cost_and_damage() {
+        let cd = knapsack_to_cd_at(&[1.0, 2.0, 4.0], &[8.0, 16.0, 32.0]).unwrap();
+        for x in Attack::all(3) {
+            let expect_d: f64 = x.iter().map(|b| [1.0, 2.0, 4.0][b.index()]).sum();
+            let expect_c: f64 = x.iter().map(|b| [8.0, 16.0, 32.0][b.index()]).sum();
+            assert_eq!(cd.damage_of(&x), expect_d);
+            assert_eq!(cd.cost_of(&x), expect_c);
+        }
+    }
+
+    /// A random nondecreasing function: max of `g` over subsets, g(∅) = 0.
+    fn random_monotone(n: usize, seed: u64) -> Vec<f64> {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let size = 1usize << n;
+        let g: Vec<f64> =
+            (0..size).map(|i| if i == 0 { 0.0 } else { rng.gen_range(0..100) as f64 }).collect();
+        // f(x) = max over submasks of g (computed by the standard SOS sweep).
+        let mut f = g;
+        for bit in 0..n {
+            for mask in 0..size {
+                if mask >> bit & 1 == 1 {
+                    f[mask] = f[mask].max(f[mask ^ (1 << bit)]);
+                }
+            }
+        }
+        f
+    }
+
+    fn attack_mask(x: &Attack) -> usize {
+        x.iter().fold(0usize, |m, b| m | 1 << b.index())
+    }
+
+    #[test]
+    fn theorem_2_construction_realizes_random_monotone_functions() {
+        for seed in 0..8 {
+            let n = 2 + (seed as usize % 3); // n in {2,3,4}
+            let table = random_monotone(n, seed);
+            let cd = nondecreasing_to_cd_at(n, |x| table[attack_mask(x)]).unwrap();
+            assert_eq!(cd.tree().bas_count(), n);
+            for x in Attack::all(n) {
+                assert_eq!(
+                    cd.damage_of(&x),
+                    table[attack_mask(&x)],
+                    "d̂ must equal f on {x:?} (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_2_rejects_non_monotone_functions() {
+        // f({0}) = 5 but f({0,1}) = 1: decreasing.
+        let table = [0.0, 5.0, 0.0, 1.0];
+        let err = nondecreasing_to_cd_at(2, |x| table[attack_mask(x)]).unwrap_err();
+        assert!(matches!(err, MonotoneError::NotMonotone { .. }));
+    }
+
+    #[test]
+    fn theorem_2_rejects_nonzero_empty() {
+        let err = nondecreasing_to_cd_at(2, |_| 1.0).unwrap_err();
+        assert_eq!(err, MonotoneError::NonzeroOnEmpty(1.0));
+    }
+
+    #[test]
+    fn theorem_2_rejects_invalid_values() {
+        let err =
+            nondecreasing_to_cd_at(2, |x| if x.is_empty() { 0.0 } else { f64::NAN }).unwrap_err();
+        assert!(matches!(err, MonotoneError::InvalidValue(_)));
+    }
+
+    #[test]
+    fn theorem_2_handles_strictly_modular_and_constant_functions() {
+        // Constant zero.
+        let cd = nondecreasing_to_cd_at(2, |_| 0.0).unwrap();
+        for x in Attack::all(2) {
+            assert_eq!(cd.damage_of(&x), 0.0);
+        }
+        // Cardinality (modular).
+        let cd = nondecreasing_to_cd_at(3, |x| x.len() as f64).unwrap();
+        for x in Attack::all(3) {
+            assert_eq!(cd.damage_of(&x), x.len() as f64);
+        }
+    }
+}

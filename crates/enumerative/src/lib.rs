@@ -1,0 +1,592 @@
+//! Enumerative (brute-force) baselines for cost-damage analysis.
+//!
+//! The paper compares its bottom-up and BILP methods against "an enumerative
+//! method that goes through all attacks to find the Pareto optimal ones" —
+//! this crate is that method, in three flavours:
+//!
+//! * [`cdpf`] / [`dgc`] / [`cgd`] — deterministic, works on **any** attack
+//!   tree (treelike or DAG) by evaluating the structure function per attack;
+//! * [`cedpf_treelike`] — probabilistic on treelike trees, evaluating the
+//!   exact expected damage of each attack by `PS` propagation (`O(|N|)` per
+//!   attack);
+//! * [`cedpf_naive`] — the literal textbook baseline that sums over all
+//!   actualized attacks of every attack (`O(3^|B|)` total); kept as ground
+//!   truth for small instances;
+//! * [`cedpf_dag`] / [`expected_damage_dag`] — **extension beyond the
+//!   paper**: exact probabilistic analysis of DAG-like trees, where the
+//!   per-attack expected damage is computed on BDD-compiled structure
+//!   functions (shared BASs correlate subtrees, so plain propagation is
+//!   wrong; Shannon decomposition on the BDD is exact).
+//!
+//! Everything here is exponential in `|B|` by design; the value of the crate
+//! is (a) trustworthy reference answers for the solvers' test suites and (b)
+//! the baseline column of the paper's Table III and Fig. 7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cdat_bdd::compile_structure;
+use cdat_core::{Attack, CdAttackTree, CdpAttackTree, NotTreelike};
+use cdat_pareto::{CostDamage, FrontEntry, ParetoFront};
+
+/// Hard cap on `|B|` for the deterministic enumerations.
+const MAX_BAS_DET: usize = 30;
+/// Hard cap on `|B|` for the probabilistic enumerations.
+const MAX_BAS_PROB: usize = 30;
+/// Hard cap on `|B|` for the `O(3^|B|)` naive expectation.
+const MAX_BAS_NAIVE: usize = 16;
+/// Chunk size for streaming Pareto minimization (bounds peak memory).
+const CHUNK: usize = 1 << 16;
+
+fn stream_front(points: impl Iterator<Item = CostDamage>) -> ParetoFront {
+    let mut front = ParetoFront::default();
+    let mut buf: Vec<CostDamage> = Vec::with_capacity(CHUNK);
+    for p in points {
+        buf.push(p);
+        if buf.len() == CHUNK {
+            front = front.merge(&ParetoFront::from_points(buf.drain(..)));
+        }
+    }
+    front.merge(&ParetoFront::from_points(buf))
+}
+
+/// Attaches witness attacks to a front by re-enumerating and matching points.
+fn attach_witnesses(
+    front: ParetoFront,
+    n: usize,
+    mut value: impl FnMut(&Attack) -> CostDamage,
+) -> ParetoFront {
+    let mut entries: Vec<FrontEntry> =
+        front.entries().iter().map(|e| FrontEntry { point: e.point, witness: None }).collect();
+    let mut remaining = entries.len();
+    for x in Attack::all(n) {
+        if remaining == 0 {
+            break;
+        }
+        let p = value(&x);
+        for e in entries.iter_mut() {
+            if e.witness.is_none() && e.point == p {
+                e.witness = Some(x.clone());
+                remaining -= 1;
+                break;
+            }
+        }
+    }
+    ParetoFront::from_entries(entries)
+}
+
+/// Deterministic CDPF by full enumeration of all `2^|B|` attacks.
+///
+/// Works on treelike and DAG-like trees alike. Set `witnesses` to recover
+/// one witness attack per Pareto point (costs one extra enumeration pass).
+///
+/// # Panics
+///
+/// Panics if the tree has more than 30 BASs.
+pub fn cdpf(cd: &CdAttackTree, witnesses: bool) -> ParetoFront {
+    let n = cd.tree().bas_count();
+    assert!(n <= MAX_BAS_DET, "enumerative CDPF over 2^{n} attacks is intractable");
+    let front =
+        stream_front(Attack::all(n).map(|x| CostDamage::new(cd.cost_of(&x), cd.damage_of(&x))));
+    if witnesses {
+        attach_witnesses(front, n, |x| CostDamage::new(cd.cost_of(x), cd.damage_of(x)))
+    } else {
+        front
+    }
+}
+
+/// Deterministic DgC by full enumeration: the most damaging attack with cost
+/// at most `budget`. Returns `None` only for a negative budget.
+///
+/// # Panics
+///
+/// Panics if the tree has more than 30 BASs.
+pub fn dgc(cd: &CdAttackTree, budget: f64) -> Option<FrontEntry> {
+    let n = cd.tree().bas_count();
+    assert!(n <= MAX_BAS_DET, "enumerative DgC over 2^{n} attacks is intractable");
+    let mut best: Option<FrontEntry> = None;
+    for x in Attack::all(n) {
+        let c = cd.cost_of(&x);
+        if c > budget {
+            continue;
+        }
+        let d = cd.damage_of(&x);
+        let better = match &best {
+            None => true,
+            Some(b) => d > b.point.damage || (d == b.point.damage && c < b.point.cost),
+        };
+        if better {
+            best = Some(FrontEntry::with_witness(c, d, x));
+        }
+    }
+    best
+}
+
+/// Deterministic CgD by full enumeration: the cheapest attack with damage at
+/// least `threshold`. Returns `None` if the threshold is unattainable.
+///
+/// # Panics
+///
+/// Panics if the tree has more than 30 BASs.
+pub fn cgd(cd: &CdAttackTree, threshold: f64) -> Option<FrontEntry> {
+    let n = cd.tree().bas_count();
+    assert!(n <= MAX_BAS_DET, "enumerative CgD over 2^{n} attacks is intractable");
+    let mut best: Option<FrontEntry> = None;
+    for x in Attack::all(n) {
+        let d = cd.damage_of(&x);
+        if d < threshold {
+            continue;
+        }
+        let c = cd.cost_of(&x);
+        let better = match &best {
+            None => true,
+            Some(b) => c < b.point.cost || (c == b.point.cost && d > b.point.damage),
+        };
+        if better {
+            best = Some(FrontEntry::with_witness(c, d, x));
+        }
+    }
+    best
+}
+
+/// Probabilistic CEDPF on a treelike tree by enumerating attacks and
+/// evaluating each one's exact expected damage via `PS` propagation.
+///
+/// # Errors
+///
+/// Returns [`NotTreelike`] on DAG-like trees — use [`cedpf_dag`] there.
+///
+/// # Panics
+///
+/// Panics if the tree has more than 30 BASs.
+pub fn cedpf_treelike(cdp: &CdpAttackTree, witnesses: bool) -> Result<ParetoFront, NotTreelike> {
+    let n = cdp.tree().bas_count();
+    assert!(n <= MAX_BAS_PROB, "enumerative CEDPF over 2^{n} attacks is intractable");
+    if !cdp.tree().is_treelike() {
+        return Err(NotTreelike);
+    }
+    let value = |x: &Attack| {
+        CostDamage::new(cdp.cost_of(x), cdp.expected_damage(x).expect("tree is treelike"))
+    };
+    let front = stream_front(Attack::all(n).map(|x| value(&x)));
+    Ok(if witnesses { attach_witnesses(front, n, value) } else { front })
+}
+
+/// The literal naive baseline: for every attack, expected damage is computed
+/// by summing `P(Y_x = y)·d̂(y)` over all `2^|x|` actualized attacks
+/// (Definition 6). Exact on **any** tree; `O(3^|B|)` overall.
+///
+/// # Panics
+///
+/// Panics if the tree has more than 16 BASs.
+pub fn cedpf_naive(cdp: &CdpAttackTree) -> ParetoFront {
+    let n = cdp.tree().bas_count();
+    assert!(n <= MAX_BAS_NAIVE, "naive CEDPF costs 3^{n}; refusing");
+    stream_front(
+        Attack::all(n)
+            .map(|x| CostDamage::new(cdp.cost_of(&x), cdp.expected_damage_naive(&x))),
+    )
+}
+
+/// **Extension beyond the paper**: exact expected damage of one attack on a
+/// DAG-like cdp-AT.
+///
+/// The structure functions are compiled to BDDs once (pass the output of
+/// [`compile_structure`] via [`DagEvaluator`] to amortize); each node's reach
+/// probability is then a Shannon-decomposition evaluation with the attack's
+/// non-attempted BASs forced to probability zero.
+pub fn expected_damage_dag(cdp: &CdpAttackTree, attack: &Attack) -> f64 {
+    DagEvaluator::new(cdp).expected_damage(attack)
+}
+
+/// Reusable exact evaluator for DAG-like probabilistic analysis: compiles the
+/// structure-function BDDs once, then evaluates attacks in time linear in the
+/// BDD sizes.
+#[derive(Debug)]
+pub struct DagEvaluator<'a> {
+    cdp: &'a CdpAttackTree,
+    bdd: cdat_bdd::Bdd,
+    refs: Vec<cdat_bdd::NodeRef>,
+    /// Nodes with nonzero damage (no point evaluating the rest).
+    damage_nodes: Vec<(usize, f64)>,
+}
+
+impl<'a> DagEvaluator<'a> {
+    /// Compiles the evaluator for a cdp-AT (treelike or DAG-like).
+    pub fn new(cdp: &'a CdpAttackTree) -> Self {
+        let (bdd, refs) = compile_structure(cdp.tree());
+        let damage_nodes = cdp
+            .cd()
+            .damages()
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d != 0.0)
+            .map(|(i, &d)| (i, d))
+            .collect();
+        DagEvaluator { cdp, bdd, refs, damage_nodes }
+    }
+
+    /// Exact expected damage `d̂_E(x)` of `attack`.
+    pub fn expected_damage(&self, attack: &Attack) -> f64 {
+        let n = self.cdp.tree().bas_count();
+        let masked: Vec<f64> = (0..n)
+            .map(|i| {
+                let b = cdat_core::BasId::new(i);
+                if attack.contains(b) {
+                    self.cdp.prob(b)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        self.damage_nodes
+            .iter()
+            .map(|&(i, d)| d * self.bdd.probability(self.refs[i], &masked))
+            .sum()
+    }
+}
+
+/// **Extension beyond the paper**: exact expected damage on DAG-like trees
+/// by *Shannon conditioning on the shared support* — the direction the
+/// paper's conclusion sketches ("keep track of which nodes occur twice").
+///
+/// Sharing breaks the independence that `PS` propagation needs. Every BAS
+/// below a multi-parent node (the *shared support*) is therefore conditioned
+/// on: for each truth assignment of the attempted shared BASs, the remaining
+/// randomness touches each surviving path exactly once, so plain propagation
+/// is exact again; the results are combined weighted by the assignment
+/// probabilities. Cost `O(2^s·|N|)` for `s` attempted shared-support BASs —
+/// independent of the BDD approach, which makes it a good cross-check.
+///
+/// # Panics
+///
+/// Panics if the attack attempts more than 20 shared-support BASs.
+pub fn expected_damage_conditioning(cdp: &CdpAttackTree, attack: &Attack) -> f64 {
+    let tree = cdp.tree();
+    // Shared support: BAS descendants (inclusive) of multi-parent nodes.
+    let mut under_shared = vec![false; tree.node_count()];
+    for v in tree.node_ids() {
+        if tree.parents(v).len() > 1 {
+            for d in tree.descendants(v) {
+                under_shared[d.index()] = true;
+            }
+        }
+    }
+    let conditioned: Vec<cdat_core::BasId> = tree
+        .bas_ids()
+        .filter(|&b| attack.contains(b) && under_shared[tree.node_of_bas(b).index()])
+        .collect();
+    let s = conditioned.len();
+    assert!(s <= 20, "conditioning on 2^{s} shared outcomes is intractable");
+
+    let mut expectation = 0.0;
+    for mask in 0u64..(1 << s) {
+        // Fixed values for conditioned BASs, probabilities for the rest.
+        let mut weight = 1.0;
+        let mut leaf_prob = vec![0.0; tree.bas_count()];
+        for b in tree.bas_ids() {
+            if attack.contains(b) {
+                leaf_prob[b.index()] = cdp.prob(b);
+            }
+        }
+        for (j, &b) in conditioned.iter().enumerate() {
+            let p = cdp.prob(b);
+            if mask >> j & 1 == 1 {
+                weight *= p;
+                leaf_prob[b.index()] = 1.0;
+            } else {
+                weight *= 1.0 - p;
+                leaf_prob[b.index()] = 0.0;
+            }
+        }
+        if weight == 0.0 {
+            continue;
+        }
+        // Plain propagation (valid under this conditioning, DAG or not).
+        let mut ps = vec![0.0; tree.node_count()];
+        for v in tree.node_ids() {
+            let i = v.index();
+            ps[i] = match tree.node_type(v) {
+                cdat_core::NodeType::Bas => {
+                    leaf_prob[tree.bas_of_node(v).expect("leaf").index()]
+                }
+                cdat_core::NodeType::Or => {
+                    1.0 - tree.children(v).iter().map(|c| 1.0 - ps[c.index()]).product::<f64>()
+                }
+                cdat_core::NodeType::And => {
+                    tree.children(v).iter().map(|c| ps[c.index()]).product()
+                }
+            };
+        }
+        let damage: f64 =
+            ps.iter().zip(cdp.cd().damages()).map(|(p, d)| p * d).sum();
+        expectation += weight * damage;
+    }
+    expectation
+}
+
+/// **Extension beyond the paper**: exact CEDPF for DAG-like cdp-ATs by
+/// enumeration with BDD-exact expected damages.
+///
+/// This is exponential in `|B|` (every attack is evaluated) but each
+/// evaluation is exact despite shared BASs — the paper leaves even this
+/// baseline open because its naive expectation would cost `O(3^|B|)`.
+///
+/// # Panics
+///
+/// Panics if the tree has more than 25 BASs.
+pub fn cedpf_dag(cdp: &CdpAttackTree, witnesses: bool) -> ParetoFront {
+    let n = cdp.tree().bas_count();
+    assert!(n <= 25, "exact DAG CEDPF over 2^{n} attacks is intractable");
+    let eval = DagEvaluator::new(cdp);
+    let value = |x: &Attack| CostDamage::new(cdp.cost_of(x), eval.expected_damage(x));
+    let front = stream_front(Attack::all(n).map(|x| value(&x)));
+    if witnesses {
+        attach_witnesses(front, n, value)
+    } else {
+        front
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdat_core::AttackTreeBuilder;
+
+    fn factory_cd() -> CdAttackTree {
+        let mut b = AttackTreeBuilder::new();
+        let ca = b.bas("ca");
+        let pb = b.bas("pb");
+        let fd = b.bas("fd");
+        let dr = b.and("dr", [pb, fd]);
+        let _ps = b.or("ps", [ca, dr]);
+        CdAttackTree::builder(b.build().unwrap())
+            .cost("ca", 1.0)
+            .unwrap()
+            .cost("pb", 3.0)
+            .unwrap()
+            .cost("fd", 2.0)
+            .unwrap()
+            .damage("fd", 10.0)
+            .unwrap()
+            .damage("dr", 100.0)
+            .unwrap()
+            .damage("ps", 200.0)
+            .unwrap()
+            .finish()
+            .unwrap()
+    }
+
+    fn factory_cdp() -> CdpAttackTree {
+        factory_cd()
+            .with_probabilities()
+            .probability("ca", 0.2)
+            .unwrap()
+            .probability("pb", 0.4)
+            .unwrap()
+            .probability("fd", 0.9)
+            .unwrap()
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn factory_cdpf_matches_equation_3() {
+        let front = cdpf(&factory_cd(), true);
+        assert_eq!(front.to_string(), "{(0, 0), (1, 200), (3, 210), (5, 310)}");
+        for e in front.entries() {
+            let w = e.witness.as_ref().expect("witnesses requested");
+            assert_eq!(factory_cd().cost_of(w), e.point.cost);
+            assert_eq!(factory_cd().damage_of(w), e.point.damage);
+        }
+    }
+
+    #[test]
+    fn dgc_and_cgd_agree_with_the_front() {
+        let cd = factory_cd();
+        let front = cdpf(&cd, false);
+        for budget in [0.0, 1.0, 2.0, 3.5, 5.0, 6.0] {
+            assert_eq!(
+                dgc(&cd, budget).unwrap().point.damage,
+                front.max_damage_within(budget).unwrap().point.damage,
+                "budget {budget}"
+            );
+        }
+        for threshold in [0.0, 10.0, 200.0, 210.0, 310.0] {
+            assert_eq!(
+                cgd(&cd, threshold).unwrap().point.cost,
+                front.min_cost_achieving(threshold).unwrap().point.cost,
+                "threshold {threshold}"
+            );
+        }
+        assert!(cgd(&cd, 311.0).is_none());
+        assert!(dgc(&cd, -0.5).is_none());
+    }
+
+    #[test]
+    fn treelike_prob_enumeration_matches_naive() {
+        let cdp = factory_cdp();
+        let fast = cedpf_treelike(&cdp, false).unwrap();
+        let naive = cedpf_naive(&cdp);
+        assert!(fast.approx_eq(&naive, 1e-9), "{fast} vs {naive}");
+    }
+
+    #[test]
+    fn dag_evaluator_agrees_with_naive_expectation_on_dags() {
+        // DAG: shared BAS under two ANDs.
+        let mut b = AttackTreeBuilder::new();
+        let x = b.bas("x");
+        let y = b.bas("y");
+        let z = b.bas("z");
+        let g1 = b.and("g1", [x, y]);
+        let g2 = b.and("g2", [x, z]);
+        let _r = b.or("r", [g1, g2]);
+        let cdp = CdAttackTree::builder(b.build().unwrap())
+            .cost("x", 1.0)
+            .unwrap()
+            .cost("y", 2.0)
+            .unwrap()
+            .cost("z", 3.0)
+            .unwrap()
+            .damage("g1", 5.0)
+            .unwrap()
+            .damage("g2", 7.0)
+            .unwrap()
+            .damage("r", 11.0)
+            .unwrap()
+            .finish()
+            .unwrap()
+            .with_probabilities()
+            .probability("x", 0.5)
+            .unwrap()
+            .probability("y", 0.3)
+            .unwrap()
+            .probability("z", 0.8)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let eval = DagEvaluator::new(&cdp);
+        for attack in Attack::all(3) {
+            let exact = eval.expected_damage(&attack);
+            let naive = cdp.expected_damage_naive(&attack);
+            assert!((exact - naive).abs() < 1e-9, "attack {attack:?}: {exact} vs {naive}");
+        }
+        // And the full front agrees with naive enumeration.
+        let via_bdd = cedpf_dag(&cdp, true);
+        let naive = cedpf_naive(&cdp);
+        assert!(via_bdd.approx_eq(&naive, 1e-9));
+        for e in via_bdd.entries() {
+            let w = e.witness.as_ref().unwrap();
+            assert!((eval.expected_damage(w) - e.point.damage).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn conditioning_matches_naive_and_bdd_on_dags() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(314);
+        for case in 0..40 {
+            // Random small DAGs via a local generator (gates may adopt
+            // already-parented extras).
+            let n_bas = rng.gen_range(2..=5);
+            let mut b = AttackTreeBuilder::new();
+            let mut pool: Vec<cdat_core::NodeId> =
+                (0..n_bas).map(|i| b.bas(&format!("b{i}"))).collect();
+            let mut g = 0;
+            while pool.len() > 1 {
+                let mut kids = Vec::new();
+                for _ in 0..2.min(pool.len()) {
+                    let i = rng.gen_range(0..pool.len());
+                    kids.push(pool.swap_remove(i));
+                }
+                if rng.gen_bool(0.5) {
+                    let extra = cdat_core::NodeId::new(rng.gen_range(0..b.node_count()));
+                    if !kids.contains(&extra) {
+                        kids.push(extra);
+                    }
+                }
+                let name = format!("g{g}");
+                g += 1;
+                pool.push(if rng.gen_bool(0.5) { b.or(&name, kids) } else { b.and(&name, kids) });
+            }
+            let tree = b.build().unwrap();
+            let cost: Vec<f64> =
+                (0..tree.bas_count()).map(|_| rng.gen_range(1..5) as f64).collect();
+            let damage: Vec<f64> =
+                (0..tree.node_count()).map(|_| rng.gen_range(0..5) as f64).collect();
+            let prob: Vec<f64> =
+                (0..tree.bas_count()).map(|_| rng.gen_range(1..=10) as f64 / 10.0).collect();
+            let cdp = CdpAttackTree::from_parts(
+                CdAttackTree::from_parts(tree, cost, damage).unwrap(),
+                prob,
+            )
+            .unwrap();
+            let eval = DagEvaluator::new(&cdp);
+            for attack in Attack::all(cdp.tree().bas_count()) {
+                let naive = cdp.expected_damage_naive(&attack);
+                let by_cond = expected_damage_conditioning(&cdp, &attack);
+                let by_bdd = eval.expected_damage(&attack);
+                assert!(
+                    (by_cond - naive).abs() < 1e-9,
+                    "case {case} {attack:?}: conditioning {by_cond} vs naive {naive}"
+                );
+                assert!(
+                    (by_bdd - by_cond).abs() < 1e-9,
+                    "case {case} {attack:?}: BDD {by_bdd} vs conditioning {by_cond}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conditioning_on_treelike_trees_needs_no_conditioning() {
+        // Treelike: shared support is empty, so this is plain propagation.
+        let cdp = factory_cdp();
+        for attack in Attack::all(3) {
+            let a = expected_damage_conditioning(&cdp, &attack);
+            let b = cdp.expected_damage(&attack).unwrap();
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dag_front_on_treelike_tree_matches_treelike_enumeration() {
+        let cdp = factory_cdp();
+        let a = cedpf_dag(&cdp, false);
+        let b = cedpf_treelike(&cdp, false).unwrap();
+        assert!(a.approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn cedpf_treelike_rejects_dags() {
+        let mut b = AttackTreeBuilder::new();
+        let x = b.bas("x");
+        let g1 = b.or("g1", [x]);
+        let g2 = b.or("g2", [x]);
+        let _r = b.and("r", [g1, g2]);
+        let cdp = CdAttackTree::builder(b.build().unwrap())
+            .finish()
+            .unwrap()
+            .with_probabilities()
+            .finish()
+            .unwrap();
+        assert_eq!(cedpf_treelike(&cdp, false).unwrap_err(), NotTreelike);
+    }
+
+    #[test]
+    fn streaming_minimization_handles_many_points() {
+        // A 17-BAS OR tree exercises the chunked path (2^17 > CHUNK).
+        let mut b = AttackTreeBuilder::new();
+        let leaves: Vec<_> = (0..17).map(|i| b.bas(&format!("x{i}"))).collect();
+        let _r = b.or("r", leaves);
+        let mut builder = CdAttackTree::builder(b.build().unwrap());
+        for i in 0..17 {
+            builder = builder.cost(&format!("x{i}"), (i + 1) as f64).unwrap();
+        }
+        let cd = builder.damage("r", 1.0).unwrap().finish().unwrap();
+        let front = cdpf(&cd, false);
+        // Front: (0,0) and the cheapest activating attack (cost 1).
+        assert_eq!(front.len(), 2);
+        assert_eq!(front.entries()[1].point, CostDamage::new(1.0, 1.0));
+    }
+}

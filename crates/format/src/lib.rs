@@ -1,0 +1,51 @@
+//! A human-writable text format for cost-damage attack trees.
+//!
+//! The format is indentation-based, one node per line, parents before
+//! children:
+//!
+//! ```text
+//! # The paper's factory example (Fig. 1).
+//! or "production shutdown" damage=200
+//!   bas cyberattack cost=1 prob=0.2
+//!   and "destroy robot" damage=100
+//!     bas "place bomb" cost=3 prob=0.4
+//!     bas "force door" cost=2 damage=10 prob=0.9
+//! ```
+//!
+//! * `bas NAME`, `or NAME`, `and NAME` declare a node; quote names containing
+//!   spaces. Gates list their children on the following, deeper-indented
+//!   lines.
+//! * Attributes are `key=value` pairs: `damage` on any node, `cost` and
+//!   `prob` on BASs only (matching the cd-AT model: internal costs can be
+//!   simulated by dummy BASs, internal damage cannot be pushed down).
+//! * `ref NAME` makes an already-declared node a child of the current gate —
+//!   this is how shared nodes (DAG-like trees) are written.
+//! * `#` starts a comment; blank lines are ignored.
+//!
+//! [`parse`] reads a document into a [`CdpAttackTree`](cdat_core::CdpAttackTree)
+//! (probabilities default
+//! to 1, so deterministic documents round-trip through the same type);
+//! [`write()`] renders one back, using `ref` for every shared node.
+//!
+//! # Example
+//!
+//! ```
+//! let text = r#"
+//! or goal damage=10
+//!   bas pick-lock cost=5
+//!   bas smash-window cost=1 damage=2
+//! "#;
+//! let cdp = cdat_format::parse(text)?;
+//! assert_eq!(cdp.tree().bas_count(), 2);
+//! assert_eq!(cdp.cd().max_damage(), 12.0);
+//! # Ok::<(), cdat_format::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parser;
+mod writer;
+
+pub use parser::{parse, parse_cd, ParseError};
+pub use writer::{write, write_cd};

@@ -1,0 +1,214 @@
+//! Rendering attack trees back to the text format.
+
+use std::fmt::Write as _;
+
+use cdat_core::{CdAttackTree, CdpAttackTree, NodeId, NodeType};
+
+fn quote(name: &str) -> String {
+    let needs_quoting = name.is_empty()
+        || name.chars().any(|c| c.is_whitespace() || c == '"' || c == '#' || c == '=')
+        || matches!(name, "bas" | "or" | "and" | "ref");
+    if needs_quoting {
+        let escaped = name.replace('\\', "\\\\").replace('"', "\\\"");
+        format!("\"{escaped}\"")
+    } else {
+        name.to_owned()
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    // Plain decimal (attributes are human-scale in this domain).
+    let s = format!("{v}");
+    s
+}
+
+/// Renders a cdp-AT to the text format; shared nodes are written once and
+/// referenced with `ref` afterwards, so DAG-like trees round-trip.
+pub fn write(cdp: &CdpAttackTree) -> String {
+    render(cdp.cd(), Some(cdp.probs()))
+}
+
+/// Renders a cd-AT (no probability attributes).
+pub fn write_cd(cd: &CdAttackTree) -> String {
+    render(cd, None)
+}
+
+fn render(cd: &CdAttackTree, probs: Option<&[f64]>) -> String {
+    let tree = cd.tree();
+    let mut out = String::new();
+    let mut written = vec![false; tree.node_count()];
+    let mut stack: Vec<(NodeId, usize)> = vec![(tree.root(), 0)];
+    while let Some((v, depth)) = stack.pop() {
+        let indent = "  ".repeat(depth);
+        if std::mem::replace(&mut written[v.index()], true) {
+            let _ = writeln!(out, "{indent}ref {}", quote(tree.name(v)));
+            continue;
+        }
+        let keyword = match tree.node_type(v) {
+            NodeType::Bas => "bas",
+            NodeType::Or => "or",
+            NodeType::And => "and",
+        };
+        let mut line = format!("{indent}{keyword} {}", quote(tree.name(v)));
+        if let Some(b) = tree.bas_of_node(v) {
+            if cd.cost(b) != 0.0 {
+                let _ = write!(line, " cost={}", fmt_value(cd.cost(b)));
+            }
+        }
+        if cd.damage(v) != 0.0 {
+            let _ = write!(line, " damage={}", fmt_value(cd.damage(v)));
+        }
+        if let (Some(probs), Some(b)) = (probs, tree.bas_of_node(v)) {
+            if probs[b.index()] != 1.0 {
+                let _ = write!(line, " prob={}", fmt_value(probs[b.index()]));
+            }
+        }
+        let _ = writeln!(out, "{line}");
+        // Push children in reverse so they render in declaration order.
+        for &c in tree.children(v).iter().rev() {
+            stack.push((c, depth + 1));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(text: &str) -> CdpAttackTree {
+        let cdp = parse(text).expect("input parses");
+        let rendered = write(&cdp);
+        parse(&rendered).unwrap_or_else(|e| panic!("rendered text must parse: {e}\n{rendered}"))
+    }
+
+    fn semantically_equal(a: &CdpAttackTree, b: &CdpAttackTree) -> bool {
+        if a.tree().node_count() != b.tree().node_count()
+            || a.tree().bas_count() != b.tree().bas_count()
+        {
+            return false;
+        }
+        // Same names, same attributes, same attack semantics (compare by
+        // evaluating all attacks via name-based mapping).
+        let n = a.tree().bas_count();
+        if n > 12 {
+            return true; // structural checks above only
+        }
+        cdat_core::Attack::all(n).all(|x| {
+            let names: Vec<&str> =
+                x.iter().map(|bas| a.tree().name(a.tree().node_of_bas(bas))).collect();
+            let y = b.tree().attack_of_names(names.iter().copied()).expect("same BAS names");
+            a.cd().cost_of(&x) == b.cd().cost_of(&y)
+                && a.cd().damage_of(&x) == b.cd().damage_of(&y)
+        })
+    }
+
+    #[test]
+    fn factory_round_trips() {
+        let text = r#"
+or "production shutdown" damage=200
+  bas cyberattack cost=1 prob=0.2
+  and "destroy robot" damage=100
+    bas "place bomb" cost=3 prob=0.4
+    bas "force door" cost=2 damage=10 prob=0.9
+"#;
+        let original = parse(text).unwrap();
+        let reparsed = round_trip(text);
+        assert!(semantically_equal(&original, &reparsed));
+    }
+
+    #[test]
+    fn dag_round_trips_with_refs() {
+        let text = r#"
+or root damage=7
+  and g1
+    bas x cost=1
+    bas y cost=2
+  and g2
+    ref x
+    bas z cost=3 prob=0.5
+"#;
+        let original = parse(text).unwrap();
+        let rendered = write(&original);
+        assert!(rendered.contains("ref x"), "shared node must render as ref:\n{rendered}");
+        let reparsed = parse(&rendered).unwrap();
+        assert!(!reparsed.tree().is_treelike());
+        assert!(semantically_equal(&original, &reparsed));
+    }
+
+    #[test]
+    fn models_round_trip() {
+        for cdp in [cdat_models::panda_cdp(), cdat_models::factory_cdp()] {
+            let rendered = write(&cdp);
+            let reparsed = parse(&rendered).expect("model renders to valid text");
+            assert_eq!(reparsed.tree().node_count(), cdp.tree().node_count());
+            assert_eq!(reparsed.tree().bas_count(), cdp.tree().bas_count());
+        }
+        let ds = cdat_models::dataserver();
+        let rendered = write_cd(&ds);
+        let reparsed = crate::parser::parse_cd(&rendered).expect("DAG renders to valid text");
+        assert!(!reparsed.tree().is_treelike());
+        assert_eq!(reparsed.tree().node_count(), ds.tree().node_count());
+    }
+
+    #[test]
+    fn keywords_and_special_names_are_quoted() {
+        let text = "or \"or\" damage=1\n  bas \"a b\" cost=1\n  bas \"x=y\" cost=2";
+        let rendered = write(&parse(text).unwrap());
+        assert!(rendered.contains("or \"or\""));
+        assert!(rendered.contains("\"a b\""));
+        assert!(rendered.contains("\"x=y\""));
+        parse(&rendered).expect("quoted output reparses");
+    }
+
+    #[test]
+    fn random_trees_round_trip() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(606);
+        for case in 0..40 {
+            let treelike = rng.gen_bool(0.5);
+            let tree = cdat_gen_lite(&mut rng, treelike);
+            let cd = cdat_core::CdAttackTree::from_parts(
+                tree.clone(),
+                (0..tree.bas_count()).map(|_| rng.gen_range(0..9) as f64).collect(),
+                (0..tree.node_count()).map(|_| rng.gen_range(0..9) as f64).collect(),
+            )
+            .unwrap();
+            let prob: Vec<f64> =
+                (0..tree.bas_count()).map(|_| rng.gen_range(1..=10) as f64 / 10.0).collect();
+            let cdp = cdat_core::CdpAttackTree::from_parts(cd, prob).unwrap();
+            let reparsed = parse(&write(&cdp)).unwrap_or_else(|e| panic!("case {case}: {e}"));
+            assert!(semantically_equal(&cdp, &reparsed), "case {case}");
+        }
+    }
+
+    /// Small random tree generator local to this crate (cdat-gen depends on
+    /// models, which would be circular as a dev-dependency here).
+    fn cdat_gen_lite(rng: &mut impl rand::Rng, treelike: bool) -> cdat_core::AttackTree {
+        use cdat_core::{AttackTreeBuilder, NodeId};
+        let mut b = AttackTreeBuilder::new();
+        let n_bas = rng.gen_range(1..=6);
+        let mut pool: Vec<NodeId> = (0..n_bas).map(|i| b.bas(&format!("b{i}"))).collect();
+        let mut counter = 0;
+        while pool.len() > 1 {
+            let k = 2.min(pool.len());
+            let mut kids = Vec::new();
+            for _ in 0..k {
+                let i = rng.gen_range(0..pool.len());
+                kids.push(pool.swap_remove(i));
+            }
+            if !treelike && counter > 0 && rng.gen_bool(0.4) {
+                let extra = NodeId::new(rng.gen_range(0..b.node_count()));
+                if !kids.contains(&extra) {
+                    kids.push(extra);
+                }
+            }
+            let name = format!("g{counter}");
+            counter += 1;
+            let id = if rng.gen_bool(0.5) { b.or(&name, kids) } else { b.and(&name, kids) };
+            pool.push(id);
+        }
+        b.build().unwrap()
+    }
+}

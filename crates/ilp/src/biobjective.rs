@@ -1,0 +1,322 @@
+//! Bi-objective 0-1 ILP: generating the full nondominated front.
+
+use crate::branch_bound::{IlpProblem, IlpSolution};
+use crate::model::{LinearConstraint, Relation};
+
+/// Slack added to the second-objective constraint in the lexicographic step,
+/// absorbing LP round-off without admitting genuinely worse solutions (the
+/// attainable objective values of cost-damage encodings are far coarser).
+const LEX_TOL: f64 = 1e-6;
+
+/// A nondominated point of a bi-objective program, with one optimal solution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BiPoint {
+    /// Exact first-objective value of `values`.
+    pub f1: f64,
+    /// Exact second-objective value of `values`.
+    pub f2: f64,
+    /// The witnessing assignment.
+    pub values: Vec<bool>,
+}
+
+/// A bi-objective 0-1 program: minimize `(f1·x, f2·x)` over
+/// `x ∈ {0,1}ⁿ` subject to `constraints`.
+///
+/// [`pareto_front`](Self::pareto_front) computes **all** nondominated points
+/// by the lexicographic ε-constraint method: optimize `f2`, then among the
+/// `f2`-optimal solutions minimize `f1`, record the point, constrain
+/// `f1 ≤ f1* − δ` and repeat. Each iteration solves two single-objective
+/// ILPs; the number of iterations equals the number of front points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BiobjectiveProblem {
+    /// Number of binary variables.
+    pub num_vars: usize,
+    /// First objective (minimized); the "sliding budget" dimension.
+    pub f1: Vec<f64>,
+    /// Second objective (minimized).
+    pub f2: Vec<f64>,
+    /// Feasibility constraints.
+    pub constraints: Vec<LinearConstraint>,
+}
+
+impl BiobjectiveProblem {
+    /// Computes the nondominated front, sorted by increasing `f1`.
+    ///
+    /// `delta` is the budget decrement: it must be strictly positive and no
+    /// larger than the smallest gap between distinct attainable `f1` values
+    /// (use [`granularity`] to derive a safe value from the coefficients;
+    /// too small only wastes nothing, too large skips front points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta ≤ 0` or the objective lengths disagree with
+    /// `num_vars`.
+    pub fn pareto_front(&self, delta: f64) -> Vec<BiPoint> {
+        assert!(delta > 0.0, "budget decrement must be positive");
+        assert_eq!(self.f1.len(), self.num_vars, "f1 length");
+        assert_eq!(self.f2.len(), self.num_vars, "f2 length");
+
+        let mut points: Vec<BiPoint> = Vec::new();
+        let mut budget: Option<f64> = None;
+        // Step 1: minimize f2 within the current f1 budget; stop when the
+        // budget admits no solution.
+        while let Some(s2) = self.solve_single(&self.f2, budget, None) {
+            let f2_star = s2.objective;
+            // Step 2 (lexicographic): cheapest f1 among f2-optimal solutions.
+            let s1 = self
+                .solve_single(&self.f1, budget, Some((self.f2.clone(), f2_star + LEX_TOL)))
+                .expect("step 2 is feasible because step 1 found a solution");
+            let f1_exact = dot(&self.f1, &s1.values);
+            let f2_exact = dot(&self.f2, &s1.values);
+            points.push(BiPoint { f1: f1_exact, f2: f2_exact, values: s1.values });
+            budget = Some(f1_exact - delta);
+        }
+        points.reverse(); // discovered right-to-left; report by increasing f1
+        points
+    }
+
+    /// Computes the front with a decrement derived from the `f1`
+    /// coefficients via [`granularity`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no safe granularity can be derived (coefficients are not
+    /// decimal-ish); call [`pareto_front`](Self::pareto_front) with an
+    /// explicit `delta` in that case.
+    pub fn pareto_front_auto(&self) -> Vec<BiPoint> {
+        let delta = granularity(&self.f1)
+            .expect("f1 coefficients have no decimal granularity; pass delta explicitly");
+        self.pareto_front(delta)
+    }
+
+    /// Minimizes one objective under the shared constraints, an optional `f1`
+    /// budget, and an optional bound on another linear form.
+    fn solve_single(
+        &self,
+        objective: &[f64],
+        f1_budget: Option<f64>,
+        extra_le: Option<(Vec<f64>, f64)>,
+    ) -> Option<IlpSolution> {
+        let mut constraints = self.constraints.clone();
+        if let Some(u) = f1_budget {
+            constraints.push(LinearConstraint::new(
+                self.f1.iter().copied().enumerate().collect(),
+                Relation::Le,
+                u,
+            ));
+        }
+        if let Some((coeffs, bound)) = extra_le {
+            constraints.push(LinearConstraint::new(
+                coeffs.into_iter().enumerate().collect(),
+                Relation::Le,
+                bound,
+            ));
+        }
+        IlpProblem { num_vars: self.num_vars, objective: objective.to_vec(), constraints }.solve()
+    }
+}
+
+fn dot(coeffs: &[f64], values: &[bool]) -> f64 {
+    coeffs.iter().zip(values).map(|(c, &b)| c * f64::from(b)).sum()
+}
+
+/// Derives a safe ε-constraint decrement from objective coefficients.
+///
+/// If every coefficient is (within `1e-6` relative) an integer multiple of
+/// `10⁻ᵏ` for some `k ≤ 6`, then any two distinct attainable objective values
+/// differ by at least `10⁻ᵏ`, and half that is returned. Returns `None` for
+/// coefficients without such decimal structure.
+pub fn granularity(coeffs: &[f64]) -> Option<f64> {
+    for k in 0..=6u32 {
+        let scale = 10f64.powi(k as i32);
+        let integral = coeffs.iter().all(|&c| {
+            let scaled = c * scale;
+            // Absolute slack absorbs decimal representation error (10.8·10 =
+            // 108.000…01); the relative term covers large magnitudes.
+            (scaled - scaled.round()).abs() <= 1e-6 + 1e-9 * scaled.abs()
+        });
+        if integral {
+            return Some(0.5 / scale);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(coefficients: Vec<(usize, f64)>, rhs: f64) -> LinearConstraint {
+        LinearConstraint::new(coefficients, Relation::Le, rhs)
+    }
+
+    /// Brute-force nondominated set for cross-checking.
+    fn brute_force(p: &BiobjectiveProblem) -> Vec<(f64, f64)> {
+        let mut feasible: Vec<(f64, f64)> = Vec::new();
+        for mask in 0u32..(1 << p.num_vars) {
+            let values: Vec<bool> = (0..p.num_vars).map(|i| mask >> i & 1 == 1).collect();
+            let xf: Vec<f64> = values.iter().map(|&b| f64::from(b)).collect();
+            if p.constraints.iter().all(|c| c.satisfied_by(&xf, 1e-9)) {
+                feasible.push((dot(&p.f1, &values), dot(&p.f2, &values)));
+            }
+        }
+        let mut front: Vec<(f64, f64)> = feasible
+            .iter()
+            .filter(|&&(a1, a2)| {
+                !feasible.iter().any(|&(b1, b2)| {
+                    (b1 <= a1 && b2 < a2) || (b1 < a1 && b2 <= a2)
+                })
+            })
+            .copied()
+            .collect();
+        front.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        front.dedup();
+        front
+    }
+
+    #[test]
+    fn knapsack_cost_value_front() {
+        // Values (10, 7, 3), weights (4, 3, 2): minimize (weight, −value).
+        let p = BiobjectiveProblem {
+            num_vars: 3,
+            f1: vec![4.0, 3.0, 2.0],
+            f2: vec![-10.0, -7.0, -3.0],
+            constraints: vec![],
+        };
+        let front = p.pareto_front_auto();
+        let pts: Vec<(f64, f64)> = front.iter().map(|b| (b.f1, b.f2)).collect();
+        assert_eq!(
+            pts,
+            vec![
+                (0.0, 0.0),
+                (2.0, -3.0),
+                (3.0, -7.0),
+                (4.0, -10.0),
+                (6.0, -13.0),
+                (7.0, -17.0),
+                (9.0, -20.0),
+            ]
+        );
+        // Every reported point's witness reproduces its objectives.
+        for b in &front {
+            assert_eq!(dot(&p.f1, &b.values), b.f1);
+            assert_eq!(dot(&p.f2, &b.values), b.f2);
+        }
+    }
+
+    #[test]
+    fn constrained_front_is_truncated() {
+        let p = BiobjectiveProblem {
+            num_vars: 3,
+            f1: vec![4.0, 3.0, 2.0],
+            f2: vec![-10.0, -7.0, -3.0],
+            constraints: vec![le(vec![(0, 4.0), (1, 3.0), (2, 2.0)], 6.0)],
+        };
+        let pts: Vec<(f64, f64)> =
+            p.pareto_front_auto().iter().map(|b| (b.f1, b.f2)).collect();
+        assert_eq!(pts, vec![(0.0, 0.0), (2.0, -3.0), (3.0, -7.0), (4.0, -10.0), (6.0, -13.0)]);
+    }
+
+    #[test]
+    fn infeasible_program_yields_empty_front() {
+        let p = BiobjectiveProblem {
+            num_vars: 2,
+            f1: vec![1.0, 1.0],
+            f2: vec![-1.0, -1.0],
+            constraints: vec![LinearConstraint::new(
+                vec![(0, 1.0), (1, 1.0)],
+                Relation::Ge,
+                3.0,
+            )],
+        };
+        assert!(p.pareto_front(0.5).is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_programs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(31);
+        for case in 0..120 {
+            let n = rng.gen_range(1..=7);
+            let m = rng.gen_range(0..=3);
+            let p = BiobjectiveProblem {
+                num_vars: n,
+                // f1 ≥ 0 mimics costs; f2 unrestricted mimics −damage.
+                f1: (0..n).map(|_| rng.gen_range(0..=5) as f64).collect(),
+                f2: (0..n).map(|_| rng.gen_range(-5..=2) as f64).collect(),
+                constraints: (0..m)
+                    .map(|_| {
+                        let coefficients =
+                            (0..n).map(|i| (i, rng.gen_range(-3..=3) as f64)).collect();
+                        let relation =
+                            if rng.gen_bool(0.5) { Relation::Le } else { Relation::Ge };
+                        LinearConstraint::new(coefficients, relation, rng.gen_range(-3..=5) as f64)
+                    })
+                    .collect(),
+            };
+            let got: Vec<(f64, f64)> =
+                p.pareto_front(0.5).iter().map(|b| (b.f1, b.f2)).collect();
+            let want = brute_force(&p);
+            assert_eq!(got, want, "case {case}: {p:?}");
+        }
+    }
+
+    #[test]
+    fn granularity_detects_decimal_scales() {
+        assert_eq!(granularity(&[1.0, 4.0, 150.0]), Some(0.5));
+        assert_eq!(granularity(&[10.8, 5.0, 36.0]), Some(0.05));
+        assert_eq!(granularity(&[0.25, 0.5]), Some(0.005));
+        assert_eq!(granularity(&[]), Some(0.5));
+        assert!(granularity(&[std::f64::consts::PI]).is_none());
+    }
+
+    #[test]
+    fn oversized_delta_skips_front_points_as_documented() {
+        // The contract: delta larger than the smallest f1 gap may skip
+        // points (but never invents them). Gap here is 2; delta 3 skips the
+        // middle point.
+        let p = BiobjectiveProblem {
+            num_vars: 2,
+            f1: vec![2.0, 4.0],
+            f2: vec![-1.0, -2.0],
+            constraints: vec![],
+        };
+        let exact: Vec<(f64, f64)> = p.pareto_front(0.5).iter().map(|b| (b.f1, b.f2)).collect();
+        assert_eq!(exact, vec![(0.0, 0.0), (2.0, -1.0), (4.0, -2.0), (6.0, -3.0)]);
+        let skipping: Vec<(f64, f64)> =
+            p.pareto_front(3.0).iter().map(|b| (b.f1, b.f2)).collect();
+        assert!(skipping.len() < exact.len());
+        for pt in &skipping {
+            assert!(exact.contains(pt), "oversized delta must not invent points");
+        }
+    }
+
+    #[test]
+    fn single_feasible_point_yields_single_front_entry() {
+        let p = BiobjectiveProblem {
+            num_vars: 2,
+            f1: vec![1.0, 1.0],
+            f2: vec![-1.0, -1.0],
+            constraints: vec![LinearConstraint::new(
+                vec![(0, 1.0), (1, 1.0)],
+                Relation::Eq,
+                2.0,
+            )],
+        };
+        let front = p.pareto_front(0.5);
+        assert_eq!(front.len(), 1);
+        assert_eq!((front[0].f1, front[0].f2), (2.0, -2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_delta_rejected() {
+        let p = BiobjectiveProblem {
+            num_vars: 1,
+            f1: vec![1.0],
+            f2: vec![-1.0],
+            constraints: vec![],
+        };
+        let _ = p.pareto_front(0.0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Exact 0-1 ILP by LP-relaxation branch-and-bound.
+
+use crate::model::LinearConstraint;
+use crate::simplex::{self, LpOutcome};
+use crate::Relation;
+
+/// Integrality tolerance: LP values this close to 0/1 count as integral.
+const INT_TOL: f64 = 1e-6;
+/// Bound-pruning slack, protecting against LP round-off.
+const BOUND_TOL: f64 = 1e-7;
+
+/// A 0-1 integer linear program: `minimize objective·x` subject to
+/// `constraints`, `x ∈ {0,1}ⁿ`.
+///
+/// Solved exactly by depth-first branch-and-bound with LP-relaxation bounds
+/// (see the crate docs for an example). Maximization is expressed by negating
+/// the objective.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IlpProblem {
+    /// Number of binary variables.
+    pub num_vars: usize,
+    /// Objective coefficients (minimized), one per variable.
+    pub objective: Vec<f64>,
+    /// Linear constraints over the variables.
+    pub constraints: Vec<LinearConstraint>,
+}
+
+/// An optimal 0-1 solution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IlpSolution {
+    /// Optimal variable assignment.
+    pub values: Vec<bool>,
+    /// Exact objective value of `values`.
+    pub objective: f64,
+}
+
+impl IlpProblem {
+    /// Solves the program exactly. Returns `None` iff it is infeasible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objective.len() != num_vars`, a constraint references an
+    /// out-of-range variable, or any coefficient is NaN.
+    pub fn solve(&self) -> Option<IlpSolution> {
+        assert_eq!(self.objective.len(), self.num_vars, "one objective coefficient per variable");
+        let mut best: Option<IlpSolution> = None;
+        let mut stack: Vec<Vec<Option<bool>>> = vec![vec![None; self.num_vars]];
+        while let Some(fixed) = stack.pop() {
+            self.expand(&fixed, &mut best, &mut stack);
+        }
+        best
+    }
+
+    /// Processes one branch-and-bound node.
+    fn expand(
+        &self,
+        fixed: &[Option<bool>],
+        best: &mut Option<IlpSolution>,
+        stack: &mut Vec<Vec<Option<bool>>>,
+    ) {
+        let Some(relaxed) = self.relaxation(fixed) else {
+            return; // LP infeasible: prune
+        };
+        if let Some(incumbent) = best {
+            if relaxed.bound >= incumbent.objective - BOUND_TOL {
+                return; // cannot improve: prune
+            }
+        }
+        match relaxed.most_fractional {
+            None => {
+                // Integral relaxation: candidate solution.
+                let values: Vec<bool> = (0..self.num_vars)
+                    .map(|i| fixed[i].unwrap_or_else(|| relaxed.values[i] > 0.5))
+                    .collect();
+                let xf: Vec<f64> = values.iter().map(|&b| f64::from(b)).collect();
+                debug_assert!(
+                    self.constraints.iter().all(|c| c.satisfied_by(&xf, 1e-6)),
+                    "rounded LP solution violates a constraint"
+                );
+                let objective: f64 =
+                    values.iter().zip(&self.objective).map(|(&b, c)| f64::from(b) * c).sum();
+                if best.as_ref().is_none_or(|b| objective < b.objective) {
+                    *best = Some(IlpSolution { values, objective });
+                }
+            }
+            Some((branch_var, lp_value)) => {
+                // Explore the LP-suggested value first (LIFO stack: push the
+                // other branch below it).
+                let preferred = lp_value > 0.5;
+                for value in [!preferred, preferred] {
+                    let mut child = fixed.to_vec();
+                    child[branch_var] = Some(value);
+                    stack.push(child);
+                }
+            }
+        }
+    }
+
+    /// Solves the LP relaxation with `fixed` variables substituted out.
+    ///
+    /// Returns `None` when infeasible; otherwise the objective bound, the
+    /// per-variable LP values (free variables only; fixed ones echo their
+    /// fixed value) and the most fractional free variable, if any.
+    fn relaxation(&self, fixed: &[Option<bool>]) -> Option<Relaxation> {
+        // Map free variables to dense LP indices.
+        let free: Vec<usize> = (0..self.num_vars).filter(|&i| fixed[i].is_none()).collect();
+        let lp_index: Vec<Option<usize>> = {
+            let mut map = vec![None; self.num_vars];
+            for (k, &i) in free.iter().enumerate() {
+                map[i] = Some(k);
+            }
+            map
+        };
+        let mut constant = 0.0;
+        for (i, f) in fixed.iter().enumerate() {
+            if *f == Some(true) {
+                constant += self.objective[i];
+            }
+        }
+        let objective: Vec<f64> = free.iter().map(|&i| self.objective[i]).collect();
+        let mut constraints: Vec<LinearConstraint> = Vec::with_capacity(
+            self.constraints.len() + free.len(),
+        );
+        for c in &self.constraints {
+            let mut coefficients = Vec::with_capacity(c.coefficients.len());
+            let mut rhs = c.rhs;
+            for &(i, a) in &c.coefficients {
+                match lp_index[i] {
+                    Some(k) => coefficients.push((k, a)),
+                    None => {
+                        if fixed[i] == Some(true) {
+                            rhs -= a;
+                        }
+                    }
+                }
+            }
+            if coefficients.is_empty() {
+                // Fully fixed constraint: check it directly.
+                let ok = match c.relation {
+                    Relation::Le => 0.0 <= rhs + 1e-9,
+                    Relation::Ge => 0.0 >= rhs - 1e-9,
+                    Relation::Eq => rhs.abs() <= 1e-9,
+                };
+                if !ok {
+                    return None;
+                }
+            } else {
+                constraints.push(LinearConstraint::new(coefficients, c.relation, rhs));
+            }
+        }
+        // 0-1 box: x ≥ 0 is native; add x ≤ 1.
+        for k in 0..free.len() {
+            constraints.push(LinearConstraint::new(vec![(k, 1.0)], Relation::Le, 1.0));
+        }
+
+        match simplex::solve(&objective, &constraints) {
+            LpOutcome::Infeasible => None,
+            LpOutcome::Unbounded => {
+                unreachable!("0-1 relaxation is boxed and cannot be unbounded")
+            }
+            LpOutcome::Optimal(s) => {
+                let mut values = vec![0.0; self.num_vars];
+                let mut most_fractional: Option<(usize, f64)> = None;
+                let mut best_gap = INT_TOL;
+                for (i, f) in fixed.iter().enumerate() {
+                    values[i] = match f {
+                        Some(b) => f64::from(*b),
+                        None => {
+                            let v = s.values[lp_index[i].expect("free var mapped")];
+                            let gap = (v - v.round()).abs();
+                            if gap > best_gap {
+                                best_gap = gap;
+                                most_fractional = Some((i, v));
+                            }
+                            v
+                        }
+                    };
+                }
+                Some(Relaxation { bound: s.objective + constant, values, most_fractional })
+            }
+        }
+    }
+}
+
+struct Relaxation {
+    bound: f64,
+    values: Vec<f64>,
+    most_fractional: Option<(usize, f64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Relation;
+
+    fn le(coefficients: Vec<(usize, f64)>, rhs: f64) -> LinearConstraint {
+        LinearConstraint::new(coefficients, Relation::Le, rhs)
+    }
+
+    /// Brute-force reference: enumerate all 2^n assignments.
+    fn brute_force(p: &IlpProblem) -> Option<IlpSolution> {
+        let mut best: Option<IlpSolution> = None;
+        for mask in 0u32..(1 << p.num_vars) {
+            let values: Vec<bool> = (0..p.num_vars).map(|i| mask >> i & 1 == 1).collect();
+            let xf: Vec<f64> = values.iter().map(|&b| f64::from(b)).collect();
+            if p.constraints.iter().all(|c| c.satisfied_by(&xf, 1e-9)) {
+                let objective: f64 =
+                    values.iter().zip(&p.objective).map(|(&b, c)| f64::from(b) * c).sum();
+                if best.as_ref().is_none_or(|b| objective < b.objective - 1e-12) {
+                    best = Some(IlpSolution { values, objective });
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn knapsack_example() {
+        let p = IlpProblem {
+            num_vars: 3,
+            objective: vec![-10.0, -7.0, -3.0],
+            constraints: vec![le(vec![(0, 4.0), (1, 3.0), (2, 2.0)], 6.0)],
+        };
+        let s = p.solve().unwrap();
+        assert_eq!(s.objective, -13.0);
+        assert_eq!(s.values, vec![true, false, true]);
+    }
+
+    #[test]
+    fn infeasible_program() {
+        let p = IlpProblem {
+            num_vars: 2,
+            objective: vec![1.0, 1.0],
+            constraints: vec![LinearConstraint::new(
+                vec![(0, 1.0), (1, 1.0)],
+                Relation::Ge,
+                3.0, // two binaries cannot sum to 3
+            )],
+        };
+        assert_eq!(p.solve(), None);
+    }
+
+    #[test]
+    fn unconstrained_minimization_picks_negative_coefficients() {
+        let p = IlpProblem {
+            num_vars: 4,
+            objective: vec![1.0, -2.0, 0.0, -0.5],
+            constraints: vec![],
+        };
+        let s = p.solve().unwrap();
+        assert_eq!(s.values, vec![false, true, false, true]);
+        assert_eq!(s.objective, -2.5);
+    }
+
+    #[test]
+    fn equality_constraints_force_fractional_lp_to_branch() {
+        // x0 + x1 + x2 = 2 with objective favouring all three: LP is
+        // fractional at the start, B&B must still find the exact optimum.
+        let p = IlpProblem {
+            num_vars: 3,
+            objective: vec![-3.0, -2.0, -2.0],
+            constraints: vec![LinearConstraint::new(
+                vec![(0, 1.0), (1, 1.0), (2, 1.0)],
+                Relation::Eq,
+                2.0,
+            )],
+        };
+        let s = p.solve().unwrap();
+        assert_eq!(s.objective, -5.0);
+        assert!(s.values[0]);
+    }
+
+    #[test]
+    fn zero_variable_program() {
+        let p = IlpProblem { num_vars: 0, objective: vec![], constraints: vec![] };
+        let s = p.solve().unwrap();
+        assert_eq!(s.objective, 0.0);
+        assert!(s.values.is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_programs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut feasible = 0;
+        for case in 0..300 {
+            let n = rng.gen_range(1..=8);
+            let m = rng.gen_range(0..=5);
+            let p = IlpProblem {
+                num_vars: n,
+                objective: (0..n).map(|_| rng.gen_range(-6..=6) as f64).collect(),
+                constraints: (0..m)
+                    .map(|_| {
+                        let coefficients =
+                            (0..n).map(|i| (i, rng.gen_range(-4..=4) as f64)).collect();
+                        let relation = match rng.gen_range(0..3) {
+                            0 => Relation::Le,
+                            1 => Relation::Ge,
+                            _ => Relation::Eq,
+                        };
+                        LinearConstraint::new(coefficients, relation, rng.gen_range(-4..=6) as f64)
+                    })
+                    .collect(),
+            };
+            let got = p.solve();
+            let want = brute_force(&p);
+            match (&got, &want) {
+                (None, None) => {}
+                (Some(g), Some(w)) => {
+                    assert!(
+                        (g.objective - w.objective).abs() < 1e-6,
+                        "case {case}: objective {} vs brute force {}",
+                        g.objective,
+                        w.objective
+                    );
+                    feasible += 1;
+                }
+                _ => panic!("case {case}: feasibility disagreement {got:?} vs {want:?}"),
+            }
+        }
+        assert!(feasible > 50, "too few feasible cases to be meaningful");
+    }
+}

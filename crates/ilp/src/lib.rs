@@ -1,0 +1,55 @@
+//! Exact 0-1 integer linear programming, from scratch.
+//!
+//! This crate is the substrate that replaces the paper's Matlab + YALMIP +
+//! Gurobi stack. It provides exactly what the BILP encoding of cost-damage
+//! problems needs, and nothing more:
+//!
+//! * [`simplex`] — a dense two-phase primal simplex for linear programs over
+//!   nonnegative variables with `≤ / ≥ / =` constraints (Bland's rule, so it
+//!   terminates on degenerate problems);
+//! * [`IlpProblem`] — 0-1 integer programs solved exactly by LP-relaxation
+//!   branch-and-bound;
+//! * [`BiobjectiveProblem`] — bi-objective 0-1 programs solved by the
+//!   lexicographic ε-constraint method: repeatedly optimize one objective,
+//!   tighten the other, and slide a budget across the front — the standard
+//!   technique for generating **all** nondominated points of an integer
+//!   program ([Özlen & Azizoğlu 2009], [Stidsen et al. 2014]).
+//!
+//! Everything is `f64` with explicit tolerances (`1e-9` pivoting, `1e-6`
+//! integrality); the cost-damage encodings produce small coefficients where
+//! these are comfortable. The branch-and-bound is exhaustive, so results are
+//! exact optima, not heuristics.
+//!
+//! # Example
+//!
+//! A tiny knapsack: maximize `10x₀ + 7x₁ + 3x₂` with `4x₀ + 3x₁ + 2x₂ ≤ 6`.
+//!
+//! ```
+//! use cdat_ilp::{IlpProblem, LinearConstraint, Relation};
+//!
+//! let problem = IlpProblem {
+//!     num_vars: 3,
+//!     // Minimization form: negate to maximize.
+//!     objective: vec![-10.0, -7.0, -3.0],
+//!     constraints: vec![LinearConstraint {
+//!         coefficients: vec![(0, 4.0), (1, 3.0), (2, 2.0)],
+//!         relation: Relation::Le,
+//!         rhs: 6.0,
+//!     }],
+//! };
+//! let solution = problem.solve().expect("feasible");
+//! assert_eq!(solution.values, vec![true, false, true]);
+//! assert_eq!(solution.objective, -13.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod biobjective;
+mod branch_bound;
+mod model;
+pub mod simplex;
+
+pub use biobjective::{granularity, BiPoint, BiobjectiveProblem};
+pub use branch_bound::{IlpProblem, IlpSolution};
+pub use model::{LinearConstraint, Relation};

@@ -1,0 +1,68 @@
+//! Shared problem-model types.
+
+/// The relation of a linear constraint.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// A sparse linear constraint `Σ aᵢ·x_i  ⟨relation⟩  rhs`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinearConstraint {
+    /// `(variable index, coefficient)` pairs; indices may repeat (summed).
+    pub coefficients: Vec<(usize, f64)>,
+    /// The comparison relating the linear form to `rhs`.
+    pub relation: Relation,
+    /// Right-hand side constant.
+    pub rhs: f64,
+}
+
+impl LinearConstraint {
+    /// Convenience constructor.
+    pub fn new(coefficients: Vec<(usize, f64)>, relation: Relation, rhs: f64) -> Self {
+        LinearConstraint { coefficients, relation, rhs }
+    }
+
+    /// Evaluates the left-hand side under an assignment.
+    pub fn lhs(&self, x: &[f64]) -> f64 {
+        self.coefficients.iter().map(|&(i, a)| a * x[i]).sum()
+    }
+
+    /// Whether the assignment satisfies the constraint within `tol`.
+    pub fn satisfied_by(&self, x: &[f64], tol: f64) -> bool {
+        let lhs = self.lhs(x);
+        match self.relation {
+            Relation::Le => lhs <= self.rhs + tol,
+            Relation::Ge => lhs >= self.rhs - tol,
+            Relation::Eq => (lhs - self.rhs).abs() <= tol,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lhs_and_satisfaction() {
+        let c = LinearConstraint::new(vec![(0, 2.0), (2, -1.0)], Relation::Le, 3.0);
+        let x = [1.0, 99.0, 0.5];
+        assert_eq!(c.lhs(&x), 1.5);
+        assert!(c.satisfied_by(&x, 1e-9));
+        let c = LinearConstraint::new(vec![(0, 2.0)], Relation::Ge, 3.0);
+        assert!(!c.satisfied_by(&x, 1e-9));
+        let c = LinearConstraint::new(vec![(0, 2.0)], Relation::Eq, 2.0);
+        assert!(c.satisfied_by(&x, 1e-9));
+    }
+
+    #[test]
+    fn repeated_indices_accumulate() {
+        let c = LinearConstraint::new(vec![(0, 1.0), (0, 1.0)], Relation::Eq, 2.0);
+        assert_eq!(c.lhs(&[1.0]), 2.0);
+    }
+}

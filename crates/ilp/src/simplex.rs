@@ -1,0 +1,428 @@
+//! Dense two-phase primal simplex over nonnegative variables.
+//!
+//! Solves `minimize c·x subject to A·x {≤,≥,=} b, x ≥ 0`. Upper bounds (the
+//! 0-1 relaxation's `x ≤ 1`) are expressed as ordinary `≤` constraints by the
+//! caller. Bland's anti-cycling rule is used throughout, so the method
+//! terminates on degenerate instances; the problems produced by attack-tree
+//! encodings are small enough that Bland's slower pivoting is irrelevant.
+
+use crate::model::{LinearConstraint, Relation};
+
+/// Numerical tolerance for pivoting and feasibility decisions.
+const TOL: f64 = 1e-9;
+
+/// Result of an LP solve.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal vertex was found.
+    Optimal(LpSolution),
+    /// No assignment satisfies the constraints.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+}
+
+/// An optimal LP solution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LpSolution {
+    /// Optimal variable values.
+    pub values: Vec<f64>,
+    /// Optimal objective value `c·x`.
+    pub objective: f64,
+}
+
+/// Solves `minimize objective·x subject to constraints, x ≥ 0`.
+///
+/// # Panics
+///
+/// Panics if a constraint references a variable `≥ objective.len()`, or if
+/// any coefficient is NaN.
+pub fn solve(objective: &[f64], constraints: &[LinearConstraint]) -> LpOutcome {
+    Tableau::new(objective, constraints).solve()
+}
+
+struct Tableau {
+    /// `rows × cols` matrix; the last column is the RHS.
+    a: Vec<Vec<f64>>,
+    /// Objective row (reduced costs), last entry = −current objective value.
+    z: Vec<f64>,
+    /// Basic variable (column) of each row.
+    basis: Vec<usize>,
+    n_vars: usize,
+    n_cols: usize,
+    /// Columns of artificial variables (blocked in phase 2).
+    artificial: Vec<usize>,
+    original_objective: Vec<f64>,
+}
+
+impl Tableau {
+    fn new(objective: &[f64], constraints: &[LinearConstraint]) -> Self {
+        let n = objective.len();
+        assert!(objective.iter().all(|c| !c.is_nan()), "objective has NaN");
+        let m = constraints.len();
+
+        // Count auxiliary columns: slack for ≤, surplus+artificial for ≥,
+        // artificial for = (after normalizing to rhs ≥ 0).
+        let mut rows: Vec<(Vec<f64>, Relation, f64)> = Vec::with_capacity(m);
+        for c in constraints {
+            let mut dense = vec![0.0; n];
+            for &(i, coef) in &c.coefficients {
+                assert!(i < n, "constraint references variable {i} but there are only {n}");
+                assert!(!coef.is_nan(), "constraint coefficient is NaN");
+                dense[i] += coef;
+            }
+            let (mut rel, mut rhs) = (c.relation, c.rhs);
+            assert!(!rhs.is_nan(), "constraint rhs is NaN");
+            if rhs < 0.0 {
+                for d in dense.iter_mut() {
+                    *d = -*d;
+                }
+                rhs = -rhs;
+                rel = match rel {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+            }
+            rows.push((dense, rel, rhs));
+        }
+
+        let n_slack = rows.iter().filter(|(_, r, _)| *r != Relation::Eq).count();
+        let n_artificial = rows.iter().filter(|(_, r, _)| *r != Relation::Le).count();
+        let n_cols = n + n_slack + n_artificial + 1; // +1 for RHS
+
+        let mut a = vec![vec![0.0; n_cols]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut artificial = Vec::with_capacity(n_artificial);
+        let mut next_slack = n;
+        let mut next_artificial = n + n_slack;
+        for (r, (dense, rel, rhs)) in rows.iter().enumerate() {
+            a[r][..n].copy_from_slice(dense);
+            *a[r].last_mut().expect("rhs column") = *rhs;
+            match rel {
+                Relation::Le => {
+                    a[r][next_slack] = 1.0;
+                    basis[r] = next_slack;
+                    next_slack += 1;
+                }
+                Relation::Ge => {
+                    a[r][next_slack] = -1.0;
+                    next_slack += 1;
+                    a[r][next_artificial] = 1.0;
+                    basis[r] = next_artificial;
+                    artificial.push(next_artificial);
+                    next_artificial += 1;
+                }
+                Relation::Eq => {
+                    a[r][next_artificial] = 1.0;
+                    basis[r] = next_artificial;
+                    artificial.push(next_artificial);
+                    next_artificial += 1;
+                }
+            }
+        }
+
+        Tableau {
+            a,
+            z: vec![0.0; n_cols],
+            basis,
+            n_vars: n,
+            n_cols,
+            artificial,
+            original_objective: objective.to_vec(),
+        }
+    }
+
+    fn solve(mut self) -> LpOutcome {
+        // Phase 1: minimize the sum of artificial variables.
+        if !self.artificial.is_empty() {
+            let art = self.artificial.clone();
+            self.load_objective(|j| if art.contains(&j) { 1.0 } else { 0.0 });
+            match self.pivot_loop(false) {
+                PivotEnd::Optimal => {}
+                PivotEnd::Unbounded => unreachable!("phase-1 objective is bounded below by 0"),
+            }
+            if -self.z[self.n_cols - 1] > 1e-7 {
+                return LpOutcome::Infeasible;
+            }
+            // Pivot artificial variables out of the basis where possible.
+            for r in 0..self.a.len() {
+                if self.artificial.contains(&self.basis[r]) {
+                    if let Some(j) = (0..self.n_vars + (self.n_cols - 1 - self.n_vars)
+                        - self.artificial.len())
+                        .find(|&j| !self.artificial.contains(&j) && self.a[r][j].abs() > TOL)
+                    {
+                        self.pivot(r, j);
+                    }
+                    // If no pivot exists the row is redundant (all-zero over
+                    // structural columns); leaving the artificial basic at 0
+                    // is harmless because its column is blocked below.
+                }
+            }
+        }
+
+        // Phase 2: the real objective.
+        let c = self.original_objective.clone();
+        self.load_objective(|j| c.get(j).copied().unwrap_or(0.0));
+        match self.pivot_loop(true) {
+            PivotEnd::Optimal => {}
+            PivotEnd::Unbounded => return LpOutcome::Unbounded,
+        }
+
+        let mut values = vec![0.0; self.n_vars];
+        for (r, &b) in self.basis.iter().enumerate() {
+            if b < self.n_vars {
+                values[b] = self.a[r][self.n_cols - 1];
+            }
+        }
+        let objective =
+            values.iter().zip(&self.original_objective).map(|(x, c)| x * c).sum::<f64>();
+        LpOutcome::Optimal(LpSolution { values, objective })
+    }
+
+    /// Rebuilds the reduced-cost row for the objective `cost(j)`.
+    fn load_objective(&mut self, cost: impl Fn(usize) -> f64) {
+        for j in 0..self.n_cols {
+            self.z[j] = if j + 1 == self.n_cols { 0.0 } else { cost(j) };
+        }
+        for (r, &b) in self.basis.iter().enumerate() {
+            let cb = cost(b);
+            if cb != 0.0 {
+                for j in 0..self.n_cols {
+                    self.z[j] -= cb * self.a[r][j];
+                }
+            }
+        }
+    }
+
+    /// Runs Bland-rule pivoting until optimal or unbounded.
+    fn pivot_loop(&mut self, block_artificials: bool) -> PivotEnd {
+        loop {
+            // Entering column: smallest index with negative reduced cost.
+            let entering = (0..self.n_cols - 1).find(|&j| {
+                self.z[j] < -TOL && !(block_artificials && self.artificial.contains(&j))
+            });
+            let Some(j) = entering else {
+                return PivotEnd::Optimal;
+            };
+            // Ratio test with Bland tie-breaking (smallest basis index).
+            let mut leave: Option<(usize, f64)> = None;
+            for r in 0..self.a.len() {
+                let coef = self.a[r][j];
+                if coef > TOL {
+                    let ratio = self.a[r][self.n_cols - 1] / coef;
+                    let better = match leave {
+                        None => true,
+                        Some((lr, lratio)) => {
+                            ratio < lratio - TOL
+                                || (ratio < lratio + TOL && self.basis[r] < self.basis[lr])
+                        }
+                    };
+                    if better {
+                        leave = Some((r, ratio));
+                    }
+                }
+            }
+            let Some((r, _)) = leave else {
+                return PivotEnd::Unbounded;
+            };
+            self.pivot(r, j);
+        }
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let p = self.a[row][col];
+        for v in self.a[row].iter_mut() {
+            *v /= p;
+        }
+        for r in 0..self.a.len() {
+            if r != row {
+                let f = self.a[r][col];
+                if f != 0.0 {
+                    for j in 0..self.n_cols {
+                        self.a[r][j] -= f * self.a[row][j];
+                    }
+                }
+            }
+        }
+        let f = self.z[col];
+        if f != 0.0 {
+            for j in 0..self.n_cols {
+                self.z[j] -= f * self.a[row][j];
+            }
+        }
+        self.basis[row] = col;
+    }
+}
+
+enum PivotEnd {
+    Optimal,
+    Unbounded,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(coefficients: Vec<(usize, f64)>, rhs: f64) -> LinearConstraint {
+        LinearConstraint::new(coefficients, Relation::Le, rhs)
+    }
+
+    fn ge(coefficients: Vec<(usize, f64)>, rhs: f64) -> LinearConstraint {
+        LinearConstraint::new(coefficients, Relation::Ge, rhs)
+    }
+
+    fn eq(coefficients: Vec<(usize, f64)>, rhs: f64) -> LinearConstraint {
+        LinearConstraint::new(coefficients, Relation::Eq, rhs)
+    }
+
+    fn optimal(objective: &[f64], constraints: &[LinearConstraint]) -> LpSolution {
+        match solve(objective, constraints) {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), value 36.
+        let s = optimal(
+            &[-3.0, -5.0],
+            &[le(vec![(0, 1.0)], 4.0), le(vec![(1, 2.0)], 12.0), le(vec![(0, 3.0), (1, 2.0)], 18.0)],
+        );
+        assert!((s.objective + 36.0).abs() < 1e-7);
+        assert!((s.values[0] - 2.0).abs() < 1e-7 && (s.values[1] - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn phase_one_handles_ge_and_eq() {
+        // min x + y s.t. x + y ≥ 2, x = 0.5 → (0.5, 1.5), value 2.
+        let s = optimal(&[1.0, 1.0], &[ge(vec![(0, 1.0), (1, 1.0)], 2.0), eq(vec![(0, 1.0)], 0.5)]);
+        assert!((s.objective - 2.0).abs() < 1e-7);
+        assert!((s.values[0] - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ 1 and x ≥ 2.
+        let out = solve(&[1.0], &[le(vec![(0, 1.0)], 1.0), ge(vec![(0, 1.0)], 2.0)]);
+        assert_eq!(out, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min −x, x ≥ 0 unconstrained above.
+        let out = solve(&[-1.0], &[]);
+        assert_eq!(out, LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // −x ≤ −3 means x ≥ 3.
+        let s = optimal(&[1.0], &[le(vec![(0, -1.0)], -3.0)]);
+        assert!((s.objective - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints active at the optimum.
+        let s = optimal(
+            &[-1.0, -1.0],
+            &[
+                le(vec![(0, 1.0)], 1.0),
+                le(vec![(1, 1.0)], 1.0),
+                le(vec![(0, 1.0), (1, 1.0)], 2.0),
+                le(vec![(0, 1.0), (1, 1.0)], 2.0),
+            ],
+        );
+        assert!((s.objective + 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_only_system() {
+        // x + y = 1, x − y = 0 → x = y = 0.5.
+        let s = optimal(
+            &[0.0, 0.0],
+            &[eq(vec![(0, 1.0), (1, 1.0)], 1.0), eq(vec![(0, 1.0), (1, -1.0)], 0.0)],
+        );
+        assert!((s.values[0] - 0.5).abs() < 1e-7);
+        assert!((s.values[1] - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn redundant_equalities_are_tolerated() {
+        // The same equality twice leaves a redundant artificial row.
+        let s = optimal(&[1.0], &[eq(vec![(0, 1.0)], 2.0), eq(vec![(0, 1.0)], 2.0)]);
+        assert!((s.objective - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn beales_cycling_example_terminates_with_blands_rule() {
+        // Beale (1955): cycles forever under Dantzig pivoting; Bland's rule
+        // must terminate at objective −1/20 (x = (1/25, 0, 1, 0)).
+        let s = optimal(
+            &[-0.75, 150.0, -0.02, 6.0],
+            &[
+                le(vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], 0.0),
+                le(vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], 0.0),
+                le(vec![(2, 1.0)], 1.0),
+            ],
+        );
+        assert!((s.objective + 0.05).abs() < 1e-7, "objective {}", s.objective);
+        assert!((s.values[0] - 0.04).abs() < 1e-7);
+        assert!((s.values[2] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_objective_returns_any_feasible_vertex() {
+        let s = optimal(&[0.0, 0.0], &[ge(vec![(0, 1.0), (1, 1.0)], 3.0), le(vec![(0, 1.0)], 5.0), le(vec![(1, 1.0)], 5.0)]);
+        assert_eq!(s.objective, 0.0);
+        assert!(s.values[0] + s.values[1] >= 3.0 - 1e-7);
+    }
+
+    #[test]
+    fn random_lps_satisfy_feasibility_and_beat_random_points() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut optimal_count = 0;
+        for _ in 0..100 {
+            let n = rng.gen_range(1..=4);
+            let m = rng.gen_range(1..=4);
+            let objective: Vec<f64> = (0..n).map(|_| rng.gen_range(-5..=5) as f64).collect();
+            let mut constraints: Vec<LinearConstraint> = (0..m)
+                .map(|_| {
+                    let coefficients =
+                        (0..n).map(|i| (i, rng.gen_range(-3..=3) as f64)).collect();
+                    let relation = match rng.gen_range(0..3) {
+                        0 => Relation::Le,
+                        1 => Relation::Ge,
+                        _ => Relation::Eq,
+                    };
+                    LinearConstraint::new(coefficients, relation, rng.gen_range(-5..=5) as f64)
+                })
+                .collect();
+            // Box the variables so "unbounded" cannot hide bugs.
+            for i in 0..n {
+                constraints.push(le(vec![(i, 1.0)], 10.0));
+            }
+            if let LpOutcome::Optimal(s) = solve(&objective, &constraints) {
+                optimal_count += 1;
+                for c in &constraints {
+                    assert!(c.satisfied_by(&s.values, 1e-6), "violated {c:?} at {:?}", s.values);
+                }
+                assert!(s.values.iter().all(|&v| v >= -1e-7), "negative variable");
+                // No random feasible sample may beat the reported optimum.
+                for _ in 0..200 {
+                    let cand: Vec<f64> =
+                        (0..n).map(|_| rng.gen_range(0..=100) as f64 / 10.0).collect();
+                    if constraints.iter().all(|c| c.satisfied_by(&cand, 1e-9)) {
+                        let val: f64 =
+                            cand.iter().zip(&objective).map(|(x, c)| x * c).sum();
+                        assert!(val >= s.objective - 1e-6, "sample {cand:?} beats optimum");
+                    }
+                }
+            }
+        }
+        assert!(optimal_count > 20, "too few feasible random LPs to be meaningful");
+    }
+}

@@ -1,0 +1,242 @@
+//! The nine literature building blocks of the paper's Table IV.
+//!
+//! The random-AT generator of the paper combines attack trees from the
+//! literature; Table IV lists each source with its node count and shape.
+//! The original figures are not reproduced in the paper, so these blocks are
+//! **synthetic stand-ins with exactly the published node counts and
+//! tree/DAG shapes** (documented substitution — see DESIGN.md): the timing
+//! experiments depend on size and shape, not on the blocks' semantics.
+//! DAG-like blocks share at least one node between two parents, like their
+//! originals (which feature repeated labels).
+
+use cdat_core::{AttackTree, AttackTreeBuilder};
+
+/// A Table IV building block: its provenance label, the node count and
+/// treelike flag published in the paper, and the constructor.
+#[derive(Copy, Clone)]
+pub struct Block {
+    /// Source citation as printed in Table IV (e.g. `"[11] Fig. 1"`).
+    pub source: &'static str,
+    /// Published node count `|N|`.
+    pub nodes: usize,
+    /// Published shape: `true` for treelike.
+    pub treelike: bool,
+    /// Builds a fresh instance of the block.
+    pub build: fn() -> AttackTree,
+}
+
+impl std::fmt::Debug for Block {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Block")
+            .field("source", &self.source)
+            .field("nodes", &self.nodes)
+            .field("treelike", &self.treelike)
+            .finish()
+    }
+}
+
+/// All nine building blocks of Table IV.
+pub fn all() -> Vec<Block> {
+    vec![
+        Block { source: "[11] Fig. 1", nodes: 12, treelike: false, build: kumar2015_fig1 },
+        Block { source: "[11] Fig. 8", nodes: 20, treelike: false, build: kumar2015_fig8 },
+        Block { source: "[11] Fig. 9", nodes: 12, treelike: false, build: kumar2015_fig9 },
+        Block { source: "[8] Fig. 1", nodes: 16, treelike: false, build: arnold2015_fig1 },
+        Block { source: "[17] Fig. 1", nodes: 15, treelike: true, build: kordy2018_fig1 },
+        Block { source: "[40] Fig. 3", nodes: 8, treelike: true, build: arnold2014_fig3 },
+        Block { source: "[40] Fig. 5", nodes: 21, treelike: true, build: arnold2014_fig5 },
+        Block { source: "[40] Fig. 7", nodes: 25, treelike: true, build: arnold2014_fig7 },
+        Block { source: "[41] Fig. 2", nodes: 20, treelike: true, build: fraile2016_fig2 },
+    ]
+}
+
+/// The treelike blocks only (used for the paper's `T_tree` suite).
+pub fn treelike() -> Vec<Block> {
+    all().into_iter().filter(|b| b.treelike).collect()
+}
+
+/// Stand-in for Kumar et al. 2015, Fig. 1 (12 nodes, DAG-like).
+pub fn kumar2015_fig1() -> AttackTree {
+    let mut b = AttackTreeBuilder::new();
+    let b1 = b.bas("b1");
+    let b2 = b.bas("b2");
+    let b3 = b.bas("b3");
+    let b4 = b.bas("b4");
+    let b5 = b.bas("b5");
+    let b6 = b.bas("b6");
+    let b7 = b.bas("b7");
+    let o1 = b.or("o1", [b4, b5]);
+    let a1 = b.and("a1", [b1, b2, b3]);
+    let a2 = b.and("a2", [b1, o1]); // b1 shared
+    let a3 = b.and("a3", [b6, b7]);
+    let _root = b.or("root", [a1, a2, a3]);
+    b.build().expect("block is structurally valid")
+}
+
+/// Stand-in for Kumar et al. 2015, Fig. 8 (20 nodes, DAG-like).
+pub fn kumar2015_fig8() -> AttackTree {
+    let mut b = AttackTreeBuilder::new();
+    let bs: Vec<_> = (1..=12).map(|i| b.bas(&format!("b{i}"))).collect();
+    let a1 = b.and("a1", [bs[5], bs[6]]);
+    let a2 = b.and("a2", [bs[6], bs[7], bs[8], bs[10]]); // b7 shared
+    let s1 = b.or("s1", [bs[0], bs[1], bs[2], bs[9]]);
+    let s2 = b.or("s2", [bs[3], a1]);
+    let s3 = b.or("s3", [bs[4], a2, bs[11]]);
+    let m1 = b.and("m1", [s1, s2]);
+    let m2 = b.and("m2", [s2, s3]); // s2 shared
+    let _root = b.or("root", [m1, m2]);
+    b.build().expect("block is structurally valid")
+}
+
+/// Stand-in for Kumar et al. 2015, Fig. 9 (12 nodes, DAG-like).
+pub fn kumar2015_fig9() -> AttackTree {
+    let mut b = AttackTreeBuilder::new();
+    let bs: Vec<_> = (1..=7).map(|i| b.bas(&format!("b{i}"))).collect();
+    let a1 = b.and("a1", [bs[3], bs[4]]);
+    let a2 = b.and("a2", [bs[4], bs[5], bs[6]]); // b5 shared
+    let o1 = b.or("o1", [bs[0], bs[1], a1]);
+    let o2 = b.or("o2", [bs[2], a1, a2]); // a1 shared
+    let _root = b.and("root", [o1, o2]);
+    b.build().expect("block is structurally valid")
+}
+
+/// Stand-in for Arnold et al. 2015, Fig. 1 (16 nodes, DAG-like).
+pub fn arnold2015_fig1() -> AttackTree {
+    let mut b = AttackTreeBuilder::new();
+    let bs: Vec<_> = (1..=10).map(|i| b.bas(&format!("b{i}"))).collect();
+    let a1 = b.and("a1", [bs[2], bs[3], bs[4]]);
+    let o1 = b.or("o1", [bs[6], bs[7], bs[8], bs[9]]);
+    let a2 = b.and("a2", [bs[5], o1]);
+    let p1 = b.or("p1", [bs[0], a1]);
+    let p2 = b.or("p2", [a1, a2, bs[1]]); // a1 shared
+    let _root = b.and("root", [p1, p2]);
+    b.build().expect("block is structurally valid")
+}
+
+/// Stand-in for Kordy & Wideł 2018, Fig. 1, attack part (15 nodes, treelike).
+pub fn kordy2018_fig1() -> AttackTree {
+    let mut b = AttackTreeBuilder::new();
+    let bs: Vec<_> = (1..=9).map(|i| b.bas(&format!("b{i}"))).collect();
+    let a1 = b.and("a1", [bs[0], bs[1]]);
+    let o1 = b.or("o1", [bs[3], bs[4]]);
+    let a2 = b.and("a2", [bs[2], o1]);
+    let a4 = b.and("a4", [bs[6], bs[7], bs[8]]);
+    let a3 = b.or("a3", [bs[5], a4]);
+    let _root = b.or("root", [a1, a2, a3]);
+    b.build().expect("block is structurally valid")
+}
+
+/// Stand-in for Arnold et al. 2014, Fig. 3 (8 nodes, treelike).
+pub fn arnold2014_fig3() -> AttackTree {
+    let mut b = AttackTreeBuilder::new();
+    let bs: Vec<_> = (1..=5).map(|i| b.bas(&format!("b{i}"))).collect();
+    let o1 = b.or("o1", [bs[0], bs[1]]);
+    let o2 = b.or("o2", [bs[2], bs[3], bs[4]]);
+    let _root = b.and("root", [o1, o2]);
+    b.build().expect("block is structurally valid")
+}
+
+/// Stand-in for Arnold et al. 2014, Fig. 5 (21 nodes, treelike).
+pub fn arnold2014_fig5() -> AttackTree {
+    let mut b = AttackTreeBuilder::new();
+    let bs: Vec<_> = (1..=13).map(|i| b.bas(&format!("b{i}"))).collect();
+    let a1 = b.and("a1", [bs[1], bs[2], bs[3]]);
+    let s1 = b.or("s1", [bs[0], a1]);
+    let o2 = b.or("o2", [bs[6], bs[7]]);
+    let a2 = b.and("a2", [bs[4], bs[5], o2]);
+    let o3 = b.or("o3", [bs[9], bs[10], bs[11], bs[12]]);
+    let a3 = b.and("a3", [bs[8], o3]);
+    let s2 = b.or("s2", [a2, a3]);
+    let _root = b.and("root", [s1, s2]);
+    b.build().expect("block is structurally valid")
+}
+
+/// Stand-in for Arnold et al. 2014, Fig. 7 (25 nodes, treelike).
+pub fn arnold2014_fig7() -> AttackTree {
+    let mut b = AttackTreeBuilder::new();
+    let bs: Vec<_> = (1..=15).map(|i| b.bas(&format!("b{i}"))).collect();
+    let y1 = b.or("y1", [bs[2], bs[3]]);
+    let x1 = b.and("x1", [bs[0], bs[1], y1]);
+    let y2 = b.or("y2", [bs[4], bs[5], bs[6]]);
+    let y3 = b.and("y3", [bs[7], bs[8]]);
+    let x2 = b.and("x2", [y2, y3]);
+    let y4 = b.and("y4", [bs[9], bs[10], bs[11]]);
+    let y6 = b.or("y6", [bs[13], bs[14]]);
+    let y5 = b.and("y5", [bs[12], y6]);
+    let x3 = b.or("x3", [y4, y5]);
+    let _root = b.or("root", [x1, x2, x3]);
+    b.build().expect("block is structurally valid")
+}
+
+/// Stand-in for Fraile et al. 2016, Fig. 2, attack part (20 nodes, treelike).
+pub fn fraile2016_fig2() -> AttackTree {
+    let mut b = AttackTreeBuilder::new();
+    let bs: Vec<_> = (1..=12).map(|i| b.bas(&format!("b{i}"))).collect();
+    let g1 = b.or("g1", [bs[0], bs[1], bs[2]]);
+    let a1 = b.and("a1", [bs[3], bs[4]]);
+    let a2 = b.and("a2", [bs[5], bs[6], bs[7]]);
+    let g2 = b.or("g2", [a1, a2]);
+    let o1 = b.or("o1", [bs[10], bs[11]]);
+    let a3 = b.and("a3", [bs[9], o1]);
+    let g3 = b.or("g3", [bs[8], a3]);
+    let _root = b.and("root", [g1, g2, g3]);
+    b.build().expect("block is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_block_matches_its_table_iv_row() {
+        for block in all() {
+            let tree = (block.build)();
+            assert_eq!(
+                tree.node_count(),
+                block.nodes,
+                "{}: node count differs from Table IV",
+                block.source
+            );
+            assert_eq!(
+                tree.is_treelike(),
+                block.treelike,
+                "{}: shape differs from Table IV",
+                block.source
+            );
+        }
+    }
+
+    #[test]
+    fn table_iv_has_nine_blocks_five_treelike() {
+        assert_eq!(all().len(), 9);
+        assert_eq!(treelike().len(), 5);
+        assert!(treelike().iter().all(|b| b.treelike));
+    }
+
+    #[test]
+    fn blocks_have_mixed_gate_types() {
+        use cdat_core::NodeType;
+        for block in all() {
+            let tree = (block.build)();
+            let mut ors = 0;
+            let mut ands = 0;
+            for v in tree.node_ids() {
+                match tree.node_type(v) {
+                    NodeType::Or => ors += 1,
+                    NodeType::And => ands += 1,
+                    NodeType::Bas => {}
+                }
+            }
+            assert!(ors > 0 && ands > 0, "{}: needs both gate types", block.source);
+        }
+    }
+
+    #[test]
+    fn dag_blocks_actually_share_nodes() {
+        for block in all().iter().filter(|b| !b.treelike) {
+            let tree = (block.build)();
+            let shared = tree.node_ids().any(|v| tree.parents(v).len() > 1);
+            assert!(shared, "{}: no shared node", block.source);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The data-server AT (paper Fig. 5, after Dewri et al.).
+//!
+//! A data server sits on a network behind a firewall together with an SMTP
+//! (mail) server, an FTP server and a terminal. The adversary chains known
+//! exploits: buffer overflows on the FTP server's SSH/FTP daemons, rhost
+//! tricks to log into the mail server, a LICQ remote-to-user attack and a
+//! suid buffer overflow on the data server itself. Costs are attacker time
+//! (in the paper: expected values of the exponential durations of [38],
+//! taken as 1/100 s units); damages are the unitless composite severity
+//! scores of Dewri et al.
+//!
+//! The tree is **DAG-like**: the FTP internet connection feeds both buffer
+//! overflows, root access to the FTP server feeds both the user-access and
+//! the connect-to-data-server conditions, and user access to the mail server
+//! is reusable from two places. 24 nodes, 12 BASs.
+//!
+//! Some nodes (e.g. *user access to terminal*) are superfluous for reaching
+//! the top but carry damage, so they matter for cost-damage analysis — the
+//! paper makes exactly this point.
+
+use cdat_core::{Attack, AttackTreeBuilder, CdAttackTree};
+
+/// BAS attributes: `(paper index, name, cost in 1/100 s)`.
+pub const DATASERVER_BAS: [(usize, &str, f64); 12] = [
+    (1, "internet connection to SMTP server", 100.0),
+    (2, "FTP .rhost attack on SMTP server", 161.0),
+    (3, "RSH login to SMTP server", 147.0),
+    (4, "LICQ remote-to-user attack on terminal", 155.0),
+    (5, "local buffer overflow at 'at' daemon", 150.0),
+    (6, "internet connection to FTP server", 100.0),
+    (7, "attack via SSH", 155.0),
+    (8, "attack via FTP", 150.0),
+    (9, "FTP .rhost attack on FTP server", 161.0),
+    (10, "RSH login to FTP server", 147.0),
+    (11, "LICQ remote-to-user attack on data server", 155.0),
+    (12, "suid buffer overflow", 163.0),
+];
+
+/// Builds the data-server cd-AT.
+pub fn dataserver() -> CdAttackTree {
+    let mut b = AttackTreeBuilder::new();
+    let bas: Vec<_> = DATASERVER_BAS.iter().map(|(_, name, _)| b.bas(name)).collect();
+    let by_index = |i: usize| bas[i - 1];
+
+    // Mail-server path.
+    let smtp_auth = b.and("SMTP authentication bypassed", [by_index(2), by_index(3)]);
+    let user_smtp = b.and("user access to SMTP server", [by_index(1), smtp_auth]);
+    let user_term = b.and("user access to terminal", [user_smtp, by_index(4)]);
+    let root_term = b.and("root access to terminal", [user_term, by_index(5)]);
+    // FTP-server path; the internet connection (6) is shared by both
+    // overflows, making the tree DAG-like.
+    let ssh_bof = b.and("SSH buffer overflow", [by_index(6), by_index(7)]);
+    let ftp_bof = b.and("FTP buffer overflow", [by_index(6), by_index(8)]);
+    let root_ftp = b.or("root access to FTP server", [ssh_bof, ftp_bof]);
+    let login_ftp = b.and("login to FTP server", [user_smtp, by_index(9), by_index(10)]);
+    let user_ftp = b.or("user access to FTP server", [login_ftp, root_ftp]);
+    // Data-server path: reachable from the FTP server (either access level)
+    // or from the terminal.
+    let connect = b.or("connect to data server", [root_ftp, user_ftp, root_term]);
+    let user_ds = b.and("user access to data server", [connect, by_index(11)]);
+    let _root_ds = b.and("root access to data server", [user_ds, by_index(12)]);
+
+    let tree = b.build().expect("data-server model is structurally valid");
+    let mut builder = CdAttackTree::builder(tree);
+    for (_, name, cost) in DATASERVER_BAS {
+        builder = builder.cost(name, cost).expect("known BAS name and valid cost");
+    }
+    for (name, damage) in [
+        ("user access to SMTP server", 10.8),
+        ("user access to terminal", 5.0),
+        ("root access to terminal", 7.0),
+        ("root access to FTP server", 10.5),
+        ("user access to FTP server", 13.5),
+        ("root access to data server", 36.0),
+    ] {
+        builder = builder.damage(name, damage).expect("known node name and valid damage");
+    }
+    builder.finish().expect("data-server attribution is valid")
+}
+
+/// Looks up the attack `{b_i, b_j, …}` of the paper's Fig. 6c notation.
+pub fn dataserver_attack(cd: &CdAttackTree, indices: &[usize]) -> Attack {
+    let names = indices.iter().map(|&i| DATASERVER_BAS[i - 1].1);
+    cd.tree().attack_of_names(names).expect("data-server BAS indices are 1..=12")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_fig_5() {
+        let cd = dataserver();
+        let t = cd.tree();
+        assert_eq!(t.bas_count(), 12);
+        assert_eq!(t.node_count(), 24);
+        assert!(!t.is_treelike(), "paper: Fig. 5 is DAG-like");
+        assert_eq!(t.name(t.root()), "root access to data server");
+        // The shared nodes have two or three parents.
+        let root_ftp = t.find("root access to FTP server").unwrap();
+        assert_eq!(t.parents(root_ftp).len(), 2);
+        let conn = t.find("internet connection to FTP server").unwrap();
+        assert_eq!(t.parents(conn).len(), 2);
+        let user_smtp = t.find("user access to SMTP server").unwrap();
+        assert_eq!(t.parents(user_smtp).len(), 2);
+    }
+
+    #[test]
+    fn fig_6c_attack_table_reproduces() {
+        // All five rows of Fig. 6c: (BAS set, cost, damage, reaches top).
+        let cd = dataserver();
+        let rows: [(&[usize], f64, f64, bool); 5] = [
+            (&[6, 8], 250.0, 24.0, false),
+            (&[6, 8, 11, 12], 568.0, 60.0, true),
+            (&[6, 8, 11, 12, 1, 2, 3], 976.0, 70.8, true),
+            (&[6, 8, 11, 12, 1, 2, 3, 4], 1131.0, 75.8, true),
+            (&[6, 8, 11, 12, 1, 2, 3, 4, 5], 1281.0, 82.8, true),
+        ];
+        for (indices, cost, damage, top) in rows {
+            let x = dataserver_attack(&cd, indices);
+            assert_eq!(cd.cost_of(&x), cost, "cost of {indices:?}");
+            assert!((cd.damage_of(&x) - damage).abs() < 1e-9, "damage of {indices:?}");
+            assert_eq!(cd.tree().reaches_root(&x), top, "top flag of {indices:?}");
+        }
+    }
+
+    #[test]
+    fn maximal_damage_is_82_8() {
+        let cd = dataserver();
+        assert!((cd.max_damage() - 82.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn superfluous_nodes_carry_damage() {
+        // user/root access to terminal are not needed for the top but do
+        // damage — the paper's argument for analyzing non-minimal attacks.
+        let cd = dataserver();
+        let full = cd.tree().full_attack();
+        let without_terminal = dataserver_attack(&cd, &[6, 8, 11, 12, 1, 2, 3, 9, 10, 7]);
+        assert!(cd.tree().reaches_root(&without_terminal));
+        assert!(cd.damage_of(&full) > cd.damage_of(&without_terminal));
+    }
+}

@@ -1,0 +1,73 @@
+//! The paper's running example (Fig. 1): factory production shutdown.
+
+use cdat_core::{AttackTreeBuilder, CdAttackTree, CdpAttackTree};
+
+/// The factory cd-AT of Fig. 1: production shutdown (damage 200k USD) via a
+/// cyberattack (cost 1) or by destroying the production robot (damage 100k),
+/// which needs forcing a door (cost 2, damage 10k) and placing a bomb
+/// (cost 3).
+pub fn factory() -> CdAttackTree {
+    let mut b = AttackTreeBuilder::new();
+    let ca = b.bas("cyberattack");
+    let pb = b.bas("place bomb");
+    let fd = b.bas("force door");
+    let dr = b.and("destroy robot", [pb, fd]);
+    let _ps = b.or("production shutdown", [ca, dr]);
+    CdAttackTree::builder(b.build().expect("factory model is structurally valid"))
+        .cost("cyberattack", 1.0)
+        .and_then(|c| c.cost("place bomb", 3.0))
+        .and_then(|c| c.cost("force door", 2.0))
+        .and_then(|c| c.damage("force door", 10.0))
+        .and_then(|c| c.damage("destroy robot", 100.0))
+        .and_then(|c| c.damage("production shutdown", 200.0))
+        .and_then(|c| c.finish())
+        .expect("factory attribution is valid")
+}
+
+/// The factory cdp-AT of Example 8: success probabilities 0.2 (cyberattack),
+/// 0.4 (place bomb) and 0.9 (force door).
+pub fn factory_cdp() -> CdpAttackTree {
+    factory()
+        .with_probabilities()
+        .probability("cyberattack", 0.2)
+        .and_then(|c| c.probability("place bomb", 0.4))
+        .and_then(|c| c.probability("force door", 0.9))
+        .and_then(|c| c.finish())
+        .expect("factory probabilities are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_fig_1() {
+        let cd = factory();
+        let t = cd.tree();
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.bas_count(), 3);
+        assert!(t.is_treelike());
+        assert_eq!(t.name(t.root()), "production shutdown");
+    }
+
+    #[test]
+    fn example_1_table_reproduces() {
+        let cd = factory();
+        let x = cd.tree().attack_of_names(["place bomb", "force door"]).unwrap();
+        assert_eq!(cd.cost_of(&x), 5.0);
+        assert_eq!(cd.damage_of(&x), 310.0);
+        let x = cd.tree().attack_of_names(["cyberattack"]).unwrap();
+        assert_eq!(cd.cost_of(&x), 1.0);
+        assert_eq!(cd.damage_of(&x), 200.0);
+    }
+
+    #[test]
+    fn probabilities_match_example_8() {
+        let cdp = factory_cdp();
+        let t = cdp.tree();
+        let p_of = |name: &str| cdp.prob(t.bas_of_node(t.find(name).unwrap()).unwrap());
+        assert_eq!(p_of("cyberattack"), 0.2);
+        assert_eq!(p_of("place bomb"), 0.4);
+        assert_eq!(p_of("force door"), 0.9);
+    }
+}

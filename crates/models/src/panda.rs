@@ -1,0 +1,190 @@
+//! The giant-panda IoT sensor network AT (paper Fig. 4, after Jiang et al.).
+//!
+//! Privacy attacks on a wireless sensor network tracking giant pandas in a
+//! Chinese reservation: the adversary wants the animals' location
+//! information, by eavesdropping at several network layers, by buying the
+//! information, or by compromising the base station outright. Damage values
+//! (million USD) estimate the economic loss from leaked locations — note the
+//! top event carries *less* damage than compromising the base station, which
+//! leaks every panda's location; this inversion is exactly why cost-damage
+//! analysis must look below the root.
+//!
+//! The tree is treelike with 38 nodes and 22 BASs, matching the paper. The
+//! decoration is calibrated so that the deterministic Pareto front equals
+//! Fig. 6a exactly; see the crate docs for the fidelity statement.
+
+use cdat_core::{AttackTreeBuilder, CdAttackTree, CdpAttackTree};
+
+/// BAS attributes: `(paper index, name, cost, success probability)`.
+///
+/// The paper indexes BASs 1–22 (its attack sets `{b18}`, `{b19, b20}`, …
+/// refer to these); the array position is the BAS id in the built tree.
+pub const PANDA_BAS: [(usize, &str, f64, f64); 22] = [
+    (1, "obtain messages", 1.0, 0.5),
+    (2, "analytical reasoning", 4.0, 0.5),
+    (3, "brute force", 3.0, 0.3),
+    (4, "look for nodes", 2.0, 0.5),
+    (5, "crack security", 3.0, 0.5),
+    (6, "search information", 2.0, 0.7),
+    (7, "high-monitor equipment", 4.0, 0.9),
+    (8, "physical layer", 2.0, 0.7),
+    (9, "MAC layer", 3.0, 0.7),
+    (10, "appliance layer", 3.0, 0.7),
+    (11, "compute local location info", 2.0, 0.9),
+    (12, "group monitor equipment", 3.0, 0.9),
+    (13, "traffic information collection", 3.0, 0.9),
+    (14, "analyze collected information", 3.0, 0.9),
+    (15, "find base station", 1.0, 0.7),
+    (16, "follow hop-by-hop", 3.0, 0.5),
+    (17, "purchase from 3rd party", 5.0, 0.5),
+    (18, "internal leakage", 3.0, 0.9),
+    (19, "look for base station", 1.0, 0.7),
+    (20, "crack password", 3.0, 0.3),
+    (21, "send malicious codes to base station", 1.0, 0.3),
+    (22, "malicious codes ran", 3.0, 0.3),
+];
+
+/// Builds the panda cd-AT (deterministic attributes only).
+pub fn panda() -> CdAttackTree {
+    let mut b = AttackTreeBuilder::new();
+    let bas: Vec<_> = PANDA_BAS.iter().map(|(_, name, _, _)| b.bas(name)).collect();
+    let by_index = |i: usize| bas[i - 1]; // paper's 1-based numbering
+
+    // Eavesdropping branch.
+    let pc = b.or("password cracked", [by_index(2), by_index(3)]);
+    let md = b.and("messages deciphered", [by_index(1), pc]);
+    let nc = b.and("node compromised", [by_index(4), by_index(5)]);
+    let iotn = b.and("info obtained through node", [md, nc, by_index(6)]);
+    let gtic = b.or("global traffic info collection", [by_index(8), by_index(9), by_index(10)]);
+    let gic = b.and("global info compromised", [by_index(7), gtic]);
+    let gev = b.and("global eavesdropping", [gic, by_index(14)]);
+    let ge = b.and("group eavesdropping", [by_index(11), by_index(12), by_index(13)]);
+    let le = b.and("local eavesdropping", [by_index(15), by_index(16)]);
+    let lic = b.or("location info captured", [iotn, gev, ge, le]);
+    let lie = b.or("location info eavesdropped", [lic]);
+    // Purchase branch.
+    let lip = b.or("location info purchased", [by_index(17), by_index(18)]);
+    // Base-station branch.
+    let pt = b.and("physical theft", [by_index(19), by_index(20)]);
+    let ct = b.and("code theft", [by_index(21), by_index(22)]);
+    let bsc = b.or("base station compromised", [pt, ct]);
+    let _root = b.or("location privacy leakage", [lie, lip, bsc]);
+
+    let tree = b.build().expect("panda model is structurally valid");
+    let mut builder = CdAttackTree::builder(tree);
+    for (_, name, cost, _) in PANDA_BAS {
+        builder = builder.cost(name, cost).expect("known BAS name and valid cost");
+    }
+    // Damage (million USD): internal nodes dominate the top event.
+    for (name, damage) in [
+        ("messages deciphered", 10.0),
+        ("node compromised", 5.0),
+        ("global info compromised", 15.0),
+        ("group eavesdropping", 5.0),
+        ("location info purchased", 15.0),
+        ("base station compromised", 45.0),
+        ("location privacy leakage", 5.0),
+    ] {
+        builder = builder.damage(name, damage).expect("known node name and valid damage");
+    }
+    builder.finish().expect("panda attribution is valid")
+}
+
+/// Builds the panda cdp-AT with the BAS success probabilities of Fig. 4.
+pub fn panda_cdp() -> CdpAttackTree {
+    let mut builder = panda().with_probabilities();
+    for (_, name, _, p) in PANDA_BAS {
+        builder = builder.probability(name, p).expect("known BAS name and valid probability");
+    }
+    builder.finish().expect("panda probabilities are valid")
+}
+
+/// Looks up the attack `{b_i, b_j, …}` of the paper's Fig. 6 notation (the
+/// 1-based BAS indices of [`PANDA_BAS`]).
+pub fn panda_attack(cd: &CdAttackTree, indices: &[usize]) -> cdat_core::Attack {
+    let names = indices.iter().map(|&i| PANDA_BAS[i - 1].1);
+    cd.tree().attack_of_names(names).expect("panda BAS indices are 1..=22")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_fig_4() {
+        let cd = panda();
+        let t = cd.tree();
+        assert_eq!(t.node_count(), 38, "paper: N = 38");
+        assert_eq!(t.bas_count(), 22, "paper: 2^22 attacks for the enumerative method");
+        assert!(t.is_treelike(), "paper: Fig. 4 is treelike");
+        assert_eq!(t.name(t.root()), "location privacy leakage");
+    }
+
+    #[test]
+    fn total_damage_is_100_million() {
+        // Fig. 6a ends at damage 100: the most damaging attack hits every
+        // damage-carrying node.
+        let cd = panda();
+        assert_eq!(cd.max_damage(), 100.0);
+    }
+
+    #[test]
+    fn minimal_attacks_of_the_case_study() {
+        // The paper: "every optimal attack contains at least one of the
+        // minimal attacks {b18}, {b19,b20} and {b21,b22}".
+        let cd = panda();
+        let a1 = panda_attack(&cd, &[18]);
+        assert_eq!((cd.cost_of(&a1), cd.damage_of(&a1)), (3.0, 20.0));
+        assert!(cd.tree().reaches_root(&a1));
+        let a2 = panda_attack(&cd, &[19, 20]);
+        assert_eq!((cd.cost_of(&a2), cd.damage_of(&a2)), (4.0, 50.0));
+        assert!(cd.tree().reaches_root(&a2));
+        let a2b = panda_attack(&cd, &[21, 22]);
+        assert_eq!((cd.cost_of(&a2b), cd.damage_of(&a2b)), (4.0, 50.0));
+    }
+
+    #[test]
+    fn fig_6a_attack_table_reproduces() {
+        // All eight rows of Fig. 6a, as (BAS set, cost, damage, reaches top).
+        let cd = panda();
+        let rows: [(&[usize], f64, f64); 8] = [
+            (&[18], 3.0, 20.0),
+            (&[19, 20], 4.0, 50.0),
+            (&[18, 19, 20], 7.0, 65.0),
+            (&[18, 19, 20, 1, 3], 11.0, 75.0),
+            (&[18, 19, 20, 7, 8], 13.0, 80.0),
+            (&[18, 19, 20, 1, 3, 7, 8], 17.0, 90.0),
+            (&[18, 19, 20, 1, 3, 7, 8, 4, 5], 22.0, 95.0),
+            (&[18, 19, 20, 1, 3, 7, 8, 4, 5, 11, 12, 13], 30.0, 100.0),
+        ];
+        for (indices, cost, damage) in rows {
+            let x = panda_attack(&cd, indices);
+            assert_eq!(cd.cost_of(&x), cost, "cost of {indices:?}");
+            assert_eq!(cd.damage_of(&x), damage, "damage of {indices:?}");
+            assert!(cd.tree().reaches_root(&x), "{indices:?} reaches the top");
+        }
+    }
+
+    #[test]
+    fn fig_6b_expected_damages_reproduce() {
+        // The five listed points of Fig. 6b (expected damage to the paper's
+        // printed 1-decimal precision).
+        let cdp = panda_cdp();
+        let rows: [(&[usize], f64, f64); 5] = [
+            (&[18], 3.0, 18.0),
+            (&[18, 19, 20], 7.0, 27.6),
+            (&[18, 19, 20, 21, 22], 11.0, 30.8),
+            (&[18, 19, 20, 7, 8], 13.0, 37.0),
+            (&[18, 19, 20, 7, 8, 9], 16.0, 39.8),
+        ];
+        for (indices, cost, expected) in rows {
+            let x = panda_attack(cdp.cd(), indices);
+            assert_eq!(cdp.cost_of(&x), cost);
+            let d = cdp.expected_damage(&x).expect("panda tree is treelike");
+            assert!(
+                (d - expected).abs() < 0.06,
+                "expected damage of {indices:?}: got {d:.3}, paper prints {expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Activation values: the third coordinate of the extended Pareto domain.
+
+/// The "potential" coordinate stored alongside cost and damage during
+/// bottom-up propagation.
+///
+/// Deterministically an attack either reaches the current node or not
+/// ([`bool`]); probabilistically it reaches the node with some probability
+/// ([`Prob`]). Combining attacks on two children of a gate combines their
+/// activations: conjunction/product for `AND`, disjunction/probabilistic sum
+/// `p ⋆ q = p + q − pq` for `OR`.
+///
+/// The ordering used for domination is "more activation is better": a higher
+/// activation can only unlock more damage at ancestors (the gate operators
+/// and the damage increment are monotone in each activation argument, which
+/// is what makes pruning mid-recursion sound).
+pub trait Activation: Copy + PartialEq + std::fmt::Debug {
+    /// Activation of attacks that do not reach the node at all.
+    const INACTIVE: Self;
+
+    /// Combination at an `AND` gate.
+    fn and(self, other: Self) -> Self;
+
+    /// Combination at an `OR` gate.
+    fn or(self, other: Self) -> Self;
+
+    /// Multiplier applied to the node's damage value (expected activation).
+    fn damage_factor(self) -> f64;
+
+    /// `self ≥ other` in the activation order.
+    fn at_least(self, other: Self) -> bool;
+}
+
+impl Activation for bool {
+    const INACTIVE: Self = false;
+
+    #[inline]
+    fn and(self, other: Self) -> Self {
+        self && other
+    }
+
+    #[inline]
+    fn or(self, other: Self) -> Self {
+        self || other
+    }
+
+    #[inline]
+    fn damage_factor(self) -> f64 {
+        if self {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    #[inline]
+    fn at_least(self, other: Self) -> bool {
+        self || !other
+    }
+}
+
+/// A probability in `[0, 1]`, the activation value of the probabilistic
+/// domain `PTrip`.
+///
+/// Newtype over `f64` so the probabilistic combinators (`p·q`, `p ⋆ q`)
+/// cannot be confused with plain numbers.
+#[derive(Copy, Clone, PartialEq, PartialOrd, Debug)]
+pub struct Prob(f64);
+
+impl Prob {
+    /// Wraps a probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or NaN.
+    #[inline]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        Prob(p)
+    }
+
+    /// The wrapped value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Activation for Prob {
+    const INACTIVE: Self = Prob(0.0);
+
+    #[inline]
+    fn and(self, other: Self) -> Self {
+        Prob(self.0 * other.0)
+    }
+
+    #[inline]
+    fn or(self, other: Self) -> Self {
+        // p ⋆ q = p + q − pq, computed in the complement for stability.
+        Prob(1.0 - (1.0 - self.0) * (1.0 - other.0))
+    }
+
+    #[inline]
+    fn damage_factor(self) -> f64 {
+        self.0
+    }
+
+    #[inline]
+    fn at_least(self, other: Self) -> bool {
+        self.0 >= other.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_combinators() {
+        assert!(true.and(true));
+        assert!(!true.and(false));
+        assert!(true.or(false));
+        assert!(!false.or(false));
+        assert_eq!(true.damage_factor(), 1.0);
+        assert_eq!(false.damage_factor(), 0.0);
+    }
+
+    #[test]
+    fn bool_order() {
+        assert!(true.at_least(false));
+        assert!(true.at_least(true));
+        assert!(false.at_least(false));
+        assert!(!false.at_least(true));
+    }
+
+    #[test]
+    fn prob_combinators_match_probability_theory() {
+        let p = Prob::new(0.3);
+        let q = Prob::new(0.5);
+        assert!((p.and(q).value() - 0.15).abs() < 1e-12);
+        assert!((p.or(q).value() - 0.65).abs() < 1e-12);
+        // ⋆ is commutative and has 0 as unit, 1 as absorbing element.
+        assert_eq!(p.or(q).value(), q.or(p).value());
+        assert!((p.or(Prob::new(0.0)).value() - p.value()).abs() < 1e-15);
+        assert_eq!(p.or(Prob::new(1.0)).value(), 1.0);
+    }
+
+    #[test]
+    fn prob_matches_bool_on_extremes() {
+        for a in [0.0, 1.0] {
+            for b in [0.0, 1.0] {
+                let ba = a == 1.0;
+                let bb = b == 1.0;
+                assert_eq!(Prob::new(a).and(Prob::new(b)).value() == 1.0, ba.and(bb));
+                assert_eq!(Prob::new(a).or(Prob::new(b)).value() == 1.0, ba.or(bb));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn prob_rejects_out_of_range() {
+        let _ = Prob::new(1.5);
+    }
+}

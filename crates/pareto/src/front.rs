@@ -1,0 +1,312 @@
+//! Cost-damage Pareto fronts.
+
+use std::fmt;
+
+use cdat_core::Attack;
+
+use crate::point::CostDamage;
+
+/// One point of a Pareto front, optionally with a witness attack realizing
+/// that cost and damage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrontEntry {
+    /// The (cost, damage) value of the entry.
+    pub point: CostDamage,
+    /// An attack achieving the point, when the producing solver tracks one.
+    pub witness: Option<Attack>,
+}
+
+impl FrontEntry {
+    /// Creates an entry without a witness.
+    pub fn point(cost: f64, damage: f64) -> Self {
+        FrontEntry { point: CostDamage::new(cost, damage), witness: None }
+    }
+
+    /// Creates an entry with a witness attack.
+    pub fn with_witness(cost: f64, damage: f64, witness: Attack) -> Self {
+        FrontEntry { point: CostDamage::new(cost, damage), witness: Some(witness) }
+    }
+}
+
+/// A cost-damage Pareto front: the ⊑-minimal attainable `(cost, damage)`
+/// points, sorted by strictly increasing cost (equivalently, strictly
+/// increasing damage).
+///
+/// This is the solution object of the paper's CDPF/CEDPF problems; the
+/// single-objective problems are answered directly from it:
+/// [`max_damage_within`](Self::max_damage_within) solves DgC (equation (1))
+/// and [`min_cost_achieving`](Self::min_cost_achieving) solves CgD
+/// (equation (2)).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ParetoFront {
+    entries: Vec<FrontEntry>,
+}
+
+impl ParetoFront {
+    /// Builds a front from arbitrary attainable entries, keeping only the
+    /// Pareto-minimal ones (duplicates collapse to the first witness).
+    pub fn from_entries<I>(entries: I) -> Self
+    where
+        I: IntoIterator<Item = FrontEntry>,
+    {
+        let mut entries: Vec<FrontEntry> = entries.into_iter().collect();
+        // Sort by cost ascending, damage descending: a later entry can then
+        // never dominate a kept earlier one (except exact duplicates).
+        entries.sort_by(|a, b| {
+            a.point
+                .cost
+                .partial_cmp(&b.point.cost)
+                .expect("costs are not NaN")
+                .then(b.point.damage.partial_cmp(&a.point.damage).expect("damages are not NaN"))
+        });
+        let mut kept: Vec<FrontEntry> = Vec::new();
+        for e in entries {
+            match kept.last() {
+                Some(last) if last.point == e.point => continue,
+                Some(last) if last.point.damage >= e.point.damage => continue,
+                _ => kept.push(e),
+            }
+        }
+        ParetoFront { entries: kept }
+    }
+
+    /// Builds a front from bare points.
+    pub fn from_points<I>(points: I) -> Self
+    where
+        I: IntoIterator<Item = CostDamage>,
+    {
+        Self::from_entries(points.into_iter().map(|point| FrontEntry { point, witness: None }))
+    }
+
+    /// Number of Pareto-optimal points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the front is empty (only possible for an empty input).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries, sorted by increasing cost.
+    pub fn entries(&self) -> &[FrontEntry] {
+        &self.entries
+    }
+
+    /// Iterates over the points, sorted by increasing cost.
+    pub fn points(&self) -> impl Iterator<Item = CostDamage> + '_ {
+        self.entries.iter().map(|e| e.point)
+    }
+
+    /// Solves DgC from the front: the most damaging entry with cost at most
+    /// `budget`, or `None` if even the cheapest point exceeds the budget.
+    pub fn max_damage_within(&self, budget: f64) -> Option<&FrontEntry> {
+        let idx = self.entries.partition_point(|e| e.point.cost <= budget);
+        idx.checked_sub(1).map(|i| &self.entries[i])
+    }
+
+    /// Solves CgD from the front: the cheapest entry with damage at least
+    /// `threshold`, or `None` if the threshold is unattainable.
+    pub fn min_cost_achieving(&self, threshold: f64) -> Option<&FrontEntry> {
+        let idx = self.entries.partition_point(|e| e.point.damage < threshold);
+        self.entries.get(idx)
+    }
+
+    /// Whether some front point dominates `p` (in particular, any attainable
+    /// point is dominated by its front).
+    pub fn dominates(&self, p: CostDamage) -> bool {
+        self.max_damage_within(p.cost).is_some_and(|e| e.point.damage >= p.damage)
+    }
+
+    /// Merges two fronts into the front of the union of their points.
+    pub fn merge(&self, other: &ParetoFront) -> ParetoFront {
+        ParetoFront::from_entries(self.entries.iter().chain(&other.entries).cloned())
+    }
+
+    /// Whether no entry strictly dominates another (always true for fronts
+    /// built through [`from_entries`](Self::from_entries); exposed for
+    /// validating externally computed fronts).
+    pub fn is_antichain(&self) -> bool {
+        self.entries.iter().enumerate().all(|(i, a)| {
+            self.entries
+                .iter()
+                .enumerate()
+                .all(|(j, b)| i == j || !a.point.strictly_dominates(&b.point))
+        })
+    }
+
+    /// Point-wise approximate equality against another front, for comparing
+    /// solvers under floating-point noise.
+    pub fn approx_eq(&self, other: &ParetoFront, tolerance: f64) -> bool {
+        self.len() == other.len()
+            && self
+                .entries
+                .iter()
+                .zip(&other.entries)
+                .all(|(a, b)| a.point.approx_eq(&b.point, tolerance))
+    }
+
+    /// Whether some front point dominates `p` up to `tolerance` (cost at most
+    /// `p.cost + tolerance`, damage at least `p.damage − tolerance`).
+    pub fn dominates_within(&self, p: CostDamage, tolerance: f64) -> bool {
+        self.max_damage_within(p.cost + tolerance)
+            .is_some_and(|e| e.point.damage >= p.damage - tolerance)
+    }
+
+    /// ε-domination equivalence: each front dominates every point of the
+    /// other up to `tolerance`.
+    ///
+    /// This is the right equality for fronts over floating-point attributes:
+    /// summation-order noise can split one mathematical point into two
+    /// points a few ulps apart, changing the front's *cardinality* while
+    /// leaving its *shape* intact. [`approx_eq`](Self::approx_eq) rejects
+    /// such fronts; `equivalent` accepts them.
+    pub fn equivalent(&self, other: &ParetoFront, tolerance: f64) -> bool {
+        self.points().all(|p| other.dominates_within(p, tolerance))
+            && other.points().all(|p| self.dominates_within(p, tolerance))
+    }
+}
+
+impl fmt::Display for ParetoFront {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}", e.point)?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl FromIterator<CostDamage> for ParetoFront {
+    fn from_iter<I: IntoIterator<Item = CostDamage>>(iter: I) -> Self {
+        Self::from_points(iter)
+    }
+}
+
+impl FromIterator<FrontEntry> for ParetoFront {
+    fn from_iter<I: IntoIterator<Item = FrontEntry>>(iter: I) -> Self {
+        Self::from_entries(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_2_front() -> ParetoFront {
+        // All eight points of Example 1's table.
+        [
+            (0.0, 0.0),
+            (2.0, 10.0),
+            (3.0, 0.0),
+            (5.0, 310.0),
+            (1.0, 200.0),
+            (3.0, 210.0),
+            (4.0, 200.0),
+            (6.0, 310.0),
+        ]
+        .into_iter()
+        .map(|(c, d)| CostDamage::new(c, d))
+        .collect()
+    }
+
+    #[test]
+    fn example_2_pareto_front() {
+        // PF(T) = {(0,0), (1,200), (3,210), (5,310)} — equation (3).
+        let front = example_2_front();
+        let expect = [(0.0, 0.0), (1.0, 200.0), (3.0, 210.0), (5.0, 310.0)];
+        assert_eq!(front.len(), 4);
+        for (e, (c, d)) in front.entries().iter().zip(expect) {
+            assert_eq!(e.point, CostDamage::new(c, d));
+        }
+        assert!(front.is_antichain());
+    }
+
+    #[test]
+    fn dgc_from_front() {
+        // Example 2: for U = 2 the optimum is 200.
+        let front = example_2_front();
+        assert_eq!(front.max_damage_within(2.0).unwrap().point.damage, 200.0);
+        assert_eq!(front.max_damage_within(0.0).unwrap().point.damage, 0.0);
+        assert_eq!(front.max_damage_within(100.0).unwrap().point.damage, 310.0);
+        assert!(front.max_damage_within(-1.0).is_none());
+    }
+
+    #[test]
+    fn cgd_from_front() {
+        let front = example_2_front();
+        assert_eq!(front.min_cost_achieving(200.0).unwrap().point.cost, 1.0);
+        assert_eq!(front.min_cost_achieving(201.0).unwrap().point.cost, 3.0);
+        assert_eq!(front.min_cost_achieving(310.0).unwrap().point.cost, 5.0);
+        assert_eq!(front.min_cost_achieving(0.0).unwrap().point.cost, 0.0);
+        assert!(front.min_cost_achieving(311.0).is_none());
+    }
+
+    #[test]
+    fn front_dominates_all_attainable_points() {
+        let front = example_2_front();
+        for (c, d) in [(2.0, 10.0), (3.0, 0.0), (4.0, 200.0), (6.0, 310.0), (0.0, 0.0)] {
+            assert!(front.dominates(CostDamage::new(c, d)), "({c},{d})");
+        }
+        assert!(!front.dominates(CostDamage::new(0.5, 500.0)));
+    }
+
+    #[test]
+    fn duplicates_and_equal_costs_collapse() {
+        let front = ParetoFront::from_points([
+            CostDamage::new(1.0, 5.0),
+            CostDamage::new(1.0, 5.0),
+            CostDamage::new(1.0, 7.0),
+        ]);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front.entries()[0].point, CostDamage::new(1.0, 7.0));
+    }
+
+    #[test]
+    fn merge_is_union_front() {
+        let a = ParetoFront::from_points([CostDamage::new(0.0, 0.0), CostDamage::new(2.0, 10.0)]);
+        let b = ParetoFront::from_points([CostDamage::new(1.0, 10.0)]);
+        let m = a.merge(&b);
+        assert_eq!(m.len(), 2);
+        assert!(m.points().any(|p| p == CostDamage::new(1.0, 10.0)));
+        assert!(!m.points().any(|p| p == CostDamage::new(2.0, 10.0)));
+    }
+
+    #[test]
+    fn witnesses_survive_minimization() {
+        let w = Attack::from_bas_ids(3, [cdat_core::BasId::new(1)]);
+        let front = ParetoFront::from_entries([
+            FrontEntry::point(3.0, 1.0),
+            FrontEntry::with_witness(1.0, 5.0, w.clone()),
+        ]);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front.entries()[0].witness.as_ref(), Some(&w));
+    }
+
+    #[test]
+    fn empty_front() {
+        let front = ParetoFront::from_points(std::iter::empty());
+        assert!(front.is_empty());
+        assert!(front.max_damage_within(10.0).is_none());
+        assert!(front.min_cost_achieving(0.0).is_none());
+        assert_eq!(front.to_string(), "{}");
+    }
+
+    #[test]
+    fn display_lists_points_in_cost_order() {
+        let front = example_2_front();
+        assert_eq!(front.to_string(), "{(0, 0), (1, 200), (3, 210), (5, 310)}");
+    }
+
+    #[test]
+    fn approx_eq_tolerates_fp_noise() {
+        let a = ParetoFront::from_points([CostDamage::new(1.0, 2.0)]);
+        let b = ParetoFront::from_points([CostDamage::new(1.0 + 1e-9, 2.0)]);
+        assert!(a.approx_eq(&b, 1e-6));
+        let c = ParetoFront::from_points([CostDamage::new(1.0, 2.0), CostDamage::new(2.0, 3.0)]);
+        assert!(!a.approx_eq(&c, 1e-6));
+    }
+}

@@ -1,0 +1,33 @@
+//! Pareto fronts and attribute domains for cost-damage analysis.
+//!
+//! Cost-damage analysis compares attacks in the *attribute pair* domain
+//! `(cost, damage)` with the partial order `(a,a') ⊑ (b,b')` iff `a ≤ b` and
+//! `a' ≥ b'`: an attack is better when it is cheaper **and** more damaging.
+//! The set of minimal elements is the [`ParetoFront`].
+//!
+//! The paper's key insight (its Example 4) is that bottom-up propagation must
+//! happen in an *extended* domain: a third coordinate records whether (or how
+//! likely) the current node is activated, because a locally-dominated attack
+//! that activates its node can still unlock damage higher up. This crate
+//! provides that domain as [`Triple`], generic over the [`Activation`] type:
+//! [`bool`] for the deterministic domain `DTrip` and [`Prob`] for the
+//! probabilistic domain `PTrip`.
+//!
+//! [`prune`] implements the `min_U` operator — discard triples over the cost
+//! budget, then keep only ⊑-minimal ones — with an `O(k log k)` staircase
+//! sweep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activation;
+mod front;
+mod point;
+mod staircase;
+mod triple;
+
+pub use activation::{Activation, Prob};
+pub use front::{FrontEntry, ParetoFront};
+pub use point::CostDamage;
+pub use staircase::{prune, prune_unbudgeted};
+pub use triple::Triple;

@@ -1,0 +1,110 @@
+//! The attribute-pair domain `(ℝ≥0², ⊑)`.
+
+use std::fmt;
+
+/// A point in the cost-damage plane.
+///
+/// Points are compared by the *domination* order of the paper:
+/// `p ⊑ q` iff `p.cost ≤ q.cost` and `p.damage ≥ q.damage` — lower is better
+/// on cost, higher is better on damage. [`CostDamage::dominates`] implements
+/// `⊑` and [`CostDamage::strictly_dominates`] implements `⊏` (domination by a
+/// distinct point).
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct CostDamage {
+    /// Total attack cost `ĉ(x)`.
+    pub cost: f64,
+    /// Total (expected) damage `d̂(x)`.
+    pub damage: f64,
+}
+
+impl CostDamage {
+    /// Creates a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is NaN (the domination order must stay a
+    /// partial order).
+    pub fn new(cost: f64, damage: f64) -> Self {
+        assert!(!cost.is_nan() && !damage.is_nan(), "cost-damage points must not be NaN");
+        // `+ 0.0` normalizes -0.0 (e.g. from empty f64 sums) to +0.0 so all
+        // solvers display identical fronts.
+        CostDamage { cost: cost + 0.0, damage: damage + 0.0 }
+    }
+
+    /// The zero point `(0, 0)` — the empty attack.
+    pub fn zero() -> Self {
+        CostDamage { cost: 0.0, damage: 0.0 }
+    }
+
+    /// `self ⊑ other`: at most as expensive and at least as damaging.
+    #[inline]
+    pub fn dominates(&self, other: &CostDamage) -> bool {
+        self.cost <= other.cost && self.damage >= other.damage
+    }
+
+    /// `self ⊏ other`: dominates and differs.
+    #[inline]
+    pub fn strictly_dominates(&self, other: &CostDamage) -> bool {
+        self.dominates(other) && self != other
+    }
+
+    /// Component-wise approximate equality, for comparing fronts produced by
+    /// different solvers under floating-point noise.
+    pub fn approx_eq(&self, other: &CostDamage, tolerance: f64) -> bool {
+        (self.cost - other.cost).abs() <= tolerance
+            && (self.damage - other.damage).abs() <= tolerance
+    }
+}
+
+impl fmt::Display for CostDamage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.cost, self.damage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domination_order() {
+        let cheap_strong = CostDamage::new(1.0, 200.0);
+        let costly_weak = CostDamage::new(2.0, 10.0);
+        assert!(cheap_strong.dominates(&costly_weak));
+        assert!(cheap_strong.strictly_dominates(&costly_weak));
+        assert!(!costly_weak.dominates(&cheap_strong));
+        // Incomparable pair.
+        let a = CostDamage::new(1.0, 10.0);
+        let b = CostDamage::new(2.0, 20.0);
+        assert!(!a.dominates(&b) && !b.dominates(&a));
+        // Reflexivity of ⊑ but not ⊏.
+        assert!(a.dominates(&a));
+        assert!(!a.strictly_dominates(&a));
+    }
+
+    #[test]
+    fn zero_dominates_costless_points_only() {
+        let z = CostDamage::zero();
+        assert!(z.dominates(&CostDamage::new(5.0, 0.0)));
+        assert!(!z.dominates(&CostDamage::new(5.0, 1.0)));
+    }
+
+    #[test]
+    fn approx_eq_tolerates_noise() {
+        let a = CostDamage::new(1.0, 2.0);
+        let b = CostDamage::new(1.0 + 1e-9, 2.0 - 1e-9);
+        assert!(a.approx_eq(&b, 1e-6));
+        assert!(!a.approx_eq(&CostDamage::new(1.1, 2.0), 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = CostDamage::new(f64::NAN, 0.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CostDamage::new(3.0, 210.0).to_string(), "(3, 210)");
+    }
+}

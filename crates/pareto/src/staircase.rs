@@ -1,0 +1,288 @@
+//! The `min_U` operator: budget filtering plus ⊑-minimization of triples.
+
+use std::cmp::Ordering;
+
+use crate::activation::Activation;
+use crate::triple::Triple;
+
+/// Total order on activations, needed to sort triples for the sweep.
+///
+/// Both activation types are totally ordered (false < true, probabilities by
+/// value); this helper derives the ordering from [`Activation::at_least`].
+fn cmp_act<A: Activation>(a: A, b: A) -> Ordering {
+    match (a.at_least(b), b.at_least(a)) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => unreachable!("activations are totally ordered"),
+    }
+}
+
+/// Applies the paper's `min_U` operator to a set of attribute triples with
+/// attached payloads (typically witness attacks): triples whose cost exceeds
+/// `budget` are discarded, then only the ⊑-minimal ones are kept.
+///
+/// Duplicated triples are collapsed to one entry (the first payload wins).
+/// Runs in `O(k log k)` comparisons via a cost-sorted sweep with a
+/// (damage, activation) staircase.
+pub fn prune<A: Activation, W>(
+    mut entries: Vec<(Triple<A>, W)>,
+    budget: Option<f64>,
+) -> Vec<(Triple<A>, W)> {
+    if let Some(u) = budget {
+        entries.retain(|(t, _)| t.cost <= u);
+    }
+    // Sort: cost ascending, then damage descending, then activation
+    // descending. With this order no later entry can dominate a kept earlier
+    // one (it would have to equal it, and duplicates are collapsed), so a
+    // single forward sweep suffices.
+    entries.sort_by(|(a, _), (b, _)| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .expect("costs are not NaN")
+            .then(b.damage.partial_cmp(&a.damage).expect("damages are not NaN"))
+            .then(cmp_act(b.act, a.act))
+    });
+
+    // Staircase of (damage, activation) maxima over already-kept entries:
+    // damage strictly increasing, activation strictly decreasing.
+    let mut stairs: Vec<(f64, A)> = Vec::new();
+    let mut kept: Vec<(Triple<A>, W)> = Vec::new();
+    for (t, w) in entries {
+        if kept.last().is_some_and(|(k, _)| *k == t) {
+            continue; // duplicate triple
+        }
+        // Dominated iff some stair has damage ≥ t.damage and act ≥ t.act.
+        // Stairs with damage ≥ t.damage form a suffix whose largest act is at
+        // its first element.
+        let idx = stairs.partition_point(|&(d, _)| d < t.damage);
+        if idx < stairs.len() && stairs[idx].1.at_least(t.act) {
+            continue;
+        }
+        // Not dominated: keep, and update the staircase. Stairs dominated by
+        // (t.damage, t.act) are the prefix-by-damage entries with act ≤ t.act,
+        // which form a contiguous block ending at `idx`.
+        let lo = stairs[..idx].partition_point(|&(_, a)| !t.act.at_least(a));
+        stairs.splice(lo..idx, [(t.damage, t.act)]);
+        kept.push((t, w));
+    }
+    kept
+}
+
+/// [`prune`] without a cost budget: plain ⊑-minimization (the `min` operator).
+pub fn prune_unbudgeted<A: Activation, W>(entries: Vec<(Triple<A>, W)>) -> Vec<(Triple<A>, W)> {
+    prune(entries, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Prob;
+
+    fn t(cost: f64, damage: f64, act: bool) -> (Triple<bool>, ()) {
+        (Triple { cost, damage, act }, ())
+    }
+
+    /// Reference implementation: quadratic pairwise check.
+    fn prune_naive<A: Activation>(
+        entries: &[(Triple<A>, ())],
+        budget: Option<f64>,
+    ) -> Vec<Triple<A>> {
+        let within: Vec<Triple<A>> = entries
+            .iter()
+            .map(|(t, _)| *t)
+            .filter(|t| budget.is_none_or(|u| t.cost <= u))
+            .collect();
+        let mut out: Vec<Triple<A>> = Vec::new();
+        for &x in &within {
+            if within.iter().any(|y| y.strictly_dominates(&x)) {
+                continue;
+            }
+            if !out.contains(&x) {
+                out.push(x);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn example_4_keeps_the_activating_triple() {
+        // At node dr: (0,0,0), (3,0,0), (2,10,0), (5,110,1); only (3,0,0) is
+        // dominated (by (0,0,0) and (2,10,0)).
+        let input = vec![
+            t(0.0, 0.0, false),
+            t(3.0, 0.0, false),
+            t(2.0, 10.0, false),
+            t(5.0, 110.0, true),
+        ];
+        let kept = prune(input, None);
+        let triples: Vec<Triple<bool>> = kept.into_iter().map(|(x, _)| x).collect();
+        assert_eq!(triples.len(), 3);
+        assert!(triples.contains(&Triple { cost: 5.0, damage: 110.0, act: true }));
+        assert!(!triples.contains(&Triple { cost: 3.0, damage: 0.0, act: false }));
+    }
+
+    #[test]
+    fn budget_discards_expensive_triples() {
+        let input = vec![t(0.0, 0.0, false), t(7.0, 100.0, true), t(3.0, 10.0, true)];
+        let kept = prune(input, Some(5.0));
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().all(|(x, _)| x.cost <= 5.0));
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let input = vec![t(1.0, 1.0, true), t(1.0, 1.0, true), t(1.0, 1.0, true)];
+        assert_eq!(prune(input, None).len(), 1);
+    }
+
+    #[test]
+    fn pruning_matches_naive_on_random_bool_inputs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        for case in 0..200 {
+            let n = rng.gen_range(0..25);
+            let input: Vec<(Triple<bool>, ())> = (0..n)
+                .map(|_| {
+                    t(rng.gen_range(0..6) as f64, rng.gen_range(0..6) as f64, rng.gen_bool(0.5))
+                })
+                .collect();
+            let budget = if rng.gen_bool(0.5) { Some(rng.gen_range(0..6) as f64) } else { None };
+            let fast: Vec<Triple<bool>> =
+                prune(input.clone(), budget).into_iter().map(|(x, _)| x).collect();
+            let naive = prune_naive(&input, budget);
+            assert_eq!(fast.len(), naive.len(), "case {case}");
+            for x in &naive {
+                assert!(fast.contains(x), "case {case}: missing {x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_matches_naive_on_random_prob_inputs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(13);
+        for case in 0..200 {
+            let n = rng.gen_range(0..25);
+            let input: Vec<(Triple<Prob>, ())> = (0..n)
+                .map(|_| {
+                    (
+                        Triple {
+                            cost: rng.gen_range(0..5) as f64,
+                            damage: rng.gen_range(0..5) as f64,
+                            act: Prob::new(rng.gen_range(0..=4) as f64 / 4.0),
+                        },
+                        (),
+                    )
+                })
+                .collect();
+            let fast: Vec<Triple<Prob>> =
+                prune(input.clone(), None).into_iter().map(|(x, _)| x).collect();
+            let naive = prune_naive(&input, None);
+            assert_eq!(fast.len(), naive.len(), "case {case}");
+            for x in &naive {
+                assert!(fast.contains(x), "case {case}: missing {x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn result_is_an_antichain() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(5);
+        let input: Vec<(Triple<bool>, ())> = (0..60)
+            .map(|_| t(rng.gen_range(0..8) as f64, rng.gen_range(0..8) as f64, rng.gen_bool(0.5)))
+            .collect();
+        let kept = prune(input, None);
+        for (i, (x, _)) in kept.iter().enumerate() {
+            for (j, (y, _)) in kept.iter().enumerate() {
+                if i != j {
+                    assert!(!x.strictly_dominates(y), "{x:?} dominates {y:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_stays_empty() {
+        let kept: Vec<(Triple<bool>, ())> = prune(Vec::new(), Some(3.0));
+        assert!(kept.is_empty());
+    }
+
+    /// Lemma 3 property tests: H_U and min commute the way the correctness
+    /// proof requires.
+    mod lemma_3 {
+        use super::*;
+
+        fn random_set(rng: &mut impl rand::Rng, n: usize) -> Vec<(Triple<bool>, ())> {
+            (0..n)
+                .map(|_| {
+                    t(rng.gen_range(0..5) as f64, rng.gen_range(0..5) as f64, rng.gen_bool(0.5))
+                })
+                .collect()
+        }
+
+        fn as_set(v: Vec<(Triple<bool>, ())>) -> Vec<Triple<bool>> {
+            let mut out: Vec<Triple<bool>> = v.into_iter().map(|(x, _)| x).collect();
+            out.sort_by(|a, b| {
+                a.cost
+                    .partial_cmp(&b.cost)
+                    .unwrap()
+                    .then(a.damage.partial_cmp(&b.damage).unwrap())
+                    .then(a.act.cmp(&b.act))
+            });
+            out
+        }
+
+        /// Equation (18): H_U(min(X)) = min(H_U(X)).
+        #[test]
+        fn budget_and_min_commute() {
+            use rand::prelude::*;
+            let mut rng = StdRng::seed_from_u64(99);
+            for _ in 0..100 {
+                let n = rng.gen_range(0..20);
+                let x = random_set(&mut rng, n);
+                let u = rng.gen_range(0..5) as f64;
+                // min then filter:
+                let mut a = prune(x.clone(), None);
+                a.retain(|(t, _)| t.cost <= u);
+                // filter then min (= prune with budget):
+                let b = prune(x, Some(u));
+                assert_eq!(as_set(a), as_set(b));
+            }
+        }
+
+        /// Equations (21)/(22): min(X △ min(Y)) = min(X △ Y), same for ▽.
+        #[test]
+        fn min_absorbs_into_combination() {
+            use rand::prelude::*;
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..60 {
+                let nx = rng.gen_range(1..10);
+                let ny = rng.gen_range(1..10);
+                let xs = random_set(&mut rng, nx);
+                let ys = random_set(&mut rng, ny);
+                let d = rng.gen_range(0..5) as f64;
+                for and_gate in [true, false] {
+                    let comb = |a: &Triple<bool>, b: &Triple<bool>| {
+                        if and_gate {
+                            a.combine_and(b).settle(d)
+                        } else {
+                            a.combine_or(b).settle(d)
+                        }
+                    };
+                    let all: Vec<(Triple<bool>, ())> = xs
+                        .iter()
+                        .flat_map(|(x, _)| ys.iter().map(move |(y, _)| (comb(x, y), ())))
+                        .collect();
+                    let min_y = prune(ys.clone(), None);
+                    let via_min: Vec<(Triple<bool>, ())> = xs
+                        .iter()
+                        .flat_map(|(x, _)| min_y.iter().map(move |(y, _)| (comb(x, y), ())))
+                        .collect();
+                    assert_eq!(as_set(prune(all, None)), as_set(prune(via_min, None)));
+                }
+            }
+        }
+    }
+}

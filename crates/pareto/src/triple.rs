@@ -1,0 +1,148 @@
+//! Extended attribute triples: the domains `DTrip` and `PTrip`.
+
+use crate::activation::Activation;
+use crate::point::CostDamage;
+
+/// An attribute triple `(cost, damage, activation)`.
+///
+/// `Triple<bool>` is the paper's deterministic domain `DTrip = ℝ≥0 × ℝ≥0 × 𝔹`
+/// and `Triple<Prob>` the probabilistic domain `PTrip = ℝ≥0 × ℝ≥0 × [0,1]`.
+/// The order is `(c,d,a) ⊑ (c',d',a')` iff `c ≤ c'`, `d ≥ d'`, `a ≥ a'`:
+/// cheaper, more damaging **and more activating** is better — the third
+/// coordinate is an attack's potential to do further damage at ancestors and
+/// must participate in domination (dropping it loses optimal attacks, see the
+/// paper's Example 4).
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Triple<A> {
+    /// Accumulated cost `ĉ(x)` of the partial attack.
+    pub cost: f64,
+    /// Accumulated (expected) damage in the processed sub-tree.
+    pub damage: f64,
+    /// Activation of the current node: reached (deterministic) or reach
+    /// probability (probabilistic).
+    pub act: A,
+}
+
+impl<A: Activation> Triple<A> {
+    /// The triple of the empty attack: free, harmless, inactive.
+    pub fn zero() -> Self {
+        Triple { cost: 0.0, damage: 0.0, act: A::INACTIVE }
+    }
+
+    /// `self ⊑ other` in the extended domain.
+    #[inline]
+    pub fn dominates(&self, other: &Triple<A>) -> bool {
+        self.cost <= other.cost && self.damage >= other.damage && self.act.at_least(other.act)
+    }
+
+    /// `self ⊏ other`: dominates and differs.
+    #[inline]
+    pub fn strictly_dominates(&self, other: &Triple<A>) -> bool {
+        self.dominates(other) && self != other
+    }
+
+    /// Combines attacks on two children of an `AND` gate (the `△` operator
+    /// with zero node damage): costs and damages add, activations conjoin.
+    #[inline]
+    pub fn combine_and(&self, other: &Triple<A>) -> Triple<A> {
+        Triple {
+            cost: self.cost + other.cost,
+            damage: self.damage + other.damage,
+            act: self.act.and(other.act),
+        }
+    }
+
+    /// Combines attacks on two children of an `OR` gate (the `▽` operator
+    /// with zero node damage).
+    #[inline]
+    pub fn combine_or(&self, other: &Triple<A>) -> Triple<A> {
+        Triple {
+            cost: self.cost + other.cost,
+            damage: self.damage + other.damage,
+            act: self.act.or(other.act),
+        }
+    }
+
+    /// Adds the current node's own damage, weighted by the activation.
+    ///
+    /// Calling `combine_*` across all children and then `settle(d(v))` once
+    /// is exactly the paper's `△_{d(v)}` / `▽_{d(v)}` for binary gates, and
+    /// its n-ary generalization otherwise.
+    #[inline]
+    pub fn settle(mut self, node_damage: f64) -> Triple<A> {
+        self.damage += self.act.damage_factor() * node_damage;
+        self
+    }
+
+    /// Projects to the cost-damage plane (the map `π` of Theorems 4 and 9).
+    #[inline]
+    pub fn project(&self) -> CostDamage {
+        CostDamage::new(self.cost, self.damage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Prob;
+
+    fn t(cost: f64, damage: f64, act: bool) -> Triple<bool> {
+        Triple { cost, damage, act }
+    }
+
+    #[test]
+    fn domination_requires_all_three_coordinates() {
+        // Example 4 of the paper: (0,0,0) does NOT dominate (3,0,1) because
+        // the latter activates the node.
+        assert!(!t(0.0, 0.0, false).dominates(&t(3.0, 0.0, true)));
+        assert!(t(0.0, 0.0, false).dominates(&t(3.0, 0.0, false)));
+        assert!(t(2.0, 10.0, true).dominates(&t(5.0, 10.0, true)));
+        assert!(!t(2.0, 10.0, false).dominates(&t(5.0, 10.0, true)));
+    }
+
+    #[test]
+    fn combine_and_settle_reproduce_example_3() {
+        // pb: (3,0,1), fd: (2,10,1); AND "destroy robot" with d = 100.
+        let pb = t(3.0, 0.0, true);
+        let fd = t(2.0, 10.0, true);
+        let dr = pb.combine_and(&fd).settle(100.0);
+        assert_eq!(dr, t(5.0, 110.0, true));
+        // Combining with an inactive side keeps the AND inactive: no damage.
+        let dr2 = pb.combine_and(&Triple::zero()).settle(100.0);
+        assert_eq!(dr2, t(3.0, 0.0, false));
+    }
+
+    #[test]
+    fn or_activates_on_either_side() {
+        let a = t(1.0, 0.0, true);
+        let b = Triple::<bool>::zero();
+        assert_eq!(a.combine_or(&b).settle(200.0), t(1.0, 200.0, true));
+        assert_eq!(b.combine_or(&b).settle(200.0), t(0.0, 0.0, false));
+    }
+
+    #[test]
+    fn probabilistic_combination_matches_example_10() {
+        // Two BASs with c=1, p=0.5 under an OR with d(w)=1:
+        // attempting both gives (2, 0.75, 0.75).
+        let v: Triple<Prob> = Triple { cost: 1.0, damage: 0.0, act: Prob::new(0.5) };
+        let both = v.combine_or(&v).settle(1.0);
+        assert_eq!(both.cost, 2.0);
+        assert!((both.damage - 0.75).abs() < 1e-12);
+        assert!((both.act.value() - 0.75).abs() < 1e-12);
+        // Attempting one gives (1, 0.5, 0.5).
+        let one = v.combine_or(&Triple::zero()).settle(1.0);
+        assert!((one.damage - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_drops_activation() {
+        let x = t(5.0, 110.0, true).project();
+        assert_eq!(x, CostDamage::new(5.0, 110.0));
+    }
+
+    #[test]
+    fn zero_is_neutral_for_or_combination() {
+        let a = t(4.0, 7.0, true);
+        assert_eq!(a.combine_or(&Triple::zero()), a);
+    }
+}

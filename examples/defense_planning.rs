@@ -1,0 +1,63 @@
+//! Defense planning: the paper's closing advice made executable.
+//!
+//! Section X-A ends with: "security improvements should focus on location
+//! information leakage by internal sources (b18) and base station compromise
+//! by either physical theft (b19, b20) or code theft (b21, b22). After
+//! defenses are put in place, a new cost-damage analysis is needed to see
+//! whether attack risks have been mitigated satisfactorily."
+//!
+//! This example runs that loop on the panda case study with `cdat-analysis`:
+//! rank single defenses, apply the best ones, recompute the front, repeat.
+//!
+//! Run with `cargo run --release --example defense_planning`.
+
+use cdat::analysis::{defend, minimal_attacks, rank_single_defenses, whatif::Defended};
+use cdat::{solve, BasId, CdAttackTree};
+
+fn main() {
+    let budget = 7.0; // the attacker profile we defend against
+    let mut current: CdAttackTree = cdat_models::panda();
+    println!(
+        "attacker budget {budget}: undefended worst-case damage = {}",
+        solve::dgc(&current, budget).expect("budget ≥ 0").point.damage
+    );
+
+    // Classical view first: the minimal successful attacks.
+    let mut minimal = minimal_attacks(current.tree());
+    minimal.sort_by(|a, b| {
+        current.cost_of(a).partial_cmp(&current.cost_of(b)).expect("costs are not NaN")
+    });
+    println!("\n{} minimal attacks exist; the three cheapest:", minimal.len());
+    for a in minimal.iter().take(3) {
+        let names: Vec<&str> =
+            a.iter().map(|b| current.tree().name(current.tree().node_of_bas(b))).collect();
+        println!("  cost {:>3}: {}", current.cost_of(a), names.join(" + "));
+    }
+
+    // Iterative hardening: defend the best-ranked BAS, re-analyze, repeat.
+    println!("\niterative hardening (defend the top-ranked step, re-analyze):");
+    for round in 1..=4 {
+        let ranking = rank_single_defenses(&current, budget);
+        let best = &ranking[0];
+        println!(
+            "round {round}: defend {:?} → residual damage {} (was {})",
+            best.name,
+            best.residual_damage,
+            solve::dgc(&current, budget).expect("budget ≥ 0").point.damage,
+        );
+        let victim: BasId = best.bas;
+        match defend(&current, &[victim]) {
+            Defended::Residual(next, _) => current = next,
+            Defended::Neutralized => {
+                println!("         the tree is fully neutralized");
+                return;
+            }
+        }
+        // "a new cost-damage analysis is needed":
+        let front = solve::cdpf(&current);
+        println!(
+            "         residual front: {front}  (max damage {})",
+            current.max_damage()
+        );
+    }
+}

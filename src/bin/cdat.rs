@@ -1,0 +1,180 @@
+//! `cdat` — command-line cost-damage analysis of attack trees.
+//!
+//! ```text
+//! cdat info    <tree.cdat>              shape, sizes, attribute summary
+//! cdat cdpf    <tree.cdat>              cost-damage Pareto front (+witnesses)
+//! cdat cedpf   <tree.cdat>              cost-expected-damage front (treelike)
+//! cdat dgc     <tree.cdat> <budget>     max damage within a cost budget
+//! cdat cgd     <tree.cdat> <threshold>  min cost reaching a damage threshold
+//! cdat minimal <tree.cdat>              minimal successful attacks
+//! cdat rank    <tree.cdat> <budget>     best single-BAS defenses
+//! cdat dot     <tree.cdat>              Graphviz export (stdout)
+//! cdat example                          print a sample document
+//! ```
+//!
+//! Documents use the `cdat-format` text format; see `cdat example`.
+
+use std::process::ExitCode;
+
+use cdat::{solve, CdpAttackTree, FrontEntry, ParetoFront};
+
+const EXAMPLE: &str = r#"# cdat attack-tree document (the paper's running example).
+# <kind> <name> [cost=..] [damage=..] [prob=..]; children indented below;
+# `ref <name>` shares an already-declared node (DAG-like trees).
+or "production shutdown" damage=200
+  bas cyberattack cost=1 prob=0.2
+  and "destroy robot" damage=100
+    bas "place bomb" cost=3 prob=0.4
+    bas "force door" cost=2 damage=10 prob=0.9
+"#;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    if command == "help" || command == "--help" || command == "-h" {
+        print!("{}", usage());
+        return Ok(());
+    }
+    if command == "example" {
+        print!("{EXAMPLE}");
+        return Ok(());
+    }
+    let path = args.get(1).ok_or_else(|| format!("missing file argument\n{}", usage()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let cdp = cdat_format::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let number = |i: usize, what: &str| -> Result<f64, String> {
+        args.get(i)
+            .ok_or_else(|| format!("missing {what} argument"))?
+            .parse()
+            .map_err(|_| format!("{what} must be a number"))
+    };
+
+    match command {
+        "info" => info(&cdp),
+        "cdpf" => print_front(&cdp, &solve::cdpf(cdp.cd())),
+        "cedpf" => {
+            let front = solve::cedpf(&cdp).map_err(|e| e.to_string())?;
+            print_front(&cdp, &front);
+        }
+        "dgc" => {
+            let budget = number(2, "budget")?;
+            match solve::dgc(cdp.cd(), budget) {
+                Some(e) => print_entry(&cdp, &e, "max damage"),
+                None => println!("no attack fits the budget (budget is negative)"),
+            }
+        }
+        "cgd" => {
+            let threshold = number(2, "threshold")?;
+            match solve::cgd(cdp.cd(), threshold) {
+                Some(e) => print_entry(&cdp, &e, "min cost"),
+                None => println!(
+                    "unreachable: maximal damage is {}",
+                    cdp.cd().max_damage()
+                ),
+            }
+        }
+        "minimal" => {
+            let attacks = cdat_analysis::minimal_attacks(cdp.tree());
+            println!("{} minimal successful attacks:", attacks.len());
+            for a in attacks {
+                println!(
+                    "  cost {:>8}  {}",
+                    cdp.cd().cost_of(&a),
+                    attack_names(&cdp, &a).join(", ")
+                );
+            }
+        }
+        "rank" => {
+            let budget = number(2, "budget")?;
+            let undefended = solve::dgc(cdp.cd(), budget)
+                .map(|e| e.point.damage)
+                .unwrap_or(0.0);
+            println!("undefended damage within budget {budget}: {undefended}");
+            println!("single-BAS defenses, best first:");
+            for e in cdat_analysis::rank_single_defenses(cdp.cd(), budget) {
+                println!(
+                    "  defend {:<40} residual damage {:>8} (max {:>8})",
+                    e.name, e.residual_damage, e.residual_max_damage
+                );
+            }
+        }
+        "dot" => print!("{}", cdat::core::to_dot_cdp(&cdp)),
+        other => return Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn usage() -> String {
+    let mut s = String::from("usage: cdat <command> <tree.cdat> [args]\n\ncommands:\n");
+    for (cmd, help) in [
+        ("info    <file>", "shape, sizes, attribute summary"),
+        ("cdpf    <file>", "cost-damage Pareto front with witness attacks"),
+        ("cedpf   <file>", "cost-expected-damage front (treelike trees)"),
+        ("dgc     <file> <budget>", "max damage within a cost budget"),
+        ("cgd     <file> <threshold>", "min cost reaching a damage threshold"),
+        ("minimal <file>", "minimal successful attacks"),
+        ("rank    <file> <budget>", "rank single-BAS defenses by residual damage"),
+        ("dot     <file>", "Graphviz export"),
+        ("example", "print a sample document"),
+    ] {
+        s.push_str(&format!("  {cmd:<28} {help}\n"));
+    }
+    s
+}
+
+fn info(cdp: &CdpAttackTree) {
+    let t = cdp.tree();
+    println!("root:      {}", t.name(t.root()));
+    println!("nodes:     {}", t.node_count());
+    println!("BASs:      {}", t.bas_count());
+    println!("shape:     {}", if t.is_treelike() { "treelike" } else { "DAG-like" });
+    println!("max damage: {}", cdp.cd().max_damage());
+    println!("total cost: {}", cdp.cd().total_cost());
+    let probabilistic = cdp.probs().iter().any(|&p| p != 1.0);
+    println!("probabilistic attributes: {}", if probabilistic { "yes" } else { "no" });
+    println!("solver for CDPF: {:?}", solve::backend_for(cdp.cd()));
+}
+
+fn attack_names(cdp: &CdpAttackTree, attack: &cdat::Attack) -> Vec<String> {
+    attack.iter().map(|b| cdp.tree().name(cdp.tree().node_of_bas(b)).to_owned()).collect()
+}
+
+fn print_front(cdp: &CdpAttackTree, front: &ParetoFront) {
+    println!("{} Pareto-optimal points:", front.len());
+    println!("{:>10} {:>12} {:>4}  attack", "cost", "damage", "top");
+    for e in front.entries() {
+        match &e.witness {
+            Some(w) => println!(
+                "{:>10} {:>12} {:>4}  {}",
+                e.point.cost,
+                trim(e.point.damage),
+                if cdp.tree().reaches_root(w) { "y" } else { "n" },
+                attack_names(cdp, w).join(", ")
+            ),
+            None => println!("{:>10} {:>12}    ?", e.point.cost, trim(e.point.damage)),
+        }
+    }
+}
+
+fn print_entry(cdp: &CdpAttackTree, e: &FrontEntry, label: &str) {
+    println!("{label}: cost {} damage {}", e.point.cost, trim(e.point.damage));
+    if let Some(w) = &e.witness {
+        println!("attack: {}", attack_names(cdp, w).join(", "));
+        println!("reaches top: {}", if cdp.tree().reaches_root(w) { "yes" } else { "no" });
+    }
+}
+
+fn trim(v: f64) -> String {
+    let s = format!("{v:.6}");
+    s.trim_end_matches('0').trim_end_matches('.').to_owned()
+}

@@ -1,0 +1,126 @@
+//! One-call solvers that dispatch on the shape of the tree.
+//!
+//! The paper's algorithm choice depends on the tree (Table I): treelike
+//! trees use the bottom-up propagation, DAG-like trees the BILP encoding
+//! (deterministic only — the probabilistic DAG case is the paper's open
+//! problem). These functions make that choice automatically.
+
+use cdat_core::{CdAttackTree, CdpAttackTree};
+use cdat_pareto::{FrontEntry, ParetoFront};
+
+/// Which backend [`cdpf`] and friends will pick for a tree.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum Backend {
+    /// Treelike tree: bottom-up Pareto propagation (`cdat-bottomup`).
+    BottomUp,
+    /// DAG-like tree: bi-objective ILP (`cdat-bilp`).
+    Bilp,
+}
+
+/// The backend the dispatching solvers will use for this tree.
+pub fn backend_for(cd: &CdAttackTree) -> Backend {
+    if cd.tree().is_treelike() {
+        Backend::BottomUp
+    } else {
+        Backend::Bilp
+    }
+}
+
+/// Cost-damage Pareto front of any cd-AT (CDPF).
+///
+/// Treelike trees use the bottom-up solver, DAG-like trees the BILP solver;
+/// both return exact fronts with witness attacks.
+///
+/// # Example
+///
+/// ```
+/// let front = cdat::solve::cdpf(&cdat_models::factory());
+/// assert_eq!(front.to_string(), "{(0, 0), (1, 200), (3, 210), (5, 310)}");
+/// ```
+pub fn cdpf(cd: &CdAttackTree) -> ParetoFront {
+    match backend_for(cd) {
+        Backend::BottomUp => cdat_bottomup::cdpf(cd).expect("dispatched on shape"),
+        Backend::Bilp => cdat_bilp::cdpf(cd),
+    }
+}
+
+/// Maximal damage within a cost budget (DgC). `None` only for a negative
+/// budget.
+pub fn dgc(cd: &CdAttackTree, budget: f64) -> Option<FrontEntry> {
+    match backend_for(cd) {
+        Backend::BottomUp => cdat_bottomup::dgc(cd, budget).expect("dispatched on shape"),
+        Backend::Bilp => cdat_bilp::dgc(cd, budget),
+    }
+}
+
+/// Minimal cost achieving a damage threshold (CgD). `None` when the
+/// threshold exceeds the maximal damage.
+pub fn cgd(cd: &CdAttackTree, threshold: f64) -> Option<FrontEntry> {
+    match backend_for(cd) {
+        Backend::BottomUp => cdat_bottomup::cgd(cd, threshold).expect("dispatched on shape"),
+        Backend::Bilp => cdat_bilp::cgd(cd, threshold),
+    }
+}
+
+/// Error: the probabilistic problems on DAG-like trees have no known
+/// efficient algorithm (the paper's open problem).
+///
+/// [`cedpf_exhaustive`] offers an exact exponential fallback for small trees.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DagProbabilisticOpen;
+
+impl std::fmt::Display for DagProbabilisticOpen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "probabilistic analysis of DAG-like attack trees is an open problem; \
+             use cdat::solve::cedpf_exhaustive for an exact exponential fallback"
+        )
+    }
+}
+
+impl std::error::Error for DagProbabilisticOpen {}
+
+/// Cost–expected-damage Pareto front (CEDPF) of a treelike cdp-AT.
+///
+/// # Errors
+///
+/// Returns [`DagProbabilisticOpen`] on DAG-like trees.
+pub fn cedpf(cdp: &CdpAttackTree) -> Result<ParetoFront, DagProbabilisticOpen> {
+    cdat_bottomup::cedpf(cdp).map_err(|_| DagProbabilisticOpen)
+}
+
+/// Maximal expected damage within a cost budget (EDgC).
+///
+/// # Errors
+///
+/// Returns [`DagProbabilisticOpen`] on DAG-like trees.
+pub fn edgc(cdp: &CdpAttackTree, budget: f64) -> Result<Option<FrontEntry>, DagProbabilisticOpen> {
+    cdat_bottomup::edgc(cdp, budget).map_err(|_| DagProbabilisticOpen)
+}
+
+/// Minimal cost achieving an expected-damage threshold (CgED).
+///
+/// # Errors
+///
+/// Returns [`DagProbabilisticOpen`] on DAG-like trees.
+pub fn cged(
+    cdp: &CdpAttackTree,
+    threshold: f64,
+) -> Result<Option<FrontEntry>, DagProbabilisticOpen> {
+    cdat_bottomup::cged(cdp, threshold).map_err(|_| DagProbabilisticOpen)
+}
+
+/// Exact CEDPF for **any** cdp-AT, exponential on DAG-like trees (extension
+/// beyond the paper: BDD-exact per-attack expected damage).
+///
+/// # Panics
+///
+/// Panics on DAG-like trees with more than 25 BASs, where the fallback is
+/// intractable.
+pub fn cedpf_exhaustive(cdp: &CdpAttackTree) -> ParetoFront {
+    match cdat_bottomup::cedpf(cdp) {
+        Ok(front) => front,
+        Err(_) => cdat_enumerative::cedpf_dag(cdp, true),
+    }
+}

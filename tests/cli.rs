@@ -1,0 +1,129 @@
+//! End-to-end tests of the `cdat` command-line binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cdat(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cdat")).args(args).output().expect("binary runs")
+}
+
+fn unique_path(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("cdat-cli-{tag}-{}-{n}.cdat", std::process::id()))
+}
+
+fn write_example() -> PathBuf {
+    let out = cdat(&["example"]);
+    assert!(out.status.success());
+    let path = unique_path("example");
+    std::fs::write(&path, out.stdout).expect("temp file writable");
+    path
+}
+
+#[test]
+fn example_document_flows_through_every_command() {
+    let path = write_example();
+    let path = path.to_str().expect("utf-8 temp path");
+
+    let out = cdat(&["info", path]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("nodes:     5"));
+    assert!(text.contains("treelike"));
+
+    let out = cdat(&["cdpf", path]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success());
+    assert!(text.contains("4 Pareto-optimal points"), "{text}");
+    assert!(text.contains("310"));
+    assert!(text.contains("place bomb, force door"));
+
+    let out = cdat(&["cedpf", path]);
+    assert!(out.status.success());
+
+    let out = cdat(&["dgc", path, "2"]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("damage 200"), "{text}");
+
+    let out = cdat(&["cgd", path, "205"]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("cost 3"), "{text}");
+
+    let out = cdat(&["minimal", path]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("2 minimal successful attacks"), "{text}");
+
+    let out = cdat(&["rank", path, "2"]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("defend cyberattack"), "{text}");
+
+    let out = cdat(&["dot", path]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.starts_with("digraph"), "{text}");
+
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn helpful_errors_and_exit_codes() {
+    // No arguments → usage on stderr-free help path.
+    let out = cdat(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("usage"));
+
+    // Unknown command.
+    let path = write_example();
+    let out = cdat(&["frobnicate", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown command"));
+
+    // Missing file.
+    let out = cdat(&["cdpf", "/nonexistent/tree.cdat"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("cannot read"));
+
+    // Parse error with a line number.
+    let bad = unique_path("bad");
+    std::fs::write(&bad, "or root\n  zap x\n").unwrap();
+    let out = cdat(&["cdpf", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("line 2"), "{err}");
+    let _ = std::fs::remove_file(&bad);
+    let _ = std::fs::remove_file(&path);
+
+    // Missing numeric argument.
+    let path = write_example();
+    let out = cdat(&["dgc", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("missing budget"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn dag_documents_use_bilp_and_reject_cedpf() {
+    // Render the data-server model to a file through the library, then
+    // analyze it through the CLI.
+    let text = cdat_format::write_cd(&cdat_models::dataserver());
+    let path = unique_path("dag");
+    std::fs::write(&path, text).unwrap();
+    let path_str = path.to_str().unwrap();
+
+    let out = cdat(&["info", path_str]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("DAG-like"), "{text}");
+    assert!(text.contains("Bilp"), "{text}");
+
+    let out = cdat(&["cdpf", path_str]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("6 Pareto-optimal points"), "{text}");
+    assert!(text.contains("82.8"), "{text}");
+
+    let out = cdat(&["cedpf", path_str]);
+    assert!(!out.status.success(), "probabilistic DAG analysis is open");
+    assert!(String::from_utf8(out.stderr).unwrap().contains("open problem"));
+
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,191 @@
+//! Property-based tests (proptest) over randomly *generated and shrinkable*
+//! attack trees: the solver-level invariants that must hold on every
+//! instance.
+
+use cdat::solve;
+use cdat::{Attack, AttackTreeBuilder, CdAttackTree, CdpAttackTree, CostDamage, NodeId};
+use proptest::prelude::*;
+
+/// A shrinkable description of an attack tree.
+#[derive(Clone, Debug)]
+enum Shape {
+    Bas,
+    Gate { or: bool, children: Vec<Shape> },
+}
+
+impl Shape {
+    fn bas_count(&self) -> usize {
+        match self {
+            Shape::Bas => 1,
+            Shape::Gate { children, .. } => children.iter().map(Shape::bas_count).sum(),
+        }
+    }
+
+    fn build_into(&self, b: &mut AttackTreeBuilder, counter: &mut usize) -> NodeId {
+        match self {
+            Shape::Bas => {
+                let name = format!("n{counter}");
+                *counter += 1;
+                b.bas(&name)
+            }
+            Shape::Gate { or, children } => {
+                let kids: Vec<NodeId> =
+                    children.iter().map(|c| c.build_into(b, counter)).collect();
+                let name = format!("n{counter}");
+                *counter += 1;
+                if *or {
+                    b.or(&name, kids)
+                } else {
+                    b.and(&name, kids)
+                }
+            }
+        }
+    }
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    let leaf = Just(Shape::Bas);
+    leaf.prop_recursive(3, 8, 3, |inner| {
+        (any::<bool>(), prop::collection::vec(inner, 1..=3))
+            .prop_map(|(or, children)| Shape::Gate { or, children })
+    })
+}
+
+prop_compose! {
+    /// A treelike cd-AT with small integer attributes.
+    fn cd_tree()(shape in shape_strategy())(
+        costs in prop::collection::vec(0u8..6, shape.bas_count()),
+        damages in prop::collection::vec(0u8..6, 64),
+        shape in Just(shape),
+    ) -> CdAttackTree {
+        let mut b = AttackTreeBuilder::new();
+        let mut counter = 0;
+        shape.build_into(&mut b, &mut counter);
+        let tree = b.build().expect("shape builds a valid tree");
+        let cost: Vec<f64> = costs.iter().map(|&c| c as f64).collect();
+        let damage: Vec<f64> =
+            (0..tree.node_count()).map(|i| damages[i % damages.len()] as f64).collect();
+        CdAttackTree::from_parts(tree, cost, damage).expect("valid attributes")
+    }
+}
+
+prop_compose! {
+    /// A treelike cdp-AT: `cd_tree` plus probabilities in {0, 0.25, …, 1}.
+    fn cdp_tree()(cd in cd_tree())(
+        probs in prop::collection::vec(0u8..=4, cd.tree().bas_count()),
+        cd in Just(cd),
+    ) -> CdpAttackTree {
+        let p: Vec<f64> = probs.iter().map(|&q| q as f64 / 4.0).collect();
+        CdpAttackTree::from_parts(cd, p).expect("valid probabilities")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The front is an antichain with a zero-cost point (possibly with free
+    /// damage, when zero-cost BASs exist) that dominates every attack value.
+    #[test]
+    fn front_is_a_dominating_antichain(cd in cd_tree()) {
+        let front = solve::cdpf(&cd);
+        prop_assert!(front.is_antichain());
+        prop_assert!(front.points().any(|p| p.cost == 0.0));
+        prop_assert!(front.dominates(CostDamage::new(0.0, 0.0)));
+        if cd.tree().bas_count() <= 10 {
+            for x in Attack::all(cd.tree().bas_count()) {
+                let p = CostDamage::new(cd.cost_of(&x), cd.damage_of(&x));
+                prop_assert!(front.dominates(p), "front {front} misses attack value {p}");
+            }
+        }
+    }
+
+    /// Every witness on the front reproduces its point exactly.
+    #[test]
+    fn witnesses_are_faithful(cd in cd_tree()) {
+        for e in solve::cdpf(&cd).entries() {
+            let w = e.witness.as_ref().expect("witnesses tracked");
+            prop_assert_eq!(cd.cost_of(w), e.point.cost);
+            prop_assert_eq!(cd.damage_of(w), e.point.damage);
+        }
+    }
+
+    /// DgC is monotone in the budget, consistent with the front, and its
+    /// witness respects the budget.
+    #[test]
+    fn dgc_is_monotone_and_budget_respecting(cd in cd_tree(), budget in 0.0..20.0f64) {
+        let front = solve::cdpf(&cd);
+        let a = solve::dgc(&cd, budget).expect("nonnegative budget");
+        prop_assert!(a.point.cost <= budget);
+        prop_assert_eq!(
+            a.point.damage,
+            front.max_damage_within(budget).unwrap().point.damage
+        );
+        let b = solve::dgc(&cd, budget + 1.0).expect("nonnegative budget");
+        prop_assert!(b.point.damage >= a.point.damage);
+    }
+
+    /// CgD round-trips through DgC: spending the CgD-optimal cost achieves at
+    /// least the threshold.
+    #[test]
+    fn cgd_round_trips_through_dgc(cd in cd_tree(), frac in 0.0..1.0f64) {
+        let threshold = frac * cd.max_damage();
+        if let Some(e) = solve::cgd(&cd, threshold) {
+            prop_assert!(e.point.damage >= threshold);
+            let back = solve::dgc(&cd, e.point.cost).expect("nonnegative");
+            prop_assert!(back.point.damage >= threshold);
+        } else {
+            prop_assert!(threshold > cd.max_damage());
+        }
+    }
+
+    /// The probabilistic front refines the deterministic story: with all
+    /// probabilities 1 it coincides with the deterministic front.
+    #[test]
+    fn certain_probabilities_recover_deterministic_front(cd in cd_tree()) {
+        let det = solve::cdpf(&cd);
+        let cdp = cd.with_probabilities().finish().expect("valid");
+        let prob = solve::cedpf(&cdp).expect("treelike");
+        prop_assert!(det.equivalent(&prob, 1e-9), "det {det} vs prob-with-p=1 {prob}");
+    }
+
+    /// Expected damage never exceeds deterministic damage, so the
+    /// probabilistic front is dominated by the deterministic one point-wise.
+    #[test]
+    fn probabilistic_front_lies_below_deterministic(cdp in cdp_tree()) {
+        let det = solve::cdpf(cdp.cd());
+        let prob = solve::cedpf(&cdp).expect("treelike");
+        for e in prob.entries() {
+            prop_assert!(
+                det.dominates_within(e.point, 1e-9),
+                "prob point {} above deterministic front {det}",
+                e.point
+            );
+        }
+    }
+
+    /// Bottom-up and BILP agree on every generated treelike instance (the
+    /// rand-based agreement suite covers DAGs; this one shrinks).
+    #[test]
+    fn bottom_up_and_bilp_agree(cd in cd_tree()) {
+        let bu = cdat_bottomup::cdpf(&cd).expect("treelike");
+        let bilp = cdat_bilp::cdpf(&cd);
+        prop_assert!(bu.approx_eq(&bilp, 1e-9), "BU {bu} vs BILP {bilp}");
+    }
+
+    /// The expected damage of any attack equals the naive actualized-attack
+    /// expectation (Definition 6) on shrinkable instances.
+    #[test]
+    fn expected_damage_matches_naive(cdp in cdp_tree(), mask in any::<u64>()) {
+        let n = cdp.tree().bas_count();
+        prop_assume!(n <= 10);
+        let mut x = Attack::empty(n);
+        for i in 0..n {
+            if mask >> i & 1 == 1 {
+                x.insert(cdat::BasId::new(i));
+            }
+        }
+        let fast = cdp.expected_damage(&x).expect("treelike");
+        let naive = cdp.expected_damage_naive(&x);
+        prop_assert!((fast - naive).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,148 @@
+//! Integration tests for the tooling layer: text format round-trips through
+//! the solvers, and the analysis toolkit composes with everything else.
+
+use cdat::analysis::{defend, rank_single_defenses, whatif::Defended};
+use cdat::{format, solve};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Case-study models survive a text round-trip with identical fronts.
+#[test]
+fn models_round_trip_through_the_text_format_with_equal_fronts() {
+    // Treelike with probabilities.
+    let panda = cdat_models::panda_cdp();
+    let reparsed = format::parse(&format::write(&panda)).expect("panda renders and reparses");
+    assert!(solve::cdpf(panda.cd()).approx_eq(&solve::cdpf(reparsed.cd()), 1e-9));
+    assert!(solve::cedpf(&panda)
+        .expect("treelike")
+        .equivalent(&solve::cedpf(&reparsed).expect("treelike"), 1e-9));
+
+    // DAG-like.
+    let server = cdat_models::dataserver();
+    let reparsed = format::parse_cd(&format::write_cd(&server)).expect("server reparses");
+    assert!(!reparsed.tree().is_treelike());
+    assert!(solve::cdpf(&server).approx_eq(&solve::cdpf(&reparsed), 1e-9));
+}
+
+/// Random trees: text round-trip preserves fronts (the strongest semantic
+/// equality we can ask of a serializer).
+#[test]
+fn random_trees_round_trip_with_equal_fronts() {
+    let mut rng = StdRng::seed_from_u64(909);
+    for case in 0..40 {
+        let treelike = rng.gen_bool(0.5);
+        let tree = cdat_gen::random_small(&mut rng, 7, treelike);
+        let cdp = cdat_gen::decorate_prob(tree, &mut rng);
+        let text = format::write(&cdp);
+        let reparsed = format::parse(&text).unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+        assert!(
+            solve::cdpf(cdp.cd()).approx_eq(&solve::cdpf(reparsed.cd()), 1e-9),
+            "case {case}: deterministic front changed across round-trip"
+        );
+        if treelike {
+            assert!(
+                solve::cedpf(&cdp)
+                    .expect("treelike")
+                    .equivalent(&solve::cedpf(&reparsed).expect("treelike"), 1e-9),
+                "case {case}: probabilistic front changed across round-trip"
+            );
+        }
+    }
+}
+
+/// Defense semantics against the solvers: defending a BAS can only shrink
+/// the Pareto front (point-wise domination by the undefended front).
+#[test]
+fn defended_fronts_are_dominated_by_undefended_fronts() {
+    let mut rng = StdRng::seed_from_u64(910);
+    for case in 0..40 {
+        let treelike = rng.gen_bool(0.5);
+        let tree = cdat_gen::random_small(&mut rng, 7, treelike);
+        let cd = cdat_gen::decorate(tree, &mut rng);
+        let undefended = solve::cdpf(&cd);
+        let victim = cdat::BasId::new(rng.gen_range(0..cd.tree().bas_count()));
+        match defend(&cd, &[victim]) {
+            Defended::Neutralized => {}
+            Defended::Residual(residual, _) => {
+                for p in solve::cdpf(&residual).points() {
+                    assert!(
+                        undefended.dominates_within(p, 1e-9),
+                        "case {case}: defended point {p} beats the undefended front {undefended}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Ranking agrees with direct evaluation: applying the top-ranked defense
+/// yields exactly its predicted residual damage.
+#[test]
+fn ranking_predictions_are_accurate() {
+    let mut rng = StdRng::seed_from_u64(911);
+    for case in 0..25 {
+        let treelike = rng.gen_bool(0.5);
+        let tree = cdat_gen::random_small(&mut rng, 6, treelike);
+        let cd = cdat_gen::decorate(tree, &mut rng);
+        let budget = rng.gen_range(0.0..=cd.total_cost());
+        for effect in rank_single_defenses(&cd, budget).iter().take(2) {
+            let residual = match defend(&cd, &[effect.bas]) {
+                Defended::Neutralized => 0.0,
+                Defended::Residual(residual, _) => {
+                    solve::dgc(&residual, budget).map(|e| e.point.damage).unwrap_or(0.0)
+                }
+            };
+            assert_eq!(residual, effect.residual_damage, "case {case}: {}", effect.name);
+        }
+    }
+}
+
+/// Minimal attacks compose with cost-damage analysis: every minimal attack's
+/// value is dominated by the front, and the cheapest minimal attack's cost
+/// equals the classical "min cost of a successful attack" metric.
+#[test]
+fn minimal_attacks_are_consistent_with_the_front() {
+    for cd in [cdat_models::factory(), cdat_models::panda(), cdat_models::dataserver()] {
+        let front = solve::cdpf(&cd);
+        let minimal = cdat::analysis::minimal_attacks(cd.tree());
+        assert!(!minimal.is_empty());
+        let min_cost_successful = minimal
+            .iter()
+            .map(|a| cd.cost_of(a))
+            .fold(f64::INFINITY, f64::min);
+        for a in &minimal {
+            let p = cdat::CostDamage::new(cd.cost_of(a), cd.damage_of(a));
+            assert!(front.dominates_within(p, 1e-9));
+            assert!(cd.tree().reaches_root(a));
+        }
+        // CgD at "damage of the top node only" relates: any successful attack
+        // costs at least the cheapest minimal attack.
+        let root_damage = cd.damage(cd.tree().root());
+        if root_damage > 0.0 {
+            let via_front = solve::cgd(&cd, root_damage).expect("top is reachable");
+            assert!(via_front.point.cost <= min_cost_successful + 1e-9);
+        }
+    }
+}
+
+/// Example 6 of the paper: a front of size 2^|B| exists, so CDPF is
+/// necessarily exponential in the worst case (Theorem 5's lower bound).
+#[test]
+fn example_6_exponential_front() {
+    let n = 10;
+    let mut b = cdat::AttackTreeBuilder::new();
+    let leaves: Vec<_> = (0..n).map(|i| b.bas(&format!("v{i}"))).collect();
+    let _root = b.or("root", leaves);
+    let mut builder = cdat::CdAttackTree::builder(b.build().expect("valid"));
+    for i in 0..n {
+        let w = (1u64 << i) as f64;
+        builder = builder
+            .cost(&format!("v{i}"), w)
+            .expect("valid cost")
+            .damage(&format!("v{i}"), w)
+            .expect("valid damage");
+    }
+    let cd = builder.finish().expect("valid");
+    let front = solve::cdpf(&cd);
+    assert_eq!(front.len(), 1 << n, "every subset is Pareto optimal");
+}
