@@ -63,9 +63,7 @@ fn mcs(
     if let Some(cached) = memo.get(&f) {
         return cached.clone();
     }
-    let (var, lo, hi) = bdd
-        .decompose(f)
-        .expect("non-terminal node decomposes");
+    let (var, lo, hi) = bdd.decompose(f).expect("non-terminal node decomposes");
     let low_sets = mcs(bdd, lo, n_bas, memo);
     let high_sets = mcs(bdd, hi, n_bas, memo);
     let mut result = low_sets.clone();
@@ -100,7 +98,10 @@ mod tests {
         let m = minimal_attacks(cd.tree());
         assert_eq!(
             names(cd.tree(), &m),
-            vec![vec!["cyberattack".to_owned()], vec!["place bomb".to_owned(), "force door".to_owned()]]
+            vec![
+                vec!["cyberattack".to_owned()],
+                vec!["place bomb".to_owned(), "force door".to_owned()]
+            ]
         );
         for a in &m {
             assert!(is_minimal_attack(cd.tree(), a));
@@ -130,10 +131,12 @@ mod tests {
         let m = minimal_attacks(cd.tree());
         let sets = names(cd.tree(), &m);
         assert!(sets.contains(&vec!["internal leakage".to_owned()]));
-        assert!(sets
-            .contains(&vec!["look for base station".to_owned(), "crack password".to_owned()]));
-        assert!(sets.iter().any(|s| s.len() == 2
-            && s.contains(&"send malicious codes to base station".to_owned())));
+        assert!(
+            sets.contains(&vec!["look for base station".to_owned(), "crack password".to_owned()])
+        );
+        assert!(sets.iter().any(
+            |s| s.len() == 2 && s.contains(&"send malicious codes to base station".to_owned())
+        ));
     }
 
     #[test]
@@ -159,13 +162,10 @@ mod tests {
             let via_bdd = minimal_attacks(&tree);
             // Brute force: minimal successful attacks.
             let n = tree.bas_count();
-            let successful: Vec<Attack> =
-                Attack::all(n).filter(|x| tree.reaches_root(x)).collect();
+            let successful: Vec<Attack> = Attack::all(n).filter(|x| tree.reaches_root(x)).collect();
             let mut brute: Vec<Attack> = successful
                 .iter()
-                .filter(|x| {
-                    !successful.iter().any(|y| y.is_subset(x) && y.len() < x.len())
-                })
+                .filter(|x| !successful.iter().any(|y| y.is_subset(x) && y.len() < x.len()))
                 .cloned()
                 .collect();
             brute.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));

@@ -120,7 +120,8 @@ mod tests {
             for e in rank_single_defenses(&cd, budget) {
                 assert!(
                     e.residual_damage <= undefended + 1e-9,
-                    "defending {} increased damage", e.name
+                    "defending {} increased damage",
+                    e.name
                 );
                 assert!(e.residual_max_damage <= cd.max_damage() + 1e-9);
             }

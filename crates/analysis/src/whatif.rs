@@ -131,8 +131,7 @@ pub fn defend(cd: &CdAttackTree, defended: &[BasId]) -> Defended<CdAttackTree> {
                     }
                 }
             }
-            let out =
-                CdAttackTree::from_parts(tree, cost, damage).expect("attributes stay valid");
+            let out = CdAttackTree::from_parts(tree, cost, damage).expect("attributes stay valid");
             Defended::Residual(out, map)
         }
     }

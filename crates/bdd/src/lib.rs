@@ -94,10 +94,7 @@ impl Bdd {
             // Terminal nodes live at indices 0 (false) and 1 (true); their
             // `var` is the past-the-end sentinel so the min-var recursion
             // never descends into them.
-            nodes: vec![
-                Node { var: sentinel, lo: 0, hi: 0 },
-                Node { var: sentinel, lo: 1, hi: 1 },
-            ],
+            nodes: vec![Node { var: sentinel, lo: 0, hi: 0 }, Node { var: sentinel, lo: 1, hi: 1 }],
             unique: HashMap::new(),
             apply_cache: HashMap::new(),
             num_vars,

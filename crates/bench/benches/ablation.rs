@@ -56,8 +56,8 @@ fn third_dimension(c: &mut Criterion) {
     let cd = cdat_models::panda();
     // Sanity: the 2-D variant is genuinely wrong on this model…
     let sound = cdat_bottomup::cdpf(&cd).expect("treelike");
-    let unsound = cdat_bottomup::ablation::cdpf_without_activation_dimension(&cd)
-        .expect("treelike");
+    let unsound =
+        cdat_bottomup::ablation::cdpf_without_activation_dimension(&cd).expect("treelike");
     assert!(!sound.approx_eq(&unsound, 1e-9), "2-D ablation should lose points on the panda AT");
     // …and the bench quantifies what the extra dimension costs.
     let mut group = c.benchmark_group("ablation_third_dimension");
@@ -114,10 +114,7 @@ fn staircase_pruning(c: &mut Criterion) {
                 // Damage grows with cost: an (almost) incomparable set, the
                 // shape of Example 6's exponentially large front.
                 let jitter = rng.gen_range(0..3) as f64;
-                (
-                    Triple { cost: i as f64, damage: i as f64 + jitter, act: i % 2 == 0 },
-                    (),
-                )
+                (Triple { cost: i as f64, damage: i as f64 + jitter, act: i % 2 == 0 }, ())
             })
             .collect();
         for (shape, entries) in [("random", &random), ("antichain", &antichain)] {

@@ -5,6 +5,7 @@
 //! cargo run --release -p cdat-bench --bin experiments -- fig3 fig6a fig6b fig6c
 //! cargo run --release -p cdat-bench --bin experiments -- table3 [--with-enum]
 //! cargo run --release -p cdat-bench --bin experiments -- fig7 [--cap-seconds 1.0] [--max-n 100] [--per-n 5]
+//! cargo run --release -p cdat-bench --bin experiments -- --smoke   # CI: fastest figure only
 //! ```
 //!
 //! `all` runs the quick configuration of everything. The enumerative column
@@ -25,16 +26,36 @@ use cdat_core::{CdAttackTree, CdpAttackTree};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
+const USAGE: &str = "usage: experiments [all|fig3|fig6a|fig6b|fig6c|table3|fig7] [options]
+
+targets:
+  all      every figure and table in its quick configuration
+  fig3     the running example's Pareto fronts
+  fig6a-c  what-if defense analyses
+  table3   case-study timings (add --with-enum for the slow column)
+  fig7     random-suite sweep (--cap-seconds F, --max-n N, --per-n K)
+
+flags:
+  --smoke  run the fastest figure only and exit 0 (CI harness check)
+  --help   print this message and exit 0";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    if args.iter().any(|a| a == "--smoke") {
+        fig3();
+        return;
+    }
     if args.is_empty() {
-        eprintln!("usage: experiments [all|fig3|fig6a|fig6b|fig6c|table3|fig7] [options]");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
     let opt_flag = |name: &str| args.iter().any(|a| a == name);
-    let opt_value = |name: &str| {
-        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
-    };
+    let opt_value =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
     let run_all = args.iter().any(|a| a == "all");
     let wants = |name: &str| run_all || args.iter().any(|a| a == name);
 
@@ -118,7 +139,10 @@ fn fig6c() {
     header("Fig. 6c — CDPF of the data-server AT (BILP, Thm 6; DAG-like)");
     let cd = cdat_models::dataserver();
     let (front, t) = timed(|| cdat_bilp::cdpf(&cd));
-    println!("computed in {}; paper front: (250,24) (568,60) (976,70.8) (1131,75.8) (1281,82.8)", fmt_duration(t));
+    println!(
+        "computed in {}; paper front: (250,24) (568,60) (976,70.8) (1131,75.8) (1281,82.8)",
+        fmt_duration(t)
+    );
     print_front(&cd, &front);
 }
 
@@ -261,7 +285,12 @@ fn sweep<T: HasTree>(
             continue; // method not applicable at this size (e.g. enum caps)
         }
         let (mean, _) = mean_std(&times);
-        println!("  {label:<5} group N∈[{}0,{}9]: mean {mean:.4}s over {} instances", group, group, times.len());
+        println!(
+            "  {label:<5} group N∈[{}0,{}9]: mean {mean:.4}s over {} instances",
+            group,
+            group,
+            times.len()
+        );
         groups.insert(group, times);
         if mean > cap_seconds {
             capped = true;

@@ -66,11 +66,8 @@ pub fn front_rows(cd: &CdAttackTree, front: &ParetoFront) -> String {
             }
             None => ("-".to_owned(), "?"),
         };
-        let _ = writeln!(
-            out,
-            "{:>10} {:>10} {:>5}  {}",
-            e.point.cost, e.point.damage, top, bas_list
-        );
+        let _ =
+            writeln!(out, "{:>10} {:>10} {:>5}  {}", e.point.cost, e.point.damage, top, bas_list);
     }
     out
 }

@@ -62,8 +62,7 @@ pub fn encode(cd: &CdAttackTree) -> Encoding {
             NodeType::Or => {
                 // y_v − Σ y_w ≤ 0
                 let mut coefficients = vec![(v.index(), 1.0)];
-                coefficients
-                    .extend(tree.children(v).iter().map(|w| (w.index(), -1.0)));
+                coefficients.extend(tree.children(v).iter().map(|w| (w.index(), -1.0)));
                 constraints.push(LinearConstraint::new(coefficients, Relation::Le, 0.0));
             }
         }

@@ -237,8 +237,7 @@ mod tests {
         }
         let tree = b.build().unwrap();
         let cost: Vec<f64> = (0..tree.bas_count()).map(|_| rng.gen_range(0..6) as f64).collect();
-        let damage: Vec<f64> =
-            (0..tree.node_count()).map(|_| rng.gen_range(0..6) as f64).collect();
+        let damage: Vec<f64> = (0..tree.node_count()).map(|_| rng.gen_range(0..6) as f64).collect();
         CdAttackTree::from_parts(tree, cost, damage).unwrap()
     }
 

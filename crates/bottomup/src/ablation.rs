@@ -58,9 +58,7 @@ pub fn cdpf_without_activation_dimension(cd: &CdAttackTree) -> Result<ParetoFron
                 }
                 let dv = cd.damage(v);
                 prune_2d(
-                    acc.into_iter()
-                        .map(|(c, d, a)| (c, if a { d + dv } else { d }, a))
-                        .collect(),
+                    acc.into_iter().map(|(c, d, a)| (c, if a { d + dv } else { d }, a)).collect(),
                 )
             }
         };

@@ -117,16 +117,10 @@ where
             NodeType::Bas => {
                 let b = tree.bas_of_node(v).expect("leaf has a BAS id");
                 let mut entries: Vec<Entry<A>> = Vec::with_capacity(2);
-                entries.push((
-                    Triple::zero(),
-                    witnesses.then(|| Attack::empty(n_bas)),
-                ));
+                entries.push((Triple::zero(), witnesses.then(|| Attack::empty(n_bas))));
                 let active = leaf(b);
                 if budget.is_none_or(|u| active.cost <= u) {
-                    entries.push((
-                        active,
-                        witnesses.then(|| Attack::from_bas_ids(n_bas, [b])),
-                    ));
+                    entries.push((active, witnesses.then(|| Attack::from_bas_ids(n_bas, [b]))));
                 }
                 // A BAS with zero cost and zero damage yields two identical
                 // triples; prune collapses them.
@@ -207,12 +201,7 @@ mod tests {
         got.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(
             got,
-            vec![
-                (0.0, 0.0, false),
-                (1.0, 200.0, true),
-                (3.0, 210.0, true),
-                (5.0, 310.0, true),
-            ]
+            vec![(0.0, 0.0, false), (1.0, 200.0, true), (3.0, 210.0, true), (5.0, 310.0, true),]
         );
         // Witnesses reproduce their triples.
         for (t, w) in &front {

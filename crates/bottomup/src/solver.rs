@@ -76,11 +76,7 @@ impl BottomUp {
         root_front::<bool, _>(
             cd.tree(),
             cd.damages(),
-            |b| Triple {
-                cost: cd.cost(b),
-                damage: cd.damage(cd.tree().node_of_bas(b)),
-                act: true,
-            },
+            |b| Triple { cost: cd.cost(b), damage: cd.damage(cd.tree().node_of_bas(b)), act: true },
             budget,
             self.witnesses,
         )
@@ -206,11 +202,7 @@ impl BottomUp {
         node_fronts::<bool, _>(
             cd.tree(),
             cd.damages(),
-            |b| Triple {
-                cost: cd.cost(b),
-                damage: cd.damage(cd.tree().node_of_bas(b)),
-                act: true,
-            },
+            |b| Triple { cost: cd.cost(b), damage: cd.damage(cd.tree().node_of_bas(b)), act: true },
             budget,
             self.witnesses,
         )
@@ -459,9 +451,10 @@ mod tests {
         let cdp = factory_cdp();
         let front = cedpf(&cdp).unwrap();
         // Brute force over all 8 attacks.
-        let brute = ParetoFront::from_points(Attack::all(3).map(|x| {
-            CostDamage::new(cdp.cost_of(&x), cdp.expected_damage(&x).unwrap())
-        }));
+        let brute = ParetoFront::from_points(
+            Attack::all(3)
+                .map(|x| CostDamage::new(cdp.cost_of(&x), cdp.expected_damage(&x).unwrap())),
+        );
         assert!(front.approx_eq(&brute, 1e-9), "bottom-up {front} vs brute {brute}");
         // Witnesses reproduce their points.
         for e in front.entries() {
@@ -539,20 +532,12 @@ mod tests {
         assert_eq!(at("pb"), vec![(0.0, 0.0, false), (3.0, 0.0, true)]);
         assert_eq!(at("fd"), vec![(0.0, 0.0, false), (2.0, 10.0, true)]);
         // Example 4: at dr, (3,0,0) is discarded but (5,110,1) is kept.
-        assert_eq!(
-            at("dr"),
-            vec![(0.0, 0.0, false), (2.0, 10.0, false), (5.0, 110.0, true)]
-        );
+        assert_eq!(at("dr"), vec![(0.0, 0.0, false), (2.0, 10.0, false), (5.0, 110.0, true)]);
         // Example 5: the root front (see the recursion test for the full
         // domination discussion).
         assert_eq!(
             at("ps"),
-            vec![
-                (0.0, 0.0, false),
-                (1.0, 200.0, true),
-                (3.0, 210.0, true),
-                (5.0, 310.0, true),
-            ]
+            vec![(0.0, 0.0, false), (1.0, 200.0, true), (3.0, 210.0, true), (5.0, 310.0, true),]
         );
     }
 
@@ -586,10 +571,8 @@ mod tests {
         let root = cdp.tree().root().index();
         assert_eq!(det[root].len(), 2, "DTrip: {{(0,0,0), (1,1,1)}}");
         assert_eq!(prob[root].len(), 3, "PTrip: {{(0,0,0), (1,.5,.5), (2,.75,.75)}}");
-        let both = prob[root]
-            .iter()
-            .find(|(t, _)| t.cost == 2.0)
-            .expect("attempting both BASs is kept");
+        let both =
+            prob[root].iter().find(|(t, _)| t.cost == 2.0).expect("attempting both BASs is kept");
         assert!((both.0.damage - 0.75).abs() < 1e-12);
         assert!((both.0.act.value() - 0.75).abs() < 1e-12);
     }
@@ -599,9 +582,11 @@ mod tests {
         let cd = factory_cd();
         let fronts = BottomUp::new().node_fronts(&cd, None).unwrap();
         let via_root = cdpf(&cd).unwrap();
-        let projected = ParetoFront::from_entries(fronts[cd.tree().root().index()].iter().map(
-            |(t, w)| FrontEntry { point: t.project(), witness: w.clone() },
-        ));
+        let projected = ParetoFront::from_entries(
+            fronts[cd.tree().root().index()]
+                .iter()
+                .map(|(t, w)| FrontEntry { point: t.project(), witness: w.clone() }),
+        );
         assert!(via_root.approx_eq(&projected, 0.0));
     }
 

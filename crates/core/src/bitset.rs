@@ -20,10 +20,7 @@ pub struct BitSet {
 impl BitSet {
     /// Creates an empty bit set with capacity for `len` bits.
     pub fn new(len: usize) -> Self {
-        BitSet {
-            len,
-            words: vec![0; len.div_ceil(BITS)],
-        }
+        BitSet { len, words: vec![0; len.div_ceil(BITS)] }
     }
 
     /// Creates a bit set of `len` bits that are all set.

@@ -107,12 +107,7 @@ mod tests {
 
     #[test]
     fn cdp_labels_include_probability() {
-        let cdp = small_cd()
-            .with_probabilities()
-            .probability("y", 0.25)
-            .unwrap()
-            .finish()
-            .unwrap();
+        let cdp = small_cd().with_probabilities().probability("y", 0.25).unwrap().finish().unwrap();
         let dot = to_dot_cdp(&cdp);
         assert!(dot.contains("p=0.25"));
     }

@@ -135,9 +135,7 @@ impl AttackTree {
         let mut attack = self.empty_attack();
         for name in names {
             let v = self.find(name).ok_or_else(|| AttributeError::UnknownNode(name.into()))?;
-            let b = self
-                .bas_of_node(v)
-                .ok_or_else(|| AttributeError::UnknownNode(name.into()))?;
+            let b = self.bas_of_node(v).ok_or_else(|| AttributeError::UnknownNode(name.into()))?;
             attack.insert(b);
         }
         Ok(attack)
@@ -174,10 +172,7 @@ impl AttackTree {
             }
             stack.extend_from_slice(self.children(u));
         }
-        (0..self.node_count())
-            .filter(|&i| seen[i])
-            .map(NodeId::from_index)
-            .collect()
+        (0..self.node_count()).filter(|&i| seen[i]).map(NodeId::from_index).collect()
     }
 
     /// Extracts the sub-tree `T_v` rooted at `v` as a standalone attack tree

@@ -183,8 +183,7 @@ pub fn cedpf_naive(cdp: &CdpAttackTree) -> ParetoFront {
     let n = cdp.tree().bas_count();
     assert!(n <= MAX_BAS_NAIVE, "naive CEDPF costs 3^{n}; refusing");
     stream_front(
-        Attack::all(n)
-            .map(|x| CostDamage::new(cdp.cost_of(&x), cdp.expected_damage_naive(&x))),
+        Attack::all(n).map(|x| CostDamage::new(cdp.cost_of(&x), cdp.expected_damage_naive(&x))),
     )
 }
 
@@ -307,9 +306,7 @@ pub fn expected_damage_conditioning(cdp: &CdpAttackTree, attack: &Attack) -> f64
         for v in tree.node_ids() {
             let i = v.index();
             ps[i] = match tree.node_type(v) {
-                cdat_core::NodeType::Bas => {
-                    leaf_prob[tree.bas_of_node(v).expect("leaf").index()]
-                }
+                cdat_core::NodeType::Bas => leaf_prob[tree.bas_of_node(v).expect("leaf").index()],
                 cdat_core::NodeType::Or => {
                     1.0 - tree.children(v).iter().map(|c| 1.0 - ps[c.index()]).product::<f64>()
                 }
@@ -318,8 +315,7 @@ pub fn expected_damage_conditioning(cdp: &CdpAttackTree, attack: &Attack) -> f64
                 }
             };
         }
-        let damage: f64 =
-            ps.iter().zip(cdp.cd().damages()).map(|(p, d)| p * d).sum();
+        let damage: f64 = ps.iter().zip(cdp.cd().damages()).map(|(p, d)| p * d).sum();
         expectation += weight * damage;
     }
     expectation

@@ -139,10 +139,8 @@ fn scan(text: &str) -> Result<Vec<Record>, ParseError> {
                 ))
             }
         };
-        let name = parts
-            .get(1)
-            .cloned()
-            .ok_or_else(|| ParseError::at(lineno, "missing node name"))?;
+        let name =
+            parts.get(1).cloned().ok_or_else(|| ParseError::at(lineno, "missing node name"))?;
         let mut rec = Record {
             line: lineno,
             kind,
@@ -153,9 +151,9 @@ fn scan(text: &str) -> Result<Vec<Record>, ParseError> {
             children: Vec::new(),
         };
         for attr in &parts[2..] {
-            let (key, value) = attr
-                .split_once('=')
-                .ok_or_else(|| ParseError::at(lineno, format!("expected key=value, found {attr:?}")))?;
+            let (key, value) = attr.split_once('=').ok_or_else(|| {
+                ParseError::at(lineno, format!("expected key=value, found {attr:?}"))
+            })?;
             let value: f64 = value
                 .parse()
                 .map_err(|_| ParseError::at(lineno, format!("bad number {value:?}")))?;
@@ -169,7 +167,8 @@ fn scan(text: &str) -> Result<Vec<Record>, ParseError> {
                 return Err(ParseError::at(lineno, format!("duplicate attribute {key:?}")));
             }
         }
-        if rec.kind == Kind::Ref && (rec.cost.is_some() || rec.damage.is_some() || rec.prob.is_some())
+        if rec.kind == Kind::Ref
+            && (rec.cost.is_some() || rec.damage.is_some() || rec.prob.is_some())
         {
             return Err(ParseError::at(lineno, "ref lines cannot carry attributes"));
         }
@@ -225,7 +224,10 @@ fn build(records: Vec<Record>) -> Result<CdpAttackTree, ParseError> {
             if r.cost.is_some() {
                 return Err(ParseError::at(
                     r.line,
-                    format!("cost on gate {:?}: only BASs carry costs (add a dummy BAS child instead)", r.name),
+                    format!(
+                        "cost on gate {:?}: only BASs carry costs (add a dummy BAS child instead)",
+                        r.name
+                    ),
                 ));
             }
             if r.prob.is_some() {
@@ -326,10 +328,8 @@ fn build(records: Vec<Record>) -> Result<CdpAttackTree, ParseError> {
         ));
     }
 
-    let tree = emit
-        .builder
-        .build()
-        .map_err(|e| ParseError::global(format!("invalid tree: {e}")))?;
+    let tree =
+        emit.builder.build().map_err(|e| ParseError::global(format!("invalid tree: {e}")))?;
 
     let mut cost = vec![0.0; tree.bas_count()];
     let mut damage = vec![0.0; tree.node_count()];

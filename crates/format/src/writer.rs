@@ -99,8 +99,7 @@ mod tests {
             let names: Vec<&str> =
                 x.iter().map(|bas| a.tree().name(a.tree().node_of_bas(bas))).collect();
             let y = b.tree().attack_of_names(names.iter().copied()).expect("same BAS names");
-            a.cd().cost_of(&x) == b.cd().cost_of(&y)
-                && a.cd().damage_of(&x) == b.cd().damage_of(&y)
+            a.cd().cost_of(&x) == b.cd().cost_of(&y) && a.cd().damage_of(&x) == b.cd().damage_of(&y)
         })
     }
 

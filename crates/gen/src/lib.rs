@@ -20,9 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use cdat_core::{
-    AttackTree, AttackTreeBuilder, CdAttackTree, CdpAttackTree, NodeId, NodeType,
-};
+use cdat_core::{AttackTree, AttackTreeBuilder, CdAttackTree, CdpAttackTree, NodeId, NodeType};
 use cdat_models::blocks::{self, Block};
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -146,7 +144,12 @@ impl SuiteConfig {
 }
 
 /// Generates one random AT with at least `target` nodes by combining blocks.
-pub fn random_at(rng: &mut impl Rng, available: &[Block], ops: &[CombineOp], target: usize) -> AttackTree {
+pub fn random_at(
+    rng: &mut impl Rng,
+    available: &[Block],
+    ops: &[CombineOp],
+    target: usize,
+) -> AttackTree {
     let mut tree = (available[rng.gen_range(0..available.len())].build)();
     while tree.node_count() < target {
         let other = (available[rng.gen_range(0..available.len())].build)();
@@ -216,11 +219,15 @@ pub fn random_small(rng: &mut impl Rng, max_bas: usize, treelike: bool) -> Attac
             let i = rng.gen_range(0..roots.len());
             children.push(roots.swap_remove(i));
         }
-        // Optional sharing: adopt an extra, already-parented node.
-        if !treelike && counter > n_bas && rng.gen_bool(0.5) {
-            let extra = NodeId::new(rng.gen_range(0..counter));
-            if !children.contains(&extra) {
-                children.push(extra);
+        // Optional sharing: adopt an extra, already-parented node, giving
+        // it a second parent (what makes the result DAG-like).
+        if !treelike && rng.gen_bool(0.5) {
+            let parented: Vec<NodeId> = (0..counter)
+                .map(NodeId::new)
+                .filter(|n| !roots.contains(n) && !children.contains(n))
+                .collect();
+            if !parented.is_empty() {
+                children.push(parented[rng.gen_range(0..parented.len())]);
             }
         }
         let ty = if rng.gen_bool(0.5) { NodeType::Or } else { NodeType::And };
@@ -269,12 +276,8 @@ mod tests {
 
     #[test]
     fn tree_suite_is_treelike_and_sized() {
-        let suite = generate_suite(SuiteConfig {
-            treelike: true,
-            max_target: 30,
-            per_target: 2,
-            seed: 9,
-        });
+        let suite =
+            generate_suite(SuiteConfig { treelike: true, max_target: 30, per_target: 2, seed: 9 });
         assert_eq!(suite.len(), 60);
         for (i, t) in suite.iter().enumerate() {
             let target = i / 2 + 1;

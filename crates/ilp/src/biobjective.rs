@@ -163,9 +163,7 @@ mod tests {
         let mut front: Vec<(f64, f64)> = feasible
             .iter()
             .filter(|&&(a1, a2)| {
-                !feasible.iter().any(|&(b1, b2)| {
-                    (b1 <= a1 && b2 < a2) || (b1 < a1 && b2 <= a2)
-                })
+                !feasible.iter().any(|&(b1, b2)| (b1 <= a1 && b2 < a2) || (b1 < a1 && b2 <= a2))
             })
             .copied()
             .collect();
@@ -212,8 +210,7 @@ mod tests {
             f2: vec![-10.0, -7.0, -3.0],
             constraints: vec![le(vec![(0, 4.0), (1, 3.0), (2, 2.0)], 6.0)],
         };
-        let pts: Vec<(f64, f64)> =
-            p.pareto_front_auto().iter().map(|b| (b.f1, b.f2)).collect();
+        let pts: Vec<(f64, f64)> = p.pareto_front_auto().iter().map(|b| (b.f1, b.f2)).collect();
         assert_eq!(pts, vec![(0.0, 0.0), (2.0, -3.0), (3.0, -7.0), (4.0, -10.0), (6.0, -13.0)]);
     }
 
@@ -223,11 +220,7 @@ mod tests {
             num_vars: 2,
             f1: vec![1.0, 1.0],
             f2: vec![-1.0, -1.0],
-            constraints: vec![LinearConstraint::new(
-                vec![(0, 1.0), (1, 1.0)],
-                Relation::Ge,
-                3.0,
-            )],
+            constraints: vec![LinearConstraint::new(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 3.0)],
         };
         assert!(p.pareto_front(0.5).is_empty());
     }
@@ -248,14 +241,12 @@ mod tests {
                     .map(|_| {
                         let coefficients =
                             (0..n).map(|i| (i, rng.gen_range(-3..=3) as f64)).collect();
-                        let relation =
-                            if rng.gen_bool(0.5) { Relation::Le } else { Relation::Ge };
+                        let relation = if rng.gen_bool(0.5) { Relation::Le } else { Relation::Ge };
                         LinearConstraint::new(coefficients, relation, rng.gen_range(-3..=5) as f64)
                     })
                     .collect(),
             };
-            let got: Vec<(f64, f64)> =
-                p.pareto_front(0.5).iter().map(|b| (b.f1, b.f2)).collect();
+            let got: Vec<(f64, f64)> = p.pareto_front(0.5).iter().map(|b| (b.f1, b.f2)).collect();
             let want = brute_force(&p);
             assert_eq!(got, want, "case {case}: {p:?}");
         }
@@ -283,8 +274,7 @@ mod tests {
         };
         let exact: Vec<(f64, f64)> = p.pareto_front(0.5).iter().map(|b| (b.f1, b.f2)).collect();
         assert_eq!(exact, vec![(0.0, 0.0), (2.0, -1.0), (4.0, -2.0), (6.0, -3.0)]);
-        let skipping: Vec<(f64, f64)> =
-            p.pareto_front(3.0).iter().map(|b| (b.f1, b.f2)).collect();
+        let skipping: Vec<(f64, f64)> = p.pareto_front(3.0).iter().map(|b| (b.f1, b.f2)).collect();
         assert!(skipping.len() < exact.len());
         for pt in &skipping {
             assert!(exact.contains(pt), "oversized delta must not invent points");
@@ -297,11 +287,7 @@ mod tests {
             num_vars: 2,
             f1: vec![1.0, 1.0],
             f2: vec![-1.0, -1.0],
-            constraints: vec![LinearConstraint::new(
-                vec![(0, 1.0), (1, 1.0)],
-                Relation::Eq,
-                2.0,
-            )],
+            constraints: vec![LinearConstraint::new(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 2.0)],
         };
         let front = p.pareto_front(0.5);
         assert_eq!(front.len(), 1);
@@ -311,12 +297,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_delta_rejected() {
-        let p = BiobjectiveProblem {
-            num_vars: 1,
-            f1: vec![1.0],
-            f2: vec![-1.0],
-            constraints: vec![],
-        };
+        let p =
+            BiobjectiveProblem { num_vars: 1, f1: vec![1.0], f2: vec![-1.0], constraints: vec![] };
         let _ = p.pareto_front(0.0);
     }
 }

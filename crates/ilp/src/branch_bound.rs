@@ -118,9 +118,8 @@ impl IlpProblem {
             }
         }
         let objective: Vec<f64> = free.iter().map(|&i| self.objective[i]).collect();
-        let mut constraints: Vec<LinearConstraint> = Vec::with_capacity(
-            self.constraints.len() + free.len(),
-        );
+        let mut constraints: Vec<LinearConstraint> =
+            Vec::with_capacity(self.constraints.len() + free.len());
         for c in &self.constraints {
             let mut coefficients = Vec::with_capacity(c.coefficients.len());
             let mut rhs = c.rhs;
@@ -242,11 +241,8 @@ mod tests {
 
     #[test]
     fn unconstrained_minimization_picks_negative_coefficients() {
-        let p = IlpProblem {
-            num_vars: 4,
-            objective: vec![1.0, -2.0, 0.0, -0.5],
-            constraints: vec![],
-        };
+        let p =
+            IlpProblem { num_vars: 4, objective: vec![1.0, -2.0, 0.0, -0.5], constraints: vec![] };
         let s = p.solve().unwrap();
         assert_eq!(s.values, vec![false, true, false, true]);
         assert_eq!(s.objective, -2.5);

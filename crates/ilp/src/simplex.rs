@@ -288,7 +288,11 @@ mod tests {
         // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), value 36.
         let s = optimal(
             &[-3.0, -5.0],
-            &[le(vec![(0, 1.0)], 4.0), le(vec![(1, 2.0)], 12.0), le(vec![(0, 3.0), (1, 2.0)], 18.0)],
+            &[
+                le(vec![(0, 1.0)], 4.0),
+                le(vec![(1, 2.0)], 12.0),
+                le(vec![(0, 3.0), (1, 2.0)], 18.0),
+            ],
         );
         assert!((s.objective + 36.0).abs() < 1e-7);
         assert!((s.values[0] - 2.0).abs() < 1e-7 && (s.values[1] - 6.0).abs() < 1e-7);
@@ -375,7 +379,10 @@ mod tests {
 
     #[test]
     fn zero_objective_returns_any_feasible_vertex() {
-        let s = optimal(&[0.0, 0.0], &[ge(vec![(0, 1.0), (1, 1.0)], 3.0), le(vec![(0, 1.0)], 5.0), le(vec![(1, 1.0)], 5.0)]);
+        let s = optimal(
+            &[0.0, 0.0],
+            &[ge(vec![(0, 1.0), (1, 1.0)], 3.0), le(vec![(0, 1.0)], 5.0), le(vec![(1, 1.0)], 5.0)],
+        );
         assert_eq!(s.objective, 0.0);
         assert!(s.values[0] + s.values[1] >= 3.0 - 1e-7);
     }
@@ -391,8 +398,7 @@ mod tests {
             let objective: Vec<f64> = (0..n).map(|_| rng.gen_range(-5..=5) as f64).collect();
             let mut constraints: Vec<LinearConstraint> = (0..m)
                 .map(|_| {
-                    let coefficients =
-                        (0..n).map(|i| (i, rng.gen_range(-3..=3) as f64)).collect();
+                    let coefficients = (0..n).map(|i| (i, rng.gen_range(-3..=3) as f64)).collect();
                     let relation = match rng.gen_range(0..3) {
                         0 => Relation::Le,
                         1 => Relation::Ge,
@@ -416,8 +422,7 @@ mod tests {
                     let cand: Vec<f64> =
                         (0..n).map(|_| rng.gen_range(0..=100) as f64 / 10.0).collect();
                     if constraints.iter().all(|c| c.satisfied_by(&cand, 1e-9)) {
-                        let val: f64 =
-                            cand.iter().zip(&objective).map(|(x, c)| x * c).sum();
+                        let val: f64 = cand.iter().zip(&objective).map(|(x, c)| x * c).sum();
                         assert!(val >= s.objective - 1e-6, "sample {cand:?} beats optimum");
                     }
                 }

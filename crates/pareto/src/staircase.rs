@@ -109,12 +109,8 @@ mod tests {
     fn example_4_keeps_the_activating_triple() {
         // At node dr: (0,0,0), (3,0,0), (2,10,0), (5,110,1); only (3,0,0) is
         // dominated (by (0,0,0) and (2,10,0)).
-        let input = vec![
-            t(0.0, 0.0, false),
-            t(3.0, 0.0, false),
-            t(2.0, 10.0, false),
-            t(5.0, 110.0, true),
-        ];
+        let input =
+            vec![t(0.0, 0.0, false), t(3.0, 0.0, false), t(2.0, 10.0, false), t(5.0, 110.0, true)];
         let kept = prune(input, None);
         let triples: Vec<Triple<bool>> = kept.into_iter().map(|(x, _)| x).collect();
         assert_eq!(triples.len(), 3);

@@ -14,7 +14,10 @@ fn main() {
         cd.tree().bas_count(),
         cd.tree().is_treelike()
     );
-    println!("dispatched backend: {:?} (bottom-up cannot handle shared nodes)", solve::backend_for(&cd));
+    println!(
+        "dispatched backend: {:?} (bottom-up cannot handle shared nodes)",
+        solve::backend_for(&cd)
+    );
 
     // ── Fig. 6c: the Pareto front via bi-objective ILP ──────────────────
     let front = solve::cdpf(&cd);

@@ -55,9 +55,6 @@ fn main() {
         }
         // "a new cost-damage analysis is needed":
         let front = solve::cdpf(&current);
-        println!(
-            "         residual front: {front}  (max damage {})",
-            current.max_damage()
-        );
+        println!("         residual front: {front}  (max damage {})", current.max_damage());
     }
 }

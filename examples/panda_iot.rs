@@ -49,7 +49,11 @@ fn main() {
     // ── Probabilistic front (Fig. 6b) ────────────────────────────────────
     let cdp = panda_cdp();
     let prob = solve::cedpf(&cdp).expect("panda tree is treelike");
-    println!("\nprobabilistic front: {} Pareto-optimal attacks (vs {} deterministic)", prob.len(), front.len());
+    println!(
+        "\nprobabilistic front: {} Pareto-optimal attacks (vs {} deterministic)",
+        prob.len(),
+        front.len()
+    );
     println!("first entries:");
     println!("{:>6} {:>10}  attack", "cost", "E[damage]");
     for entry in prob.entries().iter().take(6) {
@@ -59,9 +63,8 @@ fn main() {
     }
     // b18 appears in every nonzero optimal attack.
     let b18 = cd.tree().attack_of_names(["internal leakage"]).expect("known BAS");
-    let every = prob.entries()[1..]
-        .iter()
-        .all(|e| b18.is_subset(e.witness.as_ref().expect("witness")));
+    let every =
+        prob.entries()[1..].iter().all(|e| b18.is_subset(e.witness.as_ref().expect("witness")));
     println!(
         "\nb18 (internal leakage) in every optimal probabilistic attack: {every}\n\
          → in the probabilistic view, insider leakage is the single most\n\

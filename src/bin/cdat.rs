@@ -77,10 +77,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let threshold = number(2, "threshold")?;
             match solve::cgd(cdp.cd(), threshold) {
                 Some(e) => print_entry(&cdp, &e, "min cost"),
-                None => println!(
-                    "unreachable: maximal damage is {}",
-                    cdp.cd().max_damage()
-                ),
+                None => println!("unreachable: maximal damage is {}", cdp.cd().max_damage()),
             }
         }
         "minimal" => {
@@ -96,9 +93,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "rank" => {
             let budget = number(2, "budget")?;
-            let undefended = solve::dgc(cdp.cd(), budget)
-                .map(|e| e.point.damage)
-                .unwrap_or(0.0);
+            let undefended = solve::dgc(cdp.cd(), budget).map(|e| e.point.damage).unwrap_or(0.0);
             println!("undefended damage within budget {budget}: {undefended}");
             println!("single-BAS defenses, best first:");
             for e in cdat_analysis::rank_single_defenses(cdp.cd(), budget) {

@@ -57,14 +57,8 @@ fn panda_probabilistic_front_matches_fig_6b() {
     let cdp = panda_cdp();
     let front = solve::cedpf(&cdp).expect("panda tree is treelike");
     // The paper lists the first five entries (1-decimal precision).
-    let expect_prefix = [
-        (0.0, 0.0),
-        (3.0, 18.0),
-        (7.0, 27.6),
-        (11.0, 30.8),
-        (13.0, 37.0),
-        (16.0, 39.8),
-    ];
+    let expect_prefix =
+        [(0.0, 0.0), (3.0, 18.0), (7.0, 27.6), (11.0, 30.8), (13.0, 37.0), (16.0, 39.8)];
     for ((c, d), e) in expect_prefix.iter().zip(front.entries()) {
         assert_eq!(e.point.cost, *c);
         assert!(
@@ -145,14 +139,8 @@ fn dataserver_front_is_fig_6c() {
     let cd = dataserver();
     assert_eq!(solve::backend_for(&cd), solve::Backend::Bilp);
     let front = solve::cdpf(&cd);
-    let expect = [
-        (0.0, 0.0),
-        (250.0, 24.0),
-        (568.0, 60.0),
-        (976.0, 70.8),
-        (1131.0, 75.8),
-        (1281.0, 82.8),
-    ];
+    let expect =
+        [(0.0, 0.0), (250.0, 24.0), (568.0, 60.0), (976.0, 70.8), (1131.0, 75.8), (1281.0, 82.8)];
     assert_eq!(front.len(), expect.len(), "paper: 5 nonzero Pareto-optimal attacks; got {front}");
     for (e, (c, d)) in front.entries().iter().zip(expect) {
         assert_eq!(e.point.cost, c);

@@ -127,3 +127,32 @@ fn dag_documents_use_bilp_and_reject_cedpf() {
 
     let _ = std::fs::remove_file(&path);
 }
+
+/// Feeding the paper's running example through the full pipeline — `cdat
+/// example` → text parse → solve → printed front — reproduces the Figure 3
+/// front `{(0, 0), (1, 200), (3, 210), (5, 310)}` exactly.
+#[test]
+fn example_document_reproduces_the_figure_3_front() {
+    // Library level: the exact front, in the paper's set notation.
+    let out = cdat(&["example"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let cdp = cdat_format::parse(&text).expect("example document parses");
+    let front = cdat::solve::cdpf(cdp.cd());
+    assert_eq!(front.to_string(), "{(0, 0), (1, 200), (3, 210), (5, 310)}");
+
+    // CLI level: the printed table shows the same four points, one per row.
+    let path = write_example();
+    let out = cdat(&["cdpf", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let table = String::from_utf8(out.stdout).unwrap();
+    assert!(table.contains("4 Pareto-optimal points"), "{table}");
+    for (cost, damage) in [("0", "0"), ("1", "200"), ("3", "210"), ("5", "310")] {
+        let row = table.lines().find(|l| {
+            let mut cols = l.split_whitespace();
+            cols.next() == Some(cost) && cols.next() == Some(damage)
+        });
+        assert!(row.is_some(), "missing front point ({cost}, {damage}) in:\n{table}");
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,12 +1,20 @@
-//! Property-based tests (proptest) over randomly *generated and shrinkable*
-//! attack trees: the solver-level invariants that must hold on every
-//! instance.
+//! Property-based tests over randomly generated attack trees: the
+//! solver-level invariants that must hold on every instance.
+//!
+//! Instances are drawn from seeded [`StdRng`] streams (64 cases per
+//! property), so failures reproduce exactly by seed. This plays the role a
+//! proptest suite would on a networked machine, minus automatic shrinking —
+//! the instances are kept small enough (≤ ~27 BASs, depth ≤ 3) that failing
+//! cases are directly readable.
 
 use cdat::solve;
 use cdat::{Attack, AttackTreeBuilder, CdAttackTree, CdpAttackTree, CostDamage, NodeId};
-use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
 
-/// A shrinkable description of an attack tree.
+const CASES: u64 = 64;
+
+/// A description of a treelike attack-tree shape.
 #[derive(Clone, Debug)]
 enum Shape {
     Bas,
@@ -14,11 +22,13 @@ enum Shape {
 }
 
 impl Shape {
-    fn bas_count(&self) -> usize {
-        match self {
-            Shape::Bas => 1,
-            Shape::Gate { children, .. } => children.iter().map(Shape::bas_count).sum(),
+    /// A random shape of depth at most `depth`, 1–3 children per gate.
+    fn random(rng: &mut StdRng, depth: usize) -> Shape {
+        if depth == 0 || rng.gen_bool(0.3) {
+            return Shape::Bas;
         }
+        let children = (0..rng.gen_range(1..=3)).map(|_| Shape::random(rng, depth - 1)).collect();
+        Shape::Gate { or: rng.gen_bool(0.5), children }
     }
 
     fn build_into(&self, b: &mut AttackTreeBuilder, counter: &mut usize) -> NodeId {
@@ -29,8 +39,7 @@ impl Shape {
                 b.bas(&name)
             }
             Shape::Gate { or, children } => {
-                let kids: Vec<NodeId> =
-                    children.iter().map(|c| c.build_into(b, counter)).collect();
+                let kids: Vec<NodeId> = children.iter().map(|c| c.build_into(b, counter)).collect();
                 let name = format!("n{counter}");
                 *counter += 1;
                 if *or {
@@ -43,141 +52,157 @@ impl Shape {
     }
 }
 
-fn shape_strategy() -> impl Strategy<Value = Shape> {
-    let leaf = Just(Shape::Bas);
-    leaf.prop_recursive(3, 8, 3, |inner| {
-        (any::<bool>(), prop::collection::vec(inner, 1..=3))
-            .prop_map(|(or, children)| Shape::Gate { or, children })
-    })
+/// A treelike cd-AT with small integer attributes.
+fn cd_tree(rng: &mut StdRng) -> CdAttackTree {
+    let shape = Shape::random(rng, 3);
+    let mut b = AttackTreeBuilder::new();
+    let mut counter = 0;
+    shape.build_into(&mut b, &mut counter);
+    let tree = b.build().expect("shape builds a valid tree");
+    let cost: Vec<f64> = (0..tree.bas_count()).map(|_| rng.gen_range(0..6) as f64).collect();
+    let damage: Vec<f64> = (0..tree.node_count()).map(|_| rng.gen_range(0..6) as f64).collect();
+    CdAttackTree::from_parts(tree, cost, damage).expect("valid attributes")
 }
 
-prop_compose! {
-    /// A treelike cd-AT with small integer attributes.
-    fn cd_tree()(shape in shape_strategy())(
-        costs in prop::collection::vec(0u8..6, shape.bas_count()),
-        damages in prop::collection::vec(0u8..6, 64),
-        shape in Just(shape),
-    ) -> CdAttackTree {
-        let mut b = AttackTreeBuilder::new();
-        let mut counter = 0;
-        shape.build_into(&mut b, &mut counter);
-        let tree = b.build().expect("shape builds a valid tree");
-        let cost: Vec<f64> = costs.iter().map(|&c| c as f64).collect();
-        let damage: Vec<f64> =
-            (0..tree.node_count()).map(|i| damages[i % damages.len()] as f64).collect();
-        CdAttackTree::from_parts(tree, cost, damage).expect("valid attributes")
-    }
+/// A treelike cdp-AT: [`cd_tree`] plus probabilities in {0, 0.25, …, 1}.
+fn cdp_tree(rng: &mut StdRng) -> CdpAttackTree {
+    let cd = cd_tree(rng);
+    let p: Vec<f64> =
+        (0..cd.tree().bas_count()).map(|_| rng.gen_range(0..=4) as f64 / 4.0).collect();
+    CdpAttackTree::from_parts(cd, p).expect("valid probabilities")
 }
 
-prop_compose! {
-    /// A treelike cdp-AT: `cd_tree` plus probabilities in {0, 0.25, …, 1}.
-    fn cdp_tree()(cd in cd_tree())(
-        probs in prop::collection::vec(0u8..=4, cd.tree().bas_count()),
-        cd in Just(cd),
-    ) -> CdpAttackTree {
-        let p: Vec<f64> = probs.iter().map(|&q| q as f64 / 4.0).collect();
-        CdpAttackTree::from_parts(cd, p).expect("valid probabilities")
-    }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The front is an antichain with a zero-cost point (possibly with free
-    /// damage, when zero-cost BASs exist) that dominates every attack value.
-    #[test]
-    fn front_is_a_dominating_antichain(cd in cd_tree()) {
+/// The front is an antichain with a zero-cost point (possibly with free
+/// damage, when zero-cost BASs exist) that dominates every attack value.
+#[test]
+fn front_is_a_dominating_antichain() {
+    for case in 0..CASES {
+        let rng = &mut StdRng::seed_from_u64(0x0F00 + case);
+        let cd = cd_tree(rng);
         let front = solve::cdpf(&cd);
-        prop_assert!(front.is_antichain());
-        prop_assert!(front.points().any(|p| p.cost == 0.0));
-        prop_assert!(front.dominates(CostDamage::new(0.0, 0.0)));
+        assert!(front.is_antichain(), "case {case}");
+        assert!(front.points().any(|p| p.cost == 0.0), "case {case}");
+        assert!(front.dominates(CostDamage::new(0.0, 0.0)), "case {case}");
         if cd.tree().bas_count() <= 10 {
             for x in Attack::all(cd.tree().bas_count()) {
                 let p = CostDamage::new(cd.cost_of(&x), cd.damage_of(&x));
-                prop_assert!(front.dominates(p), "front {front} misses attack value {p}");
+                assert!(front.dominates(p), "case {case}: front {front} misses value {p}");
             }
         }
     }
+}
 
-    /// Every witness on the front reproduces its point exactly.
-    #[test]
-    fn witnesses_are_faithful(cd in cd_tree()) {
+/// Every witness on the front reproduces its point exactly.
+#[test]
+fn witnesses_are_faithful() {
+    for case in 0..CASES {
+        let rng = &mut StdRng::seed_from_u64(0x1F00 + case);
+        let cd = cd_tree(rng);
         for e in solve::cdpf(&cd).entries() {
             let w = e.witness.as_ref().expect("witnesses tracked");
-            prop_assert_eq!(cd.cost_of(w), e.point.cost);
-            prop_assert_eq!(cd.damage_of(w), e.point.damage);
+            assert_eq!(cd.cost_of(w), e.point.cost, "case {case}");
+            assert_eq!(cd.damage_of(w), e.point.damage, "case {case}");
         }
     }
+}
 
-    /// DgC is monotone in the budget, consistent with the front, and its
-    /// witness respects the budget.
-    #[test]
-    fn dgc_is_monotone_and_budget_respecting(cd in cd_tree(), budget in 0.0..20.0f64) {
+/// DgC is monotone in the budget, consistent with the front, and its
+/// witness respects the budget.
+#[test]
+fn dgc_is_monotone_and_budget_respecting() {
+    for case in 0..CASES {
+        let rng = &mut StdRng::seed_from_u64(0x2F00 + case);
+        let cd = cd_tree(rng);
+        let budget = rng.gen_range(0.0..20.0);
         let front = solve::cdpf(&cd);
         let a = solve::dgc(&cd, budget).expect("nonnegative budget");
-        prop_assert!(a.point.cost <= budget);
-        prop_assert_eq!(
+        assert!(a.point.cost <= budget, "case {case}");
+        assert_eq!(
             a.point.damage,
-            front.max_damage_within(budget).unwrap().point.damage
+            front.max_damage_within(budget).unwrap().point.damage,
+            "case {case}"
         );
         let b = solve::dgc(&cd, budget + 1.0).expect("nonnegative budget");
-        prop_assert!(b.point.damage >= a.point.damage);
+        assert!(b.point.damage >= a.point.damage, "case {case}");
     }
+}
 
-    /// CgD round-trips through DgC: spending the CgD-optimal cost achieves at
-    /// least the threshold.
-    #[test]
-    fn cgd_round_trips_through_dgc(cd in cd_tree(), frac in 0.0..1.0f64) {
-        let threshold = frac * cd.max_damage();
+/// CgD round-trips through DgC: spending the CgD-optimal cost achieves at
+/// least the threshold.
+#[test]
+fn cgd_round_trips_through_dgc() {
+    for case in 0..CASES {
+        let rng = &mut StdRng::seed_from_u64(0x3F00 + case);
+        let cd = cd_tree(rng);
+        let threshold = rng.gen_range(0.0..1.0) * cd.max_damage();
         if let Some(e) = solve::cgd(&cd, threshold) {
-            prop_assert!(e.point.damage >= threshold);
+            assert!(e.point.damage >= threshold, "case {case}");
             let back = solve::dgc(&cd, e.point.cost).expect("nonnegative");
-            prop_assert!(back.point.damage >= threshold);
+            assert!(back.point.damage >= threshold, "case {case}");
         } else {
-            prop_assert!(threshold > cd.max_damage());
+            assert!(threshold > cd.max_damage(), "case {case}");
         }
     }
+}
 
-    /// The probabilistic front refines the deterministic story: with all
-    /// probabilities 1 it coincides with the deterministic front.
-    #[test]
-    fn certain_probabilities_recover_deterministic_front(cd in cd_tree()) {
+/// The probabilistic front refines the deterministic story: with all
+/// probabilities 1 it coincides with the deterministic front.
+#[test]
+fn certain_probabilities_recover_deterministic_front() {
+    for case in 0..CASES {
+        let rng = &mut StdRng::seed_from_u64(0x4F00 + case);
+        let cd = cd_tree(rng);
         let det = solve::cdpf(&cd);
         let cdp = cd.with_probabilities().finish().expect("valid");
         let prob = solve::cedpf(&cdp).expect("treelike");
-        prop_assert!(det.equivalent(&prob, 1e-9), "det {det} vs prob-with-p=1 {prob}");
+        assert!(det.equivalent(&prob, 1e-9), "case {case}: det {det} vs prob-with-p=1 {prob}");
     }
+}
 
-    /// Expected damage never exceeds deterministic damage, so the
-    /// probabilistic front is dominated by the deterministic one point-wise.
-    #[test]
-    fn probabilistic_front_lies_below_deterministic(cdp in cdp_tree()) {
+/// Expected damage never exceeds deterministic damage, so the
+/// probabilistic front is dominated by the deterministic one point-wise.
+#[test]
+fn probabilistic_front_lies_below_deterministic() {
+    for case in 0..CASES {
+        let rng = &mut StdRng::seed_from_u64(0x5F00 + case);
+        let cdp = cdp_tree(rng);
         let det = solve::cdpf(cdp.cd());
         let prob = solve::cedpf(&cdp).expect("treelike");
         for e in prob.entries() {
-            prop_assert!(
+            assert!(
                 det.dominates_within(e.point, 1e-9),
-                "prob point {} above deterministic front {det}",
+                "case {case}: prob point {} above deterministic front {det}",
                 e.point
             );
         }
     }
+}
 
-    /// Bottom-up and BILP agree on every generated treelike instance (the
-    /// rand-based agreement suite covers DAGs; this one shrinks).
-    #[test]
-    fn bottom_up_and_bilp_agree(cd in cd_tree()) {
+/// Bottom-up and BILP agree on every generated treelike instance (the
+/// agreement suite in `solver_agreement.rs` covers DAGs).
+#[test]
+fn bottom_up_and_bilp_agree() {
+    for case in 0..CASES {
+        let rng = &mut StdRng::seed_from_u64(0x6F00 + case);
+        let cd = cd_tree(rng);
         let bu = cdat_bottomup::cdpf(&cd).expect("treelike");
         let bilp = cdat_bilp::cdpf(&cd);
-        prop_assert!(bu.approx_eq(&bilp, 1e-9), "BU {bu} vs BILP {bilp}");
+        assert!(bu.approx_eq(&bilp, 1e-9), "case {case}: BU {bu} vs BILP {bilp}");
     }
+}
 
-    /// The expected damage of any attack equals the naive actualized-attack
-    /// expectation (Definition 6) on shrinkable instances.
-    #[test]
-    fn expected_damage_matches_naive(cdp in cdp_tree(), mask in any::<u64>()) {
+/// The expected damage of any attack equals the naive actualized-attack
+/// expectation (Definition 6) on small instances.
+#[test]
+fn expected_damage_matches_naive() {
+    for case in 0..CASES {
+        let rng = &mut StdRng::seed_from_u64(0x7F00 + case);
+        let cdp = cdp_tree(rng);
+        let mask = rng.next_u64();
         let n = cdp.tree().bas_count();
-        prop_assume!(n <= 10);
+        if n > 10 {
+            continue;
+        }
         let mut x = Attack::empty(n);
         for i in 0..n {
             if mask >> i & 1 == 1 {
@@ -186,6 +211,6 @@ proptest! {
         }
         let fast = cdp.expected_damage(&x).expect("treelike");
         let naive = cdp.expected_damage_naive(&x);
-        prop_assert!((fast - naive).abs() < 1e-9);
+        assert!((fast - naive).abs() < 1e-9, "case {case}");
     }
 }

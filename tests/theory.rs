@@ -89,9 +89,7 @@ fn cddp_agrees_with_dgc_based_decision() {
         let budget = rng.gen_range(0.0..=cd.total_cost() + 1.0);
         let threshold = rng.gen_range(0.0..=cd.max_damage() + 1.0);
         let reference = theory::cddp(&cd, budget, threshold).is_some();
-        let via_dgc = solve::dgc(&cd, budget)
-            .map(|e| e.point.damage >= threshold)
-            .unwrap_or(false);
+        let via_dgc = solve::dgc(&cd, budget).map(|e| e.point.damage >= threshold).unwrap_or(false);
         assert_eq!(reference, via_dgc, "case {case}: CDDP disagreement");
     }
 }

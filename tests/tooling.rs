@@ -106,10 +106,8 @@ fn minimal_attacks_are_consistent_with_the_front() {
         let front = solve::cdpf(&cd);
         let minimal = cdat::analysis::minimal_attacks(cd.tree());
         assert!(!minimal.is_empty());
-        let min_cost_successful = minimal
-            .iter()
-            .map(|a| cd.cost_of(a))
-            .fold(f64::INFINITY, f64::min);
+        let min_cost_successful =
+            minimal.iter().map(|a| cd.cost_of(a)).fold(f64::INFINITY, f64::min);
         for a in &minimal {
             let p = cdat::CostDamage::new(cd.cost_of(a), cd.damage_of(a));
             assert!(front.dominates_within(p, 1e-9));

@@ -1,0 +1,249 @@
+//! Offline stand-in for the subset of [`criterion` 0.5] this workspace uses.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! API surface the four benches need — [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a
+//! bounded wall-clock mean (per benchmark: at most `sample_size` timed runs
+//! or `measurement_time`, whichever is hit first), printed one line per
+//! benchmark. It exists so `cargo bench` compiles and runs everywhere, not
+//! to replace criterion's statistics.
+//!
+//! [`criterion` 0.5]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An identity function that opaquely hinders compile-time optimization.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver: hands out groups and runs standalone benchmarks.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10, measurement_time: Duration::from_millis(500) }
+    }
+}
+
+impl Criterion {
+    /// Hook for criterion's CLI parsing; accepted and ignored here.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// A named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, self.measurement_time, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of timed runs per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time per benchmark in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a setup value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, self.measurement_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Marks the group as done (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An identifier `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly — one warmup, then up to `sample_size` timed
+    /// runs bounded by `measurement_time` — recording wall-clock samples.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(f());
+        let started = Instant::now();
+        for done in 0..self.sample_size {
+            if done > 0 && started.elapsed() >= self.measurement_time {
+                break;
+            }
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_one<F>(label: &str, sample_size: usize, measurement_time: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { sample_size, measurement_time, samples: Vec::new() };
+    f(&mut bencher);
+    match bencher.samples.len() {
+        0 => println!("{label:<60} (no samples: Bencher::iter never called)"),
+        n => {
+            let total: Duration = bencher.samples.iter().sum();
+            let mean = total / n as u32;
+            println!("{label:<60} time: {mean:>12.3?}  ({n} samples)");
+        }
+    }
+}
+
+/// Bundles benchmark functions into one group runner, as in criterion.
+///
+/// Only the plain form `criterion_group!(name, target, ...)` is supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates a `main` that runs the named [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_their_benchmarks_and_record_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3).measurement_time(Duration::from_millis(50));
+        let mut ran = 0;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran += 1;
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn bencher_respects_sample_cap() {
+        let mut b = Bencher {
+            sample_size: 4,
+            measurement_time: Duration::from_secs(60),
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(0));
+        assert_eq!(b.samples.len(), 4);
+    }
+
+    criterion_group!(example_group, example_benchmark);
+
+    fn example_benchmark(c: &mut Criterion) {
+        c.bench_function("standalone", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    #[test]
+    fn the_macros_compose() {
+        example_group();
+    }
+}
