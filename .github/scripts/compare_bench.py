@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Advisory perf-trajectory comparison for the perf-trajectory CI job.
+
+Usage: compare_bench.py CURRENT.json BASELINE.json [THRESHOLD]
+
+Both files are flat JSON objects mapping scenario names to wall-times in
+seconds (the output of `experiments bench-json`). A scenario slower than
+THRESHOLD x baseline (default 3.0 — generous, because the baseline was
+recorded on different hardware) emits a GitHub `::warning::` annotation.
+The script always exits 0: the lane tracks the trajectory, it does not
+gate merges.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(f"usage: {sys.argv[0]} CURRENT.json BASELINE.json [THRESHOLD]")
+        return 2
+    with open(sys.argv[1]) as f:
+        current = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 3.0
+
+    width = max(map(len, list(current) + list(baseline)))
+    print(f"{'scenario':<{width}}  {'baseline':>10}  {'current':>10}  ratio")
+    regressions = 0
+    for name in sorted(set(current) | set(baseline)):
+        cur, base = current.get(name), baseline.get(name)
+        if cur is None:
+            print(f"::warning::perf-trajectory: scenario {name} disappeared")
+            continue
+        if base is None:
+            print(f"{name:<{width}}  {'-':>10}  {cur:>10.6f}  (new scenario, no baseline)")
+            continue
+        ratio = cur / base if base > 0 else float("inf")
+        marker = ""
+        if ratio > threshold:
+            regressions += 1
+            marker = f"  <-- {ratio:.1f}x over baseline"
+            print(
+                f"::warning::perf-trajectory: {name} is {ratio:.1f}x the baseline "
+                f"({cur:.6f}s vs {base:.6f}s, threshold {threshold}x)"
+            )
+        print(f"{name:<{width}}  {base:>10.6f}  {cur:>10.6f}  {ratio:5.2f}x{marker}")
+
+    if regressions:
+        print(f"\n{regressions} scenario(s) above the advisory threshold (not failing the job).")
+    else:
+        print("\nAll scenarios within the advisory threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

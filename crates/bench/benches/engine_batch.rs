@@ -1,0 +1,65 @@
+//! Batch-engine throughput: 1 thread vs N threads over a random suite.
+//!
+//! Measures `cdat_engine::Engine::run` on the Fig.-7-style treelike suite
+//! (CDPF per tree, cold cache per iteration) at several pool widths, plus
+//! the warm-cache path where every request is a memo hit. On a multi-core
+//! machine the wider pools finish the same batch proportionally faster;
+//! the warm run shows the O(1) cache floor.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cdat_bench::engine_batch_requests;
+use cdat_core::CdpAttackTree;
+use cdat_engine::{BatchRequest, Engine, Query};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+
+fn batch_throughput(c: &mut Criterion) {
+    // The shared reference workload (also recorded by `experiments
+    // bench-json` into the perf-trajectory baseline).
+    let requests = engine_batch_requests();
+    let mut group = c.benchmark_group("engine_batch");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for workers in [1usize, 2, 8] {
+        group.bench_with_input(BenchmarkId::new("cdpf_cold", workers), &requests, |b, requests| {
+            b.iter(|| Engine::new(workers).run(black_box(requests)))
+        });
+    }
+    // Warm cache: every request answered without solving.
+    let engine = Engine::new(8);
+    engine.run(&requests);
+    group.bench_with_input(BenchmarkId::new("cdpf_warm", 8), &requests, |b, requests| {
+        b.iter(|| engine.run(black_box(requests)))
+    });
+    group.finish();
+}
+
+fn many_budgets_one_tree(c: &mut Criterion) {
+    // "Many budgets against one tree": 256 DgC queries that share a single
+    // front computation.
+    let mut rng = StdRng::seed_from_u64(99);
+    let tree = cdat_gen::generate_suite(cdat_gen::SuiteConfig {
+        treelike: true,
+        max_target: 60,
+        per_target: 1,
+        seed: 60,
+    })
+    .pop()
+    .expect("nonempty suite");
+    let cdp: Arc<CdpAttackTree> = Arc::new(cdat_gen::decorate_prob(tree, &mut rng));
+    let requests: Vec<BatchRequest> =
+        (0..256).map(|b| BatchRequest::new(cdp.clone(), Query::Dgc(b as f64 / 2.0))).collect();
+
+    let mut group = c.benchmark_group("engine_budget_sweep");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_with_input(BenchmarkId::new("dgc_256", 2), &requests, |b, requests| {
+        b.iter(|| Engine::new(2).run(black_box(requests)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, batch_throughput, many_budgets_one_tree);
+criterion_main!(benches);

@@ -26,14 +26,17 @@ use cdat_core::{CdAttackTree, CdpAttackTree};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
-const USAGE: &str = "usage: experiments [all|fig3|fig6a|fig6b|fig6c|table3|fig7] [options]
+const USAGE: &str =
+    "usage: experiments [all|fig3|fig6a|fig6b|fig6c|table3|fig7|bench-json] [options]
 
 targets:
-  all      every figure and table in its quick configuration
-  fig3     the running example's Pareto fronts
-  fig6a-c  what-if defense analyses
-  table3   case-study timings (add --with-enum for the slow column)
-  fig7     random-suite sweep (--cap-seconds F, --max-n N, --per-n K)
+  all         every figure and table in its quick configuration
+  fig3        the running example's Pareto fronts
+  fig6a-c     what-if defense analyses
+  table3      case-study timings (add --with-enum for the slow column)
+  fig7        random-suite sweep (--cap-seconds F, --max-n N, --per-n K,
+              --threads W to sweep through the batch engine on W workers)
+  bench-json  quick perf-trajectory scenarios as JSON (--out FILE; CI lane)
 
 flags:
   --smoke  run the fastest figure only and exit 0 (CI harness check)
@@ -78,7 +81,15 @@ fn main() {
         let cap: f64 = opt_value("--cap-seconds").and_then(|v| v.parse().ok()).unwrap_or(1.0);
         let max_n: usize = opt_value("--max-n").and_then(|v| v.parse().ok()).unwrap_or(100);
         let per_n: usize = opt_value("--per-n").and_then(|v| v.parse().ok()).unwrap_or(5);
-        fig7(cap, max_n, per_n);
+        let threads: usize = opt_value("--threads").and_then(|v| v.parse().ok()).unwrap_or(1);
+        if threads > 1 {
+            fig7_parallel(cap, max_n, per_n, threads);
+        } else {
+            fig7(cap, max_n, per_n);
+        }
+    }
+    if args.iter().any(|a| a == "bench-json") {
+        bench_json(opt_value("--out"));
     }
 }
 
@@ -313,4 +324,165 @@ fn sweep<T: HasTree>(
 
 fn fmt_sec(s: f64) -> String {
     fmt_duration(Duration::from_secs_f64(s))
+}
+
+/// Fig. 7 through the batch engine: the same suites, solved as grouped
+/// batches on a worker pool (solver dispatch by shape, like `cdat::solve`)
+/// instead of one method at a time on one thread.
+fn fig7_parallel(cap_seconds: f64, max_n: usize, per_n: usize, threads: usize) {
+    use cdat_engine::{BatchRequest, Query};
+
+    header(&format!("Fig. 7 — random-suite sweep on the batch engine ({threads} workers)"));
+    println!("(cap per sweep: stop once a size group's mean exceeds {cap_seconds}s)");
+
+    let tree_suite = cdat_gen::generate_suite(cdat_gen::SuiteConfig {
+        treelike: true,
+        max_target: max_n,
+        per_target: per_n,
+        seed: 77,
+    });
+    let dag_suite = cdat_gen::generate_suite(cdat_gen::SuiteConfig {
+        treelike: false,
+        max_target: max_n,
+        per_target: per_n,
+        seed: 78,
+    });
+    let mut rng = StdRng::seed_from_u64(4321);
+    let tree_det: Vec<BatchRequest> = tree_suite
+        .iter()
+        .map(|t| BatchRequest::deterministic(cdat_gen::decorate(t.clone(), &mut rng), Query::Cdpf))
+        .collect();
+    let tree_prob: Vec<BatchRequest> = tree_suite
+        .iter()
+        .map(|t| {
+            let cdp = cdat_gen::decorate_prob(t.clone(), &mut rng);
+            BatchRequest::new(std::sync::Arc::new(cdp), Query::Cedpf)
+        })
+        .collect();
+    let dag_det: Vec<BatchRequest> = dag_suite
+        .iter()
+        .map(|t| BatchRequest::deterministic(cdat_gen::decorate(t.clone(), &mut rng), Query::Cdpf))
+        .collect();
+
+    println!("\n(a) T_tree deterministic ({} ATs)", tree_det.len());
+    sweep_engine("CDPF", cap_seconds, threads, tree_det);
+    println!("\n(b) T_tree probabilistic ({} ATs)", tree_prob.len());
+    sweep_engine("CEDPF", cap_seconds, threads, tree_prob);
+    println!("\n(c) T_DAG deterministic ({} ATs)", dag_det.len());
+    sweep_engine("CDPF", cap_seconds, threads, dag_det);
+}
+
+/// Runs one engine sweep, one batch per ⌊N/10⌋ size group, printing the
+/// per-request solver mean and the group's wall clock (the parallelism
+/// gain is the ratio between the two, times the group size).
+fn sweep_engine(
+    label: &str,
+    cap_seconds: f64,
+    threads: usize,
+    requests: Vec<cdat_engine::BatchRequest>,
+) {
+    let engine = cdat_engine::Engine::new(threads);
+    let mut by_size: BTreeMap<usize, Vec<cdat_engine::BatchRequest>> = BTreeMap::new();
+    for request in requests {
+        by_size.entry(request.tree.tree().node_count() / 10).or_default().push(request);
+    }
+    let mut all: Vec<Duration> = Vec::new();
+    let mut total_wall = Duration::ZERO;
+    for (group, batch) in by_size {
+        let (results, wall) = timed(|| engine.run(&batch));
+        total_wall += wall;
+        let times: Vec<Duration> = results.iter().map(|r| r.compute).collect();
+        let (mean, _) = mean_std(&times);
+        println!(
+            "  {label:<5} group N∈[{}0,{}9]: solver mean {mean:.4}s over {} instances, wall {}",
+            group,
+            group,
+            times.len(),
+            fmt_duration(wall)
+        );
+        all.extend(times);
+        if mean > cap_seconds {
+            println!("  {label:<5} capped after this group (mean exceeded {cap_seconds}s)");
+            break;
+        }
+    }
+    let s = RunStats::of(&all);
+    let solver_total: f64 = all.iter().map(Duration::as_secs_f64).sum();
+    println!(
+        "  {label:<5} overall: min {}, mean {}, max {} ({} instances); solver {} on {} workers → wall {}",
+        fmt_sec(s.min),
+        fmt_sec(s.mean),
+        fmt_sec(s.max),
+        all.len(),
+        fmt_sec(solver_total),
+        threads,
+        fmt_duration(total_wall)
+    );
+}
+
+/// The perf-trajectory CI lane: a handful of quick scenarios, written as a
+/// flat JSON object of wall-times in seconds.
+///
+/// Scenario set and seeds are stable on purpose — `BENCH_baseline.json` at
+/// the repo root is a committed reference run that CI compares against
+/// (advisorily; hardware differs).
+fn bench_json(out: Option<String>) {
+    use cdat_engine::Engine;
+    use std::hint::black_box;
+
+    let mut scenarios: Vec<(&str, f64)> = Vec::new();
+
+    // Single-solve microbenchmarks over the case studies.
+    let factory = cdat_models::factory();
+    let (_, t) = timed(|| {
+        for _ in 0..200 {
+            black_box(cdat_bottomup::cdpf(black_box(&factory)).expect("treelike"));
+        }
+    });
+    scenarios.push(("fig3_factory_cdpf_x200", t.as_secs_f64()));
+
+    let panda_p = cdat_models::panda_cdp();
+    let (_, t) = timed(|| {
+        for _ in 0..10 {
+            black_box(cdat_bottomup::cedpf(black_box(&panda_p)).expect("treelike"));
+        }
+    });
+    scenarios.push(("panda_cedpf_x10", t.as_secs_f64()));
+
+    let server = cdat_models::dataserver();
+    let (_, t) = timed(|| {
+        for _ in 0..10 {
+            black_box(cdat_bilp::cdpf(black_box(&server)));
+        }
+    });
+    scenarios.push(("dataserver_bilp_cdpf_x10", t.as_secs_f64()));
+
+    // Batch-engine scenarios over the shared reference workload (the same
+    // one the `engine_batch` criterion bench measures).
+    let requests = cdat_bench::engine_batch_requests();
+
+    let (_, t) = timed(|| black_box(Engine::new(1).run(black_box(&requests))));
+    scenarios.push(("batch_tree_cdpf_120_1w", t.as_secs_f64()));
+    let warm = Engine::new(8);
+    let (_, t) = timed(|| black_box(warm.run(black_box(&requests))));
+    scenarios.push(("batch_tree_cdpf_120_8w", t.as_secs_f64()));
+    let (_, t) = timed(|| black_box(warm.run(black_box(&requests))));
+    scenarios.push(("batch_tree_cdpf_120_warm", t.as_secs_f64()));
+
+    let mut json = String::from("{\n");
+    for (i, (name, secs)) in scenarios.iter().enumerate() {
+        json.push_str(&format!(
+            "  \"{name}\": {secs:.6}{}\n",
+            if i + 1 < scenarios.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("}\n");
+
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("bench-json: wrote {} scenarios to {path}", scenarios.len());
+        }
+        None => print!("{json}"),
+    }
 }

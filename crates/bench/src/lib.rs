@@ -120,6 +120,30 @@ impl std::fmt::Display for Method {
     }
 }
 
+/// The batch-engine reference workload shared by the `engine_batch`
+/// criterion bench and `experiments bench-json`: CDPF over 120 treelike ATs
+/// from the Fig.-7 generator (targets 1..=40, three per target, fixed
+/// seeds). One definition keeps the committed perf baseline
+/// (`BENCH_baseline.json`) and the criterion bench measuring the same
+/// scenario.
+pub fn engine_batch_requests() -> Vec<cdat_engine::BatchRequest> {
+    use rand::prelude::*;
+    let suite = cdat_gen::generate_suite(cdat_gen::SuiteConfig {
+        treelike: true,
+        max_target: 40,
+        per_target: 3,
+        seed: 77,
+    });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4321);
+    suite
+        .into_iter()
+        .map(|tree| {
+            let cdp = cdat_gen::decorate_prob(tree, &mut rng);
+            cdat_engine::BatchRequest::new(std::sync::Arc::new(cdp), cdat_engine::Query::Cdpf)
+        })
+        .collect()
+}
+
 /// Runs one deterministic CDPF with the given method; `None` when the method
 /// does not apply to the tree shape or size.
 pub fn run_det(method: Method, cd: &CdAttackTree) -> Option<(ParetoFront, Duration)> {

@@ -1,0 +1,314 @@
+//! Canonical structural hashing of attack trees.
+//!
+//! The batch engine (`cdat-engine`) deduplicates structurally identical
+//! trees so each Pareto front is computed once no matter how many requests
+//! reference it. "Structurally identical" means *semantically
+//! interchangeable for cost-damage analysis*: the hash ignores node names
+//! and sibling order (both irrelevant to the structure function and the
+//! attribute sums) but is sensitive to everything the solvers see — gate
+//! types, the sharing pattern, damages, costs and probabilities.
+//!
+//! Two properties matter:
+//!
+//! * **Canonical**: renaming nodes or permuting the children of a gate must
+//!   not change the hash, or the cache would miss on trivially equal trees.
+//!   Per-node digests are computed bottom-up with child digests *sorted*,
+//!   so sibling order vanishes; names are never hashed.
+//! * **Discriminating**: trees with different fronts must not collide. A
+//!   purely bottom-up digest cannot tell a *shared* subtree from two
+//!   *copies* of it — yet those differ semantically (a shared node's damage
+//!   counts once, a copied node's twice). The final hash therefore also
+//!   folds in the sorted multiset of all per-node digests: sharing yields
+//!   one occurrence where copying yields two.
+//!
+//! The hash is 128 bits of non-cryptographic mixing; accidental collisions
+//! are negligible for cache-sized populations (birthday bound ≈ 2⁻⁶⁴ even
+//! for billions of distinct trees), but it is **not** safe against
+//! adversarially crafted inputs.
+
+use crate::attributes::{CdAttackTree, CdpAttackTree};
+use crate::node::NodeType;
+use crate::tree::AttackTree;
+
+/// A 128-bit canonical structural hash (see the module docs for what it
+/// does and does not distinguish).
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+pub struct StructuralHash(pub u128);
+
+impl std::fmt::Display for StructuralHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Odd multiplicative constants (high-entropy, from the binary expansions
+/// of π and e) for the 128-bit mixer.
+const K1: u128 = 0x243f_6a88_85a3_08d3_1319_8a2e_0370_7345 | 1;
+const K2: u128 = 0xb7e1_5162_8aed_2a6a_bf71_5880_9cf4_f3c7 | 1;
+
+/// Finalizing scramble: multiply-xor-shift, twice.
+fn scramble(x: u128) -> u128 {
+    let x = x.wrapping_mul(K1);
+    let x = x ^ (x >> 71);
+    let x = x.wrapping_mul(K2);
+    x ^ (x >> 59)
+}
+
+/// Order-dependent accumulation of `v` into `h`.
+fn fold(h: u128, v: u128) -> u128 {
+    scramble(h ^ v).wrapping_add(h.rotate_left(13))
+}
+
+/// Canonical bit pattern of an attribute value (normalizes `-0.0`; the
+/// attribute validators guarantee finiteness, so `NaN` never reaches here).
+fn float_bits(v: f64) -> u128 {
+    (if v == 0.0 { 0.0f64 } else { v }).to_bits() as u128
+}
+
+/// Tags keeping node kinds and attribute slots from aliasing one another.
+const TAG_BAS: u128 = 0x0b;
+const TAG_OR: u128 = 0x0c;
+const TAG_AND: u128 = 0x0d;
+const TAG_COST: u128 = 0x1_0000;
+const TAG_DAMAGE: u128 = 0x2_0000;
+const TAG_PROB: u128 = 0x3_0000;
+
+/// The shared worker: hashes the structure plus whichever attribute layers
+/// are present.
+fn hash_impl(
+    tree: &AttackTree,
+    cost: Option<&[f64]>,
+    damage: Option<&[f64]>,
+    prob: Option<&[f64]>,
+) -> StructuralHash {
+    // Per-node digests, bottom-up. Node ids are topologically ordered
+    // (children before parents), so one forward pass suffices.
+    let mut digest: Vec<u128> = vec![0; tree.node_count()];
+    for v in tree.node_ids() {
+        let mut h = match tree.node_type(v) {
+            NodeType::Bas => TAG_BAS,
+            NodeType::Or => TAG_OR,
+            NodeType::And => TAG_AND,
+        };
+        if let Some(damage) = damage {
+            h = fold(h, TAG_DAMAGE ^ float_bits(damage[v.index()]));
+        }
+        if let Some(b) = tree.bas_of_node(v) {
+            if let Some(cost) = cost {
+                h = fold(h, TAG_COST ^ float_bits(cost[b.index()]));
+            }
+            if let Some(prob) = prob {
+                h = fold(h, TAG_PROB ^ float_bits(prob[b.index()]));
+            }
+        }
+        // Sibling order is semantically irrelevant: fold child digests in
+        // sorted order so permuted children hash alike.
+        let mut kids: Vec<u128> = tree.children(v).iter().map(|c| digest[c.index()]).collect();
+        kids.sort_unstable();
+        for k in kids {
+            h = fold(h, k);
+        }
+        digest[v.index()] = scramble(h);
+    }
+
+    // Root digest alone would conflate a shared subtree with two identical
+    // copies of it; folding the sorted multiset of *all* node digests keeps
+    // the occurrence counts (copies appear twice, a shared node once).
+    let mut all = digest.clone();
+    all.sort_unstable();
+    let mut h = digest[tree.root().index()];
+    h = fold(h, tree.node_count() as u128);
+    h = fold(h, tree.bas_count() as u128);
+    for d in all {
+        h = fold(h, d);
+    }
+    StructuralHash(scramble(h))
+}
+
+/// Canonical hash of the bare graph structure (no attributes).
+pub fn hash_tree(tree: &AttackTree) -> StructuralHash {
+    hash_impl(tree, None, None, None)
+}
+
+/// Canonical hash of a cd-AT: structure plus costs and damages.
+///
+/// Deterministic queries (CDPF, DgC, CgD) depend on exactly this much, so
+/// two cdp-ATs differing only in probabilities share their deterministic
+/// front cache entry.
+pub fn hash_cd(cd: &CdAttackTree) -> StructuralHash {
+    hash_impl(cd.tree(), Some(cd.costs()), Some(cd.damages()), None)
+}
+
+/// Canonical hash of a cdp-AT: structure, costs, damages and probabilities.
+pub fn hash_cdp(cdp: &CdpAttackTree) -> StructuralHash {
+    hash_impl(cdp.tree(), Some(cdp.cd().costs()), Some(cdp.cd().damages()), Some(cdp.probs()))
+}
+
+impl AttackTree {
+    /// Canonical structural hash of this tree; see [`hash_tree`].
+    pub fn structural_hash(&self) -> StructuralHash {
+        hash_tree(self)
+    }
+}
+
+impl CdAttackTree {
+    /// Canonical structural hash including attributes; see [`hash_cd`].
+    pub fn structural_hash(&self) -> StructuralHash {
+        hash_cd(self)
+    }
+}
+
+impl CdpAttackTree {
+    /// Canonical structural hash including attributes; see [`hash_cdp`].
+    pub fn structural_hash(&self) -> StructuralHash {
+        hash_cdp(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::AttackTreeBuilder;
+
+    /// The factory example with configurable names and child order.
+    fn factory(names: [&str; 5], flip: bool) -> AttackTree {
+        let mut b = AttackTreeBuilder::new();
+        let ca = b.bas(names[0]);
+        let pb = b.bas(names[1]);
+        let fd = b.bas(names[2]);
+        let dr = if flip { b.and(names[3], [fd, pb]) } else { b.and(names[3], [pb, fd]) };
+        let _ps = if flip { b.or(names[4], [dr, ca]) } else { b.or(names[4], [ca, dr]) };
+        b.build().unwrap()
+    }
+
+    fn factory_cd(tree: AttackTree) -> CdAttackTree {
+        let cost = vec![1.0, 3.0, 2.0];
+        let mut damage = vec![0.0; tree.node_count()];
+        damage[3] = 100.0;
+        damage[4] = 200.0;
+        CdAttackTree::from_parts(tree, cost, damage).unwrap()
+    }
+
+    #[test]
+    fn identical_trees_hash_alike() {
+        let a = factory(["ca", "pb", "fd", "dr", "ps"], false);
+        let b = factory(["ca", "pb", "fd", "dr", "ps"], false);
+        assert_eq!(hash_tree(&a), hash_tree(&b));
+        assert_eq!(a.structural_hash(), b.structural_hash());
+    }
+
+    #[test]
+    fn names_are_ignored() {
+        let a = factory(["ca", "pb", "fd", "dr", "ps"], false);
+        let b = factory(["x1", "x2", "x3", "x4", "x5"], false);
+        assert_eq!(hash_tree(&a), hash_tree(&b));
+    }
+
+    #[test]
+    fn sibling_order_is_ignored() {
+        let a = factory(["ca", "pb", "fd", "dr", "ps"], false);
+        let b = factory(["ca", "pb", "fd", "dr", "ps"], true);
+        assert_eq!(hash_tree(&a), hash_tree(&b));
+        // ...including with attributes attached. Child order changes BAS
+        // ids, so permute the attribute tables accordingly: in the flipped
+        // tree fd precedes pb.
+        let cd_a = factory_cd(a);
+        let cost = vec![1.0, 3.0, 2.0]; // ids: ca, pb, fd in both builds
+        let mut damage = vec![0.0; 5];
+        damage[3] = 100.0;
+        damage[4] = 200.0;
+        let cd_b = CdAttackTree::from_parts(b, cost, damage).unwrap();
+        assert_eq!(hash_cd(&cd_a), hash_cd(&cd_b));
+    }
+
+    #[test]
+    fn gate_types_and_attributes_matter() {
+        let base = factory(["ca", "pb", "fd", "dr", "ps"], false);
+        let mut b = AttackTreeBuilder::new();
+        let ca = b.bas("ca");
+        let pb = b.bas("pb");
+        let fd = b.bas("fd");
+        let dr = b.or("dr", [pb, fd]); // AND became OR
+        let _ps = b.or("ps", [ca, dr]);
+        let other = b.build().unwrap();
+        assert_ne!(hash_tree(&base), hash_tree(&other));
+
+        let cd = factory_cd(base.clone());
+        let mut damage = cd.damages().to_vec();
+        damage[4] = 199.0;
+        let tweaked = CdAttackTree::from_parts(base, cd.costs().to_vec(), damage).unwrap();
+        assert_ne!(hash_cd(&cd), hash_cd(&tweaked));
+    }
+
+    #[test]
+    fn shared_and_copied_subtrees_differ() {
+        // r = AND(OR(g, a), OR(g, b)) with ONE shared g = OR(x, y) ...
+        let mut b = AttackTreeBuilder::new();
+        let x = b.bas("x");
+        let y = b.bas("y");
+        let g = b.or("g", [x, y]);
+        let a = b.bas("a");
+        let bb = b.bas("b");
+        let p1 = b.or("p1", [g, a]);
+        let p2 = b.or("p2", [g, bb]);
+        let _r = b.and("r", [p1, p2]);
+        let shared = b.build().unwrap();
+
+        // ... versus the same shape with TWO copies of g. The per-node
+        // bottom-up digests — root included — are identical to the shared
+        // variant's; only the digest multiset (g once vs twice) tells the
+        // trees apart, which the damage semantics require (shared g's
+        // damage counts once).
+        let mut b = AttackTreeBuilder::new();
+        let x1 = b.bas("x1");
+        let y1 = b.bas("y1");
+        let g1 = b.or("g1", [x1, y1]);
+        let x2 = b.bas("x2");
+        let y2 = b.bas("y2");
+        let g2 = b.or("g2", [x2, y2]);
+        let a = b.bas("a");
+        let bb = b.bas("b");
+        let p1 = b.or("p1", [g1, a]);
+        let p2 = b.or("p2", [g2, bb]);
+        let _r = b.and("r", [p1, p2]);
+        let copied = b.build().unwrap();
+
+        assert!(!shared.is_treelike());
+        assert!(copied.is_treelike());
+        assert_ne!(hash_tree(&shared), hash_tree(&copied));
+    }
+
+    #[test]
+    fn deterministic_hash_ignores_probabilities() {
+        let cd = factory_cd(factory(["ca", "pb", "fd", "dr", "ps"], false));
+        let p1 = CdpAttackTree::from_parts(cd.clone(), vec![0.2, 0.4, 0.9]).unwrap();
+        let p2 = CdpAttackTree::from_parts(cd.clone(), vec![1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(hash_cd(p1.cd()), hash_cd(p2.cd()));
+        assert_ne!(hash_cdp(&p1), hash_cdp(&p2));
+        assert_eq!(hash_cdp(&p1), p1.structural_hash());
+    }
+
+    #[test]
+    fn structure_hash_differs_from_attribute_hashes() {
+        let cd = factory_cd(factory(["ca", "pb", "fd", "dr", "ps"], false));
+        // A zero-attributed cd-AT and the bare tree are different objects to
+        // the cache (the former pins every attribute to 0).
+        assert_ne!(hash_tree(cd.tree()), hash_cd(&cd));
+    }
+
+    #[test]
+    fn negative_zero_normalizes() {
+        let tree = factory(["ca", "pb", "fd", "dr", "ps"], false);
+        let a = CdAttackTree::from_parts(tree.clone(), vec![0.0, 3.0, 2.0], vec![0.0; 5]).unwrap();
+        let b = CdAttackTree::from_parts(tree, vec![-0.0, 3.0, 2.0], vec![0.0; 5]).unwrap();
+        assert_eq!(hash_cd(&a), hash_cd(&b));
+    }
+
+    #[test]
+    fn display_is_32_hex_digits() {
+        let h = hash_tree(&factory(["ca", "pb", "fd", "dr", "ps"], false));
+        let s = h.to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

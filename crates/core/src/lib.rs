@@ -65,6 +65,7 @@ mod attributes;
 mod binarize;
 mod bitset;
 mod builder;
+pub mod canonical;
 mod dot;
 mod error;
 mod node;
@@ -77,6 +78,7 @@ pub use attributes::{CdAttackTree, CdAttackTreeBuilder, CdpAttackTree, CdpAttack
 pub use binarize::{binarize, binarize_cd, binarize_cdp};
 pub use bitset::BitSet;
 pub use builder::AttackTreeBuilder;
+pub use canonical::StructuralHash;
 pub use dot::{to_dot, to_dot_cd, to_dot_cdp};
 pub use error::{AttributeError, BuildError};
 pub use node::{BasId, NodeId, NodeType};

@@ -1,0 +1,496 @@
+//! Parallel batch solving with a memoizing front cache.
+//!
+//! The paper's experiments are suite-shaped — hundreds of random trees per
+//! configuration, or many budget queries against one tree — but the
+//! one-call solvers answer a single query on a single thread. This crate
+//! amortizes suite workloads three ways:
+//!
+//! 1. **Deduplication.** Requests are keyed by the canonical structural
+//!    hash of their tree ([`cdat_core::canonical`]); structurally identical
+//!    trees (names and sibling order ignored) share one solve.
+//! 2. **Memoization.** Every computed Pareto front lands in a sharded
+//!    concurrent [`FrontCache`]; an [`Engine`] kept across batches answers
+//!    repeated queries in O(1). All six paper queries are answered from the
+//!    two front families: CDPF/DgC/CgD from the deterministic front,
+//!    CEDPF/EDgC/CgED from the cost–expected-damage front.
+//! 3. **Parallelism.** The unique fronts of a batch fan out over N plain
+//!    `std::thread` workers (no external dependencies).
+//!
+//! # Determinism
+//!
+//! [`Engine::run`] is deterministic in everything except wall-clock
+//! timings: responses *and* per-request cache-hit flags are byte-for-byte
+//! identical whatever the worker count. This holds because deduplication
+//! happens *before* the fan-out — the first request (in batch order) of
+//! each distinct front is the designated miss, every later one a hit — and
+//! each unique front is computed exactly once by a deterministic solver.
+//!
+//! # Witnesses
+//!
+//! Batch responses carry `(cost, damage)` points, not witness attacks.
+//! Deduplication identifies trees up to renaming and sibling reordering,
+//! under which front *points* are invariant but BAS numberings (hence
+//! witnesses) are not. Use the one-call solvers ([`cdat_bottomup`],
+//! [`cdat_bilp`]) when witnesses matter.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cdat_engine::{BatchRequest, Engine, Query, Response};
+//!
+//! let tree = Arc::new(cdat_models::factory_cdp());
+//! let requests: Vec<BatchRequest> = (0..4)
+//!     .map(|b| BatchRequest::new(tree.clone(), Query::Dgc(b as f64)))
+//!     .chain([BatchRequest::new(tree.clone(), Query::Cdpf)])
+//!     .collect();
+//!
+//! let engine = Engine::new(2);
+//! let results = engine.run(&requests);
+//! // One front computed, five requests answered from it.
+//! assert_eq!(engine.cache().stats().entries, 1);
+//! assert_eq!(results.iter().filter(|r| r.cache_hit).count(), 4);
+//! match &results[4].response {
+//!     Response::Front(front) => {
+//!         assert_eq!(front.to_string(), "{(0, 0), (1, 200), (3, 210), (5, 310)}")
+//!     }
+//!     other => panic!("expected a front, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cdat_core::canonical::{hash_cd, hash_cdp};
+use cdat_core::{CdAttackTree, CdpAttackTree};
+use cdat_pareto::{CostDamage, ParetoFront};
+
+pub use cache::{CacheKey, CacheStats, CachedFront, FrontCache};
+
+/// The stable error message cached for probabilistic queries on DAG-like
+/// trees (the paper's open problem).
+pub const DAG_PROBABILISTIC_OPEN: &str =
+    "probabilistic analysis of DAG-like attack trees is an open problem";
+
+/// The two front families a query can need.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum FrontKind {
+    /// Cost-damage front (CDPF); answers CDPF, DgC and CgD.
+    Deterministic,
+    /// Cost–expected-damage front (CEDPF); answers CEDPF, EDgC and CgED.
+    Probabilistic,
+}
+
+/// One of the paper's six queries against a cdp-AT.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum Query {
+    /// The full cost-damage Pareto front.
+    Cdpf,
+    /// Maximal damage within the cost budget.
+    Dgc(f64),
+    /// Minimal cost achieving the damage threshold.
+    Cgd(f64),
+    /// The full cost–expected-damage Pareto front (treelike only).
+    Cedpf,
+    /// Maximal expected damage within the cost budget (treelike only).
+    Edgc(f64),
+    /// Minimal cost achieving the expected-damage threshold (treelike only).
+    Cged(f64),
+}
+
+impl Query {
+    /// Which front family answers this query.
+    pub fn kind(self) -> FrontKind {
+        match self {
+            Query::Cdpf | Query::Dgc(_) | Query::Cgd(_) => FrontKind::Deterministic,
+            Query::Cedpf | Query::Edgc(_) | Query::Cged(_) => FrontKind::Probabilistic,
+        }
+    }
+}
+
+/// One solve request: a tree and a query against it.
+///
+/// Trees are shared via [`Arc`] so "many budgets against one tree" costs
+/// one allocation, not one clone per budget.
+#[derive(Clone, Debug)]
+pub struct BatchRequest {
+    /// The decorated tree (probabilities default to 1 for deterministic
+    /// workloads; see [`BatchRequest::deterministic`]).
+    pub tree: Arc<CdpAttackTree>,
+    /// The query to answer.
+    pub query: Query,
+}
+
+impl BatchRequest {
+    /// Creates a request against a cdp-AT.
+    pub fn new(tree: Arc<CdpAttackTree>, query: Query) -> Self {
+        BatchRequest { tree, query }
+    }
+
+    /// Creates a request against a cd-AT by attaching certain (probability
+    /// 1) success to every BAS.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: probability 1 is always valid.
+    pub fn deterministic(cd: CdAttackTree, query: Query) -> Self {
+        let n = cd.tree().bas_count();
+        let cdp = CdpAttackTree::from_parts(cd, vec![1.0; n]).expect("probability 1 is valid");
+        BatchRequest { tree: Arc::new(cdp), query }
+    }
+}
+
+/// The answer to one request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// A full Pareto front (for [`Query::Cdpf`] / [`Query::Cedpf`]);
+    /// points only, see the crate docs on witnesses.
+    Front(ParetoFront),
+    /// A single optimum (for the four single-objective queries); `None`
+    /// when no attack satisfies the constraint (negative budget,
+    /// unattainable threshold).
+    Entry(Option<CostDamage>),
+    /// The query is not answerable on this tree (probabilistic queries on
+    /// DAG-like trees).
+    Error(String),
+}
+
+/// One request's result: the response plus cache and timing metadata.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// The answer.
+    pub response: Response,
+    /// Whether the front answering this request was already computed — by
+    /// an earlier batch, or by an earlier request of this batch.
+    /// Deterministic: independent of the worker count.
+    pub cache_hit: bool,
+    /// Solver wall time attributed to this request: the front computation
+    /// time for the designated miss, [`Duration::ZERO`] for cache hits.
+    pub compute: Duration,
+}
+
+/// A fixed-size worker pool answering batches of requests through a shared
+/// [`FrontCache`].
+///
+/// Cheap to construct; keep one alive across batches to reuse the cache.
+#[derive(Debug)]
+pub struct Engine {
+    workers: usize,
+    cache: FrontCache,
+}
+
+impl Engine {
+    /// Creates an engine with `workers` solver threads (clamped to ≥ 1) and
+    /// a default-sharded cache.
+    pub fn new(workers: usize) -> Self {
+        Engine { workers: workers.max(1), cache: FrontCache::default() }
+    }
+
+    /// Creates an engine around an existing cache (e.g. to share one cache
+    /// between engines of different widths).
+    pub fn with_cache(workers: usize, cache: FrontCache) -> Self {
+        Engine { workers: workers.max(1), cache }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The engine's front cache.
+    pub fn cache(&self) -> &FrontCache {
+        &self.cache
+    }
+
+    /// Answers a batch of requests, fanning uncached front computations
+    /// across the worker pool.
+    ///
+    /// Responses and cache-hit flags are deterministic (see the crate
+    /// docs); only [`BatchResult::compute`] varies between runs.
+    pub fn run(&self, requests: &[BatchRequest]) -> Vec<BatchResult> {
+        // Phase 1 — key every request and dedupe, in batch order. The
+        // first request needing an uncached front becomes its designated
+        // miss and contributes the (key, tree) job; everything later is a
+        // hit. Doing this before the fan-out is what makes hit/miss flags
+        // independent of the worker count.
+        let mut keys = Vec::with_capacity(requests.len());
+        let mut hits = Vec::with_capacity(requests.len());
+        let mut jobs: Vec<(CacheKey, &CdpAttackTree)> = Vec::new();
+        let mut job_of_key: std::collections::HashMap<CacheKey, usize> = Default::default();
+        let mut job_of_request: Vec<Option<usize>> = vec![None; requests.len()];
+        for (i, request) in requests.iter().enumerate() {
+            let kind = request.query.kind();
+            let hash = match kind {
+                FrontKind::Deterministic => hash_cd(request.tree.cd()),
+                FrontKind::Probabilistic => hash_cdp(&request.tree),
+            };
+            let key = CacheKey { hash, kind };
+            let first_in_batch = !job_of_key.contains_key(&key);
+            let hit = self.cache.contains(&key) || !first_in_batch;
+            if !hit {
+                job_of_request[i] = Some(jobs.len());
+                job_of_key.insert(key, jobs.len());
+                jobs.push((key, &request.tree));
+            }
+            keys.push(key);
+            hits.push(hit);
+        }
+        self.cache.record(
+            hits.iter().filter(|&&h| h).count() as u64,
+            hits.iter().filter(|&&h| !h).count() as u64,
+        );
+
+        // Phase 2 — compute the unique fronts on the pool. Each job is
+        // claimed exactly once via the shared counter, so every front is
+        // computed by exactly one worker regardless of pool width.
+        let next = AtomicUsize::new(0);
+        let worker = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some((key, tree)) = jobs.get(i) else { break };
+            let start = Instant::now();
+            let result = compute_front(key.kind, tree);
+            self.cache.insert(*key, CachedFront { result, compute: start.elapsed() });
+        };
+        let pool = self.workers.min(jobs.len());
+        if pool <= 1 {
+            worker();
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..pool {
+                    s.spawn(worker);
+                }
+            });
+        }
+
+        // Phase 3 — answer every request from the cache, in batch order.
+        requests
+            .iter()
+            .enumerate()
+            .map(|(i, request)| {
+                // `peek`, not `get`: the batch's hits and misses were
+                // already recorded in phase 1 (where they are
+                // deterministic); counting these lookups would double-count
+                // every request as a hit.
+                let entry = self.cache.peek(&keys[i]).expect("phase 2 computed every key");
+                let compute =
+                    if job_of_request[i].is_some() { entry.compute } else { Duration::ZERO };
+                BatchResult { response: answer(request.query, &entry), cache_hit: hits[i], compute }
+            })
+            .collect()
+    }
+}
+
+/// Computes the front of `kind` for one tree, dispatching on shape like
+/// `cdat::solve` (treelike → bottom-up, DAG-like → BILP; probabilistic
+/// DAG-like → the paper's open problem, reported as a cached error).
+///
+/// Witnesses are stripped: the cache answers renamed/reordered trees whose
+/// BAS numbering the witnesses would not fit (and points-only fronts are
+/// smaller to retain).
+fn compute_front(kind: FrontKind, cdp: &CdpAttackTree) -> Result<ParetoFront, String> {
+    let front = match kind {
+        FrontKind::Deterministic => {
+            if cdp.tree().is_treelike() {
+                cdat_bottomup::cdpf(cdp.cd()).expect("dispatched on shape")
+            } else {
+                cdat_bilp::cdpf(cdp.cd())
+            }
+        }
+        FrontKind::Probabilistic => {
+            cdat_bottomup::cedpf(cdp).map_err(|_| DAG_PROBABILISTIC_OPEN.to_owned())?
+        }
+    };
+    Ok(ParetoFront::from_points(front.points()))
+}
+
+/// Answers a query from its (cached) front.
+fn answer(query: Query, cached: &CachedFront) -> Response {
+    let front = match &cached.result {
+        Ok(front) => front,
+        Err(message) => return Response::Error(message.clone()),
+    };
+    match query {
+        Query::Cdpf | Query::Cedpf => Response::Front(front.clone()),
+        Query::Dgc(budget) | Query::Edgc(budget) => {
+            Response::Entry(front.max_damage_within(budget).map(|e| e.point))
+        }
+        Query::Cgd(threshold) | Query::Cged(threshold) => {
+            Response::Entry(front.min_cost_achieving(threshold).map(|e| e.point))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn factory() -> Arc<CdpAttackTree> {
+        Arc::new(cdat_models::factory_cdp())
+    }
+
+    /// The data-server case study (DAG-like) with certain probabilities.
+    fn dag_cdp() -> Arc<CdpAttackTree> {
+        let cd = cdat_models::dataserver();
+        let n = cd.tree().bas_count();
+        Arc::new(CdpAttackTree::from_parts(cd, vec![1.0; n]).unwrap())
+    }
+
+    #[test]
+    fn all_six_queries_answer_on_the_factory() {
+        let tree = factory();
+        let requests: Vec<BatchRequest> = [
+            Query::Cdpf,
+            Query::Dgc(2.0),
+            Query::Cgd(205.0),
+            Query::Cedpf,
+            Query::Edgc(2.0),
+            Query::Cged(1.0),
+        ]
+        .into_iter()
+        .map(|q| BatchRequest::new(tree.clone(), q))
+        .collect();
+        let engine = Engine::new(3);
+        let results = engine.run(&requests);
+
+        match &results[0].response {
+            Response::Front(f) => {
+                assert_eq!(f.to_string(), "{(0, 0), (1, 200), (3, 210), (5, 310)}")
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(results[1].response, Response::Entry(Some(CostDamage::new(1.0, 200.0))));
+        assert_eq!(results[2].response, Response::Entry(Some(CostDamage::new(3.0, 210.0))));
+        assert!(matches!(&results[3].response, Response::Front(_)));
+        assert!(matches!(&results[4].response, Response::Entry(Some(_))));
+        assert!(matches!(&results[5].response, Response::Entry(Some(_))));
+        // Two fronts computed: one deterministic, one probabilistic.
+        assert_eq!(engine.cache().stats().entries, 2);
+    }
+
+    #[test]
+    fn hit_flags_are_deterministic_and_worker_independent() {
+        let tree = factory();
+        let requests: Vec<BatchRequest> =
+            (0..8).map(|b| BatchRequest::new(tree.clone(), Query::Dgc(b as f64))).collect();
+        let mut flag_runs = Vec::new();
+        for workers in [1, 2, 8] {
+            let engine = Engine::new(workers);
+            let results = engine.run(&requests);
+            flag_runs.push(results.iter().map(|r| r.cache_hit).collect::<Vec<_>>());
+            // The first request is the designated miss, the rest hits.
+            assert!(!results[0].cache_hit);
+            assert!(results[1..].iter().all(|r| r.cache_hit));
+        }
+        assert!(flag_runs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn responses_are_identical_across_worker_counts() {
+        let tree = factory();
+        let dag = dag_cdp();
+        let requests: Vec<BatchRequest> = vec![
+            BatchRequest::new(tree.clone(), Query::Cdpf),
+            BatchRequest::new(dag.clone(), Query::Cdpf),
+            BatchRequest::new(tree.clone(), Query::Cedpf),
+            BatchRequest::new(dag, Query::Cedpf),
+            BatchRequest::new(tree, Query::Dgc(-1.0)),
+        ];
+        let reference = Engine::new(1).run(&requests);
+        for workers in [2, 4, 8] {
+            let results = Engine::new(workers).run(&requests);
+            for (a, b) in reference.iter().zip(&results) {
+                assert_eq!(a.response, b.response);
+                assert_eq!(a.cache_hit, b.cache_hit);
+            }
+        }
+    }
+
+    #[test]
+    fn dag_probabilistic_is_a_cached_error() {
+        let dag = dag_cdp();
+        let engine = Engine::new(2);
+        let results = engine.run(&[
+            BatchRequest::new(dag.clone(), Query::Cedpf),
+            BatchRequest::new(dag, Query::Edgc(10.0)),
+        ]);
+        for r in &results {
+            match &r.response {
+                Response::Error(m) => assert_eq!(m, DAG_PROBABILISTIC_OPEN),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(!results[0].cache_hit);
+        assert!(results[1].cache_hit, "the error memoizes like a front");
+    }
+
+    #[test]
+    fn negative_budget_and_unattainable_threshold_answer_none() {
+        let engine = Engine::new(1);
+        let results = engine.run(&[
+            BatchRequest::new(factory(), Query::Dgc(-0.5)),
+            BatchRequest::new(factory(), Query::Cgd(1e9)),
+        ]);
+        assert_eq!(results[0].response, Response::Entry(None));
+        assert_eq!(results[1].response, Response::Entry(None));
+    }
+
+    #[test]
+    fn cache_persists_across_batches() {
+        let engine = Engine::new(2);
+        let first = engine.run(&[BatchRequest::new(factory(), Query::Cdpf)]);
+        assert!(!first[0].cache_hit);
+        let stats = engine.cache().stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1), "cold request is a miss");
+        let second = engine.run(&[BatchRequest::new(factory(), Query::Cdpf)]);
+        assert!(second[0].cache_hit);
+        assert_eq!(second[0].compute, Duration::ZERO);
+        assert_eq!(first[0].response, second[0].response);
+        let stats = engine.cache().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1), "warm request is a hit");
+    }
+
+    #[test]
+    fn structurally_identical_trees_dedupe() {
+        // The same factory shape under fresh names still hits the cache.
+        let renamed = {
+            let mut b = cdat_core::AttackTreeBuilder::new();
+            let ca = b.bas("alpha");
+            let pb = b.bas("beta");
+            let fd = b.bas("gamma");
+            let dr = b.and("delta", [pb, fd]);
+            let _ps = b.or("epsilon", [ca, dr]);
+            let tree = b.build().unwrap();
+            let cd = CdAttackTree::from_parts(
+                tree,
+                vec![1.0, 3.0, 2.0],
+                vec![0.0, 0.0, 10.0, 100.0, 200.0],
+            )
+            .unwrap();
+            Arc::new(CdpAttackTree::from_parts(cd, vec![0.2, 0.4, 0.9]).unwrap())
+        };
+        let engine = Engine::new(2);
+        let results = engine.run(&[
+            BatchRequest::new(factory(), Query::Cdpf),
+            BatchRequest::new(renamed, Query::Cdpf),
+        ]);
+        assert!(!results[0].cache_hit);
+        assert!(results[1].cache_hit, "renamed tree must dedupe");
+        assert_eq!(results[0].response, results[1].response);
+        assert_eq!(engine.cache().stats().entries, 1);
+    }
+
+    #[test]
+    fn deterministic_requests_build_from_cd() {
+        let cd = cdat_models::factory();
+        let r = BatchRequest::deterministic(cd, Query::Cdpf);
+        let results = Engine::new(1).run(&[r]);
+        assert!(matches!(&results[0].response, Response::Front(f)
+            if f.to_string() == "{(0, 0), (1, 200), (3, 210), (5, 310)}"));
+    }
+}

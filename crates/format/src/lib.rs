@@ -27,6 +27,10 @@
 //! to 1, so deterministic documents round-trip through the same type);
 //! [`write()`] renders one back, using `ref` for every shared node.
 //!
+//! Multi-document *suites* pack many trees into one file, separated by
+//! `--- [name]` lines ([`parse_multi`]/[`write_multi`]); this is the input
+//! format of the `cdat batch` subcommand and the batch engine.
+//!
 //! # Example
 //!
 //! ```
@@ -44,8 +48,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod multi;
 mod parser;
 mod writer;
 
+pub use multi::{parse_multi, write_multi, Document};
 pub use parser::{parse, parse_cd, ParseError};
 pub use writer::{write, write_cd};

@@ -1,0 +1,204 @@
+//! Multi-document suites: many attack trees in one file.
+//!
+//! A *suite* is a sequence of ordinary documents separated by `---` lines;
+//! an optional name for the following document may trail the dashes:
+//!
+//! ```text
+//! --- factory
+//! or "production shutdown" damage=200
+//!   bas cyberattack cost=1
+//! --- lockpick
+//! or goal damage=10
+//!   bas pick-lock cost=5
+//! ```
+//!
+//! The separator before the first document is optional (so every plain
+//! document is also a one-document suite). Comments and blank lines between
+//! documents belong to the following document.
+
+use cdat_core::CdpAttackTree;
+
+use crate::parser::{parse, ParseError};
+
+/// One document of a multi-document suite.
+#[derive(Clone, Debug)]
+pub struct Document {
+    /// The name given on the document's `--- name` separator, if any.
+    pub name: Option<String>,
+    /// The parsed tree.
+    pub tree: CdpAttackTree,
+}
+
+/// Recognizes a separator line; returns the trailing document name.
+fn separator(line: &str) -> Option<Option<String>> {
+    let trimmed = line.trim();
+    let rest = trimmed.strip_prefix("---")?;
+    // Avoid eating node lines: after the dashes only a name may follow.
+    let name = rest.trim();
+    Some(if name.is_empty() { None } else { Some(name.to_owned()) })
+}
+
+/// Parses a multi-document suite.
+///
+/// # Errors
+///
+/// Propagates [`ParseError`]s of the individual documents with line numbers
+/// remapped to the whole file; an empty document between two separators
+/// (or a suite with no documents at all) is an error.
+pub fn parse_multi(text: &str) -> Result<Vec<Document>, ParseError> {
+    // Chunk boundaries: (name, 0-based line of first chunk line, lines).
+    let mut chunks: Vec<(Option<String>, usize, Vec<&str>)> = Vec::new();
+    let mut current: (Option<String>, usize, Vec<&str>) = (None, 0, Vec::new());
+    let mut seen_separator = false;
+    let has_content =
+        |lines: &[&str]| lines.iter().any(|l| !l.trim().is_empty() && !l.trim().starts_with('#'));
+    for (i, line) in text.lines().enumerate() {
+        if let Some(name) = separator(line) {
+            // Preamble comments before the first separator belong to no
+            // document; a contentful chunk is a document of its own.
+            if seen_separator || has_content(&current.2) {
+                chunks.push(current);
+            }
+            current = (name, i + 1, Vec::new());
+            seen_separator = true;
+        } else {
+            current.2.push(line);
+        }
+    }
+    chunks.push(current);
+
+    let mut documents = Vec::with_capacity(chunks.len());
+    for (ordinal, (name, offset, lines)) in chunks.into_iter().enumerate() {
+        let body = lines.join("\n");
+        let tree = parse(&body).map_err(|e| remap(e, ordinal, offset))?;
+        documents.push(Document { name, tree });
+    }
+    Ok(documents)
+}
+
+/// Shifts a per-document error to whole-file coordinates.
+fn remap(e: ParseError, ordinal: usize, offset: usize) -> ParseError {
+    match e.line {
+        Some(line) => ParseError { line: Some(line + offset), message: e.message },
+        None => ParseError {
+            line: None,
+            message: format!("document {} (line {}): {}", ordinal + 1, offset + 1, e.message),
+        },
+    }
+}
+
+/// Renders documents into a multi-document suite that [`parse_multi`]
+/// reads back; every document gets a separator line (named when a name is
+/// given).
+pub fn write_multi<'a, I>(documents: I) -> String
+where
+    I: IntoIterator<Item = (Option<&'a str>, &'a CdpAttackTree)>,
+{
+    let mut out = String::new();
+    for (name, tree) in documents {
+        match name {
+            Some(name) => {
+                out.push_str("--- ");
+                out.push_str(name);
+                out.push('\n');
+            }
+            None => out.push_str("---\n"),
+        }
+        out.push_str(&crate::writer::write(tree));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SUITE: &str = r#"# a two-tree suite
+--- factory
+or ps damage=200
+  bas ca cost=1 prob=0.2
+  and dr damage=100
+    bas pb cost=3
+    bas fd cost=2 damage=10
+--- lockpick
+or goal damage=10
+  bas pick-lock cost=5
+  bas smash-window cost=1 damage=2
+"#;
+
+    #[test]
+    fn parses_named_documents() {
+        let docs = parse_multi(SUITE).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].name.as_deref(), Some("factory"));
+        assert_eq!(docs[1].name.as_deref(), Some("lockpick"));
+        assert_eq!(docs[0].tree.tree().node_count(), 5);
+        assert_eq!(docs[1].tree.tree().bas_count(), 2);
+    }
+
+    #[test]
+    fn plain_documents_are_one_document_suites() {
+        let docs = parse_multi("or root damage=1\n  bas x cost=2\n").unwrap();
+        assert_eq!(docs.len(), 1);
+        assert!(docs[0].name.is_none());
+        assert_eq!(docs[0].tree.cd().max_damage(), 1.0);
+    }
+
+    #[test]
+    fn unnamed_separators_and_leading_separator() {
+        let docs = parse_multi("---\nor a\n  bas x\n---\nor b\n  bas y\n").unwrap();
+        assert_eq!(docs.len(), 2);
+        assert!(docs.iter().all(|d| d.name.is_none()));
+        assert_eq!(docs[1].tree.tree().name(docs[1].tree.tree().root()), "b");
+    }
+
+    #[test]
+    fn error_lines_are_remapped_to_the_whole_file() {
+        let text = "--- ok\nor a\n  bas x\n--- broken\nor b\n  zap y\n";
+        let err = parse_multi(text).unwrap_err();
+        assert_eq!(err.line, Some(6), "{err}");
+        assert!(err.to_string().contains("expected bas/or/and/ref"));
+    }
+
+    #[test]
+    fn empty_documents_are_rejected_with_context() {
+        let err = parse_multi("--- a\nor x\n  bas y\n--- empty\n# nothing\n").unwrap_err();
+        assert!(err.to_string().contains("document 2"), "{err}");
+        assert!(err.to_string().contains("no nodes"), "{err}");
+        let err = parse_multi("").unwrap_err();
+        assert!(err.to_string().contains("no nodes"), "{err}");
+    }
+
+    #[test]
+    fn round_trips_through_write_multi() {
+        let docs = parse_multi(SUITE).unwrap();
+        let rendered = write_multi(docs.iter().map(|d| (d.name.as_deref(), &d.tree)));
+        let reparsed = parse_multi(&rendered).unwrap();
+        assert_eq!(reparsed.len(), docs.len());
+        for (a, b) in docs.iter().zip(&reparsed) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.tree.tree().node_count(), b.tree.tree().node_count());
+            assert_eq!(a.tree.cd().max_damage(), b.tree.cd().max_damage());
+        }
+    }
+
+    #[test]
+    fn separators_inside_names_do_not_split() {
+        // A quoted node name containing dashes is not a separator (the
+        // separator must start the trimmed line).
+        let docs = parse_multi("or \"root --- not a separator\"\n  bas x\n").unwrap();
+        assert_eq!(docs.len(), 1);
+    }
+
+    #[test]
+    fn dag_documents_round_trip_in_suites() {
+        let dag =
+            "or root\n  and g1\n    bas x cost=1\n    bas y\n  and g2\n    ref x\n    bas z\n";
+        let text = format!("--- a\n{dag}--- b\n{dag}");
+        let docs = parse_multi(&text).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert!(docs.iter().all(|d| !d.tree.tree().is_treelike()));
+        let rendered = write_multi(docs.iter().map(|d| (d.name.as_deref(), &d.tree)));
+        assert_eq!(parse_multi(&rendered).unwrap().len(), 2);
+    }
+}

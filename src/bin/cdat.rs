@@ -9,10 +9,15 @@
 //! cdat minimal <tree.cdat>              minimal successful attacks
 //! cdat rank    <tree.cdat> <budget>     best single-BAS defenses
 //! cdat dot     <tree.cdat>              Graphviz export (stdout)
+//! cdat batch   <suite.cdat> [flags]     parallel batch solve (JSON lines)
 //! cdat example                          print a sample document
 //! ```
 //!
-//! Documents use the `cdat-format` text format; see `cdat example`.
+//! Documents use the `cdat-format` text format; see `cdat example`. `batch`
+//! reads a multi-document suite (`---`-separated trees), fans the requested
+//! queries over a worker pool with a memoizing front cache, and writes one
+//! JSON object per request to stdout — byte-identical output whatever
+//! `--workers` says (timings only appear under `--timings`).
 
 use std::process::ExitCode;
 
@@ -48,6 +53,9 @@ fn run(args: &[String]) -> Result<(), String> {
     if command == "example" {
         print!("{EXAMPLE}");
         return Ok(());
+    }
+    if command == "batch" {
+        return batch(&args[1..]);
     }
     let path = args.get(1).ok_or_else(|| format!("missing file argument\n{}", usage()))?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -93,7 +101,9 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "rank" => {
             let budget = number(2, "budget")?;
-            let undefended = solve::dgc(cdp.cd(), budget).map(|e| e.point.damage).unwrap_or(0.0);
+            let undefended = solve::dgc(cdp.cd(), budget)
+                .map(|e| e.point.damage)
+                .ok_or_else(|| format!("budget must be nonnegative, got {budget}"))?;
             println!("undefended damage within budget {budget}: {undefended}");
             println!("single-BAS defenses, best first:");
             for e in cdat_analysis::rank_single_defenses(cdp.cd(), budget) {
@@ -120,11 +130,187 @@ fn usage() -> String {
         ("minimal <file>", "minimal successful attacks"),
         ("rank    <file> <budget>", "rank single-BAS defenses by residual damage"),
         ("dot     <file>", "Graphviz export"),
+        ("batch   <suite> [flags]", "parallel batch solve of a multi-tree suite"),
         ("example", "print a sample document"),
     ] {
         s.push_str(&format!("  {cmd:<28} {help}\n"));
     }
+    s.push_str(
+        "\nbatch flags:\n  \
+         --workers N   worker threads (default: available parallelism)\n  \
+         --timings     add per-request solver micros to the JSON (nondeterministic)\n  \
+         --cdpf --cedpf --dgc B --cgd D --edgc B --cged D\n                \
+         queries to run per document, repeatable (default: --cdpf)\n",
+    );
     s
+}
+
+/// `cdat batch <suite> [flags]`: solve every (document × query) request on
+/// a worker pool, one JSON object per line on stdout, summary on stderr.
+fn batch(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(|| format!("missing suite file argument\n{}", usage()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let documents = cdat_format::parse_multi(&text).map_err(|e| format!("{path}: {e}"))?;
+
+    let mut workers: Option<usize> = None;
+    let mut timings = false;
+    let mut queries: Vec<solve::Query> = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> Result<f64, String> {
+            let v: f64 = it
+                .next()
+                .ok_or_else(|| format!("{flag} needs a {what}"))?
+                .parse()
+                .map_err(|_| format!("{flag}: {what} must be a number"))?;
+            // f64::parse accepts "inf"/"NaN", which would render as invalid
+            // JSON; queries only make sense for finite values anyway.
+            if !v.is_finite() {
+                return Err(format!("{flag}: {what} must be finite"));
+            }
+            Ok(v)
+        };
+        match flag.as_str() {
+            "--workers" => {
+                let n = value("count")?;
+                if n < 1.0 || n.fract() != 0.0 {
+                    return Err("--workers: count must be a positive integer".into());
+                }
+                workers = Some(n as usize);
+            }
+            "--timings" => timings = true,
+            "--cdpf" => queries.push(solve::Query::Cdpf),
+            "--cedpf" => queries.push(solve::Query::Cedpf),
+            "--dgc" => queries.push(solve::Query::Dgc(value("budget")?)),
+            "--cgd" => queries.push(solve::Query::Cgd(value("threshold")?)),
+            "--edgc" => queries.push(solve::Query::Edgc(value("budget")?)),
+            "--cged" => queries.push(solve::Query::Cged(value("threshold")?)),
+            other => return Err(format!("unknown batch flag {other:?}\n{}", usage())),
+        }
+    }
+    if queries.is_empty() {
+        queries.push(solve::Query::Cdpf);
+    }
+    let workers = workers
+        .unwrap_or_else(|| std::thread::available_parallelism().map(usize::from).unwrap_or(1));
+
+    let trees: Vec<std::sync::Arc<CdpAttackTree>> =
+        documents.iter().map(|d| std::sync::Arc::new(d.tree.clone())).collect();
+    let mut requests = Vec::with_capacity(documents.len() * queries.len());
+    for tree in &trees {
+        for &query in &queries {
+            requests.push(solve::BatchRequest::new(tree.clone(), query));
+        }
+    }
+
+    let engine = solve::Engine::new(workers);
+    let start = std::time::Instant::now();
+    let results = engine.run(&requests);
+    let wall = start.elapsed();
+
+    let mut out = String::new();
+    for (i, result) in results.iter().enumerate() {
+        let doc = i / queries.len();
+        out.push_str(&render_result(
+            doc,
+            documents[doc].name.as_deref(),
+            &requests[i],
+            result,
+            timings,
+        ));
+        out.push('\n');
+    }
+    print!("{out}");
+
+    let stats = engine.cache().stats();
+    eprintln!(
+        "batch: {} requests over {} documents, {} fronts computed, {} cache hits, {} workers, {:.3}s",
+        results.len(),
+        documents.len(),
+        stats.entries,
+        results.iter().filter(|r| r.cache_hit).count(),
+        workers,
+        wall.as_secs_f64()
+    );
+    Ok(())
+}
+
+/// Renders one batch result as a single JSON object (no trailing newline).
+fn render_result(
+    doc: usize,
+    name: Option<&str>,
+    request: &solve::BatchRequest,
+    result: &solve::BatchResult,
+    timings: bool,
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!("{{\"doc\":{doc}");
+    if let Some(name) = name {
+        let _ = write!(s, ",\"name\":\"{}\"", json_escape(name));
+    }
+    let (query, arg) = match request.query {
+        solve::Query::Cdpf => ("cdpf", None),
+        solve::Query::Cedpf => ("cedpf", None),
+        solve::Query::Dgc(b) => ("dgc", Some(b)),
+        solve::Query::Cgd(t) => ("cgd", Some(t)),
+        solve::Query::Edgc(b) => ("edgc", Some(b)),
+        solve::Query::Cged(t) => ("cged", Some(t)),
+    };
+    let _ = write!(s, ",\"query\":\"{query}\"");
+    if let Some(arg) = arg {
+        let _ = write!(s, ",\"arg\":{}", json_num(arg));
+    }
+    let _ = write!(s, ",\"cache\":\"{}\"", if result.cache_hit { "hit" } else { "miss" });
+    match &result.response {
+        solve::Response::Front(front) => {
+            s.push_str(",\"front\":[");
+            for (i, p) in front.points().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "[{},{}]", json_num(p.cost), json_num(p.damage));
+            }
+            s.push(']');
+        }
+        solve::Response::Entry(Some(p)) => {
+            let _ = write!(s, ",\"point\":[{},{}]", json_num(p.cost), json_num(p.damage));
+        }
+        solve::Response::Entry(None) => s.push_str(",\"point\":null"),
+        solve::Response::Error(message) => {
+            let _ = write!(s, ",\"error\":\"{}\"", json_escape(message));
+        }
+    }
+    if timings {
+        let _ = write!(s, ",\"micros\":{}", result.compute.as_micros());
+    }
+    s.push('}');
+    s
+}
+
+/// JSON-compatible rendering of a finite attribute value (Rust's `Display`
+/// for `f64` never produces exponents, infinities or NaN here — attributes
+/// are validated finite).
+fn json_num(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn info(cdp: &CdpAttackTree) {

@@ -56,6 +56,7 @@
 //! | [`pareto`] | fronts, extended attribute triples, `min_U` pruning |
 //! | [`bottomup`] | treelike solver, deterministic + probabilistic |
 //! | [`bilp`] | Theorem 6/7 encodings for DAG-like trees |
+//! | [`engine`] | parallel batch solving, structural dedup, memoizing front cache |
 //! | [`ilp`] | simplex, branch-and-bound, bi-objective ε-constraint |
 //! | [`enumerative`] | brute-force baselines, exact DAG-probabilistic extension |
 //! | [`bdd`] | hash-consed BDDs for structure functions |
@@ -72,6 +73,7 @@ pub use cdat_bdd as bdd;
 pub use cdat_bilp as bilp;
 pub use cdat_bottomup as bottomup;
 pub use cdat_core as core;
+pub use cdat_engine as engine;
 pub use cdat_enumerative as enumerative;
 pub use cdat_format as format;
 pub use cdat_gen as gen;

@@ -8,6 +8,10 @@
 use cdat_core::{CdAttackTree, CdpAttackTree};
 use cdat_pareto::{FrontEntry, ParetoFront};
 
+pub use cdat_engine::{
+    BatchRequest, BatchResult, CacheStats, Engine, FrontCache, FrontKind, Query, Response,
+};
+
 /// Which backend [`cdpf`] and friends will pick for a tree.
 #[derive(Copy, Clone, Eq, PartialEq, Debug)]
 pub enum Backend {
@@ -123,4 +127,30 @@ pub fn cedpf_exhaustive(cdp: &CdpAttackTree) -> ParetoFront {
         Ok(front) => front,
         Err(_) => cdat_enumerative::cedpf_dag(cdp, true),
     }
+}
+
+/// Solves a batch of requests on `workers` threads, deduplicating
+/// structurally identical trees and memoizing fronts for the duration of
+/// the batch (one-shot facade over [`Engine`]; keep an [`Engine`] when the
+/// cache should persist across batches).
+///
+/// Results are deterministic — responses and cache-hit flags do not depend
+/// on `workers`; see [`cdat_engine`] for the guarantees and the witness
+/// caveat.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use cdat::solve::{batch, BatchRequest, Query, Response};
+///
+/// let tree = Arc::new(cdat_models::factory_cdp());
+/// let requests: Vec<BatchRequest> =
+///     (0..=5).map(|b| BatchRequest::new(tree.clone(), Query::Dgc(b as f64))).collect();
+/// let results = batch(&requests, 4);
+/// assert_eq!(results.iter().filter(|r| r.cache_hit).count(), 5, "one front, six answers");
+/// assert!(matches!(results[2].response, Response::Entry(Some(p)) if p.damage == 200.0));
+/// ```
+pub fn batch(requests: &[BatchRequest], workers: usize) -> Vec<BatchResult> {
+    Engine::new(workers).run(requests)
 }

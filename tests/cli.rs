@@ -128,6 +128,118 @@ fn dag_documents_use_bilp_and_reject_cedpf() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// A negative budget must be a clean error, not a silent ranking against
+/// damage 0.
+#[test]
+fn rank_rejects_negative_budgets() {
+    let path = write_example();
+    let out = cdat(&["rank", path.to_str().unwrap(), "-1"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("budget must be nonnegative"), "{err}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(!stdout.contains("undefended damage"), "no partial ranking output:\n{stdout}");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Writes a generated multi-document suite (105 treelike trees) for the
+/// batch tests.
+fn write_generated_suite() -> PathBuf {
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    let suite = cdat_gen::generate_suite(cdat_gen::SuiteConfig {
+        treelike: true,
+        max_target: 35,
+        per_target: 3,
+        seed: 31,
+    });
+    let mut rng = StdRng::seed_from_u64(32);
+    let decorated: Vec<(String, cdat::CdpAttackTree)> = suite
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (format!("t{i}"), cdat_gen::decorate_prob(t, &mut rng)))
+        .collect();
+    let text =
+        cdat_format::write_multi(decorated.iter().map(|(name, tree)| (Some(name.as_str()), tree)));
+    let path = unique_path("suite");
+    std::fs::write(&path, text).expect("temp file writable");
+    path
+}
+
+/// The acceptance criterion of the batch engine: over a ≥100-tree suite,
+/// stdout is byte-identical whatever the worker count.
+#[test]
+fn batch_output_is_byte_identical_across_worker_counts() {
+    let path = write_generated_suite();
+    let path_str = path.to_str().unwrap();
+    let run = |workers: &str| {
+        let out = cdat(&["batch", path_str, "--workers", workers, "--cdpf", "--dgc", "10"]);
+        assert!(out.status.success(), "workers={workers}");
+        let summary = String::from_utf8(out.stderr).unwrap();
+        assert!(summary.contains("210 requests over 105 documents"), "{summary}");
+        out.stdout
+    };
+    let reference = run("1");
+    assert_eq!(reference, run("2"), "2 workers must reproduce 1-worker bytes");
+    assert_eq!(reference, run("8"), "8 workers must reproduce 1-worker bytes");
+
+    let text = String::from_utf8(reference).unwrap();
+    assert_eq!(text.lines().count(), 210, "one JSON line per (document × query)");
+    assert!(text.lines().all(|l| l.starts_with("{\"doc\":") && l.ends_with('}')), "JSON lines");
+    assert!(text.contains("\"name\":\"t0\""));
+    assert!(text.contains("\"query\":\"dgc\",\"arg\":10"));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Structurally duplicate documents are answered from the front cache.
+#[test]
+fn batch_deduplicates_identical_documents() {
+    let doc = "or root damage=9\n  bas x cost=2\n  bas y cost=3 damage=1\n";
+    let path = unique_path("dup");
+    std::fs::write(&path, format!("--- a\n{doc}--- b\n{doc}")).unwrap();
+    let out = cdat(&["batch", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert!(lines[0].contains("\"cache\":\"miss\""), "{text}");
+    assert!(lines[1].contains("\"cache\":\"hit\""), "{text}");
+    assert!(String::from_utf8(out.stderr).unwrap().contains("1 fronts computed"));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Batch flag validation and probabilistic-DAG errors surface cleanly.
+#[test]
+fn batch_flags_and_dag_errors() {
+    let out = cdat(&["batch", "/nonexistent/suite.cdat"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("cannot read"));
+
+    let path = write_generated_suite();
+    let path_str = path.to_str().unwrap();
+    let out = cdat(&["batch", path_str, "--frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown batch flag"));
+    let out = cdat(&["batch", path_str, "--workers", "0"]);
+    assert!(!out.status.success());
+    let out = cdat(&["batch", path_str, "--dgc"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("--dgc needs a budget"));
+    let _ = std::fs::remove_file(&path);
+
+    // A DAG document under a probabilistic query reports the open problem
+    // in-band (the batch keeps going).
+    let dag = "or root\n  and g1\n    bas x cost=1\n    bas y cost=2\n  and g2\n    ref x\n    bas z cost=3\n";
+    let path = unique_path("dagsuite");
+    std::fs::write(&path, dag).unwrap();
+    let out = cdat(&["batch", path.to_str().unwrap(), "--cedpf", "--cdpf"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("\"error\":\"probabilistic analysis of DAG-like"), "{text}");
+    assert!(text.contains("\"query\":\"cdpf\",\"cache\":\"miss\",\"front\":"), "{text}");
+    let _ = std::fs::remove_file(&path);
+}
+
 /// Feeding the paper's running example through the full pipeline — `cdat
 /// example` → text parse → solve → printed front — reproduces the Figure 3
 /// front `{(0, 0), (1, 200), (3, 210), (5, 310)}` exactly.
