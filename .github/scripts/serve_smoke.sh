@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# serve-smoke: pipe three requests through `cdat serve --stdio` and diff
+# the responses against `cdat batch` on the same three-document suite.
+# The response bodies must be byte-identical (the id field replaces the
+# doc/name/cache fields, which this script strips from both sides).
+#
+# Usage: serve_smoke.sh [path/to/cdat]
+set -euo pipefail
+
+CDAT=${1:-target/release/cdat}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# Three small documents: the factory example plus two hand-rolled trees
+# (one of them DAG-like, so both solver backends run).
+doc0='or "production shutdown" damage=200\n  bas cyberattack cost=1 prob=0.2\n  and "destroy robot" damage=100\n    bas "place bomb" cost=3 prob=0.4\n    bas "force door" cost=2 damage=10 prob=0.9\n'
+doc1='or goal damage=10\n  bas pick-lock cost=5\n  bas smash-window cost=1 damage=2\n'
+doc2='or root damage=9\n  and g1\n    bas x cost=1\n    bas y cost=2\n  and g2\n    ref x\n    bas z cost=3 damage=4\n'
+
+# The suite file for `cdat batch` (printf expands the \n escapes) ...
+{
+  printf -- '--- a\n'; printf -- "$doc0"
+  printf -- '--- b\n'; printf -- "$doc1"
+  printf -- '--- c\n'; printf -- "$doc2"
+} > "$workdir/suite.cdat"
+
+# ... and the same three documents as serve requests. The \n stay literal
+# (they are JSON string escapes); inner double quotes must be escaped.
+json0=${doc0//\"/\\\"}
+json1=${doc1//\"/\\\"}
+json2=${doc2//\"/\\\"}
+{
+  printf '{"id":0,"tree":"%s","query":"cdpf"}\n' "$json0"
+  printf '{"id":1,"tree":"%s","query":"cdpf"}\n' "$json1"
+  printf '{"id":2,"tree":"%s","query":"cdpf"}\n' "$json2"
+} > "$workdir/requests.jsonl"
+
+"$CDAT" batch "$workdir/suite.cdat" --cdpf 2>/dev/null \
+  | sed -E 's/"doc":[0-9]+,("name":"[^"]*",)?//; s/"cache":"(hit|miss)",//' \
+  > "$workdir/batch.out"
+
+"$CDAT" serve --stdio --workers 2 --batch-window-us 500 < "$workdir/requests.jsonl" \
+  | sort -t: -k2 \
+  | sed -E 's/"id":[0-9]+,//' \
+  > "$workdir/serve.out"
+
+echo "--- batch (normalized) ---"; cat "$workdir/batch.out"
+echo "--- serve (normalized) ---"; cat "$workdir/serve.out"
+diff -u "$workdir/batch.out" "$workdir/serve.out"
+echo "serve-smoke: serve and batch agree byte-for-byte on 3 documents"

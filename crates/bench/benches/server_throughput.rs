@@ -1,0 +1,54 @@
+//! Serving-router throughput: shard scaling and the warm-cache floor.
+//!
+//! Measures `cdat_server::Router::solve` over the shared reference
+//! workload (120 treelike CDPF requests) at 1/2/8 shards with a cold
+//! per-iteration cache, plus the warm path on a persistent 8-shard router
+//! where every request is a memo hit in its shard's cache. Cold numbers
+//! include the shard-thread spawn/join (part of the router's real cost);
+//! the warm number is the serving steady state.
+
+use std::time::Duration;
+
+use cdat_bench::server_route_requests;
+use cdat_server::{Router, RouterConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn router_throughput(c: &mut Criterion) {
+    let requests = server_route_requests();
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for shards in [1usize, 2, 8] {
+        group.bench_with_input(BenchmarkId::new("cdpf_cold", shards), &requests, |b, requests| {
+            b.iter(|| {
+                let router = Router::new(RouterConfig { shards, cache_budget: None });
+                black_box(router.solve(black_box(requests.clone())))
+            })
+        });
+    }
+    // Warm steady state: a persistent router answering entirely from its
+    // shard caches.
+    let router = Router::new(RouterConfig { shards: 8, cache_budget: None });
+    router.solve(requests.clone());
+    group.bench_with_input(BenchmarkId::new("cdpf_warm", 8), &requests, |b, requests| {
+        b.iter(|| black_box(router.solve(black_box(requests.clone()))))
+    });
+    group.finish();
+}
+
+fn budgeted_router(c: &mut Criterion) {
+    // The eviction path: a budget far below the workload's footprint keeps
+    // the LRU machinery hot on every batch.
+    let requests = server_route_requests();
+    let mut group = c.benchmark_group("server_budgeted");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let router = Router::new(RouterConfig { shards: 4, cache_budget: Some(64) });
+    router.solve(requests.clone());
+    group.bench_with_input(BenchmarkId::new("cdpf_evicting", 4), &requests, |b, requests| {
+        b.iter(|| black_box(router.solve(black_box(requests.clone()))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, router_throughput, budgeted_router);
+criterion_main!(benches);

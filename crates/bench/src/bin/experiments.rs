@@ -27,7 +27,7 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 
 const USAGE: &str =
-    "usage: experiments [all|fig3|fig6a|fig6b|fig6c|table3|fig7|bench-json] [options]
+    "usage: experiments [all|fig3|fig6a|fig6b|fig6c|table3|fig7|serve-sweep|bench-json] [options]
 
 targets:
   all         every figure and table in its quick configuration
@@ -36,6 +36,8 @@ targets:
   table3      case-study timings (add --with-enum for the slow column)
   fig7        random-suite sweep (--cap-seconds F, --max-n N, --per-n K,
               --threads W to sweep through the batch engine on W workers)
+  serve-sweep the serving router over the reference workload at 1/2/4/8
+              shards, cold and warm, plus the evicting budgeted path
   bench-json  quick perf-trajectory scenarios as JSON (--out FILE; CI lane)
 
 flags:
@@ -87,6 +89,9 @@ fn main() {
         } else {
             fig7(cap, max_n, per_n);
         }
+    }
+    if wants("serve-sweep") {
+        serve_sweep();
     }
     if args.iter().any(|a| a == "bench-json") {
         bench_json(opt_value("--out"));
@@ -420,6 +425,39 @@ fn sweep_engine(
     );
 }
 
+/// The serving-router shard sweep: the reference workload (120 CDPF
+/// requests) through `cdat_server::Router` at several shard counts, cold
+/// and warm, plus the evicting budgeted configuration.
+fn serve_sweep() {
+    use cdat_server::{Router, RouterConfig};
+
+    header("Serving router — shard sweep over the reference workload (120 CDPF requests)");
+    let requests = cdat_bench::server_route_requests();
+    for shards in [1usize, 2, 4, 8] {
+        let router = Router::new(RouterConfig { shards, cache_budget: None });
+        let (cold_lines, cold) = timed(|| router.solve(requests.clone()));
+        let (_, warm) = timed(|| router.solve(requests.clone()));
+        let entries: usize = router.stats().iter().map(|s| s.entries).sum();
+        println!(
+            "  {shards} shard(s): cold {} | warm {} | {} responses, {entries} cached fronts",
+            fmt_duration(cold),
+            fmt_duration(warm),
+            cold_lines.len(),
+        );
+    }
+    let budget = 64;
+    let router = Router::new(RouterConfig { shards: 4, cache_budget: Some(budget) });
+    router.solve(requests.clone());
+    let (_, evicting) = timed(|| router.solve(requests.clone()));
+    let stats = router.stats();
+    let points: usize = stats.iter().map(|s| s.points).sum();
+    let evictions: u64 = stats.iter().map(|s| s.evictions).sum();
+    println!(
+        "  4 shards, {budget}-point budget: replay {} | {points} points held, {evictions} evictions",
+        fmt_duration(evicting)
+    );
+}
+
 /// The perf-trajectory CI lane: a handful of quick scenarios, written as a
 /// flat JSON object of wall-times in seconds.
 ///
@@ -468,6 +506,23 @@ fn bench_json(out: Option<String>) {
     scenarios.push(("batch_tree_cdpf_120_8w", t.as_secs_f64()));
     let (_, t) = timed(|| black_box(warm.run(black_box(&requests))));
     scenarios.push(("batch_tree_cdpf_120_warm", t.as_secs_f64()));
+
+    // Serving-router scenarios over the same workload: cold 4-shard
+    // scatter/gather, the warm steady state, and the evicting budgeted
+    // path (the long-running serving configuration).
+    {
+        use cdat_server::{Router, RouterConfig};
+        let route = cdat_bench::server_route_requests();
+        let router = Router::new(RouterConfig { shards: 4, cache_budget: None });
+        let (_, t) = timed(|| black_box(router.solve(black_box(route.clone()))));
+        scenarios.push(("serve_router_cdpf_120_4s_cold", t.as_secs_f64()));
+        let (_, t) = timed(|| black_box(router.solve(black_box(route.clone()))));
+        scenarios.push(("serve_router_cdpf_120_4s_warm", t.as_secs_f64()));
+        let budgeted = Router::new(RouterConfig { shards: 4, cache_budget: Some(64) });
+        budgeted.solve(route.clone());
+        let (_, t) = timed(|| black_box(budgeted.solve(black_box(route))));
+        scenarios.push(("serve_router_cdpf_120_4s_evicting", t.as_secs_f64()));
+    }
 
     let mut json = String::from("{\n");
     for (i, (name, secs)) in scenarios.iter().enumerate() {

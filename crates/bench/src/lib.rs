@@ -144,6 +144,23 @@ pub fn engine_batch_requests() -> Vec<cdat_engine::BatchRequest> {
         .collect()
 }
 
+/// The same reference workload shaped for the serving router: one
+/// [`RouteRequest`](cdat_server::RouteRequest) per tree, numeric-id
+/// prefixes, shared by the `server_throughput` criterion bench and the
+/// `serve-sweep` / `bench-json` experiments targets.
+pub fn server_route_requests() -> Vec<cdat_server::RouteRequest> {
+    engine_batch_requests()
+        .into_iter()
+        .enumerate()
+        .map(|(i, request)| cdat_server::RouteRequest {
+            tree: request.tree,
+            query: request.query,
+            hint: request.hint,
+            prefix: format!("{{\"id\":{i}"),
+        })
+        .collect()
+}
+
 /// Runs one deterministic CDPF with the given method; `None` when the method
 /// does not apply to the tree shape or size.
 pub fn run_det(method: Method, cd: &CdAttackTree) -> Option<(ParetoFront, Duration)> {

@@ -1,8 +1,8 @@
-//! The sharded, memoizing front cache.
+//! The sharded, memoizing front cache with optional LRU eviction.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use cdat_core::StructuralHash;
@@ -19,6 +19,17 @@ pub struct CachedFront {
     pub result: Result<ParetoFront, String>,
     /// Solver wall time of the original computation.
     pub compute: Duration,
+}
+
+impl CachedFront {
+    /// The entry's weight against a points budget: the number of front
+    /// points, minimum 1 (errors and empty fronts still occupy a slot).
+    pub fn weight(&self) -> usize {
+        match &self.result {
+            Ok(front) => front.len().max(1),
+            Err(_) => 1,
+        }
+    }
 }
 
 /// Key of one cached front: the canonical structural hash of the tree at
@@ -45,23 +56,70 @@ pub struct CacheStats {
     pub misses: u64,
     /// Fronts currently stored.
     pub entries: usize,
+    /// Total weight of the stored fronts, in points (the budget's unit).
+    pub points: usize,
+    /// Entries dropped (or refused on insert) to respect the points budget.
+    pub evictions: u64,
 }
 
-/// A sharded concurrent map from [`CacheKey`] to computed fronts.
+/// One cached front plus its LRU bookkeeping.
+#[derive(Debug)]
+struct Slot {
+    entry: Arc<CachedFront>,
+    weight: usize,
+    last_used: u64,
+}
+
+/// One lock's worth of the cache: the map plus this shard's LRU clock and
+/// points total. Clocks are per-shard so recency updates never contend
+/// across shards.
+///
+/// `lru` mirrors the map ordered by recency (clock values are unique per
+/// shard, so they key a `BTreeMap`); it is only maintained for budgeted
+/// caches, where it makes victim selection O(log n) instead of a full
+/// scan.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CacheKey, Slot>,
+    lru: std::collections::BTreeMap<u64, CacheKey>,
+    clock: u64,
+    points: usize,
+}
+
+impl Shard {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+}
+
+/// A sharded concurrent map from [`CacheKey`] to computed fronts, with an
+/// optional points budget enforced by least-recently-used eviction.
 ///
 /// Sharding bounds contention: readers and writers lock only the shard a
 /// key hashes to, so N workers inserting distinct fronts rarely collide.
 /// The shard count is fixed at construction (a power of two, so shard
 /// selection is a mask).
+///
+/// # Eviction
+///
+/// An unbudgeted cache ([`new`](Self::new)) grows without bound. A budgeted
+/// cache ([`with_budget`](Self::with_budget)) divides its budget evenly
+/// over the shards and, per shard, evicts least-recently-used entries
+/// whenever an insert would push the shard's points total past its slice —
+/// so the cache-wide total never exceeds the budget. Recency is bumped by
+/// [`get`](Self::get) and [`touch`](Self::touch), not by
+/// [`peek`](Self::peek). An entry heavier than a whole shard slice is
+/// returned to the caller but never stored (counted as an eviction).
 #[derive(Debug)]
 pub struct FrontCache {
-    shards: Box<[RwLock<Shard>]>,
+    shards: Box<[Mutex<Shard>]>,
+    /// Per-shard points budget; `None` means unbounded.
+    budget_per_shard: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
-
-/// One lock's worth of the cache.
-type Shard = HashMap<CacheKey, Arc<CachedFront>>;
 
 impl Default for FrontCache {
     fn default() -> Self {
@@ -70,27 +128,65 @@ impl Default for FrontCache {
 }
 
 impl FrontCache {
-    /// Creates a cache with `shards` shards (rounded up to a power of two,
-    /// minimum 1).
+    /// Creates an unbounded cache with `shards` shards (rounded up to a
+    /// power of two, minimum 1).
     pub fn new(shards: usize) -> Self {
+        Self::build(shards, None)
+    }
+
+    /// Creates a cache bounded to roughly `budget` total points, spread
+    /// evenly over `shards` shards.
+    ///
+    /// The shard count is halved until every shard's slice holds at least
+    /// [`MIN_SLICE`](Self::MIN_SLICE) points (so small budgets are not
+    /// fragmented into slices too small to hold a front), then the budget
+    /// divides evenly; the floor division guarantees the cache-wide points
+    /// total never exceeds `budget`. A budget of 0 disables storage
+    /// entirely (every insert is refused and counted as an eviction).
+    pub fn with_budget(shards: usize, budget: usize) -> Self {
+        let n = Self::shards_for_budget(shards.max(1).next_power_of_two(), budget);
+        Self::build(n, Some(budget / n))
+    }
+
+    /// The smallest per-shard budget slice [`with_budget`](Self::with_budget)
+    /// accepts before collapsing shards (a slice smaller than a typical
+    /// front caches nothing and just spins the eviction counter).
+    pub const MIN_SLICE: usize = 8;
+
+    /// How many of `shards` shards a points budget can sustain: halved
+    /// until every shard's slice holds at least [`MIN_SLICE`](Self::MIN_SLICE)
+    /// points (minimum 1 shard). Shared policy between this cache's own
+    /// construction and routers that partition a budget over per-shard
+    /// caches.
+    pub fn shards_for_budget(shards: usize, budget: usize) -> usize {
+        let mut n = shards.max(1);
+        while n > 1 && budget / n < Self::MIN_SLICE {
+            n /= 2;
+        }
+        n
+    }
+
+    fn build(shards: usize, budget_per_shard: Option<usize>) -> Self {
         let n = shards.max(1).next_power_of_two();
-        let shards = (0..n).map(|_| RwLock::new(HashMap::new())).collect::<Vec<_>>();
+        let shards = (0..n).map(|_| Mutex::new(Shard::default())).collect::<Vec<_>>();
         FrontCache {
             shards: shards.into_boxed_slice(),
+            budget_per_shard,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: &CacheKey) -> &RwLock<Shard> {
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
         // The structural hash is already well-mixed; its low bits pick the
         // shard and the map's own hasher re-mixes the rest.
         &self.shards[(key.hash.0 as usize) & (self.shards.len() - 1)]
     }
 
-    /// Looks a front up, counting a hit or miss.
+    /// Looks a front up, counting a hit or miss and bumping LRU recency.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<CachedFront>> {
-        let found = self.shard(key).read().expect("cache shard poisoned").get(key).cloned();
+        let found = self.touch(key);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -98,35 +194,83 @@ impl FrontCache {
         found
     }
 
-    /// Looks a front up without touching the hit/miss counters.
-    pub fn peek(&self, key: &CacheKey) -> Option<Arc<CachedFront>> {
-        self.shard(key).read().expect("cache shard poisoned").get(key).cloned()
+    /// Looks a front up and bumps its LRU recency, without touching the
+    /// hit/miss counters — used by the engine, which classifies a whole
+    /// batch deterministically up front and adds the counts in bulk.
+    pub fn touch(&self, key: &CacheKey) -> Option<Arc<CachedFront>> {
+        let tracked = self.budget_per_shard.is_some();
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let now = shard.tick();
+        let slot = shard.map.get_mut(key)?;
+        let previous = std::mem::replace(&mut slot.last_used, now);
+        let entry = slot.entry.clone();
+        if tracked {
+            shard.lru.remove(&previous);
+            shard.lru.insert(now, *key);
+        }
+        Some(entry)
     }
 
-    /// Adds to the hit/miss counters directly — used by the engine, which
-    /// classifies a whole batch deterministically up front and answers the
-    /// requests themselves via [`peek`](Self::peek).
+    /// Looks a front up without touching counters or recency.
+    pub fn peek(&self, key: &CacheKey) -> Option<Arc<CachedFront>> {
+        self.shard(key).lock().expect("cache shard poisoned").map.get(key).map(|s| s.entry.clone())
+    }
+
+    /// Adds to the hit/miss counters directly (see [`touch`](Self::touch)).
     pub(crate) fn record(&self, hits: u64, misses: u64) {
         self.hits.fetch_add(hits, Ordering::Relaxed);
         self.misses.fetch_add(misses, Ordering::Relaxed);
     }
 
-    /// Whether a front for `key` is stored (no counter effect).
+    /// Whether a front for `key` is stored (no counter or recency effect).
     pub fn contains(&self, key: &CacheKey) -> bool {
-        self.shard(key).read().expect("cache shard poisoned").contains_key(key)
+        self.shard(key).lock().expect("cache shard poisoned").map.contains_key(key)
     }
 
-    /// Stores a computed front. Returns the stored entry (the existing one
-    /// if another worker raced this insert; first write wins, which is
-    /// harmless because entries for one key are deterministic).
+    /// Stores a computed front and returns the stored entry.
+    ///
+    /// First write wins: if the key is already present (another worker
+    /// raced this insert), the existing entry is returned untouched —
+    /// nothing is overwritten, no `Arc` churns, and the points total and
+    /// hit/miss counters are unaffected. Harmless because entries for one
+    /// key are deterministic.
+    ///
+    /// Under a points budget, least-recently-used entries are evicted
+    /// until the shard fits its slice again; an entry heavier than the
+    /// whole slice is returned uncached.
     pub fn insert(&self, key: CacheKey, entry: CachedFront) -> Arc<CachedFront> {
-        let mut shard = self.shard(&key).write().expect("cache shard poisoned");
-        shard.entry(key).or_insert_with(|| Arc::new(entry)).clone()
+        let weight = entry.weight();
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        if let Some(slot) = shard.map.get(&key) {
+            return slot.entry.clone();
+        }
+        let entry = Arc::new(entry);
+        if let Some(budget) = self.budget_per_shard {
+            if weight > budget {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                return entry;
+            }
+        }
+        let now = shard.tick();
+        shard.points += weight;
+        shard.map.insert(key, Slot { entry: entry.clone(), weight, last_used: now });
+        if let Some(budget) = self.budget_per_shard {
+            shard.lru.insert(now, key);
+            while shard.points > budget {
+                // The newest entry carries the max clock and fits the
+                // budget alone, so the LRU victim is always an older one.
+                let (_, victim) = shard.lru.pop_first().expect("a shard over budget is nonempty");
+                let slot = shard.map.remove(&victim).expect("lru mirrors the map");
+                shard.points -= slot.weight;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        entry
     }
 
     /// Number of stored fronts.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().expect("cache shard poisoned").len()).sum()
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
     }
 
     /// Whether the cache holds no fronts.
@@ -134,10 +278,18 @@ impl FrontCache {
         self.len() == 0
     }
 
+    /// Total weight of the stored fronts, in points.
+    pub fn points(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").points).sum()
+    }
+
     /// Drops every stored front (counters are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().expect("cache shard poisoned").clear();
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            shard.map.clear();
+            shard.lru.clear();
+            shard.points = 0;
         }
     }
 
@@ -147,6 +299,8 @@ impl FrontCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.len(),
+            points: self.points(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -161,8 +315,16 @@ mod tests {
     }
 
     fn entry() -> CachedFront {
+        entry_of(1)
+    }
+
+    /// An entry weighing exactly `points`.
+    fn entry_of(points: usize) -> CachedFront {
+        // An ascending staircase: every point is Pareto-optimal, so the
+        // front keeps all of them and the entry weighs exactly `points`.
+        let points = (0..points).map(|i| CostDamage::new(i as f64, (i + 1) as f64));
         CachedFront {
-            result: Ok(ParetoFront::from_points([CostDamage::new(1.0, 2.0)])),
+            result: Ok(ParetoFront::from_points(points)),
             compute: Duration::from_micros(5),
         }
     }
@@ -177,6 +339,7 @@ mod tests {
         assert!(cache.contains(&k));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!((stats.points, stats.evictions), (1, 0));
     }
 
     #[test]
@@ -193,11 +356,19 @@ mod tests {
     fn first_insert_wins_races() {
         let cache = FrontCache::new(1);
         let k = key(9);
+        let stats_before = cache.stats();
         let first = cache.insert(k, entry());
         let second =
             cache.insert(k, CachedFront { result: Err("late".into()), compute: Duration::ZERO });
-        assert!(Arc::ptr_eq(&first, &second));
+        assert!(Arc::ptr_eq(&first, &second), "the losing insert must return the existing Arc");
         assert!(second.result.is_ok());
+        let stats = cache.stats();
+        assert_eq!(stats.points, 1, "the losing insert must not add weight");
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (stats_before.hits, stats_before.misses),
+            "inserts must not skew hit/miss counters"
+        );
     }
 
     #[test]
@@ -210,6 +381,7 @@ mod tests {
         assert!(!cache.is_empty());
         cache.clear();
         assert!(cache.is_empty());
+        assert_eq!(cache.points(), 0);
     }
 
     #[test]
@@ -221,5 +393,73 @@ mod tests {
             cache.insert(key(u128::MAX), entry());
             assert_eq!(cache.len(), 1);
         }
+    }
+
+    #[test]
+    fn budget_is_enforced_by_lru_eviction() {
+        let cache = FrontCache::with_budget(1, 6);
+        cache.insert(key(1), entry_of(3));
+        cache.insert(key(2), entry_of(3));
+        assert_eq!(cache.points(), 6);
+        // Touch key 1 so key 2 is the LRU victim.
+        assert!(cache.touch(&key(1)).is_some());
+        cache.insert(key(3), entry_of(3));
+        assert!(cache.contains(&key(1)), "recently used entry survives");
+        assert!(!cache.contains(&key(2)), "LRU entry evicted");
+        assert!(cache.contains(&key(3)));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.points <= 6, "points {} exceed budget", stats.points);
+    }
+
+    #[test]
+    fn points_never_exceed_the_budget() {
+        let cache = FrontCache::with_budget(4, 20);
+        for h in 0..100u128 {
+            cache.insert(key(h), entry_of(1 + (h as usize % 7)));
+            assert!(cache.points() <= 20, "points {} exceed budget at h={h}", cache.points());
+        }
+        assert!(cache.stats().evictions > 0, "a 100-entry stream must evict");
+    }
+
+    #[test]
+    fn oversized_entries_are_returned_but_not_stored() {
+        let cache = FrontCache::with_budget(1, 4);
+        let arc = cache.insert(key(5), entry_of(9));
+        assert_eq!(arc.weight(), 9, "the caller still gets the computed front");
+        assert!(!cache.contains(&key(5)));
+        assert_eq!(cache.points(), 0);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn small_budgets_shrink_the_shard_count() {
+        // 16 requested shards but only 3 points: the shard count collapses
+        // far enough that at least one entry fits somewhere.
+        let cache = FrontCache::with_budget(16, 3);
+        cache.insert(key(0), entry_of(2));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.points() <= 3);
+    }
+
+    #[test]
+    fn zero_budget_disables_storage() {
+        let cache = FrontCache::with_budget(4, 0);
+        let arc = cache.insert(key(1), entry());
+        assert!(arc.result.is_ok());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let cache = FrontCache::with_budget(1, 2);
+        cache.insert(key(1), entry_of(1));
+        cache.insert(key(2), entry_of(1));
+        // get() (not peek) protects key 1 from the next eviction.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), entry_of(1));
+        assert!(cache.contains(&key(1)));
+        assert!(!cache.contains(&key(2)));
     }
 }

@@ -64,11 +64,11 @@
 mod cache;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use cdat_core::canonical::{hash_cd, hash_cdp};
-use cdat_core::{CdAttackTree, CdpAttackTree};
+use cdat_core::{CdAttackTree, CdpAttackTree, StructuralHash};
 use cdat_pareto::{CostDamage, ParetoFront};
 
 pub use cache::{CacheKey, CacheStats, CachedFront, FrontCache};
@@ -114,6 +114,41 @@ impl Query {
     }
 }
 
+/// Which solver computes a front on a cache miss.
+///
+/// The hint never changes *what* is computed — all solvers return the same
+/// exact front, so hinted and unhinted requests share cache entries — only
+/// *how*. Incompatible hints (bottom-up on a DAG-like tree, BILP on a
+/// probabilistic query) are rejected with a [`Response::Error`] before the
+/// cache is consulted, so a bad hint can never poison a shared entry.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
+pub enum SolverHint {
+    /// Dispatch on shape like `cdat::solve`: treelike → bottom-up,
+    /// DAG-like → BILP.
+    #[default]
+    Auto,
+    /// Force the bottom-up solver (treelike trees only).
+    BottomUp,
+    /// Force the BILP solver (deterministic queries only).
+    Bilp,
+}
+
+impl SolverHint {
+    /// Parses the protocol spelling (`auto` / `bottomup` / `bilp`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted spellings.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "auto" => Ok(SolverHint::Auto),
+            "bottomup" | "bottom-up" | "bu" => Ok(SolverHint::BottomUp),
+            "bilp" => Ok(SolverHint::Bilp),
+            other => Err(format!("unknown solver {other:?} (expected auto, bottomup or bilp)")),
+        }
+    }
+}
+
 /// One solve request: a tree and a query against it.
 ///
 /// Trees are shared via [`Arc`] so "many budgets against one tree" costs
@@ -125,12 +160,17 @@ pub struct BatchRequest {
     pub tree: Arc<CdpAttackTree>,
     /// The query to answer.
     pub query: Query,
+    /// Which solver to use on a cache miss.
+    pub hint: SolverHint,
+    /// Precomputed canonical hash (see [`BatchRequest::with_hash`]);
+    /// `None` means the engine computes it.
+    pub hash: Option<StructuralHash>,
 }
 
 impl BatchRequest {
-    /// Creates a request against a cdp-AT.
+    /// Creates a request against a cdp-AT (automatic solver dispatch).
     pub fn new(tree: Arc<CdpAttackTree>, query: Query) -> Self {
-        BatchRequest { tree, query }
+        BatchRequest { tree, query, hint: SolverHint::Auto, hash: None }
     }
 
     /// Creates a request against a cd-AT by attaching certain (probability
@@ -142,7 +182,42 @@ impl BatchRequest {
     pub fn deterministic(cd: CdAttackTree, query: Query) -> Self {
         let n = cd.tree().bas_count();
         let cdp = CdpAttackTree::from_parts(cd, vec![1.0; n]).expect("probability 1 is valid");
-        BatchRequest { tree: Arc::new(cdp), query }
+        BatchRequest { tree: Arc::new(cdp), query, hint: SolverHint::Auto, hash: None }
+    }
+
+    /// Sets the solver hint.
+    pub fn with_hint(mut self, hint: SolverHint) -> Self {
+        self.hint = hint;
+        self
+    }
+
+    /// Supplies the tree's canonical hash, sparing the engine the O(nodes)
+    /// recomputation — used by routers that already hashed the tree to
+    /// pick a shard.
+    ///
+    /// The hash **must** equal what the engine would compute itself —
+    /// [`hash_cd`] of the tree for deterministic queries, [`hash_cdp`]
+    /// for probabilistic ones. A wrong hash aliases unrelated cache
+    /// entries and returns wrong fronts.
+    pub fn with_hash(mut self, hash: StructuralHash) -> Self {
+        self.hash = Some(hash);
+        self
+    }
+}
+
+/// Why a hinted request cannot be served. Checked before cache keying, so
+/// an invalid hint produces an immediate error response and never touches
+/// (or poisons) the shared cache.
+fn hint_error(request: &BatchRequest) -> Option<String> {
+    match request.hint {
+        SolverHint::Auto => None,
+        SolverHint::Bilp if request.query.kind() == FrontKind::Probabilistic => Some(
+            "the BILP solver has no probabilistic encoding; use solver auto or bottomup".into(),
+        ),
+        SolverHint::BottomUp if !request.tree.tree().is_treelike() => {
+            Some("the bottom-up solver requires a treelike tree; use solver auto or bilp".into())
+        }
+        _ => None,
     }
 }
 
@@ -212,50 +287,74 @@ impl Engine {
     /// across the worker pool.
     ///
     /// Responses and cache-hit flags are deterministic (see the crate
-    /// docs); only [`BatchResult::compute`] varies between runs.
+    /// docs); only [`BatchResult::compute`] varies between runs. Under a
+    /// budgeted cache the *responses* stay deterministic, but hit flags of
+    /// later batches may vary with eviction order.
     pub fn run(&self, requests: &[BatchRequest]) -> Vec<BatchResult> {
+        /// Where a request's front comes from.
+        enum Source {
+            /// The hint is incompatible with the tree or query.
+            Invalid(String),
+            /// Already cached before this batch (entry grabbed in phase 1,
+            /// so a concurrent eviction cannot strand the request).
+            Cached(Arc<CachedFront>),
+            /// Computed by this batch's job `i` (the designated miss and
+            /// its in-batch followers).
+            Job(usize),
+        }
+
         // Phase 1 — key every request and dedupe, in batch order. The
         // first request needing an uncached front becomes its designated
-        // miss and contributes the (key, tree) job; everything later is a
-        // hit. Doing this before the fan-out is what makes hit/miss flags
-        // independent of the worker count.
-        let mut keys = Vec::with_capacity(requests.len());
-        let mut hits = Vec::with_capacity(requests.len());
-        let mut jobs: Vec<(CacheKey, &CdpAttackTree)> = Vec::new();
+        // miss and contributes the job; everything later is a hit. Doing
+        // this before the fan-out is what makes hit/miss flags independent
+        // of the worker count.
+        let mut sources = Vec::with_capacity(requests.len());
+        let mut designated = vec![false; requests.len()];
+        let mut jobs: Vec<(CacheKey, &CdpAttackTree, SolverHint)> = Vec::new();
         let mut job_of_key: std::collections::HashMap<CacheKey, usize> = Default::default();
-        let mut job_of_request: Vec<Option<usize>> = vec![None; requests.len()];
+        let (mut hits, mut misses) = (0u64, 0u64);
         for (i, request) in requests.iter().enumerate() {
+            if let Some(message) = hint_error(request) {
+                sources.push(Source::Invalid(message));
+                continue;
+            }
             let kind = request.query.kind();
-            let hash = match kind {
+            let hash = request.hash.unwrap_or_else(|| match kind {
                 FrontKind::Deterministic => hash_cd(request.tree.cd()),
                 FrontKind::Probabilistic => hash_cdp(&request.tree),
-            };
+            });
             let key = CacheKey { hash, kind };
-            let first_in_batch = !job_of_key.contains_key(&key);
-            let hit = self.cache.contains(&key) || !first_in_batch;
-            if !hit {
-                job_of_request[i] = Some(jobs.len());
+            if let Some(entry) = self.cache.touch(&key) {
+                hits += 1;
+                sources.push(Source::Cached(entry));
+            } else if let Some(&job) = job_of_key.get(&key) {
+                hits += 1;
+                sources.push(Source::Job(job));
+            } else {
+                misses += 1;
+                designated[i] = true;
                 job_of_key.insert(key, jobs.len());
-                jobs.push((key, &request.tree));
+                sources.push(Source::Job(jobs.len()));
+                jobs.push((key, &request.tree, request.hint));
             }
-            keys.push(key);
-            hits.push(hit);
         }
-        self.cache.record(
-            hits.iter().filter(|&&h| h).count() as u64,
-            hits.iter().filter(|&&h| !h).count() as u64,
-        );
+        self.cache.record(hits, misses);
 
         // Phase 2 — compute the unique fronts on the pool. Each job is
         // claimed exactly once via the shared counter, so every front is
-        // computed by exactly one worker regardless of pool width.
+        // computed by exactly one worker regardless of pool width. The
+        // computed entry is kept in the job slot as well as inserted, so
+        // answering never depends on the entry surviving cache eviction.
+        let computed: Vec<OnceLock<Arc<CachedFront>>> =
+            jobs.iter().map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
         let worker = || loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
-            let Some((key, tree)) = jobs.get(i) else { break };
+            let Some((key, tree, hint)) = jobs.get(i) else { break };
             let start = Instant::now();
-            let result = compute_front(key.kind, tree);
-            self.cache.insert(*key, CachedFront { result, compute: start.elapsed() });
+            let result = compute_front(key.kind, tree, *hint);
+            let entry = self.cache.insert(*key, CachedFront { result, compute: start.elapsed() });
+            let _ = computed[i].set(entry);
         };
         let pool = self.workers.min(jobs.len());
         if pool <= 1 {
@@ -268,36 +367,59 @@ impl Engine {
             });
         }
 
-        // Phase 3 — answer every request from the cache, in batch order.
+        // Phase 3 — answer every request from its source, in batch order.
         requests
             .iter()
+            .zip(sources)
             .enumerate()
-            .map(|(i, request)| {
-                // `peek`, not `get`: the batch's hits and misses were
-                // already recorded in phase 1 (where they are
-                // deterministic); counting these lookups would double-count
-                // every request as a hit.
-                let entry = self.cache.peek(&keys[i]).expect("phase 2 computed every key");
-                let compute =
-                    if job_of_request[i].is_some() { entry.compute } else { Duration::ZERO };
-                BatchResult { response: answer(request.query, &entry), cache_hit: hits[i], compute }
+            .map(|(i, (request, source))| match source {
+                Source::Invalid(message) => BatchResult {
+                    response: Response::Error(message),
+                    cache_hit: false,
+                    compute: Duration::ZERO,
+                },
+                Source::Cached(entry) => BatchResult {
+                    response: answer(request.query, &entry),
+                    cache_hit: true,
+                    compute: Duration::ZERO,
+                },
+                Source::Job(job) => {
+                    let entry = computed[job].get().expect("phase 2 computed every job");
+                    let compute = if designated[i] { entry.compute } else { Duration::ZERO };
+                    BatchResult {
+                        response: answer(request.query, entry),
+                        cache_hit: !designated[i],
+                        compute,
+                    }
+                }
             })
             .collect()
     }
 }
 
-/// Computes the front of `kind` for one tree, dispatching on shape like
-/// `cdat::solve` (treelike → bottom-up, DAG-like → BILP; probabilistic
-/// DAG-like → the paper's open problem, reported as a cached error).
+/// Computes the front of `kind` for one tree. `SolverHint::Auto` dispatches
+/// on shape like `cdat::solve` (treelike → bottom-up, DAG-like → BILP;
+/// probabilistic DAG-like → the paper's open problem, reported as a cached
+/// error); explicit hints force their solver (validated in phase 1, see
+/// [`hint_error`]).
 ///
 /// Witnesses are stripped: the cache answers renamed/reordered trees whose
 /// BAS numbering the witnesses would not fit (and points-only fronts are
 /// smaller to retain).
-fn compute_front(kind: FrontKind, cdp: &CdpAttackTree) -> Result<ParetoFront, String> {
+fn compute_front(
+    kind: FrontKind,
+    cdp: &CdpAttackTree,
+    hint: SolverHint,
+) -> Result<ParetoFront, String> {
     let front = match kind {
         FrontKind::Deterministic => {
-            if cdp.tree().is_treelike() {
-                cdat_bottomup::cdpf(cdp.cd()).expect("dispatched on shape")
+            let bottom_up = match hint {
+                SolverHint::Auto => cdp.tree().is_treelike(),
+                SolverHint::BottomUp => true,
+                SolverHint::Bilp => false,
+            };
+            if bottom_up {
+                cdat_bottomup::cdpf(cdp.cd()).expect("hint validated against shape")
             } else {
                 cdat_bilp::cdpf(cdp.cd())
             }
@@ -483,6 +605,88 @@ mod tests {
         assert!(results[1].cache_hit, "renamed tree must dedupe");
         assert_eq!(results[0].response, results[1].response);
         assert_eq!(engine.cache().stats().entries, 1);
+    }
+
+    #[test]
+    fn precomputed_hashes_share_entries_with_engine_computed_ones() {
+        let tree = factory();
+        let engine = Engine::new(1);
+        let hash = cdat_core::canonical::hash_cd(tree.cd());
+        let results = engine.run(&[
+            BatchRequest::new(tree.clone(), Query::Cdpf).with_hash(hash),
+            BatchRequest::new(tree, Query::Cdpf), // engine-computed key
+        ]);
+        assert!(!results[0].cache_hit);
+        assert!(results[1].cache_hit, "router-supplied and engine-computed keys must agree");
+        assert_eq!(results[0].response, results[1].response);
+    }
+
+    #[test]
+    fn solver_hints_agree_and_share_cache_entries() {
+        let engine = Engine::new(2);
+        let results = engine.run(&[
+            BatchRequest::new(factory(), Query::Cdpf).with_hint(SolverHint::Bilp),
+            BatchRequest::new(factory(), Query::Cdpf).with_hint(SolverHint::BottomUp),
+            BatchRequest::new(factory(), Query::Cdpf),
+        ]);
+        assert!(!results[0].cache_hit, "the BILP-hinted request computes the front");
+        assert!(results[1].cache_hit, "hinted and unhinted requests share the entry");
+        assert!(results[2].cache_hit);
+        assert_eq!(results[0].response, results[1].response);
+        assert_eq!(results[0].response, results[2].response);
+        assert!(matches!(&results[0].response, Response::Front(f)
+            if f.to_string() == "{(0, 0), (1, 200), (3, 210), (5, 310)}"));
+        assert_eq!(engine.cache().stats().entries, 1);
+    }
+
+    #[test]
+    fn incompatible_hints_error_without_touching_the_cache() {
+        let engine = Engine::new(1);
+        let results = engine.run(&[
+            BatchRequest::new(dag_cdp(), Query::Cdpf).with_hint(SolverHint::BottomUp),
+            BatchRequest::new(factory(), Query::Cedpf).with_hint(SolverHint::Bilp),
+            // The same DAG with a valid hint still computes cleanly:
+            BatchRequest::new(dag_cdp(), Query::Cdpf),
+        ]);
+        assert!(matches!(&results[0].response, Response::Error(m) if m.contains("treelike")));
+        assert!(matches!(&results[1].response, Response::Error(m) if m.contains("BILP")));
+        assert!(!results[0].cache_hit && !results[1].cache_hit);
+        assert!(
+            matches!(&results[2].response, Response::Front(_)),
+            "the invalid hint must not poison the entry: {:?}",
+            results[2].response
+        );
+        let stats = engine.cache().stats();
+        assert_eq!(stats.entries, 1, "only the valid request cached a front");
+        assert_eq!((stats.hits, stats.misses), (0, 1), "invalid hints count neither way");
+    }
+
+    #[test]
+    fn budgeted_engine_keeps_responses_correct_under_eviction() {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(424);
+        let suite: Vec<Arc<CdpAttackTree>> = (0..30)
+            .map(|_| {
+                let tree = cdat_gen::random_small(&mut rng, 7, true);
+                Arc::new(cdat_gen::decorate_prob(tree, &mut rng))
+            })
+            .collect();
+        let requests: Vec<BatchRequest> =
+            suite.iter().map(|t| BatchRequest::new(t.clone(), Query::Cdpf)).collect();
+
+        let reference = Engine::new(1).run(&requests);
+        let tight = Engine::with_cache(4, FrontCache::with_budget(2, 8));
+        // Run twice: the second pass exercises answering through evictions.
+        for pass in 0..2 {
+            let results = tight.run(&requests);
+            for (i, (a, b)) in reference.iter().zip(&results).enumerate() {
+                assert_eq!(a.response, b.response, "request {i}, pass {pass}");
+            }
+            let stats = tight.cache().stats();
+            assert!(stats.points <= 8, "points {} over budget", stats.points);
+        }
+        assert!(tight.cache().stats().evictions > 0, "30 distinct fronts must evict at budget 8");
     }
 
     #[test]

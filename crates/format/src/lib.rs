@@ -31,6 +31,9 @@
 //! `--- [name]` lines ([`parse_multi`]/[`write_multi`]); this is the input
 //! format of the `cdat batch` subcommand and the batch engine.
 //!
+//! The [`json`] module is the std-only JSON layer shared by the serving
+//! protocol (`cdat-server`) and the JSON-lines output of `cdat batch`.
+//!
 //! # Example
 //!
 //! ```
@@ -48,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 mod multi;
 mod parser;
 mod writer;

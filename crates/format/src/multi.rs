@@ -160,6 +160,57 @@ or goal damage=10
         assert!(err.to_string().contains("expected bas/or/and/ref"));
     }
 
+    /// A parse error in the Nth document must carry the whole-file line
+    /// number, also when earlier documents sit behind blank (unnamed)
+    /// separators and are padded with blank lines and comments.
+    #[test]
+    fn error_lines_survive_blank_separators_and_padding() {
+        // Line numbers (1-based):        1        2       3          4
+        let text = concat!(
+            "--- a\n",     // 1
+            "or x\n",      // 2
+            "  bas y\n",   // 3
+            "---\n",       // 4  (blank separator, unnamed document)
+            "\n",          // 5
+            "# padding\n", // 6
+            "or z\n",      // 7
+            "  bas w\n",   // 8
+            "--- c\n",     // 9
+            "\n",          // 10
+            "or b\n",      // 11
+            "  zap q\n",   // 12 <- the error
+        );
+        let err = parse_multi(text).unwrap_err();
+        assert_eq!(err.line, Some(12), "{err}");
+        assert!(err.to_string().starts_with("line 12:"), "{err}");
+        assert!(err.to_string().contains("expected bas/or/and/ref"), "{err}");
+    }
+
+    /// The same remapping holds for the document right after a blank
+    /// separator (the document whose chunk offset is the separator line).
+    #[test]
+    fn error_lines_in_the_document_after_a_blank_separator() {
+        let err = parse_multi("or ok\n  bas fine\n---\n\nor bad\n  zap nope\n").unwrap_err();
+        assert_eq!(err.line, Some(6), "{err}");
+    }
+
+    /// Errors in the first document (no separator at all) keep their
+    /// native line numbers.
+    #[test]
+    fn error_lines_in_an_unseparated_first_document() {
+        let err = parse_multi("# comment\nor a\n  zap x\n").unwrap_err();
+        assert_eq!(err.line, Some(3), "{err}");
+    }
+
+    /// Attribute errors (not just syntax errors) remap too — they are
+    /// detected in a later pass of the per-document parser.
+    #[test]
+    fn attribute_error_lines_are_remapped() {
+        let text = "--- a\nor x\n  bas y\n--- b\nor z damage=2\n  bas w prob=1.5\n";
+        let err = parse_multi(text).unwrap_err();
+        assert_eq!(err.line, Some(6), "{err}");
+    }
+
     #[test]
     fn empty_documents_are_rejected_with_context() {
         let err = parse_multi("--- a\nor x\n  bas y\n--- empty\n# nothing\n").unwrap_err();

@@ -167,6 +167,13 @@ fn scan(text: &str) -> Result<Vec<Record>, ParseError> {
                 return Err(ParseError::at(lineno, format!("duplicate attribute {key:?}")));
             }
         }
+        // Validate probabilities here, where the line number is still
+        // known: the later whole-tree validation only reports globally.
+        if let Some(p) = rec.prob {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(ParseError::at(lineno, format!("prob {p} is outside [0, 1]")));
+            }
+        }
         if rec.kind == Kind::Ref
             && (rec.cost.is_some() || rec.damage.is_some() || rec.prob.is_some())
         {
@@ -435,7 +442,7 @@ or root
             ("ref root", "the root cannot be a ref"),
             ("or root\n  ref x cost=1", "ref lines cannot carry attributes"),
             ("or root\n  bas \"x", "unterminated quoted name"),
-            ("or root\n  bas x prob=1.5", "invalid probabilities"),
+            ("or root\n  bas x prob=1.5", "outside [0, 1]"),
         ];
         for (text, needle) in cases {
             let err = parse(text).unwrap_err();

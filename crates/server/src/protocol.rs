@@ -1,0 +1,383 @@
+//! The newline-delimited JSON request/response protocol.
+//!
+//! # Requests
+//!
+//! One JSON object per line. A *solve* request carries a tree (or a whole
+//! suite) inline as `cdat-format` text, plus one query:
+//!
+//! ```text
+//! {"id":1,"tree":"or root damage=5\n  bas x cost=1\n","query":"dgc","arg":3}
+//! {"id":"s1","suite":"--- a\nor g\n  bas x cost=1\n--- b\n...","query":"cdpf"}
+//! {"id":2,"tree":"...","query":"cdpf","solver":"bilp"}
+//! {"op":"stats","id":9}
+//! ```
+//!
+//! * `id` — any JSON value, echoed in every response line for the request
+//!   (defaults to `null`). Clients pipeline by id: responses may arrive in
+//!   any order. Ids round-trip as parsed JSON values; numbers are IEEE
+//!   f64, so integer ids above 2^53 lose precision — use *string* ids for
+//!   opaque keys of that size.
+//! * `tree` *or* `suite` — the document source. A suite fans out into one
+//!   response line per document, each carrying `doc` (and `name` when the
+//!   separator names the document).
+//! * `query` — `cdpf` (default), `cedpf`, `dgc`, `cgd`, `edgc` or `cged`;
+//!   the four thresholded queries require a finite `arg`.
+//! * `solver` — `auto` (default), `bottomup` or `bilp`; per-request solver
+//!   choice, validated against the tree's shape by the engine.
+//! * `{"op":"stats"}` — answers immediately (out of band, not batched)
+//!   with the aggregate and per-shard cache statistics.
+//!
+//! # Responses
+//!
+//! One JSON object per line: the echoed `id` (plus `doc`/`name` for suite
+//! documents), the query, and one of `front` (a point array), `point` (a
+//! single optimum or `null`), or `error`. Responses carry exactly the same
+//! front bytes as `cdat batch` on the same document — the rendering code
+//! is shared — so serving output is directly diffable against batch
+//! output.
+
+use std::sync::Arc;
+
+use cdat_core::CdpAttackTree;
+use cdat_engine::{CacheStats, Query, Response, SolverHint};
+use cdat_format::json::{self, Value};
+
+/// One parsed request line.
+#[derive(Debug)]
+pub enum Request {
+    /// A solve request: one query against one tree or a whole suite.
+    Solve(SolveRequest),
+    /// The `stats` control operation.
+    Stats {
+        /// The echoed request id.
+        id: Value,
+    },
+}
+
+/// A parsed solve request.
+#[derive(Debug)]
+pub struct SolveRequest {
+    /// The echoed request id.
+    pub id: Value,
+    /// The parsed documents: one for `tree` requests, all suite documents
+    /// for `suite` requests.
+    pub docs: Vec<RequestDoc>,
+    /// Whether the request was a suite (responses then carry `doc`/`name`).
+    pub suite: bool,
+    /// The query to run against every document.
+    pub query: Query,
+    /// The solver hint (`auto` unless the request says otherwise).
+    pub hint: SolverHint,
+}
+
+/// One document of a solve request.
+#[derive(Debug)]
+pub struct RequestDoc {
+    /// Position within the request's suite (0 for `tree` requests).
+    pub doc: usize,
+    /// The `--- name` of the document, if any.
+    pub name: Option<String>,
+    /// The parsed tree.
+    pub tree: Arc<CdpAttackTree>,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns the id to echo (best effort: `null` when the line is not even
+/// an object) and a message; the server answers with [`error_line`].
+pub fn parse_request(line: &str) -> Result<Request, (Value, String)> {
+    let value = json::parse(line).map_err(|e| (Value::Null, format!("bad JSON: {e}")))?;
+    let Value::Obj(ref pairs) = value else {
+        return Err((Value::Null, "request must be a JSON object".into()));
+    };
+    let id = value.get("id").cloned().unwrap_or(Value::Null);
+    let fail = |message: String| (id.clone(), message);
+
+    if let Some(op) = value.get("op") {
+        return match op.as_str() {
+            Some("stats") => Ok(Request::Stats { id }),
+            Some(other) => Err(fail(format!("unknown op {other:?} (expected \"stats\")"))),
+            None => Err(fail("op must be a string".into())),
+        };
+    }
+
+    for (key, _) in pairs {
+        if !matches!(key.as_str(), "id" | "tree" | "suite" | "query" | "arg" | "solver") {
+            return Err(fail(format!("unknown request field {key:?}")));
+        }
+    }
+
+    let query_name = match value.get("query") {
+        None => "cdpf",
+        Some(Value::Str(s)) => s.as_str(),
+        Some(_) => return Err(fail("query must be a string".into())),
+    };
+    let arg = match value.get("arg") {
+        None => None,
+        Some(Value::Num(v)) => Some(*v),
+        Some(_) => return Err(fail("arg must be a number".into())),
+    };
+    let query = parse_query(query_name, arg).map_err(&fail)?;
+
+    let hint = match value.get("solver") {
+        None => SolverHint::Auto,
+        Some(Value::Str(s)) => SolverHint::parse(s).map_err(&fail)?,
+        Some(_) => return Err(fail("solver must be a string".into())),
+    };
+
+    let (docs, suite) = match (value.get("tree"), value.get("suite")) {
+        (Some(Value::Str(text)), None) => {
+            let tree = cdat_format::parse(text).map_err(|e| fail(format!("tree: {e}")))?;
+            (vec![RequestDoc { doc: 0, name: None, tree: Arc::new(tree) }], false)
+        }
+        (None, Some(Value::Str(text))) => {
+            let documents =
+                cdat_format::parse_multi(text).map_err(|e| fail(format!("suite: {e}")))?;
+            let docs = documents
+                .into_iter()
+                .enumerate()
+                .map(|(doc, d)| RequestDoc { doc, name: d.name, tree: Arc::new(d.tree) })
+                .collect();
+            (docs, true)
+        }
+        (Some(_), None) => return Err(fail("tree must be a string".into())),
+        (None, Some(_)) => return Err(fail("suite must be a string".into())),
+        (Some(_), Some(_)) => return Err(fail("give either tree or suite, not both".into())),
+        (None, None) => return Err(fail("missing tree or suite".into())),
+    };
+    Ok(Request::Solve(SolveRequest { id, docs, suite, query, hint }))
+}
+
+/// Parses a query name plus optional argument into an engine [`Query`].
+///
+/// # Errors
+///
+/// Unknown names, missing or non-finite arguments for the thresholded
+/// queries, and stray arguments on the front queries.
+pub fn parse_query(name: &str, arg: Option<f64>) -> Result<Query, String> {
+    let need = |what: &str| {
+        arg.ok_or_else(|| format!("query {name:?} needs a finite {what} arg")).and_then(|v| {
+            if v.is_finite() {
+                Ok(v)
+            } else {
+                Err(format!("query {name:?} needs a finite {what} arg"))
+            }
+        })
+    };
+    match name {
+        "cdpf" | "cedpf" => {
+            if arg.is_some() {
+                return Err(format!("query {name:?} takes no arg"));
+            }
+            Ok(if name == "cdpf" { Query::Cdpf } else { Query::Cedpf })
+        }
+        "dgc" => Ok(Query::Dgc(need("budget")?)),
+        "cgd" => Ok(Query::Cgd(need("threshold")?)),
+        "edgc" => Ok(Query::Edgc(need("budget")?)),
+        "cged" => Ok(Query::Cged(need("threshold")?)),
+        other => {
+            Err(format!("unknown query {other:?} (expected cdpf, cedpf, dgc, cgd, edgc or cged)"))
+        }
+    }
+}
+
+/// The protocol name and argument of a query, e.g. `("dgc", Some(10.0))`.
+pub fn query_name(query: Query) -> (&'static str, Option<f64>) {
+    match query {
+        Query::Cdpf => ("cdpf", None),
+        Query::Cedpf => ("cedpf", None),
+        Query::Dgc(b) => ("dgc", Some(b)),
+        Query::Cgd(t) => ("cgd", Some(t)),
+        Query::Edgc(b) => ("edgc", Some(b)),
+        Query::Cged(t) => ("cged", Some(t)),
+    }
+}
+
+/// Renders the `"query":...[,"arg":...]` fragment (no leading comma).
+pub fn query_fragment(query: Query) -> String {
+    let (name, arg) = query_name(query);
+    match arg {
+        Some(arg) => format!("\"query\":\"{name}\",\"arg\":{}", json::num(arg)),
+        None => format!("\"query\":\"{name}\""),
+    }
+}
+
+/// Renders a response body fragment — `,"front":...`, `,"point":...` or
+/// `,"error":...` — exactly as `cdat batch` prints it (shared bytes are
+/// what makes serve output diffable against batch output).
+pub fn body_fragment(response: &Response) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    match response {
+        Response::Front(front) => {
+            s.push_str(",\"front\":[");
+            for (i, p) in front.points().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "[{},{}]", json::num(p.cost), json::num(p.damage));
+            }
+            s.push(']');
+        }
+        Response::Entry(Some(p)) => {
+            let _ = write!(s, ",\"point\":[{},{}]", json::num(p.cost), json::num(p.damage));
+        }
+        Response::Entry(None) => s.push_str(",\"point\":null"),
+        Response::Error(message) => {
+            let _ = write!(s, ",\"error\":\"{}\"", json::escape(message));
+        }
+    }
+    s
+}
+
+/// Renders the opening of a response line, up to (and excluding) the body
+/// fragment: `{"id":...[,"doc":N[,"name":"..."]],"query":...`.
+pub fn response_prefix(id: &Value, doc: Option<(usize, Option<&str>)>, query: Query) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!("{{\"id\":{id}");
+    if let Some((doc, name)) = doc {
+        let _ = write!(s, ",\"doc\":{doc}");
+        if let Some(name) = name {
+            let _ = write!(s, ",\"name\":\"{}\"", json::escape(name));
+        }
+    }
+    let _ = write!(s, ",{}", query_fragment(query));
+    s
+}
+
+/// Renders a complete error response line.
+pub fn error_line(id: &Value, message: &str) -> String {
+    format!("{{\"id\":{id},\"error\":\"{}\"}}", json::escape(message))
+}
+
+/// Renders a complete stats response line: the aggregate over all shards
+/// plus the per-shard breakdown.
+pub fn stats_line(id: &Value, shards: &[CacheStats]) -> String {
+    use std::fmt::Write as _;
+    let one = |s: &CacheStats| {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"entries\":{},\"points\":{},\"evictions\":{}}}",
+            s.hits, s.misses, s.entries, s.points, s.evictions
+        )
+    };
+    let total = shards.iter().fold(CacheStats::default(), |mut acc, s| {
+        acc.hits += s.hits;
+        acc.misses += s.misses;
+        acc.entries += s.entries;
+        acc.points += s.points;
+        acc.evictions += s.evictions;
+        acc
+    });
+    let mut line = format!("{{\"id\":{id},\"stats\":{}", one(&total));
+    line.push_str(",\"shards\":[");
+    for (i, s) in shards.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let _ = write!(line, "{}", one(s));
+    }
+    line.push_str("]}");
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_tree_request() {
+        let line = r#"{"id":7,"tree":"or root damage=5\n  bas x cost=1\n","query":"dgc","arg":3}"#;
+        let Request::Solve(req) = parse_request(line).unwrap() else { panic!("not a solve") };
+        assert_eq!(req.id, Value::Num(7.0));
+        assert_eq!(req.docs.len(), 1);
+        assert!(!req.suite);
+        assert_eq!(req.query, Query::Dgc(3.0));
+        assert_eq!(req.hint, SolverHint::Auto);
+        assert_eq!(req.docs[0].tree.tree().bas_count(), 1);
+    }
+
+    #[test]
+    fn parses_a_suite_request_with_solver_hint() {
+        let line = concat!(
+            r#"{"id":"s","suite":"--- a\nor g damage=1\n  bas x cost=2\n"#,
+            r#"--- b\nor h damage=3\n  bas y cost=4\n","solver":"bilp"}"#
+        );
+        let Request::Solve(req) = parse_request(line).unwrap() else { panic!("not a solve") };
+        assert!(req.suite);
+        assert_eq!(req.query, Query::Cdpf, "query defaults to cdpf");
+        assert_eq!(req.hint, SolverHint::Bilp);
+        assert_eq!(req.docs.len(), 2);
+        assert_eq!(req.docs[1].name.as_deref(), Some("b"));
+        assert_eq!(req.docs[1].doc, 1);
+    }
+
+    #[test]
+    fn parses_the_stats_op() {
+        assert!(matches!(
+            parse_request(r#"{"op":"stats","id":1}"#).unwrap(),
+            Request::Stats { id: Value::Num(_) }
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_the_echoed_id() {
+        for (line, needle) in [
+            ("not json", "bad JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"id":3}"#, "missing tree or suite"),
+            (r#"{"id":3,"tree":"or a\n  bas x\n","suite":"x"}"#, "not both"),
+            (r#"{"id":3,"tree":42}"#, "tree must be a string"),
+            (r#"{"id":3,"tree":"zap\n"}"#, "tree: line 1"),
+            (r#"{"id":3,"suite":"--- a\nzap\n"}"#, "suite: line 2"),
+            (r#"{"id":3,"tree":"or a\n  bas x\n","query":"frob"}"#, "unknown query"),
+            (r#"{"id":3,"tree":"or a\n  bas x\n","query":"dgc"}"#, "needs a finite budget"),
+            (r#"{"id":3,"tree":"or a\n  bas x\n","query":"cdpf","arg":1}"#, "takes no arg"),
+            (r#"{"id":3,"tree":"or a\n  bas x\n","solver":"magic"}"#, "unknown solver"),
+            (r#"{"id":3,"tree":"or a\n  bas x\n","frob":1}"#, "unknown request field"),
+            (r#"{"op":"frob"}"#, "unknown op"),
+        ] {
+            let (id, message) = parse_request(line).unwrap_err();
+            assert!(message.contains(needle), "{line}: {message}");
+            if line.contains("\"id\":3") {
+                assert_eq!(id, Value::Num(3.0), "{line}");
+            }
+        }
+    }
+
+    #[test]
+    fn fragments_render_like_the_batch_cli() {
+        use cdat_pareto::{CostDamage, ParetoFront};
+        let front =
+            ParetoFront::from_points([CostDamage::new(0.0, 0.0), CostDamage::new(1.0, 200.0)]);
+        assert_eq!(body_fragment(&Response::Front(front)), ",\"front\":[[0,0],[1,200]]");
+        assert_eq!(
+            body_fragment(&Response::Entry(Some(CostDamage::new(3.0, 210.5)))),
+            ",\"point\":[3,210.5]"
+        );
+        assert_eq!(body_fragment(&Response::Entry(None)), ",\"point\":null");
+        assert_eq!(
+            body_fragment(&Response::Error("bad \"thing\"".into())),
+            ",\"error\":\"bad \\\"thing\\\"\""
+        );
+        assert_eq!(query_fragment(Query::Dgc(10.0)), "\"query\":\"dgc\",\"arg\":10");
+        assert_eq!(
+            response_prefix(&Value::Num(4.0), Some((1, Some("t1"))), Query::Cdpf),
+            "{\"id\":4,\"doc\":1,\"name\":\"t1\",\"query\":\"cdpf\""
+        );
+    }
+
+    #[test]
+    fn stats_line_aggregates_shards() {
+        let shards = [
+            CacheStats { hits: 2, misses: 1, entries: 1, points: 4, evictions: 0 },
+            CacheStats { hits: 1, misses: 3, entries: 2, points: 6, evictions: 5 },
+        ];
+        let line = stats_line(&Value::Null, &shards);
+        assert!(line.starts_with("{\"id\":null,\"stats\":{\"hits\":3,\"misses\":4,"), "{line}");
+        assert!(line.contains("\"evictions\":5}"), "{line}");
+        assert!(line.contains("\"shards\":[{"), "{line}");
+        assert!(cdat_format::json::parse(&line).is_ok(), "{line}");
+    }
+}

@@ -1,0 +1,328 @@
+//! Shard-by-hash routing: every request lands on the worker shard that
+//! owns its slice of the front cache.
+//!
+//! The canonical structural hash ([`cdat_core::canonical`]) is the cache
+//! key *and* the partition key: a request routes to shard
+//! `hash mod shards`, so structurally identical trees always meet the same
+//! shard and its private cache. Each shard owns one single-threaded
+//! [`Engine`] with its own (optionally budgeted) [`FrontCache`] — there is
+//! no shared-cache lock at all; parallelism comes from running shards
+//! concurrently, and scaling the shard count scales both compute and cache
+//! capacity without adding contention.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cdat_core::canonical::{hash_cd, hash_cdp};
+use cdat_core::{CdpAttackTree, StructuralHash};
+use cdat_engine::{BatchRequest, CacheStats, Engine, FrontCache, FrontKind, Query, SolverHint};
+
+use crate::protocol::body_fragment;
+
+/// Router configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct RouterConfig {
+    /// Number of worker shards (clamped to ≥ 1, and halved under a small
+    /// [`cache_budget`](Self::cache_budget) until every shard's budget
+    /// slice holds at least [`FrontCache::MIN_SLICE`] points — a slice too
+    /// small to hold a front would silently disable that shard's cache).
+    pub shards: usize,
+    /// Total cache budget in front points, divided evenly over the shards
+    /// (each shard gets `budget / shards`; the floor division keeps the
+    /// cache-wide total under the budget). `None` means unbounded.
+    pub cache_budget: Option<usize>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig { shards: 4, cache_budget: None }
+    }
+}
+
+/// One routed solve job: the tree and query plus the pre-rendered response
+/// line prefix the shard completes with the body fragment.
+#[derive(Clone, Debug)]
+pub struct RouteRequest {
+    /// The parsed tree.
+    pub tree: Arc<CdpAttackTree>,
+    /// The query to answer.
+    pub query: Query,
+    /// The solver hint.
+    pub hint: SolverHint,
+    /// Everything of the response line before the body fragment, starting
+    /// with `{` (e.g. `{"id":3,"query":"cdpf"`); the shard appends
+    /// `,"front":...}` / `,"point":...}` / `,"error":...}`.
+    pub prefix: String,
+}
+
+/// A completed response: the submission sequence number (for callers that
+/// want to restore submission order) and the rendered line.
+pub type Reply = (u64, String);
+
+/// One job inside a shard batch: submission sequence, the request, its
+/// reply channel, and the routing hash (reused as the cache key so the
+/// tree is hashed exactly once per request).
+type ShardJob = (u64, RouteRequest, Sender<Reply>, StructuralHash);
+
+enum ShardMsg {
+    Batch(Vec<ShardJob>),
+    Stats(Sender<CacheStats>),
+}
+
+/// The shard pool. Dropping the router joins every shard thread (pending
+/// batches are drained first).
+#[derive(Debug)]
+pub struct Router {
+    txs: Vec<Sender<ShardMsg>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Spawns the shard threads.
+    pub fn new(config: RouterConfig) -> Self {
+        // Halve the shard count until every shard's budget slice is big
+        // enough to actually hold fronts (the cache's own policy) —
+        // otherwise a modest budget over many shards would cache nothing
+        // at all.
+        let shards = match config.cache_budget {
+            Some(budget) => FrontCache::shards_for_budget(config.shards, budget),
+            None => config.shards.max(1),
+        };
+        let mut txs = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for index in 0..shards {
+            let (tx, rx) = channel::<ShardMsg>();
+            let cache = match config.cache_budget {
+                // Each shard's engine is single-threaded, so one internal
+                // cache shard suffices; the budget splits evenly.
+                Some(budget) => FrontCache::with_budget(1, budget / shards),
+                None => FrontCache::new(1),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("cdat-shard-{index}"))
+                .spawn(move || shard_loop(rx, cache))
+                .expect("spawn shard thread");
+            txs.push(tx);
+            handles.push(handle);
+        }
+        Router { txs, handles }
+    }
+
+    /// The number of shards.
+    pub fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// The routing hash of a request: the same canonical hash that keys
+    /// its cache entry.
+    fn route_hash(request: &RouteRequest) -> StructuralHash {
+        match request.query.kind() {
+            FrontKind::Deterministic => hash_cd(request.tree.cd()),
+            FrontKind::Probabilistic => hash_cdp(&request.tree),
+        }
+    }
+
+    /// The shard a request routes to: its cache hash modulo the shard
+    /// count, so structurally identical trees (under the same query kind)
+    /// always meet the same shard's cache.
+    pub fn shard_of(&self, request: &RouteRequest) -> usize {
+        (Self::route_hash(request).0 % self.txs.len() as u128) as usize
+    }
+
+    /// Scatters one micro-batch to its shards. Each job's reply sender
+    /// receives `(seq, line)` when its shard finishes; jobs of the same
+    /// shard are answered in submission order, jobs of different shards in
+    /// any order.
+    pub fn dispatch(&self, batch: Vec<(u64, RouteRequest, Sender<Reply>)>) {
+        let mut groups: Vec<Vec<ShardJob>> = (0..self.txs.len()).map(|_| Vec::new()).collect();
+        for (seq, request, reply) in batch {
+            // Hash once: the routing key doubles as the cache key inside
+            // the shard's engine.
+            let hash = Self::route_hash(&request);
+            let shard = (hash.0 % self.txs.len() as u128) as usize;
+            groups[shard].push((seq, request, reply, hash));
+        }
+        for (shard, group) in groups.into_iter().enumerate() {
+            if !group.is_empty() {
+                // A send only fails after the shard thread died, which only
+                // happens on router teardown.
+                let _ = self.txs[shard].send(ShardMsg::Batch(group));
+            }
+        }
+    }
+
+    /// Solves one batch synchronously: scatters, gathers, and returns the
+    /// rendered lines in submission order. This is the library entry point
+    /// used by benches and tests; the serving loops stream instead.
+    pub fn solve(&self, requests: Vec<RouteRequest>) -> Vec<String> {
+        let (tx, rx) = channel();
+        let count = requests.len();
+        self.dispatch(
+            requests.into_iter().enumerate().map(|(i, r)| (i as u64, r, tx.clone())).collect(),
+        );
+        drop(tx);
+        let mut lines: Vec<Reply> = rx.iter().collect();
+        debug_assert_eq!(lines.len(), count);
+        lines.sort_by_key(|(seq, _)| *seq);
+        lines.into_iter().map(|(_, line)| line).collect()
+    }
+
+    /// Snapshots every shard's cache statistics, in shard order.
+    pub fn stats(&self) -> Vec<CacheStats> {
+        self.txs
+            .iter()
+            .map(|shard| {
+                let (tx, rx) = channel();
+                let _ = shard.send(ShardMsg::Stats(tx));
+                rx.recv().expect("shard answers stats while the router lives")
+            })
+            .collect()
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.txs.clear(); // disconnect: shards drain pending batches and exit
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One shard: a single-threaded engine over its private cache slice.
+fn shard_loop(rx: Receiver<ShardMsg>, cache: FrontCache) {
+    let engine = Engine::with_cache(1, cache);
+    for message in rx {
+        match message {
+            ShardMsg::Batch(jobs) => {
+                let requests: Vec<BatchRequest> = jobs
+                    .iter()
+                    .map(|(_, job, _, hash)| {
+                        BatchRequest::new(job.tree.clone(), job.query)
+                            .with_hint(job.hint)
+                            .with_hash(*hash)
+                    })
+                    .collect();
+                let results = engine.run(&requests);
+                for ((seq, job, reply, _), result) in jobs.into_iter().zip(results) {
+                    let line = format!("{}{}}}", job.prefix, body_fragment(&result.response));
+                    // The receiver may be gone (client hung up): drop the
+                    // response, keep serving.
+                    let _ = reply.send((seq, line));
+                }
+            }
+            ShardMsg::Stats(tx) => {
+                let _ = tx.send(engine.cache().stats());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(tree: Arc<CdpAttackTree>, query: Query, id: usize) -> RouteRequest {
+        RouteRequest { tree, query, hint: SolverHint::Auto, prefix: format!("{{\"id\":{id}") }
+    }
+
+    fn random_trees(seed: u64, count: usize) -> Vec<Arc<CdpAttackTree>> {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let tree = cdat_gen::random_small(&mut rng, 7, true);
+                Arc::new(cdat_gen::decorate_prob(tree, &mut rng))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn solve_returns_lines_in_submission_order() {
+        let router = Router::new(RouterConfig { shards: 4, cache_budget: None });
+        let tree = Arc::new(cdat_models::factory_cdp());
+        let requests: Vec<RouteRequest> =
+            (0..6).map(|i| request(tree.clone(), Query::Dgc(i as f64), i)).collect();
+        let lines = router.solve(requests);
+        assert_eq!(lines.len(), 6);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.starts_with(&format!("{{\"id\":{i},")), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_are_independent_of_the_shard_count() {
+        let trees = random_trees(7001, 25);
+        let build = || -> Vec<RouteRequest> {
+            trees
+                .iter()
+                .enumerate()
+                .flat_map(|(i, t)| {
+                    [
+                        request(t.clone(), Query::Cdpf, 2 * i),
+                        request(t.clone(), Query::Cedpf, 2 * i + 1),
+                    ]
+                })
+                .collect()
+        };
+        let reference = Router::new(RouterConfig { shards: 1, cache_budget: None }).solve(build());
+        for shards in [2, 3, 8] {
+            let router = Router::new(RouterConfig { shards, cache_budget: None });
+            assert_eq!(router.solve(build()), reference, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn identical_trees_share_one_shard_cache() {
+        let router = Router::new(RouterConfig { shards: 4, cache_budget: None });
+        let tree = Arc::new(cdat_models::factory_cdp());
+        let requests: Vec<RouteRequest> =
+            (0..10).map(|i| request(tree.clone(), Query::Cdpf, i)).collect();
+        router.solve(requests);
+        let stats = router.stats();
+        let total_entries: usize = stats.iter().map(|s| s.entries).sum();
+        assert_eq!(total_entries, 1, "one front cached across all shards");
+        let total_misses: u64 = stats.iter().map(|s| s.misses).sum();
+        assert_eq!(total_misses, 1, "one miss; the rest were same-shard hits");
+    }
+
+    #[test]
+    fn budgeted_router_bounds_points_and_evicts() {
+        let budget = 64;
+        let router = Router::new(RouterConfig { shards: 4, cache_budget: Some(budget) });
+        for wave in 0..6u64 {
+            let trees = random_trees(7100 + wave, 12);
+            let requests: Vec<RouteRequest> =
+                trees.iter().enumerate().map(|(i, t)| request(t.clone(), Query::Cdpf, i)).collect();
+            router.solve(requests);
+            let points: usize = router.stats().iter().map(|s| s.points).sum();
+            assert!(points <= budget, "wave {wave}: {points} points exceed budget {budget}");
+        }
+        let evictions: u64 = router.stats().iter().map(|s| s.evictions).sum();
+        assert!(evictions > 0, "72 distinct trees against 64 points must evict");
+    }
+
+    #[test]
+    fn small_budgets_collapse_the_shard_count() {
+        // 32 points over 16 shards would give 2-point slices that cache
+        // nothing; the router must halve down to 4 shards (8-point
+        // slices).
+        let router = Router::new(RouterConfig { shards: 16, cache_budget: Some(32) });
+        assert_eq!(router.shards(), 4);
+        let tree = Arc::new(cdat_models::factory_cdp());
+        router.solve(vec![request(tree, Query::Cdpf, 0)]);
+        let entries: usize = router.stats().iter().map(|s| s.entries).sum();
+        assert_eq!(entries, 1, "the 4-point factory front must actually cache");
+    }
+
+    #[test]
+    fn stats_answer_while_idle() {
+        let router = Router::new(RouterConfig::default());
+        let stats = router.stats();
+        assert_eq!(stats.len(), 4);
+        assert!(stats.iter().all(|s| *s == CacheStats::default()));
+    }
+}

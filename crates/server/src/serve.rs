@@ -1,0 +1,348 @@
+//! The long-running serving loops: micro-batching dispatcher, stdio
+//! transport, TCP transport.
+//!
+//! Requests flow `reader → dispatcher → shard → writer`:
+//!
+//! * a **reader** parses one JSON request per line and submits one job per
+//!   (document × request) to the dispatcher; parse errors and `stats` ops
+//!   are answered immediately, bypassing the batch path;
+//! * the **dispatcher** accumulates jobs into micro-batches — a batch is
+//!   flushed when it reaches [`ServeConfig::batch_max`] jobs or when
+//!   [`ServeConfig::batch_window`] has elapsed since its first job — and
+//!   scatters every flush across the shards by structural hash;
+//! * each **shard** answers its slice through its private engine and cache
+//!   (see [`Router`](crate::Router));
+//! * a per-connection **writer** streams response lines back as they
+//!   complete, in completion order — clients correlate by `id`.
+//!
+//! Batching is a latency/throughput dial, not a semantic one: responses
+//! are byte-identical whatever the batch window, batch size or shard
+//! count, because every solver is deterministic and cache entries are
+//! keyed canonically.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::protocol::{error_line, parse_request, response_prefix, stats_line, Request};
+use crate::router::{Reply, RouteRequest, Router, RouterConfig};
+
+/// Serving configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct ServeConfig {
+    /// Number of worker shards.
+    pub shards: usize,
+    /// Flush a micro-batch at this many jobs even if the window is open.
+    pub batch_max: usize,
+    /// How long the dispatcher waits after a batch's first job for more
+    /// jobs to share the flush. Zero flushes greedily (whatever is already
+    /// queued goes out together).
+    pub batch_window: Duration,
+    /// Total front-cache budget in points, split over the shards; `None`
+    /// means unbounded.
+    pub cache_budget: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            batch_max: 64,
+            batch_window: Duration::from_micros(1000),
+            cache_budget: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn router_config(&self) -> RouterConfig {
+        RouterConfig { shards: self.shards, cache_budget: self.cache_budget }
+    }
+}
+
+/// One job on its way to the dispatcher.
+type Job = (u64, RouteRequest, Sender<Reply>);
+
+/// The micro-batching loop: accumulate until `batch_max` jobs or
+/// `batch_window` past the batch's first job, then scatter to the shards.
+/// Returns (flushing the final partial batch) when every submitter is
+/// gone.
+fn dispatch_loop(router: Arc<Router>, rx: Receiver<Job>, batch_max: usize, window: Duration) {
+    loop {
+        // Block for the first job of the next batch.
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + window;
+        while batch.len() < batch_max {
+            let now = Instant::now();
+            if now >= deadline {
+                // Window closed: take whatever is already queued, no more
+                // waiting.
+                match rx.try_recv() {
+                    Ok(job) => batch.push(job),
+                    Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+                }
+            } else {
+                match rx.recv_timeout(deadline - now) {
+                    Ok(job) => batch.push(job),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        router.dispatch(batch);
+                        return;
+                    }
+                }
+            }
+        }
+        router.dispatch(batch);
+    }
+}
+
+/// Reads requests line by line, answering control and error lines
+/// immediately and submitting solve jobs to the dispatcher.
+///
+/// `seq` numbers this reader's jobs (ordering within `Router::solve`-style
+/// gathers; streamed writers ignore it).
+fn read_loop<R: BufRead>(
+    reader: R,
+    router: &Router,
+    batcher: &Sender<Job>,
+    reply: &Sender<Reply>,
+    seq: &mut u64,
+) {
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut next_seq = || {
+            *seq += 1;
+            *seq
+        };
+        match parse_request(&line) {
+            Err((id, message)) => {
+                let _ = reply.send((next_seq(), error_line(&id, &message)));
+            }
+            Ok(Request::Stats { id }) => {
+                // Answered out of band: stats never wait for a batch
+                // window (and never skew one).
+                let _ = reply.send((next_seq(), stats_line(&id, &router.stats())));
+            }
+            Ok(Request::Solve(request)) => {
+                for doc in &request.docs {
+                    let suite_info = request.suite.then_some((doc.doc, doc.name.as_deref()));
+                    let job = RouteRequest {
+                        tree: doc.tree.clone(),
+                        query: request.query,
+                        hint: request.hint,
+                        prefix: response_prefix(&request.id, suite_info, request.query),
+                    };
+                    if batcher.send((next_seq(), job, reply.clone())).is_err() {
+                        return; // server shutting down
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Writes response lines as they complete, flushing per line so pipelining
+/// clients see answers promptly. Returns when every reply sender is gone.
+fn write_loop<W: Write>(mut sink: W, rx: Receiver<Reply>) {
+    for (_, line) in rx {
+        if writeln!(sink, "{line}").and_then(|()| sink.flush()).is_err() {
+            // Client hung up. Dropping the receiver is enough: sends are
+            // non-blocking and the shards ignore failed sends.
+            return;
+        }
+    }
+}
+
+/// Serves requests from stdin to stdout until EOF; response lines stream
+/// in completion order. Every pending request is answered before this
+/// returns.
+pub fn serve_stdio(config: &ServeConfig) {
+    let router = Arc::new(Router::new(config.router_config()));
+    let (reply_tx, reply_rx) = channel::<Reply>();
+    let (batch_tx, batch_rx) = channel::<Job>();
+
+    let dispatcher = {
+        let router = router.clone();
+        let (batch_max, window) = (config.batch_max.max(1), config.batch_window);
+        std::thread::spawn(move || dispatch_loop(router, batch_rx, batch_max, window))
+    };
+    let writer = std::thread::spawn(move || write_loop(std::io::stdout().lock(), reply_rx));
+
+    let stdin = std::io::stdin();
+    let mut seq = 0;
+    read_loop(stdin.lock(), &router, &batch_tx, &reply_tx, &mut seq);
+
+    // Shutdown cascade: no more jobs → dispatcher flushes and exits → the
+    // router joins its shards (draining pending batches) → the last reply
+    // sender disappears → the writer drains and exits.
+    drop(batch_tx);
+    let _ = dispatcher.join();
+    drop(router);
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), announces
+/// `cdat-serve: listening on <addr>` on stderr, and serves connections
+/// forever; every connection multiplexes onto the shared dispatcher and
+/// shard pool.
+///
+/// # Errors
+///
+/// Only binding can fail; per-connection I/O errors just end that
+/// connection.
+pub fn serve_tcp(addr: &str, config: &ServeConfig) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!("cdat-serve: listening on {}", listener.local_addr()?);
+    let router = Arc::new(Router::new(config.router_config()));
+    let (batch_tx, batch_rx) = channel::<Job>();
+    {
+        let router = router.clone();
+        let (batch_max, window) = (config.batch_max.max(1), config.batch_window);
+        std::thread::spawn(move || dispatch_loop(router, batch_rx, batch_max, window));
+    }
+
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let Ok(write_half) = stream.try_clone() else { continue };
+        let (reply_tx, reply_rx) = channel::<Reply>();
+        std::thread::spawn(move || write_loop(write_half, reply_rx));
+        let router = router.clone();
+        let batch_tx = batch_tx.clone();
+        std::thread::spawn(move || {
+            let mut seq = 0;
+            read_loop(BufReader::new(stream), &router, &batch_tx, &reply_tx, &mut seq);
+            // Dropping reply_tx lets the connection's writer exit once the
+            // in-flight jobs (which hold clones) are answered.
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives `read_loop` + dispatcher + shards end to end over in-memory
+    /// pipes, returning all response lines (completion order).
+    fn serve_text(input: &str, config: &ServeConfig) -> Vec<String> {
+        let router = Arc::new(Router::new(config.router_config()));
+        let (reply_tx, reply_rx) = channel::<Reply>();
+        let (batch_tx, batch_rx) = channel::<Job>();
+        let dispatcher = {
+            let router = router.clone();
+            let (batch_max, window) = (config.batch_max.max(1), config.batch_window);
+            std::thread::spawn(move || dispatch_loop(router, batch_rx, batch_max, window))
+        };
+        let mut seq = 0;
+        read_loop(input.as_bytes(), &router, &batch_tx, &reply_tx, &mut seq);
+        drop(batch_tx);
+        dispatcher.join().unwrap();
+        drop(router);
+        drop(reply_tx);
+        reply_rx.iter().map(|(_, line)| line).collect()
+    }
+
+    fn sorted_by_id(mut lines: Vec<String>) -> Vec<String> {
+        lines.sort();
+        lines
+    }
+
+    #[test]
+    fn answers_tree_requests_and_errors_in_one_session() {
+        let input = concat!(
+            r#"{"id":0,"tree":"or root damage=200\n  bas ca cost=1\n","query":"cdpf"}"#,
+            "\n",
+            "this is not json\n",
+            "\n",
+            r#"{"id":2,"tree":"or root damage=200\n  bas ca cost=1\n","query":"dgc","arg":5}"#,
+            "\n",
+            r#"{"op":"stats","id":3}"#,
+            "\n",
+        );
+        let lines = serve_text(input, &ServeConfig::default());
+        assert_eq!(lines.len(), 4);
+        let sorted = sorted_by_id(lines);
+        assert_eq!(sorted[0], "{\"id\":0,\"query\":\"cdpf\",\"front\":[[0,0],[1,200]]}");
+        assert!(sorted[1].starts_with("{\"id\":2,\"query\":\"dgc\",\"arg\":5,\"point\":"));
+        assert!(sorted[2].starts_with("{\"id\":3,\"stats\":"), "{}", sorted[2]);
+        assert!(sorted[3].starts_with("{\"id\":null,\"error\":\"bad JSON"), "{}", sorted[3]);
+    }
+
+    #[test]
+    fn suite_requests_fan_out_one_line_per_document() {
+        let input = concat!(
+            r#"{"id":"s","suite":"--- a\nor g damage=1\n  bas x cost=2\n"#,
+            r#"--- b\nor h damage=3\n  bas y cost=4\n"}"#,
+            "\n",
+        );
+        let lines = sorted_by_id(serve_text(input, &ServeConfig::default()));
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"id\":\"s\",\"doc\":0,\"name\":\"a\",\"query\":\"cdpf\",\"front\":[[0,0],[2,1]]}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"id\":\"s\",\"doc\":1,\"name\":\"b\",\"query\":\"cdpf\",\"front\":[[0,0],[4,3]]}"
+        );
+    }
+
+    #[test]
+    fn responses_are_identical_across_batch_windows_and_shard_counts() {
+        // 24 requests over 8 distinct trees; every (window, batch_max,
+        // shards) combination must produce the same response set.
+        use std::fmt::Write as _;
+        let mut input = String::new();
+        for i in 0..24 {
+            let (cost, damage) = (1 + i % 8, 10 * (1 + i % 8));
+            let _ = writeln!(
+                input,
+                "{{\"id\":{i},\"tree\":\"or root damage={damage}\\n  bas x cost={cost}\\n  bas y cost=2\\n\",\"query\":\"cdpf\"}}",
+            );
+        }
+        let reference = sorted_by_id(serve_text(
+            &input,
+            &ServeConfig {
+                shards: 1,
+                batch_max: 1,
+                batch_window: Duration::ZERO,
+                ..Default::default()
+            },
+        ));
+        assert_eq!(reference.len(), 24);
+        for (shards, batch_max, window_us) in [(1, 64, 0), (2, 4, 500), (4, 64, 2000), (8, 7, 100)]
+        {
+            let config = ServeConfig {
+                shards,
+                batch_max,
+                batch_window: Duration::from_micros(window_us),
+                cache_budget: None,
+            };
+            let lines = sorted_by_id(serve_text(&input, &config));
+            assert_eq!(lines, reference, "shards={shards} max={batch_max} window={window_us}us");
+        }
+    }
+
+    #[test]
+    fn solver_hints_flow_through_the_protocol() {
+        let treelike = r#"{"id":1,"tree":"or g damage=7\n  bas x cost=3\n","solver":"bilp"}"#;
+        let dag = concat!(
+            r#"{"id":2,"tree":"or r\n  and g1\n    bas x cost=1\n    bas y\n  and g2\n"#,
+            r#"    ref x\n    bas z\n","solver":"bottomup"}"#
+        );
+        let lines =
+            sorted_by_id(serve_text(&format!("{treelike}\n{dag}\n"), &ServeConfig::default()));
+        assert_eq!(lines[0], "{\"id\":1,\"query\":\"cdpf\",\"front\":[[0,0],[3,7]]}");
+        assert!(lines[1].contains("\"error\":\"the bottom-up solver requires"), "{}", lines[1]);
+    }
+}

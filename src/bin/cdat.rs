@@ -10,6 +10,8 @@
 //! cdat rank    <tree.cdat> <budget>     best single-BAS defenses
 //! cdat dot     <tree.cdat>              Graphviz export (stdout)
 //! cdat batch   <suite.cdat> [flags]     parallel batch solve (JSON lines)
+//! cdat serve   [flags]                  long-running query server (stdio/TCP)
+//! cdat query   --connect <addr> <suite> client for a running `cdat serve`
 //! cdat example                          print a sample document
 //! ```
 //!
@@ -17,11 +19,15 @@
 //! reads a multi-document suite (`---`-separated trees), fans the requested
 //! queries over a worker pool with a memoizing front cache, and writes one
 //! JSON object per request to stdout — byte-identical output whatever
-//! `--workers` says (timings only appear under `--timings`).
+//! `--workers` says (timings only appear under `--timings`). `serve` keeps
+//! the same engine warm behind a micro-batching, shard-by-hash JSON-lines
+//! protocol (`cdat::serve`); its responses carry the same bytes as `batch`.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use cdat::{solve, CdpAttackTree, FrontEntry, ParetoFront};
+use cdat::serve::{protocol, ServeConfig};
+use cdat::{format::json, solve, CdpAttackTree, FrontEntry, ParetoFront};
 
 const EXAMPLE: &str = r#"# cdat attack-tree document (the paper's running example).
 # <kind> <name> [cost=..] [damage=..] [prob=..]; children indented below;
@@ -56,6 +62,12 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if command == "batch" {
         return batch(&args[1..]);
+    }
+    if command == "serve" {
+        return serve(&args[1..]);
+    }
+    if command == "query" {
+        return query(&args[1..]);
     }
     let path = args.get(1).ok_or_else(|| format!("missing file argument\n{}", usage()))?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -131,31 +143,40 @@ fn usage() -> String {
         ("rank    <file> <budget>", "rank single-BAS defenses by residual damage"),
         ("dot     <file>", "Graphviz export"),
         ("batch   <suite> [flags]", "parallel batch solve of a multi-tree suite"),
+        ("serve   [flags]", "long-running micro-batching query server"),
+        ("query   --connect <addr> <suite> [flags]", "client for a running serve"),
         ("example", "print a sample document"),
     ] {
         s.push_str(&format!("  {cmd:<28} {help}\n"));
     }
     s.push_str(
         "\nbatch flags:\n  \
-         --workers N   worker threads (default: available parallelism)\n  \
-         --timings     add per-request solver micros to the JSON (nondeterministic)\n  \
-         --cdpf --cedpf --dgc B --cgd D --edgc B --cged D\n                \
-         queries to run per document, repeatable (default: --cdpf)\n",
+         --workers N        worker threads (default: available parallelism)\n  \
+         --timings          add per-request solver micros to the JSON (nondeterministic)\n  \
+         --cache-budget P   bound the front cache to P points (LRU eviction)\n  \
+         --cache-stats      print cache counters (hits/misses/evictions) to stderr\n  \
+         --cdpf --cedpf --dgc B --cgd D --edgc B --cged D\n                     \
+         queries to run per document, repeatable (default: --cdpf)\n\
+         \nserve flags:\n  \
+         --stdio            serve stdin→stdout, exit at EOF (default)\n  \
+         --addr HOST:PORT   serve TCP connections (port 0 picks one; the\n                     \
+         chosen address is announced on stderr)\n  \
+         --workers N        worker shards (default: available parallelism)\n  \
+         --batch-max N      flush a micro-batch at N requests (default 64)\n  \
+         --batch-window-us U  micro-batch accumulation window (default 1000)\n  \
+         --cache-budget P   total front-cache budget in points, split over shards\n\
+         \nquery flags: --connect HOST:PORT plus the batch query flags; sends the\n  \
+         suite to a running `cdat serve` and prints responses in request order.\n",
     );
     s
 }
 
-/// `cdat batch <suite> [flags]`: solve every (document × query) request on
-/// a worker pool, one JSON object per line on stdout, summary on stderr.
-fn batch(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or_else(|| format!("missing suite file argument\n{}", usage()))?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let documents = cdat_format::parse_multi(&text).map_err(|e| format!("{path}: {e}"))?;
-
-    let mut workers: Option<usize> = None;
-    let mut timings = false;
-    let mut queries: Vec<solve::Query> = Vec::new();
-    let mut it = args[1..].iter();
+/// Parses the query flags shared by `batch` and `query` (`--cdpf`,
+/// `--dgc B`, ...); unrecognized flags are returned for the caller.
+fn parse_query_flags(args: &[String]) -> Result<(Vec<solve::Query>, Vec<&String>), String> {
+    let mut queries = Vec::new();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |what: &str| -> Result<f64, String> {
             let v: f64 = it
@@ -171,28 +192,68 @@ fn batch(args: &[String]) -> Result<(), String> {
             Ok(v)
         };
         match flag.as_str() {
-            "--workers" => {
-                let n = value("count")?;
-                if n < 1.0 || n.fract() != 0.0 {
-                    return Err("--workers: count must be a positive integer".into());
-                }
-                workers = Some(n as usize);
-            }
-            "--timings" => timings = true,
             "--cdpf" => queries.push(solve::Query::Cdpf),
             "--cedpf" => queries.push(solve::Query::Cedpf),
             "--dgc" => queries.push(solve::Query::Dgc(value("budget")?)),
             "--cgd" => queries.push(solve::Query::Cgd(value("threshold")?)),
             "--edgc" => queries.push(solve::Query::Edgc(value("budget")?)),
             "--cged" => queries.push(solve::Query::Cged(value("threshold")?)),
+            _ => rest.push(flag),
+        }
+    }
+    Ok((queries, rest))
+}
+
+/// Parses the value of a `--flag N` pair out of the non-query flags.
+fn take_value<'a>(rest: &mut Vec<&'a String>, flag: &str) -> Result<Option<&'a String>, String> {
+    match rest.iter().position(|f| f.as_str() == flag) {
+        None => Ok(None),
+        Some(i) if i + 1 < rest.len() => {
+            rest.remove(i);
+            Ok(Some(rest.remove(i)))
+        }
+        Some(_) => Err(format!("{flag} needs a value")),
+    }
+}
+
+/// Parses a nonnegative integer flag value.
+fn parse_count(flag: &str, text: &str) -> Result<usize, String> {
+    text.parse().map_err(|_| format!("{flag}: expected a nonnegative integer, got {text:?}"))
+}
+
+/// `cdat batch <suite> [flags]`: solve every (document × query) request on
+/// a worker pool, one JSON object per line on stdout, summary on stderr.
+fn batch(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(|| format!("missing suite file argument\n{}", usage()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let documents = cdat_format::parse_multi(&text).map_err(|e| format!("{path}: {e}"))?;
+
+    let (mut queries, mut rest) = parse_query_flags(&args[1..])?;
+    let workers = match take_value(&mut rest, "--workers")? {
+        Some(text) => {
+            let n = parse_count("--workers", text)?;
+            if n == 0 {
+                return Err("--workers: count must be a positive integer".into());
+            }
+            n
+        }
+        None => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+    };
+    let cache_budget = take_value(&mut rest, "--cache-budget")?
+        .map(|text| parse_count("--cache-budget", text))
+        .transpose()?;
+    let mut timings = false;
+    let mut cache_stats = false;
+    for flag in rest {
+        match flag.as_str() {
+            "--timings" => timings = true,
+            "--cache-stats" => cache_stats = true,
             other => return Err(format!("unknown batch flag {other:?}\n{}", usage())),
         }
     }
     if queries.is_empty() {
         queries.push(solve::Query::Cdpf);
     }
-    let workers = workers
-        .unwrap_or_else(|| std::thread::available_parallelism().map(usize::from).unwrap_or(1));
 
     let trees: Vec<std::sync::Arc<CdpAttackTree>> =
         documents.iter().map(|d| std::sync::Arc::new(d.tree.clone())).collect();
@@ -203,7 +264,12 @@ fn batch(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let engine = solve::Engine::new(workers);
+    let engine = match cache_budget {
+        Some(budget) => {
+            solve::Engine::with_cache(workers, solve::FrontCache::with_budget(16, budget))
+        }
+        None => solve::Engine::new(workers),
+    };
     let start = std::time::Instant::now();
     let results = engine.run(&requests);
     let wall = start.elapsed();
@@ -232,10 +298,18 @@ fn batch(args: &[String]) -> Result<(), String> {
         workers,
         wall.as_secs_f64()
     );
+    if cache_stats {
+        eprintln!(
+            "cache-stats: hits={} misses={} entries={} points={} evictions={}",
+            stats.hits, stats.misses, stats.entries, stats.points, stats.evictions
+        );
+    }
     Ok(())
 }
 
 /// Renders one batch result as a single JSON object (no trailing newline).
+/// The query and body fragments are shared with the serving protocol, so
+/// batch and serve emit the same bytes for the same document.
 fn render_result(
     doc: usize,
     name: Option<&str>,
@@ -246,40 +320,11 @@ fn render_result(
     use std::fmt::Write as _;
     let mut s = format!("{{\"doc\":{doc}");
     if let Some(name) = name {
-        let _ = write!(s, ",\"name\":\"{}\"", json_escape(name));
+        let _ = write!(s, ",\"name\":\"{}\"", json::escape(name));
     }
-    let (query, arg) = match request.query {
-        solve::Query::Cdpf => ("cdpf", None),
-        solve::Query::Cedpf => ("cedpf", None),
-        solve::Query::Dgc(b) => ("dgc", Some(b)),
-        solve::Query::Cgd(t) => ("cgd", Some(t)),
-        solve::Query::Edgc(b) => ("edgc", Some(b)),
-        solve::Query::Cged(t) => ("cged", Some(t)),
-    };
-    let _ = write!(s, ",\"query\":\"{query}\"");
-    if let Some(arg) = arg {
-        let _ = write!(s, ",\"arg\":{}", json_num(arg));
-    }
+    let _ = write!(s, ",{}", protocol::query_fragment(request.query));
     let _ = write!(s, ",\"cache\":\"{}\"", if result.cache_hit { "hit" } else { "miss" });
-    match &result.response {
-        solve::Response::Front(front) => {
-            s.push_str(",\"front\":[");
-            for (i, p) in front.points().enumerate() {
-                if i > 0 {
-                    s.push(',');
-                }
-                let _ = write!(s, "[{},{}]", json_num(p.cost), json_num(p.damage));
-            }
-            s.push(']');
-        }
-        solve::Response::Entry(Some(p)) => {
-            let _ = write!(s, ",\"point\":[{},{}]", json_num(p.cost), json_num(p.damage));
-        }
-        solve::Response::Entry(None) => s.push_str(",\"point\":null"),
-        solve::Response::Error(message) => {
-            let _ = write!(s, ",\"error\":\"{}\"", json_escape(message));
-        }
-    }
+    s.push_str(&protocol::body_fragment(&result.response));
     if timings {
         let _ = write!(s, ",\"micros\":{}", result.compute.as_micros());
     }
@@ -287,30 +332,118 @@ fn render_result(
     s
 }
 
-/// JSON-compatible rendering of a finite attribute value (Rust's `Display`
-/// for `f64` never produces exponents, infinities or NaN here — attributes
-/// are validated finite).
-fn json_num(v: f64) -> String {
-    format!("{v}")
-}
-
-/// Escapes a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+/// `cdat serve [flags]`: run the long-running micro-batching query server
+/// over stdio (default) or TCP.
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut rest: Vec<&String> = args.iter().collect();
+    let addr = take_value(&mut rest, "--addr")?.cloned();
+    let shards = match take_value(&mut rest, "--workers")? {
+        Some(text) => {
+            let n = parse_count("--workers", text)?;
+            if n == 0 {
+                return Err("--workers: count must be a positive integer".into());
             }
-            c => out.push(c),
+            n
+        }
+        None => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+    };
+    let mut config = ServeConfig { shards, ..Default::default() };
+    if let Some(text) = take_value(&mut rest, "--batch-max")? {
+        config.batch_max = parse_count("--batch-max", text)?.max(1);
+    }
+    if let Some(text) = take_value(&mut rest, "--batch-window-us")? {
+        config.batch_window = Duration::from_micros(parse_count("--batch-window-us", text)? as u64);
+    }
+    if let Some(text) = take_value(&mut rest, "--cache-budget")? {
+        config.cache_budget = Some(parse_count("--cache-budget", text)?);
+    }
+    let mut stdio = addr.is_none();
+    for flag in rest {
+        match flag.as_str() {
+            "--stdio" => stdio = true,
+            other => return Err(format!("unknown serve flag {other:?}\n{}", usage())),
         }
     }
-    out
+    if stdio && addr.is_some() {
+        return Err("--stdio and --addr are mutually exclusive".into());
+    }
+    match addr {
+        Some(addr) => cdat::serve::serve_tcp(&addr, &config)
+            .map_err(|e| format!("cannot serve on {addr}: {e}")),
+        None => {
+            cdat::serve::serve_stdio(&config);
+            Ok(())
+        }
+    }
+}
+
+/// `cdat query --connect <addr> <suite> [query flags]`: send the suite to
+/// a running `cdat serve`, one request per query, and print the response
+/// lines in request order (then by document).
+fn query(args: &[String]) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write as _};
+
+    let (mut queries, mut rest) = parse_query_flags(args)?;
+    let addr = take_value(&mut rest, "--connect")?
+        .ok_or_else(|| format!("query needs --connect HOST:PORT\n{}", usage()))?
+        .clone();
+    let solver = take_value(&mut rest, "--solver")?.cloned();
+    let [path] = rest.as_slice() else {
+        return Err(format!("query needs exactly one suite file argument\n{}", usage()));
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if queries.is_empty() {
+        queries.push(solve::Query::Cdpf);
+    }
+    if let Some(solver) = &solver {
+        // Validate the spelling client-side for a friendly error.
+        solve::SolverHint::parse(solver)?;
+    }
+
+    let stream = std::net::TcpStream::connect(&addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut request_lines = String::new();
+    for (i, &query) in queries.iter().enumerate() {
+        use std::fmt::Write as _;
+        let _ = write!(request_lines, "{{\"id\":{i},\"suite\":\"{}\"", json::escape(&text));
+        let _ = write!(request_lines, ",{}", protocol::query_fragment(query));
+        if let Some(solver) = &solver {
+            let _ = write!(request_lines, ",\"solver\":\"{}\"", json::escape(solver));
+        }
+        request_lines.push_str("}\n");
+    }
+    writer.write_all(request_lines.as_bytes()).map_err(|e| format!("send: {e}"))?;
+    writer.flush().map_err(|e| format!("send: {e}"))?;
+    // Half-close: the server answers everything in flight, then closes.
+    stream.shutdown(std::net::Shutdown::Write).map_err(|e| format!("shutdown: {e}"))?;
+
+    let mut lines: Vec<String> = Vec::new();
+    for line in BufReader::new(stream).lines() {
+        lines.push(line.map_err(|e| format!("receive: {e}"))?);
+    }
+    // Request order, then document order within a request (responses may
+    // arrive interleaved across shards). This client always sends numeric
+    // ids; anything unparseable sorts last.
+    let sort_key = |line: &str| {
+        let value = json::parse(line).ok();
+        let field = |name: &str| -> u64 {
+            value
+                .as_ref()
+                .and_then(|v| v.get(name))
+                .and_then(json::Value::as_f64)
+                .map_or(u64::MAX, |v| v as u64)
+        };
+        (field("id"), field("doc"))
+    };
+    lines.sort_by_key(|line| sort_key(line));
+    let mut out = String::new();
+    for line in &lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    print!("{out}");
+    Ok(())
 }
 
 fn info(cdp: &CdpAttackTree) {

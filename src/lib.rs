@@ -56,7 +56,8 @@
 //! | [`pareto`] | fronts, extended attribute triples, `min_U` pruning |
 //! | [`bottomup`] | treelike solver, deterministic + probabilistic |
 //! | [`bilp`] | Theorem 6/7 encodings for DAG-like trees |
-//! | [`engine`] | parallel batch solving, structural dedup, memoizing front cache |
+//! | [`engine`] | parallel batch solving, structural dedup, memoizing front cache with LRU eviction |
+//! | [`server`] | micro-batching query server: JSON-lines protocol, shard-by-hash routing |
 //! | [`ilp`] | simplex, branch-and-bound, bi-objective ε-constraint |
 //! | [`enumerative`] | brute-force baselines, exact DAG-probabilistic extension |
 //! | [`bdd`] | hash-consed BDDs for structure functions |
@@ -80,6 +81,7 @@ pub use cdat_gen as gen;
 pub use cdat_ilp as ilp;
 pub use cdat_models as models;
 pub use cdat_pareto as pareto;
+pub use cdat_server as server;
 
 pub use cdat_core::{
     binarize, Attack, AttackTree, AttackTreeBuilder, BasId, CdAttackTree, CdpAttackTree, NodeId,
@@ -87,4 +89,5 @@ pub use cdat_core::{
 };
 pub use cdat_pareto::{CostDamage, FrontEntry, ParetoFront};
 
+pub mod serve;
 pub mod solve;

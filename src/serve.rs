@@ -1,0 +1,32 @@
+//! Serving front-end: a long-running, micro-batching query server.
+//!
+//! Re-exports [`cdat_server`]. The server accepts newline-delimited JSON
+//! requests (a tree or suite inline, one of the six queries, an optional
+//! solver hint) over stdio or TCP, accumulates them into micro-batches,
+//! routes every request to the worker shard owning its slice of the front
+//! cache (partitioned by the canonical structural hash), bounds cache
+//! memory with LRU eviction, and streams JSON-lines responses correlated
+//! by request id.
+//!
+//! From the command line: `cdat serve` / `cdat query --connect`. From the
+//! library:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cdat::serve::{Router, RouterConfig, RouteRequest};
+//! use cdat::solve::{Query, SolverHint};
+//!
+//! let router = Router::new(RouterConfig { shards: 2, cache_budget: None });
+//! let request = RouteRequest {
+//!     tree: Arc::new(cdat_models::factory_cdp()),
+//!     query: Query::Cdpf,
+//!     hint: SolverHint::Auto,
+//!     prefix: "{\"id\":0".into(),
+//! };
+//! let lines = router.solve(vec![request]);
+//! assert_eq!(lines[0], "{\"id\":0,\"front\":[[0,0],[1,200],[3,210],[5,310]]}");
+//! ```
+
+pub use cdat_server::{
+    protocol, serve_stdio, serve_tcp, Reply, RouteRequest, Router, RouterConfig, ServeConfig,
+};

@@ -10,6 +10,7 @@ use cdat_pareto::{FrontEntry, ParetoFront};
 
 pub use cdat_engine::{
     BatchRequest, BatchResult, CacheStats, Engine, FrontCache, FrontKind, Query, Response,
+    SolverHint,
 };
 
 /// Which backend [`cdpf`] and friends will pick for a tree.

@@ -240,6 +240,43 @@ fn batch_flags_and_dag_errors() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// `--cache-stats` prints the cache counters (including the eviction
+/// counter) to stderr, and a tight `--cache-budget` makes evictions
+/// nonzero without changing a byte of stdout.
+#[test]
+fn batch_cache_stats_and_budget() {
+    let path = write_generated_suite();
+    let path_str = path.to_str().unwrap();
+
+    let out = cdat(&["batch", path_str, "--cache-stats"]);
+    assert!(out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    let stats = err.lines().find(|l| l.starts_with("cache-stats:")).expect("stats line");
+    assert!(stats.contains("hits="), "{stats}");
+    assert!(stats.contains("evictions=0"), "unbudgeted runs never evict: {stats}");
+    let unbudgeted = out.stdout;
+
+    let out = cdat(&["batch", path_str, "--cache-budget", "16", "--cache-stats"]);
+    assert!(out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    let stats = err.lines().find(|l| l.starts_with("cache-stats:")).expect("stats line");
+    let evictions: u64 = stats
+        .split("evictions=")
+        .nth(1)
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no eviction count in {stats}"));
+    assert!(evictions > 0, "105 fronts against 16 points must evict: {stats}");
+    let points: u64 = stats
+        .split("points=")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    assert!(points <= 16, "{stats}");
+    assert_eq!(out.stdout, unbudgeted, "eviction must not change response bytes");
+    let _ = std::fs::remove_file(&path);
+}
+
 /// Feeding the paper's running example through the full pipeline — `cdat
 /// example` → text parse → solve → printed front — reproduces the Figure 3
 /// front `{(0, 0), (1, 200), (3, 210), (5, 310)}` exactly.
