@@ -7,6 +7,14 @@ Both files are flat JSON objects mapping scenario names to wall-times in
 seconds (the output of `experiments bench-json`). A scenario slower than
 THRESHOLD x baseline (default 3.0 — generous, because the baseline was
 recorded on different hardware) emits a GitHub `::warning::` annotation.
+
+Kernel scenarios come in self-demonstrating pairs measured in the *same*
+run: `kernel_<shape>_x<N>` (the merge-kernel bottom-up) and
+`kernel_<shape>_oracle_x<N>` (the retained materialize-and-sort oracle).
+Because both halves share hardware and noise, the intra-run ratio is
+hardware-independent; the script warns when a kernel scenario stops
+beating its oracle.
+
 The script always exits 0: the lane tracks the trajectory, it does not
 gate merges.
 """
@@ -51,6 +59,24 @@ def main() -> int:
         print(f"\n{regressions} scenario(s) above the advisory threshold (not failing the job).")
     else:
         print("\nAll scenarios within the advisory threshold.")
+
+    # Kernel-vs-oracle pairs: same run, same hardware — the kernel half must
+    # win, regardless of how this runner compares to the baseline machine.
+    pairs = sorted(n for n in current if "_oracle" in n and n.replace("_oracle", "") in current)
+    if pairs:
+        print("\nkernel vs sort-based oracle (same run):")
+        for oracle_name in pairs:
+            kernel_name = oracle_name.replace("_oracle", "")
+            kernel, oracle = current[kernel_name], current[oracle_name]
+            speedup = oracle / kernel if kernel > 0 else float("inf")
+            print(f"  {kernel_name:<{width}}  {speedup:5.2f}x faster than its oracle")
+            if kernel >= oracle:
+                print(
+                    f"::warning::perf-trajectory: {kernel_name} ({kernel:.6f}s) no longer beats "
+                    f"its sort-based oracle ({oracle:.6f}s)"
+                )
+    else:
+        print("::warning::perf-trajectory: no kernel/oracle scenario pairs found in the run")
     return 0
 
 

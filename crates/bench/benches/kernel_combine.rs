@@ -1,0 +1,76 @@
+//! The gate-combine kernels against the sort-based oracle they replaced.
+//!
+//! Three combine-heavy tree shapes stress the bottom-up hot path in
+//! different ways:
+//!
+//! * `and_chain` — deep stacked AND gates: the accumulator front is
+//!   re-combined with a two-entry BAS front at every level (the two-pointer
+//!   merge specialization);
+//! * `wide_or` — one n-ary OR: the fold re-combines a front that grows with
+//!   every child;
+//! * `or_product` — an AND of two wide ORs: one large×large product (the
+//!   general k-way heap merge).
+//!
+//! Each shape runs three ways: the merge kernels with witness tracking
+//! (`kernel`), without (`kernel_nowit`), and the retained materialize-and-
+//! sort oracle (`oracle`, witnesses on). `kernel` vs `oracle` on the same
+//! shape is the headline ratio — both compute identical fronts, which the
+//! harness asserts before measuring.
+
+use std::time::Duration;
+
+use cdat_bench::{kernel_and_chain, kernel_or_product, kernel_wide_or};
+use cdat_bottomup::{ablation, BottomUp};
+use cdat_core::CdAttackTree;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_shape(c: &mut Criterion, group: &str, instances: Vec<(usize, CdAttackTree)>) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let nowit = BottomUp::new().without_witnesses();
+    for (param, cd) in &instances {
+        // The two paths must agree before their ratio means anything.
+        let kernel = cdat_bottomup::cdpf(cd).expect("treelike");
+        let oracle = ablation::cdpf_sorted_oracle(cd).expect("treelike");
+        assert_eq!(kernel, oracle, "kernel diverged from the oracle on {group}/{param}");
+
+        g.bench_with_input(BenchmarkId::new("kernel", param), cd, |b, cd| {
+            b.iter(|| cdat_bottomup::cdpf(black_box(cd)).expect("treelike"))
+        });
+        g.bench_with_input(BenchmarkId::new("kernel_nowit", param), cd, |b, cd| {
+            b.iter(|| nowit.cdpf(black_box(cd)).expect("treelike"))
+        });
+        g.bench_with_input(BenchmarkId::new("oracle", param), cd, |b, cd| {
+            b.iter(|| ablation::cdpf_sorted_oracle(black_box(cd)).expect("treelike"))
+        });
+    }
+    g.finish();
+}
+
+fn and_chain(c: &mut Criterion) {
+    bench_shape(
+        c,
+        "kernel_and_chain",
+        [96, 192].into_iter().map(|d| (d, kernel_and_chain(d))).collect(),
+    );
+}
+
+fn wide_or(c: &mut Criterion) {
+    bench_shape(
+        c,
+        "kernel_wide_or",
+        [64, 128].into_iter().map(|f| (f, kernel_wide_or(f))).collect(),
+    );
+}
+
+fn or_product(c: &mut Criterion) {
+    bench_shape(
+        c,
+        "kernel_or_product",
+        [32, 48].into_iter().map(|f| (f, kernel_or_product(f))).collect(),
+    );
+}
+
+criterion_group!(benches, and_chain, wide_or, or_product);
+criterion_main!(benches);

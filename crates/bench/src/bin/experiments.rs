@@ -495,6 +495,44 @@ fn bench_json(out: Option<String>) {
     });
     scenarios.push(("dataserver_bilp_cdpf_x10", t.as_secs_f64()));
 
+    // Combine-heavy kernel scenarios: each tree shape is measured through
+    // the merge kernels (`kernel_*`) and through the retained sort-based
+    // oracle (`kernel_*_oracle`). The paired timings make every run
+    // self-demonstrating: compare_bench.py warns when a kernel scenario
+    // stops beating its oracle.
+    for (name, oracle_name, cd) in [
+        (
+            "kernel_and_chain_d96_x5",
+            "kernel_and_chain_d96_oracle_x5",
+            cdat_bench::kernel_and_chain(96),
+        ),
+        (
+            "kernel_wide_or_f128_x5",
+            "kernel_wide_or_f128_oracle_x5",
+            cdat_bench::kernel_wide_or(128),
+        ),
+        (
+            "kernel_or_product_2x48_x5",
+            "kernel_or_product_2x48_oracle_x5",
+            cdat_bench::kernel_or_product(48),
+        ),
+    ] {
+        let (_, t) = timed(|| {
+            for _ in 0..5 {
+                black_box(cdat_bottomup::cdpf(black_box(&cd)).expect("treelike"));
+            }
+        });
+        scenarios.push((name, t.as_secs_f64()));
+        let (_, t) = timed(|| {
+            for _ in 0..5 {
+                black_box(
+                    cdat_bottomup::ablation::cdpf_sorted_oracle(black_box(&cd)).expect("treelike"),
+                );
+            }
+        });
+        scenarios.push((oracle_name, t.as_secs_f64()));
+    }
+
     // Batch-engine scenarios over the shared reference workload (the same
     // one the `engine_batch` criterion bench measures).
     let requests = cdat_bench::engine_batch_requests();

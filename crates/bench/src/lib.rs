@@ -161,6 +161,57 @@ pub fn server_route_requests() -> Vec<cdat_server::RouteRequest> {
         .collect()
 }
 
+/// A deep AND chain: `depth` stacked binary AND gates, each adding one BAS,
+/// with the Fig.-7 random attributes (fixed seed). Every gate re-combines
+/// the whole accumulated front, so the bottom-up runtime is dominated by the
+/// gate-combine kernel — the `kernel_combine` bench and the
+/// `kernel_*` bench-json scenarios run the merge kernels and the sort-based
+/// oracle over these trees.
+pub fn kernel_and_chain(depth: usize) -> CdAttackTree {
+    use cdat_core::AttackTreeBuilder;
+    use rand::prelude::*;
+    let mut b = AttackTreeBuilder::new();
+    let mut acc = b.bas("b0");
+    for i in 1..=depth {
+        let leaf = b.bas(&format!("b{i}"));
+        acc = b.and(&format!("g{i}"), [acc, leaf]);
+    }
+    let tree = b.build().expect("chain is a valid treelike AT");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xAD);
+    cdat_gen::decorate(tree, &mut rng)
+}
+
+/// A single wide OR gate over `fanout` BASs: the n-ary fold re-combines a
+/// front that grows with every child, the worst case for the per-gate
+/// accumulator.
+pub fn kernel_wide_or(fanout: usize) -> CdAttackTree {
+    use cdat_core::AttackTreeBuilder;
+    use rand::prelude::*;
+    let mut b = AttackTreeBuilder::new();
+    let leaves: Vec<_> = (0..fanout).map(|i| b.bas(&format!("b{i}"))).collect();
+    b.or("root", leaves);
+    let tree = b.build().expect("wide OR is a valid treelike AT");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0A);
+    cdat_gen::decorate(tree, &mut rng)
+}
+
+/// An AND of two wide ORs (`fanout` BASs each): both children build large
+/// fronts, and the root multiplies them — the "large mixed fronts" product
+/// where merge-vs-materialize matters most.
+pub fn kernel_or_product(fanout: usize) -> CdAttackTree {
+    use cdat_core::AttackTreeBuilder;
+    use rand::prelude::*;
+    let mut b = AttackTreeBuilder::new();
+    let left: Vec<_> = (0..fanout).map(|i| b.bas(&format!("l{i}"))).collect();
+    let right: Vec<_> = (0..fanout).map(|i| b.bas(&format!("r{i}"))).collect();
+    let l = b.or("left", left);
+    let r = b.or("right", right);
+    b.and("root", [l, r]);
+    let tree = b.build().expect("OR product is a valid treelike AT");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xF0);
+    cdat_gen::decorate(tree, &mut rng)
+}
+
 /// Runs one deterministic CDPF with the given method; `None` when the method
 /// does not apply to the tree shape or size.
 pub fn run_det(method: Method, cd: &CdAttackTree) -> Option<(ParetoFront, Duration)> {

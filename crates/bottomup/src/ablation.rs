@@ -3,10 +3,276 @@
 //!
 //! These are **not** part of the supported analysis API. They exist so the
 //! benchmark suite (and curious readers) can measure and observe the design
-//! decisions called out in DESIGN.md.
+//! decisions called out in DESIGN.md. Three families live here:
+//!
+//! * the **sort-based oracle** (`*_sorted_oracle_*`): the pre-kernel gate
+//!   evaluation that materializes every gate's Cartesian product and
+//!   re-sorts, kept as the differential reference for the merge-based
+//!   staircase kernels (and as the baseline the `kernel_combine` bench
+//!   measures the kernels against);
+//! * the unsound **two-dimensional** bottom-up, which drops the activation
+//!   coordinate (the paper's Example 4 failure);
+//! * the fully **enumerative** reference.
 
-use cdat_core::{Attack, CdAttackTree, NodeType, NotTreelike};
-use cdat_pareto::{CostDamage, ParetoFront};
+use cdat_core::{Attack, AttackTree, CdAttackTree, CdpAttackTree, NodeType, NotTreelike};
+use cdat_pareto::{prune, Activation, CostDamage, FrontEntry, ParetoFront, Prob, Triple};
+
+use crate::recursion::{self, Entry};
+use crate::solver::{det_leaf, prob_leaf};
+
+/// The pre-kernel gate evaluation, retained verbatim as a **differential
+/// oracle** for the merge-based staircase kernels: it materializes the full
+/// `|acc|·|child|` Cartesian product at every gate (witness unions included,
+/// even for pairs that are then discarded) and re-establishes the staircase
+/// invariant from scratch with [`prune`]'s comparison sort.
+///
+/// The kernels are constructed to be point-for-point identical to this path
+/// — including which witness wins on duplicate triples — which the seeded
+/// differential tests in `tests/kernel_differential.rs` exercise end-to-end.
+fn node_fronts_sorted<A, F>(
+    tree: &AttackTree,
+    damages: &[f64],
+    leaf: F,
+    budget: Option<f64>,
+    witnesses: bool,
+) -> Result<Vec<Vec<Entry<A>>>, NotTreelike>
+where
+    A: Activation,
+    F: Fn(cdat_core::BasId) -> Triple<A>,
+{
+    if !tree.is_treelike() {
+        return Err(NotTreelike);
+    }
+    assert_eq!(damages.len(), tree.node_count(), "damage table must be indexed by node id");
+    let n_bas = tree.bas_count();
+    let mut fronts: Vec<Vec<Entry<A>>> = Vec::with_capacity(tree.node_count());
+    for v in tree.node_ids() {
+        let front = match tree.node_type(v) {
+            NodeType::Bas => {
+                let b = tree.bas_of_node(v).expect("leaf has a BAS id");
+                let mut entries: Vec<Entry<A>> =
+                    vec![(Triple::zero(), witnesses.then(|| Attack::empty(n_bas)))];
+                let active = leaf(b);
+                if budget.is_none_or(|u| active.cost <= u) {
+                    entries.push((active, witnesses.then(|| Attack::from_bas_ids(n_bas, [b]))));
+                }
+                prune(entries, budget)
+            }
+            gate @ (NodeType::Or | NodeType::And) => {
+                let mut kids = tree.children(v).iter();
+                let first = kids.next().expect("gates have at least one child");
+                let mut acc = fronts[first.index()].clone();
+                for c in kids {
+                    let cf = &fronts[c.index()];
+                    let mut combined: Vec<Entry<A>> = Vec::with_capacity(acc.len() * cf.len());
+                    for (t1, w1) in &acc {
+                        for (t2, w2) in cf {
+                            let t = match gate {
+                                NodeType::Or => t1.combine_or(t2),
+                                NodeType::And => t1.combine_and(t2),
+                                NodeType::Bas => unreachable!(),
+                            };
+                            if budget.is_some_and(|u| t.cost > u) {
+                                continue;
+                            }
+                            let w = match (w1, w2) {
+                                (Some(a), Some(b)) => Some(a.union(b)),
+                                _ => None,
+                            };
+                            combined.push((t, w));
+                        }
+                    }
+                    acc = prune(combined, budget);
+                }
+                let dv = damages[v.index()];
+                let settled: Vec<Entry<A>> =
+                    acc.into_iter().map(|(t, w)| (t.settle(dv), w)).collect();
+                prune(settled, budget)
+            }
+        };
+        fronts.push(front);
+    }
+    Ok(fronts)
+}
+
+/// The root-front flavor of the sort-based oracle: identical gate math to
+/// [`node_fronts_sorted`], but child fronts are *consumed* (`take`, no
+/// clone of the first child) exactly like the pre-kernel `root_front` it
+/// preserves — so benchmarking the kernels against this path measures the
+/// combine step, not an artificial cloning handicap.
+fn root_front_sorted<A, F>(
+    tree: &AttackTree,
+    damages: &[f64],
+    leaf: F,
+    budget: Option<f64>,
+    witnesses: bool,
+) -> Result<Vec<Entry<A>>, NotTreelike>
+where
+    A: Activation,
+    F: Fn(cdat_core::BasId) -> Triple<A>,
+{
+    if !tree.is_treelike() {
+        return Err(NotTreelike);
+    }
+    assert_eq!(damages.len(), tree.node_count(), "damage table must be indexed by node id");
+    let n_bas = tree.bas_count();
+    let mut fronts: Vec<Option<Vec<Entry<A>>>> = vec![None; tree.node_count()];
+    for v in tree.node_ids() {
+        let front = match tree.node_type(v) {
+            NodeType::Bas => {
+                let b = tree.bas_of_node(v).expect("leaf has a BAS id");
+                let mut entries: Vec<Entry<A>> =
+                    vec![(Triple::zero(), witnesses.then(|| Attack::empty(n_bas)))];
+                let active = leaf(b);
+                if budget.is_none_or(|u| active.cost <= u) {
+                    entries.push((active, witnesses.then(|| Attack::from_bas_ids(n_bas, [b]))));
+                }
+                prune(entries, budget)
+            }
+            gate @ (NodeType::Or | NodeType::And) => {
+                let mut kids = tree.children(v).iter();
+                let first = kids.next().expect("gates have at least one child");
+                let mut acc = fronts[first.index()].take().expect("children precede parents");
+                for c in kids {
+                    let cf = fronts[c.index()].take().expect("children precede parents");
+                    let mut combined: Vec<Entry<A>> = Vec::with_capacity(acc.len() * cf.len());
+                    for (t1, w1) in &acc {
+                        for (t2, w2) in &cf {
+                            let t = match gate {
+                                NodeType::Or => t1.combine_or(t2),
+                                NodeType::And => t1.combine_and(t2),
+                                NodeType::Bas => unreachable!(),
+                            };
+                            if budget.is_some_and(|u| t.cost > u) {
+                                continue;
+                            }
+                            let w = match (w1, w2) {
+                                (Some(a), Some(b)) => Some(a.union(b)),
+                                _ => None,
+                            };
+                            combined.push((t, w));
+                        }
+                    }
+                    acc = prune(combined, budget);
+                }
+                let dv = damages[v.index()];
+                let settled: Vec<Entry<A>> =
+                    acc.into_iter().map(|(t, w)| (t.settle(dv), w)).collect();
+                prune(settled, budget)
+            }
+        };
+        fronts[v.index()] = Some(front);
+    }
+    Ok(fronts[tree.root().index()].take().expect("root front computed"))
+}
+
+/// Per-node deterministic fronts via the sort-based oracle (the pre-kernel
+/// bottom-up), for differential comparison against
+/// [`BottomUp::node_fronts`](crate::BottomUp::node_fronts).
+///
+/// # Errors
+///
+/// Returns [`NotTreelike`] for DAG-like trees.
+pub fn node_entries_sorted_oracle_det(
+    cd: &CdAttackTree,
+    budget: Option<f64>,
+    witnesses: bool,
+) -> Result<Vec<Vec<Entry<bool>>>, NotTreelike> {
+    node_fronts_sorted(cd.tree(), cd.damages(), det_leaf(cd), budget, witnesses)
+}
+
+/// Per-node probabilistic fronts via the sort-based oracle.
+///
+/// # Errors
+///
+/// Returns [`NotTreelike`] for DAG-like trees.
+pub fn node_entries_sorted_oracle_prob(
+    cdp: &CdpAttackTree,
+    budget: Option<f64>,
+    witnesses: bool,
+) -> Result<Vec<Vec<Entry<Prob>>>, NotTreelike> {
+    node_fronts_sorted(cdp.tree(), cdp.cd().damages(), prob_leaf(cdp), budget, witnesses)
+}
+
+/// Deterministic root entries via the sort-based oracle.
+///
+/// # Errors
+///
+/// Returns [`NotTreelike`] for DAG-like trees.
+pub fn root_entries_sorted_oracle_det(
+    cd: &CdAttackTree,
+    budget: Option<f64>,
+    witnesses: bool,
+) -> Result<Vec<Entry<bool>>, NotTreelike> {
+    root_front_sorted(cd.tree(), cd.damages(), det_leaf(cd), budget, witnesses)
+}
+
+/// Probabilistic root entries via the sort-based oracle.
+///
+/// # Errors
+///
+/// Returns [`NotTreelike`] for DAG-like trees.
+pub fn root_entries_sorted_oracle_prob(
+    cdp: &CdpAttackTree,
+    budget: Option<f64>,
+    witnesses: bool,
+) -> Result<Vec<Entry<Prob>>, NotTreelike> {
+    root_front_sorted(cdp.tree(), cdp.cd().damages(), prob_leaf(cdp), budget, witnesses)
+}
+
+/// Deterministic root entries via the production merge kernels — the exact
+/// counterpart of [`root_entries_sorted_oracle_det`], exposed so tests and
+/// benches can diff the two paths entry-for-entry (witnesses included).
+///
+/// # Errors
+///
+/// Returns [`NotTreelike`] for DAG-like trees.
+pub fn root_entries_kernel_det(
+    cd: &CdAttackTree,
+    budget: Option<f64>,
+    witnesses: bool,
+) -> Result<Vec<Entry<bool>>, NotTreelike> {
+    recursion::root_front(cd.tree(), cd.damages(), det_leaf(cd), budget, witnesses)
+}
+
+/// Probabilistic root entries via the production merge kernels.
+///
+/// # Errors
+///
+/// Returns [`NotTreelike`] for DAG-like trees.
+pub fn root_entries_kernel_prob(
+    cdp: &CdpAttackTree,
+    budget: Option<f64>,
+    witnesses: bool,
+) -> Result<Vec<Entry<Prob>>, NotTreelike> {
+    recursion::root_front(cdp.tree(), cdp.cd().damages(), prob_leaf(cdp), budget, witnesses)
+}
+
+/// CDPF through the sort-based oracle: the projected root front of
+/// [`root_entries_sorted_oracle_det`], for benchmarking the merge kernels
+/// against the path they replaced.
+///
+/// # Errors
+///
+/// Returns [`NotTreelike`] for DAG-like trees.
+pub fn cdpf_sorted_oracle(cd: &CdAttackTree) -> Result<ParetoFront, NotTreelike> {
+    let front = root_entries_sorted_oracle_det(cd, None, true)?;
+    Ok(ParetoFront::from_entries(
+        front.into_iter().map(|(t, w)| FrontEntry { point: t.project(), witness: w }),
+    ))
+}
+
+/// CEDPF through the sort-based oracle.
+///
+/// # Errors
+///
+/// Returns [`NotTreelike`] for DAG-like trees.
+pub fn cedpf_sorted_oracle(cdp: &CdpAttackTree) -> Result<ParetoFront, NotTreelike> {
+    let front = root_entries_sorted_oracle_prob(cdp, None, true)?;
+    Ok(ParetoFront::from_entries(
+        front.into_iter().map(|(t, w)| FrontEntry { point: t.project(), witness: w }),
+    ))
+}
 
 /// The naive two-dimensional bottom-up: propagate `(cost, damage)` pairs only
 /// and Pareto-prune them at every node, **without** the activation
@@ -70,12 +336,7 @@ pub fn cdpf_without_activation_dimension(cd: &CdAttackTree) -> Result<ParetoFron
 
 /// 2-D Pareto minimization that deliberately ignores the activation flag.
 fn prune_2d(mut pairs: Vec<(f64, f64, bool)>) -> Vec<(f64, f64, bool)> {
-    pairs.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .expect("no NaN")
-            .then(b.1.partial_cmp(&a.1).expect("no NaN"))
-            .then(b.2.cmp(&a.2))
-    });
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.total_cmp(&a.1)).then(b.2.cmp(&a.2)));
     let mut kept: Vec<(f64, f64, bool)> = Vec::new();
     for p in pairs {
         match kept.last() {
@@ -151,5 +412,30 @@ mod tests {
     fn enumerative_reference_agrees_with_bottom_up() {
         let cd = factory_cd();
         assert!(cdpf(&cd).unwrap().approx_eq(&cdpf_enumerative_reference(&cd), 1e-12));
+    }
+
+    #[test]
+    fn sorted_oracle_matches_the_kernels_on_the_factory() {
+        let cd = factory_cd();
+        for budget in [None, Some(0.0), Some(2.5), Some(5.0), Some(-1.0)] {
+            for witnesses in [true, false] {
+                let kernel = root_entries_kernel_det(&cd, budget, witnesses).unwrap();
+                let oracle = root_entries_sorted_oracle_det(&cd, budget, witnesses).unwrap();
+                assert_eq!(kernel, oracle, "budget {budget:?}, witnesses {witnesses}");
+            }
+        }
+        assert_eq!(cdpf_sorted_oracle(&cd).unwrap(), cdpf(&cd).unwrap());
+    }
+
+    #[test]
+    fn sorted_oracle_rejects_dags() {
+        let mut b = cdat_core::AttackTreeBuilder::new();
+        let x = b.bas("x");
+        let g1 = b.or("g1", [x]);
+        let g2 = b.or("g2", [x]);
+        let _r = b.and("r", [g1, g2]);
+        let cd = CdAttackTree::builder(b.build().unwrap()).finish().unwrap();
+        assert_eq!(root_entries_sorted_oracle_det(&cd, None, true).unwrap_err(), NotTreelike);
+        assert_eq!(cdpf_sorted_oracle(&cd).unwrap_err(), NotTreelike);
     }
 }

@@ -1,11 +1,54 @@
 //! The generic bottom-up recursion over the extended attribute domain.
+//!
+//! Gate evaluation runs on the merge-based staircase kernels of
+//! `cdat-pareto`: child fronts stay in staircase form end-to-end, the
+//! `△`/`▽` product is a heap k-way merge with on-the-fly dominance pruning
+//! (witness unions are built for survivors only), and one [`GateScratch`]
+//! per pass recycles all intermediate buffers, so a gate allocates only for
+//! the front it actually keeps. The pre-kernel materialize-and-sort path is
+//! retained in [`crate::ablation`] as a differential oracle; both produce
+//! point-for-point identical fronts, witnesses included.
 
 use cdat_core::{Attack, AttackTree, NodeType, NotTreelike};
-use cdat_pareto::{prune, Activation, Triple};
+use cdat_pareto::{Activation, GateScratch, Staircase, Triple};
 
 /// One candidate attack at a node: its attribute triple plus (optionally) a
 /// witness attack realizing the triple.
 pub(crate) type Entry<A> = (Triple<A>, Option<Attack>);
+
+/// A per-node front in kernel form.
+type Front<A> = Staircase<A, Option<Attack>>;
+
+/// Witness combination for a product entry: the union of the two child
+/// attacks (or `None` when witness tracking is off).
+fn join_witnesses(a: &Option<Attack>, b: &Option<Attack>) -> Option<Attack> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.union(b)),
+        _ => None,
+    }
+}
+
+/// The front of a BAS node: the inactive zero triple plus (budget
+/// permitting) the activating triple.
+fn leaf_front<A: Activation>(
+    tree: &AttackTree,
+    v: cdat_core::NodeId,
+    leaf: &impl Fn(cdat_core::BasId) -> Triple<A>,
+    budget: Option<f64>,
+    witnesses: bool,
+) -> Front<A> {
+    let n_bas = tree.bas_count();
+    let b = tree.bas_of_node(v).expect("leaf has a BAS id");
+    let mut entries: Vec<Entry<A>> = Vec::with_capacity(2);
+    entries.push((Triple::zero(), witnesses.then(|| Attack::empty(n_bas))));
+    let active = leaf(b);
+    if budget.is_none_or(|u| active.cost <= u) {
+        entries.push((active, witnesses.then(|| Attack::from_bas_ids(n_bas, [b]))));
+    }
+    // A BAS with zero cost and zero damage yields two identical triples;
+    // minimization collapses them.
+    Staircase::minimized(entries, budget)
+}
 
 /// Computes the Pareto fronts `C_U(v)` of attribute triples at **every**
 /// node, for a treelike tree (the per-node sets of the paper's Example 5).
@@ -27,55 +70,49 @@ where
         return Err(NotTreelike);
     }
     assert_eq!(damages.len(), tree.node_count(), "damage table must be indexed by node id");
-    let n_bas = tree.bas_count();
-    let mut fronts: Vec<Vec<Entry<A>>> = Vec::with_capacity(tree.node_count());
+    let mut scratch: GateScratch<A, Option<Attack>> = GateScratch::new();
+    let mut fronts: Vec<Front<A>> = Vec::with_capacity(tree.node_count());
     for v in tree.node_ids() {
         let front = match tree.node_type(v) {
-            NodeType::Bas => {
-                let b = tree.bas_of_node(v).expect("leaf has a BAS id");
-                let mut entries: Vec<Entry<A>> =
-                    vec![(Triple::zero(), witnesses.then(|| Attack::empty(n_bas)))];
-                let active = leaf(b);
-                if budget.is_none_or(|u| active.cost <= u) {
-                    entries.push((active, witnesses.then(|| Attack::from_bas_ids(n_bas, [b]))));
-                }
-                prune(entries, budget)
-            }
+            NodeType::Bas => leaf_front(tree, v, &leaf, budget, witnesses),
             gate @ (NodeType::Or | NodeType::And) => {
-                let mut kids = tree.children(v).iter();
-                let first = kids.next().expect("gates have at least one child");
-                let mut acc = fronts[first.index()].clone();
-                for c in kids {
-                    let cf = &fronts[c.index()];
-                    let mut combined: Vec<Entry<A>> = Vec::with_capacity(acc.len() * cf.len());
-                    for (t1, w1) in &acc {
-                        for (t2, w2) in cf {
-                            let t = match gate {
-                                NodeType::Or => t1.combine_or(t2),
-                                NodeType::And => t1.combine_and(t2),
-                                NodeType::Bas => unreachable!(),
-                            };
-                            if budget.is_some_and(|u| t.cost > u) {
-                                continue;
-                            }
-                            let w = match (w1, w2) {
-                                (Some(a), Some(b)) => Some(a.union(b)),
-                                _ => None,
-                            };
-                            combined.push((t, w));
-                        }
-                    }
-                    acc = prune(combined, budget);
-                }
+                let or_gate = matches!(gate, NodeType::Or);
+                let kids = tree.children(v);
                 let dv = damages[v.index()];
-                let settled: Vec<Entry<A>> =
-                    acc.into_iter().map(|(t, w)| (t.settle(dv), w)).collect();
-                prune(settled, budget)
+                if let [only] = kids {
+                    // Single-child gate: the product degenerates to the
+                    // child front; settle it without consuming the child.
+                    scratch.settle_cloned(&fronts[only.index()], dv)
+                } else {
+                    let mut acc = scratch.combine(
+                        or_gate,
+                        &fronts[kids[0].index()],
+                        &fronts[kids[1].index()],
+                        budget,
+                        join_witnesses,
+                    );
+                    for c in &kids[2..] {
+                        // Pruning between folds is sound: the gate operators
+                        // and the later damage increment are monotone in
+                        // every coordinate, so dominated partial
+                        // combinations stay dominated.
+                        let next = scratch.combine(
+                            or_gate,
+                            &acc,
+                            &fronts[c.index()],
+                            budget,
+                            join_witnesses,
+                        );
+                        scratch.recycle(acc);
+                        acc = next;
+                    }
+                    scratch.settle(acc, dv)
+                }
             }
         };
         fronts.push(front);
     }
-    Ok(fronts)
+    Ok(fronts.into_iter().map(Staircase::into_entries).collect())
 }
 
 /// Computes the Pareto front of attribute triples at the **root**,
@@ -109,63 +146,31 @@ where
         assert!(!u.is_nan(), "cost budget must not be NaN");
     }
 
-    let n_bas = tree.bas_count();
-    let mut fronts: Vec<Option<Vec<Entry<A>>>> = vec![None; tree.node_count()];
+    let mut scratch: GateScratch<A, Option<Attack>> = GateScratch::new();
+    let mut fronts: Vec<Option<Front<A>>> = vec![None; tree.node_count()];
 
     for v in tree.node_ids() {
         let front = match tree.node_type(v) {
-            NodeType::Bas => {
-                let b = tree.bas_of_node(v).expect("leaf has a BAS id");
-                let mut entries: Vec<Entry<A>> = Vec::with_capacity(2);
-                entries.push((Triple::zero(), witnesses.then(|| Attack::empty(n_bas))));
-                let active = leaf(b);
-                if budget.is_none_or(|u| active.cost <= u) {
-                    entries.push((active, witnesses.then(|| Attack::from_bas_ids(n_bas, [b]))));
-                }
-                // A BAS with zero cost and zero damage yields two identical
-                // triples; prune collapses them.
-                prune(entries, budget)
-            }
+            NodeType::Bas => leaf_front(tree, v, &leaf, budget, witnesses),
             gate @ (NodeType::Or | NodeType::And) => {
-                let mut kids = tree.children(v).iter();
-                let first = kids.next().expect("gates have at least one child");
-                let mut acc = fronts[first.index()].take().expect("children precede parents");
-                for c in kids {
-                    let cf = fronts[c.index()].take().expect("children precede parents");
-                    let mut combined: Vec<Entry<A>> = Vec::with_capacity(acc.len() * cf.len());
-                    for (t1, w1) in &acc {
-                        for (t2, w2) in &cf {
-                            let t = match gate {
-                                NodeType::Or => t1.combine_or(t2),
-                                NodeType::And => t1.combine_and(t2),
-                                NodeType::Bas => unreachable!(),
-                            };
-                            if budget.is_some_and(|u| t.cost > u) {
-                                continue;
-                            }
-                            let w = match (w1, w2) {
-                                (Some(a), Some(b)) => Some(a.union(b)),
-                                _ => None,
-                            };
-                            combined.push((t, w));
-                        }
-                    }
-                    // Pruning between folds is sound: the gate operators and
-                    // the later damage increment are monotone in every
-                    // coordinate, so dominated partial combinations stay
-                    // dominated.
-                    acc = prune(combined, budget);
-                }
+                let or_gate = matches!(gate, NodeType::Or);
+                let kids = tree.children(v);
                 let dv = damages[v.index()];
-                let settled: Vec<Entry<A>> =
-                    acc.into_iter().map(|(t, w)| (t.settle(dv), w)).collect();
-                prune(settled, budget)
+                let mut acc = fronts[kids[0].index()].take().expect("children precede parents");
+                for c in &kids[1..] {
+                    let cf = fronts[c.index()].take().expect("children precede parents");
+                    let next = scratch.combine(or_gate, &acc, &cf, budget, join_witnesses);
+                    scratch.recycle(acc);
+                    scratch.recycle(cf);
+                    acc = next;
+                }
+                scratch.settle(acc, dv)
             }
         };
         fronts[v.index()] = Some(front);
     }
 
-    Ok(fronts[tree.root().index()].take().expect("root front computed"))
+    Ok(fronts[tree.root().index()].take().expect("root front computed").into_entries())
 }
 
 #[cfg(test)]
@@ -198,7 +203,7 @@ mod tests {
         // root triples are the four below (their projection is equation (3)).
         let mut got: Vec<(f64, f64, bool)> =
             front.iter().map(|(t, _)| (t.cost, t.damage, t.act)).collect();
-        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        got.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)).then(a.2.cmp(&b.2)));
         assert_eq!(
             got,
             vec![(0.0, 0.0, false), (1.0, 200.0, true), (3.0, 210.0, true), (5.0, 310.0, true),]
@@ -281,5 +286,38 @@ mod tests {
         )
         .unwrap();
         assert!(front.iter().all(|(_, w)| w.is_none()));
+    }
+
+    #[test]
+    fn single_child_gate_chains_settle_their_damages() {
+        // x under two nested single-child ORs, each adding damage.
+        let mut b = AttackTreeBuilder::new();
+        let x = b.bas("x");
+        let g1 = b.or("g1", [x]);
+        let _g2 = b.or("g2", [g1]);
+        let tree = b.build().unwrap();
+        let damages = [5.0, 10.0, 100.0];
+        let front = root_front::<bool, _>(
+            &tree,
+            &damages,
+            |_| Triple { cost: 2.0, damage: 5.0, act: true },
+            None,
+            true,
+        )
+        .unwrap();
+        let mut got: Vec<(f64, f64, bool)> =
+            front.iter().map(|(t, _)| (t.cost, t.damage, t.act)).collect();
+        got.sort_by(|a, b| a.0.total_cmp(&b.0));
+        assert_eq!(got, vec![(0.0, 0.0, false), (2.0, 115.0, true)]);
+        // The retained-front variant agrees on every node.
+        let all = node_fronts::<bool, _>(
+            &tree,
+            &damages,
+            |_| Triple { cost: 2.0, damage: 5.0, act: true },
+            None,
+            true,
+        )
+        .unwrap();
+        assert_eq!(all[tree.root().index()], front);
     }
 }

@@ -73,13 +73,7 @@ impl BottomUp {
         budget: Option<f64>,
     ) -> Result<Vec<Entry<bool>>, NotTreelike> {
         let budget = if self.budget_pruning { budget } else { None };
-        root_front::<bool, _>(
-            cd.tree(),
-            cd.damages(),
-            |b| Triple { cost: cd.cost(b), damage: cd.damage(cd.tree().node_of_bas(b)), act: true },
-            budget,
-            self.witnesses,
-        )
+        root_front::<bool, _>(cd.tree(), cd.damages(), det_leaf(cd), budget, self.witnesses)
     }
 
     fn prob_front(
@@ -91,14 +85,7 @@ impl BottomUp {
         root_front::<Prob, _>(
             cdp.tree(),
             cdp.cd().damages(),
-            |b| {
-                let p = cdp.prob(b);
-                Triple {
-                    cost: cdp.cd().cost(b),
-                    damage: p * cdp.cd().damage(cdp.tree().node_of_bas(b)),
-                    act: Prob::new(p),
-                }
-            },
+            prob_leaf(cdp),
             budget,
             self.witnesses,
         )
@@ -199,13 +186,7 @@ impl BottomUp {
         budget: Option<f64>,
     ) -> Result<NodeFronts, NotTreelike> {
         let budget = if self.budget_pruning { budget } else { None };
-        node_fronts::<bool, _>(
-            cd.tree(),
-            cd.damages(),
-            |b| Triple { cost: cd.cost(b), damage: cd.damage(cd.tree().node_of_bas(b)), act: true },
-            budget,
-            self.witnesses,
-        )
+        node_fronts::<bool, _>(cd.tree(), cd.damages(), det_leaf(cd), budget, self.witnesses)
     }
 
     /// The per-node probabilistic fronts `C_U(v)` with
@@ -223,17 +204,28 @@ impl BottomUp {
         node_fronts::<Prob, _>(
             cdp.tree(),
             cdp.cd().damages(),
-            |b| {
-                let p = cdp.prob(b);
-                Triple {
-                    cost: cdp.cd().cost(b),
-                    damage: p * cdp.cd().damage(cdp.tree().node_of_bas(b)),
-                    act: Prob::new(p),
-                }
-            },
+            prob_leaf(cdp),
             budget,
             self.witnesses,
         )
+    }
+}
+
+/// The activating leaf triple of a deterministic cd-AT, shared by the solver
+/// and the differential oracle in [`crate::ablation`].
+pub(crate) fn det_leaf(cd: &CdAttackTree) -> impl Fn(cdat_core::BasId) -> Triple<bool> + '_ {
+    |b| Triple { cost: cd.cost(b), damage: cd.damage(cd.tree().node_of_bas(b)), act: true }
+}
+
+/// The activating leaf triple of a probabilistic cdp-AT.
+pub(crate) fn prob_leaf(cdp: &CdpAttackTree) -> impl Fn(cdat_core::BasId) -> Triple<Prob> + '_ {
+    |b| {
+        let p = cdp.prob(b);
+        Triple {
+            cost: cdp.cd().cost(b),
+            damage: p * cdp.cd().damage(cdp.tree().node_of_bas(b)),
+            act: Prob::new(p),
+        }
     }
 }
 
@@ -525,7 +517,7 @@ mod tests {
             let v = cd.tree().find(name).unwrap();
             let mut set: Vec<(f64, f64, bool)> =
                 fronts[v.index()].iter().map(|(t, _)| (t.cost, t.damage, t.act)).collect();
-            set.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            set.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)).then(a.2.cmp(&b.2)));
             set
         };
         // Example 3: the BAS fronts.

@@ -28,6 +28,24 @@ impl FrontEntry {
     }
 }
 
+/// The minimization sweep order: cost ascending, then damage descending
+/// (NaN-safe via [`f64::total_cmp`]).
+fn cmp_sweep(a: &FrontEntry, b: &FrontEntry) -> std::cmp::Ordering {
+    a.point.cost.total_cmp(&b.point.cost).then_with(|| b.point.damage.total_cmp(&a.point.damage))
+}
+
+/// The minimization sweep step shared by [`ParetoFront::from_entries`] and
+/// [`ParetoFront::merge`]: whether `e` — the next entry in [`cmp_sweep`]
+/// order — survives against the entries kept so far (not a duplicate, not
+/// dominated by the last kept entry).
+fn sweep_admits(kept: &[FrontEntry], e: &FrontEntry) -> bool {
+    match kept.last() {
+        Some(last) if last.point == e.point => false,
+        Some(last) if last.point.damage >= e.point.damage => false,
+        _ => true,
+    }
+}
+
 /// A cost-damage Pareto front: the ⊑-minimal attainable `(cost, damage)`
 /// points, sorted by strictly increasing cost (equivalently, strictly
 /// increasing damage).
@@ -51,20 +69,16 @@ impl ParetoFront {
     {
         let mut entries: Vec<FrontEntry> = entries.into_iter().collect();
         // Sort by cost ascending, damage descending: a later entry can then
-        // never dominate a kept earlier one (except exact duplicates).
-        entries.sort_by(|a, b| {
-            a.point
-                .cost
-                .partial_cmp(&b.point.cost)
-                .expect("costs are not NaN")
-                .then(b.point.damage.partial_cmp(&a.point.damage).expect("damages are not NaN"))
-        });
+        // never dominate a kept earlier one (except exact duplicates). The
+        // bottom-up solvers hand over fronts already in this order (the
+        // staircase kernels maintain it), so check before paying for a sort.
+        if !entries.is_sorted_by(|a, b| cmp_sweep(a, b) != std::cmp::Ordering::Greater) {
+            entries.sort_by(cmp_sweep);
+        }
         let mut kept: Vec<FrontEntry> = Vec::new();
         for e in entries {
-            match kept.last() {
-                Some(last) if last.point == e.point => continue,
-                Some(last) if last.point.damage >= e.point.damage => continue,
-                _ => kept.push(e),
+            if sweep_admits(&kept, &e) {
+                kept.push(e);
             }
         }
         ParetoFront { entries: kept }
@@ -119,8 +133,33 @@ impl ParetoFront {
     }
 
     /// Merges two fronts into the front of the union of their points.
+    ///
+    /// Both inputs are already sorted by strictly increasing cost, so this
+    /// is a linear two-pointer merge (ties keep `self`'s entry, matching
+    /// [`from_entries`](Self::from_entries) over the chained inputs) — no
+    /// re-sort of the union.
     pub fn merge(&self, other: &ParetoFront) -> ParetoFront {
-        ParetoFront::from_entries(self.entries.iter().chain(&other.entries).cloned())
+        let (a, b) = (&self.entries, &other.entries);
+        let mut kept: Vec<FrontEntry> = Vec::with_capacity(a.len().max(b.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            let take_a = match (a.get(i), b.get(j)) {
+                (Some(x), Some(y)) => cmp_sweep(x, y) != std::cmp::Ordering::Greater,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            let e = if take_a {
+                i += 1;
+                &a[i - 1]
+            } else {
+                j += 1;
+                &b[j - 1]
+            };
+            if sweep_admits(&kept, e) {
+                kept.push(e.clone());
+            }
+        }
+        ParetoFront { entries: kept }
     }
 
     /// Whether no entry strictly dominates another (always true for fronts
@@ -299,6 +338,27 @@ mod tests {
     fn display_lists_points_in_cost_order() {
         let front = example_2_front();
         assert_eq!(front.to_string(), "{(0, 0), (1, 200), (3, 210), (5, 310)}");
+    }
+
+    #[test]
+    fn merge_matches_rebuilding_from_the_chained_entries() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(31);
+        for case in 0..300 {
+            let mk = |rng: &mut StdRng| {
+                let n = rng.gen_range(0..15);
+                ParetoFront::from_points((0..n).map(|_| {
+                    CostDamage::new(rng.gen_range(0..10) as f64, rng.gen_range(0..10) as f64)
+                }))
+            };
+            let a = mk(&mut rng);
+            let b = mk(&mut rng);
+            let linear = a.merge(&b);
+            let resorted =
+                ParetoFront::from_entries(a.entries().iter().chain(b.entries()).cloned());
+            assert_eq!(linear, resorted, "case {case}: {a} ∪ {b}");
+            assert!(linear.is_antichain());
+        }
     }
 
     #[test]

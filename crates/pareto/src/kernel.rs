@@ -1,0 +1,678 @@
+//! Merge-based staircase kernels: the bottom-up hot path.
+//!
+//! The bottom-up recursion spends essentially all of its time combining the
+//! Pareto fronts of a gate's children. The original implementation (retained
+//! as a differential oracle in `cdat-bottomup::ablation`) materialized the
+//! full `O(|acc|·|child|)` Cartesian product into a fresh `Vec` and then
+//! *re-derived* the staircase invariant with a comparison sort at every gate.
+//! The kernels in this module *maintain* the invariant instead:
+//!
+//! * [`Staircase`] is an invariant-carrying front: entries sorted by the
+//!   staircase key (cost ascending, damage descending, activation
+//!   descending), duplicates collapsed, no entry ⊑-dominated by another.
+//! * [`Staircase::union`] merges two staircases with a linear two-pointer
+//!   walk (no sort).
+//! * [`GateScratch::combine`] evaluates the `△`/`▽` Minkowski-style product
+//!   of two staircases with a binary-heap k-way merge over the product's
+//!   sorted rows. Points surface in key order, so dominated candidates are
+//!   pruned *as they appear* — and witness payloads are only built for
+//!   survivors, never for the dominated bulk of the product.
+//! * [`GateScratch::settle`] adds a node's own damage and restores the
+//!   invariant with a per-equal-cost-run resort plus one sweep (costs are
+//!   unchanged by settling, so the global cost order survives).
+//!
+//! [`GateScratch`] owns the heap, the dominance staircase, and a small pool
+//! of recycled entry buffers, so a whole bottom-up pass allocates per *kept
+//! front*, not per gate evaluation.
+//!
+//! Every kernel is point-for-point identical — including which payload wins
+//! on duplicate triples — to `prune` over the materialized equivalent: the
+//! heap tie-breaks on (row, column), which reproduces the stable sort order
+//! of the row-major product.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::activation::Activation;
+use crate::staircase::{cmp_act, cmp_key, prune, stairs_admit, stairs_dominate};
+use crate::triple::Triple;
+
+/// A Pareto front of attribute triples in staircase form, with one payload
+/// (typically a witness attack) per entry.
+///
+/// Invariant: entries are strictly increasing in the staircase key (cost
+/// ascending, then damage descending, then activation descending) and form a
+/// ⊑-antichain. Construction goes through [`Staircase::minimized`] or the
+/// kernels on [`GateScratch`], all of which maintain the invariant; there is
+/// no way to push an arbitrary entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Staircase<A, W = ()> {
+    entries: Vec<(Triple<A>, W)>,
+}
+
+impl<A: Activation, W> Default for Staircase<A, W> {
+    fn default() -> Self {
+        Staircase { entries: Vec::new() }
+    }
+}
+
+impl<A: Activation, W> Staircase<A, W> {
+    /// Builds a staircase from arbitrary entries via [`prune`] (budget
+    /// filter, sort, dominance sweep). This is the entry point for inputs
+    /// that are not already in staircase form, e.g. leaf fronts.
+    pub fn minimized(entries: Vec<(Triple<A>, W)>, budget: Option<f64>) -> Self {
+        Staircase { entries: prune(entries, budget) }
+    }
+
+    /// Wraps entries that are already in staircase form (debug-checked).
+    pub fn from_sorted(entries: Vec<(Triple<A>, W)>) -> Self {
+        debug_assert!(is_staircase(&entries), "input violates the staircase invariant");
+        Staircase { entries }
+    }
+
+    /// The entries in staircase key order.
+    pub fn entries(&self) -> &[(Triple<A>, W)] {
+        &self.entries
+    }
+
+    /// Consumes the staircase, returning its entries.
+    pub fn into_entries(self) -> Vec<(Triple<A>, W)> {
+        self.entries
+    }
+
+    /// Number of front entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the front holds no entries (only possible under a negative
+    /// cost budget, which prices out even the empty attack).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merges two staircases into the staircase of the union of their
+    /// entries with a linear two-pointer walk — no sort, no re-derivation.
+    ///
+    /// On exact duplicate triples `self`'s payload wins, matching
+    /// [`prune`] over `self` chained with `other`.
+    pub fn union(&self, other: &Self) -> Self
+    where
+        W: Clone,
+    {
+        let (a, b) = (&self.entries, &other.entries);
+        let mut out: Vec<(Triple<A>, W)> = Vec::with_capacity(a.len().max(b.len()));
+        let mut stairs: Vec<(f64, A)> = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            // Ties take `self` first, like a stable sort of the chain.
+            let take_a = match (a.get(i), b.get(j)) {
+                (Some(x), Some(y)) => cmp_key(&x.0, &y.0) != Ordering::Greater,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            let e = if take_a {
+                i += 1;
+                &a[i - 1]
+            } else {
+                j += 1;
+                &b[j - 1]
+            };
+            if out.last().is_some_and(|(k, _)| *k == e.0) {
+                continue; // duplicate triple
+            }
+            if stairs_admit(&mut stairs, &e.0) {
+                out.push(e.clone());
+            }
+        }
+        Staircase { entries: out }
+    }
+}
+
+/// Whether `entries` satisfy the staircase invariant: strictly increasing in
+/// the staircase key and pairwise ⊑-incomparable. Quadratic — meant for
+/// tests and debug assertions, not hot paths.
+pub fn is_staircase<A: Activation, W>(entries: &[(Triple<A>, W)]) -> bool {
+    entries.windows(2).all(|w| cmp_key(&w[0].0, &w[1].0) == Ordering::Less)
+        && entries.iter().enumerate().all(|(x, (a, _))| {
+            entries.iter().enumerate().all(|(y, (b, _))| x == y || !a.strictly_dominates(b))
+        })
+}
+
+/// One pending product candidate: the combined triple plus the indices of
+/// its factors, so payloads can be built lazily for survivors only.
+#[derive(Copy, Clone)]
+struct HeapItem<A> {
+    triple: Triple<A>,
+    row: usize,
+    col: usize,
+}
+
+impl<A: Activation> Ord for HeapItem<A> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `BinaryHeap` is a max-heap; reverse so the smallest key pops
+        // first. The (row, col) tie-break reproduces the stable sort order
+        // of the row-major materialized product on duplicate triples — and
+        // is independent of which side the merge streams walk, so the
+        // orientation swap below cannot change which payload survives.
+        cmp_key(&other.triple, &self.triple)
+            .then_with(|| other.row.cmp(&self.row))
+            .then_with(|| other.col.cmp(&self.col))
+    }
+}
+
+impl<A: Activation> PartialOrd for HeapItem<A> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<A: Activation> PartialEq for HeapItem<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl<A: Activation> Eq for HeapItem<A> {}
+
+/// Reusable scratch space for gate evaluation: the k-way merge heap, the
+/// dominance staircase, and a pool of recycled entry buffers.
+///
+/// One `GateScratch` serves a whole bottom-up pass; gate evaluation then
+/// allocates only for fronts that are actually kept.
+pub struct GateScratch<A, W> {
+    heap: BinaryHeap<HeapItem<A>>,
+    stairs: Vec<(f64, A)>,
+    spare: Vec<Vec<(Triple<A>, W)>>,
+}
+
+impl<A: Activation, W> Default for GateScratch<A, W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Activation, W> GateScratch<A, W> {
+    /// Fresh scratch space with no reserved capacity.
+    pub fn new() -> Self {
+        GateScratch { heap: BinaryHeap::new(), stairs: Vec::new(), spare: Vec::new() }
+    }
+
+    fn grab(&mut self) -> Vec<(Triple<A>, W)> {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    /// Returns a front's buffer to the pool for reuse by later gates.
+    pub fn recycle(&mut self, front: Staircase<A, W>) {
+        let mut buf = front.entries;
+        buf.clear();
+        // Two buffers cover the deepest fold pattern (acc + freshly combined
+        // next); when the pool is full, displace its smallest buffer so
+        // capacity accumulates instead of being dropped.
+        if self.spare.len() < 2 {
+            self.spare.push(buf);
+        } else if let Some(smallest) = self.spare.iter_mut().min_by_key(|spare| spare.capacity()) {
+            if smallest.capacity() < buf.capacity() {
+                *smallest = buf;
+            }
+        }
+    }
+
+    /// The `△` (AND) / `▽` (OR) product of two staircases under a cost
+    /// budget: every pair of entries combined with the gate operator,
+    /// budget-filtered and ⊑-minimized.
+    ///
+    /// Runs as a k-way merge: every entry of the *smaller* side spawns a
+    /// stream that walks the larger side — each stream is sorted by the
+    /// staircase key because the gate operators are monotone — and a binary
+    /// heap over the stream heads emits candidates in global key order, so
+    /// the dominance staircase prunes each candidate as it surfaces.
+    /// `payload` is called only for surviving entries — dominated candidates
+    /// never pay for a witness union.
+    ///
+    /// Orienting the streams by the smaller side keeps the heap tiny on the
+    /// dominant gate shape (a grown accumulator × a two-entry BAS front),
+    /// where the merge degenerates to a near-linear two-pointer walk. The
+    /// combined triple is always computed as `op(left, right)` and ties
+    /// always break on (left index, right index), so the result — floating-
+    /// point bits, entry order, and surviving payloads — does not depend on
+    /// the orientation.
+    pub fn combine(
+        &mut self,
+        or_gate: bool,
+        left: &Staircase<A, W>,
+        right: &Staircase<A, W>,
+        budget: Option<f64>,
+        mut payload: impl FnMut(&W, &W) -> W,
+    ) -> Staircase<A, W> {
+        let (left, right) = (&left.entries, &right.entries);
+        let mut out = self.grab();
+        let op = |a: &Triple<A>, b: &Triple<A>| {
+            if or_gate {
+                a.combine_or(b)
+            } else {
+                a.combine_and(b)
+            }
+        };
+        // `streams_left`: streams are left entries walking `right`;
+        // otherwise streams are right entries walking `left`.
+        let streams_left = left.len() <= right.len();
+        let streams = if streams_left { left.len() } else { right.len() };
+        let walk = if streams_left { right.len() } else { left.len() };
+        self.stairs.clear();
+        if streams == 0 || walk == 0 {
+            return Staircase { entries: out };
+        }
+        // (row, col) of stream `s` at walk position `p`. Within a stream the
+        // key is nondecreasing (the gate operators are monotone and the
+        // walked side is key-sorted), and the key's primary coordinate is
+        // the cost, so a stream ends at its first over-budget candidate.
+        let rc = |s: usize, p: usize| if streams_left { (s, p) } else { (p, s) };
+        // The next *viable* candidate of stream `s` at position ≥ `p`:
+        // over-budget tails end the stream, and candidates the current
+        // staircase already dominates are skipped outright — domination
+        // only grows as entries are kept, so a candidate dominated now
+        // could never be admitted at its pop turn either (nor claim a
+        // duplicate's payload: an equal triple is dominated the same way).
+        // Returns the candidate plus the position *after* it.
+        let advance = |stairs: &[(f64, A)],
+                       s: usize,
+                       mut p: usize|
+         -> Option<(Triple<A>, usize, usize, usize)> {
+            while p < walk {
+                let (row, col) = rc(s, p);
+                let t = op(&left[row].0, &right[col].0);
+                if budget.is_some_and(|u| t.cost > u) {
+                    return None;
+                }
+                if !stairs_dominate(stairs, &t) {
+                    return Some((t, row, col, p + 1));
+                }
+                p += 1;
+            }
+            None
+        };
+        let stairs = &mut self.stairs;
+        match streams {
+            // One stream: the product is a single pre-sorted row.
+            1 => {
+                let mut p = 0;
+                while let Some((t, row, col, np)) = advance(stairs, 0, p) {
+                    if stairs_admit(stairs, &t) {
+                        out.push((t, payload(&left[row].1, &right[col].1)));
+                    }
+                    p = np;
+                }
+            }
+            // Two streams — the dominant gate shape (accumulator × two-entry
+            // BAS front): a branchy heap would cost more than this direct
+            // two-pointer merge.
+            2 => {
+                let mut cur = [advance(stairs, 0, 0), advance(stairs, 1, 0)];
+                loop {
+                    let s = match (&cur[0], &cur[1]) {
+                        (Some(a), Some(b)) => {
+                            // Full pop order: key, then (row, col) — exactly
+                            // the heap comparator.
+                            let ord = cmp_key(&a.0, &b.0)
+                                .then_with(|| a.1.cmp(&b.1))
+                                .then_with(|| a.2.cmp(&b.2));
+                            usize::from(ord == Ordering::Greater)
+                        }
+                        (Some(_), None) => 0,
+                        (None, Some(_)) => 1,
+                        (None, None) => break,
+                    };
+                    let (t, row, col, np) = cur[s].take().expect("selected stream has a candidate");
+                    if out.last().is_none_or(|(k, _)| *k != t) && stairs_admit(stairs, &t) {
+                        out.push((t, payload(&left[row].1, &right[col].1)));
+                    }
+                    cur[s] = advance(stairs, s, np);
+                }
+            }
+            // The general k-way merge over all stream heads.
+            _ => {
+                self.heap.clear();
+                for s in 0..streams {
+                    let (row, col) = rc(s, 0);
+                    // Stream heads have their streams' minimal costs and the
+                    // stream side is cost-sorted: once a head exceeds the
+                    // budget, so does everything after it.
+                    let t = op(&left[row].0, &right[col].0);
+                    if budget.is_some_and(|u| t.cost > u) {
+                        break;
+                    }
+                    self.heap.push(HeapItem { triple: t, row, col });
+                }
+                while let Some(mut head) = self.heap.peek_mut() {
+                    let HeapItem { triple: t, row, col } = *head;
+                    if out.last().is_none_or(|(k, _)| *k != t) && stairs_admit(stairs, &t) {
+                        out.push((t, payload(&left[row].1, &right[col].1)));
+                    }
+                    let s = if streams_left { row } else { col };
+                    let p = if streams_left { col } else { row };
+                    match advance(stairs, s, p + 1) {
+                        // Replace the head in place: one sift-down instead
+                        // of a pop plus a push.
+                        Some((next, nrow, ncol, _)) => {
+                            *head = HeapItem { triple: next, row: nrow, col: ncol };
+                        }
+                        None => {
+                            std::collections::binary_heap::PeekMut::pop(head);
+                        }
+                    }
+                }
+            }
+        }
+        Staircase { entries: out }
+    }
+
+    /// Adds the node's own damage (`settle`) to every entry and restores the
+    /// staircase invariant.
+    ///
+    /// Settling never changes costs, so the global cost order survives; only
+    /// runs of equal cost can reorder (the damage increment depends on the
+    /// activation), and settled entries can newly dominate each other. Each
+    /// equal-cost run is re-sorted in place and one dominance sweep compacts
+    /// the result. The returned front is exactly sized; the working buffer
+    /// goes back to the pool.
+    pub fn settle(&mut self, front: Staircase<A, W>, node_damage: f64) -> Staircase<A, W> {
+        let mut entries = front.entries;
+        for (t, _) in entries.iter_mut() {
+            *t = t.settle(node_damage);
+        }
+        let mut start = 0;
+        while start < entries.len() {
+            let mut end = start + 1;
+            while end < entries.len()
+                && entries[end].0.cost.total_cmp(&entries[start].0.cost).is_eq()
+            {
+                end += 1;
+            }
+            if end - start > 1 {
+                entries[start..end].sort_by(|(a, _), (b, _)| {
+                    b.damage.total_cmp(&a.damage).then_with(|| cmp_act(b.act, a.act))
+                });
+            }
+            start = end;
+        }
+        self.stairs.clear();
+        let mut kept = 0;
+        for i in 0..entries.len() {
+            let t = entries[i].0;
+            if kept > 0 && entries[kept - 1].0 == t {
+                continue; // duplicate triple
+            }
+            if stairs_admit(&mut self.stairs, &t) {
+                entries.swap(kept, i);
+                kept += 1;
+            }
+        }
+        entries.truncate(kept);
+        // Move into an exactly-sized vector (a `mem::take` would hand the
+        // kept front the working buffer's whole recycled capacity) and
+        // return the working buffer to the pool.
+        let mut out = Vec::with_capacity(entries.len());
+        out.append(&mut entries);
+        self.recycle(Staircase { entries });
+        Staircase { entries: out }
+    }
+
+    /// [`settle`](Self::settle) on a borrowed front: clones the entries into
+    /// a recycled buffer first (the single-child-gate path of `node_fronts`,
+    /// where the child front must stay available).
+    pub fn settle_cloned(&mut self, front: &Staircase<A, W>, node_damage: f64) -> Staircase<A, W>
+    where
+        W: Clone,
+    {
+        let mut buf = self.grab();
+        buf.extend(front.entries.iter().cloned());
+        self.settle(Staircase { entries: buf }, node_damage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Prob;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn t(cost: f64, damage: f64, act: bool) -> Triple<bool> {
+        Triple { cost, damage, act }
+    }
+
+    fn random_entries(rng: &mut StdRng, n: usize) -> Vec<(Triple<bool>, usize)> {
+        (0..n)
+            .map(|i| {
+                (t(rng.gen_range(0..8) as f64, rng.gen_range(0..8) as f64, rng.gen_bool(0.5)), i)
+            })
+            .collect()
+    }
+
+    fn random_prob_entries(rng: &mut StdRng, n: usize) -> Vec<(Triple<Prob>, usize)> {
+        (0..n)
+            .map(|i| {
+                (
+                    Triple {
+                        cost: rng.gen_range(0..6) as f64,
+                        damage: rng.gen_range(0..6) as f64,
+                        act: Prob::new(rng.gen_range(0..=4) as f64 / 4.0),
+                    },
+                    i,
+                )
+            })
+            .collect()
+    }
+
+    /// Oracle for `combine`: materialize the row-major product, then prune.
+    fn combine_oracle<A: Activation>(
+        or_gate: bool,
+        left: &[(Triple<A>, usize)],
+        right: &[(Triple<A>, usize)],
+        budget: Option<f64>,
+    ) -> Vec<(Triple<A>, (usize, usize))> {
+        let mut all = Vec::new();
+        for (lt, lw) in left {
+            for (rt, rw) in right {
+                let t = if or_gate { lt.combine_or(rt) } else { lt.combine_and(rt) };
+                if budget.is_some_and(|u| t.cost > u) {
+                    continue;
+                }
+                all.push((t, (*lw, *rw)));
+            }
+        }
+        prune(all, budget)
+    }
+
+    #[test]
+    fn minimized_entries_satisfy_the_invariant() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let n = rng.gen_range(0..30);
+            let s = Staircase::minimized(random_entries(&mut rng, n), None);
+            assert!(is_staircase(s.entries()), "{:?}", s.entries());
+        }
+    }
+
+    #[test]
+    fn combine_matches_materialize_then_prune_including_payloads() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut scratch: GateScratch<bool, usize> = GateScratch::new();
+        for case in 0..300 {
+            let left = Staircase::minimized(
+                {
+                    let n = rng.gen_range(0..14);
+                    random_entries(&mut rng, n)
+                },
+                None,
+            );
+            let right = Staircase::minimized(
+                {
+                    let n = rng.gen_range(0..14);
+                    random_entries(&mut rng, n)
+                },
+                None,
+            );
+            let budget = if rng.gen_bool(0.5) { Some(rng.gen_range(0..12) as f64) } else { None };
+            let or_gate = rng.gen_bool(0.5);
+            for side in [&left, &right] {
+                assert!(is_staircase(side.entries()));
+            }
+            // Payload = (left index, right index), so the test also proves
+            // which factor pair wins on duplicate triples.
+            let mut relabeled: GateScratch<bool, (usize, usize)> = GateScratch::new();
+            let l2 = Staircase::from_sorted(
+                left.entries().iter().map(|(t, w)| (*t, (*w, 0usize))).collect(),
+            );
+            let r2 = Staircase::from_sorted(
+                right.entries().iter().map(|(t, w)| (*t, (0usize, *w))).collect(),
+            );
+            let got =
+                relabeled.combine(or_gate, &l2, &r2, budget, |a, b| (a.0, b.1)).into_entries();
+            let want = combine_oracle(or_gate, left.entries(), right.entries(), budget);
+            assert_eq!(got, want, "case {case} (or={or_gate}, budget={budget:?})");
+            assert!(is_staircase(&got));
+            // The unlabeled scratch keeps working across iterations too.
+            let _ = scratch.combine(or_gate, &left, &right, budget, |a, _| *a);
+        }
+    }
+
+    #[test]
+    fn combine_matches_oracle_on_probabilistic_triples() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut scratch: GateScratch<Prob, usize> = GateScratch::new();
+        for case in 0..200 {
+            let left = Staircase::minimized(
+                {
+                    let n = rng.gen_range(0..12);
+                    random_prob_entries(&mut rng, n)
+                },
+                None,
+            );
+            let right = Staircase::minimized(
+                {
+                    let n = rng.gen_range(0..12);
+                    random_prob_entries(&mut rng, n)
+                },
+                None,
+            );
+            let or_gate = rng.gen_bool(0.5);
+            let got =
+                scratch.combine(or_gate, &left, &right, None, |a, b| a * 1000 + b).into_entries();
+            let want: Vec<(Triple<Prob>, usize)> =
+                combine_oracle(or_gate, left.entries(), right.entries(), None)
+                    .into_iter()
+                    .map(|(t, (a, b))| (t, a * 1000 + b))
+                    .collect();
+            assert_eq!(got, want, "case {case}");
+            scratch.recycle(Staircase::from_sorted(got));
+        }
+    }
+
+    #[test]
+    fn settle_matches_settle_then_prune() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut scratch: GateScratch<bool, usize> = GateScratch::new();
+        for case in 0..300 {
+            let front = Staircase::minimized(
+                {
+                    let n = rng.gen_range(0..20);
+                    random_entries(&mut rng, n)
+                },
+                None,
+            );
+            let dv = rng.gen_range(0..10) as f64;
+            let want =
+                prune(front.entries().iter().map(|(t, w)| (t.settle(dv), *w)).collect(), None);
+            let got = scratch.settle_cloned(&front, dv).into_entries();
+            assert_eq!(got, want, "case {case} (dv={dv})");
+            assert!(is_staircase(&got));
+        }
+    }
+
+    #[test]
+    fn union_matches_prune_of_concatenation() {
+        let mut rng = StdRng::seed_from_u64(59);
+        for case in 0..300 {
+            let a = Staircase::minimized(
+                {
+                    let n = rng.gen_range(0..20);
+                    random_entries(&mut rng, n)
+                },
+                None,
+            );
+            let b = Staircase::minimized(
+                {
+                    let n = rng.gen_range(0..20);
+                    random_entries(&mut rng, n)
+                },
+                None,
+            );
+            let got = a.union(&b).into_entries();
+            let want = prune(a.entries().iter().chain(b.entries()).cloned().collect(), None);
+            assert_eq!(got, want, "case {case}");
+        }
+    }
+
+    #[test]
+    fn union_prefers_the_left_payload_on_duplicates() {
+        let a = Staircase::minimized(vec![(t(1.0, 1.0, true), 7usize)], None);
+        let b = Staircase::minimized(vec![(t(1.0, 1.0, true), 8usize)], None);
+        assert_eq!(a.union(&b).entries(), &[(t(1.0, 1.0, true), 7usize)]);
+        assert_eq!(b.union(&a).entries(), &[(t(1.0, 1.0, true), 8usize)]);
+    }
+
+    #[test]
+    fn combine_payload_is_lazy_for_dominated_candidates() {
+        // Diagonal fronts {(i, i, true)}: the AND product's 400 candidates
+        // collapse to the 39 distinct sums, so most pairs are duplicates and
+        // must never pay for a payload.
+        let diag: Vec<(Triple<bool>, usize)> =
+            (0..20).map(|i| (t(i as f64, i as f64, true), i)).collect();
+        let left = Staircase::minimized(diag.clone(), None);
+        let right = Staircase::minimized(diag, None);
+        assert_eq!(left.len(), 20);
+        let mut calls = 0usize;
+        let mut scratch: GateScratch<bool, usize> = GateScratch::new();
+        let out = scratch.combine(false, &left, &right, None, |_, _| {
+            calls += 1;
+            0
+        });
+        assert_eq!(out.len(), 39, "one entry per distinct sum 0..=38");
+        assert_eq!(calls, out.len(), "payloads must be built only for kept entries");
+    }
+
+    #[test]
+    fn empty_sides_give_empty_products() {
+        let mut scratch: GateScratch<bool, ()> = GateScratch::new();
+        let empty: Staircase<bool, ()> = Staircase::default();
+        let some = Staircase::minimized(vec![(t(1.0, 1.0, true), ())], None);
+        assert!(scratch.combine(true, &empty, &some, None, |_, _| ()).is_empty());
+        assert!(scratch.combine(false, &some, &empty, None, |_, _| ()).is_empty());
+    }
+
+    #[test]
+    fn budget_cuts_rows_and_candidates() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut scratch: GateScratch<bool, usize> = GateScratch::new();
+        for _ in 0..100 {
+            let left = Staircase::minimized(random_entries(&mut rng, 10), None);
+            let right = Staircase::minimized(random_entries(&mut rng, 10), None);
+            let budget = rng.gen_range(0..8) as f64;
+            let got = scratch.combine(false, &left, &right, Some(budget), |a, _| *a).into_entries();
+            assert!(got.iter().all(|(t, _)| t.cost <= budget));
+        }
+    }
+
+    #[test]
+    fn recycled_buffers_are_reused() {
+        let mut scratch: GateScratch<bool, ()> = GateScratch::new();
+        let a = Staircase::minimized(vec![(t(0.0, 0.0, false), ()), (t(1.0, 5.0, true), ())], None);
+        let out = scratch.combine(true, &a, &a, None, |_, _| ());
+        let cap = out.entries.capacity();
+        scratch.recycle(out);
+        let again = scratch.combine(true, &a, &a, None, |_, _| ());
+        assert!(again.entries.capacity() >= cap.min(1), "pool hands capacity back");
+    }
+}

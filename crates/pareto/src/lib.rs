@@ -15,19 +15,25 @@
 //!
 //! [`prune`] implements the `min_U` operator — discard triples over the cost
 //! budget, then keep only ⊑-minimal ones — with an `O(k log k)` staircase
-//! sweep.
+//! sweep. The [`kernel`] module keeps fronts in that staircase form
+//! end-to-end: [`Staircase`] carries the invariant, and [`GateScratch`]
+//! provides the merge-based gate kernels (linear two-pointer union, heap
+//! k-way product merge with on-the-fly dominance pruning, allocation-free
+//! settling) that the bottom-up recursion runs on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod activation;
 mod front;
+pub mod kernel;
 mod point;
 mod staircase;
 mod triple;
 
 pub use activation::{Activation, Prob};
 pub use front::{FrontEntry, ParetoFront};
+pub use kernel::{is_staircase, GateScratch, Staircase};
 pub use point::CostDamage;
 pub use staircase::{prune, prune_unbudgeted};
 pub use triple::Triple;

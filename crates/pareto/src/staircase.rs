@@ -9,13 +9,60 @@ use crate::triple::Triple;
 ///
 /// Both activation types are totally ordered (false < true, probabilities by
 /// value); this helper derives the ordering from [`Activation::at_least`].
-fn cmp_act<A: Activation>(a: A, b: A) -> Ordering {
+pub(crate) fn cmp_act<A: Activation>(a: A, b: A) -> Ordering {
     match (a.at_least(b), b.at_least(a)) {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,
         (false, true) => Ordering::Less,
         (false, false) => unreachable!("activations are totally ordered"),
     }
+}
+
+/// The staircase key order shared by [`prune`] and the merge kernels: cost
+/// ascending, then damage descending, then activation descending. NaN-safe
+/// via [`f64::total_cmp`]; with this order no later entry can dominate a
+/// kept earlier one (it would have to be an exact duplicate).
+pub(crate) fn cmp_key<A: Activation>(a: &Triple<A>, b: &Triple<A>) -> Ordering {
+    a.cost
+        .total_cmp(&b.cost)
+        .then_with(|| b.damage.total_cmp(&a.damage))
+        .then_with(|| cmp_act(b.act, a.act))
+}
+
+/// Offers `t` to the staircase of `(damage, activation)` maxima over the
+/// already-kept entries (damage strictly increasing, activation strictly
+/// decreasing). Returns `false` when `t` is dominated by a kept entry;
+/// otherwise records it and returns `true`.
+///
+/// Callers must present candidates in [`cmp_key`] order with every kept
+/// entry's cost ≤ `t.cost` — that is what reduces the three-coordinate
+/// domination test to this two-coordinate staircase lookup.
+pub(crate) fn stairs_admit<A: Activation>(stairs: &mut Vec<(f64, A)>, t: &Triple<A>) -> bool {
+    // The dominance test inlines [`stairs_dominate`] so the damage
+    // partition point is computed once and reused by the update.
+    let idx = stairs.partition_point(|&(d, _)| d < t.damage);
+    if idx < stairs.len() && stairs[idx].1.at_least(t.act) {
+        return false;
+    }
+    // Not dominated: update the staircase. Stairs dominated by
+    // (t.damage, t.act) are the prefix-by-damage entries with act ≤ t.act,
+    // which form a contiguous block ending at the damage partition point.
+    let lo = stairs[..idx].partition_point(|&(_, a)| !t.act.at_least(a));
+    stairs.splice(lo..idx, [(t.damage, t.act)]);
+    true
+}
+
+/// The read-only half of [`stairs_admit`]: whether some kept entry already
+/// dominates `t` in (damage, activation). Because kept entries only
+/// accumulate and each staircase update dominates whatever it replaces,
+/// a `true` here stays `true` for the rest of the sweep — which is what
+/// lets the merge kernels skip dominated candidates at *push* time.
+pub(crate) fn stairs_dominate<A: Activation>(stairs: &[(f64, A)], t: &Triple<A>) -> bool {
+    // Dominated iff some stair has damage ≥ t.damage and act ≥ t.act.
+    // Stairs with damage ≥ t.damage form a suffix whose largest act is at
+    // its first element.
+    let idx = stairs.partition_point(|&(d, _)| d < t.damage);
+    idx < stairs.len() && stairs[idx].1.at_least(t.act)
 }
 
 /// Applies the paper's `min_U` operator to a set of attribute triples with
@@ -32,39 +79,21 @@ pub fn prune<A: Activation, W>(
     if let Some(u) = budget {
         entries.retain(|(t, _)| t.cost <= u);
     }
-    // Sort: cost ascending, then damage descending, then activation
-    // descending. With this order no later entry can dominate a kept earlier
-    // one (it would have to equal it, and duplicates are collapsed), so a
-    // single forward sweep suffices.
-    entries.sort_by(|(a, _), (b, _)| {
-        a.cost
-            .partial_cmp(&b.cost)
-            .expect("costs are not NaN")
-            .then(b.damage.partial_cmp(&a.damage).expect("damages are not NaN"))
-            .then(cmp_act(b.act, a.act))
-    });
+    // Sort in the staircase key order (cost ascending, then damage
+    // descending, then activation descending): a single forward sweep then
+    // suffices, because no later entry can dominate a kept earlier one (it
+    // would have to equal it, and duplicates are collapsed).
+    entries.sort_by(|(a, _), (b, _)| cmp_key(a, b));
 
-    // Staircase of (damage, activation) maxima over already-kept entries:
-    // damage strictly increasing, activation strictly decreasing.
     let mut stairs: Vec<(f64, A)> = Vec::new();
     let mut kept: Vec<(Triple<A>, W)> = Vec::new();
     for (t, w) in entries {
         if kept.last().is_some_and(|(k, _)| *k == t) {
             continue; // duplicate triple
         }
-        // Dominated iff some stair has damage ≥ t.damage and act ≥ t.act.
-        // Stairs with damage ≥ t.damage form a suffix whose largest act is at
-        // its first element.
-        let idx = stairs.partition_point(|&(d, _)| d < t.damage);
-        if idx < stairs.len() && stairs[idx].1.at_least(t.act) {
-            continue;
+        if stairs_admit(&mut stairs, &t) {
+            kept.push((t, w));
         }
-        // Not dominated: keep, and update the staircase. Stairs dominated by
-        // (t.damage, t.act) are the prefix-by-damage entries with act ≤ t.act,
-        // which form a contiguous block ending at `idx`.
-        let lo = stairs[..idx].partition_point(|&(_, a)| !t.act.at_least(a));
-        stairs.splice(lo..idx, [(t.damage, t.act)]);
-        kept.push((t, w));
     }
     kept
 }

@@ -1,0 +1,110 @@
+//! Differential validation of the merge-based staircase kernels.
+//!
+//! The bottom-up hot path evaluates gates with the heap-merge kernels of
+//! `cdat-pareto::kernel`; the pre-kernel materialize-and-sort path is
+//! retained in `cdat_bottomup::ablation` as an oracle. These seeded property
+//! tests assert the two produce **identical** fronts — same triples in the
+//! same order, same witness attack on every entry — over random treelike
+//! trees, with and without budgets and witness tracking.
+
+use cdat_bottomup::ablation;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Random treelike instances, deterministic kernels vs sorted oracle:
+/// entry-for-entry equality, witnesses included.
+#[test]
+fn deterministic_kernels_match_the_sorted_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xC0DA);
+    for case in 0..150 {
+        let tree = cdat_gen::random_small(&mut rng, 9, true);
+        let cd = cdat_gen::decorate(tree, &mut rng);
+        let budget = match case % 3 {
+            0 => None,
+            1 => Some(rng.gen_range(0..25) as f64),
+            _ => Some(rng.gen_range(-2..3) as f64),
+        };
+        for witnesses in [true, false] {
+            let kernel = ablation::root_entries_kernel_det(&cd, budget, witnesses)
+                .expect("treelike instance");
+            let oracle = ablation::root_entries_sorted_oracle_det(&cd, budget, witnesses)
+                .expect("treelike instance");
+            assert_eq!(kernel, oracle, "case {case}: budget {budget:?}, witnesses {witnesses}");
+            if witnesses {
+                // Witnesses must reproduce their triples exactly.
+                for (t, w) in &kernel {
+                    let w = w.as_ref().expect("witness tracked");
+                    assert_eq!(cd.cost_of(w), t.cost, "case {case}: witness cost mismatch");
+                }
+            }
+        }
+    }
+}
+
+/// The probabilistic domain: `Prob` activations exercise non-boolean
+/// staircase maintenance (partial activation order, damage weighting).
+#[test]
+fn probabilistic_kernels_match_the_sorted_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xB0B + 77);
+    for case in 0..120 {
+        let tree = cdat_gen::random_small(&mut rng, 8, true);
+        let cdp = cdat_gen::decorate_prob(tree, &mut rng);
+        let budget = if case % 2 == 0 { None } else { Some(rng.gen_range(0..20) as f64) };
+        for witnesses in [true, false] {
+            let kernel = ablation::root_entries_kernel_prob(&cdp, budget, witnesses)
+                .expect("treelike instance");
+            let oracle = ablation::root_entries_sorted_oracle_prob(&cdp, budget, witnesses)
+                .expect("treelike instance");
+            assert_eq!(kernel, oracle, "case {case}: budget {budget:?}, witnesses {witnesses}");
+        }
+    }
+}
+
+/// The retained-fronts variant (`node_fronts`) takes a different code path
+/// through the kernels (cloning settles for single-child gates, borrowed
+/// child fronts): every per-node front must equal the oracle's.
+#[test]
+fn node_fronts_match_the_sorted_oracle_at_every_node() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let solver = cdat_bottomup::BottomUp::new();
+    for case in 0..60 {
+        let tree = cdat_gen::random_small(&mut rng, 8, true);
+        let cd = cdat_gen::decorate(tree, &mut rng);
+        let budget = if case % 2 == 0 { None } else { Some(rng.gen_range(0..20) as f64) };
+        let kernel = solver.node_fronts(&cd, budget).expect("treelike instance");
+        let oracle = ablation::node_entries_sorted_oracle_det(&cd, budget, true).expect("treelike");
+        assert_eq!(kernel.len(), oracle.len());
+        for (v, (k, o)) in kernel.iter().zip(&oracle).enumerate() {
+            assert_eq!(k, o, "case {case}: node {v}, budget {budget:?}");
+        }
+    }
+}
+
+/// The batch engine and the serving router sit on top of the same solvers;
+/// their responses must project exactly the oracle's fronts.
+#[test]
+fn engine_batch_fronts_match_the_sorted_oracle() {
+    use cdat_engine::{BatchRequest, Engine, Query};
+    let mut rng = StdRng::seed_from_u64(99);
+    let trees: Vec<_> = (0..40)
+        .map(|_| {
+            let tree = cdat_gen::random_small(&mut rng, 8, true);
+            std::sync::Arc::new(cdat_gen::decorate_prob(tree, &mut rng))
+        })
+        .collect();
+    let requests: Vec<BatchRequest> =
+        trees.iter().map(|cdp| BatchRequest::new(cdp.clone(), Query::Cdpf)).collect();
+    let engine = Engine::new(4);
+    let results = engine.run(&requests);
+    for (i, (cdp, result)) in trees.iter().zip(&results).enumerate() {
+        let oracle = ablation::cdpf_sorted_oracle(cdp.cd()).expect("treelike instance");
+        let front = match &result.response {
+            cdat_engine::Response::Front(front) => front,
+            other => panic!("request {i}: unexpected response {other:?}"),
+        };
+        assert_eq!(front.len(), oracle.len(), "request {i}: front size diverged from the oracle");
+        for (a, b) in front.points().zip(oracle.points()) {
+            assert_eq!(a, b, "request {i}: point diverged from the oracle");
+        }
+    }
+}
