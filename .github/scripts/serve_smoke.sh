@@ -48,3 +48,28 @@ echo "--- batch (normalized) ---"; cat "$workdir/batch.out"
 echo "--- serve (normalized) ---"; cat "$workdir/serve.out"
 diff -u "$workdir/batch.out" "$workdir/serve.out"
 echo "serve-smoke: serve and batch agree byte-for-byte on 3 documents"
+
+# Same three documents again with witnesses on: `batch --witnesses` and
+# `"witnesses":true` serve requests must stay byte-identical, and every
+# front line must actually carry a witnesses array.
+{
+  printf '{"id":0,"tree":"%s","query":"cdpf","witnesses":true}\n' "$json0"
+  printf '{"id":1,"tree":"%s","query":"cdpf","witnesses":true}\n' "$json1"
+  printf '{"id":2,"tree":"%s","query":"cdpf","witnesses":true}\n' "$json2"
+} > "$workdir/requests-wit.jsonl"
+
+"$CDAT" batch "$workdir/suite.cdat" --cdpf --witnesses 2>/dev/null \
+  | sed -E 's/"doc":[0-9]+,("name":"[^"]*",)?//; s/"cache":"(hit|miss)",//' \
+  > "$workdir/batch-wit.out"
+
+"$CDAT" serve --stdio --workers 2 --batch-window-us 500 < "$workdir/requests-wit.jsonl" \
+  | sort -t: -k2 \
+  | sed -E 's/"id":[0-9]+,//' \
+  > "$workdir/serve-wit.out"
+
+echo "--- batch --witnesses (normalized) ---"; cat "$workdir/batch-wit.out"
+echo "--- serve witnesses:true (normalized) ---"; cat "$workdir/serve-wit.out"
+diff -u "$workdir/batch-wit.out" "$workdir/serve-wit.out"
+[ "$(grep -c '"witnesses":\[' "$workdir/serve-wit.out")" -eq 3 ] \
+  || { echo "serve-smoke: expected a witnesses array on all 3 responses" >&2; exit 1; }
+echo "serve-smoke: witnessed serve and batch agree byte-for-byte on 3 documents"

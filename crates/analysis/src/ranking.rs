@@ -48,13 +48,8 @@ pub fn rank_single_defenses(cd: &CdAttackTree, budget: f64) -> Vec<DefenseEffect
         .collect();
     effects.sort_by(|a, b| {
         a.residual_damage
-            .partial_cmp(&b.residual_damage)
-            .expect("damages are not NaN")
-            .then(
-                a.residual_max_damage
-                    .partial_cmp(&b.residual_max_damage)
-                    .expect("damages are not NaN"),
-            )
+            .total_cmp(&b.residual_damage)
+            .then(a.residual_max_damage.total_cmp(&b.residual_max_damage))
             .then_with(|| a.name.cmp(&b.name))
     });
     effects
@@ -62,6 +57,12 @@ pub fn rank_single_defenses(cd: &CdAttackTree, budget: f64) -> Vec<DefenseEffect
 
 /// DgC on any tree shape.
 fn dgc_any(cd: &CdAttackTree, budget: f64) -> f64 {
+    // A NaN budget admits no attack (every cost comparison is false), the
+    // same answer a negative budget gets — short-circuit it instead of
+    // tripping the solvers' not-NaN budget contract.
+    if budget.is_nan() {
+        return 0.0;
+    }
     let entry = match cdat_bottomup::dgc(cd, budget) {
         Ok(e) => e,
         Err(NotTreelike) => cdat_bilp::dgc(cd, budget),
@@ -105,6 +106,23 @@ mod tests {
         assert_eq!(ranking[0].residual_damage, 0.0);
         assert_eq!(ranking[0].name, "internet connection to FTP server");
         assert!(ranking[0].residual_max_damage < cd.max_damage());
+    }
+
+    #[test]
+    fn non_finite_budgets_do_not_panic_the_ranking_order() {
+        // A NaN budget admits no attack (every cost comparison is false),
+        // an infinite one admits all; both must rank without panicking —
+        // the sort comparator is total_cmp, not an unwrapped partial_cmp.
+        let cd = cdat_models::factory();
+        let nan = rank_single_defenses(&cd, f64::NAN);
+        assert_eq!(nan.len(), 3);
+        assert!(nan.iter().all(|e| e.residual_damage == 0.0));
+        let inf = rank_single_defenses(&cd, f64::INFINITY);
+        assert_eq!(inf.len(), 3);
+        assert!(inf.windows(2).all(|w| w[0].residual_damage <= w[1].residual_damage));
+        for e in &inf {
+            assert!(e.residual_damage.is_finite());
+        }
     }
 
     #[test]

@@ -34,6 +34,18 @@ fn batch_throughput(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("cdpf_warm", 8), &requests, |b, requests| {
         b.iter(|| engine.run(black_box(requests)))
     });
+    // Witnessed warm cache: fronts still come from the cache, but every
+    // request pays the canonical traversal and witness translation — the
+    // cost of the `--witnesses` opt-in at steady state.
+    let witnessed: Vec<BatchRequest> =
+        requests.iter().map(|r| r.clone().with_witnesses(true)).collect();
+    let warm_wit = Engine::new(8);
+    warm_wit.run(&witnessed);
+    group.bench_with_input(
+        BenchmarkId::new("cdpf_warm_witnessed", 8),
+        &witnessed,
+        |b, requests| b.iter(|| warm_wit.run(black_box(requests))),
+    );
     group.finish();
 }
 

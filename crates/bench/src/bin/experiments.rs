@@ -545,6 +545,18 @@ fn bench_json(out: Option<String>) {
     let (_, t) = timed(|| black_box(warm.run(black_box(&requests))));
     scenarios.push(("batch_tree_cdpf_120_warm", t.as_secs_f64()));
 
+    // The same workload with witnesses requested: the paired cold/warm
+    // scenarios expose the canonical-traversal and witness-translation
+    // overhead on the perf trajectory (warm is translate-only — every
+    // front comes from the cache and just has its witnesses renumbered).
+    let witnessed: Vec<cdat_engine::BatchRequest> =
+        requests.iter().map(|r| r.clone().with_witnesses(true)).collect();
+    let warm_wit = Engine::new(8);
+    let (_, t) = timed(|| black_box(warm_wit.run(black_box(&witnessed))));
+    scenarios.push(("batch_tree_cdpf_120_wit_8w", t.as_secs_f64()));
+    let (_, t) = timed(|| black_box(warm_wit.run(black_box(&witnessed))));
+    scenarios.push(("batch_tree_cdpf_120_wit_warm", t.as_secs_f64()));
+
     // Serving-router scenarios over the same workload: cold 4-shard
     // scatter/gather, the warm steady state, and the evicting budgeted
     // path (the long-running serving configuration).

@@ -156,6 +156,7 @@ pub fn server_route_requests() -> Vec<cdat_server::RouteRequest> {
             tree: request.tree,
             query: request.query,
             hint: request.hint,
+            witnesses: request.witnesses,
             prefix: format!("{{\"id\":{i}"),
         })
         .collect()

@@ -21,13 +21,26 @@
 //!   folds in the sorted multiset of all per-node digests: sharing yields
 //!   one occurrence where copying yields two.
 //!
+//! Hashing alone keys the cache; *witness translation* additionally needs a
+//! canonical **BAS permutation** ([`canonicalize_cd`] / [`canonicalize_cdp`]):
+//! the order in which BASs are first visited by a DFS that walks children in
+//! ascending digest order. Renamed/reordered copies of a tree visit
+//! corresponding BASs at the same canonical position, so a witness attack
+//! cached in canonical positions can be re-expressed in any copy's own BAS
+//! numbering (see [`Canonical`]). On DAG-like trees the traversal orders
+//! children by *context-refined* labels — the bottom-up digest mixed with a
+//! top-down ancestry pass — because bottom-up digests alone cannot separate
+//! a shared subtree from an identical copied one sitting next to it.
+//!
 //! The hash is 128 bits of non-cryptographic mixing; accidental collisions
 //! are negligible for cache-sized populations (birthday bound ≈ 2⁻⁶⁴ even
 //! for billions of distinct trees), but it is **not** safe against
-//! adversarially crafted inputs.
+//! adversarially crafted inputs. The same caveat extends to the canonical
+//! permutation: label ties between non-automorphic nodes would need an
+//! engineered collision.
 
 use crate::attributes::{CdAttackTree, CdpAttackTree};
-use crate::node::NodeType;
+use crate::node::{BasId, NodeType};
 use crate::tree::AttackTree;
 
 /// A 128-bit canonical structural hash (see the module docs for what it
@@ -73,16 +86,15 @@ const TAG_COST: u128 = 0x1_0000;
 const TAG_DAMAGE: u128 = 0x2_0000;
 const TAG_PROB: u128 = 0x3_0000;
 
-/// The shared worker: hashes the structure plus whichever attribute layers
-/// are present.
-fn hash_impl(
+/// Bottom-up per-node digests (the building block of both the hash and the
+/// canonical traversal). Node ids are topologically ordered (children
+/// before parents), so one forward pass suffices.
+fn digests(
     tree: &AttackTree,
     cost: Option<&[f64]>,
     damage: Option<&[f64]>,
     prob: Option<&[f64]>,
-) -> StructuralHash {
-    // Per-node digests, bottom-up. Node ids are topologically ordered
-    // (children before parents), so one forward pass suffices.
+) -> Vec<u128> {
     let mut digest: Vec<u128> = vec![0; tree.node_count()];
     for v in tree.node_ids() {
         let mut h = match tree.node_type(v) {
@@ -110,11 +122,27 @@ fn hash_impl(
         }
         digest[v.index()] = scramble(h);
     }
+    digest
+}
 
-    // Root digest alone would conflate a shared subtree with two identical
-    // copies of it; folding the sorted multiset of *all* node digests keeps
-    // the occurrence counts (copies appear twice, a shared node once).
-    let mut all = digest.clone();
+/// The shared worker: hashes the structure plus whichever attribute layers
+/// are present.
+fn hash_impl(
+    tree: &AttackTree,
+    cost: Option<&[f64]>,
+    damage: Option<&[f64]>,
+    prob: Option<&[f64]>,
+) -> StructuralHash {
+    finish_hash(tree, &digests(tree, cost, damage, prob))
+}
+
+/// Folds the per-node digests into the final tree hash.
+///
+/// The root digest alone would conflate a shared subtree with two identical
+/// copies of it; folding the sorted multiset of *all* node digests keeps
+/// the occurrence counts (copies appear twice, a shared node once).
+fn finish_hash(tree: &AttackTree, digest: &[u128]) -> StructuralHash {
+    let mut all = digest.to_vec();
     all.sort_unstable();
     let mut h = digest[tree.root().index()];
     h = fold(h, tree.node_count() as u128);
@@ -142,6 +170,124 @@ pub fn hash_cd(cd: &CdAttackTree) -> StructuralHash {
 /// Canonical hash of a cdp-AT: structure, costs, damages and probabilities.
 pub fn hash_cdp(cdp: &CdpAttackTree) -> StructuralHash {
     hash_impl(cdp.tree(), Some(cdp.cd().costs()), Some(cdp.cd().damages()), Some(cdp.probs()))
+}
+
+/// A tree's canonicalization: its structural hash plus the canonical BAS
+/// permutation (see [`canonicalize_cd`] / [`canonicalize_cdp`]).
+///
+/// Two renamed/reordered copies of a tree share a hash, and their canonical
+/// BAS orders correspond under the isomorphism: position `k` of one copy's
+/// [`bas_order`](Self::bas_order) names "the same" BAS as position `k` of
+/// the other's. Witness attacks cached under a hash can therefore be stored
+/// in canonical positions and translated to any requester's numbering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Canonical {
+    /// The structural hash, exactly as [`hash_cd`] / [`hash_cdp`] compute
+    /// it.
+    pub hash: StructuralHash,
+    /// The canonical BAS permutation: `bas_order[k]` is the BAS visited
+    /// `k`-th by the canonical traversal of *this* tree.
+    pub bas_order: Vec<BasId>,
+}
+
+impl Canonical {
+    /// The inverse permutation: `position[b.index()]` is the canonical
+    /// position of BAS `b` (an index into [`bas_order`](Self::bas_order)).
+    pub fn positions(&self) -> Vec<usize> {
+        let mut position = vec![0; self.bas_order.len()];
+        for (k, b) in self.bas_order.iter().enumerate() {
+            position[b.index()] = k;
+        }
+        position
+    }
+}
+
+/// Salt keeping the top-down context accumulator distinct from the
+/// bottom-up digests it mixes with.
+const TAG_CTX: u128 = 0x5_0000;
+
+/// Context-refined node labels: the bottom-up digest (which captures
+/// everything *below* a node) mixed with a top-down pass capturing the
+/// node's ancestry (everything *above* it).
+///
+/// The refinement is what makes the traversal's sort keys discriminating on
+/// DAG-like trees: two nodes can carry equal bottom-up digests yet sit in
+/// different sharing contexts (e.g. one feeds two parents, the other one) —
+/// isomorphic copies must not order such nodes differently. Each node's
+/// context is the order-independent sum of its parents' `(context, digest)`
+/// folds, accumulated root-down (node ids are topological, so a reverse id
+/// scan sees every parent before its children).
+fn context_labels(tree: &AttackTree, digest: &[u128]) -> Vec<u128> {
+    let n = tree.node_count();
+    let mut ctx: Vec<u128> = vec![0; n];
+    ctx[tree.root().index()] = scramble(TAG_CTX);
+    for i in (0..n).rev() {
+        let v = crate::node::NodeId::new(i);
+        let contribution = scramble(fold(ctx[i], digest[i]));
+        for c in tree.children(v) {
+            ctx[c.index()] = ctx[c.index()].wrapping_add(contribution);
+        }
+    }
+    (0..n).map(|i| scramble(digest[i] ^ scramble(ctx[i] ^ TAG_CTX))).collect()
+}
+
+/// The canonical traversal behind the [`Canonical`] BAS permutation: a DFS
+/// from the root that visits each node's children in ascending label order
+/// and records BASs in first-visit order. Label ties are broken by original
+/// sibling order — equal context-refined labels identify (with the module's
+/// usual non-adversarial collision caveat) automorphic subtrees, for which
+/// either order yields an attribute-identical witness translation.
+fn bas_traversal_order(tree: &AttackTree, label: &[u128]) -> Vec<BasId> {
+    let mut order = Vec::with_capacity(tree.bas_count());
+    let mut seen = vec![false; tree.node_count()];
+    let mut stack = vec![tree.root()];
+    while let Some(v) = stack.pop() {
+        if std::mem::replace(&mut seen[v.index()], true) {
+            continue;
+        }
+        if let Some(b) = tree.bas_of_node(v) {
+            order.push(b);
+            continue;
+        }
+        // Stable sort + reversed push: children pop in ascending label
+        // order, original sibling order within ties.
+        let mut kids: Vec<_> = tree.children(v).to_vec();
+        kids.sort_by_key(|c| label[c.index()]);
+        stack.extend(kids.into_iter().rev());
+    }
+    debug_assert_eq!(order.len(), tree.bas_count(), "every BAS is reachable from the root");
+    order
+}
+
+/// Shared worker for [`canonicalize_cd`] / [`canonicalize_cdp`].
+fn canonicalize_impl(
+    tree: &AttackTree,
+    cost: Option<&[f64]>,
+    damage: Option<&[f64]>,
+    prob: Option<&[f64]>,
+) -> Canonical {
+    let digest = digests(tree, cost, damage, prob);
+    let label = context_labels(tree, &digest);
+    Canonical { hash: finish_hash(tree, &digest), bas_order: bas_traversal_order(tree, &label) }
+}
+
+/// Canonicalizes a cd-AT: [`hash_cd`]'s hash plus the canonical BAS
+/// permutation at the same attribute depth (probabilities excluded, so the
+/// permutation is shared by all probabilistic decorations of the tree —
+/// matching the deterministic front-cache key).
+pub fn canonicalize_cd(cd: &CdAttackTree) -> Canonical {
+    canonicalize_impl(cd.tree(), Some(cd.costs()), Some(cd.damages()), None)
+}
+
+/// Canonicalizes a cdp-AT: [`hash_cdp`]'s hash plus the canonical BAS
+/// permutation with probabilities folded in.
+pub fn canonicalize_cdp(cdp: &CdpAttackTree) -> Canonical {
+    canonicalize_impl(
+        cdp.tree(),
+        Some(cdp.cd().costs()),
+        Some(cdp.cd().damages()),
+        Some(cdp.probs()),
+    )
 }
 
 impl AttackTree {
@@ -302,6 +448,88 @@ mod tests {
         let a = CdAttackTree::from_parts(tree.clone(), vec![0.0, 3.0, 2.0], vec![0.0; 5]).unwrap();
         let b = CdAttackTree::from_parts(tree, vec![-0.0, 3.0, 2.0], vec![0.0; 5]).unwrap();
         assert_eq!(hash_cd(&a), hash_cd(&b));
+    }
+
+    #[test]
+    fn canonical_hash_matches_plain_hash() {
+        let cd = factory_cd(factory(["ca", "pb", "fd", "dr", "ps"], false));
+        let p = CdpAttackTree::from_parts(cd.clone(), vec![0.2, 0.4, 0.9]).unwrap();
+        assert_eq!(canonicalize_cd(&cd).hash, hash_cd(&cd));
+        assert_eq!(canonicalize_cdp(&p).hash, hash_cdp(&p));
+    }
+
+    #[test]
+    fn bas_order_is_a_permutation() {
+        let cd = factory_cd(factory(["ca", "pb", "fd", "dr", "ps"], false));
+        let canonical = canonicalize_cd(&cd);
+        let mut sorted: Vec<usize> = canonical.bas_order.iter().map(|b| b.index()).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        let positions = canonical.positions();
+        for (k, b) in canonical.bas_order.iter().enumerate() {
+            assert_eq!(positions[b.index()], k);
+        }
+    }
+
+    #[test]
+    fn renamed_reordered_copies_align_bas_positions_by_attributes() {
+        // The same decorated shape, renamed and with flipped child order:
+        // canonical position k must name a BAS with identical attributes in
+        // both copies (the property witness translation relies on).
+        let cd_a = factory_cd(factory(["ca", "pb", "fd", "dr", "ps"], false));
+        let flipped = factory(["u1", "u2", "u3", "u4", "u5"], true);
+        let mut damage = vec![0.0; 5];
+        damage[3] = 100.0;
+        damage[4] = 200.0;
+        let cd_b = CdAttackTree::from_parts(flipped, vec![1.0, 3.0, 2.0], damage).unwrap();
+        let (a, b) = (canonicalize_cd(&cd_a), canonicalize_cd(&cd_b));
+        assert_eq!(a.hash, b.hash);
+        for k in 0..3 {
+            assert_eq!(
+                cd_a.cost(a.bas_order[k]),
+                cd_b.cost(b.bas_order[k]),
+                "canonical position {k} must carry the same cost in both copies"
+            );
+        }
+    }
+
+    #[test]
+    fn context_labels_separate_shared_from_copied_siblings() {
+        // P = AND(OR(g, g'), a) where g is ALSO a child of a second gate Q
+        // but g' is not: g and g' have equal bottom-up digests (identical
+        // subtrees) yet different sharing contexts, so the context-refined
+        // traversal must order them consistently — their canonical
+        // positions must separate the shared from the unshared BASs.
+        let build = |flip: bool| {
+            let mut b = AttackTreeBuilder::new();
+            let x1 = b.bas("x1");
+            let x2 = b.bas("x2");
+            let g = b.or("g", [x1, x2]);
+            let y1 = b.bas("y1");
+            let y2 = b.bas("y2");
+            let g2 = b.or("g2", [y1, y2]); // same digest as g
+            let p = if flip { b.and("p", [g2, g]) } else { b.and("p", [g, g2]) };
+            let z = b.bas("z");
+            let q = b.and("q", [g, z]); // shares g, not g2
+            let _r = b.or("r", [p, q]);
+            b.build().unwrap()
+        };
+        let (t1, t2) = (build(false), build(true));
+        let cd1 = CdAttackTree::from_parts(t1, vec![1.0; 5], vec![2.0; 10]).unwrap();
+        let cd2 = CdAttackTree::from_parts(t2, vec![1.0; 5], vec![2.0; 10]).unwrap();
+        let (c1, c2) = (canonicalize_cd(&cd1), canonicalize_cd(&cd2));
+        assert_eq!(c1.hash, c2.hash, "flipped siblings are the same tree");
+        // In both trees, "the shared g's BASs" occupy the same canonical
+        // positions. g's BASs are x1, x2 (ids 0, 1) in both builds; g2's
+        // are y1, y2 (ids 2, 3).
+        let class = |order: &[BasId], shared: [usize; 2]| -> Vec<bool> {
+            order.iter().map(|b| shared.contains(&b.index())).collect()
+        };
+        assert_eq!(
+            class(&c1.bas_order, [0, 1]),
+            class(&c2.bas_order, [0, 1]),
+            "shared-vs-copied BASs must land on the same canonical positions"
+        );
     }
 
     #[test]

@@ -153,9 +153,10 @@ pub fn nondecreasing_to_cd_at(
     // (a strict subset has strictly smaller popcount).
     let mut order: Vec<usize> = (0..attacks.len()).collect();
     order.sort_by(|&a, &b| {
+        // NaN-safe even though the values were validated finite above:
+        // total_cmp keeps the sort a total order under any future caller.
         values[a]
-            .partial_cmp(&values[b])
-            .expect("values are finite")
+            .total_cmp(&values[b])
             .then(attacks[a].len().cmp(&attacks[b].len()))
             .then(attacks[a].cmp(&attacks[b]))
     });
@@ -302,9 +303,14 @@ mod tests {
 
     #[test]
     fn theorem_2_rejects_invalid_values() {
+        // Non-finite values must surface as errors before the sort (whose
+        // comparator is total_cmp and would otherwise order them quietly).
         let err =
             nondecreasing_to_cd_at(2, |x| if x.is_empty() { 0.0 } else { f64::NAN }).unwrap_err();
         assert!(matches!(err, MonotoneError::InvalidValue(_)));
+        let err = nondecreasing_to_cd_at(2, |x| if x.is_empty() { 0.0 } else { f64::INFINITY })
+            .unwrap_err();
+        assert!(matches!(err, MonotoneError::InvalidValue(v) if v.is_infinite()));
     }
 
     #[test]

@@ -15,7 +15,8 @@ use crate::FrontKind;
 /// well) plus the solver wall time that produced it.
 #[derive(Clone, Debug)]
 pub struct CachedFront {
-    /// The points-only Pareto front, or a stable error message.
+    /// The Pareto front — witnesses stored in canonical BAS positions (see
+    /// the crate docs on witnesses) — or a stable error message.
     pub result: Result<ParetoFront, String>,
     /// Solver wall time of the original computation.
     pub compute: Duration,
@@ -23,10 +24,16 @@ pub struct CachedFront {
 
 impl CachedFront {
     /// The entry's weight against a points budget: the number of front
-    /// points, minimum 1 (errors and empty fronts still occupy a slot).
+    /// points **plus one extra point per stored witness** (a witnessed
+    /// point retains a BAS set alongside its two coordinates, so it weighs
+    /// twice a bare one), minimum 1 (errors and empty fronts still occupy
+    /// a slot).
     pub fn weight(&self) -> usize {
         match &self.result {
-            Ok(front) => front.len().max(1),
+            Ok(front) => {
+                let witnessed = front.entries().iter().filter(|e| e.witness.is_some()).count();
+                (front.len() + witnessed).max(1)
+            }
             Err(_) => 1,
         }
     }
@@ -104,18 +111,20 @@ impl Shard {
 /// # Eviction
 ///
 /// An unbudgeted cache ([`new`](Self::new)) grows without bound. A budgeted
-/// cache ([`with_budget`](Self::with_budget)) divides its budget evenly
-/// over the shards and, per shard, evicts least-recently-used entries
-/// whenever an insert would push the shard's points total past its slice —
-/// so the cache-wide total never exceeds the budget. Recency is bumped by
-/// [`get`](Self::get) and [`touch`](Self::touch), not by
-/// [`peek`](Self::peek). An entry heavier than a whole shard slice is
+/// cache ([`with_budget`](Self::with_budget)) splits its budget over the
+/// shards — as evenly as possible, spreading the division remainder one
+/// point at a time so the per-shard slices sum to exactly the budget — and,
+/// per shard, evicts least-recently-used entries whenever an insert would
+/// push the shard's points total past its slice — so the cache-wide total
+/// never exceeds the budget, and the full budget is actually usable.
+/// Recency is bumped by [`get`](Self::get) and [`touch`](Self::touch), not
+/// by [`peek`](Self::peek). An entry heavier than a whole shard slice is
 /// returned to the caller but never stored (counted as an eviction).
 #[derive(Debug)]
 pub struct FrontCache {
     shards: Box<[Mutex<Shard>]>,
-    /// Per-shard points budget; `None` means unbounded.
-    budget_per_shard: Option<usize>,
+    /// Per-shard points budget slices; `None` means unbounded.
+    budgets: Option<Box<[usize]>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -134,18 +143,31 @@ impl FrontCache {
         Self::build(shards, None)
     }
 
-    /// Creates a cache bounded to roughly `budget` total points, spread
-    /// evenly over `shards` shards.
+    /// Creates a cache bounded to exactly `budget` total points, split over
+    /// `shards` shards.
     ///
     /// The shard count is halved until every shard's slice holds at least
     /// [`MIN_SLICE`](Self::MIN_SLICE) points (so small budgets are not
     /// fragmented into slices too small to hold a front), then the budget
-    /// divides evenly; the floor division guarantees the cache-wide points
-    /// total never exceeds `budget`. A budget of 0 disables storage
-    /// entirely (every insert is refused and counted as an eviction).
+    /// splits as evenly as possible — the division remainder is spread one
+    /// point at a time over the first shards ([`split_budget`](Self::split_budget)),
+    /// so the slices sum to exactly `budget`: the cache-wide points total
+    /// can never exceed the budget *and* never silently loses the up-to-
+    /// `shards − 1` remainder points a floor division would drop. A budget
+    /// of 0 disables storage entirely (every insert is refused and counted
+    /// as an eviction).
     pub fn with_budget(shards: usize, budget: usize) -> Self {
         let n = Self::shards_for_budget(shards.max(1).next_power_of_two(), budget);
-        Self::build(n, Some(budget / n))
+        Self::build(n, Some(Self::split_budget(budget, n)))
+    }
+
+    /// Splits `budget` points over `n` slices that sum to exactly `budget`:
+    /// each slice gets `budget / n`, and the first `budget % n` slices one
+    /// extra point. Shared policy between this cache's own construction
+    /// and routers that partition a budget over per-shard caches.
+    pub fn split_budget(budget: usize, n: usize) -> Vec<usize> {
+        let (base, remainder) = (budget / n.max(1), budget % n.max(1));
+        (0..n).map(|i| base + usize::from(i < remainder)).collect()
     }
 
     /// The smallest per-shard budget slice [`with_budget`](Self::with_budget)
@@ -166,22 +188,33 @@ impl FrontCache {
         n
     }
 
-    fn build(shards: usize, budget_per_shard: Option<usize>) -> Self {
+    fn build(shards: usize, budgets: Option<Vec<usize>>) -> Self {
         let n = shards.max(1).next_power_of_two();
+        debug_assert!(budgets.as_ref().is_none_or(|b| b.len() == n));
         let shards = (0..n).map(|_| Mutex::new(Shard::default())).collect::<Vec<_>>();
         FrontCache {
             shards: shards.into_boxed_slice(),
-            budget_per_shard,
+            budgets: budgets.map(Vec::into_boxed_slice),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+    /// The total points budget (the sum of the per-shard slices); `None`
+    /// for an unbounded cache.
+    pub fn budget(&self) -> Option<usize> {
+        self.budgets.as_ref().map(|b| b.iter().sum())
+    }
+
+    fn shard_index(&self, key: &CacheKey) -> usize {
         // The structural hash is already well-mixed; its low bits pick the
         // shard and the map's own hasher re-mixes the rest.
-        &self.shards[(key.hash.0 as usize) & (self.shards.len() - 1)]
+        (key.hash.0 as usize) & (self.shards.len() - 1)
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Looks a front up, counting a hit or miss and bumping LRU recency.
@@ -198,7 +231,7 @@ impl FrontCache {
     /// hit/miss counters — used by the engine, which classifies a whole
     /// batch deterministically up front and adds the counts in bulk.
     pub fn touch(&self, key: &CacheKey) -> Option<Arc<CachedFront>> {
-        let tracked = self.budget_per_shard.is_some();
+        let tracked = self.budgets.is_some();
         let mut shard = self.shard(key).lock().expect("cache shard poisoned");
         let now = shard.tick();
         let slot = shard.map.get_mut(key)?;
@@ -240,12 +273,14 @@ impl FrontCache {
     /// whole slice is returned uncached.
     pub fn insert(&self, key: CacheKey, entry: CachedFront) -> Arc<CachedFront> {
         let weight = entry.weight();
-        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let index = self.shard_index(&key);
+        let slice = self.budgets.as_ref().map(|b| b[index]);
+        let mut shard = self.shards[index].lock().expect("cache shard poisoned");
         if let Some(slot) = shard.map.get(&key) {
             return slot.entry.clone();
         }
         let entry = Arc::new(entry);
-        if let Some(budget) = self.budget_per_shard {
+        if let Some(budget) = slice {
             if weight > budget {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 return entry;
@@ -254,7 +289,7 @@ impl FrontCache {
         let now = shard.tick();
         shard.points += weight;
         shard.map.insert(key, Slot { entry: entry.clone(), weight, last_used: now });
-        if let Some(budget) = self.budget_per_shard {
+        if let Some(budget) = slice {
             shard.lru.insert(now, key);
             while shard.points > budget {
                 // The newest entry carries the max clock and fits the
@@ -430,6 +465,57 @@ mod tests {
         assert!(!cache.contains(&key(5)));
         assert_eq!(cache.points(), 0);
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn split_budget_spreads_the_remainder() {
+        assert_eq!(FrontCache::split_budget(35, 4), vec![9, 9, 9, 8]);
+        assert_eq!(FrontCache::split_budget(8, 4), vec![2, 2, 2, 2]);
+        assert_eq!(FrontCache::split_budget(7, 4), vec![2, 2, 2, 1]);
+        assert_eq!(FrontCache::split_budget(0, 4), vec![0, 0, 0, 0]);
+        for (budget, n) in [(35, 4), (7, 3), (100, 16), (5, 8)] {
+            assert_eq!(FrontCache::split_budget(budget, n).iter().sum::<usize>(), budget);
+        }
+    }
+
+    #[test]
+    fn budget_capacity_is_tight() {
+        // 35 points over 4 shards: floor division would cap the cache at
+        // 32 points; the remainder distribution must make all 35 usable.
+        let budget = 35;
+        let cache = FrontCache::with_budget(4, budget);
+        assert_eq!(cache.budget(), Some(budget), "no budget point may be lost to truncation");
+        // Fill every shard to its slice: hash low bits select the shard,
+        // so hashes ≡ i (mod 4) land on shard i. Slices are [9,9,9,8].
+        for (shard, slice) in [9usize, 9, 9, 8].into_iter().enumerate() {
+            for k in 0..slice {
+                cache.insert(key((shard + 4 * k) as u128), entry_of(1));
+            }
+        }
+        assert_eq!(cache.points(), budget, "the whole budget is fillable");
+        assert_eq!(cache.stats().evictions, 0, "filling to capacity must not evict");
+        // One more point anywhere now evicts instead of overflowing.
+        cache.insert(key(1000), entry_of(1));
+        assert_eq!(cache.points(), budget);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn witnessed_entries_weigh_their_witness_storage() {
+        use cdat_core::{Attack, BasId};
+        use cdat_pareto::FrontEntry;
+        let witnessed = CachedFront {
+            result: Ok(ParetoFront::from_entries([
+                FrontEntry::with_witness(0.0, 1.0, Attack::empty(3)),
+                FrontEntry::with_witness(1.0, 2.0, Attack::from_bas_ids(3, [BasId::new(0)])),
+                FrontEntry::point(2.0, 3.0),
+            ])),
+            compute: Duration::ZERO,
+        };
+        assert_eq!(witnessed.weight(), 5, "3 points + 2 witnesses");
+        assert_eq!(entry_of(4).weight(), 4, "bare points weigh one each");
+        let error = CachedFront { result: Err("x".into()), compute: Duration::ZERO };
+        assert_eq!(error.weight(), 1);
     }
 
     #[test]

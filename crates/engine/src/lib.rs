@@ -27,11 +27,27 @@
 //!
 //! # Witnesses
 //!
-//! Batch responses carry `(cost, damage)` points, not witness attacks.
-//! Deduplication identifies trees up to renaming and sibling reordering,
-//! under which front *points* are invariant but BAS numberings (hence
-//! witnesses) are not. Use the one-call solvers ([`cdat_bottomup`],
-//! [`cdat_bilp`]) when witnesses matter.
+//! Responses carry `(cost, damage)` points by default, and full witness
+//! attacks on request ([`BatchRequest::with_witnesses`]). Deduplication
+//! identifies trees up to renaming and sibling reordering, under which
+//! front *points* are invariant but BAS numberings are not — so the cache
+//! stores each front's witnesses in **canonical BAS positions**
+//! ([`cdat_core::canonical::Canonical`]) and [`Engine::run`] translates
+//! them into the requesting tree's own numbering at answer time. Two
+//! renamed/reordered copies of a tree thus share one cached front, yet
+//! each receives witnesses valid for *its* BAS ids, exactly matching what
+//! the one-call solvers ([`cdat_bottomup`], [`cdat_bilp`]) return on that
+//! copy.
+//!
+//! Witnesses are stored **unconditionally** — cache entries are shared, so
+//! a front computed for a points-only request must still be able to answer
+//! a later witnessed one. Consequently a cached front point weighs two
+//! points of a budgeted cache whether or not anyone has opted in yet (see
+//! [`CachedFront::weight`]), and every miss pays one canonical traversal
+//! to store the witnesses translatably. What the per-request opt-in
+//! controls is the *response*: only witnessed requests pay the
+//! per-requester canonical traversal (memoized per tree within a batch)
+//! and the translation, and only their responses carry attacks.
 //!
 //! # Example
 //!
@@ -67,9 +83,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use cdat_core::canonical::{hash_cd, hash_cdp};
-use cdat_core::{CdAttackTree, CdpAttackTree, StructuralHash};
-use cdat_pareto::{CostDamage, ParetoFront};
+use cdat_core::canonical::{canonicalize_cd, canonicalize_cdp, hash_cd, hash_cdp};
+use cdat_core::{BasId, CdAttackTree, CdpAttackTree, StructuralHash};
+use cdat_pareto::{FrontEntry, ParetoFront};
 
 pub use cache::{CacheKey, CacheStats, CachedFront, FrontCache};
 
@@ -162,6 +178,9 @@ pub struct BatchRequest {
     pub query: Query,
     /// Which solver to use on a cache miss.
     pub hint: SolverHint,
+    /// Whether responses should carry witness attacks (translated to this
+    /// tree's BAS numbering); see the crate docs on witnesses.
+    pub witnesses: bool,
     /// Precomputed canonical hash (see [`BatchRequest::with_hash`]);
     /// `None` means the engine computes it.
     pub hash: Option<StructuralHash>,
@@ -170,7 +189,7 @@ pub struct BatchRequest {
 impl BatchRequest {
     /// Creates a request against a cdp-AT (automatic solver dispatch).
     pub fn new(tree: Arc<CdpAttackTree>, query: Query) -> Self {
-        BatchRequest { tree, query, hint: SolverHint::Auto, hash: None }
+        BatchRequest { tree, query, hint: SolverHint::Auto, witnesses: false, hash: None }
     }
 
     /// Creates a request against a cd-AT by attaching certain (probability
@@ -182,12 +201,21 @@ impl BatchRequest {
     pub fn deterministic(cd: CdAttackTree, query: Query) -> Self {
         let n = cd.tree().bas_count();
         let cdp = CdpAttackTree::from_parts(cd, vec![1.0; n]).expect("probability 1 is valid");
-        BatchRequest { tree: Arc::new(cdp), query, hint: SolverHint::Auto, hash: None }
+        Self::new(Arc::new(cdp), query)
     }
 
     /// Sets the solver hint.
     pub fn with_hint(mut self, hint: SolverHint) -> Self {
         self.hint = hint;
+        self
+    }
+
+    /// Requests witness attacks in the response, expressed in this tree's
+    /// own BAS numbering (cached fronts are translated; see the crate
+    /// docs). Costs one canonical traversal per distinct tree object per
+    /// batch, plus the per-response translation.
+    pub fn with_witnesses(mut self, witnesses: bool) -> Self {
+        self.witnesses = witnesses;
         self
     }
 
@@ -224,13 +252,15 @@ fn hint_error(request: &BatchRequest) -> Option<String> {
 /// The answer to one request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
-    /// A full Pareto front (for [`Query::Cdpf`] / [`Query::Cedpf`]);
-    /// points only, see the crate docs on witnesses.
+    /// A full Pareto front (for [`Query::Cdpf`] / [`Query::Cedpf`]).
+    /// Entries carry witness attacks in the requesting tree's BAS
+    /// numbering when the request asked for them
+    /// ([`BatchRequest::with_witnesses`]), and bare points otherwise.
     Front(ParetoFront),
-    /// A single optimum (for the four single-objective queries); `None`
-    /// when no attack satisfies the constraint (negative budget,
-    /// unattainable threshold).
-    Entry(Option<CostDamage>),
+    /// A single optimum (for the four single-objective queries), with the
+    /// same witness rule as [`Response::Front`]; `None` when no attack
+    /// satisfies the constraint (negative budget, unattainable threshold).
+    Entry(Option<FrontEntry>),
     /// The query is not answerable on this tree (probabilistic queries on
     /// DAG-like trees).
     Error(String),
@@ -310,19 +340,49 @@ impl Engine {
         // of the worker count.
         let mut sources = Vec::with_capacity(requests.len());
         let mut designated = vec![false; requests.len()];
+        // Per request: its canonical BAS order, computed only when the
+        // request wants witnesses (cached witnesses are stored in
+        // canonical positions; this is the key that maps them back into
+        // the requesting tree's own numbering). The canonical traversal is
+        // memoized per (tree object, front kind): "many queries against
+        // one tree" — the Arc-sharing pattern the engine is built for —
+        // canonicalizes each tree once per run, not once per request.
+        /// Phase-1 memo: per distinct (tree object, front kind), the
+        /// canonical hash and the shared canonical BAS order.
+        type CanonMemo = std::collections::HashMap<(*const CdpAttackTree, FrontKind), CanonEntry>;
+        type CanonEntry = (StructuralHash, Arc<Vec<BasId>>);
+        let mut translations: Vec<Option<Arc<Vec<BasId>>>> = Vec::with_capacity(requests.len());
+        let mut canon_of_tree: CanonMemo = Default::default();
         let mut jobs: Vec<(CacheKey, &CdpAttackTree, SolverHint)> = Vec::new();
         let mut job_of_key: std::collections::HashMap<CacheKey, usize> = Default::default();
         let (mut hits, mut misses) = (0u64, 0u64);
         for (i, request) in requests.iter().enumerate() {
             if let Some(message) = hint_error(request) {
                 sources.push(Source::Invalid(message));
+                translations.push(None);
                 continue;
             }
             let kind = request.query.kind();
-            let hash = request.hash.unwrap_or_else(|| match kind {
-                FrontKind::Deterministic => hash_cd(request.tree.cd()),
-                FrontKind::Probabilistic => hash_cdp(&request.tree),
+            let canonical = request.witnesses.then(|| {
+                canon_of_tree
+                    .entry((Arc::as_ptr(&request.tree), kind))
+                    .or_insert_with(|| {
+                        let canonical = match kind {
+                            FrontKind::Deterministic => canonicalize_cd(request.tree.cd()),
+                            FrontKind::Probabilistic => canonicalize_cdp(&request.tree),
+                        };
+                        (canonical.hash, Arc::new(canonical.bas_order))
+                    })
+                    .clone()
             });
+            let hash = request.hash.unwrap_or_else(|| match &canonical {
+                Some((hash, _)) => *hash,
+                None => match kind {
+                    FrontKind::Deterministic => hash_cd(request.tree.cd()),
+                    FrontKind::Probabilistic => hash_cdp(&request.tree),
+                },
+            });
+            translations.push(canonical.map(|(_, order)| order));
             let key = CacheKey { hash, kind };
             if let Some(entry) = self.cache.touch(&key) {
                 hits += 1;
@@ -367,7 +427,9 @@ impl Engine {
             });
         }
 
-        // Phase 3 — answer every request from its source, in batch order.
+        // Phase 3 — answer every request from its source, in batch order,
+        // translating cached canonical witnesses into each requester's own
+        // BAS numbering.
         requests
             .iter()
             .zip(sources)
@@ -379,7 +441,11 @@ impl Engine {
                     compute: Duration::ZERO,
                 },
                 Source::Cached(entry) => BatchResult {
-                    response: answer(request.query, &entry),
+                    response: answer(
+                        request.query,
+                        &entry,
+                        translations[i].as_ref().map(|order| order.as_slice()),
+                    ),
                     cache_hit: true,
                     compute: Duration::ZERO,
                 },
@@ -387,7 +453,11 @@ impl Engine {
                     let entry = computed[job].get().expect("phase 2 computed every job");
                     let compute = if designated[i] { entry.compute } else { Duration::ZERO };
                     BatchResult {
-                        response: answer(request.query, entry),
+                        response: answer(
+                            request.query,
+                            entry,
+                            translations[i].as_ref().map(|order| order.as_slice()),
+                        ),
                         cache_hit: !designated[i],
                         compute,
                     }
@@ -403,9 +473,11 @@ impl Engine {
 /// error); explicit hints force their solver (validated in phase 1, see
 /// [`hint_error`]).
 ///
-/// Witnesses are stripped: the cache answers renamed/reordered trees whose
-/// BAS numbering the witnesses would not fit (and points-only fronts are
-/// smaller to retain).
+/// Witnesses are kept, re-expressed in **canonical BAS positions**: the
+/// cache answers renamed/reordered copies of this tree whose BAS numbering
+/// the raw witnesses would not fit, so witnesses are stored in the
+/// numbering every copy can translate from (see
+/// [`cdat_core::canonical::Canonical`] and [`answer`]).
 fn compute_front(
     kind: FrontKind,
     cdp: &CdpAttackTree,
@@ -428,22 +500,42 @@ fn compute_front(
             cdat_bottomup::cedpf(cdp).map_err(|_| DAG_PROBABILISTIC_OPEN.to_owned())?
         }
     };
-    Ok(ParetoFront::from_points(front.points()))
+    let canonical = match kind {
+        FrontKind::Deterministic => canonicalize_cd(cdp.cd()),
+        FrontKind::Probabilistic => canonicalize_cdp(cdp),
+    };
+    let position = canonical.positions();
+    Ok(front.map_witnesses(position.len(), |b| BasId::new(position[b.index()])))
 }
 
-/// Answers a query from its (cached) front.
-fn answer(query: Query, cached: &CachedFront) -> Response {
+/// Answers a query from its (cached) front. `translation`, present exactly
+/// when the request asked for witnesses, is the requester's canonical BAS
+/// order: stored witnesses live in canonical positions, and
+/// `translation[k]` is the requester's BAS at canonical position `k`.
+/// Without a translation, witnesses are stripped.
+fn answer(query: Query, cached: &CachedFront, translation: Option<&[BasId]>) -> Response {
     let front = match &cached.result {
         Ok(front) => front,
         Err(message) => return Response::Error(message.clone()),
     };
+    let translate = |e: &FrontEntry| FrontEntry {
+        point: e.point,
+        witness: translation.and_then(|order| {
+            e.witness.as_ref().map(|w| {
+                cdat_core::Attack::from_bas_ids(order.len(), w.iter().map(|k| order[k.index()]))
+            })
+        }),
+    };
     match query {
-        Query::Cdpf | Query::Cedpf => Response::Front(front.clone()),
+        Query::Cdpf | Query::Cedpf => Response::Front(match translation {
+            Some(order) => front.map_witnesses(order.len(), |k| order[k.index()]),
+            None => front.without_witnesses(),
+        }),
         Query::Dgc(budget) | Query::Edgc(budget) => {
-            Response::Entry(front.max_damage_within(budget).map(|e| e.point))
+            Response::Entry(front.max_damage_within(budget).map(translate))
         }
         Query::Cgd(threshold) | Query::Cged(threshold) => {
-            Response::Entry(front.min_cost_achieving(threshold).map(|e| e.point))
+            Response::Entry(front.min_cost_achieving(threshold).map(translate))
         }
     }
 }
@@ -486,8 +578,8 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        assert_eq!(results[1].response, Response::Entry(Some(CostDamage::new(1.0, 200.0))));
-        assert_eq!(results[2].response, Response::Entry(Some(CostDamage::new(3.0, 210.0))));
+        assert_eq!(results[1].response, Response::Entry(Some(FrontEntry::point(1.0, 200.0))));
+        assert_eq!(results[2].response, Response::Entry(Some(FrontEntry::point(3.0, 210.0))));
         assert!(matches!(&results[3].response, Response::Front(_)));
         assert!(matches!(&results[4].response, Response::Entry(Some(_))));
         assert!(matches!(&results[5].response, Response::Entry(Some(_))));
@@ -687,6 +779,116 @@ mod tests {
             assert!(stats.points <= 8, "points {} over budget", stats.points);
         }
         assert!(tight.cache().stats().evictions > 0, "30 distinct fronts must evict at budget 8");
+    }
+
+    /// The factory shape with permuted BAS numbering *and* fresh names:
+    /// BAS ids are pb=0, fd=1, ca=2 (the factory's are ca=0, pb=1, fd=2).
+    fn permuted_factory() -> Arc<CdpAttackTree> {
+        let mut b = cdat_core::AttackTreeBuilder::new();
+        let pb = b.bas("one");
+        let fd = b.bas("two");
+        let dr = b.and("three", [fd, pb]);
+        let ca = b.bas("four");
+        let _ps = b.or("five", [dr, ca]);
+        let tree = b.build().unwrap();
+        let cd = CdAttackTree::from_parts(
+            tree,
+            vec![3.0, 2.0, 1.0],                // costs of pb, fd, ca
+            vec![0.0, 10.0, 100.0, 0.0, 200.0], // damages of pb, fd, dr, ca, ps
+        )
+        .unwrap();
+        Arc::new(CdpAttackTree::from_parts(cd, vec![0.4, 0.9, 0.2]).unwrap())
+    }
+
+    /// Every witness must reproduce its entry's point on the given tree.
+    fn assert_witnesses_valid(tree: &CdpAttackTree, front: &ParetoFront) {
+        for e in front.entries() {
+            let w = e.witness.as_ref().expect("witness requested");
+            assert_eq!(w.universe(), tree.tree().bas_count());
+            assert_eq!(tree.cd().cost_of(w), e.point.cost, "witness cost for {}", e.point);
+            assert_eq!(tree.cd().damage_of(w), e.point.damage, "witness damage for {}", e.point);
+        }
+    }
+
+    #[test]
+    fn witnesses_translate_to_each_copys_numbering() {
+        // The factory and a renamed, reordered, BAS-renumbered copy share
+        // one cache entry, yet each gets witnesses valid for its own ids.
+        let (original, copy) = (factory(), permuted_factory());
+        let engine = Engine::new(2);
+        let results = engine.run(&[
+            BatchRequest::new(original.clone(), Query::Cdpf).with_witnesses(true),
+            BatchRequest::new(copy.clone(), Query::Cdpf).with_witnesses(true),
+            BatchRequest::new(copy.clone(), Query::Dgc(2.0)).with_witnesses(true),
+        ]);
+        assert!(!results[0].cache_hit);
+        assert!(results[1].cache_hit, "the copy must dedupe onto the factory's entry");
+        assert_eq!(engine.cache().stats().entries, 1);
+        for (result, tree) in [(&results[0], &original), (&results[1], &copy)] {
+            match &result.response {
+                Response::Front(front) => {
+                    assert_eq!(
+                        front.to_string(),
+                        "{(0, 0), (1, 200), (3, 210), (5, 310)}",
+                        "points are shared"
+                    );
+                    assert_witnesses_valid(tree, front);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        // The (1, 200) optimum within budget 2 is the cyberattack alone —
+        // BAS id 2 in the *copy's* numbering.
+        match &results[2].response {
+            Response::Entry(Some(e)) => {
+                assert_eq!(e.point, cdat_pareto::CostDamage::new(1.0, 200.0));
+                let w = e.witness.as_ref().expect("witness requested");
+                assert_eq!(w.iter().collect::<Vec<_>>(), vec![BasId::new(2)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unwitnessed_responses_stay_point_only() {
+        // A witnessed request warms the cache; an unwitnessed one on the
+        // same entry must still answer bare points.
+        let engine = Engine::new(1);
+        let results = engine.run(&[
+            BatchRequest::new(factory(), Query::Cdpf).with_witnesses(true),
+            BatchRequest::new(factory(), Query::Cdpf),
+            BatchRequest::new(factory(), Query::Dgc(2.0)),
+        ]);
+        match &results[1].response {
+            Response::Front(front) => {
+                assert!(front.entries().iter().all(|e| e.witness.is_none()));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(results[2].response, Response::Entry(Some(FrontEntry::point(1.0, 200.0))));
+    }
+
+    #[test]
+    fn probabilistic_witnesses_translate_too() {
+        let (original, copy) = (factory(), permuted_factory());
+        let engine = Engine::new(2);
+        let results = engine.run(&[
+            BatchRequest::new(original.clone(), Query::Cedpf).with_witnesses(true),
+            BatchRequest::new(copy.clone(), Query::Cedpf).with_witnesses(true),
+        ]);
+        assert!(results[1].cache_hit, "probabilistic entries dedupe as well");
+        for (result, tree) in [(&results[0], &original), (&results[1], &copy)] {
+            match &result.response {
+                Response::Front(front) => {
+                    assert!(!front.is_empty());
+                    for e in front.entries() {
+                        let w = e.witness.as_ref().expect("witness requested");
+                        assert_eq!(tree.cd().cost_of(w), e.point.cost);
+                    }
+                }
+                other => panic!("{other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -298,8 +298,11 @@ impl Parser<'_> {
     }
 
     /// Parses the 4 hex digits after `\u` (the `\u` is already consumed),
-    /// combining UTF-16 surrogate pairs.
+    /// combining UTF-16 surrogate pairs. Surrogate errors carry the byte
+    /// offset of the offending `\uXXXX` escape (protocol requests are one
+    /// line, so the byte offset is the line position).
     fn unicode_escape(&mut self) -> Result<char, String> {
+        let at = self.pos.saturating_sub(2); // offset of the escape's `\`
         let first = self.hex4()?;
         let code = if (0xD800..0xDC00).contains(&first) {
             // High surrogate: a `\uXXXX` low surrogate must follow.
@@ -307,18 +310,20 @@ impl Parser<'_> {
                 self.pos += 2;
                 let second = self.hex4()?;
                 if !(0xDC00..0xE000).contains(&second) {
-                    return Err("invalid low surrogate".into());
+                    return Err(format!(
+                        "invalid low surrogate \\u{second:04x} after high surrogate at byte {at}"
+                    ));
                 }
                 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
             } else {
-                return Err("unpaired high surrogate".into());
+                return Err(format!("unpaired high surrogate \\u{first:04x} at byte {at}"));
             }
         } else if (0xDC00..0xE000).contains(&first) {
-            return Err("unpaired low surrogate".into());
+            return Err(format!("unpaired low surrogate \\u{first:04x} at byte {at}"));
         } else {
             first
         };
-        char::from_u32(code).ok_or_else(|| "invalid unicode escape".into())
+        char::from_u32(code).ok_or_else(|| format!("invalid unicode escape at byte {at}"))
     }
 
     fn hex4(&mut self) -> Result<u32, String> {
@@ -412,6 +417,31 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn surrogate_error_paths_report_positions() {
+        // Lone high surrogate at end of string.
+        let err = parse(r#""ab\ud800""#).unwrap_err();
+        assert!(err.contains("unpaired high surrogate"), "{err}");
+        assert!(err.contains("at byte 3"), "{err}");
+        // High surrogate followed by a non-\uXXXX token.
+        for tail in ["x", r"\n", " \\u0041"] {
+            let text = format!("\"\\ud83d{tail}\"");
+            let err = parse(&text).unwrap_err();
+            assert!(err.contains("unpaired high surrogate \\ud83d"), "{text:?}: {err}");
+            assert!(err.contains("at byte 1"), "{text:?}: {err}");
+        }
+        // High surrogate followed by a \uXXXX that is not a low surrogate.
+        let err = parse(r#""\ud800\u0041""#).unwrap_err();
+        assert!(err.contains("invalid low surrogate \\u0041"), "{err}");
+        assert!(err.contains("at byte 1"), "{err}");
+        // Unpaired low surrogate.
+        let err = parse(r#""x\udc00y""#).unwrap_err();
+        assert!(err.contains("unpaired low surrogate \\udc00"), "{err}");
+        assert!(err.contains("at byte 2"), "{err}");
+        // Valid pairs still parse (the happy path is untouched).
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap(), Value::Str("\u{1F600}".into()));
     }
 
     #[test]

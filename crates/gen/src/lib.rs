@@ -193,6 +193,72 @@ pub fn decorate_prob(tree: AttackTree, rng: &mut impl Rng) -> CdpAttackTree {
     CdpAttackTree::from_parts(cd, prob).expect("random probabilities are valid")
 }
 
+/// Builds a renamed, reordered, renumbered — but structurally and
+/// semantically identical — copy of a decorated tree.
+///
+/// The copy inserts nodes in a *random topological order* (so node and BAS
+/// ids are permuted), shuffles every gate's child order, regenerates all
+/// names, and carries each node's attributes along to its new id. Its
+/// canonical structural hash therefore equals the original's, while its BAS
+/// numbering generally does not — exactly the situation the engine's
+/// witness-preserving dedup must handle, and what this generator exists to
+/// exercise.
+pub fn isomorphic_copy(cdp: &CdpAttackTree, rng: &mut impl Rng) -> CdpAttackTree {
+    let tree = cdp.tree();
+    let n = tree.node_count();
+    let mut builder = AttackTreeBuilder::new();
+    // map[old node] = new id, filled in random topological order: a node
+    // becomes ready once all its children are inserted.
+    let mut map: Vec<Option<NodeId>> = vec![None; n];
+    let mut waiting: Vec<usize> = tree.node_ids().map(|v| tree.children(v).len()).collect();
+    let mut ready: Vec<NodeId> = tree.node_ids().filter(|&v| tree.children(v).is_empty()).collect();
+    let mut counter = 0usize;
+    while !ready.is_empty() {
+        let v = ready.swap_remove(rng.gen_range(0..ready.len()));
+        let name = format!("m{counter}");
+        counter += 1;
+        let id = match tree.node_type(v) {
+            NodeType::Bas => builder.bas(&name),
+            ty => {
+                let mut children: Vec<NodeId> = tree
+                    .children(v)
+                    .iter()
+                    .map(|c| map[c.index()].expect("children precede parents"))
+                    .collect();
+                // Shuffle sibling order (semantically irrelevant).
+                for i in (1..children.len()).rev() {
+                    children.swap(i, rng.gen_range(0..=i));
+                }
+                builder.gate(&name, ty, children)
+            }
+        };
+        map[v.index()] = Some(id);
+        for &p in tree.parents(v) {
+            waiting[p.index()] -= 1;
+            if waiting[p.index()] == 0 {
+                ready.push(p);
+            }
+        }
+    }
+    let copy = builder.build().expect("copy of a valid tree is valid");
+
+    // Carry the attributes over to the permuted ids.
+    let mut damage = vec![0.0; n];
+    let mut cost = vec![0.0; copy.bas_count()];
+    let mut prob = vec![1.0; copy.bas_count()];
+    for v in tree.node_ids() {
+        let new = map[v.index()].expect("every node copied");
+        damage[new.index()] = cdp.cd().damage(v);
+        if let Some(b) = tree.bas_of_node(v) {
+            let nb = copy.bas_of_node(new).expect("BASs stay BASs");
+            cost[nb.index()] = cdp.cd().cost(b);
+            prob[nb.index()] = cdp.prob(b);
+        }
+    }
+    let cd = CdAttackTree::from_parts(copy, cost, damage).expect("attributes carried verbatim");
+    CdpAttackTree::from_parts(cd, prob).expect("probabilities carried verbatim")
+}
+
 /// Generates a small random attack tree for cross-validation tests: top-down
 /// expansion to at most `max_bas` BASs; treelike, or with extra sharing
 /// injected when `treelike` is `false`.
@@ -336,6 +402,27 @@ mod tests {
             saw_dag |= !d.is_treelike();
         }
         assert!(saw_dag, "sharing injection should produce some DAGs");
+    }
+
+    #[test]
+    fn isomorphic_copies_share_hashes_but_permute_numbering() {
+        use cdat_core::canonical::{hash_cd, hash_cdp};
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut permuted = false;
+        for i in 0..30 {
+            let treelike = rng.gen_bool(0.5);
+            let tree = random_small(&mut rng, 8, treelike);
+            let cdp = decorate_prob(tree, &mut rng);
+            let copy = isomorphic_copy(&cdp, &mut rng);
+            assert_eq!(hash_cdp(&cdp), hash_cdp(&copy), "case {i}: cdp hashes must agree");
+            assert_eq!(hash_cd(cdp.cd()), hash_cd(copy.cd()), "case {i}: cd hashes must agree");
+            assert_eq!(copy.tree().node_count(), cdp.tree().node_count());
+            assert_eq!(copy.tree().bas_count(), cdp.tree().bas_count());
+            assert_eq!(copy.cd().max_damage(), cdp.cd().max_damage(), "case {i}");
+            assert_eq!(copy.cd().total_cost(), cdp.cd().total_cost(), "case {i}");
+            permuted |= copy.cd().costs() != cdp.cd().costs();
+        }
+        assert!(permuted, "30 shuffles must permute at least one cost table");
     }
 
     #[test]

@@ -167,9 +167,27 @@ mod tests {
             })
             .copied()
             .collect();
-        front.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        front.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
         front.dedup();
         front
+    }
+
+    #[test]
+    fn non_finite_objectives_do_not_panic_the_brute_force_order() {
+        // NaN/∞ coefficients produce NaN objective values; the reference
+        // front's sort must stay a total order (total_cmp) instead of
+        // panicking on an unwrapped partial_cmp, and granularity must
+        // refuse to derive a decrement from them.
+        let p = BiobjectiveProblem {
+            num_vars: 2,
+            f1: vec![1.0, f64::NAN],
+            f2: vec![f64::INFINITY, 1.0],
+            constraints: vec![],
+        };
+        assert_eq!(granularity(&p.f1), None);
+        assert_eq!(granularity(&p.f2), None);
+        let front = brute_force(&p);
+        assert!(!front.is_empty(), "the brute-force sweep must complete");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use cdat_core::Attack;
+use cdat_core::{Attack, BasId};
 
 use crate::point::CostDamage;
 
@@ -192,6 +192,37 @@ impl ParetoFront {
             .is_some_and(|e| e.point.damage >= p.damage - tolerance)
     }
 
+    /// Returns this front with every witness's BAS ids mapped through
+    /// `map`, over a universe of `universe` BASs.
+    ///
+    /// Points, entry order and witness cardinalities are preserved — this
+    /// is a pure renumbering (no re-minimization), used to translate
+    /// witnesses between a tree and its canonical BAS order, or between
+    /// renamed/reordered copies of one tree. `map` must be injective on
+    /// each witness or BASs would silently collapse.
+    pub fn map_witnesses(&self, universe: usize, map: impl Fn(BasId) -> BasId) -> ParetoFront {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| FrontEntry {
+                point: e.point,
+                witness: e
+                    .witness
+                    .as_ref()
+                    .map(|w| Attack::from_bas_ids(universe, w.iter().map(&map))),
+            })
+            .collect();
+        ParetoFront { entries }
+    }
+
+    /// Returns this front with every witness dropped (points only) —
+    /// entry order and points are preserved.
+    pub fn without_witnesses(&self) -> ParetoFront {
+        let entries =
+            self.entries.iter().map(|e| FrontEntry { point: e.point, witness: None }).collect();
+        ParetoFront { entries }
+    }
+
     /// ε-domination equivalence: each front dominates every point of the
     /// other up to `tolerance`.
     ///
@@ -323,6 +354,32 @@ mod tests {
         ]);
         assert_eq!(front.len(), 1);
         assert_eq!(front.entries()[0].witness.as_ref(), Some(&w));
+    }
+
+    #[test]
+    fn map_witnesses_renumbers_without_reminimizing() {
+        use cdat_core::BasId;
+        let b = |i: usize| BasId::new(i);
+        let front = ParetoFront::from_entries([
+            FrontEntry::with_witness(0.0, 0.0, Attack::empty(3)),
+            FrontEntry::with_witness(1.0, 5.0, Attack::from_bas_ids(3, [b(0), b(2)])),
+            FrontEntry::point(2.0, 7.0),
+        ]);
+        // Reverse the numbering: 0↔2, 1 fixed.
+        let mapped = front.map_witnesses(3, |bas| b(2 - bas.index()));
+        assert_eq!(mapped.len(), front.len());
+        for (a, m) in front.entries().iter().zip(mapped.entries()) {
+            assert_eq!(a.point, m.point);
+        }
+        let w = mapped.entries()[1].witness.as_ref().unwrap();
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![b(0), b(2)], "0↔2 maps the set to itself");
+        let w0 = mapped.entries()[0].witness.as_ref().unwrap();
+        assert!(w0.is_empty());
+        assert!(mapped.entries()[2].witness.is_none(), "bare points stay bare");
+
+        let stripped = mapped.without_witnesses();
+        assert!(stripped.entries().iter().all(|e| e.witness.is_none()));
+        assert_eq!(stripped.to_string(), front.to_string());
     }
 
     #[test]

@@ -51,6 +51,7 @@
 //!         tree: tree.clone(),
 //!         query: Query::Dgc(i as f64),
 //!         hint: SolverHint::Auto,
+//!         witnesses: false,
 //!         prefix: format!("{{\"id\":{i}"),
 //!     })
 //!     .collect();

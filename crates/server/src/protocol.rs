@@ -24,17 +24,23 @@
 //!   the four thresholded queries require a finite `arg`.
 //! * `solver` — `auto` (default), `bottomup` or `bilp`; per-request solver
 //!   choice, validated against the tree's shape by the engine.
+//! * `witnesses` — `true` to include witness attacks in the response
+//!   (default `false`): each front point (and each single optimum) then
+//!   carries the BAS ids of an attack achieving it, numbered in the
+//!   requesting document's own BAS order even when the answer comes from a
+//!   cached front of a renamed/reordered copy.
 //! * `{"op":"stats"}` — answers immediately (out of band, not batched)
 //!   with the aggregate and per-shard cache statistics.
 //!
 //! # Responses
 //!
 //! One JSON object per line: the echoed `id` (plus `doc`/`name` for suite
-//! documents), the query, and one of `front` (a point array), `point` (a
-//! single optimum or `null`), or `error`. Responses carry exactly the same
-//! front bytes as `cdat batch` on the same document — the rendering code
-//! is shared — so serving output is directly diffable against batch
-//! output.
+//! documents), the query, and one of `front` (a point array, plus a
+//! parallel `witnesses` array of BAS-id arrays when requested), `point` (a
+//! single optimum or `null`, plus `witness` when requested), or `error`.
+//! Responses carry exactly the same front bytes as `cdat batch` on the
+//! same document — the rendering code is shared — so serving output is
+//! directly diffable against batch output, witnesses included.
 
 use std::sync::Arc;
 
@@ -68,6 +74,8 @@ pub struct SolveRequest {
     pub query: Query,
     /// The solver hint (`auto` unless the request says otherwise).
     pub hint: SolverHint,
+    /// Whether responses should carry witness attacks.
+    pub witnesses: bool,
 }
 
 /// One document of a solve request.
@@ -104,7 +112,10 @@ pub fn parse_request(line: &str) -> Result<Request, (Value, String)> {
     }
 
     for (key, _) in pairs {
-        if !matches!(key.as_str(), "id" | "tree" | "suite" | "query" | "arg" | "solver") {
+        if !matches!(
+            key.as_str(),
+            "id" | "tree" | "suite" | "query" | "arg" | "solver" | "witnesses"
+        ) {
             return Err(fail(format!("unknown request field {key:?}")));
         }
     }
@@ -127,6 +138,12 @@ pub fn parse_request(line: &str) -> Result<Request, (Value, String)> {
         Some(_) => return Err(fail("solver must be a string".into())),
     };
 
+    let witnesses = match value.get("witnesses") {
+        None => false,
+        Some(Value::Bool(w)) => *w,
+        Some(_) => return Err(fail("witnesses must be a boolean".into())),
+    };
+
     let (docs, suite) = match (value.get("tree"), value.get("suite")) {
         (Some(Value::Str(text)), None) => {
             let tree = cdat_format::parse(text).map_err(|e| fail(format!("tree: {e}")))?;
@@ -147,7 +164,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Value, String)> {
         (Some(_), Some(_)) => return Err(fail("give either tree or suite, not both".into())),
         (None, None) => return Err(fail("missing tree or suite".into())),
     };
-    Ok(Request::Solve(SolveRequest { id, docs, suite, query, hint }))
+    Ok(Request::Solve(SolveRequest { id, docs, suite, query, hint, witnesses }))
 }
 
 /// Parses a query name plus optional argument into an engine [`Query`].
@@ -207,8 +224,23 @@ pub fn query_fragment(query: Query) -> String {
 /// Renders a response body fragment — `,"front":...`, `,"point":...` or
 /// `,"error":...` — exactly as `cdat batch` prints it (shared bytes are
 /// what makes serve output diffable against batch output).
+///
+/// When the response carries witnesses (the request opted in), fronts gain
+/// a `witnesses` array parallel to `front` — one ascending BAS-id array
+/// per point — and single optima gain a `witness` array. Responses without
+/// witnesses render byte-identically to the pre-witness protocol.
 pub fn body_fragment(response: &Response) -> String {
     use std::fmt::Write as _;
+    let write_witness = |s: &mut String, witness: &cdat_core::Attack| {
+        s.push('[');
+        for (i, b) in witness.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{}", b.index());
+        }
+        s.push(']');
+    };
     let mut s = String::new();
     match response {
         Response::Front(front) => {
@@ -220,9 +252,27 @@ pub fn body_fragment(response: &Response) -> String {
                 let _ = write!(s, "[{},{}]", json::num(p.cost), json::num(p.damage));
             }
             s.push(']');
+            if front.entries().iter().any(|e| e.witness.is_some()) {
+                s.push_str(",\"witnesses\":[");
+                for (i, e) in front.entries().iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    match &e.witness {
+                        Some(w) => write_witness(&mut s, w),
+                        None => s.push_str("null"),
+                    }
+                }
+                s.push(']');
+            }
         }
-        Response::Entry(Some(p)) => {
+        Response::Entry(Some(e)) => {
+            let p = e.point;
             let _ = write!(s, ",\"point\":[{},{}]", json::num(p.cost), json::num(p.damage));
+            if let Some(w) = &e.witness {
+                s.push_str(",\"witness\":");
+                write_witness(&mut s, w);
+            }
         }
         Response::Entry(None) => s.push_str(",\"point\":null"),
         Response::Error(message) => {
@@ -348,12 +398,12 @@ mod tests {
 
     #[test]
     fn fragments_render_like_the_batch_cli() {
-        use cdat_pareto::{CostDamage, ParetoFront};
+        use cdat_pareto::{CostDamage, FrontEntry, ParetoFront};
         let front =
             ParetoFront::from_points([CostDamage::new(0.0, 0.0), CostDamage::new(1.0, 200.0)]);
         assert_eq!(body_fragment(&Response::Front(front)), ",\"front\":[[0,0],[1,200]]");
         assert_eq!(
-            body_fragment(&Response::Entry(Some(CostDamage::new(3.0, 210.5)))),
+            body_fragment(&Response::Entry(Some(FrontEntry::point(3.0, 210.5)))),
             ",\"point\":[3,210.5]"
         );
         assert_eq!(body_fragment(&Response::Entry(None)), ",\"point\":null");
@@ -366,6 +416,43 @@ mod tests {
             response_prefix(&Value::Num(4.0), Some((1, Some("t1"))), Query::Cdpf),
             "{\"id\":4,\"doc\":1,\"name\":\"t1\",\"query\":\"cdpf\""
         );
+    }
+
+    #[test]
+    fn witnessed_fragments_render_bas_id_arrays() {
+        use cdat_core::{Attack, BasId};
+        use cdat_pareto::{FrontEntry, ParetoFront};
+        let b = |i: usize| BasId::new(i);
+        let front = ParetoFront::from_entries([
+            FrontEntry::with_witness(0.0, 0.0, Attack::empty(3)),
+            FrontEntry::with_witness(1.0, 200.0, Attack::from_bas_ids(3, [b(0), b(2)])),
+        ]);
+        assert_eq!(
+            body_fragment(&Response::Front(front)),
+            ",\"front\":[[0,0],[1,200]],\"witnesses\":[[],[0,2]]"
+        );
+        let entry = FrontEntry::with_witness(3.0, 210.0, Attack::from_bas_ids(3, [b(1)]));
+        assert_eq!(
+            body_fragment(&Response::Entry(Some(entry))),
+            ",\"point\":[3,210],\"witness\":[1]"
+        );
+    }
+
+    #[test]
+    fn witnesses_field_parses_and_validates() {
+        let base = r#""tree":"or root damage=5\n  bas x cost=1\n""#;
+        let on = format!("{{{base},\"witnesses\":true}}");
+        let Request::Solve(req) = parse_request(&on).unwrap() else { panic!("not a solve") };
+        assert!(req.witnesses);
+        let off = format!("{{{base},\"witnesses\":false}}");
+        let Request::Solve(req) = parse_request(&off).unwrap() else { panic!("not a solve") };
+        assert!(!req.witnesses);
+        let default = format!("{{{base}}}");
+        let Request::Solve(req) = parse_request(&default).unwrap() else { panic!("not a solve") };
+        assert!(!req.witnesses, "witnesses default off");
+        let bad = format!("{{{base},\"witnesses\":1}}");
+        let (_, message) = parse_request(&bad).unwrap_err();
+        assert!(message.contains("witnesses must be a boolean"), "{message}");
     }
 
     #[test]

@@ -28,9 +28,10 @@ pub struct RouterConfig {
     /// slice holds at least [`FrontCache::MIN_SLICE`] points — a slice too
     /// small to hold a front would silently disable that shard's cache).
     pub shards: usize,
-    /// Total cache budget in front points, divided evenly over the shards
-    /// (each shard gets `budget / shards`; the floor division keeps the
-    /// cache-wide total under the budget). `None` means unbounded.
+    /// Total cache budget in front points, split over the shards as evenly
+    /// as possible ([`FrontCache::split_budget`]: the division remainder
+    /// is spread one point at a time, so the per-shard slices sum to
+    /// exactly the budget). `None` means unbounded.
     pub cache_budget: Option<usize>,
 }
 
@@ -50,6 +51,9 @@ pub struct RouteRequest {
     pub query: Query,
     /// The solver hint.
     pub hint: SolverHint,
+    /// Whether the response should carry witness attacks (translated to
+    /// this tree's BAS numbering).
+    pub witnesses: bool,
     /// Everything of the response line before the body fragment, starting
     /// with `{` (e.g. `{"id":3,"query":"cdpf"`); the shard appends
     /// `,"front":...}` / `,"point":...}` / `,"error":...}`.
@@ -76,6 +80,8 @@ enum ShardMsg {
 pub struct Router {
     txs: Vec<Sender<ShardMsg>>,
     handles: Vec<JoinHandle<()>>,
+    /// Per-shard cache budget slices; `None` means unbounded.
+    budgets: Option<Vec<usize>>,
 }
 
 impl Router {
@@ -89,14 +95,16 @@ impl Router {
             Some(budget) => FrontCache::shards_for_budget(config.shards, budget),
             None => config.shards.max(1),
         };
+        // Each shard's engine is single-threaded, so one internal cache
+        // shard suffices; the budget splits with the remainder spread so
+        // no point of it is lost to truncation.
+        let slices = config.cache_budget.map(|budget| FrontCache::split_budget(budget, shards));
         let mut txs = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for index in 0..shards {
             let (tx, rx) = channel::<ShardMsg>();
-            let cache = match config.cache_budget {
-                // Each shard's engine is single-threaded, so one internal
-                // cache shard suffices; the budget splits evenly.
-                Some(budget) => FrontCache::with_budget(1, budget / shards),
+            let cache = match &slices {
+                Some(slices) => FrontCache::with_budget(1, slices[index]),
                 None => FrontCache::new(1),
             };
             let handle = std::thread::Builder::new()
@@ -106,12 +114,19 @@ impl Router {
             txs.push(tx);
             handles.push(handle);
         }
-        Router { txs, handles }
+        Router { txs, handles, budgets: slices }
     }
 
     /// The number of shards.
     pub fn shards(&self) -> usize {
         self.txs.len()
+    }
+
+    /// The total cache budget actually provisioned across the shards (the
+    /// sum of the per-shard slices — equal to the configured budget, no
+    /// point lost to division); `None` for unbounded caches.
+    pub fn cache_budget(&self) -> Option<usize> {
+        self.budgets.as_ref().map(|slices| slices.iter().sum())
     }
 
     /// The routing hash of a request: the same canonical hash that keys
@@ -201,6 +216,7 @@ fn shard_loop(rx: Receiver<ShardMsg>, cache: FrontCache) {
                     .map(|(_, job, _, hash)| {
                         BatchRequest::new(job.tree.clone(), job.query)
                             .with_hint(job.hint)
+                            .with_witnesses(job.witnesses)
                             .with_hash(*hash)
                     })
                     .collect();
@@ -224,7 +240,13 @@ mod tests {
     use super::*;
 
     fn request(tree: Arc<CdpAttackTree>, query: Query, id: usize) -> RouteRequest {
-        RouteRequest { tree, query, hint: SolverHint::Auto, prefix: format!("{{\"id\":{id}") }
+        RouteRequest {
+            tree,
+            query,
+            hint: SolverHint::Auto,
+            witnesses: false,
+            prefix: format!("{{\"id\":{id}"),
+        }
     }
 
     fn random_trees(seed: u64, count: usize) -> Vec<Arc<CdpAttackTree>> {
@@ -316,6 +338,44 @@ mod tests {
         router.solve(vec![request(tree, Query::Cdpf, 0)]);
         let entries: usize = router.stats().iter().map(|s| s.entries).sum();
         assert_eq!(entries, 1, "the 4-point factory front must actually cache");
+    }
+
+    #[test]
+    fn witnessed_requests_render_witness_arrays() {
+        let router = Router::new(RouterConfig { shards: 2, cache_budget: None });
+        let tree = Arc::new(cdat_models::factory_cdp());
+        let mut witnessed = request(tree.clone(), Query::Cdpf, 0);
+        witnessed.witnesses = true;
+        let plain = request(tree, Query::Cdpf, 1);
+        let lines = router.solve(vec![witnessed, plain]);
+        assert_eq!(
+            lines[0],
+            "{\"id\":0,\"front\":[[0,0],[1,200],[3,210],[5,310]],\
+             \"witnesses\":[[],[0],[0,2],[1,2]]}"
+        );
+        assert_eq!(
+            lines[1], "{\"id\":1,\"front\":[[0,0],[1,200],[3,210],[5,310]]}",
+            "unwitnessed requests keep the pre-witness bytes"
+        );
+    }
+
+    #[test]
+    fn odd_budgets_are_fully_usable_across_shards() {
+        // 67 points over 4 shards: floor division would silently cap the
+        // router's caches at 64; the remainder-spreading split must
+        // provision all 67 (the positive direction the points bound alone
+        // cannot catch).
+        let router = Router::new(RouterConfig { shards: 4, cache_budget: Some(67) });
+        assert_eq!(router.shards(), 4);
+        assert_eq!(router.cache_budget(), Some(67), "no budget point may be lost to truncation");
+        let trees = random_trees(7200, 40);
+        let requests: Vec<RouteRequest> =
+            trees.iter().enumerate().map(|(i, t)| request(t.clone(), Query::Cdpf, i)).collect();
+        router.solve(requests);
+        let points: usize = router.stats().iter().map(|s| s.points).sum();
+        assert!(points <= 67, "{points} points exceed the 67-point budget");
+        let unbounded = Router::new(RouterConfig { shards: 4, cache_budget: None });
+        assert_eq!(unbounded.cache_budget(), None);
     }
 
     #[test]

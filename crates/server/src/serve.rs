@@ -139,6 +139,7 @@ fn read_loop<R: BufRead>(
                         tree: doc.tree.clone(),
                         query: request.query,
                         hint: request.hint,
+                        witnesses: request.witnesses,
                         prefix: response_prefix(&request.id, suite_info, request.query),
                     };
                     if batcher.send((next_seq(), job, reply.clone())).is_err() {
@@ -331,6 +332,31 @@ mod tests {
             let lines = sorted_by_id(serve_text(&input, &config));
             assert_eq!(lines, reference, "shards={shards} max={batch_max} window={window_us}us");
         }
+    }
+
+    #[test]
+    fn witnesses_flow_through_the_protocol() {
+        let input = concat!(
+            r#"{"id":0,"tree":"or root damage=200\n  bas ca cost=1\n  bas cb cost=2\n","witnesses":true}"#,
+            "\n",
+            r#"{"id":1,"tree":"or root damage=200\n  bas ca cost=1\n  bas cb cost=2\n"}"#,
+            "\n",
+            r#"{"id":2,"tree":"or root damage=200\n  bas ca cost=1\n  bas cb cost=2\n","query":"dgc","arg":5,"witnesses":true}"#,
+            "\n",
+        );
+        let lines = sorted_by_id(serve_text(input, &ServeConfig::default()));
+        assert_eq!(
+            lines[0],
+            "{\"id\":0,\"query\":\"cdpf\",\"front\":[[0,0],[1,200]],\"witnesses\":[[],[0]]}"
+        );
+        assert_eq!(
+            lines[1], "{\"id\":1,\"query\":\"cdpf\",\"front\":[[0,0],[1,200]]}",
+            "unwitnessed responses keep the pre-witness bytes even on a shared entry"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"id\":2,\"query\":\"dgc\",\"arg\":5,\"point\":[1,200],\"witness\":[0]}"
+        );
     }
 
     #[test]

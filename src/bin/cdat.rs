@@ -19,9 +19,12 @@
 //! reads a multi-document suite (`---`-separated trees), fans the requested
 //! queries over a worker pool with a memoizing front cache, and writes one
 //! JSON object per request to stdout — byte-identical output whatever
-//! `--workers` says (timings only appear under `--timings`). `serve` keeps
-//! the same engine warm behind a micro-batching, shard-by-hash JSON-lines
-//! protocol (`cdat::serve`); its responses carry the same bytes as `batch`.
+//! `--workers` says (timings only appear under `--timings`). `--witnesses`
+//! adds witness attacks as BAS-id arrays in each document's own numbering,
+//! translated from the shared cache entry when documents deduplicate.
+//! `serve` keeps the same engine warm behind a micro-batching,
+//! shard-by-hash JSON-lines protocol (`cdat::serve`); its responses carry
+//! the same bytes as `batch`, witnesses included.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -152,6 +155,9 @@ fn usage() -> String {
     s.push_str(
         "\nbatch flags:\n  \
          --workers N        worker threads (default: available parallelism)\n  \
+         --witnesses        include witness attacks (BAS-id arrays in each\n                     \
+         document's own numbering, translated from the\n                     \
+         shared cache entry when documents deduplicate)\n  \
          --timings          add per-request solver micros to the JSON (nondeterministic)\n  \
          --cache-budget P   bound the front cache to P points (LRU eviction)\n  \
          --cache-stats      print cache counters (hits/misses/evictions) to stderr\n  \
@@ -165,8 +171,9 @@ fn usage() -> String {
          --batch-max N      flush a micro-batch at N requests (default 64)\n  \
          --batch-window-us U  micro-batch accumulation window (default 1000)\n  \
          --cache-budget P   total front-cache budget in points, split over shards\n\
-         \nquery flags: --connect HOST:PORT plus the batch query flags; sends the\n  \
-         suite to a running `cdat serve` and prints responses in request order.\n",
+         \nquery flags: --connect HOST:PORT plus the batch query flags and\n  \
+         --witnesses; sends the suite to a running `cdat serve` and prints\n  \
+         responses in request order.\n",
     );
     s
 }
@@ -244,10 +251,12 @@ fn batch(args: &[String]) -> Result<(), String> {
         .transpose()?;
     let mut timings = false;
     let mut cache_stats = false;
+    let mut witnesses = false;
     for flag in rest {
         match flag.as_str() {
             "--timings" => timings = true,
             "--cache-stats" => cache_stats = true,
+            "--witnesses" => witnesses = true,
             other => return Err(format!("unknown batch flag {other:?}\n{}", usage())),
         }
     }
@@ -260,7 +269,7 @@ fn batch(args: &[String]) -> Result<(), String> {
     let mut requests = Vec::with_capacity(documents.len() * queries.len());
     for tree in &trees {
         for &query in &queries {
-            requests.push(solve::BatchRequest::new(tree.clone(), query));
+            requests.push(solve::BatchRequest::new(tree.clone(), query).with_witnesses(witnesses));
         }
     }
 
@@ -388,6 +397,13 @@ fn query(args: &[String]) -> Result<(), String> {
         .ok_or_else(|| format!("query needs --connect HOST:PORT\n{}", usage()))?
         .clone();
     let solver = take_value(&mut rest, "--solver")?.cloned();
+    let witnesses = match rest.iter().position(|f| f.as_str() == "--witnesses") {
+        Some(i) => {
+            rest.remove(i);
+            true
+        }
+        None => false,
+    };
     let [path] = rest.as_slice() else {
         return Err(format!("query needs exactly one suite file argument\n{}", usage()));
     };
@@ -410,6 +426,9 @@ fn query(args: &[String]) -> Result<(), String> {
         let _ = write!(request_lines, ",{}", protocol::query_fragment(query));
         if let Some(solver) = &solver {
             let _ = write!(request_lines, ",\"solver\":\"{}\"", json::escape(solver));
+        }
+        if witnesses {
+            request_lines.push_str(",\"witnesses\":true");
         }
         request_lines.push_str("}\n");
     }

@@ -136,8 +136,11 @@ pub fn cedpf_exhaustive(cdp: &CdpAttackTree) -> ParetoFront {
 /// cache should persist across batches).
 ///
 /// Results are deterministic — responses and cache-hit flags do not depend
-/// on `workers`; see [`cdat_engine`] for the guarantees and the witness
-/// caveat.
+/// on `workers`. Witness attacks are available per request via
+/// [`BatchRequest::with_witnesses`], translated into each requesting
+/// tree's own BAS numbering even when the answer comes from a cached
+/// front of a renamed/reordered copy; see [`cdat_engine`] for the
+/// guarantees.
 ///
 /// # Example
 ///
@@ -150,7 +153,7 @@ pub fn cedpf_exhaustive(cdp: &CdpAttackTree) -> ParetoFront {
 ///     (0..=5).map(|b| BatchRequest::new(tree.clone(), Query::Dgc(b as f64))).collect();
 /// let results = batch(&requests, 4);
 /// assert_eq!(results.iter().filter(|r| r.cache_hit).count(), 5, "one front, six answers");
-/// assert!(matches!(results[2].response, Response::Entry(Some(p)) if p.damage == 200.0));
+/// assert!(matches!(&results[2].response, Response::Entry(Some(e)) if e.point.damage == 200.0));
 /// ```
 pub fn batch(requests: &[BatchRequest], workers: usize) -> Vec<BatchResult> {
     Engine::new(workers).run(requests)

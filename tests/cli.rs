@@ -208,6 +208,38 @@ fn batch_deduplicates_identical_documents() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// `--witnesses` adds witness arrays in each document's own numbering —
+/// including on a renamed, BAS-reordered duplicate answered from the
+/// other document's cache entry.
+#[test]
+fn batch_witnesses_translate_across_deduplicated_documents() {
+    // The same two-BAS tree twice, with the BAS declaration order (hence
+    // BAS ids) swapped in document b.
+    let doc_a = "or root damage=9\n  bas x cost=2\n  bas y cost=3 damage=1\n";
+    let doc_b = "or top damage=9\n  bas u cost=3 damage=1\n  bas v cost=2\n";
+    let path = unique_path("wit");
+    std::fs::write(&path, format!("--- a\n{doc_a}--- b\n{doc_b}")).unwrap();
+    let out = cdat(&["batch", path.to_str().unwrap(), "--witnesses"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2);
+    // Front {(0,0),(2,9),(3,10)}: witnesses ∅, {cost-2 BAS}, {cost-3 BAS}
+    // ({both} is dominated). The cost-2 BAS is id 0 in document a but id 1
+    // in document b — the translated witnesses must follow.
+    assert!(lines[0].contains("\"cache\":\"miss\""), "{text}");
+    assert!(
+        lines[0].contains("\"front\":[[0,0],[2,9],[3,10]],\"witnesses\":[[],[0],[1]]"),
+        "{text}"
+    );
+    assert!(lines[1].contains("\"cache\":\"hit\""), "{text}");
+    assert!(
+        lines[1].contains("\"front\":[[0,0],[2,9],[3,10]],\"witnesses\":[[],[1],[0]]"),
+        "{text}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
 /// Batch flag validation and probabilistic-DAG errors surface cleanly.
 #[test]
 fn batch_flags_and_dag_errors() {

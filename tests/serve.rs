@@ -148,6 +148,57 @@ fn serve_matches_batch_bytes_across_shards_and_windows() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Witnessed serving matches witnessed batch byte-for-byte: `cdat batch
+/// --witnesses` and serve requests with `"witnesses":true` carry identical
+/// response bodies on a mixed suite (and the witness arrays actually
+/// appear on every front).
+#[test]
+fn witnessed_serve_matches_witnessed_batch_bytes() {
+    let docs = mixed_suite();
+    let docs = &docs[..40];
+    let path = write_suite(docs);
+    let path_str = path.to_str().unwrap();
+
+    let out = run(cdat_bin().args(["batch", path_str, "--cdpf", "--dgc", "6", "--witnesses"]));
+    assert!(out.status.success());
+    let reference: Vec<String> = String::from_utf8(out.stdout)
+        .unwrap()
+        .lines()
+        .map(|line| {
+            let rest = &line[line.find("\"query\"").unwrap()..];
+            let rest = rest.replacen("\"cache\":\"hit\",", "", 1);
+            let rest = rest.replacen("\"cache\":\"miss\",", "", 1);
+            format!("{{{rest}")
+        })
+        .collect();
+    assert_eq!(reference.len(), 80, "40 documents x 2 queries");
+    let witnessed = reference.iter().filter(|l| l.contains("\"witnesses\":[")).count();
+    assert_eq!(witnessed, 40, "every front response must carry a witnesses array");
+
+    let mut input = String::new();
+    for (doc, (_, tree)) in docs.iter().enumerate() {
+        let text = json::escape(&cdat_format::write(tree));
+        input.push_str(&format!(
+            "{{\"id\":{},\"tree\":\"{text}\",\"query\":\"cdpf\",\"witnesses\":true}}\n",
+            2 * doc
+        ));
+        input.push_str(&format!(
+            "{{\"id\":{},\"tree\":\"{text}\",\"query\":\"dgc\",\"arg\":6,\"witnesses\":true}}\n",
+            2 * doc + 1
+        ));
+    }
+    let mut lines =
+        serve_stdio(&["--workers", "4", "--batch-window-us", "500", "--batch-max", "16"], input);
+    assert_eq!(lines.len(), reference.len());
+    lines.sort_by_key(|line| int_field(line, "id"));
+    for (i, (line, expect)) in lines.iter().zip(&reference).enumerate() {
+        let body = &line[line.find("\"query\"").unwrap()..];
+        let expect_body = &expect[expect.find("\"query\"").unwrap()..];
+        assert_eq!(body, expect_body, "request {i}: witnessed serve and batch bytes differ");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
 /// The cache budget holds while serving: after every wave of requests the
 /// total cached points stay within `--cache-budget`, and a stream of
 /// distinct trees forces evictions.
@@ -220,13 +271,24 @@ fn tcp_serve_and_query_client_match_batch() {
     let announce = stderr.lines().next().expect("announce line").expect("utf-8");
     let addr = announce.strip_prefix("cdat-serve: listening on ").expect("announce format");
 
-    let out = run(cdat_bin().args(["query", "--connect", addr, path_str, "--cdpf", "--dgc", "4"]));
+    let out = run(cdat_bin().args([
+        "query",
+        "--connect",
+        addr,
+        path_str,
+        "--cdpf",
+        "--dgc",
+        "4",
+        "--witnesses",
+    ]));
     let _ = child.kill();
     let _ = child.wait();
     assert!(out.status.success(), "query failed: {}", String::from_utf8_lossy(&out.stderr));
     let served = String::from_utf8(out.stdout).unwrap();
+    let witnessed = served.lines().filter(|l| l.contains("\"witnesses\":[")).count();
+    assert_eq!(witnessed, 20, "--witnesses must reach every front response");
 
-    let batch = run(cdat_bin().args(["batch", path_str, "--cdpf", "--dgc", "4"]));
+    let batch = run(cdat_bin().args(["batch", path_str, "--cdpf", "--dgc", "4", "--witnesses"]));
     assert!(batch.status.success());
     let batch = String::from_utf8(batch.stdout).unwrap();
 
