@@ -2,43 +2,47 @@
 """Advisory perf-trajectory comparison for the perf-trajectory CI job.
 
 Usage: compare_bench.py CURRENT.json BASELINE.json [THRESHOLD]
+       compare_bench.py --self-test
 
 Both files are flat JSON objects mapping scenario names to wall-times in
 seconds (the output of `experiments bench-json`). A scenario slower than
 THRESHOLD x baseline (default 3.0 — generous, because the baseline was
 recorded on different hardware) emits a GitHub `::warning::` annotation.
+A scenario present in the baseline but missing from the current run also
+counts as a regression (a silently dropped scenario is worse than a slow
+one).
 
-Kernel scenarios come in self-demonstrating pairs measured in the *same*
-run: `kernel_<shape>_x<N>` (the merge-kernel bottom-up) and
-`kernel_<shape>_oracle_x<N>` (the retained materialize-and-sort oracle).
-Because both halves share hardware and noise, the intra-run ratio is
-hardware-independent; the script warns when a kernel scenario stops
-beating its oracle.
+Two families of scenarios come in self-demonstrating pairs measured in
+the *same* run, so their intra-run ratio is hardware-independent:
 
-The script always exits 0: the lane tracks the trajectory, it does not
-gate merges.
+* `kernel_<shape>_x<N>` vs `kernel_<shape>_oracle_x<N>` — the merge-kernel
+  bottom-up against the retained materialize-and-sort oracle; the kernel
+  half must win.
+* `<scenario>_cold` vs `<scenario>_warm_restart` — a workload solved into
+  a fresh persistent store against a fresh engine warm-restarted on that
+  store; decoding fronts from disk must beat recomputing them.
+
+The script always exits 0 (2 on usage errors): the lane tracks the
+trajectory, it does not gate merges. `--self-test` runs the built-in
+checks and exits nonzero on failure; CI runs it before the comparison so
+the comparator itself is under test.
 """
 
 import json
 import sys
 
 
-def main() -> int:
-    if len(sys.argv) < 3:
-        print(f"usage: {sys.argv[0]} CURRENT.json BASELINE.json [THRESHOLD]")
-        return 2
-    with open(sys.argv[1]) as f:
-        current = json.load(f)
-    with open(sys.argv[2]) as f:
-        baseline = json.load(f)
-    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 3.0
-
-    width = max(map(len, list(current) + list(baseline)))
+def compare(current, baseline, threshold):
+    """Prints the comparison report; returns the regression count."""
+    # `default=` keeps empty inputs (a failed or truncated bench run)
+    # reportable instead of crashing max() on an empty sequence.
+    width = max(map(len, list(current) + list(baseline)), default=len("scenario"))
     print(f"{'scenario':<{width}}  {'baseline':>10}  {'current':>10}  ratio")
     regressions = 0
     for name in sorted(set(current) | set(baseline)):
         cur, base = current.get(name), baseline.get(name)
         if cur is None:
+            regressions += 1
             print(f"::warning::perf-trajectory: scenario {name} disappeared")
             continue
         if base is None:
@@ -56,7 +60,8 @@ def main() -> int:
         print(f"{name:<{width}}  {base:>10.6f}  {cur:>10.6f}  {ratio:5.2f}x{marker}")
 
     if regressions:
-        print(f"\n{regressions} scenario(s) above the advisory threshold (not failing the job).")
+        print(f"\n{regressions} regression(s): above the advisory threshold or disappeared "
+              "(not failing the job).")
     else:
         print("\nAll scenarios within the advisory threshold.")
 
@@ -77,6 +82,94 @@ def main() -> int:
                 )
     else:
         print("::warning::perf-trajectory: no kernel/oracle scenario pairs found in the run")
+
+    # Cold-vs-warm-restart pairs: also intra-run. The warm restart answers
+    # from the persistent store, so it must beat recomputing from scratch.
+    pairs = sorted(
+        n for n in current
+        if n.endswith("_cold") and n[: -len("_cold")] + "_warm_restart" in current
+    )
+    if pairs:
+        print("\ncold vs warm restart from the persistent store (same run):")
+        for cold_name in pairs:
+            warm_name = cold_name[: -len("_cold")] + "_warm_restart"
+            cold, warm = current[cold_name], current[warm_name]
+            speedup = cold / warm if warm > 0 else float("inf")
+            print(f"  {cold_name:<{width}}  warm restart {speedup:5.2f}x faster than cold")
+            if warm >= cold:
+                print(
+                    f"::warning::perf-trajectory: {warm_name} ({warm:.6f}s) no longer beats "
+                    f"its cold run ({cold:.6f}s) — the store stopped paying for itself"
+                )
+    else:
+        print("::warning::perf-trajectory: no cold/warm-restart scenario pairs found in the run")
+    return regressions
+
+
+def self_test():
+    """Checks the comparator against hand-built inputs; raises on failure."""
+    import contextlib
+    import io
+
+    def run(current, baseline, threshold=3.0):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            regressions = compare(current, baseline, threshold)
+        return regressions, out.getvalue()
+
+    # Empty inputs must report, not crash (the historical max() failure).
+    regressions, text = run({}, {})
+    assert regressions == 0, text
+    assert "scenario" in text, text
+
+    # A disappeared scenario counts as a regression and warns.
+    regressions, text = run({"a": 1.0}, {"a": 1.0, "gone": 2.0})
+    assert regressions == 1, text
+    assert "scenario gone disappeared" in text, text
+    assert "1 regression(s)" in text, text
+
+    # A slow scenario counts; a new scenario and a fast one do not.
+    regressions, text = run({"slow": 9.0, "ok": 1.0, "new": 5.0}, {"slow": 1.0, "ok": 1.0})
+    assert regressions == 1, text
+    assert "slow is 9.0x the baseline" in text, text
+    assert "(new scenario, no baseline)" in text, text
+
+    # Kernel/oracle pairing: warn exactly when the kernel stops winning.
+    regressions, text = run({"kernel_x_x5": 2.0, "kernel_x_oracle_x5": 1.0}, {})
+    assert "no longer beats its sort-based oracle" in text, text
+    _, text = run({"kernel_x_x5": 1.0, "kernel_x_oracle_x5": 2.0}, {})
+    assert "2.00x faster than its oracle" in text, text
+    assert "no longer beats" not in text, text
+
+    # Cold/warm-restart pairing: the warm restart must beat the cold run.
+    _, text = run({"store_b_cold": 1.0, "store_b_warm_restart": 0.1}, {})
+    assert "warm restart 10.00x faster than cold" in text, text
+    assert "stopped paying for itself" not in text, text
+    _, text = run({"store_b_cold": 0.1, "store_b_warm_restart": 1.0}, {})
+    assert "stopped paying for itself" in text, text
+
+    # Unpaired runs announce the missing pair families.
+    _, text = run({"lonely": 1.0}, {})
+    assert "no kernel/oracle scenario pairs" in text, text
+    assert "no cold/warm-restart scenario pairs" in text, text
+
+    print("compare_bench.py --self-test: all checks passed")
+
+
+def main() -> int:
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        self_test()
+        return 0
+    if len(sys.argv) < 3:
+        print(f"usage: {sys.argv[0]} CURRENT.json BASELINE.json [THRESHOLD]")
+        print(f"       {sys.argv[0]} --self-test")
+        return 2
+    with open(sys.argv[1]) as f:
+        current = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 3.0
+    compare(current, baseline, threshold)
     return 0
 
 

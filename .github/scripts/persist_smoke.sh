@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# persist-smoke: run `cdat batch --store` twice on the same suite and
+# prove the persistent front store changes nothing but speed — the second
+# (warm-restart) run must be byte-identical to the first and to a
+# storeless run, and must report disk hits in `--cache-stats`.
+#
+# Usage: persist_smoke.sh [path/to/cdat]
+set -euo pipefail
+
+CDAT=${1:-target/release/cdat}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# A small mixed suite: the paper's factory example plus a treelike and a
+# DAG-like tree, so both solver backends write records.
+{
+  printf -- '--- a\n'; "$CDAT" example
+  printf -- '--- b\nor goal damage=10\n  bas pick-lock cost=5\n  bas smash-window cost=1 damage=2\n'
+  printf -- '--- c\nor root damage=9\n  and g1\n    bas x cost=1\n    bas y cost=2\n  and g2\n    ref x\n    bas z cost=3 damage=4\n'
+} > "$workdir/suite.cdat"
+
+store="$workdir/fronts.cdatstore"
+flags=(--cdpf --witnesses --cache-stats --workers 2)
+
+"$CDAT" batch "$workdir/suite.cdat" "${flags[@]}" \
+  > "$workdir/storeless.out" 2>/dev/null
+"$CDAT" batch "$workdir/suite.cdat" "${flags[@]}" --store "$store" \
+  > "$workdir/cold.out" 2> "$workdir/cold.err"
+"$CDAT" batch "$workdir/suite.cdat" "${flags[@]}" --store "$store" \
+  > "$workdir/warm.out" 2> "$workdir/warm.err"
+
+echo "--- cold cache-stats ---"; grep '^cache-stats:' "$workdir/cold.err"
+echo "--- warm cache-stats ---"; grep '^cache-stats:' "$workdir/warm.err"
+
+diff -u "$workdir/cold.out" "$workdir/warm.out" \
+  || { echo "persist-smoke: warm restart changed the output bytes" >&2; exit 1; }
+diff -u "$workdir/storeless.out" "$workdir/cold.out" \
+  || { echo "persist-smoke: the store changed the output bytes" >&2; exit 1; }
+
+grep -q 'disk_hits=0 ' "$workdir/cold.err" \
+  || { echo "persist-smoke: the cold run cannot have disk hits" >&2; exit 1; }
+grep -Eq 'disk_hits=[1-9]' "$workdir/warm.err" \
+  || { echo "persist-smoke: the warm-restart run must report disk hits" >&2; exit 1; }
+grep -Eq 'disk_entries=[1-9]' "$workdir/cold.err" \
+  || { echo "persist-smoke: the cold run must persist fronts" >&2; exit 1; }
+
+echo "persist-smoke: warm restart is byte-identical and answered from disk"

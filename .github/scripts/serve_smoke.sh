@@ -73,3 +73,33 @@ diff -u "$workdir/batch-wit.out" "$workdir/serve-wit.out"
 [ "$(grep -c '"witnesses":\[' "$workdir/serve-wit.out")" -eq 3 ] \
   || { echo "serve-smoke: expected a witnesses array on all 3 responses" >&2; exit 1; }
 echo "serve-smoke: witnessed serve and batch agree byte-for-byte on 3 documents"
+
+# Persistent store: one serve session fills a fresh store, then a second
+# session — a restarted server on the same file — answers warm from disk.
+# Both sessions must emit the same bytes as batch, and the restarted one
+# must report disk hits in its stats.
+store="$workdir/fronts.cdatstore"
+
+"$CDAT" serve --stdio --workers 2 --batch-window-us 500 --store "$store" \
+  < "$workdir/requests.jsonl" \
+  | sort -t: -k2 \
+  | sed -E 's/"id":[0-9]+,//' \
+  > "$workdir/serve-store-cold.out"
+diff -u "$workdir/batch.out" "$workdir/serve-store-cold.out"
+[ -s "$store" ] || { echo "serve-smoke: the serve session wrote no store records" >&2; exit 1; }
+
+# The restart. The stats op trails the solves after a pause so the shards
+# have answered (responses stream before the stats line is requested).
+{ cat "$workdir/requests.jsonl"; sleep 2; printf '{"op":"stats","id":9}\n'; } \
+  | "$CDAT" serve --stdio --workers 2 --batch-window-us 500 --store "$store" \
+  > "$workdir/serve-store-warm-raw.out"
+grep '"stats":' "$workdir/serve-store-warm-raw.out" \
+  | grep -Eq '"stats":\{[^}]*"disk_hits":[1-9]' \
+  || { echo "serve-smoke: the restarted server must report disk hits" >&2; \
+       cat "$workdir/serve-store-warm-raw.out"; exit 1; }
+grep -v '"stats":' "$workdir/serve-store-warm-raw.out" \
+  | sort -t: -k2 \
+  | sed -E 's/"id":[0-9]+,//' \
+  > "$workdir/serve-store-warm.out"
+diff -u "$workdir/batch.out" "$workdir/serve-store-warm.out"
+echo "serve-smoke: restarted server answered warm from the store, byte-identically"

@@ -67,6 +67,11 @@ pub struct CacheStats {
     pub points: usize,
     /// Entries dropped (or refused on insert) to respect the points budget.
     pub evictions: u64,
+    /// Memory misses answered from the disk tier (always 0 without a
+    /// persistent store; see `PersistentFrontCache`).
+    pub disk_hits: u64,
+    /// Fronts in the disk tier, as indexed by this handle (0 without one).
+    pub disk_entries: usize,
 }
 
 /// One cached front plus its LRU bookkeeping.
@@ -336,6 +341,8 @@ impl FrontCache {
             entries: self.len(),
             points: self.points(),
             evictions: self.evictions.load(Ordering::Relaxed),
+            disk_hits: 0,
+            disk_entries: 0,
         }
     }
 }

@@ -49,6 +49,17 @@
 //! per-requester canonical traversal (memoized per tree within a batch)
 //! and the translation, and only their responses carry attacks.
 //!
+//! # Persistence
+//!
+//! The in-memory cache dies with the process; an engine built with
+//! [`Engine::with_persistent`] adds a disk tier below it
+//! ([`PersistentFrontCache`], over `cdat-store`'s append-only record log).
+//! Memory misses read through to disk and promote what they find; newly
+//! computed fronts are appended. Disk answers report `cache_hit == false`
+//! — the same flag the cold run emitted when it computed them — so a
+//! restarted process produces byte-identical batch output, with the disk
+//! tier's work visible only in [`CacheStats::disk_hits`].
+//!
 //! # Example
 //!
 //! ```
@@ -78,6 +89,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod persist;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -88,6 +100,7 @@ use cdat_core::{BasId, CdAttackTree, CdpAttackTree, StructuralHash};
 use cdat_pareto::{FrontEntry, ParetoFront};
 
 pub use cache::{CacheKey, CacheStats, CachedFront, FrontCache};
+pub use persist::PersistentFrontCache;
 
 /// The stable error message cached for probabilistic queries on DAG-like
 /// trees (the paper's open problem).
@@ -280,27 +293,78 @@ pub struct BatchResult {
     pub compute: Duration,
 }
 
+/// The engine's cache stack: memory-only, or memory over a disk store.
+#[derive(Debug)]
+enum Tier {
+    /// In-memory cache only; dies with the process.
+    Memory(FrontCache),
+    /// Memory over a persistent disk store (see [`PersistentFrontCache`]).
+    Persistent(PersistentFrontCache),
+}
+
+impl Tier {
+    fn memory(&self) -> &FrontCache {
+        match self {
+            Tier::Memory(cache) => cache,
+            Tier::Persistent(persistent) => persistent.memory(),
+        }
+    }
+
+    /// Disk lookup after a memory miss; `None` for the memory-only tier.
+    fn fetch_disk(&self, key: &CacheKey) -> Option<Arc<CachedFront>> {
+        match self {
+            Tier::Memory(_) => None,
+            Tier::Persistent(persistent) => persistent.fetch_disk(key),
+        }
+    }
+
+    fn persist(&self, key: &CacheKey, entry: &CachedFront) {
+        if let Tier::Persistent(persistent) = self {
+            persistent.persist(key, entry);
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        match self {
+            Tier::Memory(cache) => cache.stats(),
+            Tier::Persistent(persistent) => persistent.stats(),
+        }
+    }
+}
+
 /// A fixed-size worker pool answering batches of requests through a shared
-/// [`FrontCache`].
+/// [`FrontCache`], optionally backed by a persistent disk store.
 ///
 /// Cheap to construct; keep one alive across batches to reuse the cache.
 #[derive(Debug)]
 pub struct Engine {
     workers: usize,
-    cache: FrontCache,
+    tier: Tier,
 }
 
 impl Engine {
     /// Creates an engine with `workers` solver threads (clamped to ≥ 1) and
     /// a default-sharded cache.
     pub fn new(workers: usize) -> Self {
-        Engine { workers: workers.max(1), cache: FrontCache::default() }
+        Engine { workers: workers.max(1), tier: Tier::Memory(FrontCache::default()) }
     }
 
     /// Creates an engine around an existing cache (e.g. to share one cache
     /// between engines of different widths).
     pub fn with_cache(workers: usize, cache: FrontCache) -> Self {
-        Engine { workers: workers.max(1), cache }
+        Engine { workers: workers.max(1), tier: Tier::Memory(cache) }
+    }
+
+    /// Creates an engine whose cache reads through to — and persists newly
+    /// computed fronts into — a disk store ([`PersistentFrontCache`]).
+    ///
+    /// Disk-answered requests report `cache_hit == false`, exactly like
+    /// the cold run that originally computed them, so responses (and hit
+    /// flags) stay byte-identical across a process restart; the disk
+    /// tier's work is reported via [`CacheStats::disk_hits`] in
+    /// [`Engine::stats`].
+    pub fn with_persistent(workers: usize, cache: PersistentFrontCache) -> Self {
+        Engine { workers: workers.max(1), tier: Tier::Persistent(cache) }
     }
 
     /// The configured worker count.
@@ -308,9 +372,16 @@ impl Engine {
         self.workers
     }
 
-    /// The engine's front cache.
+    /// The engine's in-memory front cache.
     pub fn cache(&self) -> &FrontCache {
-        &self.cache
+        self.tier.memory()
+    }
+
+    /// Cache counters across both tiers: the in-memory stats, plus
+    /// [`CacheStats::disk_hits`] / [`CacheStats::disk_entries`] when a
+    /// persistent store is attached (zero otherwise).
+    pub fn stats(&self) -> CacheStats {
+        self.tier.stats()
     }
 
     /// Answers a batch of requests, fanning uncached front computations
@@ -328,6 +399,10 @@ impl Engine {
             /// Already cached before this batch (entry grabbed in phase 1,
             /// so a concurrent eviction cannot strand the request).
             Cached(Arc<CachedFront>),
+            /// Read from the disk tier on a memory miss (promoted into
+            /// memory; reported as a miss so a warm restart reproduces the
+            /// cold run's bytes).
+            Disk(Arc<CachedFront>),
             /// Computed by this batch's job `i` (the designated miss and
             /// its in-batch followers).
             Job(usize),
@@ -355,6 +430,12 @@ impl Engine {
         let mut canon_of_tree: CanonMemo = Default::default();
         let mut jobs: Vec<(CacheKey, &CdpAttackTree, SolverHint)> = Vec::new();
         let mut job_of_key: std::collections::HashMap<CacheKey, usize> = Default::default();
+        // Disk answers already fetched this batch: later same-key requests
+        // reuse the held Arc as hits (mirroring job followers), so their
+        // flags cannot depend on whether the promoted entry survived
+        // eviction until they came around.
+        let mut disk_of_key: std::collections::HashMap<CacheKey, Arc<CachedFront>> =
+            Default::default();
         let (mut hits, mut misses) = (0u64, 0u64);
         for (i, request) in requests.iter().enumerate() {
             if let Some(message) = hint_error(request) {
@@ -384,12 +465,26 @@ impl Engine {
             });
             translations.push(canonical.map(|(_, order)| order));
             let key = CacheKey { hash, kind };
-            if let Some(entry) = self.cache.touch(&key) {
+            if let Some(entry) = self.tier.memory().touch(&key) {
                 hits += 1;
                 sources.push(Source::Cached(entry));
             } else if let Some(&job) = job_of_key.get(&key) {
                 hits += 1;
                 sources.push(Source::Job(job));
+            } else if let Some(entry) = disk_of_key.get(&key) {
+                hits += 1;
+                sources.push(Source::Cached(entry.clone()));
+            } else if let Some(entry) = self.tier.fetch_disk(&key) {
+                // A disk answer takes the slot the designated miss would
+                // have: it counts as a memory miss and reports
+                // `cache_hit == false`, so a warm restart emits exactly
+                // the cold run's bytes. Later same-key requests hit the
+                // promoted memory entry (or the Arc held above) like any
+                // in-batch follower.
+                misses += 1;
+                designated[i] = true;
+                disk_of_key.insert(key, entry.clone());
+                sources.push(Source::Disk(entry));
             } else {
                 misses += 1;
                 designated[i] = true;
@@ -398,7 +493,7 @@ impl Engine {
                 jobs.push((key, &request.tree, request.hint));
             }
         }
-        self.cache.record(hits, misses);
+        self.tier.memory().record(hits, misses);
 
         // Phase 2 — compute the unique fronts on the pool. Each job is
         // claimed exactly once via the shared counter, so every front is
@@ -413,7 +508,12 @@ impl Engine {
             let Some((key, tree, hint)) = jobs.get(i) else { break };
             let start = Instant::now();
             let result = compute_front(key.kind, tree, *hint);
-            let entry = self.cache.insert(*key, CachedFront { result, compute: start.elapsed() });
+            let entry = CachedFront { result, compute: start.elapsed() };
+            let entry = self.tier.memory().insert(*key, entry);
+            // Jobs are deduplicated per key, so exactly one worker appends
+            // each new front to the disk tier (which is itself
+            // first-writer-wins against other processes).
+            self.tier.persist(key, &entry);
             let _ = computed[i].set(entry);
         };
         let pool = self.workers.min(jobs.len());
@@ -447,6 +547,17 @@ impl Engine {
                         translations[i].as_ref().map(|order| order.as_slice()),
                     ),
                     cache_hit: true,
+                    compute: Duration::ZERO,
+                },
+                Source::Disk(entry) => BatchResult {
+                    response: answer(
+                        request.query,
+                        &entry,
+                        translations[i].as_ref().map(|order| order.as_slice()),
+                    ),
+                    // A restart answering from disk mirrors the cold run
+                    // that wrote the record: same flag, no solver time.
+                    cache_hit: false,
                     compute: Duration::ZERO,
                 },
                 Source::Job(job) => {
@@ -898,5 +1009,103 @@ mod tests {
         let results = Engine::new(1).run(&[r]);
         assert!(matches!(&results[0].response, Response::Front(f)
             if f.to_string() == "{(0, 0), (1, 200), (3, 210), (5, 310)}"));
+    }
+
+    fn store_path(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicUsize;
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("cdat-engine-{tag}-{}-{n}.cdatstore", std::process::id()))
+    }
+
+    fn persistent_engine(path: &std::path::Path, workers: usize) -> Engine {
+        let cache = PersistentFrontCache::open(path, FrontCache::default()).unwrap();
+        Engine::with_persistent(workers, cache)
+    }
+
+    #[test]
+    fn warm_restart_reproduces_the_cold_run() {
+        let path = store_path("restart");
+        let requests = [
+            BatchRequest::new(factory(), Query::Cdpf),
+            BatchRequest::new(factory(), Query::Dgc(2.0)),
+            BatchRequest::new(dag_cdp(), Query::Cedpf), // a cached error
+        ];
+        let storeless = Engine::new(2).run(&requests);
+        let cold = persistent_engine(&path, 2).run(&requests);
+        // A fresh engine on the same store answers everything from disk.
+        let warm_engine = persistent_engine(&path, 2);
+        let warm = warm_engine.run(&requests);
+        for ((a, b), c) in storeless.iter().zip(&cold).zip(&warm) {
+            assert_eq!(a.response, b.response);
+            assert_eq!(a.response, c.response);
+            assert_eq!(a.cache_hit, b.cache_hit, "store must not change hit flags");
+            assert_eq!(a.cache_hit, c.cache_hit, "restart must not change hit flags");
+        }
+        let stats = warm_engine.stats();
+        assert!(stats.disk_hits > 0, "warm restart must answer from disk: {stats:?}");
+        assert_eq!(stats.disk_entries, 2, "one front and one error persisted");
+        assert_eq!(stats.misses, 2, "disk answers still count as memory misses");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn witnesses_survive_the_store_and_still_translate() {
+        let path = store_path("witness");
+        let (original, copy) = (factory(), permuted_factory());
+        // Cold: only the original touches the store.
+        persistent_engine(&path, 1)
+            .run(&[BatchRequest::new(original.clone(), Query::Cdpf).with_witnesses(true)]);
+        // Warm restart: the permuted copy answers from disk, witnesses
+        // translated into *its* numbering.
+        let engine = persistent_engine(&path, 1);
+        let results =
+            engine.run(&[BatchRequest::new(copy.clone(), Query::Cdpf).with_witnesses(true)]);
+        assert_eq!(engine.stats().disk_hits, 1);
+        match &results[0].response {
+            Response::Front(front) => {
+                assert_eq!(front.to_string(), "{(0, 0), (1, 200), (3, 210), (5, 310)}");
+                assert_witnesses_valid(&copy, front);
+            }
+            other => panic!("{other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn evicted_entries_come_back_from_disk() {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(77);
+        let suite: Vec<Arc<CdpAttackTree>> = (0..20)
+            .map(|_| {
+                let tree = cdat_gen::random_small(&mut rng, 7, true);
+                Arc::new(cdat_gen::decorate_prob(tree, &mut rng))
+            })
+            .collect();
+        let requests: Vec<BatchRequest> =
+            suite.iter().map(|t| BatchRequest::new(t.clone(), Query::Cdpf)).collect();
+        let reference = Engine::new(1).run(&requests);
+
+        let path = store_path("evict");
+        // A memory budget far too small for 20 fronts, over a store.
+        let tight = |workers| {
+            let memory = FrontCache::with_budget(2, 8);
+            Engine::with_persistent(workers, PersistentFrontCache::open(&path, memory).unwrap())
+        };
+        let cold = tight(4);
+        for (a, b) in reference.iter().zip(&cold.run(&requests)) {
+            assert_eq!(a.response, b.response);
+        }
+        assert!(cold.stats().evictions > 0, "the tight budget must evict");
+        assert_eq!(cold.stats().disk_entries, 20, "evicted fronts remain on disk");
+
+        // Second pass on the same engine: memory lost most fronts, disk
+        // serves them back without recomputation.
+        for (a, b) in reference.iter().zip(&cold.run(&requests)) {
+            assert_eq!(a.response, b.response);
+        }
+        assert!(cold.stats().disk_hits > 0, "evictions re-fetch from disk");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,134 @@
+//! The persistent tier: the in-memory [`FrontCache`] backed by an on-disk
+//! [`cdat_store::Store`].
+//!
+//! A [`PersistentFrontCache`] pairs the two tiers. Lookups read through:
+//! the engine consults memory first, then [`fetch_disk`] on a miss, which
+//! *promotes* the record into memory (a first-writer-wins insert, so
+//! weight accounting and eviction behave exactly as if the front had been
+//! computed). Newly computed fronts are appended via [`persist`] after the
+//! memory insert; the disk, like memory, keeps the first record per key.
+//!
+//! Disk answers deliberately count as **misses** in [`CacheStats`]: the
+//! `hits`/`misses` pair describes the in-memory cache, so a warm-restart
+//! run reports the same hit flags — and produces byte-identical responses
+//! — as a cold run. The disk tier's contribution is visible separately as
+//! [`CacheStats::disk_hits`] and [`CacheStats::disk_entries`].
+//!
+//! [`fetch_disk`]: PersistentFrontCache::fetch_disk
+//! [`persist`]: PersistentFrontCache::persist
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use cdat_store::{Store, StoredFront};
+
+use crate::cache::{CacheKey, CacheStats, CachedFront, FrontCache};
+use crate::FrontKind;
+
+/// Stable on-disk family byte for each [`FrontKind`] (part of the store
+/// format; never renumber).
+fn family(kind: FrontKind) -> u8 {
+    match kind {
+        FrontKind::Deterministic => 0,
+        FrontKind::Probabilistic => 1,
+    }
+}
+
+/// A two-tier front cache: a [`FrontCache`] in memory over a
+/// [`cdat_store::Store`] on disk (see the module docs).
+///
+/// The store handle is behind a mutex — disk reads are rare (once per
+/// front per process lifetime) and appends are short, so one lock does
+/// not contend. For lock-free sharding, give each shard its *own*
+/// `PersistentFrontCache` on the same path, the way `cdat-server` does.
+#[derive(Debug)]
+pub struct PersistentFrontCache {
+    memory: FrontCache,
+    store: Mutex<Store>,
+    disk_hits: AtomicU64,
+}
+
+impl PersistentFrontCache {
+    /// Opens (creating if absent) the store at `path` below `memory`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates real I/O errors from [`Store::open`]; corrupt store
+    /// files recover to a cold store instead of failing.
+    pub fn open(path: impl AsRef<Path>, memory: FrontCache) -> io::Result<Self> {
+        Ok(PersistentFrontCache {
+            memory,
+            store: Mutex::new(Store::open(path)?),
+            disk_hits: AtomicU64::new(0),
+        })
+    }
+
+    /// The in-memory tier.
+    pub fn memory(&self) -> &FrontCache {
+        &self.memory
+    }
+
+    /// The store file's path.
+    pub fn path(&self) -> PathBuf {
+        self.store.lock().expect("store lock poisoned").path().to_path_buf()
+    }
+
+    /// Looks `key` up in the disk tier, promoting a found record into the
+    /// in-memory cache (first-writer-wins) and counting a disk hit.
+    ///
+    /// Call only after a memory miss: this does not check memory, and a
+    /// promoted entry is returned directly so a concurrent eviction cannot
+    /// strand the caller. Corrupt or unreadable records are misses.
+    pub fn fetch_disk(&self, key: &CacheKey) -> Option<Arc<CachedFront>> {
+        let stored =
+            self.store.lock().expect("store lock poisoned").get(key.hash, family(key.kind))?;
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        let entry = CachedFront {
+            result: stored.result,
+            compute: Duration::from_micros(stored.compute_micros),
+        };
+        Some(self.memory.insert(*key, entry))
+    }
+
+    /// Appends a newly computed front to the disk tier unless a record for
+    /// `key` already exists (first-writer-wins, mirroring memory).
+    ///
+    /// Append failures (disk full, revoked permissions) are swallowed: the
+    /// store is a cache, so persistence degrades to recomputation rather
+    /// than failing the batch.
+    pub fn persist(&self, key: &CacheKey, entry: &CachedFront) {
+        let stored = StoredFront {
+            result: entry.result.clone(),
+            compute_micros: u64::try_from(entry.compute.as_micros()).unwrap_or(u64::MAX),
+        };
+        let _ = self.store.lock().expect("store lock poisoned").append(
+            key.hash,
+            family(key.kind),
+            &stored,
+        );
+    }
+
+    /// Memory misses answered from disk since this handle opened.
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// Fronts in the disk tier, as indexed by this handle (records other
+    /// handles appended after open are not counted).
+    pub fn disk_entries(&self) -> usize {
+        self.store.lock().expect("store lock poisoned").len()
+    }
+
+    /// Combined counters: the in-memory stats with the disk fields filled
+    /// in.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            disk_hits: self.disk_hits(),
+            disk_entries: self.disk_entries(),
+            ..self.memory.stats()
+        }
+    }
+}

@@ -30,6 +30,7 @@ pub mod kernel;
 mod point;
 mod staircase;
 mod triple;
+pub mod wire;
 
 pub use activation::{Activation, Prob};
 pub use front::{FrontEntry, ParetoFront};

@@ -1,0 +1,249 @@
+//! Binary wire encoding of Pareto fronts, for the persistent front store.
+//!
+//! The layout is fixed-width little-endian so a store file written on one
+//! machine loads on any other:
+//!
+//! ```text
+//! u32  witness universe (number of BASs; 0 when no entry has a witness)
+//! u32  entry count
+//! per entry:
+//!   f64  cost          (LE bit pattern)
+//!   f64  damage        (LE bit pattern)
+//!   u8   witness flag  (0 = none, 1 = present)
+//!   if present:
+//!     u32  activated BAS count
+//!     u32 × count  BAS indices, strictly increasing
+//! ```
+//!
+//! [`decode_front`] is a *validating* decoder: it never panics on malformed
+//! bytes. Every length field is bounded by the remaining input, coordinates
+//! must be non-NaN, BAS indices must be strictly increasing and inside the
+//! universe, and the entries must already form a Pareto front in sweep
+//! order (the only thing [`encode_front`] produces) — anything else returns
+//! `None`, which the store treats as a corrupt record.
+
+use cdat_core::{Attack, BasId};
+
+use crate::front::{FrontEntry, ParetoFront};
+
+/// Encodes a front (with witnesses, if any) into `out`.
+///
+/// Witness attacks within one front always share a BAS universe (they come
+/// from one tree); the universe is written once up front.
+pub fn encode_front(front: &ParetoFront, out: &mut Vec<u8>) {
+    let universe =
+        front.entries().iter().find_map(|e| e.witness.as_ref().map(Attack::universe)).unwrap_or(0);
+    out.extend_from_slice(&(universe as u32).to_le_bytes());
+    out.extend_from_slice(&(front.len() as u32).to_le_bytes());
+    for e in front.entries() {
+        out.extend_from_slice(&e.point.cost.to_le_bytes());
+        out.extend_from_slice(&e.point.damage.to_le_bytes());
+        match &e.witness {
+            None => out.push(0),
+            Some(w) => {
+                out.push(1);
+                out.extend_from_slice(&(w.len() as u32).to_le_bytes());
+                for b in w.iter() {
+                    out.extend_from_slice(&(b.index() as u32).to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// A bounds-checked little-endian reader over a byte slice.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.take(8).map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// Decodes a front encoded by [`encode_front`]; `None` on any malformed
+/// input (wrong length, NaN coordinates, out-of-universe or unsorted BAS
+/// ids, entries out of front order, trailing bytes).
+pub fn decode_front(bytes: &[u8]) -> Option<ParetoFront> {
+    let mut r = Reader::new(bytes);
+    let universe = r.u32()? as usize;
+    let count = r.u32()? as usize;
+    // Each entry is at least 17 bytes; bound the count by the remaining
+    // input before allocating.
+    if count > bytes.len() / 17 + 1 {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let cost = r.f64()?;
+        let damage = r.f64()?;
+        if cost.is_nan() || damage.is_nan() {
+            return None;
+        }
+        let witness = match r.u8()? {
+            0 => None,
+            1 => {
+                let n = r.u32()? as usize;
+                let mut attack = Attack::empty(universe);
+                let mut last: Option<usize> = None;
+                for _ in 0..n {
+                    let idx = r.u32()? as usize;
+                    if idx >= universe || last.is_some_and(|l| idx <= l) {
+                        return None;
+                    }
+                    attack.insert(BasId::new(idx));
+                    last = Some(idx);
+                }
+                Some(attack)
+            }
+            _ => return None,
+        };
+        entries.push(FrontEntry { point: crate::point::CostDamage::new(cost, damage), witness });
+    }
+    if !r.done() {
+        return None;
+    }
+    let front = ParetoFront::from_entries(entries.clone());
+    // A valid record holds the front exactly as encoded; if minimization
+    // changed anything, the bytes did not come from `encode_front`.
+    if front.entries() != entries {
+        return None;
+    }
+    Some(front)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::CostDamage;
+
+    fn b(i: usize) -> BasId {
+        BasId::new(i)
+    }
+
+    fn sample() -> ParetoFront {
+        ParetoFront::from_entries([
+            FrontEntry::with_witness(0.0, 0.0, Attack::empty(4)),
+            FrontEntry::with_witness(1.0, 200.0, Attack::from_bas_ids(4, [b(0), b(3)])),
+            FrontEntry::point(3.0, 210.0),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_with_witnesses() {
+        let front = sample();
+        let mut buf = Vec::new();
+        encode_front(&front, &mut buf);
+        let back = decode_front(&buf).expect("roundtrip");
+        assert_eq!(back, front);
+        assert_eq!(back.entries()[1].witness.as_ref().unwrap().universe(), 4);
+    }
+
+    #[test]
+    fn roundtrip_without_witnesses() {
+        let front =
+            ParetoFront::from_points([CostDamage::new(0.0, 0.0), CostDamage::new(2.5, 7.25)]);
+        let mut buf = Vec::new();
+        encode_front(&front, &mut buf);
+        assert_eq!(decode_front(&buf).expect("roundtrip"), front);
+    }
+
+    #[test]
+    fn roundtrip_empty_front() {
+        let front = ParetoFront::default();
+        let mut buf = Vec::new();
+        encode_front(&front, &mut buf);
+        assert_eq!(decode_front(&buf).expect("roundtrip"), front);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let mut buf = Vec::new();
+        encode_front(&sample(), &mut buf);
+        for cut in 0..buf.len() {
+            assert!(decode_front(&buf[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Vec::new();
+        encode_front(&sample(), &mut buf);
+        buf.push(0);
+        assert!(decode_front(&buf).is_none());
+    }
+
+    #[test]
+    fn nan_coordinates_rejected() {
+        let mut buf = Vec::new();
+        encode_front(&sample(), &mut buf);
+        // Overwrite the first entry's cost with a NaN bit pattern.
+        buf[8..16].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(decode_front(&buf).is_none());
+    }
+
+    #[test]
+    fn oversized_counts_rejected() {
+        // A huge entry count with no entry bytes must not allocate or panic.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_front(&buf).is_none());
+    }
+
+    #[test]
+    fn out_of_universe_witness_rejected() {
+        let front = ParetoFront::from_entries([FrontEntry::with_witness(
+            1.0,
+            1.0,
+            Attack::from_bas_ids(2, [b(1)]),
+        )]);
+        let mut buf = Vec::new();
+        encode_front(&front, &mut buf);
+        // The single BAS index lives in the last 4 bytes; push it past the
+        // universe of 2.
+        let n = buf.len();
+        buf[n - 4..].copy_from_slice(&7u32.to_le_bytes());
+        assert!(decode_front(&buf).is_none());
+    }
+
+    #[test]
+    fn non_front_entries_rejected() {
+        // Hand-craft a "front" whose second point dominates the first — a
+        // valid encoding structurally, but not a Pareto front.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        for (c, d) in [(1.0f64, 1.0f64), (0.5, 2.0)] {
+            buf.extend_from_slice(&c.to_le_bytes());
+            buf.extend_from_slice(&d.to_le_bytes());
+            buf.push(0);
+        }
+        assert!(decode_front(&buf).is_none());
+    }
+}

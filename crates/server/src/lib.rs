@@ -22,6 +22,12 @@
 //!   [`ServeConfig::cache_budget`] (front points) and evicts
 //!   least-recently-used fronts to stay inside it, which is what makes
 //!   *long-running* serving viable.
+//! * **Warm restarts** ([`ServeConfig::store`]): with a persistent front
+//!   store configured, every shard opens its own handle on the store file
+//!   and reads through to it on a cache miss — a restarted server answers
+//!   previously computed fronts from disk, byte-identically, without
+//!   re-solving. Appends are `O_APPEND` whole records, so the handles
+//!   share no lock.
 //!
 //! Transports: [`serve_stdio`] (requests on stdin, responses on stdout;
 //! exits at EOF) and [`serve_tcp`] (any number of concurrent connections
@@ -44,7 +50,8 @@
 //! use cdat_server::{Router, RouterConfig, RouteRequest};
 //! use cdat_engine::{Query, SolverHint};
 //!
-//! let router = Router::new(RouterConfig { shards: 2, cache_budget: Some(1000) });
+//! let config = RouterConfig { shards: 2, cache_budget: Some(1000), store: None };
+//! let router = Router::new(config).unwrap(); // only a store can fail to open
 //! let tree = Arc::new(cdat_models::factory_cdp());
 //! let requests: Vec<RouteRequest> = (0..3)
 //!     .map(|i| RouteRequest {

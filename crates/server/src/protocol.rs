@@ -308,8 +308,9 @@ pub fn stats_line(id: &Value, shards: &[CacheStats]) -> String {
     use std::fmt::Write as _;
     let one = |s: &CacheStats| {
         format!(
-            "{{\"hits\":{},\"misses\":{},\"entries\":{},\"points\":{},\"evictions\":{}}}",
-            s.hits, s.misses, s.entries, s.points, s.evictions
+            "{{\"hits\":{},\"misses\":{},\"entries\":{},\"points\":{},\"evictions\":{},\
+             \"disk_hits\":{},\"disk_entries\":{}}}",
+            s.hits, s.misses, s.entries, s.points, s.evictions, s.disk_hits, s.disk_entries
         )
     };
     let total = shards.iter().fold(CacheStats::default(), |mut acc, s| {
@@ -318,6 +319,10 @@ pub fn stats_line(id: &Value, shards: &[CacheStats]) -> String {
         acc.entries += s.entries;
         acc.points += s.points;
         acc.evictions += s.evictions;
+        acc.disk_hits += s.disk_hits;
+        // Every shard handle indexes the same store file, so the shard
+        // counts overlap; the largest index is the closest aggregate.
+        acc.disk_entries = acc.disk_entries.max(s.disk_entries);
         acc
     });
     let mut line = format!("{{\"id\":{id},\"stats\":{}", one(&total));
@@ -458,13 +463,33 @@ mod tests {
     #[test]
     fn stats_line_aggregates_shards() {
         let shards = [
-            CacheStats { hits: 2, misses: 1, entries: 1, points: 4, evictions: 0 },
-            CacheStats { hits: 1, misses: 3, entries: 2, points: 6, evictions: 5 },
+            CacheStats {
+                hits: 2,
+                misses: 1,
+                entries: 1,
+                points: 4,
+                evictions: 0,
+                disk_hits: 1,
+                disk_entries: 9,
+            },
+            CacheStats {
+                hits: 1,
+                misses: 3,
+                entries: 2,
+                points: 6,
+                evictions: 5,
+                disk_hits: 2,
+                disk_entries: 7,
+            },
         ];
         let line = stats_line(&Value::Null, &shards);
         assert!(line.starts_with("{\"id\":null,\"stats\":{\"hits\":3,\"misses\":4,"), "{line}");
-        assert!(line.contains("\"evictions\":5}"), "{line}");
+        assert!(line.contains("\"evictions\":5,"), "{line}");
+        // Disk hits sum; disk entries take the max — the handles index one
+        // shared file, so their counts overlap rather than add.
+        assert!(line.contains("\"disk_hits\":3,\"disk_entries\":9}"), "{line}");
         assert!(line.contains("\"shards\":[{"), "{line}");
+        assert!(line.contains("\"disk_hits\":1,\"disk_entries\":9}"), "{line}");
         assert!(cdat_format::json::parse(&line).is_ok(), "{line}");
     }
 }

@@ -9,19 +9,29 @@
 //! no shared-cache lock at all; parallelism comes from running shards
 //! concurrently, and scaling the shard count scales both compute and cache
 //! capacity without adding contention.
+//!
+//! With a [`store`](RouterConfig::store) configured, every shard opens its
+//! *own* [`PersistentFrontCache`] handle on the same file. Appends go
+//! through `O_APPEND` whole-record writes, so the handles never need a
+//! shared lock either — the no-contention design survives the disk tier.
 
+use std::io;
+use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use cdat_core::canonical::{hash_cd, hash_cdp};
 use cdat_core::{CdpAttackTree, StructuralHash};
-use cdat_engine::{BatchRequest, CacheStats, Engine, FrontCache, FrontKind, Query, SolverHint};
+use cdat_engine::{
+    BatchRequest, CacheStats, Engine, FrontCache, FrontKind, PersistentFrontCache, Query,
+    SolverHint,
+};
 
 use crate::protocol::body_fragment;
 
 /// Router configuration.
-#[derive(Copy, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct RouterConfig {
     /// Number of worker shards (clamped to ≥ 1, and halved under a small
     /// [`cache_budget`](Self::cache_budget) until every shard's budget
@@ -33,11 +43,15 @@ pub struct RouterConfig {
     /// is spread one point at a time, so the per-shard slices sum to
     /// exactly the budget). `None` means unbounded.
     pub cache_budget: Option<usize>,
+    /// Path of the persistent front store shared by all shards; `None`
+    /// serves from memory only. Each shard opens its own handle on the
+    /// file, so no lock is shared between shards.
+    pub store: Option<PathBuf>,
 }
 
 impl Default for RouterConfig {
     fn default() -> Self {
-        RouterConfig { shards: 4, cache_budget: None }
+        RouterConfig { shards: 4, cache_budget: None, store: None }
     }
 }
 
@@ -85,8 +99,14 @@ pub struct Router {
 }
 
 impl Router {
-    /// Spawns the shard threads.
-    pub fn new(config: RouterConfig) -> Self {
+    /// Spawns the shard threads, each with a private handle on the
+    /// persistent store when one is configured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from opening the store file (corrupt files
+    /// recover to a cold store instead of failing).
+    pub fn new(config: RouterConfig) -> io::Result<Self> {
         // Halve the shard count until every shard's budget slice is big
         // enough to actually hold fronts (the cache's own policy) —
         // otherwise a modest budget over many shards would cache nothing
@@ -107,14 +127,21 @@ impl Router {
                 Some(slices) => FrontCache::with_budget(1, slices[index]),
                 None => FrontCache::new(1),
             };
+            // Each shard's engine is built here (not in the thread) so a
+            // store that cannot be opened fails construction instead of
+            // killing a shard silently.
+            let engine = match &config.store {
+                Some(path) => Engine::with_persistent(1, PersistentFrontCache::open(path, cache)?),
+                None => Engine::with_cache(1, cache),
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("cdat-shard-{index}"))
-                .spawn(move || shard_loop(rx, cache))
+                .spawn(move || shard_loop(rx, engine))
                 .expect("spawn shard thread");
             txs.push(tx);
             handles.push(handle);
         }
-        Router { txs, handles, budgets: slices }
+        Ok(Router { txs, handles, budgets: slices })
     }
 
     /// The number of shards.
@@ -205,9 +232,9 @@ impl Drop for Router {
     }
 }
 
-/// One shard: a single-threaded engine over its private cache slice.
-fn shard_loop(rx: Receiver<ShardMsg>, cache: FrontCache) {
-    let engine = Engine::with_cache(1, cache);
+/// One shard: a single-threaded engine over its private cache slice (and
+/// its private store handle, when persistence is on).
+fn shard_loop(rx: Receiver<ShardMsg>, engine: Engine) {
     for message in rx {
         match message {
             ShardMsg::Batch(jobs) => {
@@ -229,7 +256,7 @@ fn shard_loop(rx: Receiver<ShardMsg>, cache: FrontCache) {
                 }
             }
             ShardMsg::Stats(tx) => {
-                let _ = tx.send(engine.cache().stats());
+                let _ = tx.send(engine.stats());
             }
         }
     }
@@ -238,6 +265,11 @@ fn shard_loop(rx: Receiver<ShardMsg>, cache: FrontCache) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A memory-only router (opening no store file cannot fail).
+    fn router(shards: usize, cache_budget: Option<usize>) -> Router {
+        Router::new(RouterConfig { shards, cache_budget, store: None }).expect("memory-only router")
+    }
 
     fn request(tree: Arc<CdpAttackTree>, query: Query, id: usize) -> RouteRequest {
         RouteRequest {
@@ -263,7 +295,7 @@ mod tests {
 
     #[test]
     fn solve_returns_lines_in_submission_order() {
-        let router = Router::new(RouterConfig { shards: 4, cache_budget: None });
+        let router = router(4, None);
         let tree = Arc::new(cdat_models::factory_cdp());
         let requests: Vec<RouteRequest> =
             (0..6).map(|i| request(tree.clone(), Query::Dgc(i as f64), i)).collect();
@@ -290,16 +322,16 @@ mod tests {
                 })
                 .collect()
         };
-        let reference = Router::new(RouterConfig { shards: 1, cache_budget: None }).solve(build());
+        let reference = router(1, None).solve(build());
         for shards in [2, 3, 8] {
-            let router = Router::new(RouterConfig { shards, cache_budget: None });
+            let router = router(shards, None);
             assert_eq!(router.solve(build()), reference, "shards={shards}");
         }
     }
 
     #[test]
     fn identical_trees_share_one_shard_cache() {
-        let router = Router::new(RouterConfig { shards: 4, cache_budget: None });
+        let router = router(4, None);
         let tree = Arc::new(cdat_models::factory_cdp());
         let requests: Vec<RouteRequest> =
             (0..10).map(|i| request(tree.clone(), Query::Cdpf, i)).collect();
@@ -314,7 +346,7 @@ mod tests {
     #[test]
     fn budgeted_router_bounds_points_and_evicts() {
         let budget = 64;
-        let router = Router::new(RouterConfig { shards: 4, cache_budget: Some(budget) });
+        let router = router(4, Some(budget));
         for wave in 0..6u64 {
             let trees = random_trees(7100 + wave, 12);
             let requests: Vec<RouteRequest> =
@@ -332,7 +364,7 @@ mod tests {
         // 32 points over 16 shards would give 2-point slices that cache
         // nothing; the router must halve down to 4 shards (8-point
         // slices).
-        let router = Router::new(RouterConfig { shards: 16, cache_budget: Some(32) });
+        let router = router(16, Some(32));
         assert_eq!(router.shards(), 4);
         let tree = Arc::new(cdat_models::factory_cdp());
         router.solve(vec![request(tree, Query::Cdpf, 0)]);
@@ -342,7 +374,7 @@ mod tests {
 
     #[test]
     fn witnessed_requests_render_witness_arrays() {
-        let router = Router::new(RouterConfig { shards: 2, cache_budget: None });
+        let router = router(2, None);
         let tree = Arc::new(cdat_models::factory_cdp());
         let mut witnessed = request(tree.clone(), Query::Cdpf, 0);
         witnessed.witnesses = true;
@@ -365,7 +397,7 @@ mod tests {
         // router's caches at 64; the remainder-spreading split must
         // provision all 67 (the positive direction the points bound alone
         // cannot catch).
-        let router = Router::new(RouterConfig { shards: 4, cache_budget: Some(67) });
+        let router = router(4, Some(67));
         assert_eq!(router.shards(), 4);
         assert_eq!(router.cache_budget(), Some(67), "no budget point may be lost to truncation");
         let trees = random_trees(7200, 40);
@@ -374,15 +406,54 @@ mod tests {
         router.solve(requests);
         let points: usize = router.stats().iter().map(|s| s.points).sum();
         assert!(points <= 67, "{points} points exceed the 67-point budget");
-        let unbounded = Router::new(RouterConfig { shards: 4, cache_budget: None });
+        let unbounded = self::router(4, None);
         assert_eq!(unbounded.cache_budget(), None);
     }
 
     #[test]
     fn stats_answer_while_idle() {
-        let router = Router::new(RouterConfig::default());
+        let router = Router::new(RouterConfig::default()).unwrap();
         let stats = router.stats();
         assert_eq!(stats.len(), 4);
         assert!(stats.iter().all(|s| *s == CacheStats::default()));
+    }
+
+    #[test]
+    fn shards_warm_restart_from_one_store_file() {
+        let path = std::env::temp_dir()
+            .join(format!("cdat-router-warm-restart-{}.cdatstore", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let trees = random_trees(7300, 12);
+        let build = || -> Vec<RouteRequest> {
+            trees.iter().enumerate().map(|(i, t)| request(t.clone(), Query::Cdpf, i)).collect()
+        };
+        let config = || RouterConfig { shards: 3, cache_budget: None, store: Some(path.clone()) };
+
+        let cold_router = Router::new(config()).unwrap();
+        let cold = cold_router.solve(build());
+        let cold_stats = cold_router.stats();
+        assert_eq!(cold_stats.iter().map(|s| s.disk_hits).sum::<u64>(), 0, "cold run");
+        assert!(cold_stats.iter().map(|s| s.disk_entries).sum::<usize>() > 0, "fronts persisted");
+        drop(cold_router);
+
+        // A fresh router on the same file: every shard re-opens its own
+        // handle and answers from disk, byte-identically.
+        let warm_router = Router::new(config()).unwrap();
+        let warm = warm_router.solve(build());
+        assert_eq!(warm, cold, "warm restart must reproduce the cold bytes");
+        let warm_stats = warm_router.stats();
+        assert!(warm_stats.iter().map(|s| s.disk_hits).sum::<u64>() > 0, "disk answered");
+        assert_eq!(warm_stats.iter().map(|s| s.misses).sum::<u64>(), {
+            // Disk answers count as memory misses, so the miss totals of
+            // the two runs agree exactly.
+            cold_stats.iter().map(|s| s.misses).sum::<u64>()
+        });
+        drop(warm_router);
+
+        // Memory-only on the same requests: the disk tier never changes
+        // the answer bytes.
+        let storeless = router(3, None).solve(build());
+        assert_eq!(storeless, cold);
+        let _ = std::fs::remove_file(&path);
     }
 }

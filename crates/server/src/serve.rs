@@ -22,6 +22,7 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -30,7 +31,7 @@ use crate::protocol::{error_line, parse_request, response_prefix, stats_line, Re
 use crate::router::{Reply, RouteRequest, Router, RouterConfig};
 
 /// Serving configuration.
-#[derive(Copy, Clone, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Number of worker shards.
     pub shards: usize,
@@ -43,6 +44,10 @@ pub struct ServeConfig {
     /// Total front-cache budget in points, split over the shards; `None`
     /// means unbounded.
     pub cache_budget: Option<usize>,
+    /// Path of a persistent front store below the shard caches; `None`
+    /// serves from memory only. A server restarted on the same path starts
+    /// warm: fronts computed by the previous run answer from disk.
+    pub store: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -52,13 +57,18 @@ impl Default for ServeConfig {
             batch_max: 64,
             batch_window: Duration::from_micros(1000),
             cache_budget: None,
+            store: None,
         }
     }
 }
 
 impl ServeConfig {
     fn router_config(&self) -> RouterConfig {
-        RouterConfig { shards: self.shards, cache_budget: self.cache_budget }
+        RouterConfig {
+            shards: self.shards,
+            cache_budget: self.cache_budget,
+            store: self.store.clone(),
+        }
     }
 }
 
@@ -166,8 +176,13 @@ fn write_loop<W: Write>(mut sink: W, rx: Receiver<Reply>) {
 /// Serves requests from stdin to stdout until EOF; response lines stream
 /// in completion order. Every pending request is answered before this
 /// returns.
-pub fn serve_stdio(config: &ServeConfig) {
-    let router = Arc::new(Router::new(config.router_config()));
+///
+/// # Errors
+///
+/// Only opening the configured persistent store can fail; a memory-only
+/// configuration never errors.
+pub fn serve_stdio(config: &ServeConfig) -> std::io::Result<()> {
+    let router = Arc::new(Router::new(config.router_config())?);
     let (reply_tx, reply_rx) = channel::<Reply>();
     let (batch_tx, batch_rx) = channel::<Job>();
 
@@ -190,6 +205,7 @@ pub fn serve_stdio(config: &ServeConfig) {
     drop(router);
     drop(reply_tx);
     let _ = writer.join();
+    Ok(())
 }
 
 /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), announces
@@ -199,12 +215,12 @@ pub fn serve_stdio(config: &ServeConfig) {
 ///
 /// # Errors
 ///
-/// Only binding can fail; per-connection I/O errors just end that
-/// connection.
+/// Only binding and opening the configured persistent store can fail;
+/// per-connection I/O errors just end that connection.
 pub fn serve_tcp(addr: &str, config: &ServeConfig) -> std::io::Result<()> {
     let listener = TcpListener::bind(addr)?;
     eprintln!("cdat-serve: listening on {}", listener.local_addr()?);
-    let router = Arc::new(Router::new(config.router_config()));
+    let router = Arc::new(Router::new(config.router_config())?);
     let (batch_tx, batch_rx) = channel::<Job>();
     {
         let router = router.clone();
@@ -236,7 +252,7 @@ mod tests {
     /// Drives `read_loop` + dispatcher + shards end to end over in-memory
     /// pipes, returning all response lines (completion order).
     fn serve_text(input: &str, config: &ServeConfig) -> Vec<String> {
-        let router = Arc::new(Router::new(config.router_config()));
+        let router = Arc::new(Router::new(config.router_config()).expect("open router"));
         let (reply_tx, reply_rx) = channel::<Reply>();
         let (batch_tx, batch_rx) = channel::<Job>();
         let dispatcher = {
@@ -328,6 +344,7 @@ mod tests {
                 batch_max,
                 batch_window: Duration::from_micros(window_us),
                 cache_budget: None,
+                store: None,
             };
             let lines = sorted_by_id(serve_text(&input, &config));
             assert_eq!(lines, reference, "shards={shards} max={batch_max} window={window_us}us");
@@ -357,6 +374,31 @@ mod tests {
             lines[2],
             "{\"id\":2,\"query\":\"dgc\",\"arg\":5,\"point\":[1,200],\"witness\":[0]}"
         );
+    }
+
+    #[test]
+    fn serving_restarts_warm_from_a_store() {
+        use std::fmt::Write as _;
+        let path = std::env::temp_dir()
+            .join(format!("cdat-serve-warm-restart-{}.cdatstore", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut input = String::new();
+        for i in 0..9 {
+            let (cost, damage) = (1 + i % 3, 7 * (1 + i % 3));
+            let _ = writeln!(
+                input,
+                "{{\"id\":{i},\"tree\":\"or root damage={damage}\\n  bas x cost={cost}\\n\",\"query\":\"cdpf\"}}",
+            );
+        }
+        let config = ServeConfig { store: Some(path.clone()), ..Default::default() };
+        let cold = sorted_by_id(serve_text(&input, &config));
+        // A second server process on the same store file answers from disk
+        // with the same bytes; so does a storeless server.
+        let warm = sorted_by_id(serve_text(&input, &config));
+        assert_eq!(warm, cold);
+        let storeless = sorted_by_id(serve_text(&input, &ServeConfig::default()));
+        assert_eq!(storeless, cold);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -160,7 +160,11 @@ fn usage() -> String {
          shared cache entry when documents deduplicate)\n  \
          --timings          add per-request solver micros to the JSON (nondeterministic)\n  \
          --cache-budget P   bound the front cache to P points (LRU eviction)\n  \
-         --cache-stats      print cache counters (hits/misses/evictions) to stderr\n  \
+         --cache-stats      print cache counters (hits/misses/evictions,\n                     \
+         disk_hits/disk_entries) to stderr\n  \
+         --store PATH       persistent front store below the cache: misses read\n                     \
+         through to PATH, computed fronts append to it, so a\n                     \
+         second run on the same store starts warm\n  \
          --cdpf --cedpf --dgc B --cgd D --edgc B --cged D\n                     \
          queries to run per document, repeatable (default: --cdpf)\n\
          \nserve flags:\n  \
@@ -170,10 +174,14 @@ fn usage() -> String {
          --workers N        worker shards (default: available parallelism)\n  \
          --batch-max N      flush a micro-batch at N requests (default 64)\n  \
          --batch-window-us U  micro-batch accumulation window (default 1000)\n  \
-         --cache-budget P   total front-cache budget in points, split over shards\n\
+         --cache-budget P   total front-cache budget in points, split over shards\n  \
+         --store PATH       persistent front store shared by the shards; a\n                     \
+         restarted server on the same PATH starts warm\n\
          \nquery flags: --connect HOST:PORT plus the batch query flags and\n  \
          --witnesses; sends the suite to a running `cdat serve` and prints\n  \
-         responses in request order.\n",
+         responses in request order. With --store PATH instead of --connect,\n  \
+         answers locally through the store (no server needed), printing the\n  \
+         same response lines a server on that store would.\n",
     );
     s
 }
@@ -249,6 +257,7 @@ fn batch(args: &[String]) -> Result<(), String> {
     let cache_budget = take_value(&mut rest, "--cache-budget")?
         .map(|text| parse_count("--cache-budget", text))
         .transpose()?;
+    let store = take_value(&mut rest, "--store")?.cloned();
     let mut timings = false;
     let mut cache_stats = false;
     let mut witnesses = false;
@@ -273,11 +282,17 @@ fn batch(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let engine = match cache_budget {
-        Some(budget) => {
-            solve::Engine::with_cache(workers, solve::FrontCache::with_budget(16, budget))
+    let memory = match cache_budget {
+        Some(budget) => solve::FrontCache::with_budget(16, budget),
+        None => solve::FrontCache::new(16),
+    };
+    let engine = match &store {
+        Some(path) => {
+            let persistent = solve::PersistentFrontCache::open(path, memory)
+                .map_err(|e| format!("cannot open store {path}: {e}"))?;
+            solve::Engine::with_persistent(workers, persistent)
         }
-        None => solve::Engine::new(workers),
+        None => solve::Engine::with_cache(workers, memory),
     };
     let start = std::time::Instant::now();
     let results = engine.run(&requests);
@@ -297,7 +312,7 @@ fn batch(args: &[String]) -> Result<(), String> {
     }
     print!("{out}");
 
-    let stats = engine.cache().stats();
+    let stats = engine.stats();
     eprintln!(
         "batch: {} requests over {} documents, {} fronts computed, {} cache hits, {} workers, {:.3}s",
         results.len(),
@@ -309,8 +324,14 @@ fn batch(args: &[String]) -> Result<(), String> {
     );
     if cache_stats {
         eprintln!(
-            "cache-stats: hits={} misses={} entries={} points={} evictions={}",
-            stats.hits, stats.misses, stats.entries, stats.points, stats.evictions
+            "cache-stats: hits={} misses={} entries={} points={} evictions={} disk_hits={} disk_entries={}",
+            stats.hits,
+            stats.misses,
+            stats.entries,
+            stats.points,
+            stats.evictions,
+            stats.disk_hits,
+            stats.disk_entries
         );
     }
     Ok(())
@@ -366,6 +387,9 @@ fn serve(args: &[String]) -> Result<(), String> {
     if let Some(text) = take_value(&mut rest, "--cache-budget")? {
         config.cache_budget = Some(parse_count("--cache-budget", text)?);
     }
+    if let Some(text) = take_value(&mut rest, "--store")? {
+        config.store = Some(std::path::PathBuf::from(text));
+    }
     let mut stdio = addr.is_none();
     for flag in rest {
         match flag.as_str() {
@@ -379,23 +403,20 @@ fn serve(args: &[String]) -> Result<(), String> {
     match addr {
         Some(addr) => cdat::serve::serve_tcp(&addr, &config)
             .map_err(|e| format!("cannot serve on {addr}: {e}")),
-        None => {
-            cdat::serve::serve_stdio(&config);
-            Ok(())
-        }
+        None => cdat::serve::serve_stdio(&config).map_err(|e| format!("cannot serve: {e}")),
     }
 }
 
 /// `cdat query --connect <addr> <suite> [query flags]`: send the suite to
 /// a running `cdat serve`, one request per query, and print the response
-/// lines in request order (then by document).
+/// lines in request order (then by document). With `--store <path>`
+/// instead of `--connect`, answers locally through a store-backed router —
+/// the same code path a server on that store would use, so the lines are
+/// byte-identical to the served ones.
 fn query(args: &[String]) -> Result<(), String> {
-    use std::io::{BufRead, BufReader, Write as _};
-
     let (mut queries, mut rest) = parse_query_flags(args)?;
-    let addr = take_value(&mut rest, "--connect")?
-        .ok_or_else(|| format!("query needs --connect HOST:PORT\n{}", usage()))?
-        .clone();
+    let addr = take_value(&mut rest, "--connect")?.cloned();
+    let store = take_value(&mut rest, "--store")?.cloned();
     let solver = take_value(&mut rest, "--solver")?.cloned();
     let witnesses = match rest.iter().position(|f| f.as_str() == "--witnesses") {
         Some(i) => {
@@ -411,36 +432,22 @@ fn query(args: &[String]) -> Result<(), String> {
     if queries.is_empty() {
         queries.push(solve::Query::Cdpf);
     }
-    if let Some(solver) = &solver {
+    let hint = match &solver {
         // Validate the spelling client-side for a friendly error.
-        solve::SolverHint::parse(solver)?;
-    }
+        Some(solver) => solve::SolverHint::parse(solver)?,
+        None => solve::SolverHint::Auto,
+    };
 
-    let stream = std::net::TcpStream::connect(&addr)
-        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
-    let mut request_lines = String::new();
-    for (i, &query) in queries.iter().enumerate() {
-        use std::fmt::Write as _;
-        let _ = write!(request_lines, "{{\"id\":{i},\"suite\":\"{}\"", json::escape(&text));
-        let _ = write!(request_lines, ",{}", protocol::query_fragment(query));
-        if let Some(solver) = &solver {
-            let _ = write!(request_lines, ",\"solver\":\"{}\"", json::escape(solver));
+    let mut lines = match (addr, store) {
+        (Some(_), Some(_)) => {
+            return Err("--connect and --store are mutually exclusive".into());
         }
-        if witnesses {
-            request_lines.push_str(",\"witnesses\":true");
+        (None, None) => {
+            return Err(format!("query needs --connect HOST:PORT or --store PATH\n{}", usage()));
         }
-        request_lines.push_str("}\n");
-    }
-    writer.write_all(request_lines.as_bytes()).map_err(|e| format!("send: {e}"))?;
-    writer.flush().map_err(|e| format!("send: {e}"))?;
-    // Half-close: the server answers everything in flight, then closes.
-    stream.shutdown(std::net::Shutdown::Write).map_err(|e| format!("shutdown: {e}"))?;
-
-    let mut lines: Vec<String> = Vec::new();
-    for line in BufReader::new(stream).lines() {
-        lines.push(line.map_err(|e| format!("receive: {e}"))?);
-    }
+        (Some(addr), None) => query_remote(&addr, &text, &queries, solver.as_deref(), witnesses)?,
+        (None, Some(store)) => query_local(path, &store, &text, &queries, hint, witnesses)?,
+    };
     // Request order, then document order within a request (responses may
     // arrive interleaved across shards). This client always sends numeric
     // ids; anything unparseable sorts last.
@@ -463,6 +470,86 @@ fn query(args: &[String]) -> Result<(), String> {
     }
     print!("{out}");
     Ok(())
+}
+
+/// The remote client: sends one suite request per query to a running
+/// `cdat serve` and collects the raw response lines.
+fn query_remote(
+    addr: &str,
+    text: &str,
+    queries: &[solve::Query],
+    solver: Option<&str>,
+    witnesses: bool,
+) -> Result<Vec<String>, String> {
+    use std::io::{BufRead, BufReader, Write as _};
+
+    let stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut request_lines = String::new();
+    for (i, &query) in queries.iter().enumerate() {
+        use std::fmt::Write as _;
+        let _ = write!(request_lines, "{{\"id\":{i},\"suite\":\"{}\"", json::escape(text));
+        let _ = write!(request_lines, ",{}", protocol::query_fragment(query));
+        if let Some(solver) = solver {
+            let _ = write!(request_lines, ",\"solver\":\"{}\"", json::escape(solver));
+        }
+        if witnesses {
+            request_lines.push_str(",\"witnesses\":true");
+        }
+        request_lines.push_str("}\n");
+    }
+    writer.write_all(request_lines.as_bytes()).map_err(|e| format!("send: {e}"))?;
+    writer.flush().map_err(|e| format!("send: {e}"))?;
+    // Half-close: the server answers everything in flight, then closes.
+    stream.shutdown(std::net::Shutdown::Write).map_err(|e| format!("shutdown: {e}"))?;
+
+    let mut lines: Vec<String> = Vec::new();
+    for line in BufReader::new(stream).lines() {
+        lines.push(line.map_err(|e| format!("receive: {e}"))?);
+    }
+    Ok(lines)
+}
+
+/// The local store mode: answers the suite through a store-backed router,
+/// no server needed. Prefixes and bodies come from the same protocol
+/// rendering a server uses, so the lines match served bytes exactly.
+fn query_local(
+    path: &str,
+    store: &str,
+    text: &str,
+    queries: &[solve::Query],
+    hint: solve::SolverHint,
+    witnesses: bool,
+) -> Result<Vec<String>, String> {
+    use cdat::serve::{RouteRequest, Router, RouterConfig};
+
+    let documents = cdat_format::parse_multi(text).map_err(|e| format!("{path}: {e}"))?;
+    let trees: Vec<std::sync::Arc<CdpAttackTree>> =
+        documents.iter().map(|d| std::sync::Arc::new(d.tree.clone())).collect();
+    let config = RouterConfig {
+        shards: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        cache_budget: None,
+        store: Some(std::path::PathBuf::from(store)),
+    };
+    let router = Router::new(config).map_err(|e| format!("cannot open store {store}: {e}"))?;
+    let mut requests = Vec::with_capacity(documents.len() * queries.len());
+    for (i, &query) in queries.iter().enumerate() {
+        for (doc, d) in documents.iter().enumerate() {
+            requests.push(RouteRequest {
+                tree: trees[doc].clone(),
+                query,
+                hint,
+                witnesses,
+                prefix: protocol::response_prefix(
+                    &json::Value::Num(i as f64),
+                    Some((doc, d.name.as_deref())),
+                    query,
+                ),
+            });
+        }
+    }
+    Ok(router.solve(requests))
 }
 
 fn info(cdp: &CdpAttackTree) {

@@ -18,7 +18,8 @@
 //! use cdat::serve::{Router, RouterConfig, RouteRequest};
 //! use cdat::solve::{Query, SolverHint};
 //!
-//! let router = Router::new(RouterConfig { shards: 2, cache_budget: None });
+//! let config = RouterConfig { shards: 2, cache_budget: None, store: None };
+//! let router = Router::new(config).unwrap(); // only a store can fail to open
 //! let request = RouteRequest {
 //!     tree: Arc::new(cdat_models::factory_cdp()),
 //!     query: Query::Cdpf,

@@ -295,7 +295,8 @@ fn batch_cache_stats_and_budget() {
     let evictions: u64 = stats
         .split("evictions=")
         .nth(1)
-        .and_then(|s| s.trim().parse().ok())
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("no eviction count in {stats}"));
     assert!(evictions > 0, "105 fronts against 16 points must evict: {stats}");
     let points: u64 = stats
@@ -336,4 +337,123 @@ fn example_document_reproduces_the_figure_3_front() {
         assert!(row.is_some(), "missing front point ({cost}, {damage}) in:\n{table}");
     }
     let _ = std::fs::remove_file(&path);
+}
+
+/// Parses one `name=value` counter out of a `cache-stats:` stderr line.
+fn stat_of(stderr: &[u8], name: &str) -> u64 {
+    let err = String::from_utf8_lossy(stderr);
+    let stats = err.lines().find(|l| l.starts_with("cache-stats:")).expect("stats line");
+    stats
+        .split(&format!("{name}="))
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no {name} in {stats}"))
+}
+
+/// A second `cdat batch --store` run on the same store file answers from
+/// disk (`disk_hits > 0`) with stdout byte-identical to the cold run and
+/// to a storeless run — witnesses included, since they ride through the
+/// store in canonical positions and translate on the way out.
+#[test]
+fn batch_store_warm_restart_is_byte_identical() {
+    let suite = write_generated_suite();
+    let store = unique_path("store");
+    let suite_str = suite.to_str().unwrap();
+    let store_str = store.to_str().unwrap();
+    let flags = ["--workers", "2", "--witnesses", "--cache-stats"];
+
+    let storeless = cdat(&[&["batch", suite_str], &flags[..]].concat());
+    assert!(storeless.status.success());
+
+    let cold = cdat(&[&["batch", suite_str, "--store", store_str], &flags[..]].concat());
+    assert!(cold.status.success());
+    assert_eq!(cold.stdout, storeless.stdout, "the store must not change a byte of stdout");
+    assert_eq!(stat_of(&cold.stderr, "disk_hits"), 0, "a fresh store cannot answer");
+    assert!(stat_of(&cold.stderr, "disk_entries") > 0, "computed fronts must persist");
+
+    let warm = cdat(&[&["batch", suite_str, "--store", store_str], &flags[..]].concat());
+    assert!(warm.status.success());
+    assert_eq!(warm.stdout, cold.stdout, "warm restart must reproduce the cold bytes");
+    assert!(stat_of(&warm.stderr, "disk_hits") > 0, "the second run must answer from disk");
+
+    let _ = std::fs::remove_file(&suite);
+    let _ = std::fs::remove_file(&store);
+}
+
+/// Every corruption shape — flipped byte, truncated tail, garbage file,
+/// zero-length file — recovers to a cold-but-working cache: the run exits
+/// zero and its stdout agrees byte-for-byte with a storeless run.
+#[test]
+fn batch_store_corruption_recovers_to_a_cold_cache() {
+    let suite = write_generated_suite();
+    let store = unique_path("store-corrupt");
+    let suite_str = suite.to_str().unwrap();
+    let store_str = store.to_str().unwrap();
+
+    let storeless = cdat(&["batch", suite_str]);
+    assert!(storeless.status.success());
+    assert!(cdat(&["batch", suite_str, "--store", store_str]).status.success());
+
+    let pristine = std::fs::read(&store).unwrap();
+    assert!(pristine.len() > 64, "the store holds real records");
+    let corruptions: [(&str, Vec<u8>); 4] = [
+        ("flipped byte", {
+            let mut bytes = pristine.clone();
+            let middle = bytes.len() / 2;
+            bytes[middle] ^= 0x40;
+            bytes
+        }),
+        ("truncated tail", pristine[..pristine.len() - 7].to_vec()),
+        ("garbage file", b"this is not a cdat store at all".to_vec()),
+        ("zero-length file", Vec::new()),
+    ];
+    for (label, bytes) in corruptions {
+        std::fs::write(&store, bytes).unwrap();
+        let out = cdat(&["batch", suite_str, "--store", store_str]);
+        assert!(out.status.success(), "{label}: batch must not fail");
+        assert_eq!(out.stdout, storeless.stdout, "{label}: answers must match storeless run");
+    }
+
+    let _ = std::fs::remove_file(&suite);
+    let _ = std::fs::remove_file(&store);
+}
+
+/// `cdat query --store` answers a suite locally through the store — no
+/// server — and a repeat invocation (a fresh process, warm store) prints
+/// the same bytes.
+#[test]
+fn query_local_store_mode_answers_without_a_server() {
+    let suite = write_generated_suite();
+    let store = unique_path("store-query");
+    let suite_str = suite.to_str().unwrap();
+    let store_str = store.to_str().unwrap();
+
+    let args = ["query", "--store", store_str, suite_str, "--cdpf", "--dgc", "5"];
+    let cold = cdat(&args);
+    assert!(cold.status.success(), "{}", String::from_utf8_lossy(&cold.stderr));
+    let text = String::from_utf8(cold.stdout.clone()).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2 * 105, "two queries over the 105-document suite");
+    assert!(
+        lines[0].starts_with("{\"id\":0,\"doc\":0,\"name\":\"t0\",\"query\":\"cdpf\""),
+        "{}",
+        lines[0]
+    );
+    assert!(lines.iter().all(|l| l.ends_with('}')));
+
+    let warm = cdat(&args);
+    assert!(warm.status.success());
+    assert_eq!(warm.stdout, cold.stdout, "a warm-store rerun prints the same bytes");
+
+    // The flag pair is validated.
+    let out = cdat(&["query", "--store", store_str, "--connect", "127.0.0.1:1", suite_str]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+    let out = cdat(&["query", suite_str]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--connect HOST:PORT or --store PATH"));
+
+    let _ = std::fs::remove_file(&suite);
+    let _ = std::fs::remove_file(&store);
 }
