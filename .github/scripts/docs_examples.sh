@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# docs-examples: prove docs/PROTOCOL.md tells the truth. Every fenced
+# block tagged `protocol-request` is piped through `cdat serve --stdio`,
+# and the responses are diffed byte-for-byte against the concatenated
+# `protocol-response` blocks. Responses may stream back in any order, so
+# both sides are sorted (ids in the doc are two-digit on purpose — a
+# plain lexicographic line sort orders them correctly).
+#
+# Usage: docs_examples.sh [path/to/cdat] [path/to/PROTOCOL.md]
+set -euo pipefail
+
+CDAT=${1:-target/release/cdat}
+DOC=${2:-docs/PROTOCOL.md}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+awk -v req="$workdir/requests.jsonl" -v resp="$workdir/expected.jsonl" '
+  /^```protocol-request$/  { mode = 1; next }
+  /^```protocol-response$/ { mode = 2; next }
+  /^```/                   { mode = 0; next }
+  mode == 1 { print > req }
+  mode == 2 { print > resp }
+' "$DOC"
+
+[ -s "$workdir/requests.jsonl" ] \
+  || { echo "docs-examples: no protocol-request blocks found in $DOC" >&2; exit 1; }
+[ -s "$workdir/expected.jsonl" ] \
+  || { echo "docs-examples: no protocol-response blocks found in $DOC" >&2; exit 1; }
+
+requests=$(wc -l < "$workdir/requests.jsonl")
+expected=$(wc -l < "$workdir/expected.jsonl")
+
+"$CDAT" serve --stdio --workers 2 --batch-window-us 500 \
+  < "$workdir/requests.jsonl" \
+  | sort > "$workdir/actual.jsonl"
+sort -o "$workdir/expected.jsonl" "$workdir/expected.jsonl"
+
+echo "--- $DOC: $requests example requests, $expected documented responses ---"
+diff -u "$workdir/expected.jsonl" "$workdir/actual.jsonl" \
+  || { echo "docs-examples: $DOC has drifted from the server's actual bytes" >&2; exit 1; }
+echo "docs-examples: every documented response line matches the server byte-for-byte"

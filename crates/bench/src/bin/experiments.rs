@@ -535,6 +535,24 @@ fn bench_json(out: Option<String>) {
         scenarios.push((oracle_name, t.as_secs_f64()));
     }
 
+    // Scalar attribute-domain scenarios: the generic staircase kernel
+    // under the min-plus and Viterbi domains. The deep AND chain reuses a
+    // kernel shape from above, so the cost-damage `kernel_and_chain`
+    // scenario doubles as this one's structural control.
+    let chain = cdat_bench::kernel_and_chain(96);
+    let (_, t) = timed(|| {
+        for _ in 0..200 {
+            black_box(cdat_bottomup::min_time(black_box(&chain)).expect("treelike"));
+        }
+    });
+    scenarios.push(("scalar_min_time_chain_d96_x200", t.as_secs_f64()));
+    let (_, t) = timed(|| {
+        for _ in 0..200 {
+            black_box(cdat_bottomup::max_prob(black_box(&panda_p)).expect("treelike"));
+        }
+    });
+    scenarios.push(("scalar_max_prob_panda_x200", t.as_secs_f64()));
+
     // Batch-engine scenarios over the shared reference workload (the same
     // one the `engine_batch` criterion bench measures).
     let requests = cdat_bench::engine_batch_requests();

@@ -60,4 +60,4 @@ pub mod ablation;
 mod recursion;
 mod solver;
 
-pub use solver::{cdpf, cedpf, cgd, cged, dgc, edgc, BottomUp};
+pub use solver::{cdpf, cedpf, cgd, cged, dgc, edgc, max_prob, min_time, BottomUp};

@@ -10,14 +10,14 @@
 //! point-for-point identical fronts, witnesses included.
 
 use cdat_core::{Attack, AttackTree, NodeType, NotTreelike};
-use cdat_pareto::{Activation, GateScratch, Staircase, Triple};
+use cdat_pareto::{Activation, AttributeDomain, CdTriples, GateScratch, Staircase, Triple};
 
 /// One candidate attack at a node: its attribute triple plus (optionally) a
 /// witness attack realizing the triple.
 pub(crate) type Entry<A> = (Triple<A>, Option<Attack>);
 
-/// A per-node front in kernel form.
-type Front<A> = Staircase<A, Option<Attack>>;
+/// A per-node front in kernel form, on the cost–damage domain.
+type Front<A> = Staircase<CdTriples<A>, Option<Attack>>;
 
 /// Witness combination for a product entry: the union of the two child
 /// attacks (or `None` when witness tracking is off).
@@ -70,7 +70,7 @@ where
         return Err(NotTreelike);
     }
     assert_eq!(damages.len(), tree.node_count(), "damage table must be indexed by node id");
-    let mut scratch: GateScratch<A, Option<Attack>> = GateScratch::new();
+    let mut scratch: GateScratch<CdTriples<A>, Option<Attack>> = GateScratch::new();
     let mut fronts: Vec<Front<A>> = Vec::with_capacity(tree.node_count());
     for v in tree.node_ids() {
         let front = match tree.node_type(v) {
@@ -146,7 +146,7 @@ where
         assert!(!u.is_nan(), "cost budget must not be NaN");
     }
 
-    let mut scratch: GateScratch<A, Option<Attack>> = GateScratch::new();
+    let mut scratch: GateScratch<CdTriples<A>, Option<Attack>> = GateScratch::new();
     let mut fronts: Vec<Option<Front<A>>> = vec![None; tree.node_count()];
 
     for v in tree.node_ids() {
@@ -165,6 +165,72 @@ where
                     acc = next;
                 }
                 scratch.settle(acc, dv)
+            }
+        };
+        fronts[v.index()] = Some(front);
+    }
+
+    Ok(fronts[tree.root().index()].take().expect("root front computed").into_entries())
+}
+
+/// A generic root front: the domain values of the root's Pareto entries,
+/// each with its optional witness attack.
+pub(crate) type ScalarEntries<D> = Vec<(<D as AttributeDomain>::Value, Option<Attack>)>;
+
+/// Bottom-up evaluation of an arbitrary [`AttributeDomain`] over a treelike
+/// tree, returning the root front.
+///
+/// This is the generic counterpart of [`root_front`] for domains without
+/// the cost–damage specifics (no per-node damages to settle, no cost
+/// budget): leaves are the singleton `{leaf(b)}`, `AND` gates fold the
+/// kernel product, and `OR` gates fold either the product or — on *choice*
+/// domains ([`AttributeDomain::OR_IS_CHOICE`]) — the front union, so each
+/// entry keeps the witness of the one alternative it came from.
+///
+/// On totally ordered domains (min-time, max-probability) every front is a
+/// singleton and the pass degenerates to a linear semiring evaluation; the
+/// machinery still pays off because richer domains ride the same code.
+pub(crate) fn generic_root_front<D, F>(
+    tree: &AttackTree,
+    leaf: F,
+    witnesses: bool,
+) -> Result<ScalarEntries<D>, NotTreelike>
+where
+    D: AttributeDomain,
+    F: Fn(cdat_core::BasId) -> D::Value,
+{
+    if !tree.is_treelike() {
+        return Err(NotTreelike);
+    }
+    let n_bas = tree.bas_count();
+    let mut scratch: GateScratch<D, Option<Attack>> = GateScratch::new();
+    let mut fronts: Vec<Option<Staircase<D, Option<Attack>>>> = vec![None; tree.node_count()];
+
+    for v in tree.node_ids() {
+        let front = match tree.node_type(v) {
+            NodeType::Bas => {
+                let b = tree.bas_of_node(v).expect("leaf has a BAS id");
+                Staircase::minimized(
+                    vec![(leaf(b), witnesses.then(|| Attack::from_bas_ids(n_bas, [b])))],
+                    None,
+                )
+            }
+            gate @ (NodeType::Or | NodeType::And) => {
+                let or_gate = matches!(gate, NodeType::Or);
+                let kids = tree.children(v);
+                let mut acc = fronts[kids[0].index()].take().expect("children precede parents");
+                for c in &kids[1..] {
+                    let cf = fronts[c.index()].take().expect("children precede parents");
+                    let next = if or_gate && D::OR_IS_CHOICE {
+                        acc.union(&cf)
+                    } else {
+                        scratch.combine(or_gate, &acc, &cf, None, join_witnesses)
+                    };
+                    scratch.recycle(acc);
+                    scratch.recycle(cf);
+                    acc = next;
+                }
+                acc
             }
         };
         fronts[v.index()] = Some(front);

@@ -1,9 +1,9 @@
 //! Public solver API: CDPF/DgC/CgD and their probabilistic counterparts.
 
 use cdat_core::{Attack, CdAttackTree, CdpAttackTree, NotTreelike};
-use cdat_pareto::{FrontEntry, ParetoFront, Prob, Triple};
+use cdat_pareto::{FrontEntry, MaxProb, MinTime, ParetoFront, Prob, Triple};
 
-use crate::recursion::{node_fronts, root_front, Entry};
+use crate::recursion::{generic_root_front, node_fronts, root_front, Entry};
 
 /// Per-node deterministic fronts, indexed by `NodeId::index()`.
 pub type NodeFronts = Vec<Vec<(Triple<bool>, Option<Attack>)>>;
@@ -171,6 +171,39 @@ impl BottomUp {
         Ok(front.min_cost_achieving(threshold).cloned())
     }
 
+    /// Minimal time-to-attack of a treelike cd-AT: the least total duration
+    /// of a successful attack, reading each BAS's cost attribute as its
+    /// duration (`AND` sums, `OR` takes the faster child).
+    ///
+    /// The scalar optimum is returned as a one-entry [`ParetoFront`] with
+    /// the duration in the cost slot (damage 0), so it rides the same
+    /// cache, wire and rendering paths as the front-valued queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotTreelike`] for DAG-like trees (shared BASs would be
+    /// double-counted; `cdat-enumerative` offers an exact fallback).
+    pub fn min_time(&self, cd: &CdAttackTree) -> Result<ParetoFront, NotTreelike> {
+        let front = generic_root_front::<MinTime, _>(cd.tree(), |b| cd.cost(b), self.witnesses)?;
+        Ok(scalar_front(front))
+    }
+
+    /// Maximal success probability of a treelike cdp-AT: the likeliest
+    /// *single* attack, multiplying BAS success probabilities (`AND`
+    /// multiplies, `OR` takes the likelier child) — the Viterbi semiring,
+    /// unlike `cedpf`'s `p ⋆ q` which lets the attacker try both branches.
+    ///
+    /// The scalar optimum is returned as a one-entry [`ParetoFront`] with
+    /// the probability in the cost slot (damage 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotTreelike`] for DAG-like trees.
+    pub fn max_prob(&self, cdp: &CdpAttackTree) -> Result<ParetoFront, NotTreelike> {
+        let front = generic_root_front::<MaxProb, _>(cdp.tree(), |b| cdp.prob(b), self.witnesses)?;
+        Ok(scalar_front(front))
+    }
+
     /// The per-node deterministic fronts `C_U(v)` (the sets the paper prints
     /// in Example 5), indexed by `NodeId::index()`. Each entry is a
     /// `(cost, damage, reached)` triple with an optional witness.
@@ -241,6 +274,16 @@ fn best_within(front: ParetoFront, budget: f64) -> Option<FrontEntry> {
     front.max_damage_within(budget).cloned()
 }
 
+/// Wraps a scalar-domain root front (a singleton) as a one-entry
+/// [`ParetoFront`] with the value in the cost slot.
+fn scalar_front(front: Vec<(f64, Option<Attack>)>) -> ParetoFront {
+    ParetoFront::from_entries(
+        front
+            .into_iter()
+            .map(|(v, w)| FrontEntry { point: cdat_pareto::CostDamage::new(v, 0.0), witness: w }),
+    )
+}
+
 /// Cost-damage Pareto front of a treelike cd-AT (Theorem 4).
 ///
 /// # Errors
@@ -293,6 +336,24 @@ pub fn edgc(cdp: &CdpAttackTree, budget: f64) -> Result<Option<FrontEntry>, NotT
 /// Returns [`NotTreelike`] for DAG-like trees.
 pub fn cged(cdp: &CdpAttackTree, threshold: f64) -> Result<Option<FrontEntry>, NotTreelike> {
     BottomUp::new().cged(cdp, threshold)
+}
+
+/// Minimal time-to-attack (min-plus over `AND`/`OR`), as a one-entry front.
+///
+/// # Errors
+///
+/// Returns [`NotTreelike`] for DAG-like trees.
+pub fn min_time(cd: &CdAttackTree) -> Result<ParetoFront, NotTreelike> {
+    BottomUp::new().min_time(cd)
+}
+
+/// Maximal single-attack success probability, as a one-entry front.
+///
+/// # Errors
+///
+/// Returns [`NotTreelike`] for DAG-like trees.
+pub fn max_prob(cdp: &CdpAttackTree) -> Result<ParetoFront, NotTreelike> {
+    BottomUp::new().max_prob(cdp)
 }
 
 #[cfg(test)]
@@ -580,6 +641,60 @@ mod tests {
                 .map(|(t, w)| FrontEntry { point: t.project(), witness: w.clone() }),
         );
         assert!(via_root.approx_eq(&projected, 0.0));
+    }
+
+    #[test]
+    fn factory_min_time_picks_the_fast_branch() {
+        // ps = OR(ca, AND(pb, fd)) with durations 1, 3, 2: the OR picks
+        // ca's 1 over the AND's 3 + 2 = 5.
+        let cd = factory_cd();
+        let front = min_time(&cd).unwrap();
+        assert_eq!(front.len(), 1);
+        let e = &front.entries()[0];
+        assert_eq!(e.point.cost, 1.0);
+        assert_eq!(e.point.damage, 0.0);
+        let w = e.witness.as_ref().unwrap();
+        let names: Vec<&str> = w.iter().map(|b| cd.tree().name(cd.tree().node_of_bas(b))).collect();
+        assert_eq!(names, vec!["ca"]);
+    }
+
+    #[test]
+    fn factory_max_prob_picks_the_likelier_branch() {
+        // Probabilities ca=0.2, pb=0.4, fd=0.9: the AND branch wins with
+        // 0.4 · 0.9 = 0.36 > 0.2.
+        let cdp = factory_cdp();
+        let front = max_prob(&cdp).unwrap();
+        assert_eq!(front.len(), 1);
+        let e = &front.entries()[0];
+        assert!((e.point.cost - 0.36).abs() < 1e-12);
+        let w = e.witness.as_ref().unwrap();
+        let names: Vec<&str> =
+            w.iter().map(|b| cdp.tree().name(cdp.tree().node_of_bas(b))).collect();
+        assert_eq!(names, vec!["pb", "fd"]);
+        // The witness reproduces its value: Π of the BAS probabilities.
+        let p: f64 = w.iter().map(|b| cdp.prob(b)).product();
+        assert!((p - e.point.cost).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scalar_queries_without_witnesses() {
+        let cd = factory_cd();
+        let front = BottomUp::new().without_witnesses().min_time(&cd).unwrap();
+        assert_eq!(front.entries()[0].point.cost, 1.0);
+        assert!(front.entries()[0].witness.is_none());
+    }
+
+    #[test]
+    fn scalar_queries_reject_dags() {
+        let mut b = AttackTreeBuilder::new();
+        let x = b.bas("x");
+        let g1 = b.or("g1", [x]);
+        let g2 = b.or("g2", [x]);
+        let _r = b.and("r", [g1, g2]);
+        let cd = CdAttackTree::builder(b.build().unwrap()).finish().unwrap();
+        assert_eq!(min_time(&cd).unwrap_err(), NotTreelike);
+        let cdp = cd.with_probabilities().finish().unwrap();
+        assert_eq!(max_prob(&cdp).unwrap_err(), NotTreelike);
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //!    trees (names and sibling order ignored) share one solve.
 //! 2. **Memoization.** Every computed Pareto front lands in a sharded
 //!    concurrent [`FrontCache`]; an [`Engine`] kept across batches answers
-//!    repeated queries in O(1). All six paper queries are answered from the
-//!    two front families: CDPF/DgC/CgD from the deterministic front,
-//!    CEDPF/EDgC/CgED from the cost–expected-damage front.
+//!    repeated queries in O(1). All six paper queries are answered from
+//!    two front families — CDPF/DgC/CgD from the deterministic front,
+//!    CEDPF/EDgC/CgED from the cost–expected-damage front — and the scalar
+//!    attribute-domain queries ([`Query::MinTime`], [`Query::MaxProb`])
+//!    from their own one-entry-front families.
 //! 3. **Parallelism.** The unique fronts of a batch fan out over N plain
 //!    `std::thread` workers (no external dependencies).
 //!
@@ -107,16 +109,28 @@ pub use persist::PersistentFrontCache;
 pub const DAG_PROBABILISTIC_OPEN: &str =
     "probabilistic analysis of DAG-like attack trees is an open problem";
 
-/// The two front families a query can need.
+/// The front families a query can need.
+///
+/// The two Pareto families come from the paper; the scalar families are
+/// attribute domains over the same generic kernel
+/// ([`cdat_pareto::AttributeDomain`]), each cached as a one-entry front.
+/// Every family has its own cache keyspace in memory *and* its own wire
+/// family code on disk ([`cdat_pareto::wire::family`]), so domains can
+/// never alias each other's entries.
 #[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
 pub enum FrontKind {
     /// Cost-damage front (CDPF); answers CDPF, DgC and CgD.
     Deterministic,
     /// Cost–expected-damage front (CEDPF); answers CEDPF, EDgC and CgED.
     Probabilistic,
+    /// Min-time scalar optimum (min-plus over the cost attribute).
+    MinTime,
+    /// Max-probability scalar optimum (the likeliest single attack).
+    MaxProb,
 }
 
-/// One of the paper's six queries against a cdp-AT.
+/// One of the paper's six queries, or a scalar attribute-domain query,
+/// against a cdp-AT.
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub enum Query {
     /// The full cost-damage Pareto front.
@@ -131,6 +145,10 @@ pub enum Query {
     Edgc(f64),
     /// Minimal cost achieving the expected-damage threshold (treelike only).
     Cged(f64),
+    /// Minimal time-to-attack, reading each BAS's cost as its duration.
+    MinTime,
+    /// Maximal single-attack success probability.
+    MaxProb,
 }
 
 impl Query {
@@ -139,6 +157,8 @@ impl Query {
         match self {
             Query::Cdpf | Query::Dgc(_) | Query::Cgd(_) => FrontKind::Deterministic,
             Query::Cedpf | Query::Edgc(_) | Query::Cged(_) => FrontKind::Probabilistic,
+            Query::MinTime => FrontKind::MinTime,
+            Query::MaxProb => FrontKind::MaxProb,
         }
     }
 }
@@ -255,6 +275,14 @@ fn hint_error(request: &BatchRequest) -> Option<String> {
         SolverHint::Bilp if request.query.kind() == FrontKind::Probabilistic => Some(
             "the BILP solver has no probabilistic encoding; use solver auto or bottomup".into(),
         ),
+        SolverHint::Bilp
+            if matches!(request.query.kind(), FrontKind::MinTime | FrontKind::MaxProb) =>
+        {
+            Some(
+                "the BILP solver answers only cost-damage queries; use solver auto or bottomup"
+                    .into(),
+            )
+        }
         SolverHint::BottomUp if !request.tree.tree().is_treelike() => {
             Some("the bottom-up solver requires a treelike tree; use solver auto or bilp".into())
         }
@@ -274,6 +302,11 @@ pub enum Response {
     /// same witness rule as [`Response::Front`]; `None` when no attack
     /// satisfies the constraint (negative budget, unattainable threshold).
     Entry(Option<FrontEntry>),
+    /// A scalar attribute-domain optimum (for [`Query::MinTime`] /
+    /// [`Query::MaxProb`]): the value lives in the entry's cost slot
+    /// (damage is always 0), with the same witness rule as
+    /// [`Response::Front`]. `None` when the tree has no successful attack.
+    Value(Option<FrontEntry>),
     /// The query is not answerable on this tree (probabilistic queries on
     /// DAG-like trees).
     Error(String),
@@ -449,8 +482,12 @@ impl Engine {
                     .entry((Arc::as_ptr(&request.tree), kind))
                     .or_insert_with(|| {
                         let canonical = match kind {
-                            FrontKind::Deterministic => canonicalize_cd(request.tree.cd()),
-                            FrontKind::Probabilistic => canonicalize_cdp(&request.tree),
+                            FrontKind::Deterministic | FrontKind::MinTime => {
+                                canonicalize_cd(request.tree.cd())
+                            }
+                            FrontKind::Probabilistic | FrontKind::MaxProb => {
+                                canonicalize_cdp(&request.tree)
+                            }
                         };
                         (canonical.hash, Arc::new(canonical.bas_order))
                     })
@@ -459,8 +496,8 @@ impl Engine {
             let hash = request.hash.unwrap_or_else(|| match &canonical {
                 Some((hash, _)) => *hash,
                 None => match kind {
-                    FrontKind::Deterministic => hash_cd(request.tree.cd()),
-                    FrontKind::Probabilistic => hash_cdp(&request.tree),
+                    FrontKind::Deterministic | FrontKind::MinTime => hash_cd(request.tree.cd()),
+                    FrontKind::Probabilistic | FrontKind::MaxProb => hash_cdp(&request.tree),
                 },
             });
             translations.push(canonical.map(|(_, order)| order));
@@ -610,13 +647,46 @@ fn compute_front(
         FrontKind::Probabilistic => {
             cdat_bottomup::cedpf(cdp).map_err(|_| DAG_PROBABILISTIC_OPEN.to_owned())?
         }
+        FrontKind::MinTime => {
+            if cdp.tree().is_treelike() {
+                cdat_bottomup::min_time(cdp.cd()).expect("treelike checked")
+            } else {
+                enum_guard(cdp)?;
+                cdat_enumerative::min_time(cdp.cd(), true)
+            }
+        }
+        FrontKind::MaxProb => {
+            if cdp.tree().is_treelike() {
+                cdat_bottomup::max_prob(cdp).expect("treelike checked")
+            } else {
+                enum_guard(cdp)?;
+                cdat_enumerative::max_prob(cdp, true)
+            }
+        }
     };
     let canonical = match kind {
-        FrontKind::Deterministic => canonicalize_cd(cdp.cd()),
-        FrontKind::Probabilistic => canonicalize_cdp(cdp),
+        FrontKind::Deterministic | FrontKind::MinTime => canonicalize_cd(cdp.cd()),
+        FrontKind::Probabilistic | FrontKind::MaxProb => canonicalize_cdp(cdp),
     };
     let position = canonical.positions();
     Ok(front.map_witnesses(position.len(), |b| BasId::new(position[b.index()])))
+}
+
+/// Gate for the enumerative DAG fallback of the scalar queries: the
+/// exhaustive oracle is exponential in the BAS count, so trees past
+/// [`cdat_enumerative::MAX_ENUM_BAS`] get a stable, cacheable error
+/// instead of an unbounded computation (the oracle itself would assert).
+fn enum_guard(cdp: &CdpAttackTree) -> Result<(), String> {
+    let n = cdp.tree().bas_count();
+    if n > cdat_enumerative::MAX_ENUM_BAS {
+        Err(format!(
+            "scalar queries on DAG-like trees enumerate attacks and support at most {} \
+             basic attack steps (this tree has {n})",
+            cdat_enumerative::MAX_ENUM_BAS
+        ))
+    } else {
+        Ok(())
+    }
 }
 
 /// Answers a query from its (cached) front. `translation`, present exactly
@@ -648,6 +718,9 @@ fn answer(query: Query, cached: &CachedFront, translation: Option<&[BasId]>) -> 
         Query::Cgd(threshold) | Query::Cged(threshold) => {
             Response::Entry(front.min_cost_achieving(threshold).map(translate))
         }
+        // Scalar domains cache a one-entry front; the single entry (if any)
+        // is the optimum, its value in the cost slot.
+        Query::MinTime | Query::MaxProb => Response::Value(front.entries().first().map(translate)),
     }
 }
 
@@ -1011,6 +1084,132 @@ mod tests {
             if f.to_string() == "{(0, 0), (1, 200), (3, 210), (5, 310)}"));
     }
 
+    #[test]
+    fn scalar_queries_answer_on_the_factory() {
+        let tree = factory();
+        let engine = Engine::new(2);
+        let results = engine.run(&[
+            BatchRequest::new(tree.clone(), Query::MinTime),
+            BatchRequest::new(tree.clone(), Query::MaxProb),
+            BatchRequest::new(tree, Query::MinTime), // warm repeat
+        ]);
+        match &results[0].response {
+            Response::Value(Some(e)) => assert_eq!(e.point.cost, 1.0),
+            other => panic!("{other:?}"),
+        }
+        match &results[1].response {
+            Response::Value(Some(e)) => assert!((e.point.cost - 0.36).abs() < 1e-12),
+            other => panic!("{other:?}"),
+        }
+        assert!(!results[0].cache_hit && !results[1].cache_hit);
+        assert!(results[2].cache_hit, "scalar entries memoize like fronts");
+        assert_eq!(results[0].response, results[2].response);
+    }
+
+    #[test]
+    fn scalar_witnesses_translate_to_each_copys_numbering() {
+        let (original, copy) = (factory(), permuted_factory());
+        let engine = Engine::new(2);
+        let results = engine.run(&[
+            BatchRequest::new(original.clone(), Query::MaxProb).with_witnesses(true),
+            BatchRequest::new(copy.clone(), Query::MaxProb).with_witnesses(true),
+        ]);
+        assert!(results[1].cache_hit, "the permuted copy must dedupe");
+        for (result, tree) in [(&results[0], &original), (&results[1], &copy)] {
+            match &result.response {
+                Response::Value(Some(e)) => {
+                    assert!((e.point.cost - 0.36).abs() < 1e-12);
+                    let w = e.witness.as_ref().expect("witness requested");
+                    // The witness reproduces the optimum on *this* copy.
+                    let p: f64 = w.iter().map(|b| tree.prob(b)).product();
+                    assert!((p - e.point.cost).abs() < 1e-12);
+                    assert!(tree.tree().reaches_root(w));
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dag_scalar_queries_fall_back_to_enumeration() {
+        let dag = dag_cdp();
+        let engine = Engine::new(2);
+        let results = engine.run(&[
+            BatchRequest::new(dag.clone(), Query::MinTime),
+            BatchRequest::new(dag.clone(), Query::MaxProb),
+        ]);
+        let oracle = cdat_enumerative::min_time(dag.cd(), false);
+        match &results[0].response {
+            Response::Value(Some(e)) => {
+                assert_eq!(e.point.cost, oracle.entries()[0].point.cost)
+            }
+            other => panic!("{other:?}"),
+        }
+        // All probabilities are 1, so the likeliest attack succeeds surely.
+        match &results[1].response {
+            Response::Value(Some(e)) => assert_eq!(e.point.cost, 1.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_dag_scalar_queries_error_cleanly() {
+        // A DAG with MAX_ENUM_BAS + 1 shared BASs: both scalar queries must
+        // produce a stable error instead of a 2^31-attack enumeration.
+        let mut b = cdat_core::AttackTreeBuilder::new();
+        let n = cdat_enumerative::MAX_ENUM_BAS + 1;
+        let names: Vec<String> = (0..n).map(|i| format!("b{i}")).collect();
+        let bas: Vec<_> = names.iter().map(|name| b.bas(name)).collect();
+        let g1 = b.or("g1", bas.clone());
+        let g2 = b.or("g2", bas);
+        let _r = b.and("r", [g1, g2]);
+        let cd = CdAttackTree::builder(b.build().unwrap()).finish().unwrap();
+        let cdp = Arc::new(cd.with_probabilities().finish().unwrap());
+        let engine = Engine::new(1);
+        let results = engine.run(&[
+            BatchRequest::new(cdp.clone(), Query::MinTime),
+            BatchRequest::new(cdp, Query::MaxProb),
+        ]);
+        for r in &results {
+            match &r.response {
+                Response::Error(m) => assert!(m.contains("at most"), "{m}"),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_hint_validation() {
+        let engine = Engine::new(1);
+        let results = engine.run(&[
+            BatchRequest::new(factory(), Query::MinTime).with_hint(SolverHint::Bilp),
+            BatchRequest::new(dag_cdp(), Query::MaxProb).with_hint(SolverHint::BottomUp),
+            BatchRequest::new(factory(), Query::MinTime).with_hint(SolverHint::BottomUp),
+        ]);
+        assert!(matches!(&results[0].response, Response::Error(m) if m.contains("BILP")));
+        assert!(matches!(&results[1].response, Response::Error(m) if m.contains("treelike")));
+        assert!(matches!(&results[2].response, Response::Value(Some(_))));
+    }
+
+    #[test]
+    fn domains_never_share_cache_entries() {
+        // The same tree under all four families: four distinct entries,
+        // no cross-domain hits even though MinTime shares the deterministic
+        // canonical hash and MaxProb the probabilistic one.
+        let tree = factory();
+        let engine = Engine::new(2);
+        let results = engine.run(&[
+            BatchRequest::new(tree.clone(), Query::Cdpf),
+            BatchRequest::new(tree.clone(), Query::MinTime),
+            BatchRequest::new(tree.clone(), Query::Cedpf),
+            BatchRequest::new(tree, Query::MaxProb),
+        ]);
+        assert!(results.iter().all(|r| !r.cache_hit), "no family may alias another");
+        assert_eq!(engine.cache().stats().entries, 4);
+        assert!(matches!(&results[0].response, Response::Front(_)));
+        assert!(matches!(&results[1].response, Response::Value(Some(_))));
+    }
+
     fn store_path(tag: &str) -> std::path::PathBuf {
         use std::sync::atomic::AtomicUsize;
         static COUNTER: AtomicUsize = AtomicUsize::new(0);
@@ -1106,6 +1305,32 @@ mod tests {
             assert_eq!(a.response, b.response);
         }
         assert!(cold.stats().disk_hits > 0, "evictions re-fetch from disk");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scalar_families_persist_without_colliding() {
+        // All four families of one tree share two canonical hashes
+        // (MinTime with Deterministic, MaxProb with Probabilistic), so the
+        // disk records are told apart by family byte alone.
+        let path = store_path("families");
+        let tree = factory();
+        let requests = [
+            BatchRequest::new(tree.clone(), Query::Cdpf),
+            BatchRequest::new(tree.clone(), Query::MinTime),
+            BatchRequest::new(tree.clone(), Query::Cedpf),
+            BatchRequest::new(tree, Query::MaxProb),
+        ];
+        let cold = persistent_engine(&path, 2).run(&requests);
+        let warm_engine = persistent_engine(&path, 2);
+        let warm = warm_engine.run(&requests);
+        for (a, b) in cold.iter().zip(&warm) {
+            assert_eq!(a.response, b.response, "warm restart must reproduce each family");
+        }
+        assert!(matches!(&warm[1].response, Response::Value(Some(e)) if e.point.cost == 1.0));
+        let stats = warm_engine.stats();
+        assert_eq!(stats.disk_entries, 4, "one record per family");
+        assert_eq!(stats.disk_hits, 4, "every family answers from its own disk record");
         let _ = std::fs::remove_file(&path);
     }
 }

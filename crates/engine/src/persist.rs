@@ -29,11 +29,15 @@ use crate::cache::{CacheKey, CacheStats, CachedFront, FrontCache};
 use crate::FrontKind;
 
 /// Stable on-disk family byte for each [`FrontKind`] (part of the store
-/// format; never renumber).
+/// format; the codes live in [`cdat_pareto::wire::family`] and are never
+/// renumbered, so records written before a family existed keep reading).
 fn family(kind: FrontKind) -> u8 {
+    use cdat_pareto::wire::family;
     match kind {
-        FrontKind::Deterministic => 0,
-        FrontKind::Probabilistic => 1,
+        FrontKind::Deterministic => family::DETERMINISTIC,
+        FrontKind::Probabilistic => family::PROBABILISTIC,
+        FrontKind::MinTime => family::MIN_TIME,
+        FrontKind::MaxProb => family::MAX_PROB,
     }
 }
 

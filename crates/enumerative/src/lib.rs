@@ -29,10 +29,17 @@ use cdat_bdd::compile_structure;
 use cdat_core::{Attack, CdAttackTree, CdpAttackTree, NotTreelike};
 use cdat_pareto::{CostDamage, FrontEntry, ParetoFront};
 
+/// Largest BAS count the `2^|B|` enumerations here accept before panicking.
+///
+/// Exported so callers that fall back to enumeration on DAG inputs (the
+/// engine's `min-time`/`max-prob` paths) can pre-check and return a clean
+/// error instead of tripping the assertion.
+pub const MAX_ENUM_BAS: usize = 30;
+
 /// Hard cap on `|B|` for the deterministic enumerations.
-const MAX_BAS_DET: usize = 30;
+const MAX_BAS_DET: usize = MAX_ENUM_BAS;
 /// Hard cap on `|B|` for the probabilistic enumerations.
-const MAX_BAS_PROB: usize = 30;
+const MAX_BAS_PROB: usize = MAX_ENUM_BAS;
 /// Hard cap on `|B|` for the `O(3^|B|)` naive expectation.
 const MAX_BAS_NAIVE: usize = 16;
 /// Chunk size for streaming Pareto minimization (bounds peak memory).
@@ -147,6 +154,77 @@ pub fn cgd(cd: &CdAttackTree, threshold: f64) -> Option<FrontEntry> {
         }
     }
     best
+}
+
+/// Minimal time-to-attack by full enumeration: the least total duration
+/// (sum of the cost attributes) over all attacks whose BAS set reaches the
+/// root. Works on treelike and DAG-like trees alike — on DAGs a shared BAS
+/// is counted once, which is exactly the semantics the treelike bottom-up
+/// pass cannot reproduce.
+///
+/// The scalar optimum is returned as a one-entry [`ParetoFront`] with the
+/// duration in the cost slot (damage 0), matching
+/// `cdat_bottomup::min_time`; the front is empty only if no attack reaches
+/// the root.
+///
+/// # Panics
+///
+/// Panics if the tree has more than [`MAX_ENUM_BAS`] BASs.
+pub fn min_time(cd: &CdAttackTree, witnesses: bool) -> ParetoFront {
+    let n = cd.tree().bas_count();
+    assert!(n <= MAX_BAS_DET, "enumerative min-time over 2^{n} attacks is intractable");
+    let mut best: Option<(f64, Attack)> = None;
+    for x in Attack::all(n) {
+        if !cd.tree().reaches_root(&x) {
+            continue;
+        }
+        let t = cd.cost_of(&x);
+        if best.as_ref().is_none_or(|(bt, _)| t < *bt) {
+            best = Some((t, x));
+        }
+    }
+    scalar_front(best, witnesses)
+}
+
+/// Maximal single-attack success probability by full enumeration: the
+/// greatest product of BAS success probabilities over all attacks whose BAS
+/// set reaches the root (the Viterbi semiring). Works on treelike and
+/// DAG-like trees alike; shared BASs contribute their probability once.
+///
+/// The scalar optimum is returned as a one-entry [`ParetoFront`] with the
+/// probability in the cost slot (damage 0), matching
+/// `cdat_bottomup::max_prob`; the front is empty only if no attack reaches
+/// the root.
+///
+/// # Panics
+///
+/// Panics if the tree has more than [`MAX_ENUM_BAS`] BASs.
+pub fn max_prob(cdp: &CdpAttackTree, witnesses: bool) -> ParetoFront {
+    let n = cdp.tree().bas_count();
+    assert!(n <= MAX_BAS_PROB, "enumerative max-prob over 2^{n} attacks is intractable");
+    let mut best: Option<(f64, Attack)> = None;
+    for x in Attack::all(n) {
+        if !cdp.tree().reaches_root(&x) {
+            continue;
+        }
+        let p: f64 = x.iter().map(|b| cdp.prob(b)).product();
+        if best.as_ref().is_none_or(|(bp, _)| p > *bp) {
+            best = Some((p, x));
+        }
+    }
+    scalar_front(best, witnesses)
+}
+
+/// Wraps a scalar optimum as the one-entry front form shared with the
+/// bottom-up solvers (value in the cost slot, damage 0).
+fn scalar_front(best: Option<(f64, Attack)>, witnesses: bool) -> ParetoFront {
+    ParetoFront::from_entries(best.map(|(v, x)| {
+        if witnesses {
+            FrontEntry::with_witness(v, 0.0, x)
+        } else {
+            FrontEntry::point(v, 0.0)
+        }
+    }))
 }
 
 /// Probabilistic CEDPF on a treelike tree by enumerating attacks and
@@ -395,6 +473,45 @@ mod tests {
             assert_eq!(factory_cd().cost_of(w), e.point.cost);
             assert_eq!(factory_cd().damage_of(w), e.point.damage);
         }
+    }
+
+    #[test]
+    fn min_time_and_max_prob_on_the_factory_tree() {
+        let cd = factory_cd();
+        let mt = min_time(&cd, true);
+        assert_eq!(mt.len(), 1);
+        assert_eq!(mt.entries()[0].point.cost, 1.0);
+        let w = mt.entries()[0].witness.as_ref().unwrap();
+        assert_eq!(cd.cost_of(w), 1.0);
+        assert!(cd.tree().reaches_root(w));
+
+        let cdp = factory_cdp();
+        let mp = max_prob(&cdp, true);
+        assert_eq!(mp.len(), 1);
+        assert!((mp.entries()[0].point.cost - 0.36).abs() < 1e-12);
+        let w = mp.entries()[0].witness.as_ref().unwrap();
+        let p: f64 = w.iter().map(|b| cdp.prob(b)).product();
+        assert!((p - mp.entries()[0].point.cost).abs() < 1e-15);
+    }
+
+    #[test]
+    fn min_time_counts_a_shared_bas_once_on_dags() {
+        // r = AND(g1, g2), both ORs over the same BAS x (duration 5): the
+        // only successful attack is {x}, at time 5 — not 10.
+        let mut b = AttackTreeBuilder::new();
+        let x = b.bas("x");
+        let g1 = b.or("g1", [x]);
+        let g2 = b.or("g2", [x]);
+        let _r = b.and("r", [g1, g2]);
+        let cd =
+            CdAttackTree::builder(b.build().unwrap()).cost("x", 5.0).unwrap().finish().unwrap();
+        let mt = min_time(&cd, false);
+        assert_eq!(mt.len(), 1);
+        assert_eq!(mt.entries()[0].point.cost, 5.0);
+        // Same sharing for max-prob: P({x}) = 0.5, not 0.25.
+        let cdp = cd.with_probabilities().probability("x", 0.5).unwrap().finish().unwrap();
+        let mp = max_prob(&cdp, false);
+        assert_eq!(mp.entries()[0].point.cost, 0.5);
     }
 
     #[test]

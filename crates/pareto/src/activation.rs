@@ -17,6 +17,10 @@ pub trait Activation: Copy + PartialEq + std::fmt::Debug {
     /// Activation of attacks that do not reach the node at all.
     const INACTIVE: Self;
 
+    /// Activation of attacks that certainly reach the node — the unit of
+    /// [`and`](Activation::and) and the top of the activation order.
+    const CERTAIN: Self;
+
     /// Combination at an `AND` gate.
     fn and(self, other: Self) -> Self;
 
@@ -32,6 +36,7 @@ pub trait Activation: Copy + PartialEq + std::fmt::Debug {
 
 impl Activation for bool {
     const INACTIVE: Self = false;
+    const CERTAIN: Self = true;
 
     #[inline]
     fn and(self, other: Self) -> Self {
@@ -87,6 +92,7 @@ impl Prob {
 
 impl Activation for Prob {
     const INACTIVE: Self = Prob(0.0);
+    const CERTAIN: Self = Prob(1.0);
 
     #[inline]
     fn and(self, other: Self) -> Self {

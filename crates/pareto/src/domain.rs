@@ -1,0 +1,470 @@
+//! Attribute domains: the algebra a [`Staircase`] kernel computes over.
+//!
+//! The paper's cost–damage semantics is one instance of the generic
+//! bottom-up scheme over *attribute domains* (cf. "Efficient and Generic
+//! Algorithms for Quantitative Attack Tree Analysis"): a value type, gate
+//! operators for `AND`/`OR`, a partial "no worse in every respect" order
+//! with a staircase sweep structure, and identity elements. This module
+//! defines the [`AttributeDomain`] trait the merge kernels in
+//! [`crate::kernel`] are generic over, plus the three shipped domains:
+//!
+//! * [`CdTriples`] — the paper's extended cost–damage(–probability) triples;
+//!   Pareto fronts are genuine antichains and `OR` is a pairwise product.
+//! * [`MinTime`] — min-plus ("tropical") time-to-attack: `AND` sums
+//!   durations, `OR` picks the faster child; fronts are singletons.
+//! * [`MaxProb`] — Viterbi success probability: `AND` multiplies, `OR`
+//!   picks the likelier child; fronts are singletons.
+//!
+//! [`Staircase`]: crate::kernel::Staircase
+
+use std::cmp::Ordering;
+use std::marker::PhantomData;
+
+use crate::activation::Activation;
+use crate::staircase::{cmp_key, stairs_admit, stairs_dominate};
+use crate::triple::Triple;
+
+/// The algebra of one quantitative attack tree analysis, as consumed by the
+/// generic staircase kernels ([`Staircase`], [`GateScratch`]).
+///
+/// An implementor supplies the value type, the `AND`/`OR` gate operators
+/// with their identities, and the *staircase structure*: a strict total
+/// ordering of values ([`cmp_key`](AttributeDomain::cmp_key)) under which a
+/// swept prefix's domination can be answered by an incremental "staircase"
+/// accumulator ([`admit`](AttributeDomain::admit) /
+/// [`dominated`](AttributeDomain::dominated)). The kernels then maintain
+/// fronts as key-sorted antichains and evaluate gate products as k-way
+/// merges, identically for every domain.
+///
+/// # Laws
+///
+/// * `cmp_key` is a strict total order on the values the kernels see (NaN
+///   coordinates are excluded upstream), and `dominates` is a partial order
+///   refining it: `dominates(a, b) && a != b` implies
+///   `cmp_key(a, b) == Less`.
+/// * `combine_and`/`combine_or` are monotone in each argument with respect
+///   to `dominates`, with `and_identity`/`or_identity` as units — that is
+///   what makes pruning between gate folds sound.
+/// * For a sweep in `cmp_key` order, `admit` must return `false` exactly
+///   when some previously admitted value dominates the candidate, and once
+///   [`dominated`](AttributeDomain::dominated) answers `true` for a value
+///   it must stay `true` for the rest of the sweep (domination only grows).
+///
+/// # Example: implementing a scalar min-cost domain
+///
+/// Totally ordered scalar domains need only a `bool` staircase — once any
+/// value is kept, every later (worse) candidate is dominated:
+///
+/// ```
+/// use std::cmp::Ordering;
+/// use cdat_pareto::{AttributeDomain, Staircase};
+///
+/// /// Cheapest-attack cost: AND sums, OR takes the cheaper side.
+/// #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// struct MinCost;
+///
+/// impl AttributeDomain for MinCost {
+///     type Value = f64;
+///     type Stairs = bool;
+///     const OR_IS_CHOICE: bool = true;
+///     fn and_identity() -> f64 {
+///         0.0
+///     }
+///     fn or_identity() -> f64 {
+///         f64::INFINITY
+///     }
+///     fn combine_and(a: &f64, b: &f64) -> f64 {
+///         a + b
+///     }
+///     fn combine_or(a: &f64, b: &f64) -> f64 {
+///         a.min(*b)
+///     }
+///     fn cmp_key(a: &f64, b: &f64) -> Ordering {
+///         a.total_cmp(b)
+///     }
+///     fn dominates(a: &f64, b: &f64) -> bool {
+///         a <= b
+///     }
+///     fn clear_stairs(stairs: &mut bool) {
+///         *stairs = false;
+///     }
+///     fn admit(stairs: &mut bool, _v: &f64) -> bool {
+///         !std::mem::replace(stairs, true)
+///     }
+///     fn dominated(stairs: &bool, _v: &f64) -> bool {
+///         *stairs
+///     }
+/// }
+///
+/// let front: Staircase<MinCost> =
+///     Staircase::minimized(vec![(4.0, ()), (2.5, ()), (7.0, ())], None);
+/// assert_eq!(front.entries(), &[(2.5, ())]);
+/// ```
+///
+/// [`Staircase`]: crate::kernel::Staircase
+/// [`GateScratch`]: crate::kernel::GateScratch
+pub trait AttributeDomain {
+    /// One attribute value — a point of a front.
+    type Value: Copy + PartialEq + std::fmt::Debug;
+
+    /// The incremental domination accumulator for a key-ordered sweep.
+    type Stairs: Default;
+
+    /// Whether an `OR` gate *chooses* one child rather than combining
+    /// attacks on several.
+    ///
+    /// `false` (cost–damage): an attacker may invest in both children of an
+    /// `OR`, so the gate is a pairwise product over the child fronts.
+    /// `true` (min-time, max-probability): the optimum uses exactly one
+    /// child, so the recursion evaluates `OR` as a *union* of the child
+    /// fronts — a pairwise product would fuse witnesses of alternatives
+    /// that are never executed together.
+    const OR_IS_CHOICE: bool;
+
+    /// The unit of [`combine_and`](AttributeDomain::combine_and).
+    fn and_identity() -> Self::Value;
+
+    /// The unit of [`combine_or`](AttributeDomain::combine_or).
+    fn or_identity() -> Self::Value;
+
+    /// Combination of two child values at an `AND` gate (the paper's `△`).
+    fn combine_and(a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// Combination of two child values at an `OR` gate (the paper's `▽`).
+    fn combine_or(a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// The strict total staircase order: fronts are kept sorted by this
+    /// key, and no later value can dominate a kept earlier one.
+    fn cmp_key(a: &Self::Value, b: &Self::Value) -> Ordering;
+
+    /// The domination order `⊑`: `a` is no worse than `b` in every
+    /// coordinate (reflexive).
+    fn dominates(a: &Self::Value, b: &Self::Value) -> bool;
+
+    /// Whether `v` survives the cost budget `U` of the paper's `min_U`.
+    /// Domains without a budgeted coordinate keep everything (the default).
+    fn within_budget(_v: &Self::Value, _budget: f64) -> bool {
+        true
+    }
+
+    /// Absorbs a node's own damage value into `v` (the paper's *settling*).
+    /// Domains without a damage coordinate return `v` unchanged.
+    fn settle(v: &Self::Value, _node_damage: f64) -> Self::Value {
+        *v
+    }
+
+    /// Whether `a` and `b` stay in key order under settling — i.e. share
+    /// the settle-invariant primary key coordinate, so they belong to one
+    /// resort run in [`GateScratch::settle`](crate::kernel::GateScratch::settle).
+    /// Domains whose `settle` is the identity never need a resort.
+    fn settle_run_eq(_a: &Self::Value, _b: &Self::Value) -> bool {
+        false
+    }
+
+    /// Resets the staircase accumulator for a fresh sweep.
+    fn clear_stairs(stairs: &mut Self::Stairs);
+
+    /// Offers `v` (the next candidate in `cmp_key` order) to the staircase:
+    /// records it and returns `true`, or returns `false` when an already
+    /// admitted value dominates it.
+    fn admit(stairs: &mut Self::Stairs, v: &Self::Value) -> bool;
+
+    /// The read-only half of [`admit`](AttributeDomain::admit): whether an
+    /// admitted value already dominates `v`. Used by the merge kernels to
+    /// skip dominated candidates at *push* time.
+    fn dominated(stairs: &Self::Stairs, v: &Self::Value) -> bool;
+}
+
+/// The paper's extended cost–damage domain over [`Triple`]s, parameterized
+/// by the activation type (`bool` for `DTrip`, [`Prob`](crate::Prob) for
+/// `PTrip`).
+///
+/// This is the domain the original hardcoded kernels computed; the generic
+/// kernels instantiated at `CdTriples` are bit-for-bit identical to them
+/// (and to [`prune`](crate::prune) over the materialized product, which the
+/// differential tests retain as an oracle).
+///
+/// ```
+/// use cdat_pareto::{CdTriples, Staircase, Triple};
+///
+/// // (cost, damage, reaches-the-root): (2,5,true) beats (3,5,true), and
+/// // (1,0,false) survives as the cheaper-but-inactive alternative.
+/// let front: Staircase<CdTriples<bool>> = Staircase::minimized(
+///     vec![
+///         (Triple { cost: 3.0, damage: 5.0, act: true }, ()),
+///         (Triple { cost: 2.0, damage: 5.0, act: true }, ()),
+///         (Triple { cost: 1.0, damage: 0.0, act: false }, ()),
+///     ],
+///     None,
+/// );
+/// let points: Vec<(f64, f64)> = front.entries().iter().map(|(t, _)| (t.cost, t.damage)).collect();
+/// assert_eq!(points, vec![(1.0, 0.0), (2.0, 5.0)]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CdTriples<A>(PhantomData<A>);
+
+impl<A: Activation> AttributeDomain for CdTriples<A> {
+    type Value = Triple<A>;
+    type Stairs = Vec<(f64, A)>;
+
+    const OR_IS_CHOICE: bool = false;
+
+    fn and_identity() -> Triple<A> {
+        Triple { cost: 0.0, damage: 0.0, act: A::CERTAIN }
+    }
+
+    fn or_identity() -> Triple<A> {
+        Triple::zero()
+    }
+
+    fn combine_and(a: &Triple<A>, b: &Triple<A>) -> Triple<A> {
+        a.combine_and(b)
+    }
+
+    fn combine_or(a: &Triple<A>, b: &Triple<A>) -> Triple<A> {
+        a.combine_or(b)
+    }
+
+    fn cmp_key(a: &Triple<A>, b: &Triple<A>) -> Ordering {
+        cmp_key(a, b)
+    }
+
+    fn dominates(a: &Triple<A>, b: &Triple<A>) -> bool {
+        a.dominates(b)
+    }
+
+    fn within_budget(v: &Triple<A>, budget: f64) -> bool {
+        v.cost <= budget
+    }
+
+    fn settle(v: &Triple<A>, node_damage: f64) -> Triple<A> {
+        v.settle(node_damage)
+    }
+
+    fn settle_run_eq(a: &Triple<A>, b: &Triple<A>) -> bool {
+        a.cost.total_cmp(&b.cost).is_eq()
+    }
+
+    fn clear_stairs(stairs: &mut Vec<(f64, A)>) {
+        stairs.clear();
+    }
+
+    fn admit(stairs: &mut Vec<(f64, A)>, v: &Triple<A>) -> bool {
+        stairs_admit(stairs, v)
+    }
+
+    fn dominated(stairs: &Vec<(f64, A)>, v: &Triple<A>) -> bool {
+        stairs_dominate(stairs, v)
+    }
+}
+
+/// Min-plus ("tropical") time-to-attack: the value of a node is the least
+/// total duration of an attack reaching it, reading each BAS's cost
+/// attribute as its duration. `AND` gates sum durations (all children must
+/// be executed), `OR` gates pick the faster child.
+///
+/// The domain is totally ordered, so every front is a singleton and the
+/// staircase degenerates to a "have we kept anything yet" flag.
+///
+/// ```
+/// use cdat_pareto::{AttributeDomain, MinTime};
+///
+/// assert_eq!(MinTime::combine_and(&2.0, &3.5), 5.5);
+/// assert_eq!(MinTime::combine_or(&2.0, &3.5), 2.0);
+/// assert_eq!(MinTime::combine_or(&2.0, &MinTime::or_identity()), 2.0);
+/// assert!(MinTime::dominates(&2.0, &3.5));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MinTime;
+
+impl AttributeDomain for MinTime {
+    type Value = f64;
+    type Stairs = bool;
+
+    const OR_IS_CHOICE: bool = true;
+
+    fn and_identity() -> f64 {
+        0.0
+    }
+
+    fn or_identity() -> f64 {
+        f64::INFINITY
+    }
+
+    fn combine_and(a: &f64, b: &f64) -> f64 {
+        a + b
+    }
+
+    fn combine_or(a: &f64, b: &f64) -> f64 {
+        a.min(*b)
+    }
+
+    fn cmp_key(a: &f64, b: &f64) -> Ordering {
+        a.total_cmp(b)
+    }
+
+    fn dominates(a: &f64, b: &f64) -> bool {
+        a <= b
+    }
+
+    fn clear_stairs(stairs: &mut bool) {
+        *stairs = false;
+    }
+
+    fn admit(stairs: &mut bool, _v: &f64) -> bool {
+        !std::mem::replace(stairs, true)
+    }
+
+    fn dominated(stairs: &bool, _v: &f64) -> bool {
+        *stairs
+    }
+}
+
+/// Viterbi success probability: the value of a node is the greatest success
+/// probability of a *single* attack reaching it, multiplying the success
+/// probabilities of the attack's BASs. `AND` gates multiply (all children
+/// must succeed), `OR` gates pick the likelier child.
+///
+/// Note the difference from the paper's probabilistic semantics `PTrip`
+/// ([`CdTriples<Prob>`](CdTriples)): there `OR` combines *both* children
+/// with `p ⋆ q = p + q − pq` (an attacker may try both); here the attacker
+/// commits to one most-reliable attack. Totally ordered (descending — a
+/// larger probability is better), so fronts are singletons.
+///
+/// ```
+/// use cdat_pareto::{AttributeDomain, MaxProb};
+///
+/// assert_eq!(MaxProb::combine_and(&0.5, &0.8), 0.4);
+/// assert_eq!(MaxProb::combine_or(&0.5, &0.8), 0.8);
+/// assert_eq!(MaxProb::combine_and(&0.5, &MaxProb::and_identity()), 0.5);
+/// assert!(MaxProb::dominates(&0.8, &0.5));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MaxProb;
+
+impl AttributeDomain for MaxProb {
+    type Value = f64;
+    type Stairs = bool;
+
+    const OR_IS_CHOICE: bool = true;
+
+    fn and_identity() -> f64 {
+        1.0
+    }
+
+    fn or_identity() -> f64 {
+        0.0
+    }
+
+    fn combine_and(a: &f64, b: &f64) -> f64 {
+        a * b
+    }
+
+    fn combine_or(a: &f64, b: &f64) -> f64 {
+        a.max(*b)
+    }
+
+    fn cmp_key(a: &f64, b: &f64) -> Ordering {
+        // Descending: the likelier value is the better ("smaller") key.
+        b.total_cmp(a)
+    }
+
+    fn dominates(a: &f64, b: &f64) -> bool {
+        a >= b
+    }
+
+    fn clear_stairs(stairs: &mut bool) {
+        *stairs = false;
+    }
+
+    fn admit(stairs: &mut bool, _v: &f64) -> bool {
+        !std::mem::replace(stairs, true)
+    }
+
+    fn dominated(stairs: &bool, _v: &f64) -> bool {
+        *stairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Prob;
+
+    fn t(cost: f64, damage: f64, act: bool) -> Triple<bool> {
+        Triple { cost, damage, act }
+    }
+
+    #[test]
+    fn cd_identities_are_units() {
+        for x in [t(0.0, 0.0, false), t(2.0, 5.0, true), t(3.5, 0.5, false)] {
+            assert_eq!(CdTriples::<bool>::combine_and(&x, &CdTriples::<bool>::and_identity()), x);
+            assert_eq!(CdTriples::<bool>::combine_or(&x, &CdTriples::<bool>::or_identity()), x);
+        }
+        let p = Triple { cost: 1.0, damage: 2.0, act: Prob::new(0.25) };
+        assert_eq!(CdTriples::<Prob>::combine_and(&p, &CdTriples::<Prob>::and_identity()), p);
+        assert_eq!(CdTriples::<Prob>::combine_or(&p, &CdTriples::<Prob>::or_identity()), p);
+    }
+
+    #[test]
+    fn scalar_identities_are_units() {
+        for x in [0.0, 1.5, 100.0] {
+            assert_eq!(MinTime::combine_and(&x, &MinTime::and_identity()), x);
+            assert_eq!(MinTime::combine_or(&x, &MinTime::or_identity()), x);
+        }
+        for x in [0.0, 0.25, 1.0] {
+            assert_eq!(MaxProb::combine_and(&x, &MaxProb::and_identity()), x);
+            assert_eq!(MaxProb::combine_or(&x, &MaxProb::or_identity()), x);
+        }
+    }
+
+    #[test]
+    fn dominates_refines_cmp_key() {
+        // dominates(a, b) && a != b  ⇒  cmp_key(a, b) == Less, on every
+        // domain (sampled exhaustively over a small grid).
+        let triples: Vec<Triple<bool>> = (0..3)
+            .flat_map(|c| (0..3).flat_map(move |d| [false, true].map(|a| t(c as f64, d as f64, a))))
+            .collect();
+        for a in &triples {
+            for b in &triples {
+                if CdTriples::<bool>::dominates(a, b) && a != b {
+                    assert_eq!(CdTriples::<bool>::cmp_key(a, b), Ordering::Less, "{a:?} vs {b:?}");
+                }
+            }
+        }
+        let scalars = [0.0, 0.5, 1.0, 2.0];
+        for a in &scalars {
+            for b in &scalars {
+                if MinTime::dominates(a, b) && a != b {
+                    assert_eq!(MinTime::cmp_key(a, b), Ordering::Less);
+                }
+                if MaxProb::dominates(a, b) && a != b {
+                    assert_eq!(MaxProb::cmp_key(a, b), Ordering::Less);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_stairs_keep_exactly_the_first_admitted_value() {
+        let mut s = bool::default();
+        assert!(!MinTime::dominated(&s, &1.0));
+        assert!(MinTime::admit(&mut s, &1.0));
+        assert!(MinTime::dominated(&s, &2.0));
+        assert!(!MinTime::admit(&mut s, &2.0));
+        MinTime::clear_stairs(&mut s);
+        assert!(MinTime::admit(&mut s, &3.0));
+    }
+
+    #[test]
+    fn cd_stairs_delegate_to_the_triple_staircase() {
+        let mut s: Vec<(f64, bool)> = Vec::new();
+        assert!(CdTriples::<bool>::admit(&mut s, &t(0.0, 0.0, false)));
+        // Same damage and activation at higher cost: dominated.
+        assert!(CdTriples::<bool>::dominated(&s, &t(1.0, 0.0, false)));
+        // More damage: admitted.
+        assert!(CdTriples::<bool>::admit(&mut s, &t(1.0, 5.0, true)));
+        CdTriples::<bool>::clear_stairs(&mut s);
+        assert!(s.is_empty());
+    }
+}

@@ -1,4 +1,5 @@
-//! Merge-based staircase kernels: the bottom-up hot path.
+//! Merge-based staircase kernels: the bottom-up hot path, generic over an
+//! [`AttributeDomain`].
 //!
 //! The bottom-up recursion spends essentially all of its time combining the
 //! Pareto fronts of a gate's children. The original implementation (retained
@@ -8,8 +9,8 @@
 //! The kernels in this module *maintain* the invariant instead:
 //!
 //! * [`Staircase`] is an invariant-carrying front: entries sorted by the
-//!   staircase key (cost ascending, damage descending, activation
-//!   descending), duplicates collapsed, no entry ⊑-dominated by another.
+//!   domain's staircase key ([`AttributeDomain::cmp_key`]), duplicates
+//!   collapsed, no entry ⊑-dominated by another.
 //! * [`Staircase::union`] merges two staircases with a linear two-pointer
 //!   walk (no sort).
 //! * [`GateScratch::combine`] evaluates the `△`/`▽` Minkowski-style product
@@ -18,65 +19,106 @@
 //!   pruned *as they appear* — and witness payloads are only built for
 //!   survivors, never for the dominated bulk of the product.
 //! * [`GateScratch::settle`] adds a node's own damage and restores the
-//!   invariant with a per-equal-cost-run resort plus one sweep (costs are
-//!   unchanged by settling, so the global cost order survives).
+//!   invariant with a per-equal-cost-run resort plus one sweep (settling
+//!   never moves the primary key coordinate, so the global order survives).
 //!
 //! [`GateScratch`] owns the heap, the dominance staircase, and a small pool
 //! of recycled entry buffers, so a whole bottom-up pass allocates per *kept
 //! front*, not per gate evaluation.
 //!
 //! Every kernel is point-for-point identical — including which payload wins
-//! on duplicate triples — to `prune` over the materialized equivalent: the
-//! heap tie-breaks on (row, column), which reproduces the stable sort order
-//! of the row-major product.
+//! on duplicate values — to [`prune`]-style minimization over the
+//! materialized equivalent: the heap tie-breaks on (row, column), which
+//! reproduces the stable sort order of the row-major product. On the
+//! [`CdTriples`](crate::CdTriples) domain this makes the generic kernels
+//! bit-for-bit identical to the original hardcoded cost–damage path.
+//!
+//! [`prune`]: crate::prune
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::activation::Activation;
-use crate::staircase::{cmp_act, cmp_key, prune, stairs_admit, stairs_dominate};
-use crate::triple::Triple;
+use crate::domain::AttributeDomain;
 
-/// A Pareto front of attribute triples in staircase form, with one payload
+/// A Pareto front of attribute values in staircase form, with one payload
 /// (typically a witness attack) per entry.
 ///
-/// Invariant: entries are strictly increasing in the staircase key (cost
-/// ascending, then damage descending, then activation descending) and form a
-/// ⊑-antichain. Construction goes through [`Staircase::minimized`] or the
-/// kernels on [`GateScratch`], all of which maintain the invariant; there is
-/// no way to push an arbitrary entry.
-#[derive(Clone, Debug, PartialEq)]
-pub struct Staircase<A, W = ()> {
-    entries: Vec<(Triple<A>, W)>,
+/// Invariant: entries are strictly increasing in the domain's staircase key
+/// and form a ⊑-antichain. Construction goes through
+/// [`Staircase::minimized`] or the kernels on [`GateScratch`], all of which
+/// maintain the invariant; there is no way to push an arbitrary entry.
+///
+/// On totally ordered domains (e.g. [`MinTime`](crate::MinTime)) the
+/// antichain property collapses fronts to at most one entry.
+pub struct Staircase<D: AttributeDomain, W = ()> {
+    entries: Vec<(D::Value, W)>,
 }
 
-impl<A: Activation, W> Default for Staircase<A, W> {
+// Manual impls: the derives would demand `D: Clone` etc. on the *domain
+// marker* type, which payload-generic callers cannot supply.
+impl<D: AttributeDomain, W: Clone> Clone for Staircase<D, W> {
+    fn clone(&self) -> Self {
+        Staircase { entries: self.entries.clone() }
+    }
+}
+
+impl<D: AttributeDomain, W: std::fmt::Debug> std::fmt::Debug for Staircase<D, W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Staircase").field("entries", &self.entries).finish()
+    }
+}
+
+impl<D: AttributeDomain, W: PartialEq> PartialEq for Staircase<D, W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl<D: AttributeDomain, W> Default for Staircase<D, W> {
     fn default() -> Self {
         Staircase { entries: Vec::new() }
     }
 }
 
-impl<A: Activation, W> Staircase<A, W> {
-    /// Builds a staircase from arbitrary entries via [`prune`] (budget
-    /// filter, sort, dominance sweep). This is the entry point for inputs
-    /// that are not already in staircase form, e.g. leaf fronts.
-    pub fn minimized(entries: Vec<(Triple<A>, W)>, budget: Option<f64>) -> Self {
-        Staircase { entries: prune(entries, budget) }
+impl<D: AttributeDomain, W> Staircase<D, W> {
+    /// Builds a staircase from arbitrary entries: budget filter, key sort,
+    /// dominance sweep (the paper's `min_U`, the same operation as
+    /// [`prune`](crate::prune)). This is the entry point for inputs that are
+    /// not already in staircase form, e.g. leaf fronts.
+    ///
+    /// Duplicated values are collapsed to one entry (the first payload in
+    /// the sorted order wins).
+    pub fn minimized(mut entries: Vec<(D::Value, W)>, budget: Option<f64>) -> Self {
+        if let Some(u) = budget {
+            entries.retain(|(v, _)| D::within_budget(v, u));
+        }
+        entries.sort_by(|(a, _), (b, _)| D::cmp_key(a, b));
+        let mut stairs = D::Stairs::default();
+        let mut kept: Vec<(D::Value, W)> = Vec::new();
+        for (v, w) in entries {
+            if kept.last().is_some_and(|(k, _)| *k == v) {
+                continue; // duplicate value
+            }
+            if D::admit(&mut stairs, &v) {
+                kept.push((v, w));
+            }
+        }
+        Staircase { entries: kept }
     }
 
     /// Wraps entries that are already in staircase form (debug-checked).
-    pub fn from_sorted(entries: Vec<(Triple<A>, W)>) -> Self {
-        debug_assert!(is_staircase(&entries), "input violates the staircase invariant");
+    pub fn from_sorted(entries: Vec<(D::Value, W)>) -> Self {
+        debug_assert!(is_staircase::<D, W>(&entries), "input violates the staircase invariant");
         Staircase { entries }
     }
 
     /// The entries in staircase key order.
-    pub fn entries(&self) -> &[(Triple<A>, W)] {
+    pub fn entries(&self) -> &[(D::Value, W)] {
         &self.entries
     }
 
     /// Consumes the staircase, returning its entries.
-    pub fn into_entries(self) -> Vec<(Triple<A>, W)> {
+    pub fn into_entries(self) -> Vec<(D::Value, W)> {
         self.entries
     }
 
@@ -85,8 +127,9 @@ impl<A: Activation, W> Staircase<A, W> {
         self.entries.len()
     }
 
-    /// Whether the front holds no entries (only possible under a negative
-    /// cost budget, which prices out even the empty attack).
+    /// Whether the front holds no entries (possible under a negative cost
+    /// budget, which prices out even the empty attack, or before any child
+    /// front is folded in).
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
@@ -94,20 +137,23 @@ impl<A: Activation, W> Staircase<A, W> {
     /// Merges two staircases into the staircase of the union of their
     /// entries with a linear two-pointer walk — no sort, no re-derivation.
     ///
-    /// On exact duplicate triples `self`'s payload wins, matching
-    /// [`prune`] over `self` chained with `other`.
+    /// On exact duplicate values `self`'s payload wins, matching
+    /// [`minimized`](Staircase::minimized) over `self` chained with
+    /// `other`. This is also how `OR` gates are evaluated on *choice*
+    /// domains ([`AttributeDomain::OR_IS_CHOICE`]): each entry keeps its
+    /// own witness, because the attacker commits to one alternative.
     pub fn union(&self, other: &Self) -> Self
     where
         W: Clone,
     {
         let (a, b) = (&self.entries, &other.entries);
-        let mut out: Vec<(Triple<A>, W)> = Vec::with_capacity(a.len().max(b.len()));
-        let mut stairs: Vec<(f64, A)> = Vec::new();
+        let mut out: Vec<(D::Value, W)> = Vec::with_capacity(a.len().max(b.len()));
+        let mut stairs = D::Stairs::default();
         let (mut i, mut j) = (0, 0);
         while i < a.len() || j < b.len() {
             // Ties take `self` first, like a stable sort of the chain.
             let take_a = match (a.get(i), b.get(j)) {
-                (Some(x), Some(y)) => cmp_key(&x.0, &y.0) != Ordering::Greater,
+                (Some(x), Some(y)) => D::cmp_key(&x.0, &y.0) != Ordering::Greater,
                 (Some(_), None) => true,
                 _ => false,
             };
@@ -119,9 +165,9 @@ impl<A: Activation, W> Staircase<A, W> {
                 &b[j - 1]
             };
             if out.last().is_some_and(|(k, _)| *k == e.0) {
-                continue; // duplicate triple
+                continue; // duplicate value
             }
-            if stairs_admit(&mut stairs, &e.0) {
+            if D::admit(&mut stairs, &e.0) {
                 out.push(e.clone());
             }
         }
@@ -132,78 +178,88 @@ impl<A: Activation, W> Staircase<A, W> {
 /// Whether `entries` satisfy the staircase invariant: strictly increasing in
 /// the staircase key and pairwise ⊑-incomparable. Quadratic — meant for
 /// tests and debug assertions, not hot paths.
-pub fn is_staircase<A: Activation, W>(entries: &[(Triple<A>, W)]) -> bool {
-    entries.windows(2).all(|w| cmp_key(&w[0].0, &w[1].0) == Ordering::Less)
+pub fn is_staircase<D: AttributeDomain, W>(entries: &[(D::Value, W)]) -> bool {
+    entries.windows(2).all(|w| D::cmp_key(&w[0].0, &w[1].0) == Ordering::Less)
         && entries.iter().enumerate().all(|(x, (a, _))| {
-            entries.iter().enumerate().all(|(y, (b, _))| x == y || !a.strictly_dominates(b))
+            entries
+                .iter()
+                .enumerate()
+                .all(|(y, (b, _))| x == y || !(D::dominates(a, b) && *a != *b))
         })
 }
 
-/// One pending product candidate: the combined triple plus the indices of
+/// One pending product candidate: the combined value plus the indices of
 /// its factors, so payloads can be built lazily for survivors only.
-#[derive(Copy, Clone)]
-struct HeapItem<A> {
-    triple: Triple<A>,
+struct HeapItem<D: AttributeDomain> {
+    value: D::Value,
     row: usize,
     col: usize,
 }
 
-impl<A: Activation> Ord for HeapItem<A> {
+impl<D: AttributeDomain> Clone for HeapItem<D> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<D: AttributeDomain> Copy for HeapItem<D> {}
+
+impl<D: AttributeDomain> Ord for HeapItem<D> {
     fn cmp(&self, other: &Self) -> Ordering {
         // `BinaryHeap` is a max-heap; reverse so the smallest key pops
         // first. The (row, col) tie-break reproduces the stable sort order
-        // of the row-major materialized product on duplicate triples — and
+        // of the row-major materialized product on duplicate values — and
         // is independent of which side the merge streams walk, so the
         // orientation swap below cannot change which payload survives.
-        cmp_key(&other.triple, &self.triple)
+        D::cmp_key(&other.value, &self.value)
             .then_with(|| other.row.cmp(&self.row))
             .then_with(|| other.col.cmp(&self.col))
     }
 }
 
-impl<A: Activation> PartialOrd for HeapItem<A> {
+impl<D: AttributeDomain> PartialOrd for HeapItem<D> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<A: Activation> PartialEq for HeapItem<A> {
+impl<D: AttributeDomain> PartialEq for HeapItem<D> {
     fn eq(&self, other: &Self) -> bool {
         self.cmp(other) == Ordering::Equal
     }
 }
 
-impl<A: Activation> Eq for HeapItem<A> {}
+impl<D: AttributeDomain> Eq for HeapItem<D> {}
 
 /// Reusable scratch space for gate evaluation: the k-way merge heap, the
 /// dominance staircase, and a pool of recycled entry buffers.
 ///
 /// One `GateScratch` serves a whole bottom-up pass; gate evaluation then
 /// allocates only for fronts that are actually kept.
-pub struct GateScratch<A, W> {
-    heap: BinaryHeap<HeapItem<A>>,
-    stairs: Vec<(f64, A)>,
-    spare: Vec<Vec<(Triple<A>, W)>>,
+pub struct GateScratch<D: AttributeDomain, W> {
+    heap: BinaryHeap<HeapItem<D>>,
+    stairs: D::Stairs,
+    spare: Vec<Vec<(D::Value, W)>>,
 }
 
-impl<A: Activation, W> Default for GateScratch<A, W> {
+impl<D: AttributeDomain, W> Default for GateScratch<D, W> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<A: Activation, W> GateScratch<A, W> {
+impl<D: AttributeDomain, W> GateScratch<D, W> {
     /// Fresh scratch space with no reserved capacity.
     pub fn new() -> Self {
-        GateScratch { heap: BinaryHeap::new(), stairs: Vec::new(), spare: Vec::new() }
+        GateScratch { heap: BinaryHeap::new(), stairs: D::Stairs::default(), spare: Vec::new() }
     }
 
-    fn grab(&mut self) -> Vec<(Triple<A>, W)> {
+    fn grab(&mut self) -> Vec<(D::Value, W)> {
         self.spare.pop().unwrap_or_default()
     }
 
     /// Returns a front's buffer to the pool for reuse by later gates.
-    pub fn recycle(&mut self, front: Staircase<A, W>) {
+    pub fn recycle(&mut self, front: Staircase<D, W>) {
         let mut buf = front.entries;
         buf.clear();
         // Two buffers cover the deepest fold pattern (acc + freshly combined
@@ -233,25 +289,25 @@ impl<A: Activation, W> GateScratch<A, W> {
     /// Orienting the streams by the smaller side keeps the heap tiny on the
     /// dominant gate shape (a grown accumulator × a two-entry BAS front),
     /// where the merge degenerates to a near-linear two-pointer walk. The
-    /// combined triple is always computed as `op(left, right)` and ties
+    /// combined value is always computed as `op(left, right)` and ties
     /// always break on (left index, right index), so the result — floating-
     /// point bits, entry order, and surviving payloads — does not depend on
     /// the orientation.
     pub fn combine(
         &mut self,
         or_gate: bool,
-        left: &Staircase<A, W>,
-        right: &Staircase<A, W>,
+        left: &Staircase<D, W>,
+        right: &Staircase<D, W>,
         budget: Option<f64>,
         mut payload: impl FnMut(&W, &W) -> W,
-    ) -> Staircase<A, W> {
+    ) -> Staircase<D, W> {
         let (left, right) = (&left.entries, &right.entries);
         let mut out = self.grab();
-        let op = |a: &Triple<A>, b: &Triple<A>| {
+        let op = |a: &D::Value, b: &D::Value| {
             if or_gate {
-                a.combine_or(b)
+                D::combine_or(a, b)
             } else {
-                a.combine_and(b)
+                D::combine_and(a, b)
             }
         };
         // `streams_left`: streams are left entries walking `right`;
@@ -259,33 +315,34 @@ impl<A: Activation, W> GateScratch<A, W> {
         let streams_left = left.len() <= right.len();
         let streams = if streams_left { left.len() } else { right.len() };
         let walk = if streams_left { right.len() } else { left.len() };
-        self.stairs.clear();
+        D::clear_stairs(&mut self.stairs);
         if streams == 0 || walk == 0 {
             return Staircase { entries: out };
         }
         // (row, col) of stream `s` at walk position `p`. Within a stream the
         // key is nondecreasing (the gate operators are monotone and the
         // walked side is key-sorted), and the key's primary coordinate is
-        // the cost, so a stream ends at its first over-budget candidate.
+        // the budgeted one, so a stream ends at its first over-budget
+        // candidate.
         let rc = |s: usize, p: usize| if streams_left { (s, p) } else { (p, s) };
         // The next *viable* candidate of stream `s` at position ≥ `p`:
         // over-budget tails end the stream, and candidates the current
         // staircase already dominates are skipped outright — domination
         // only grows as entries are kept, so a candidate dominated now
         // could never be admitted at its pop turn either (nor claim a
-        // duplicate's payload: an equal triple is dominated the same way).
+        // duplicate's payload: an equal value is dominated the same way).
         // Returns the candidate plus the position *after* it.
-        let advance = |stairs: &[(f64, A)],
+        let advance = |stairs: &D::Stairs,
                        s: usize,
                        mut p: usize|
-         -> Option<(Triple<A>, usize, usize, usize)> {
+         -> Option<(D::Value, usize, usize, usize)> {
             while p < walk {
                 let (row, col) = rc(s, p);
                 let t = op(&left[row].0, &right[col].0);
-                if budget.is_some_and(|u| t.cost > u) {
+                if budget.is_some_and(|u| !D::within_budget(&t, u)) {
                     return None;
                 }
-                if !stairs_dominate(stairs, &t) {
+                if !D::dominated(stairs, &t) {
                     return Some((t, row, col, p + 1));
                 }
                 p += 1;
@@ -298,7 +355,7 @@ impl<A: Activation, W> GateScratch<A, W> {
             1 => {
                 let mut p = 0;
                 while let Some((t, row, col, np)) = advance(stairs, 0, p) {
-                    if stairs_admit(stairs, &t) {
+                    if D::admit(stairs, &t) {
                         out.push((t, payload(&left[row].1, &right[col].1)));
                     }
                     p = np;
@@ -314,7 +371,7 @@ impl<A: Activation, W> GateScratch<A, W> {
                         (Some(a), Some(b)) => {
                             // Full pop order: key, then (row, col) — exactly
                             // the heap comparator.
-                            let ord = cmp_key(&a.0, &b.0)
+                            let ord = D::cmp_key(&a.0, &b.0)
                                 .then_with(|| a.1.cmp(&b.1))
                                 .then_with(|| a.2.cmp(&b.2));
                             usize::from(ord == Ordering::Greater)
@@ -324,7 +381,7 @@ impl<A: Activation, W> GateScratch<A, W> {
                         (None, None) => break,
                     };
                     let (t, row, col, np) = cur[s].take().expect("selected stream has a candidate");
-                    if out.last().is_none_or(|(k, _)| *k != t) && stairs_admit(stairs, &t) {
+                    if out.last().is_none_or(|(k, _)| *k != t) && D::admit(stairs, &t) {
                         out.push((t, payload(&left[row].1, &right[col].1)));
                     }
                     cur[s] = advance(stairs, s, np);
@@ -335,18 +392,18 @@ impl<A: Activation, W> GateScratch<A, W> {
                 self.heap.clear();
                 for s in 0..streams {
                     let (row, col) = rc(s, 0);
-                    // Stream heads have their streams' minimal costs and the
-                    // stream side is cost-sorted: once a head exceeds the
+                    // Stream heads have their streams' minimal keys and the
+                    // stream side is key-sorted: once a head exceeds the
                     // budget, so does everything after it.
                     let t = op(&left[row].0, &right[col].0);
-                    if budget.is_some_and(|u| t.cost > u) {
+                    if budget.is_some_and(|u| !D::within_budget(&t, u)) {
                         break;
                     }
-                    self.heap.push(HeapItem { triple: t, row, col });
+                    self.heap.push(HeapItem { value: t, row, col });
                 }
                 while let Some(mut head) = self.heap.peek_mut() {
-                    let HeapItem { triple: t, row, col } = *head;
-                    if out.last().is_none_or(|(k, _)| *k != t) && stairs_admit(stairs, &t) {
+                    let HeapItem { value: t, row, col } = *head;
+                    if out.last().is_none_or(|(k, _)| *k != t) && D::admit(stairs, &t) {
                         out.push((t, payload(&left[row].1, &right[col].1)));
                     }
                     let s = if streams_left { row } else { col };
@@ -355,7 +412,7 @@ impl<A: Activation, W> GateScratch<A, W> {
                         // Replace the head in place: one sift-down instead
                         // of a pop plus a push.
                         Some((next, nrow, ncol, _)) => {
-                            *head = HeapItem { triple: next, row: nrow, col: ncol };
+                            *head = HeapItem { value: next, row: nrow, col: ncol };
                         }
                         None => {
                             std::collections::binary_heap::PeekMut::pop(head);
@@ -370,40 +427,41 @@ impl<A: Activation, W> GateScratch<A, W> {
     /// Adds the node's own damage (`settle`) to every entry and restores the
     /// staircase invariant.
     ///
-    /// Settling never changes costs, so the global cost order survives; only
-    /// runs of equal cost can reorder (the damage increment depends on the
+    /// Settling never changes the primary key coordinate
+    /// ([`AttributeDomain::settle_run_eq`]), so the global key order
+    /// survives; only runs sharing that coordinate can reorder (on
+    /// cost–damage triples, the damage increment depends on the
     /// activation), and settled entries can newly dominate each other. Each
-    /// equal-cost run is re-sorted in place and one dominance sweep compacts
-    /// the result. The returned front is exactly sized; the working buffer
-    /// goes back to the pool.
-    pub fn settle(&mut self, front: Staircase<A, W>, node_damage: f64) -> Staircase<A, W> {
+    /// run is re-sorted in place and one dominance sweep compacts the
+    /// result. The returned front is exactly sized; the working buffer goes
+    /// back to the pool.
+    ///
+    /// On domains whose `settle` is the identity this reduces to the sweep,
+    /// which then keeps every entry.
+    pub fn settle(&mut self, front: Staircase<D, W>, node_damage: f64) -> Staircase<D, W> {
         let mut entries = front.entries;
         for (t, _) in entries.iter_mut() {
-            *t = t.settle(node_damage);
+            *t = D::settle(t, node_damage);
         }
         let mut start = 0;
         while start < entries.len() {
             let mut end = start + 1;
-            while end < entries.len()
-                && entries[end].0.cost.total_cmp(&entries[start].0.cost).is_eq()
-            {
+            while end < entries.len() && D::settle_run_eq(&entries[end].0, &entries[start].0) {
                 end += 1;
             }
             if end - start > 1 {
-                entries[start..end].sort_by(|(a, _), (b, _)| {
-                    b.damage.total_cmp(&a.damage).then_with(|| cmp_act(b.act, a.act))
-                });
+                entries[start..end].sort_by(|(a, _), (b, _)| D::cmp_key(a, b));
             }
             start = end;
         }
-        self.stairs.clear();
+        D::clear_stairs(&mut self.stairs);
         let mut kept = 0;
         for i in 0..entries.len() {
             let t = entries[i].0;
             if kept > 0 && entries[kept - 1].0 == t {
-                continue; // duplicate triple
+                continue; // duplicate value
             }
-            if stairs_admit(&mut self.stairs, &t) {
+            if D::admit(&mut self.stairs, &t) {
                 entries.swap(kept, i);
                 kept += 1;
             }
@@ -421,7 +479,7 @@ impl<A: Activation, W> GateScratch<A, W> {
     /// [`settle`](Self::settle) on a borrowed front: clones the entries into
     /// a recycled buffer first (the single-child-gate path of `node_fronts`,
     /// where the child front must stay available).
-    pub fn settle_cloned(&mut self, front: &Staircase<A, W>, node_damage: f64) -> Staircase<A, W>
+    pub fn settle_cloned(&mut self, front: &Staircase<D, W>, node_damage: f64) -> Staircase<D, W>
     where
         W: Clone,
     {
@@ -434,7 +492,10 @@ impl<A: Activation, W> GateScratch<A, W> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::activation::Prob;
+    use crate::activation::{Activation, Prob};
+    use crate::domain::{CdTriples, MaxProb, MinTime};
+    use crate::staircase::prune;
+    use crate::triple::Triple;
     use rand::prelude::*;
     use rand::rngs::StdRng;
 
@@ -490,24 +551,41 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..100 {
             let n = rng.gen_range(0..30);
-            let s = Staircase::minimized(random_entries(&mut rng, n), None);
-            assert!(is_staircase(s.entries()), "{:?}", s.entries());
+            let s: Staircase<CdTriples<bool>, usize> =
+                Staircase::minimized(random_entries(&mut rng, n), None);
+            assert!(is_staircase::<CdTriples<bool>, usize>(s.entries()), "{:?}", s.entries());
+        }
+    }
+
+    #[test]
+    fn minimized_matches_prune_exactly() {
+        // `Staircase::minimized` is the generic form of `prune`; on the
+        // cost–damage domain they must agree entry-for-entry, payloads
+        // included.
+        let mut rng = StdRng::seed_from_u64(17);
+        for case in 0..200 {
+            let n = rng.gen_range(0..30);
+            let input = random_entries(&mut rng, n);
+            let budget = if rng.gen_bool(0.5) { Some(rng.gen_range(0..8) as f64) } else { None };
+            let generic: Staircase<CdTriples<bool>, usize> =
+                Staircase::minimized(input.clone(), budget);
+            assert_eq!(generic.into_entries(), prune(input, budget), "case {case}");
         }
     }
 
     #[test]
     fn combine_matches_materialize_then_prune_including_payloads() {
         let mut rng = StdRng::seed_from_u64(7);
-        let mut scratch: GateScratch<bool, usize> = GateScratch::new();
+        let mut scratch: GateScratch<CdTriples<bool>, usize> = GateScratch::new();
         for case in 0..300 {
-            let left = Staircase::minimized(
+            let left: Staircase<CdTriples<bool>, usize> = Staircase::minimized(
                 {
                     let n = rng.gen_range(0..14);
                     random_entries(&mut rng, n)
                 },
                 None,
             );
-            let right = Staircase::minimized(
+            let right: Staircase<CdTriples<bool>, usize> = Staircase::minimized(
                 {
                     let n = rng.gen_range(0..14);
                     random_entries(&mut rng, n)
@@ -517,11 +595,11 @@ mod tests {
             let budget = if rng.gen_bool(0.5) { Some(rng.gen_range(0..12) as f64) } else { None };
             let or_gate = rng.gen_bool(0.5);
             for side in [&left, &right] {
-                assert!(is_staircase(side.entries()));
+                assert!(is_staircase::<CdTriples<bool>, usize>(side.entries()));
             }
             // Payload = (left index, right index), so the test also proves
             // which factor pair wins on duplicate triples.
-            let mut relabeled: GateScratch<bool, (usize, usize)> = GateScratch::new();
+            let mut relabeled: GateScratch<CdTriples<bool>, (usize, usize)> = GateScratch::new();
             let l2 = Staircase::from_sorted(
                 left.entries().iter().map(|(t, w)| (*t, (*w, 0usize))).collect(),
             );
@@ -532,7 +610,7 @@ mod tests {
                 relabeled.combine(or_gate, &l2, &r2, budget, |a, b| (a.0, b.1)).into_entries();
             let want = combine_oracle(or_gate, left.entries(), right.entries(), budget);
             assert_eq!(got, want, "case {case} (or={or_gate}, budget={budget:?})");
-            assert!(is_staircase(&got));
+            assert!(is_staircase::<CdTriples<bool>, (usize, usize)>(&got));
             // The unlabeled scratch keeps working across iterations too.
             let _ = scratch.combine(or_gate, &left, &right, budget, |a, _| *a);
         }
@@ -541,16 +619,16 @@ mod tests {
     #[test]
     fn combine_matches_oracle_on_probabilistic_triples() {
         let mut rng = StdRng::seed_from_u64(23);
-        let mut scratch: GateScratch<Prob, usize> = GateScratch::new();
+        let mut scratch: GateScratch<CdTriples<Prob>, usize> = GateScratch::new();
         for case in 0..200 {
-            let left = Staircase::minimized(
+            let left: Staircase<CdTriples<Prob>, usize> = Staircase::minimized(
                 {
                     let n = rng.gen_range(0..12);
                     random_prob_entries(&mut rng, n)
                 },
                 None,
             );
-            let right = Staircase::minimized(
+            let right: Staircase<CdTriples<Prob>, usize> = Staircase::minimized(
                 {
                     let n = rng.gen_range(0..12);
                     random_prob_entries(&mut rng, n)
@@ -573,9 +651,9 @@ mod tests {
     #[test]
     fn settle_matches_settle_then_prune() {
         let mut rng = StdRng::seed_from_u64(41);
-        let mut scratch: GateScratch<bool, usize> = GateScratch::new();
+        let mut scratch: GateScratch<CdTriples<bool>, usize> = GateScratch::new();
         for case in 0..300 {
-            let front = Staircase::minimized(
+            let front: Staircase<CdTriples<bool>, usize> = Staircase::minimized(
                 {
                     let n = rng.gen_range(0..20);
                     random_entries(&mut rng, n)
@@ -587,7 +665,7 @@ mod tests {
                 prune(front.entries().iter().map(|(t, w)| (t.settle(dv), *w)).collect(), None);
             let got = scratch.settle_cloned(&front, dv).into_entries();
             assert_eq!(got, want, "case {case} (dv={dv})");
-            assert!(is_staircase(&got));
+            assert!(is_staircase::<CdTriples<bool>, usize>(&got));
         }
     }
 
@@ -595,14 +673,14 @@ mod tests {
     fn union_matches_prune_of_concatenation() {
         let mut rng = StdRng::seed_from_u64(59);
         for case in 0..300 {
-            let a = Staircase::minimized(
+            let a: Staircase<CdTriples<bool>, usize> = Staircase::minimized(
                 {
                     let n = rng.gen_range(0..20);
                     random_entries(&mut rng, n)
                 },
                 None,
             );
-            let b = Staircase::minimized(
+            let b: Staircase<CdTriples<bool>, usize> = Staircase::minimized(
                 {
                     let n = rng.gen_range(0..20);
                     random_entries(&mut rng, n)
@@ -617,8 +695,10 @@ mod tests {
 
     #[test]
     fn union_prefers_the_left_payload_on_duplicates() {
-        let a = Staircase::minimized(vec![(t(1.0, 1.0, true), 7usize)], None);
-        let b = Staircase::minimized(vec![(t(1.0, 1.0, true), 8usize)], None);
+        let a: Staircase<CdTriples<bool>, usize> =
+            Staircase::minimized(vec![(t(1.0, 1.0, true), 7usize)], None);
+        let b: Staircase<CdTriples<bool>, usize> =
+            Staircase::minimized(vec![(t(1.0, 1.0, true), 8usize)], None);
         assert_eq!(a.union(&b).entries(), &[(t(1.0, 1.0, true), 7usize)]);
         assert_eq!(b.union(&a).entries(), &[(t(1.0, 1.0, true), 8usize)]);
     }
@@ -630,11 +710,11 @@ mod tests {
         // must never pay for a payload.
         let diag: Vec<(Triple<bool>, usize)> =
             (0..20).map(|i| (t(i as f64, i as f64, true), i)).collect();
-        let left = Staircase::minimized(diag.clone(), None);
-        let right = Staircase::minimized(diag, None);
+        let left: Staircase<CdTriples<bool>, usize> = Staircase::minimized(diag.clone(), None);
+        let right: Staircase<CdTriples<bool>, usize> = Staircase::minimized(diag, None);
         assert_eq!(left.len(), 20);
         let mut calls = 0usize;
-        let mut scratch: GateScratch<bool, usize> = GateScratch::new();
+        let mut scratch: GateScratch<CdTriples<bool>, usize> = GateScratch::new();
         let out = scratch.combine(false, &left, &right, None, |_, _| {
             calls += 1;
             0
@@ -645,9 +725,10 @@ mod tests {
 
     #[test]
     fn empty_sides_give_empty_products() {
-        let mut scratch: GateScratch<bool, ()> = GateScratch::new();
-        let empty: Staircase<bool, ()> = Staircase::default();
-        let some = Staircase::minimized(vec![(t(1.0, 1.0, true), ())], None);
+        let mut scratch: GateScratch<CdTriples<bool>, ()> = GateScratch::new();
+        let empty: Staircase<CdTriples<bool>, ()> = Staircase::default();
+        let some: Staircase<CdTriples<bool>, ()> =
+            Staircase::minimized(vec![(t(1.0, 1.0, true), ())], None);
         assert!(scratch.combine(true, &empty, &some, None, |_, _| ()).is_empty());
         assert!(scratch.combine(false, &some, &empty, None, |_, _| ()).is_empty());
     }
@@ -655,10 +736,12 @@ mod tests {
     #[test]
     fn budget_cuts_rows_and_candidates() {
         let mut rng = StdRng::seed_from_u64(77);
-        let mut scratch: GateScratch<bool, usize> = GateScratch::new();
+        let mut scratch: GateScratch<CdTriples<bool>, usize> = GateScratch::new();
         for _ in 0..100 {
-            let left = Staircase::minimized(random_entries(&mut rng, 10), None);
-            let right = Staircase::minimized(random_entries(&mut rng, 10), None);
+            let left: Staircase<CdTriples<bool>, usize> =
+                Staircase::minimized(random_entries(&mut rng, 10), None);
+            let right: Staircase<CdTriples<bool>, usize> =
+                Staircase::minimized(random_entries(&mut rng, 10), None);
             let budget = rng.gen_range(0..8) as f64;
             let got = scratch.combine(false, &left, &right, Some(budget), |a, _| *a).into_entries();
             assert!(got.iter().all(|(t, _)| t.cost <= budget));
@@ -667,12 +750,71 @@ mod tests {
 
     #[test]
     fn recycled_buffers_are_reused() {
-        let mut scratch: GateScratch<bool, ()> = GateScratch::new();
-        let a = Staircase::minimized(vec![(t(0.0, 0.0, false), ()), (t(1.0, 5.0, true), ())], None);
+        let mut scratch: GateScratch<CdTriples<bool>, ()> = GateScratch::new();
+        let a: Staircase<CdTriples<bool>, ()> =
+            Staircase::minimized(vec![(t(0.0, 0.0, false), ()), (t(1.0, 5.0, true), ())], None);
         let out = scratch.combine(true, &a, &a, None, |_, _| ());
         let cap = out.entries.capacity();
         scratch.recycle(out);
         let again = scratch.combine(true, &a, &a, None, |_, _| ());
         assert!(again.entries.capacity() >= cap.min(1), "pool hands capacity back");
+    }
+
+    /// Scalar-domain sanity: fronts are singletons holding the optimum, on
+    /// both kernels a choice-domain recursion uses (AND `combine`, OR
+    /// `union`).
+    #[test]
+    fn scalar_domains_collapse_to_singleton_optima() {
+        let mins: Staircase<MinTime, usize> =
+            Staircase::minimized(vec![(4.0, 0), (2.5, 1), (7.0, 2)], None);
+        assert_eq!(mins.entries(), &[(2.5, 1usize)]);
+        let maxs: Staircase<MaxProb, usize> =
+            Staircase::minimized(vec![(0.4, 0), (0.9, 1), (0.1, 2)], None);
+        assert_eq!(maxs.entries(), &[(0.9, 1usize)]);
+
+        // AND on MinTime adds durations of the two singletons.
+        let mut scratch: GateScratch<MinTime, usize> = GateScratch::new();
+        let a: Staircase<MinTime, usize> = Staircase::minimized(vec![(2.0, 10)], None);
+        let b: Staircase<MinTime, usize> = Staircase::minimized(vec![(3.0, 20)], None);
+        let and = scratch.combine(false, &a, &b, None, |x, y| x + y);
+        assert_eq!(and.entries(), &[(5.0, 30usize)]);
+        // OR as a union keeps the faster child's own payload.
+        let or = a.union(&b);
+        assert_eq!(or.entries(), &[(2.0, 10usize)]);
+
+        // AND on MaxProb multiplies; OR-as-union keeps the likelier child.
+        let mut pscratch: GateScratch<MaxProb, usize> = GateScratch::new();
+        let pa: Staircase<MaxProb, usize> = Staircase::minimized(vec![(0.5, 1)], None);
+        let pb: Staircase<MaxProb, usize> = Staircase::minimized(vec![(0.8, 2)], None);
+        let pand = pscratch.combine(false, &pa, &pb, None, |x, y| x * y);
+        assert_eq!(pand.entries(), &[(0.4, 2usize)]);
+        assert_eq!(pa.union(&pb).entries(), &[(0.8, 2usize)]);
+    }
+
+    /// The generic kernels on scalar domains match brute-force minimization
+    /// of the materialized product, payload choice included.
+    #[test]
+    fn scalar_combine_matches_materialized_minimization() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let mut scratch: GateScratch<MinTime, usize> = GateScratch::new();
+        for case in 0..200 {
+            let n = rng.gen_range(0..6);
+            let m = rng.gen_range(0..6);
+            let le: Vec<(f64, usize)> = (0..n).map(|i| (rng.gen_range(0..10) as f64, i)).collect();
+            let re: Vec<(f64, usize)> =
+                (0..m).map(|i| (rng.gen_range(0..10) as f64, 100 + i)).collect();
+            let left: Staircase<MinTime, usize> = Staircase::minimized(le.clone(), None);
+            let right: Staircase<MinTime, usize> = Staircase::minimized(re.clone(), None);
+            let got = scratch.combine(false, &left, &right, None, |a, b| a + b);
+            let mut all: Vec<(f64, usize)> = Vec::new();
+            for (lt, lw) in left.entries() {
+                for (rt, rw) in right.entries() {
+                    all.push((lt + rt, lw + rw));
+                }
+            }
+            let want: Staircase<MinTime, usize> = Staircase::minimized(all, None);
+            assert_eq!(got.entries(), want.entries(), "case {case}");
+            scratch.recycle(got);
+        }
     }
 }

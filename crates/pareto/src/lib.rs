@@ -20,11 +20,18 @@
 //! provides the merge-based gate kernels (linear two-pointer union, heap
 //! k-way product merge with on-the-fly dominance pruning, allocation-free
 //! settling) that the bottom-up recursion runs on.
+//!
+//! The kernels are generic over an [`AttributeDomain`] — the [`domain`]
+//! module defines the trait plus the shipped domains: [`CdTriples`] (the
+//! paper's cost–damage semantics, bit-for-bit identical to the original
+//! hardcoded path), [`MinTime`] (min-plus time-to-attack), and [`MaxProb`]
+//! (Viterbi success probability).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod activation;
+pub mod domain;
 mod front;
 pub mod kernel;
 mod point;
@@ -33,6 +40,7 @@ mod triple;
 pub mod wire;
 
 pub use activation::{Activation, Prob};
+pub use domain::{AttributeDomain, CdTriples, MaxProb, MinTime};
 pub use front::{FrontEntry, ParetoFront};
 pub use kernel::{is_staircase, GateScratch, Staircase};
 pub use point::CostDamage;

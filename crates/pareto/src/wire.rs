@@ -26,6 +26,34 @@ use cdat_core::{Attack, BasId};
 
 use crate::front::{FrontEntry, ParetoFront};
 
+/// Query-family codes used in store record keys.
+///
+/// A store record is keyed by the canonical structural hash of the tree
+/// *plus* one of these codes, so the same tree analysed under different
+/// attribute domains never collides on disk.
+///
+/// **Versioning:** codes are append-only and never renumbered — a front
+/// stored by any past release decodes on any future one, and store files
+/// ship between machines. [`MIN_TIME`](family::MIN_TIME) and
+/// [`MAX_PROB`](family::MAX_PROB) were added after
+/// [`DETERMINISTIC`](family::DETERMINISTIC) /
+/// [`PROBABILISTIC`](family::PROBABILISTIC) without a store-header version
+/// bump: the record layout is unchanged (scalar optima are encoded as
+/// one-entry fronts with the value in the cost slot), and files written
+/// before the new families simply never contain the new codes. New domains
+/// must take the next free code.
+pub mod family {
+    /// Deterministic cost–damage fronts (`cdpf` without probabilities,
+    /// `dgc`, `cgd`).
+    pub const DETERMINISTIC: u8 = 0;
+    /// Probabilistic cost–damage fronts (`cdpf`, `cedpf`, `edgc`, `cged`).
+    pub const PROBABILISTIC: u8 = 1;
+    /// Min-plus time-to-attack optima (`min-time`).
+    pub const MIN_TIME: u8 = 2;
+    /// Viterbi success-probability optima (`max-prob`).
+    pub const MAX_PROB: u8 = 3;
+}
+
 /// Encodes a front (with witnesses, if any) into `out`.
 ///
 /// Witness attacks within one front always share a BAS universe (they come

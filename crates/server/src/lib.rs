@@ -7,9 +7,12 @@
 //!
 //! * **Protocol** ([`protocol`]): newline-delimited JSON. Requests carry a
 //!   tree (or a whole suite) inline as `cdat-format` text, one of the six
-//!   paper queries, an optional per-request solver hint, and a client
-//!   `id`; responses stream back as JSON lines echoing the id, so clients
-//!   pipeline freely.
+//!   paper queries or a scalar attribute-domain query (`min-time`,
+//!   `max-prob`), an optional per-request solver hint, and a client `id`;
+//!   responses stream back as JSON lines echoing the id, so clients
+//!   pipeline freely. The normative wire-format specification, with
+//!   replayable examples, lives in `docs/PROTOCOL.md` at the repository
+//!   root.
 //! * **Micro-batching** ([`ServeConfig`]): requests accumulate into
 //!   batches flushed on a size ([`ServeConfig::batch_max`]) or time
 //!   ([`ServeConfig::batch_window`]) threshold, so a burst of requests is

@@ -20,8 +20,9 @@
 //! * `tree` *or* `suite` — the document source. A suite fans out into one
 //!   response line per document, each carrying `doc` (and `name` when the
 //!   separator names the document).
-//! * `query` — `cdpf` (default), `cedpf`, `dgc`, `cgd`, `edgc` or `cged`;
-//!   the four thresholded queries require a finite `arg`.
+//! * `query` — `cdpf` (default), `cedpf`, `dgc`, `cgd`, `edgc`, `cged`,
+//!   `min-time` or `max-prob`; the four thresholded queries require a
+//!   finite `arg`, the others reject one.
 //! * `solver` — `auto` (default), `bottomup` or `bilp`; per-request solver
 //!   choice, validated against the tree's shape by the engine.
 //! * `witnesses` — `true` to include witness attacks in the response
@@ -37,7 +38,9 @@
 //! One JSON object per line: the echoed `id` (plus `doc`/`name` for suite
 //! documents), the query, and one of `front` (a point array, plus a
 //! parallel `witnesses` array of BAS-id arrays when requested), `point` (a
-//! single optimum or `null`, plus `witness` when requested), or `error`.
+//! single optimum or `null`, plus `witness` when requested), `value` (a
+//! scalar optimum or `null`, plus `witness` when requested — `min-time` /
+//! `max-prob`), or `error`.
 //! Responses carry exactly the same front bytes as `cdat batch` on the
 //! same document — the rendering code is shared — so serving output is
 //! directly diffable against batch output, witnesses included.
@@ -184,19 +187,25 @@ pub fn parse_query(name: &str, arg: Option<f64>) -> Result<Query, String> {
         })
     };
     match name {
-        "cdpf" | "cedpf" => {
+        "cdpf" | "cedpf" | "min-time" | "max-prob" => {
             if arg.is_some() {
                 return Err(format!("query {name:?} takes no arg"));
             }
-            Ok(if name == "cdpf" { Query::Cdpf } else { Query::Cedpf })
+            Ok(match name {
+                "cdpf" => Query::Cdpf,
+                "cedpf" => Query::Cedpf,
+                "min-time" => Query::MinTime,
+                _ => Query::MaxProb,
+            })
         }
         "dgc" => Ok(Query::Dgc(need("budget")?)),
         "cgd" => Ok(Query::Cgd(need("threshold")?)),
         "edgc" => Ok(Query::Edgc(need("budget")?)),
         "cged" => Ok(Query::Cged(need("threshold")?)),
-        other => {
-            Err(format!("unknown query {other:?} (expected cdpf, cedpf, dgc, cgd, edgc or cged)"))
-        }
+        other => Err(format!(
+            "unknown query {other:?} (expected cdpf, cedpf, dgc, cgd, edgc, cged, min-time or \
+             max-prob)"
+        )),
     }
 }
 
@@ -209,6 +218,8 @@ pub fn query_name(query: Query) -> (&'static str, Option<f64>) {
         Query::Cgd(t) => ("cgd", Some(t)),
         Query::Edgc(b) => ("edgc", Some(b)),
         Query::Cged(t) => ("cged", Some(t)),
+        Query::MinTime => ("min-time", None),
+        Query::MaxProb => ("max-prob", None),
     }
 }
 
@@ -275,6 +286,15 @@ pub fn body_fragment(response: &Response) -> String {
             }
         }
         Response::Entry(None) => s.push_str(",\"point\":null"),
+        Response::Value(Some(e)) => {
+            // Scalar optima store the value in the entry's cost slot.
+            let _ = write!(s, ",\"value\":{}", json::num(e.point.cost));
+            if let Some(w) = &e.witness {
+                s.push_str(",\"witness\":");
+                write_witness(&mut s, w);
+            }
+        }
+        Response::Value(None) => s.push_str(",\"value\":null"),
         Response::Error(message) => {
             let _ = write!(s, ",\"error\":\"{}\"", json::escape(message));
         }
@@ -421,6 +441,24 @@ mod tests {
             response_prefix(&Value::Num(4.0), Some((1, Some("t1"))), Query::Cdpf),
             "{\"id\":4,\"doc\":1,\"name\":\"t1\",\"query\":\"cdpf\""
         );
+    }
+
+    #[test]
+    fn scalar_queries_parse_and_render() {
+        use cdat_core::{Attack, BasId};
+        use cdat_pareto::FrontEntry;
+        assert_eq!(parse_query("min-time", None).unwrap(), Query::MinTime);
+        assert_eq!(parse_query("max-prob", None).unwrap(), Query::MaxProb);
+        assert!(parse_query("min-time", Some(3.0)).unwrap_err().contains("takes no arg"));
+        assert_eq!(query_fragment(Query::MinTime), "\"query\":\"min-time\"");
+        assert_eq!(query_fragment(Query::MaxProb), "\"query\":\"max-prob\"");
+        assert_eq!(
+            body_fragment(&Response::Value(Some(FrontEntry::point(0.36, 0.0)))),
+            ",\"value\":0.36"
+        );
+        assert_eq!(body_fragment(&Response::Value(None)), ",\"value\":null");
+        let e = FrontEntry::with_witness(1.0, 0.0, Attack::from_bas_ids(3, [BasId::new(0)]));
+        assert_eq!(body_fragment(&Response::Value(Some(e))), ",\"value\":1,\"witness\":[0]");
     }
 
     #[test]

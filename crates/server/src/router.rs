@@ -160,8 +160,8 @@ impl Router {
     /// its cache entry.
     fn route_hash(request: &RouteRequest) -> StructuralHash {
         match request.query.kind() {
-            FrontKind::Deterministic => hash_cd(request.tree.cd()),
-            FrontKind::Probabilistic => hash_cdp(&request.tree),
+            FrontKind::Deterministic | FrontKind::MinTime => hash_cd(request.tree.cd()),
+            FrontKind::Probabilistic | FrontKind::MaxProb => hash_cdp(&request.tree),
         }
     }
 
@@ -389,6 +389,29 @@ mod tests {
             lines[1], "{\"id\":1,\"front\":[[0,0],[1,200],[3,210],[5,310]]}",
             "unwitnessed requests keep the pre-witness bytes"
         );
+    }
+
+    #[test]
+    fn scalar_queries_serve_value_lines() {
+        let router = router(2, None);
+        let tree = Arc::new(cdat_models::factory_cdp());
+        let mut witnessed = request(tree.clone(), Query::MaxProb, 2);
+        witnessed.witnesses = true;
+        let lines = router.solve(vec![
+            request(tree.clone(), Query::MinTime, 0),
+            request(tree.clone(), Query::MaxProb, 1),
+            witnessed,
+        ]);
+        assert_eq!(lines[0], "{\"id\":0,\"value\":1}");
+        // 0.4 · 0.9 in IEEE f64; the protocol prints the shortest exact
+        // round-trip, so the bytes expose the representable value.
+        assert_eq!(lines[1], "{\"id\":1,\"value\":0.36000000000000004}");
+        assert_eq!(lines[2], "{\"id\":2,\"value\":0.36000000000000004,\"witness\":[1,2]}");
+        // Scalar entries live in their own cache families: four entries,
+        // none shared with a cost-damage front.
+        router.solve(vec![request(tree, Query::Cdpf, 3)]);
+        let entries: usize = router.stats().iter().map(|s| s.entries).sum();
+        assert_eq!(entries, 3);
     }
 
     #[test]

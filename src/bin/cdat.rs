@@ -165,7 +165,7 @@ fn usage() -> String {
          --store PATH       persistent front store below the cache: misses read\n                     \
          through to PATH, computed fronts append to it, so a\n                     \
          second run on the same store starts warm\n  \
-         --cdpf --cedpf --dgc B --cgd D --edgc B --cged D\n                     \
+         --cdpf --cedpf --dgc B --cgd D --edgc B --cged D --min-time --max-prob\n                     \
          queries to run per document, repeatable (default: --cdpf)\n\
          \nserve flags:\n  \
          --stdio            serve stdin→stdout, exit at EOF (default)\n  \
@@ -213,6 +213,8 @@ fn parse_query_flags(args: &[String]) -> Result<(Vec<solve::Query>, Vec<&String>
             "--cgd" => queries.push(solve::Query::Cgd(value("threshold")?)),
             "--edgc" => queries.push(solve::Query::Edgc(value("budget")?)),
             "--cged" => queries.push(solve::Query::Cged(value("threshold")?)),
+            "--min-time" => queries.push(solve::Query::MinTime),
+            "--max-prob" => queries.push(solve::Query::MaxProb),
             _ => rest.push(flag),
         }
     }

@@ -13,7 +13,11 @@
 //!   ([`solve::cgd`]),
 //!
 //! plus the probabilistic variants where BASs succeed with a probability
-//! ([`solve::cedpf`], [`solve::edgc`], [`solve::cged`]).
+//! ([`solve::cedpf`], [`solve::edgc`], [`solve::cged`]), and two scalar
+//! attribute-domain queries over the same generic bottom-up kernel
+//! ([`cdat_pareto::AttributeDomain`]): minimal time-to-attack
+//! ([`solve::min_time`]) and maximal single-attack success probability
+//! ([`solve::max_prob`]).
 //!
 //! # Quick start
 //!
@@ -53,11 +57,12 @@
 //! | crate | contents |
 //! |-------|----------|
 //! | [`core`] | attack-tree model, attacks, structure function, cd/cdp attribution, theory constructions |
-//! | [`pareto`] | fronts, extended attribute triples, `min_U` pruning |
-//! | [`bottomup`] | treelike solver, deterministic + probabilistic |
+//! | [`pareto`] | fronts, extended attribute triples, generic attribute domains, `min_U` pruning |
+//! | [`bottomup`] | treelike solver over any attribute domain, deterministic + probabilistic + scalar |
 //! | [`bilp`] | Theorem 6/7 encodings for DAG-like trees |
 //! | [`engine`] | parallel batch solving, structural dedup, memoizing front cache with LRU eviction |
-//! | [`server`] | micro-batching query server: JSON-lines protocol, shard-by-hash routing |
+//! | [`server`] | micro-batching query server: JSON-lines protocol (see `docs/PROTOCOL.md`), shard-by-hash routing |
+//! | [`store`] | append-only persistent front store (warm restarts; layout in `docs/ARCHITECTURE.md`) |
 //! | [`ilp`] | simplex, branch-and-bound, bi-objective ε-constraint |
 //! | [`enumerative`] | brute-force baselines, exact DAG-probabilistic extension |
 //! | [`bdd`] | hash-consed BDDs for structure functions |
@@ -82,6 +87,7 @@ pub use cdat_ilp as ilp;
 pub use cdat_models as models;
 pub use cdat_pareto as pareto;
 pub use cdat_server as server;
+pub use cdat_store as store;
 
 pub use cdat_core::{
     binarize, Attack, AttackTree, AttackTreeBuilder, BasId, CdAttackTree, CdpAttackTree, NodeId,

@@ -116,6 +116,52 @@ pub fn cged(
     cdat_bottomup::cged(cdp, threshold).map_err(|_| DagProbabilisticOpen)
 }
 
+/// Minimal time-to-attack of any cd-AT, reading each BAS's cost attribute
+/// as its duration: `AND` sums child times, `OR` takes the faster child
+/// (the min-plus semiring over the generic staircase kernel,
+/// [`cdat_pareto::MinTime`]). The returned entry carries the duration in
+/// its cost slot (damage 0) and a witness attack achieving it.
+///
+/// Treelike trees run the bottom-up kernel; DAG-like trees fall back to
+/// exact enumeration (shared BASs are counted once).
+///
+/// # Panics
+///
+/// Panics on DAG-like trees with more than
+/// [`cdat_enumerative::MAX_ENUM_BAS`] BASs, where the enumerative fallback
+/// is intractable (the batch engine returns a clean error instead).
+pub fn min_time(cd: &CdAttackTree) -> Option<FrontEntry> {
+    let front = match cdat_bottomup::min_time(cd) {
+        Ok(front) => front,
+        Err(_) => cdat_enumerative::min_time(cd, true),
+    };
+    front.entries().first().cloned()
+}
+
+/// Maximal single-attack success probability of any cdp-AT: `AND`
+/// multiplies child probabilities, `OR` takes the likelier child (the
+/// Viterbi semiring, [`cdat_pareto::MaxProb`]) — the likeliest *single*
+/// attack, unlike [`cedpf`]'s combinators which let the attacker attempt
+/// several alternatives. The returned entry carries the probability in its
+/// cost slot (damage 0) and a witness attack achieving it.
+///
+/// Treelike trees run the bottom-up kernel; DAG-like trees fall back to
+/// exact enumeration (shared BASs succeed once, so their probability is
+/// multiplied once).
+///
+/// # Panics
+///
+/// Panics on DAG-like trees with more than
+/// [`cdat_enumerative::MAX_ENUM_BAS`] BASs (the batch engine returns a
+/// clean error instead).
+pub fn max_prob(cdp: &CdpAttackTree) -> Option<FrontEntry> {
+    let front = match cdat_bottomup::max_prob(cdp) {
+        Ok(front) => front,
+        Err(_) => cdat_enumerative::max_prob(cdp, true),
+    };
+    front.entries().first().cloned()
+}
+
 /// Exact CEDPF for **any** cdp-AT, exponential on DAG-like trees (extension
 /// beyond the paper: BDD-exact per-attack expected damage).
 ///

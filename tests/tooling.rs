@@ -123,6 +123,140 @@ fn minimal_attacks_are_consistent_with_the_front() {
     }
 }
 
+fn readme() -> String {
+    std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"))
+        .expect("README.md at the repo root")
+}
+
+/// Fenced code blocks of README.md with the given info string.
+fn fenced_blocks(text: &str, tag: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        match &mut current {
+            None if line.trim_end() == format!("```{tag}") => current = Some(String::new()),
+            None => {}
+            Some(block) if line.trim_end() == "```" => {
+                blocks.push(std::mem::take(block));
+                current = None;
+            }
+            Some(block) => {
+                block.push_str(line);
+                block.push('\n');
+            }
+        }
+    }
+    blocks
+}
+
+/// The README's text-format model block parses and yields exactly the
+/// fronts and scalar optima the surrounding prose claims.
+#[test]
+fn readme_factory_model_matches_its_documented_answers() {
+    let readme = readme();
+    let blocks = fenced_blocks(&readme, "text");
+    let model = blocks.first().expect("README carries the factory model as a ```text block");
+    let cdp = format::parse(model).expect("the README model must stay parseable");
+
+    // The quickstart's front, quoted twice (Rust block and CLI table).
+    let front = solve::cdpf(cdp.cd());
+    assert_eq!(front.to_string(), "{(0, 0), (1, 200), (3, 210), (5, 310)}");
+    assert!(readme.contains("{(0, 0), (1, 200), (3, 210), (5, 310)}"));
+
+    // The attribute-domain section's scalar claims.
+    let mt = solve::min_time(cdp.cd()).expect("factory has attacks");
+    assert_eq!(mt.point.cost, 1.0);
+    let mp = solve::max_prob(&cdp).expect("factory has attacks");
+    assert_eq!(mp.point.cost, 0.4 * 0.9);
+}
+
+/// Every `--flag` shown in a README console block is accepted by the CLI
+/// (i.e. appears in its usage text) — the quickstart cannot drift from
+/// the binary. Cargo's own flags are excluded by only reading cargo
+/// lines after their `--` separator.
+#[test]
+fn readme_console_flags_exist_in_the_cli_usage() {
+    let usage = std::process::Command::new(env!("CARGO_BIN_EXE_cdat"))
+        .output()
+        .expect("binary runs")
+        .stdout;
+    let usage = String::from_utf8(usage).expect("usage is utf-8");
+
+    let readme = readme();
+    let mut checked = 0;
+    for block in fenced_blocks(&readme, "console") {
+        for line in block.lines() {
+            let trimmed = line.trim_start();
+            let Some(command) = trimmed.strip_prefix("$ ").or(trimmed.strip_prefix("| ")) else {
+                continue;
+            };
+            let args = if command.starts_with("cargo") {
+                // Only cargo invocations of the `cdat` binary itself, and
+                // only the argument side of their `--` separator.
+                match (command.contains("--bin cdat "), command.split_once(" -- ")) {
+                    (true, Some((_, rest))) => rest,
+                    _ => continue,
+                }
+            } else if command.starts_with("cdat ") {
+                command
+            } else {
+                continue;
+            };
+            for flag in args.split_whitespace().filter(|t| t.starts_with("--")) {
+                assert!(
+                    usage.contains(flag),
+                    "README shows `{flag}` (in `{command}`) but the CLI usage does not"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 10, "expected to find README flags to check, found {checked}");
+}
+
+/// The README's batch/scalar example lines are the binary's actual bytes:
+/// run the documented pipeline and require every documented JSON line to
+/// appear verbatim in the output.
+#[test]
+fn readme_example_output_lines_are_real() {
+    let cdat = |args: &[&str], stdin: Option<&std::path::Path>| {
+        let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_cdat"));
+        cmd.args(args);
+        if let Some(path) = stdin {
+            cmd.stdin(std::fs::File::open(path).expect("stdin file"));
+        }
+        let out = cmd.output().expect("binary runs");
+        assert!(out.status.success(), "cdat {args:?} failed");
+        String::from_utf8(out.stdout).expect("utf-8 output")
+    };
+
+    let example = cdat(&["example"], None);
+    let suite = format!("--- factory\n{example}");
+    let path =
+        std::env::temp_dir().join(format!("cdat-tooling-readme-{}.cdat", std::process::id()));
+    std::fs::write(&path, suite).expect("temp suite writable");
+    let suite_path = path.to_str().expect("utf-8 temp path");
+
+    let batch = cdat(&["batch", suite_path, "--min-time", "--max-prob", "--witnesses"], None);
+    for documented in [
+        r#"{"doc":0,"name":"factory","query":"min-time","cache":"miss","value":1,"witness":[0]}"#,
+        r#"{"doc":0,"name":"factory","query":"max-prob","cache":"miss","value":0.36000000000000004,"witness":[1,2]}"#,
+    ] {
+        assert!(
+            readme().contains(documented) && batch.lines().any(|l| l == documented),
+            "README line has drifted from `cdat batch` output: {documented}"
+        );
+    }
+
+    let single = std::env::temp_dir()
+        .join(format!("cdat-tooling-readme-single-{}.cdat", std::process::id()));
+    std::fs::write(&single, &example).expect("temp file writable");
+    let cdpf = cdat(&["cdpf", single.to_str().expect("utf-8 temp path")], None);
+    assert!(cdpf.contains("4 Pareto-optimal points"), "{cdpf}");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&single);
+}
+
 /// Example 6 of the paper: a front of size 2^|B| exists, so CDPF is
 /// necessarily exponential in the worst case (Theorem 5's lower bound).
 #[test]
