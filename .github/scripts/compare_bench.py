@@ -10,7 +10,10 @@ THRESHOLD x baseline (default 3.0 — generous, because the baseline was
 recorded on different hardware) emits a GitHub `::warning::` annotation.
 A scenario present in the baseline but missing from the current run also
 counts as a regression (a silently dropped scenario is worse than a slow
-one).
+one). Keys suffixed `_p50_us`/`_p99_us` are latency percentiles scraped
+from the server's own histograms, not wall-times: they are printed for
+the record but never compared against the threshold and never counted as
+regressions, present or absent.
 
 Two families of scenarios come in self-demonstrating pairs measured in
 the *same* run, so their intra-run ratio is hardware-independent:
@@ -41,6 +44,13 @@ def compare(current, baseline, threshold):
     regressions = 0
     for name in sorted(set(current) | set(baseline)):
         cur, base = current.get(name), baseline.get(name)
+        if name.endswith("_p50_us") or name.endswith("_p99_us"):
+            # Latency percentiles ride along informationally: they are
+            # histogram scrapes, not wall-times, so neither slowness nor
+            # absence is a regression.
+            if cur is not None:
+                print(f"{name:<{width}}  {'-':>10}  {cur:>10.6f}  (latency percentile, informational)")
+            continue
         if cur is None:
             regressions += 1
             print(f"::warning::perf-trajectory: scenario {name} disappeared")
@@ -147,6 +157,16 @@ def self_test():
     assert "stopped paying for itself" not in text, text
     _, text = run({"store_b_cold": 0.1, "store_b_warm_restart": 1.0}, {})
     assert "stopped paying for itself" in text, text
+
+    # Latency-percentile keys pass through informationally: never a
+    # regression, even when far over baseline or missing from the run.
+    regressions, text = run(
+        {"s_e2e_p99_us": 900.0, "a": 1.0},
+        {"s_e2e_p99_us": 1.0, "s_e2e_p50_us": 1.0, "a": 1.0},
+    )
+    assert regressions == 0, text
+    assert "(latency percentile, informational)" in text, text
+    assert "disappeared" not in text, text
 
     # Unpaired runs announce the missing pair families.
     _, text = run({"lonely": 1.0}, {})

@@ -14,18 +14,27 @@ DOC=${2:-docs/PROTOCOL.md}
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
-awk -v req="$workdir/requests.jsonl" -v resp="$workdir/expected.jsonl" '
-  /^```protocol-request$/  { mode = 1; next }
-  /^```protocol-response$/ { mode = 2; next }
-  /^```/                   { mode = 0; next }
+awk -v req="$workdir/requests.jsonl" -v resp="$workdir/expected.jsonl" \
+    -v creq="$workdir/control-requests.jsonl" -v cresp="$workdir/control-expected.jsonl" '
+  /^```protocol-request$/          { mode = 1; next }
+  /^```protocol-response$/         { mode = 2; next }
+  /^```protocol-control-request$/  { mode = 3; next }
+  /^```protocol-control-response$/ { mode = 4; next }
+  /^```/                           { mode = 0; next }
   mode == 1 { print > req }
   mode == 2 { print > resp }
+  mode == 3 { print > creq }
+  mode == 4 { print > cresp }
 ' "$DOC"
 
 [ -s "$workdir/requests.jsonl" ] \
   || { echo "docs-examples: no protocol-request blocks found in $DOC" >&2; exit 1; }
 [ -s "$workdir/expected.jsonl" ] \
   || { echo "docs-examples: no protocol-response blocks found in $DOC" >&2; exit 1; }
+[ -s "$workdir/control-requests.jsonl" ] \
+  || { echo "docs-examples: no protocol-control-request blocks found in $DOC" >&2; exit 1; }
+[ -s "$workdir/control-expected.jsonl" ] \
+  || { echo "docs-examples: no protocol-control-response blocks found in $DOC" >&2; exit 1; }
 
 requests=$(wc -l < "$workdir/requests.jsonl")
 expected=$(wc -l < "$workdir/expected.jsonl")
@@ -38,4 +47,18 @@ sort -o "$workdir/expected.jsonl" "$workdir/expected.jsonl"
 echo "--- $DOC: $requests example requests, $expected documented responses ---"
 diff -u "$workdir/expected.jsonl" "$workdir/actual.jsonl" \
   || { echo "docs-examples: $DOC has drifted from the server's actual bytes" >&2; exit 1; }
+
+# The control-op examples replay against a SECOND, fresh server: its
+# counters are all zero, which makes the stats/metrics bodies exactly
+# reproducible once the nondeterministic uptime is normalized.
+"$CDAT" serve --stdio --workers 2 --batch-window-us 500 \
+  < "$workdir/control-requests.jsonl" \
+  | sed -E 's/"uptime_us":[0-9]+/"uptime_us":0/' \
+  | sort > "$workdir/control-actual.jsonl"
+sort -o "$workdir/control-expected.jsonl" "$workdir/control-expected.jsonl"
+
+controls=$(wc -l < "$workdir/control-requests.jsonl")
+echo "--- $DOC: $controls control-op requests replayed on a fresh server ---"
+diff -u "$workdir/control-expected.jsonl" "$workdir/control-actual.jsonl" \
+  || { echo "docs-examples: $DOC control-op examples have drifted from the server's actual bytes" >&2; exit 1; }
 echo "docs-examples: every documented response line matches the server byte-for-byte"

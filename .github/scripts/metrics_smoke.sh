@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# metrics-smoke: prove the observability surfaces work end to end AND
+# stay out of band. One traced, store-backed serve session answers the
+# smoke suite and is scraped with the metrics op; the counters must be
+# internally consistent (hits + disk_hits + misses == requests), the
+# trace file must be non-empty valid JSONL covering the pipeline stages,
+# and the response bytes must still equal `cdat batch` on the same
+# documents — instrumentation must never change a response byte.
+#
+# Usage: metrics_smoke.sh [path/to/cdat]
+set -euo pipefail
+
+CDAT=${1:-target/release/cdat}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# The serve-smoke suite: factory plus two hand-rolled trees (one
+# DAG-like, so both solver backends get instrumented).
+doc0='or "production shutdown" damage=200\n  bas cyberattack cost=1 prob=0.2\n  and "destroy robot" damage=100\n    bas "place bomb" cost=3 prob=0.4\n    bas "force door" cost=2 damage=10 prob=0.9\n'
+doc1='or goal damage=10\n  bas pick-lock cost=5\n  bas smash-window cost=1 damage=2\n'
+doc2='or root damage=9\n  and g1\n    bas x cost=1\n    bas y cost=2\n  and g2\n    ref x\n    bas z cost=3 damage=4\n'
+
+{
+  printf -- '--- a\n'; printf -- "$doc0"
+  printf -- '--- b\n'; printf -- "$doc1"
+  printf -- '--- c\n'; printf -- "$doc2"
+} > "$workdir/suite.cdat"
+
+json0=${doc0//\"/\\\"}
+json1=${doc1//\"/\\\"}
+json2=${doc2//\"/\\\"}
+{
+  printf '{"id":0,"tree":"%s","query":"cdpf"}\n' "$json0"
+  printf '{"id":1,"tree":"%s","query":"cdpf"}\n' "$json1"
+  printf '{"id":2,"tree":"%s","query":"cdpf"}\n' "$json2"
+  printf '{"id":3,"tree":"%s","query":"dgc","arg":3}\n' "$json0"
+} > "$workdir/requests.jsonl"
+
+"$CDAT" batch "$workdir/suite.cdat" --cdpf 2>/dev/null \
+  | sed -E 's/"doc":[0-9]+,("name":"[^"]*",)?//; s/"cache":"(hit|miss)",//' \
+  > "$workdir/batch.out"
+"$CDAT" batch "$workdir/suite.cdat" --dgc 3 2>/dev/null \
+  | grep '"doc":0,' \
+  | sed -E 's/"doc":[0-9]+,("name":"[^"]*",)?//; s/"cache":"(hit|miss)",//' \
+  >> "$workdir/batch.out"
+sort -o "$workdir/batch.out" "$workdir/batch.out"
+
+# The instrumented session: store-backed, traced, scraped after a pause
+# (so the solves have been answered before the control ops run).
+store="$workdir/fronts.cdatstore"
+trace="$workdir/trace.jsonl"
+{ cat "$workdir/requests.jsonl"; sleep 2; \
+  printf '{"op":"stats","id":8}\n{"op":"metrics","id":9}\n'; } \
+  | "$CDAT" serve --stdio --workers 2 --batch-window-us 500 \
+      --store "$store" --trace "$trace" \
+  > "$workdir/serve-raw.out"
+
+# 1. Out of band: solve responses byte-identical to batch.
+grep -Ev '"(stats|metrics)":' "$workdir/serve-raw.out" \
+  | sed -E 's/"id":[0-9]+,//' \
+  | sort > "$workdir/serve.out"
+diff -u "$workdir/batch.out" "$workdir/serve.out" \
+  || { echo "metrics-smoke: instrumentation changed response bytes" >&2; exit 1; }
+echo "metrics-smoke: traced serve and batch agree byte-for-byte on 4 requests"
+
+# 2. Scrape consistency: requests == hits + disk_hits + misses, both in
+# the Prometheus exposition and the stats-op families.
+grep '"metrics":' "$workdir/serve-raw.out" \
+  | sed -e 's/.*"metrics":"//' -e 's/"}$//' -e 's/\\n/\n/g' -e 's/\\"/"/g' \
+  > "$workdir/scrape.txt"
+sum_metric() { # sum_metric <name-regex>
+  grep -E "^$1" "$workdir/scrape.txt" | awk '{ s += $NF } END { print s + 0 }'
+}
+requests=$(sum_metric 'cdat_requests_total\{')
+hits=$(sum_metric 'cdat_cache_hits_total\{')
+misses=$(sum_metric 'cdat_cache_misses_total\{')
+echo "metrics-smoke: scrape says requests=$requests hits(all tiers)=$hits misses=$misses"
+[ "$requests" -eq 4 ] \
+  || { echo "metrics-smoke: expected 4 requests in the scrape" >&2; exit 1; }
+[ "$((hits + misses))" -eq "$requests" ] \
+  || { echo "metrics-smoke: hits + misses != requests" >&2; exit 1; }
+grep -q 'cdat_shard_e2e_us_count' "$workdir/scrape.txt" \
+  || { echo "metrics-smoke: scrape is missing the per-shard e2e histogram" >&2; exit 1; }
+grep -q 'cdat_store_append_us_count' "$workdir/scrape.txt" \
+  || { echo "metrics-smoke: scrape is missing the store-tier histograms" >&2; exit 1; }
+grep '"stats":' "$workdir/serve-raw.out" \
+  | grep -Eq '"histograms":\{"queue_wait_us":\{"count":4,' \
+  || { echo "metrics-smoke: stats op must report 4 queue-wait observations" >&2; exit 1; }
+echo "metrics-smoke: counter partition and histogram presence hold"
+
+# 3. The trace is non-empty, strict JSONL, and covers the stages.
+[ -s "$trace" ] || { echo "metrics-smoke: trace file is empty" >&2; exit 1; }
+while IFS= read -r line; do
+  case $line in
+    '{"ts_us":'*'"stage":'*'"dur_us":'*'}') ;;
+    *) echo "metrics-smoke: malformed trace line: $line" >&2; exit 1 ;;
+  esac
+done < "$trace"
+for stage in parse canonicalize cache_lookup solve store_append; do
+  grep -q "\"stage\":\"$stage\"" "$trace" \
+    || { echo "metrics-smoke: trace has no $stage span" >&2; cat "$trace"; exit 1; }
+done
+echo "metrics-smoke: trace is valid JSONL covering parse/canonicalize/cache_lookup/solve/store_append"

@@ -21,7 +21,7 @@ fn router_throughput(c: &mut Criterion) {
     for shards in [1usize, 2, 8] {
         group.bench_with_input(BenchmarkId::new("cdpf_cold", shards), &requests, |b, requests| {
             b.iter(|| {
-                let router = Router::new(RouterConfig { shards, cache_budget: None, store: None })
+                let router = Router::new(RouterConfig { shards, ..RouterConfig::default() })
                     .expect("memory-only router");
                 black_box(router.solve(black_box(requests.clone())))
             })
@@ -29,7 +29,7 @@ fn router_throughput(c: &mut Criterion) {
     }
     // Warm steady state: a persistent router answering entirely from its
     // shard caches.
-    let router = Router::new(RouterConfig { shards: 8, cache_budget: None, store: None })
+    let router = Router::new(RouterConfig { shards: 8, ..RouterConfig::default() })
         .expect("memory-only router");
     router.solve(requests.clone());
     group.bench_with_input(BenchmarkId::new("cdpf_warm", 8), &requests, |b, requests| {
@@ -44,7 +44,7 @@ fn budgeted_router(c: &mut Criterion) {
     let requests = server_route_requests();
     let mut group = c.benchmark_group("server_budgeted");
     group.sample_size(10).measurement_time(Duration::from_secs(2));
-    let router = Router::new(RouterConfig { shards: 4, cache_budget: Some(64), store: None })
+    let router = Router::new(RouterConfig { shards: 4, cache_budget: Some(64), ..RouterConfig::default() })
         .expect("memory-only router");
     router.solve(requests.clone());
     group.bench_with_input(BenchmarkId::new("cdpf_evicting", 4), &requests, |b, requests| {

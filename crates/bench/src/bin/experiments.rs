@@ -434,29 +434,43 @@ fn serve_sweep() {
     header("Serving router — shard sweep over the reference workload (120 CDPF requests)");
     let requests = cdat_bench::server_route_requests();
     for shards in [1usize, 2, 4, 8] {
-        let router = Router::new(RouterConfig { shards, cache_budget: None, store: None })
+        let router = Router::new(RouterConfig { shards, ..RouterConfig::default() })
             .expect("memory-only router");
         let (cold_lines, cold) = timed(|| router.solve(requests.clone()));
         let (_, warm) = timed(|| router.solve(requests.clone()));
         let entries: usize = router.stats().iter().map(|s| s.entries).sum();
+        let snap = router.snapshot();
         println!(
-            "  {shards} shard(s): cold {} | warm {} | {} responses, {entries} cached fronts",
+            "  {shards} shard(s): cold {} | warm {} | {} responses, {entries} cached fronts | \
+e2e p50/p99 {}/{}us | queue-wait p50/p99 {}/{}us",
             fmt_duration(cold),
             fmt_duration(warm),
             cold_lines.len(),
+            snap.e2e.p50(),
+            snap.e2e.p99(),
+            snap.engine.queue_wait.p50(),
+            snap.engine.queue_wait.p99(),
         );
     }
     let budget = 64;
-    let router = Router::new(RouterConfig { shards: 4, cache_budget: Some(budget), store: None })
-        .expect("memory-only router");
+    let router = Router::new(RouterConfig {
+        shards: 4,
+        cache_budget: Some(budget),
+        ..RouterConfig::default()
+    })
+    .expect("memory-only router");
     router.solve(requests.clone());
     let (_, evicting) = timed(|| router.solve(requests.clone()));
     let stats = router.stats();
     let points: usize = stats.iter().map(|s| s.points).sum();
     let evictions: u64 = stats.iter().map(|s| s.evictions).sum();
+    let snap = router.snapshot();
     println!(
-        "  4 shards, {budget}-point budget: replay {} | {points} points held, {evictions} evictions",
-        fmt_duration(evicting)
+        "  4 shards, {budget}-point budget: replay {} | {points} points held, {evictions} evictions \
+| e2e p50/p99 {}/{}us",
+        fmt_duration(evicting),
+        snap.e2e.p50(),
+        snap.e2e.p99(),
     );
 }
 
@@ -583,17 +597,38 @@ fn bench_json(out: Option<String>) {
     {
         use cdat_server::{Router, RouterConfig};
         let route = cdat_bench::server_route_requests();
-        let router = Router::new(RouterConfig { shards: 4, cache_budget: None, store: None })
+        let router = Router::new(RouterConfig { shards: 4, ..RouterConfig::default() })
             .expect("memory-only router");
         let (_, t) = timed(|| black_box(router.solve(black_box(route.clone()))));
         scenarios.push(("serve_router_cdpf_120_4s_cold", t.as_secs_f64()));
         let (_, t) = timed(|| black_box(router.solve(black_box(route.clone()))));
         scenarios.push(("serve_router_cdpf_120_4s_warm", t.as_secs_f64()));
-        let budgeted = Router::new(RouterConfig { shards: 4, cache_budget: Some(64), store: None })
-            .expect("memory-only router");
+        let budgeted = Router::new(RouterConfig {
+            shards: 4,
+            cache_budget: Some(64),
+            ..RouterConfig::default()
+        })
+        .expect("memory-only router");
         budgeted.solve(route.clone());
         let (_, t) = timed(|| black_box(budgeted.solve(black_box(route))));
         scenarios.push(("serve_router_cdpf_120_4s_evicting", t.as_secs_f64()));
+
+        // Latency percentiles from the router's own histograms (the warm
+        // 4-shard router, cold + warm passes both observed). The `_p50_us`/
+        // `_p99_us` suffix is a reporting convention compare_bench.py
+        // passes through without regression comparison — percentiles are
+        // informational, not wall-times.
+        let snap = router.snapshot();
+        scenarios.push(("serve_router_cdpf_120_4s_e2e_p50_us", snap.e2e.p50() as f64));
+        scenarios.push(("serve_router_cdpf_120_4s_e2e_p99_us", snap.e2e.p99() as f64));
+        scenarios.push((
+            "serve_router_cdpf_120_4s_queue_wait_p50_us",
+            snap.engine.queue_wait.p50() as f64,
+        ));
+        scenarios.push((
+            "serve_router_cdpf_120_4s_queue_wait_p99_us",
+            snap.engine.queue_wait.p99() as f64,
+        ));
     }
 
     // Persistent-store scenarios: cold solves every front into a fresh

@@ -91,6 +91,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod metrics;
 mod persist;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -99,9 +100,12 @@ use std::time::{Duration, Instant};
 
 use cdat_core::canonical::{canonicalize_cd, canonicalize_cdp, hash_cd, hash_cdp};
 use cdat_core::{BasId, CdAttackTree, CdpAttackTree, StructuralHash};
+use cdat_obs::{TraceField, TraceWriter};
 use cdat_pareto::{FrontEntry, ParetoFront};
 
 pub use cache::{CacheKey, CacheStats, CachedFront, FrontCache};
+pub use cdat_store::StoreMetrics;
+pub use metrics::{EngineMetrics, EngineSnapshot, FamilyCounters, FamilySnapshot, StoreSnapshot};
 pub use persist::PersistentFrontCache;
 
 /// The stable error message cached for probabilistic queries on DAG-like
@@ -127,6 +131,36 @@ pub enum FrontKind {
     MinTime,
     /// Max-probability scalar optimum (the likeliest single attack).
     MaxProb,
+}
+
+impl FrontKind {
+    /// Every front family, in [`FrontKind::index`] order.
+    pub const ALL: [FrontKind; 4] = [
+        FrontKind::Deterministic,
+        FrontKind::Probabilistic,
+        FrontKind::MinTime,
+        FrontKind::MaxProb,
+    ];
+
+    /// A stable dense index (0..4), used to key per-family metrics.
+    pub fn index(self) -> usize {
+        match self {
+            FrontKind::Deterministic => 0,
+            FrontKind::Probabilistic => 1,
+            FrontKind::MinTime => 2,
+            FrontKind::MaxProb => 3,
+        }
+    }
+
+    /// The stable snake_case label used in metric names and trace spans.
+    pub fn label(self) -> &'static str {
+        match self {
+            FrontKind::Deterministic => "deterministic",
+            FrontKind::Probabilistic => "probabilistic",
+            FrontKind::MinTime => "min_time",
+            FrontKind::MaxProb => "max_prob",
+        }
+    }
 }
 
 /// One of the paper's six queries, or a scalar attribute-domain query,
@@ -324,6 +358,12 @@ pub struct BatchResult {
     /// Solver wall time attributed to this request: the front computation
     /// time for the designated miss, [`Duration::ZERO`] for cache hits.
     pub compute: Duration,
+    /// The *original* solve cost of the answering front, whenever it was
+    /// computed: equals `compute` on the designated miss, and on cache
+    /// hits and disk answers reports the recorded compute time of the
+    /// cached front instead of dropping it ([`Duration::ZERO`] only for
+    /// hint errors). Surfaced as `compute_us` by `--timings`.
+    pub solve_cost: Duration,
 }
 
 /// The engine's cache stack: memory-only, or memory over a disk store.
@@ -373,19 +413,21 @@ impl Tier {
 pub struct Engine {
     workers: usize,
     tier: Tier,
+    metrics: Option<Arc<EngineMetrics>>,
+    trace: Option<TraceWriter>,
 }
 
 impl Engine {
     /// Creates an engine with `workers` solver threads (clamped to ≥ 1) and
     /// a default-sharded cache.
     pub fn new(workers: usize) -> Self {
-        Engine { workers: workers.max(1), tier: Tier::Memory(FrontCache::default()) }
+        Engine::with_cache(workers, FrontCache::default())
     }
 
     /// Creates an engine around an existing cache (e.g. to share one cache
     /// between engines of different widths).
     pub fn with_cache(workers: usize, cache: FrontCache) -> Self {
-        Engine { workers: workers.max(1), tier: Tier::Memory(cache) }
+        Engine { workers: workers.max(1), tier: Tier::Memory(cache), metrics: None, trace: None }
     }
 
     /// Creates an engine whose cache reads through to — and persists newly
@@ -397,7 +439,43 @@ impl Engine {
     /// tier's work is reported via [`CacheStats::disk_hits`] in
     /// [`Engine::stats`].
     pub fn with_persistent(workers: usize, cache: PersistentFrontCache) -> Self {
-        Engine { workers: workers.max(1), tier: Tier::Persistent(cache) }
+        Engine {
+            workers: workers.max(1),
+            tier: Tier::Persistent(cache),
+            metrics: None,
+            trace: None,
+        }
+    }
+
+    /// Attaches shared telemetry ([`EngineMetrics`]): subsequent
+    /// [`Engine::run`] calls record queue-wait/solve-time histograms and
+    /// per-family cache-tier counters into it. Strictly out of band —
+    /// responses and hit flags are byte-identical with or without it.
+    pub fn with_metrics(mut self, metrics: Arc<EngineMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attaches a JSONL flight recorder: subsequent [`Engine::run`] calls
+    /// emit one span event per request stage (`canonicalize`,
+    /// `cache_lookup`, `solve`, `store_append`). Out of band like
+    /// [`Engine::with_metrics`].
+    pub fn with_trace(mut self, trace: TraceWriter) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The attached telemetry, if any.
+    pub fn metrics(&self) -> Option<&Arc<EngineMetrics>> {
+        self.metrics.as_ref()
+    }
+
+    /// The persistent tier's store I/O telemetry, if a store is attached.
+    pub fn store_metrics(&self) -> Option<Arc<cdat_store::StoreMetrics>> {
+        match &self.tier {
+            Tier::Memory(_) => None,
+            Tier::Persistent(persistent) => Some(persistent.store_metrics()),
+        }
     }
 
     /// The configured worker count.
@@ -425,6 +503,7 @@ impl Engine {
     /// budgeted cache the *responses* stay deterministic, but hit flags of
     /// later batches may vary with eviction order.
     pub fn run(&self, requests: &[BatchRequest]) -> Vec<BatchResult> {
+        let run_started = Instant::now();
         /// Where a request's front comes from.
         enum Source {
             /// The hint is incompatible with the tree or query.
@@ -472,6 +551,9 @@ impl Engine {
         let (mut hits, mut misses) = (0u64, 0u64);
         for (i, request) in requests.iter().enumerate() {
             if let Some(message) = hint_error(request) {
+                if let Some(metrics) = &self.metrics {
+                    metrics.invalid_hints.inc();
+                }
                 sources.push(Source::Invalid(message));
                 translations.push(None);
                 continue;
@@ -481,6 +563,7 @@ impl Engine {
                 canon_of_tree
                     .entry((Arc::as_ptr(&request.tree), kind))
                     .or_insert_with(|| {
+                        let started = Instant::now();
                         let canonical = match kind {
                             FrontKind::Deterministic | FrontKind::MinTime => {
                                 canonicalize_cd(request.tree.cd())
@@ -489,27 +572,50 @@ impl Engine {
                                 canonicalize_cdp(&request.tree)
                             }
                         };
+                        if let Some(trace) = &self.trace {
+                            trace.emit(
+                                "canonicalize",
+                                started.elapsed(),
+                                &[("kind", TraceField::Str(kind.label()))],
+                            );
+                        }
                         (canonical.hash, Arc::new(canonical.bas_order))
                     })
                     .clone()
             });
             let hash = request.hash.unwrap_or_else(|| match &canonical {
                 Some((hash, _)) => *hash,
-                None => match kind {
-                    FrontKind::Deterministic | FrontKind::MinTime => hash_cd(request.tree.cd()),
-                    FrontKind::Probabilistic | FrontKind::MaxProb => hash_cdp(&request.tree),
-                },
+                None => {
+                    let started = Instant::now();
+                    let hash = match kind {
+                        FrontKind::Deterministic | FrontKind::MinTime => hash_cd(request.tree.cd()),
+                        FrontKind::Probabilistic | FrontKind::MaxProb => hash_cdp(&request.tree),
+                    };
+                    if let Some(trace) = &self.trace {
+                        trace.emit(
+                            "canonicalize",
+                            started.elapsed(),
+                            &[("kind", TraceField::Str(kind.label()))],
+                        );
+                    }
+                    hash
+                }
             });
             translations.push(canonical.map(|(_, order)| order));
             let key = CacheKey { hash, kind };
+            let lookup_started = Instant::now();
+            let tier_label;
             if let Some(entry) = self.tier.memory().touch(&key) {
                 hits += 1;
+                tier_label = "memory";
                 sources.push(Source::Cached(entry));
             } else if let Some(&job) = job_of_key.get(&key) {
                 hits += 1;
+                tier_label = "batch";
                 sources.push(Source::Job(job));
             } else if let Some(entry) = disk_of_key.get(&key) {
                 hits += 1;
+                tier_label = "batch";
                 sources.push(Source::Cached(entry.clone()));
             } else if let Some(entry) = self.tier.fetch_disk(&key) {
                 // A disk answer takes the slot the designated miss would
@@ -520,14 +626,35 @@ impl Engine {
                 // in-batch follower.
                 misses += 1;
                 designated[i] = true;
+                tier_label = "disk";
                 disk_of_key.insert(key, entry.clone());
                 sources.push(Source::Disk(entry));
             } else {
                 misses += 1;
                 designated[i] = true;
+                tier_label = "miss";
                 job_of_key.insert(key, jobs.len());
                 sources.push(Source::Job(jobs.len()));
                 jobs.push((key, &request.tree, request.hint));
+            }
+            if let Some(metrics) = &self.metrics {
+                let family = metrics.family(kind);
+                family.requests.inc();
+                match tier_label {
+                    "memory" | "batch" => family.hits.inc(),
+                    "disk" => family.disk_hits.inc(),
+                    _ => family.misses.inc(),
+                }
+            }
+            if let Some(trace) = &self.trace {
+                trace.emit(
+                    "cache_lookup",
+                    lookup_started.elapsed(),
+                    &[
+                        ("kind", TraceField::Str(kind.label())),
+                        ("tier", TraceField::Str(tier_label)),
+                    ],
+                );
             }
         }
         self.tier.memory().record(hits, misses);
@@ -540,17 +667,38 @@ impl Engine {
         let computed: Vec<OnceLock<Arc<CachedFront>>> =
             jobs.iter().map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
+        let persistent = matches!(self.tier, Tier::Persistent(_));
         let worker = || loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
             let Some((key, tree, hint)) = jobs.get(i) else { break };
+            if let Some(metrics) = &self.metrics {
+                metrics.queue_wait_us.observe_since(run_started);
+            }
             let start = Instant::now();
             let result = compute_front(key.kind, tree, *hint);
-            let entry = CachedFront { result, compute: start.elapsed() };
+            let compute = start.elapsed();
+            if let Some(metrics) = &self.metrics {
+                metrics.solve_us.observe_duration(compute);
+            }
+            if let Some(trace) = &self.trace {
+                trace.emit("solve", compute, &[("kind", TraceField::Str(key.kind.label()))]);
+            }
+            let entry = CachedFront { result, compute };
             let entry = self.tier.memory().insert(*key, entry);
             // Jobs are deduplicated per key, so exactly one worker appends
             // each new front to the disk tier (which is itself
             // first-writer-wins against other processes).
+            let persist_started = Instant::now();
             self.tier.persist(key, &entry);
+            if persistent {
+                if let Some(trace) = &self.trace {
+                    trace.emit(
+                        "store_append",
+                        persist_started.elapsed(),
+                        &[("kind", TraceField::Str(key.kind.label()))],
+                    );
+                }
+            }
             let _ = computed[i].set(entry);
         };
         let pool = self.workers.min(jobs.len());
@@ -571,43 +719,71 @@ impl Engine {
             .iter()
             .zip(sources)
             .enumerate()
-            .map(|(i, (request, source))| match source {
-                Source::Invalid(message) => BatchResult {
-                    response: Response::Error(message),
-                    cache_hit: false,
-                    compute: Duration::ZERO,
-                },
-                Source::Cached(entry) => BatchResult {
-                    response: answer(
-                        request.query,
-                        &entry,
-                        translations[i].as_ref().map(|order| order.as_slice()),
-                    ),
-                    cache_hit: true,
-                    compute: Duration::ZERO,
-                },
-                Source::Disk(entry) => BatchResult {
-                    response: answer(
-                        request.query,
-                        &entry,
-                        translations[i].as_ref().map(|order| order.as_slice()),
-                    ),
-                    // A restart answering from disk mirrors the cold run
-                    // that wrote the record: same flag, no solver time.
-                    cache_hit: false,
-                    compute: Duration::ZERO,
-                },
-                Source::Job(job) => {
-                    let entry = computed[job].get().expect("phase 2 computed every job");
-                    let compute = if designated[i] { entry.compute } else { Duration::ZERO };
-                    BatchResult {
-                        response: answer(
-                            request.query,
-                            entry,
-                            translations[i].as_ref().map(|order| order.as_slice()),
-                        ),
-                        cache_hit: !designated[i],
-                        compute,
+            .map(|(i, (request, source))| {
+                // One queue-wait observation per counted request: jobs'
+                // designated misses were observed at claim time in phase
+                // 2, everything else (hits, disk answers) here.
+                let is_disk = matches!(source, Source::Disk(_));
+                let observe_wait = |served: Duration| {
+                    if let Some(metrics) = &self.metrics {
+                        if !designated[i] || is_disk {
+                            metrics.queue_wait_us.observe_since(run_started);
+                        }
+                        metrics
+                            .served_compute_us
+                            .add(served.as_micros().min(u64::MAX as u128) as u64);
+                    }
+                };
+                match source {
+                    Source::Invalid(message) => BatchResult {
+                        response: Response::Error(message),
+                        cache_hit: false,
+                        compute: Duration::ZERO,
+                        solve_cost: Duration::ZERO,
+                    },
+                    Source::Cached(entry) => {
+                        observe_wait(entry.compute);
+                        BatchResult {
+                            response: answer(
+                                request.query,
+                                &entry,
+                                translations[i].as_ref().map(|order| order.as_slice()),
+                            ),
+                            cache_hit: true,
+                            compute: Duration::ZERO,
+                            solve_cost: entry.compute,
+                        }
+                    }
+                    Source::Disk(entry) => {
+                        observe_wait(entry.compute);
+                        BatchResult {
+                            response: answer(
+                                request.query,
+                                &entry,
+                                translations[i].as_ref().map(|order| order.as_slice()),
+                            ),
+                            // A restart answering from disk mirrors the
+                            // cold run that wrote the record: same flag,
+                            // no solver time.
+                            cache_hit: false,
+                            compute: Duration::ZERO,
+                            solve_cost: entry.compute,
+                        }
+                    }
+                    Source::Job(job) => {
+                        let entry = computed[job].get().expect("phase 2 computed every job");
+                        observe_wait(entry.compute);
+                        let compute = if designated[i] { entry.compute } else { Duration::ZERO };
+                        BatchResult {
+                            response: answer(
+                                request.query,
+                                entry,
+                                translations[i].as_ref().map(|order| order.as_slice()),
+                            ),
+                            cache_hit: !designated[i],
+                            compute,
+                            solve_cost: entry.compute,
+                        }
                     }
                 }
             })
@@ -1332,5 +1508,127 @@ mod tests {
         assert_eq!(stats.disk_entries, 4, "one record per family");
         assert_eq!(stats.disk_hits, 4, "every family answers from its own disk record");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn metrics_counters_are_consistent_and_out_of_band() {
+        let tree = factory();
+        let requests: Vec<BatchRequest> = (0..6)
+            .map(|b| BatchRequest::new(tree.clone(), Query::Dgc(b as f64)))
+            .chain([
+                BatchRequest::new(tree.clone(), Query::Cedpf),
+                BatchRequest::new(tree.clone(), Query::MinTime),
+                // An invalid hint: counted separately, outside `requests`.
+                BatchRequest::new(tree.clone(), Query::Cedpf).with_hint(SolverHint::Bilp),
+            ])
+            .collect();
+
+        let metrics = Arc::new(EngineMetrics::new());
+        let observed = Engine::new(3).with_metrics(metrics.clone());
+        let results = observed.run(&requests);
+        let plain = Engine::new(3).run(&requests);
+        for (a, b) in results.iter().zip(&plain) {
+            assert_eq!(a.response, b.response, "metrics must not change responses");
+            assert_eq!(a.cache_hit, b.cache_hit, "metrics must not change hit flags");
+        }
+
+        // Per-family and total consistency: hits + disk_hits + misses ==
+        // requests (memory-only here, so disk_hits is 0 and the satellite
+        // invariant hits + misses == requests holds literally).
+        let mut requests_total = 0;
+        for kind in FrontKind::ALL {
+            let f = metrics.family(kind);
+            assert_eq!(
+                f.hits.get() + f.disk_hits.get() + f.misses.get(),
+                f.requests.get(),
+                "family {} counters disagree",
+                kind.label()
+            );
+            assert_eq!(f.disk_hits.get(), 0);
+            assert_eq!(f.hits.get() + f.misses.get(), f.requests.get());
+            requests_total += f.requests.get();
+        }
+        assert_eq!(requests_total, 8, "8 valid requests");
+        assert_eq!(metrics.invalid_hints.get(), 1);
+        assert_eq!(metrics.family(FrontKind::Deterministic).requests.get(), 6);
+        assert_eq!(metrics.family(FrontKind::Deterministic).misses.get(), 1);
+        assert_eq!(metrics.family(FrontKind::Deterministic).hits.get(), 5);
+
+        // Histograms tie to the counters: one queue-wait observation per
+        // counted request, one solve observation per counted miss, and
+        // bucket counts sum to the observation count.
+        let wait = metrics.queue_wait_us.snapshot();
+        let solve = metrics.solve_us.snapshot();
+        assert_eq!(wait.count, requests_total);
+        assert_eq!(solve.count, 3, "three families solved once each");
+        assert_eq!(wait.buckets.iter().sum::<u64>(), wait.count);
+        assert_eq!(solve.buckets.iter().sum::<u64>(), solve.count);
+
+        // The served compute total counts the original solve cost for
+        // hits too, so it is at least the solver wall time itself.
+        assert!(metrics.served_compute_us.get() >= solve.sum);
+
+        // A second, all-hit batch: requests grow, misses do not, and every
+        // answer still contributes its original solve cost.
+        let before = metrics.served_compute_us.get();
+        let rerun = observed.run(&requests[..6]);
+        assert!(rerun.iter().all(|r| r.cache_hit));
+        assert_eq!(metrics.family(FrontKind::Deterministic).requests.get(), 12);
+        assert_eq!(metrics.family(FrontKind::Deterministic).misses.get(), 1);
+        assert_eq!(metrics.solve_us.snapshot().count, 3);
+        let solved = metrics.family(FrontKind::Deterministic);
+        assert_eq!(solved.hits.get(), 11);
+        if results[0].compute.as_micros() > 0 {
+            assert!(metrics.served_compute_us.get() > before, "hits report original cost");
+        }
+        // Cache hits surface the original solve cost out of band.
+        for r in &rerun {
+            assert_eq!(r.compute, Duration::ZERO);
+            assert_eq!(r.solve_cost, results[0].solve_cost);
+        }
+    }
+
+    #[test]
+    fn trace_spans_cover_every_stage_and_parse_line_by_line() {
+        let path =
+            std::env::temp_dir().join(format!("cdat-engine-trace-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let store = std::env::temp_dir()
+            .join(format!("cdat-engine-trace-{}.cdatstore", std::process::id()));
+        let _ = std::fs::remove_file(&store);
+
+        let trace = cdat_obs::TraceWriter::open(&path).expect("trace file opens");
+        let cache = PersistentFrontCache::open(&store, FrontCache::new(4)).expect("store opens");
+        let engine = Engine::with_persistent(4, cache).with_trace(trace.clone());
+        let tree = factory();
+        let requests: Vec<BatchRequest> = (0..4)
+            .map(|b| BatchRequest::new(tree.clone(), Query::Dgc(b as f64)).with_witnesses(true))
+            .collect();
+        let traced = engine.run(&requests);
+        let plain = Engine::new(4).run(&requests);
+        for (a, b) in traced.iter().zip(&plain) {
+            assert_eq!(a.response, b.response, "tracing must not change responses");
+        }
+        trace.flush();
+
+        let text = std::fs::read_to_string(&path).expect("trace readable");
+        let mut stages: std::collections::HashMap<String, usize> = Default::default();
+        for line in text.lines() {
+            // Whole JSON object per line, with the mandatory span fields.
+            assert!(line.starts_with('{') && line.ends_with('}'), "torn line: {line}");
+            let stage = line
+                .split("\"stage\":\"")
+                .nth(1)
+                .and_then(|rest| rest.split('"').next())
+                .unwrap_or_else(|| panic!("span without stage: {line}"));
+            assert!(line.contains("\"ts_us\":") && line.contains("\"dur_us\":"), "{line}");
+            *stages.entry(stage.to_owned()).or_default() += 1;
+        }
+        assert_eq!(stages.get("canonicalize"), Some(&1), "one memoized canonical traversal");
+        assert_eq!(stages.get("cache_lookup"), Some(&4), "one lookup span per request");
+        assert_eq!(stages.get("solve"), Some(&1), "one solve span for the deduped front");
+        assert_eq!(stages.get("store_append"), Some(&1), "one append span for the new record");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&store);
     }
 }

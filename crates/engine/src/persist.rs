@@ -115,6 +115,12 @@ impl PersistentFrontCache {
         );
     }
 
+    /// The underlying store handle's I/O telemetry (`cdat_store`'s
+    /// open/scan/read/append latencies and byte counters).
+    pub fn store_metrics(&self) -> Arc<cdat_store::StoreMetrics> {
+        self.store.lock().expect("store lock poisoned").metrics().clone()
+    }
+
     /// Memory misses answered from disk since this handle opened.
     pub fn disk_hits(&self) -> u64 {
         self.disk_hits.load(Ordering::Relaxed)

@@ -1,0 +1,557 @@
+//! # cdat-obs — observability primitives
+//!
+//! Zero-dependency (std-only) metrics for the serving stack: atomic
+//! [`Counter`]s, fixed log2-bucket latency [`Histogram`]s with exact
+//! worst-case-bounded quantile readout, Prometheus-style text exposition
+//! helpers, and a JSONL flight-recorder [`TraceWriter`].
+//!
+//! Everything here is strictly *out of band*: recording is an atomic add
+//! on the hot path (the trace writer takes a short mutex around a single
+//! `write_all`), and nothing recorded ever feeds back into response
+//! bytes — the engine and server stay byte-identical with and without
+//! instrumentation attached.
+//!
+//! ## Histogram layout
+//!
+//! A histogram has [`BUCKETS`] = 65 fixed buckets: bucket 0 holds the
+//! value `0`, bucket *i* (1 ≤ *i* ≤ 64) holds values in
+//! `[2^(i-1), 2^i - 1]` (bucket 64 is capped at `u64::MAX`). Values are
+//! microseconds for latency histograms and plain counts for size
+//! histograms. [`HistogramSnapshot::quantile`] returns the *inclusive
+//! upper bound* of the bucket containing the rank-⌈q·count⌉ observation,
+//! so a reported p99 is an exact upper bound on the true p99 within one
+//! power of two. Snapshots [`merge`](HistogramSnapshot::merge)
+//! associatively and commutatively, which is what lets per-shard
+//! histograms be aggregated in any order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two.
+pub const BUCKETS: usize = 65;
+
+/// Inclusive upper bound of bucket `i` (see the crate docs for the layout).
+pub fn bucket_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// A fixed-size log2-bucket histogram, safe to share across threads.
+///
+/// `observe` is three relaxed atomic adds; there is no lock and no
+/// allocation. Read it out with [`Histogram::snapshot`].
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one observation of `v`.
+    pub fn observe(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration in microseconds (saturating at `u64::MAX`).
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record the time elapsed since `start`, in microseconds.
+    pub fn observe_since(&self, start: Instant) {
+        self.observe_duration(start.elapsed());
+    }
+
+    /// A point-in-time copy of the histogram state.
+    ///
+    /// Buckets, count and sum are read with relaxed loads, so a snapshot
+    /// taken concurrently with writers can be mid-observation (count one
+    /// ahead of the bucket sums or vice versa); once writers quiesce the
+    /// invariant `count == Σ buckets` holds exactly.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`], mergeable and queryable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Per-bucket observation counts (layout in the crate docs).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { count: 0, sum: 0, buckets: [0; BUCKETS] }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Fold another snapshot into this one. Merging is associative and
+    /// commutative, so per-shard snapshots aggregate in any order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// The inclusive upper bound of the bucket holding the rank-⌈q·count⌉
+    /// observation (0 for an empty histogram). `q` is clamped to (0, 1].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(BUCKETS - 1)
+    }
+
+    /// Median upper bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile upper bound.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean observed value (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus-style text exposition
+// ---------------------------------------------------------------------------
+
+/// Append a `# TYPE name kind` header line.
+pub fn type_line(out: &mut String, name: &str, kind: &str) {
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+fn label_block(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_into(out, v);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn label_block_with(out: &mut String, labels: &[(&str, &str)], extra: (&str, &str)) {
+    out.push('{');
+    for (k, v) in labels {
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_into(out, v);
+        out.push_str("\",");
+    }
+    out.push_str(extra.0);
+    out.push_str("=\"");
+    escape_into(out, extra.1);
+    out.push_str("\"}");
+}
+
+/// Append one `name{labels} value` sample line.
+pub fn sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: u64) {
+    out.push_str(name);
+    label_block(out, labels);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// Append the Prometheus rendering of a histogram snapshot: cumulative
+/// `_bucket{le="…"}` lines for every non-empty bucket plus `le="+Inf"`,
+/// then `_sum` and `_count`.
+pub fn histogram_samples(
+    out: &mut String,
+    name: &str,
+    labels: &[(&str, &str)],
+    snap: &HistogramSnapshot,
+) {
+    let mut cumulative = 0u64;
+    for (i, &c) in snap.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cumulative += c;
+        out.push_str(name);
+        out.push_str("_bucket");
+        label_block_with(out, labels, ("le", &bucket_bound(i).to_string()));
+        out.push(' ');
+        out.push_str(&cumulative.to_string());
+        out.push('\n');
+    }
+    out.push_str(name);
+    out.push_str("_bucket");
+    label_block_with(out, labels, ("le", "+Inf"));
+    out.push(' ');
+    out.push_str(&snap.count.to_string());
+    out.push('\n');
+    sample(out, &format!("{name}_sum"), labels, snap.sum);
+    sample(out, &format!("{name}_count"), labels, snap.count);
+}
+
+// ---------------------------------------------------------------------------
+// JSONL trace recorder
+// ---------------------------------------------------------------------------
+
+/// A typed value for a [`TraceWriter`] span field.
+#[derive(Debug, Clone, Copy)]
+pub enum TraceField<'a> {
+    /// An unsigned integer field.
+    U64(u64),
+    /// A floating-point field.
+    F64(f64),
+    /// A string field (JSON-escaped on write).
+    Str(&'a str),
+    /// A boolean field.
+    Bool(bool),
+}
+
+struct TraceInner {
+    file: Mutex<File>,
+    start: Instant,
+}
+
+/// A cloneable JSONL flight recorder: every [`emit`](TraceWriter::emit)
+/// appends exactly one JSON object line with a single `write_all` to a
+/// file opened in append mode, so concurrent writers (shard threads,
+/// engine workers) interleave whole lines and the stream stays strict
+/// JSONL.
+#[derive(Clone)]
+pub struct TraceWriter {
+    inner: Arc<TraceInner>,
+}
+
+impl std::fmt::Debug for TraceWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceWriter").finish_non_exhaustive()
+    }
+}
+
+impl TraceWriter {
+    /// Open (creating if absent) `path` for appending span events.
+    pub fn open(path: &Path) -> io::Result<TraceWriter> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(TraceWriter {
+            inner: Arc::new(TraceInner { file: Mutex::new(file), start: Instant::now() }),
+        })
+    }
+
+    /// Append one span event: `{"ts_us":…,"stage":…,"dur_us":…,…fields}`.
+    ///
+    /// `ts_us` is microseconds since the writer was opened. Write errors
+    /// are swallowed — tracing must never take down the serving path.
+    pub fn emit(&self, stage: &str, dur: Duration, fields: &[(&str, TraceField<'_>)]) {
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"ts_us\":");
+        line.push_str(
+            &(self.inner.start.elapsed().as_micros().min(u64::MAX as u128) as u64).to_string(),
+        );
+        line.push_str(",\"stage\":\"");
+        escape_into(&mut line, stage);
+        line.push_str("\",\"dur_us\":");
+        line.push_str(&(dur.as_micros().min(u64::MAX as u128) as u64).to_string());
+        for (key, value) in fields {
+            line.push_str(",\"");
+            escape_into(&mut line, key);
+            line.push_str("\":");
+            match value {
+                TraceField::U64(v) => line.push_str(&v.to_string()),
+                TraceField::F64(v) => line.push_str(&format!("{v}")),
+                TraceField::Str(v) => {
+                    line.push('"');
+                    escape_into(&mut line, v);
+                    line.push('"');
+                }
+                TraceField::Bool(v) => line.push_str(if *v { "true" } else { "false" }),
+            }
+        }
+        line.push_str("}\n");
+        if let Ok(mut file) = self.inner.file.lock() {
+            let _ = file.write_all(line.as_bytes());
+        }
+    }
+
+    /// Flush buffered OS state (the writer itself is unbuffered).
+    pub fn flush(&self) {
+        if let Ok(mut file) = self.inner.file.lock() {
+            let _ = file.flush();
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_tile_the_u64_range() {
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(10), 1023);
+        assert_eq!(bucket_bound(64), u64::MAX);
+        // Every value lands in the bucket whose bound is the first >= it.
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX - 1, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_bound(i) >= v, "bound({i}) < {v}");
+            if i > 0 {
+                assert!(bucket_bound(i - 1) < v, "value {v} fits a smaller bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_counts_sum_to_observation_count() {
+        let h = Histogram::new();
+        let values = [0u64, 1, 1, 5, 17, 900, 1024, 1_000_000, u64::MAX];
+        for &v in &values {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, values.len() as u64);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        assert_eq!(s.sum, values.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+    }
+
+    #[test]
+    fn quantiles_are_inclusive_upper_bounds() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        // True p50 is 50 → bucket [32,63] → bound 63. True p99 is 99 →
+        // bucket [64,127] → bound 127.
+        assert_eq!(s.p50(), 63);
+        assert_eq!(s.p99(), 127);
+        assert!(s.p50() <= s.p90() && s.p90() <= s.p99());
+        // Degenerate cases.
+        assert_eq!(HistogramSnapshot::default().p99(), 0);
+        let one = Histogram::new();
+        one.observe(0);
+        assert_eq!(one.snapshot().quantile(1.0), 0);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let parts: Vec<HistogramSnapshot> = (0..3)
+            .map(|shard| {
+                let h = Histogram::new();
+                for v in 0..50u64 {
+                    h.observe(v * (shard + 1));
+                }
+                h.snapshot()
+            })
+            .collect();
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) == c ⊕ b ⊕ a
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&bc);
+        let mut rev = parts[2].clone();
+        rev.merge(&parts[1]);
+        rev.merge(&parts[0]);
+        assert_eq!(left, right);
+        assert_eq!(left, rev);
+        assert_eq!(left.count, 150);
+        assert_eq!(left.buckets.iter().sum::<u64>(), 150);
+    }
+
+    #[test]
+    fn counters_count() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_labelled() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 2, 9] {
+            h.observe(v);
+        }
+        let mut out = String::new();
+        type_line(&mut out, "cdat_test_us", "histogram");
+        histogram_samples(&mut out, "cdat_test_us", &[("shard", "0")], &h.snapshot());
+        sample(&mut out, "cdat_test_total", &[], 7);
+        assert!(out.contains("# TYPE cdat_test_us histogram\n"));
+        assert!(out.contains("cdat_test_us_bucket{shard=\"0\",le=\"1\"} 1\n"));
+        assert!(out.contains("cdat_test_us_bucket{shard=\"0\",le=\"3\"} 3\n"));
+        assert!(out.contains("cdat_test_us_bucket{shard=\"0\",le=\"15\"} 4\n"));
+        assert!(out.contains("cdat_test_us_bucket{shard=\"0\",le=\"+Inf\"} 4\n"));
+        assert!(out.contains("cdat_test_us_sum{shard=\"0\"} 14\n"));
+        assert!(out.contains("cdat_test_us_count{shard=\"0\"} 4\n"));
+        assert!(out.contains("cdat_test_total 7\n"));
+    }
+
+    #[test]
+    fn trace_writer_appends_whole_json_lines_concurrently() {
+        let path =
+            std::env::temp_dir().join(format!("cdat-obs-trace-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let w = TraceWriter::open(&path).expect("trace file opens");
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let w = w.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        w.emit(
+                            "solve",
+                            Duration::from_micros(i),
+                            &[
+                                ("thread", TraceField::U64(t)),
+                                ("kind", TraceField::Str("deterministic")),
+                                ("hit", TraceField::Bool(i % 2 == 0)),
+                            ],
+                        );
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("writer thread");
+        }
+        w.flush();
+        let text = std::fs::read_to_string(&path).expect("trace file readable");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 200);
+        for line in lines {
+            assert!(line.starts_with("{\"ts_us\":") && line.ends_with('}'), "torn line: {line}");
+            assert!(line.contains("\"stage\":\"solve\""));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_fields_are_escaped() {
+        let path =
+            std::env::temp_dir().join(format!("cdat-obs-escape-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let w = TraceWriter::open(&path).expect("trace file opens");
+        w.emit("parse", Duration::ZERO, &[("name", TraceField::Str("a\"b\\c\nd"))]);
+        drop(w);
+        let text = std::fs::read_to_string(&path).expect("readable");
+        assert!(text.contains(r#""name":"a\"b\\c\nd""#), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -43,8 +43,9 @@
 //! response lines are byte-identical to `cdat batch` on the same documents
 //! (the rendering code is shared), whatever the shard count, batch window
 //! or batch size. Timing-dependent fields (cache hit flags, durations)
-//! are deliberately absent from solve responses; cache behaviour is
-//! observable out of band via the `stats` op.
+//! are deliberately absent from solve responses; cache behaviour and
+//! latency telemetry are observable out of band via the `stats` and
+//! `metrics` ops (and the `--trace` JSONL flight recorder).
 //!
 //! # Example
 //!
@@ -53,7 +54,7 @@
 //! use cdat_server::{Router, RouterConfig, RouteRequest};
 //! use cdat_engine::{Query, SolverHint};
 //!
-//! let config = RouterConfig { shards: 2, cache_budget: Some(1000), store: None };
+//! let config = RouterConfig { shards: 2, cache_budget: Some(1000), ..RouterConfig::default() };
 //! let router = Router::new(config).unwrap(); // only a store can fail to open
 //! let tree = Arc::new(cdat_models::factory_cdp());
 //! let requests: Vec<RouteRequest> = (0..3)
@@ -78,5 +79,7 @@ pub mod protocol;
 mod router;
 mod serve;
 
-pub use router::{Reply, RouteRequest, Router, RouterConfig};
+pub use router::{
+    DispatchMetrics, Reply, RouteRequest, Router, RouterConfig, ServerSnapshot, ShardTelemetry,
+};
 pub use serve::{serve_stdio, serve_tcp, ServeConfig};

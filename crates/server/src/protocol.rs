@@ -10,6 +10,7 @@
 //! {"id":"s1","suite":"--- a\nor g\n  bas x cost=1\n--- b\n...","query":"cdpf"}
 //! {"id":2,"tree":"...","query":"cdpf","solver":"bilp"}
 //! {"op":"stats","id":9}
+//! {"op":"metrics","id":10}
 //! ```
 //!
 //! * `id` — any JSON value, echoed in every response line for the request
@@ -31,7 +32,11 @@
 //!   requesting document's own BAS order even when the answer comes from a
 //!   cached front of a renamed/reordered copy.
 //! * `{"op":"stats"}` — answers immediately (out of band, not batched)
-//!   with the aggregate and per-shard cache statistics.
+//!   with the aggregate and per-shard cache statistics, server uptime,
+//!   total served compute, latency histograms and per-family counters.
+//! * `{"op":"metrics"}` — answers immediately with the same telemetry as
+//!   Prometheus text exposition, JSON-escaped into a single `metrics`
+//!   string field.
 //!
 //! # Responses
 //!
@@ -48,8 +53,11 @@
 use std::sync::Arc;
 
 use cdat_core::CdpAttackTree;
-use cdat_engine::{CacheStats, Query, Response, SolverHint};
+use cdat_engine::{CacheStats, FrontKind, Query, Response, SolverHint};
 use cdat_format::json::{self, Value};
+use cdat_obs::{histogram_samples, type_line, HistogramSnapshot};
+
+use crate::router::ServerSnapshot;
 
 /// One parsed request line.
 #[derive(Debug)]
@@ -58,6 +66,11 @@ pub enum Request {
     Solve(SolveRequest),
     /// The `stats` control operation.
     Stats {
+        /// The echoed request id.
+        id: Value,
+    },
+    /// The `metrics` control operation (Prometheus text exposition).
+    Metrics {
         /// The echoed request id.
         id: Value,
     },
@@ -109,7 +122,10 @@ pub fn parse_request(line: &str) -> Result<Request, (Value, String)> {
     if let Some(op) = value.get("op") {
         return match op.as_str() {
             Some("stats") => Ok(Request::Stats { id }),
-            Some(other) => Err(fail(format!("unknown op {other:?} (expected \"stats\")"))),
+            Some("metrics") => Ok(Request::Metrics { id }),
+            Some(other) => {
+                Err(fail(format!("unknown op {other:?} (expected \"stats\" or \"metrics\")")))
+            }
             None => Err(fail("op must be a string".into())),
         };
     }
@@ -322,9 +338,30 @@ pub fn error_line(id: &Value, message: &str) -> String {
     format!("{{\"id\":{id},\"error\":\"{}\"}}", json::escape(message))
 }
 
-/// Renders a complete stats response line: the aggregate over all shards
-/// plus the per-shard breakdown.
-pub fn stats_line(id: &Value, shards: &[CacheStats]) -> String {
+/// Renders one latency/size histogram as a JSON object: the observation
+/// count, the sum, and the p50/p90/p99 quantiles (inclusive log2-bucket
+/// upper bounds; see `cdat_obs`).
+fn histogram_json(snap: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+        snap.count,
+        snap.sum,
+        snap.p50(),
+        snap.p90(),
+        snap.p99()
+    )
+}
+
+/// Renders a complete stats response line: the aggregate over all shards,
+/// the server's latency histograms and per-family counters, plus the
+/// per-shard cache breakdown.
+///
+/// Aggregation per field: `hits`, `misses`, `entries`, `points`,
+/// `evictions` and `disk_hits` **sum** over the shards (disjoint caches);
+/// `disk_entries` takes the **max** (every shard handle indexes the same
+/// store file, so their counts overlap rather than add); histograms
+/// **merge** (bucket-wise sums, so quantiles reflect all shards).
+pub fn stats_line(id: &Value, shards: &[CacheStats], snapshot: &ServerSnapshot) -> String {
     use std::fmt::Write as _;
     let one = |s: &CacheStats| {
         format!(
@@ -345,8 +382,44 @@ pub fn stats_line(id: &Value, shards: &[CacheStats]) -> String {
         acc.disk_entries = acc.disk_entries.max(s.disk_entries);
         acc
     });
-    let mut line = format!("{{\"id\":{id},\"stats\":{}", one(&total));
-    line.push_str(",\"shards\":[");
+    // The aggregate object keeps the seven cache scalars first (clients
+    // and the smoke suite match on that prefix), then the server-level
+    // scalars.
+    let mut aggregate = one(&total);
+    aggregate.pop(); // reopen the object for the extra fields
+    let _ = write!(
+        aggregate,
+        ",\"uptime_us\":{},\"compute_us\":{}}}",
+        snapshot.uptime_us, snapshot.engine.served_compute_us
+    );
+    let mut line = format!("{{\"id\":{id},\"stats\":{aggregate}");
+    let _ = write!(
+        line,
+        ",\"histograms\":{{\"queue_wait_us\":{},\"solve_us\":{},\"e2e_us\":{},\"batch_fill\":{},\
+         \"dispatch_us\":{}}}",
+        histogram_json(&snapshot.engine.queue_wait),
+        histogram_json(&snapshot.engine.solve),
+        histogram_json(&snapshot.e2e),
+        histogram_json(&snapshot.batch_fill),
+        histogram_json(&snapshot.dispatch),
+    );
+    line.push_str(",\"families\":{");
+    for (i, kind) in FrontKind::ALL.into_iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let fam = snapshot.engine.families[kind.index()];
+        let _ = write!(
+            line,
+            "\"{}\":{{\"requests\":{},\"hits\":{},\"disk_hits\":{},\"misses\":{}}}",
+            kind.label(),
+            fam.requests,
+            fam.hits,
+            fam.disk_hits,
+            fam.misses
+        );
+    }
+    line.push_str("},\"shards\":[");
     for (i, s) in shards.iter().enumerate() {
         if i > 0 {
             line.push(',');
@@ -355,6 +428,34 @@ pub fn stats_line(id: &Value, shards: &[CacheStats]) -> String {
     }
     line.push_str("]}");
     line
+}
+
+/// Renders the server's telemetry as Prometheus text exposition (the
+/// payload of the `metrics` op and of `cdat serve --metrics`). Uptime is
+/// deliberately absent: the exposition is reproducible for a fresh,
+/// unqueried server, which the docs-example replay relies on.
+pub fn metrics_text(snapshot: &ServerSnapshot) -> String {
+    let mut out = String::new();
+    snapshot.engine.render_prometheus(&mut out);
+    type_line(&mut out, "cdat_batch_fill", "histogram");
+    histogram_samples(&mut out, "cdat_batch_fill", &[], &snapshot.batch_fill);
+    type_line(&mut out, "cdat_dispatch_us", "histogram");
+    histogram_samples(&mut out, "cdat_dispatch_us", &[], &snapshot.dispatch);
+    type_line(&mut out, "cdat_shard_e2e_us", "histogram");
+    for (shard, snap) in snapshot.per_shard_e2e.iter().enumerate() {
+        let label = shard.to_string();
+        histogram_samples(&mut out, "cdat_shard_e2e_us", &[("shard", &label)], snap);
+    }
+    if let Some(store) = &snapshot.store {
+        store.render_prometheus(&mut out);
+    }
+    out
+}
+
+/// Renders a complete metrics response line: the Prometheus exposition
+/// JSON-escaped into one string field.
+pub fn metrics_line(id: &Value, router: &crate::router::Router) -> String {
+    format!("{{\"id\":{id},\"metrics\":\"{}\"}}", json::escape(&metrics_text(&router.snapshot())))
 }
 
 #[cfg(test)]
@@ -393,6 +494,14 @@ mod tests {
         assert!(matches!(
             parse_request(r#"{"op":"stats","id":1}"#).unwrap(),
             Request::Stats { id: Value::Num(_) }
+        ));
+    }
+
+    #[test]
+    fn parses_the_metrics_op() {
+        assert!(matches!(
+            parse_request(r#"{"op":"metrics","id":1}"#).unwrap(),
+            Request::Metrics { id: Value::Num(_) }
         ));
     }
 
@@ -498,6 +607,30 @@ mod tests {
         assert!(message.contains("witnesses must be a boolean"), "{message}");
     }
 
+    /// A snapshot with recognizable values for the line-rendering tests.
+    fn snapshot() -> ServerSnapshot {
+        use cdat_engine::EngineSnapshot;
+        let queue_wait = cdat_obs::Histogram::new();
+        for v in 1..=100 {
+            queue_wait.observe(v);
+        }
+        let mut engine = EngineSnapshot::new();
+        engine.queue_wait = queue_wait.snapshot();
+        engine.served_compute_us = 777;
+        engine.families[FrontKind::Deterministic.index()].requests = 4;
+        engine.families[FrontKind::Deterministic.index()].hits = 3;
+        engine.families[FrontKind::Deterministic.index()].misses = 1;
+        ServerSnapshot {
+            uptime_us: 55,
+            engine,
+            e2e: HistogramSnapshot::default(),
+            per_shard_e2e: vec![HistogramSnapshot::default(), HistogramSnapshot::default()],
+            batch_fill: HistogramSnapshot::default(),
+            dispatch: HistogramSnapshot::default(),
+            store: None,
+        }
+    }
+
     #[test]
     fn stats_line_aggregates_shards() {
         let shards = [
@@ -520,14 +653,54 @@ mod tests {
                 disk_entries: 7,
             },
         ];
-        let line = stats_line(&Value::Null, &shards);
+        let line = stats_line(&Value::Null, &shards, &snapshot());
         assert!(line.starts_with("{\"id\":null,\"stats\":{\"hits\":3,\"misses\":4,"), "{line}");
         assert!(line.contains("\"evictions\":5,"), "{line}");
         // Disk hits sum; disk entries take the max — the handles index one
         // shared file, so their counts overlap rather than add.
-        assert!(line.contains("\"disk_hits\":3,\"disk_entries\":9}"), "{line}");
+        assert!(
+            line.contains(
+                "\"disk_hits\":3,\"disk_entries\":9,\"uptime_us\":55,\"compute_us\":777}"
+            ),
+            "{line}"
+        );
+        // The snapshot's queue-wait histogram (1..=100): count, sum and
+        // the inclusive log2-bucket quantile bounds.
+        assert!(
+            line.contains(
+                "\"histograms\":{\"queue_wait_us\":{\"count\":100,\"sum\":5050,\"p50\":63,\
+                 \"p90\":127,\"p99\":127}"
+            ),
+            "{line}"
+        );
+        assert!(
+            line.contains(
+                "\"families\":{\"deterministic\":{\"requests\":4,\"hits\":3,\"disk_hits\":0,\
+                 \"misses\":1},\"probabilistic\":{\"requests\":0,"
+            ),
+            "{line}"
+        );
         assert!(line.contains("\"shards\":[{"), "{line}");
         assert!(line.contains("\"disk_hits\":1,\"disk_entries\":9}"), "{line}");
+        assert!(cdat_format::json::parse(&line).is_ok(), "{line}");
+    }
+
+    #[test]
+    fn metrics_text_is_prometheus_shaped_and_line_escapes_cleanly() {
+        let text = metrics_text(&snapshot());
+        assert!(text.contains("# TYPE cdat_requests_total counter"), "{text}");
+        assert!(text.contains("cdat_requests_total{family=\"deterministic\"} 4"), "{text}");
+        assert!(
+            text.contains("cdat_cache_hits_total{family=\"deterministic\",tier=\"memory\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("cdat_queue_wait_us_count 100"), "{text}");
+        assert!(text.contains("cdat_queue_wait_us_sum 5050"), "{text}");
+        assert!(text.contains("cdat_shard_e2e_us_count{shard=\"1\"} 0"), "{text}");
+        assert!(!text.contains("uptime"), "exposition must stay reproducible: {text}");
+        // The JSON wrapper escapes the newlines into one parseable line.
+        let line = format!("{{\"id\":7,\"metrics\":\"{}\"}}", cdat_format::json::escape(&text));
+        assert!(!line.contains('\n'), "{line}");
         assert!(cdat_format::json::parse(&line).is_ok(), "{line}");
     }
 }

@@ -20,13 +20,15 @@ use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use cdat_core::canonical::{hash_cd, hash_cdp};
 use cdat_core::{CdpAttackTree, StructuralHash};
 use cdat_engine::{
-    BatchRequest, CacheStats, Engine, FrontCache, FrontKind, PersistentFrontCache, Query,
-    SolverHint,
+    BatchRequest, CacheStats, Engine, EngineMetrics, EngineSnapshot, FrontCache, FrontKind,
+    PersistentFrontCache, Query, SolverHint, StoreMetrics, StoreSnapshot,
 };
+use cdat_obs::{Histogram, HistogramSnapshot, TraceWriter};
 
 use crate::protocol::body_fragment;
 
@@ -47,12 +49,63 @@ pub struct RouterConfig {
     /// serves from memory only. Each shard opens its own handle on the
     /// file, so no lock is shared between shards.
     pub store: Option<PathBuf>,
+    /// JSONL flight recorder every shard engine emits span events into
+    /// (the writer appends whole lines, so shards share it without
+    /// tearing); `None` disables tracing. Metrics, by contrast, are
+    /// always on — they are atomic adds with no I/O.
+    pub trace: Option<TraceWriter>,
 }
 
 impl Default for RouterConfig {
     fn default() -> Self {
-        RouterConfig { shards: 4, cache_budget: None, store: None }
+        RouterConfig { shards: 4, cache_budget: None, store: None, trace: None }
     }
+}
+
+/// One shard's telemetry handles, created before the shard thread spawns
+/// so `stats`/`metrics` snapshots read shared atomics instead of
+/// messaging the shard.
+#[derive(Debug)]
+pub struct ShardTelemetry {
+    /// The shard engine's cache-tier counters and latency histograms.
+    pub engine: Arc<EngineMetrics>,
+    /// Per-op end-to-end latency inside the shard (batch receipt to the
+    /// op's reply send), in microseconds.
+    pub e2e_us: Histogram,
+    /// The shard's persistent-store I/O telemetry, when a store is
+    /// configured.
+    pub store: Option<Arc<StoreMetrics>>,
+}
+
+/// Micro-batching dispatcher telemetry, owned by the router so every
+/// surface (`stats`, `metrics`) reads one place.
+#[derive(Debug, Default)]
+pub struct DispatchMetrics {
+    /// Jobs per flushed micro-batch.
+    pub batch_fill: Histogram,
+    /// Time from a batch's first job to its scatter, in microseconds.
+    pub dispatch_us: Histogram,
+}
+
+/// A point-in-time aggregate of every server telemetry surface; built by
+/// [`Router::snapshot`] without any shard messaging.
+#[derive(Debug)]
+pub struct ServerSnapshot {
+    /// Microseconds since the router spawned its shards.
+    pub uptime_us: u64,
+    /// Engine metrics merged across all shards.
+    pub engine: EngineSnapshot,
+    /// Per-op end-to-end shard latency, merged across shards.
+    pub e2e: HistogramSnapshot,
+    /// The same, per shard (shard order).
+    pub per_shard_e2e: Vec<HistogramSnapshot>,
+    /// Jobs per flushed micro-batch.
+    pub batch_fill: HistogramSnapshot,
+    /// Batch-accumulation latency in the dispatcher.
+    pub dispatch: HistogramSnapshot,
+    /// Store I/O merged across the shards' handles; `None` when serving
+    /// memory-only.
+    pub store: Option<StoreSnapshot>,
 }
 
 /// One routed solve job: the tree and query plus the pre-rendered response
@@ -96,6 +149,14 @@ pub struct Router {
     handles: Vec<JoinHandle<()>>,
     /// Per-shard cache budget slices; `None` means unbounded.
     budgets: Option<Vec<usize>>,
+    /// Per-shard telemetry, created before the shard threads spawned.
+    telemetry: Vec<Arc<ShardTelemetry>>,
+    /// Dispatcher-side histograms (recorded by the serving loops).
+    dispatch_metrics: Arc<DispatchMetrics>,
+    /// Span recorder for the routing-side stages (the shard engines hold
+    /// their own clones for the solve-side stages).
+    trace: Option<TraceWriter>,
+    started: Instant,
 }
 
 impl Router {
@@ -121,6 +182,7 @@ impl Router {
         let slices = config.cache_budget.map(|budget| FrontCache::split_budget(budget, shards));
         let mut txs = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
+        let mut telemetry = Vec::with_capacity(shards);
         for index in 0..shards {
             let (tx, rx) = channel::<ShardMsg>();
             let cache = match &slices {
@@ -130,18 +192,39 @@ impl Router {
             // Each shard's engine is built here (not in the thread) so a
             // store that cannot be opened fails construction instead of
             // killing a shard silently.
-            let engine = match &config.store {
+            let mut engine = match &config.store {
                 Some(path) => Engine::with_persistent(1, PersistentFrontCache::open(path, cache)?),
                 None => Engine::with_cache(1, cache),
             };
+            // Telemetry handles are grabbed before the engine moves into
+            // the shard thread, so snapshots never message the shard.
+            let metrics = Arc::new(EngineMetrics::new());
+            engine = engine.with_metrics(metrics.clone());
+            if let Some(trace) = &config.trace {
+                engine = engine.with_trace(trace.clone());
+            }
+            let shard_telemetry = Arc::new(ShardTelemetry {
+                engine: metrics,
+                e2e_us: Histogram::new(),
+                store: engine.store_metrics(),
+            });
+            telemetry.push(shard_telemetry.clone());
             let handle = std::thread::Builder::new()
                 .name(format!("cdat-shard-{index}"))
-                .spawn(move || shard_loop(rx, engine))
+                .spawn(move || shard_loop(rx, engine, shard_telemetry))
                 .expect("spawn shard thread");
             txs.push(tx);
             handles.push(handle);
         }
-        Ok(Router { txs, handles, budgets: slices })
+        Ok(Router {
+            txs,
+            handles,
+            budgets: slices,
+            telemetry,
+            dispatch_metrics: Arc::new(DispatchMetrics::default()),
+            trace: config.trace,
+            started: Instant::now(),
+        })
     }
 
     /// The number of shards.
@@ -181,7 +264,15 @@ impl Router {
         for (seq, request, reply) in batch {
             // Hash once: the routing key doubles as the cache key inside
             // the shard's engine.
+            let hash_started = Instant::now();
             let hash = Self::route_hash(&request);
+            if let Some(trace) = &self.trace {
+                trace.emit(
+                    "canonicalize",
+                    hash_started.elapsed(),
+                    &[("kind", cdat_obs::TraceField::Str(request.query.kind().label()))],
+                );
+            }
             let shard = (hash.0 % self.txs.len() as u128) as usize;
             groups[shard].push((seq, request, reply, hash));
         }
@@ -210,6 +301,45 @@ impl Router {
         lines.into_iter().map(|(_, line)| line).collect()
     }
 
+    /// Per-shard telemetry handles, in shard order.
+    pub fn telemetry(&self) -> &[Arc<ShardTelemetry>] {
+        &self.telemetry
+    }
+
+    /// The dispatcher-side histograms (the serving loops record into
+    /// these; the router only holds them so `stats`/`metrics` rendering
+    /// reads one place).
+    pub fn dispatch_metrics(&self) -> &Arc<DispatchMetrics> {
+        &self.dispatch_metrics
+    }
+
+    /// Aggregates every telemetry surface into one point-in-time
+    /// [`ServerSnapshot`] — pure atomic reads, no shard messaging.
+    pub fn snapshot(&self) -> ServerSnapshot {
+        let mut engine = EngineSnapshot::new();
+        let mut e2e = HistogramSnapshot::default();
+        let mut per_shard_e2e = Vec::with_capacity(self.telemetry.len());
+        let mut store: Option<StoreSnapshot> = None;
+        for shard in &self.telemetry {
+            engine.absorb(&shard.engine);
+            let shard_e2e = shard.e2e_us.snapshot();
+            e2e.merge(&shard_e2e);
+            per_shard_e2e.push(shard_e2e);
+            if let Some(metrics) = &shard.store {
+                store.get_or_insert_with(StoreSnapshot::new).absorb(metrics);
+            }
+        }
+        ServerSnapshot {
+            uptime_us: u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            engine,
+            e2e,
+            per_shard_e2e,
+            batch_fill: self.dispatch_metrics.batch_fill.snapshot(),
+            dispatch: self.dispatch_metrics.dispatch_us.snapshot(),
+            store,
+        }
+    }
+
     /// Snapshots every shard's cache statistics, in shard order.
     pub fn stats(&self) -> Vec<CacheStats> {
         self.txs
@@ -234,10 +364,11 @@ impl Drop for Router {
 
 /// One shard: a single-threaded engine over its private cache slice (and
 /// its private store handle, when persistence is on).
-fn shard_loop(rx: Receiver<ShardMsg>, engine: Engine) {
+fn shard_loop(rx: Receiver<ShardMsg>, engine: Engine, telemetry: Arc<ShardTelemetry>) {
     for message in rx {
         match message {
             ShardMsg::Batch(jobs) => {
+                let batch_started = Instant::now();
                 let requests: Vec<BatchRequest> = jobs
                     .iter()
                     .map(|(_, job, _, hash)| {
@@ -253,6 +384,9 @@ fn shard_loop(rx: Receiver<ShardMsg>, engine: Engine) {
                     // The receiver may be gone (client hung up): drop the
                     // response, keep serving.
                     let _ = reply.send((seq, line));
+                    // Per-op end-to-end latency inside the shard: batch
+                    // receipt to this op's reply send.
+                    telemetry.e2e_us.observe_since(batch_started);
                 }
             }
             ShardMsg::Stats(tx) => {
@@ -268,7 +402,8 @@ mod tests {
 
     /// A memory-only router (opening no store file cannot fail).
     fn router(shards: usize, cache_budget: Option<usize>) -> Router {
-        Router::new(RouterConfig { shards, cache_budget, store: None }).expect("memory-only router")
+        Router::new(RouterConfig { shards, cache_budget, ..RouterConfig::default() })
+            .expect("memory-only router")
     }
 
     fn request(tree: Arc<CdpAttackTree>, query: Query, id: usize) -> RouteRequest {
@@ -450,7 +585,8 @@ mod tests {
         let build = || -> Vec<RouteRequest> {
             trees.iter().enumerate().map(|(i, t)| request(t.clone(), Query::Cdpf, i)).collect()
         };
-        let config = || RouterConfig { shards: 3, cache_budget: None, store: Some(path.clone()) };
+        let config =
+            || RouterConfig { shards: 3, store: Some(path.clone()), ..RouterConfig::default() };
 
         let cold_router = Router::new(config()).unwrap();
         let cold = cold_router.solve(build());

@@ -27,7 +27,11 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError}
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::protocol::{error_line, parse_request, response_prefix, stats_line, Request};
+use cdat_obs::{TraceField, TraceWriter};
+
+use crate::protocol::{
+    error_line, metrics_line, parse_request, response_prefix, stats_line, Request,
+};
 use crate::router::{Reply, RouteRequest, Router, RouterConfig};
 
 /// Serving configuration.
@@ -48,6 +52,10 @@ pub struct ServeConfig {
     /// serves from memory only. A server restarted on the same path starts
     /// warm: fronts computed by the previous run answer from disk.
     pub store: Option<PathBuf>,
+    /// JSONL flight recorder for span events (request parsing here, the
+    /// engine stages inside the shards); `None` disables tracing. Purely
+    /// out of band: response bytes are identical either way.
+    pub trace: Option<TraceWriter>,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +66,7 @@ impl Default for ServeConfig {
             batch_window: Duration::from_micros(1000),
             cache_budget: None,
             store: None,
+            trace: None,
         }
     }
 }
@@ -68,6 +77,7 @@ impl ServeConfig {
             shards: self.shards,
             cache_budget: self.cache_budget,
             store: self.store.clone(),
+            trace: self.trace.clone(),
         }
     }
 }
@@ -80,14 +90,23 @@ type Job = (u64, RouteRequest, Sender<Reply>);
 /// Returns (flushing the final partial batch) when every submitter is
 /// gone.
 fn dispatch_loop(router: Arc<Router>, rx: Receiver<Job>, batch_max: usize, window: Duration) {
+    // Batch-fill and accumulation-latency histograms, observed at every
+    // flush (out of band: they never change what is dispatched).
+    let flush = |batch: Vec<Job>, accumulating_since: Instant| {
+        let metrics = router.dispatch_metrics();
+        metrics.batch_fill.observe(batch.len() as u64);
+        metrics.dispatch_us.observe_since(accumulating_since);
+        router.dispatch(batch);
+    };
     loop {
         // Block for the first job of the next batch.
         let first = match rx.recv() {
             Ok(job) => job,
             Err(_) => return,
         };
+        let accumulating_since = Instant::now();
         let mut batch = vec![first];
-        let deadline = Instant::now() + window;
+        let deadline = accumulating_since + window;
         while batch.len() < batch_max {
             let now = Instant::now();
             if now >= deadline {
@@ -102,13 +121,13 @@ fn dispatch_loop(router: Arc<Router>, rx: Receiver<Job>, batch_max: usize, windo
                     Ok(job) => batch.push(job),
                     Err(RecvTimeoutError::Timeout) => break,
                     Err(RecvTimeoutError::Disconnected) => {
-                        router.dispatch(batch);
+                        flush(batch, accumulating_since);
                         return;
                     }
                 }
             }
         }
-        router.dispatch(batch);
+        flush(batch, accumulating_since);
     }
 }
 
@@ -123,6 +142,7 @@ fn read_loop<R: BufRead>(
     batcher: &Sender<Job>,
     reply: &Sender<Reply>,
     seq: &mut u64,
+    trace: Option<&TraceWriter>,
 ) {
     for line in reader.lines() {
         let Ok(line) = line else { return };
@@ -133,14 +153,27 @@ fn read_loop<R: BufRead>(
             *seq += 1;
             *seq
         };
-        match parse_request(&line) {
+        let parse_started = Instant::now();
+        let parsed = parse_request(&line);
+        if let Some(trace) = trace {
+            trace.emit(
+                "parse",
+                parse_started.elapsed(),
+                &[("ok", TraceField::Bool(parsed.is_ok()))],
+            );
+        }
+        match parsed {
             Err((id, message)) => {
                 let _ = reply.send((next_seq(), error_line(&id, &message)));
             }
             Ok(Request::Stats { id }) => {
                 // Answered out of band: stats never wait for a batch
                 // window (and never skew one).
-                let _ = reply.send((next_seq(), stats_line(&id, &router.stats())));
+                let _ =
+                    reply.send((next_seq(), stats_line(&id, &router.stats(), &router.snapshot())));
+            }
+            Ok(Request::Metrics { id }) => {
+                let _ = reply.send((next_seq(), metrics_line(&id, router)));
             }
             Ok(Request::Solve(request)) => {
                 for doc in &request.docs {
@@ -195,7 +228,7 @@ pub fn serve_stdio(config: &ServeConfig) -> std::io::Result<()> {
 
     let stdin = std::io::stdin();
     let mut seq = 0;
-    read_loop(stdin.lock(), &router, &batch_tx, &reply_tx, &mut seq);
+    read_loop(stdin.lock(), &router, &batch_tx, &reply_tx, &mut seq, config.trace.as_ref());
 
     // Shutdown cascade: no more jobs → dispatcher flushes and exits → the
     // router joins its shards (draining pending batches) → the last reply
@@ -235,9 +268,17 @@ pub fn serve_tcp(addr: &str, config: &ServeConfig) -> std::io::Result<()> {
         std::thread::spawn(move || write_loop(write_half, reply_rx));
         let router = router.clone();
         let batch_tx = batch_tx.clone();
+        let trace = config.trace.clone();
         std::thread::spawn(move || {
             let mut seq = 0;
-            read_loop(BufReader::new(stream), &router, &batch_tx, &reply_tx, &mut seq);
+            read_loop(
+                BufReader::new(stream),
+                &router,
+                &batch_tx,
+                &reply_tx,
+                &mut seq,
+                trace.as_ref(),
+            );
             // Dropping reply_tx lets the connection's writer exit once the
             // in-flight jobs (which hold clones) are answered.
         });
@@ -261,7 +302,7 @@ mod tests {
             std::thread::spawn(move || dispatch_loop(router, batch_rx, batch_max, window))
         };
         let mut seq = 0;
-        read_loop(input.as_bytes(), &router, &batch_tx, &reply_tx, &mut seq);
+        read_loop(input.as_bytes(), &router, &batch_tx, &reply_tx, &mut seq, config.trace.as_ref());
         drop(batch_tx);
         dispatcher.join().unwrap();
         drop(router);
@@ -343,8 +384,7 @@ mod tests {
                 shards,
                 batch_max,
                 batch_window: Duration::from_micros(window_us),
-                cache_budget: None,
-                store: None,
+                ..Default::default()
             };
             let lines = sorted_by_id(serve_text(&input, &config));
             assert_eq!(lines, reference, "shards={shards} max={batch_max} window={window_us}us");

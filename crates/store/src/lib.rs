@@ -48,9 +48,34 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 use cdat_core::StructuralHash;
+use cdat_obs::{Counter, Histogram};
 use cdat_pareto::{wire, ParetoFront};
+
+/// Per-handle I/O telemetry, recorded out of band by every [`Store`]
+/// operation (latencies in microseconds; see `cdat-obs` for the bucket
+/// layout). Metrics never affect what a store reads or writes.
+#[derive(Debug, Default)]
+pub struct StoreMetrics {
+    /// Latency of [`Store::open`] (header check + full scan + repair).
+    pub open_us: Histogram,
+    /// Latency of the index-rebuilding scan inside `open` alone.
+    pub scan_us: Histogram,
+    /// Latency of each [`Store::get`] (seek + read + verify + decode).
+    pub read_us: Histogram,
+    /// Latency of each appending [`Store::append`] (deduped no-ops are
+    /// not observed).
+    pub append_us: Histogram,
+    /// Payload-carrying bytes read by `get` (frame + payload).
+    pub read_bytes: Counter,
+    /// Bytes written by `append` (frame + payload).
+    pub append_bytes: Counter,
+    /// Records indexed by the open scan.
+    pub scanned_records: Counter,
+}
 
 /// Store file magic: the first 8 bytes of every store file.
 pub const MAGIC: [u8; 8] = *b"CDATSTOR";
@@ -142,6 +167,7 @@ pub struct Store {
     append: File,
     read: File,
     index: HashMap<(u128, u8), u64>,
+    metrics: Arc<StoreMetrics>,
 }
 
 impl Store {
@@ -154,6 +180,8 @@ impl Store {
     /// every corruption case recovers to a working — possibly cold —
     /// store.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Store> {
+        let opened = Instant::now();
+        let metrics = Arc::new(StoreMetrics::default());
         let path = path.as_ref().to_path_buf();
         // truncate(false): opening must preserve whatever records exist —
         // recovery truncates only a torn tail, never the whole file.
@@ -187,20 +215,29 @@ impl Store {
         // truncate back to the last good record so appends resume cleanly.
         let mut index = HashMap::new();
         let mut offset = HEADER_LEN;
+        let scan_started = Instant::now();
         if header_ok {
             file.seek(SeekFrom::Start(offset))?;
             let mut reader = io::BufReader::new(&mut file);
             while let Some((key, _, next)) = read_record(&mut reader, offset, file_len)? {
                 index.entry(key).or_insert(offset);
+                metrics.scanned_records.inc();
                 offset = next;
             }
         }
+        metrics.scan_us.observe_since(scan_started);
         if offset < file_len {
             file.set_len(offset)?;
         }
 
         let append = OpenOptions::new().append(true).open(&path)?;
-        Ok(Store { path, append, read: file, index })
+        metrics.open_us.observe_since(opened);
+        Ok(Store { path, append, read: file, index, metrics })
+    }
+
+    /// The I/O telemetry this handle has recorded so far.
+    pub fn metrics(&self) -> &Arc<StoreMetrics> {
+        &self.metrics
     }
 
     /// The path this store was opened at.
@@ -229,9 +266,13 @@ impl Store {
     /// decode failure — a rotten record is a cache miss, never an answer.
     pub fn get(&mut self, hash: StructuralHash, family: u8) -> Option<StoredFront> {
         let offset = *self.index.get(&(hash.0, family))?;
+        let started = Instant::now();
         let file_len = self.read.metadata().ok()?.len();
         self.read.seek(SeekFrom::Start(offset)).ok()?;
-        let (key, front, _) = read_record(&mut self.read, offset, file_len).ok()??;
+        let record = read_record(&mut self.read, offset, file_len).ok()?;
+        self.metrics.read_us.observe_since(started);
+        let (key, front, next) = record?;
+        self.metrics.read_bytes.add(next - offset);
         // The record must be the one the index promised.
         if key != (hash.0, family) {
             return None;
@@ -254,6 +295,7 @@ impl Store {
         if self.contains(hash, family) {
             return Ok(false);
         }
+        let started = Instant::now();
         let payload = encode_payload(hash, family, front);
         let mut record = Vec::with_capacity(FRAME_LEN as usize + payload.len());
         record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -267,6 +309,8 @@ impl Store {
         let offset = self.append.metadata()?.len();
         self.append.write_all(&record)?;
         self.index.insert((hash.0, family), offset);
+        self.metrics.append_us.observe_since(started);
+        self.metrics.append_bytes.add(record.len() as u64);
         Ok(true)
     }
 
@@ -502,6 +546,34 @@ mod tests {
             assert!(merged.get(h(i), 0).is_some(), "key {i}");
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn metrics_track_io_without_changing_bytes() {
+        let (plain, observed) = (unique_path("noobs"), unique_path("obs"));
+        {
+            let mut store = Store::open(&plain).unwrap();
+            store.append(h(1), 0, &sample_front()).unwrap();
+        }
+        let mut store = Store::open(&observed).unwrap();
+        store.append(h(1), 0, &sample_front()).unwrap();
+        store.append(h(1), 0, &sample_front()).unwrap(); // deduped: not observed
+        store.get(h(1), 0).unwrap();
+        store.get(h(2), 0); // index miss: no read happens, none recorded
+        let m = store.metrics();
+        assert_eq!(m.open_us.snapshot().count, 1);
+        assert_eq!(m.append_us.snapshot().count, 1);
+        assert_eq!(m.read_us.snapshot().count, 1);
+        assert!(m.append_bytes.get() > FRAME_LEN);
+        assert_eq!(m.read_bytes.get(), m.append_bytes.get(), "get reads the appended record");
+        assert_eq!(m.scanned_records.get(), 0, "fresh store scans nothing");
+        drop(store);
+        let reopened = Store::open(&observed).unwrap();
+        assert_eq!(reopened.metrics().scanned_records.get(), 1);
+        // Instrumentation never changes the file bytes.
+        assert_eq!(std::fs::read(&plain).unwrap(), std::fs::read(&observed).unwrap());
+        let _ = std::fs::remove_file(&plain);
+        let _ = std::fs::remove_file(&observed);
     }
 
     #[test]

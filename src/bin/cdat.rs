@@ -158,10 +158,17 @@ fn usage() -> String {
          --witnesses        include witness attacks (BAS-id arrays in each\n                     \
          document's own numbering, translated from the\n                     \
          shared cache entry when documents deduplicate)\n  \
-         --timings          add per-request solver micros to the JSON (nondeterministic)\n  \
+         --timings          add per-request solver micros (this run) and\n                     \
+         compute_us (the answering front's original solve\n                     \
+         cost) to the JSON (nondeterministic)\n  \
          --cache-budget P   bound the front cache to P points (LRU eviction)\n  \
          --cache-stats      print cache counters (hits/misses/evictions,\n                     \
          disk_hits/disk_entries) to stderr\n  \
+         --metrics          print Prometheus-style metrics (counters, latency\n                     \
+         histograms) to stderr after the batch\n  \
+         --trace PATH       append one JSONL span event per request stage\n                     \
+         (parse, canonicalize, cache_lookup, solve,\n                     \
+         store_append) to PATH\n  \
          --store PATH       persistent front store below the cache: misses read\n                     \
          through to PATH, computed fronts append to it, so a\n                     \
          second run on the same store starts warm\n  \
@@ -175,10 +182,12 @@ fn usage() -> String {
          --batch-max N      flush a micro-batch at N requests (default 64)\n  \
          --batch-window-us U  micro-batch accumulation window (default 1000)\n  \
          --cache-budget P   total front-cache budget in points, split over shards\n  \
+         --trace PATH       append one JSONL span event per request stage to PATH\n  \
          --store PATH       persistent front store shared by the shards; a\n                     \
          restarted server on the same PATH starts warm\n\
-         \nquery flags: --connect HOST:PORT plus the batch query flags and\n  \
-         --witnesses; sends the suite to a running `cdat serve` and prints\n  \
+         \nquery flags: --connect HOST:PORT plus the batch query flags,\n  \
+         --witnesses and --metrics (scrapes the server's metrics op to\n  \
+         stderr); sends the suite to a running `cdat serve` and prints\n  \
          responses in request order. With --store PATH instead of --connect,\n  \
          answers locally through the store (no server needed), printing the\n  \
          same response lines a server on that store would.\n",
@@ -243,7 +252,9 @@ fn parse_count(flag: &str, text: &str) -> Result<usize, String> {
 fn batch(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or_else(|| format!("missing suite file argument\n{}", usage()))?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let parse_started = std::time::Instant::now();
     let documents = cdat_format::parse_multi(&text).map_err(|e| format!("{path}: {e}"))?;
+    let parse_time = parse_started.elapsed();
 
     let (mut queries, mut rest) = parse_query_flags(&args[1..])?;
     let workers = match take_value(&mut rest, "--workers")? {
@@ -260,14 +271,17 @@ fn batch(args: &[String]) -> Result<(), String> {
         .map(|text| parse_count("--cache-budget", text))
         .transpose()?;
     let store = take_value(&mut rest, "--store")?.cloned();
+    let trace = open_trace(take_value(&mut rest, "--trace")?)?;
     let mut timings = false;
     let mut cache_stats = false;
     let mut witnesses = false;
+    let mut metrics_dump = false;
     for flag in rest {
         match flag.as_str() {
             "--timings" => timings = true,
             "--cache-stats" => cache_stats = true,
             "--witnesses" => witnesses = true,
+            "--metrics" => metrics_dump = true,
             other => return Err(format!("unknown batch flag {other:?}\n{}", usage())),
         }
     }
@@ -288,7 +302,7 @@ fn batch(args: &[String]) -> Result<(), String> {
         Some(budget) => solve::FrontCache::with_budget(16, budget),
         None => solve::FrontCache::new(16),
     };
-    let engine = match &store {
+    let mut engine = match &store {
         Some(path) => {
             let persistent = solve::PersistentFrontCache::open(path, memory)
                 .map_err(|e| format!("cannot open store {path}: {e}"))?;
@@ -296,6 +310,15 @@ fn batch(args: &[String]) -> Result<(), String> {
         }
         None => solve::Engine::with_cache(workers, memory),
     };
+    engine = engine.with_metrics(std::sync::Arc::new(solve::EngineMetrics::new()));
+    if let Some(trace) = &trace {
+        trace.emit(
+            "parse",
+            parse_time,
+            &[("docs", cdat::obs::TraceField::U64(documents.len() as u64))],
+        );
+        engine = engine.with_trace(trace.clone());
+    }
     let start = std::time::Instant::now();
     let results = engine.run(&requests);
     let wall = start.elapsed();
@@ -336,7 +359,37 @@ fn batch(args: &[String]) -> Result<(), String> {
             stats.disk_entries
         );
     }
+    if metrics_dump {
+        eprint!("{}", engine_metrics_text(&engine));
+    }
     Ok(())
+}
+
+/// Opens the `--trace PATH` JSONL flight recorder, when requested.
+fn open_trace(path: Option<&String>) -> Result<Option<cdat::obs::TraceWriter>, String> {
+    match path {
+        Some(path) => cdat::obs::TraceWriter::open(std::path::Path::new(path))
+            .map(Some)
+            .map_err(|e| format!("cannot open trace file {path}: {e}")),
+        None => Ok(None),
+    }
+}
+
+/// Renders one engine's telemetry as Prometheus text — the same metric
+/// names the server's `metrics` op exposes.
+fn engine_metrics_text(engine: &solve::Engine) -> String {
+    let mut out = String::new();
+    if let Some(metrics) = engine.metrics() {
+        let mut snap = solve::EngineSnapshot::new();
+        snap.absorb(metrics);
+        snap.render_prometheus(&mut out);
+    }
+    if let Some(store) = engine.store_metrics() {
+        let mut snap = solve::StoreSnapshot::new();
+        snap.absorb(&store);
+        snap.render_prometheus(&mut out);
+    }
+    out
 }
 
 /// Renders one batch result as a single JSON object (no trailing newline).
@@ -358,7 +411,15 @@ fn render_result(
     let _ = write!(s, ",\"cache\":\"{}\"", if result.cache_hit { "hit" } else { "miss" });
     s.push_str(&protocol::body_fragment(&result.response));
     if timings {
-        let _ = write!(s, ",\"micros\":{}", result.compute.as_micros());
+        // `micros` is this run's solver time (zero on a cache hit);
+        // `compute_us` is the answering front's original solve cost, so
+        // hits report what the answer cost when it was first computed.
+        let _ = write!(
+            s,
+            ",\"micros\":{},\"compute_us\":{}",
+            result.compute.as_micros(),
+            result.solve_cost.as_micros()
+        );
     }
     s.push('}');
     s
@@ -392,6 +453,7 @@ fn serve(args: &[String]) -> Result<(), String> {
     if let Some(text) = take_value(&mut rest, "--store")? {
         config.store = Some(std::path::PathBuf::from(text));
     }
+    config.trace = open_trace(take_value(&mut rest, "--trace")?)?;
     let mut stdio = addr.is_none();
     for flag in rest {
         match flag.as_str() {
@@ -420,13 +482,15 @@ fn query(args: &[String]) -> Result<(), String> {
     let addr = take_value(&mut rest, "--connect")?.cloned();
     let store = take_value(&mut rest, "--store")?.cloned();
     let solver = take_value(&mut rest, "--solver")?.cloned();
-    let witnesses = match rest.iter().position(|f| f.as_str() == "--witnesses") {
+    let mut take_switch = |flag: &str| match rest.iter().position(|f| f.as_str() == flag) {
         Some(i) => {
             rest.remove(i);
             true
         }
         None => false,
     };
+    let witnesses = take_switch("--witnesses");
+    let metrics_dump = take_switch("--metrics");
     let [path] = rest.as_slice() else {
         return Err(format!("query needs exactly one suite file argument\n{}", usage()));
     };
@@ -447,8 +511,12 @@ fn query(args: &[String]) -> Result<(), String> {
         (None, None) => {
             return Err(format!("query needs --connect HOST:PORT or --store PATH\n{}", usage()));
         }
-        (Some(addr), None) => query_remote(&addr, &text, &queries, solver.as_deref(), witnesses)?,
-        (None, Some(store)) => query_local(path, &store, &text, &queries, hint, witnesses)?,
+        (Some(addr), None) => {
+            query_remote(&addr, &text, &queries, solver.as_deref(), witnesses, metrics_dump)?
+        }
+        (None, Some(store)) => {
+            query_local(path, &store, &text, &queries, hint, witnesses, metrics_dump)?
+        }
     };
     // Request order, then document order within a request (responses may
     // arrive interleaved across shards). This client always sends numeric
@@ -482,6 +550,7 @@ fn query_remote(
     queries: &[solve::Query],
     solver: Option<&str>,
     witnesses: bool,
+    metrics_dump: bool,
 ) -> Result<Vec<String>, String> {
     use std::io::{BufRead, BufReader, Write as _};
 
@@ -501,6 +570,10 @@ fn query_remote(
         }
         request_lines.push_str("}\n");
     }
+    if metrics_dump {
+        // Asked last so the scrape reflects the answers above.
+        request_lines.push_str("{\"op\":\"metrics\",\"id\":\"metrics\"}\n");
+    }
     writer.write_all(request_lines.as_bytes()).map_err(|e| format!("send: {e}"))?;
     writer.flush().map_err(|e| format!("send: {e}"))?;
     // Half-close: the server answers everything in flight, then closes.
@@ -509,6 +582,20 @@ fn query_remote(
     let mut lines: Vec<String> = Vec::new();
     for line in BufReader::new(stream).lines() {
         lines.push(line.map_err(|e| format!("receive: {e}"))?);
+    }
+    if metrics_dump {
+        // The metrics answer can land anywhere in the stream: pull it out
+        // of the response lines and print the exposition on stderr.
+        let payload = |line: &String| {
+            json::parse(line).ok().and_then(|v| match v.get("metrics") {
+                Some(json::Value::Str(text)) => Some(text.clone()),
+                _ => None,
+            })
+        };
+        if let Some(i) = lines.iter().position(|l| payload(l).is_some()) {
+            let line = lines.remove(i);
+            eprint!("{}", payload(&line).expect("matched above"));
+        }
     }
     Ok(lines)
 }
@@ -523,6 +610,7 @@ fn query_local(
     queries: &[solve::Query],
     hint: solve::SolverHint,
     witnesses: bool,
+    metrics_dump: bool,
 ) -> Result<Vec<String>, String> {
     use cdat::serve::{RouteRequest, Router, RouterConfig};
 
@@ -531,8 +619,8 @@ fn query_local(
         documents.iter().map(|d| std::sync::Arc::new(d.tree.clone())).collect();
     let config = RouterConfig {
         shards: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
-        cache_budget: None,
         store: Some(std::path::PathBuf::from(store)),
+        ..RouterConfig::default()
     };
     let router = Router::new(config).map_err(|e| format!("cannot open store {store}: {e}"))?;
     let mut requests = Vec::with_capacity(documents.len() * queries.len());
@@ -551,7 +639,11 @@ fn query_local(
             });
         }
     }
-    Ok(router.solve(requests))
+    let lines = router.solve(requests);
+    if metrics_dump {
+        eprint!("{}", protocol::metrics_text(&router.snapshot()));
+    }
+    Ok(lines)
 }
 
 fn info(cdp: &CdpAttackTree) {

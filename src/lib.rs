@@ -67,6 +67,7 @@
 //! | [`enumerative`] | brute-force baselines, exact DAG-probabilistic extension |
 //! | [`bdd`] | hash-consed BDDs for structure functions |
 //! | [`models`] | case studies (panda IoT, data server) and Table IV blocks |
+//! | [`obs`] | counters, log2 latency histograms, Prometheus text exposition, JSONL trace recorder |
 //! | [`gen`] | random AT suites |
 //! | [`analysis`] | defense what-ifs, defense ranking, minimal attacks |
 //! | [`format`](mod@format) | human-writable text format (used by the `cdat` CLI) |
@@ -85,6 +86,7 @@ pub use cdat_format as format;
 pub use cdat_gen as gen;
 pub use cdat_ilp as ilp;
 pub use cdat_models as models;
+pub use cdat_obs as obs;
 pub use cdat_pareto as pareto;
 pub use cdat_server as server;
 pub use cdat_store as store;

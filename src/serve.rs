@@ -18,7 +18,7 @@
 //! use cdat::serve::{Router, RouterConfig, RouteRequest};
 //! use cdat::solve::{Query, SolverHint};
 //!
-//! let config = RouterConfig { shards: 2, cache_budget: None, store: None };
+//! let config = RouterConfig { shards: 2, ..RouterConfig::default() };
 //! let router = Router::new(config).unwrap(); // only a store can fail to open
 //! let request = RouteRequest {
 //!     tree: Arc::new(cdat_models::factory_cdp()),
@@ -36,5 +36,6 @@
 //! ```
 
 pub use cdat_server::{
-    protocol, serve_stdio, serve_tcp, Reply, RouteRequest, Router, RouterConfig, ServeConfig,
+    protocol, serve_stdio, serve_tcp, DispatchMetrics, Reply, RouteRequest, Router, RouterConfig,
+    ServeConfig, ServerSnapshot, ShardTelemetry,
 };

@@ -9,8 +9,8 @@ use cdat_core::{CdAttackTree, CdpAttackTree};
 use cdat_pareto::{FrontEntry, ParetoFront};
 
 pub use cdat_engine::{
-    BatchRequest, BatchResult, CacheStats, Engine, FrontCache, FrontKind, PersistentFrontCache,
-    Query, Response, SolverHint,
+    BatchRequest, BatchResult, CacheStats, Engine, EngineMetrics, EngineSnapshot, FrontCache,
+    FrontKind, PersistentFrontCache, Query, Response, SolverHint, StoreSnapshot,
 };
 
 /// Which backend [`cdpf`] and friends will pick for a tree.

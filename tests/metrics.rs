@@ -1,0 +1,181 @@
+//! End-to-end tests of the observability surfaces: the `stats` and
+//! `metrics` ops, counter/histogram consistency across a multi-shard
+//! server, the JSONL trace recorder under concurrent shard writes, and
+//! the out-of-band invariant (instrumentation never changes response
+//! bytes).
+
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+
+use cdat::format::json;
+use cdat::obs::TraceWriter;
+use cdat::serve::{protocol, Reply, RouteRequest, Router, RouterConfig};
+use cdat::solve::{Query, SolverHint};
+use cdat::CdpAttackTree;
+
+fn unique_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("cdat-metrics-{tag}-{}-{n}", std::process::id()))
+}
+
+/// A batch of requests over `distinct` different trees, `copies` requests
+/// each, so every shard sees hits and misses.
+fn requests(distinct: usize, copies: usize) -> Vec<RouteRequest> {
+    let trees: Vec<Arc<CdpAttackTree>> = (0..distinct)
+        .map(|i| {
+            let text = format!(
+                "or root damage={}\n  bas a cost={}\n  bas b cost=2\n",
+                100 + 10 * i,
+                1 + i
+            );
+            Arc::new(cdat_format::parse(&text).expect("valid tree"))
+        })
+        .collect();
+    let mut out = Vec::new();
+    for copy in 0..copies {
+        for (i, tree) in trees.iter().enumerate() {
+            out.push(RouteRequest {
+                tree: tree.clone(),
+                query: Query::Cdpf,
+                hint: SolverHint::Auto,
+                witnesses: false,
+                prefix: format!("{{\"id\":{}", copy * distinct + i),
+            });
+        }
+    }
+    out
+}
+
+#[test]
+fn server_counters_and_histograms_are_consistent() {
+    let router =
+        Router::new(RouterConfig { shards: 3, ..RouterConfig::default() }).expect("memory router");
+    let lines = router.solve(requests(8, 3));
+    assert_eq!(lines.len(), 24);
+
+    let snapshot = router.snapshot();
+    let families = &snapshot.engine.families;
+    let requests_total: u64 = families.iter().map(|f| f.requests).sum();
+    let hits: u64 = families.iter().map(|f| f.hits).sum();
+    let disk_hits: u64 = families.iter().map(|f| f.disk_hits).sum();
+    let misses: u64 = families.iter().map(|f| f.misses).sum();
+    assert_eq!(requests_total, 24);
+    assert_eq!(hits + disk_hits + misses, requests_total, "tier outcomes partition requests");
+    assert_eq!(disk_hits, 0, "memory-only server");
+    assert_eq!(misses, 8, "one solve per distinct tree");
+
+    // Histogram cross-checks: one queue-wait observation per request, one
+    // solve observation per miss, one e2e observation per request; bucket
+    // counts sum to the observation count.
+    assert_eq!(snapshot.engine.queue_wait.count, requests_total);
+    assert_eq!(snapshot.engine.solve.count, misses);
+    assert_eq!(snapshot.e2e.count, requests_total);
+    for (name, hist) in [
+        ("queue_wait", &snapshot.engine.queue_wait),
+        ("solve", &snapshot.engine.solve),
+        ("e2e", &snapshot.e2e),
+    ] {
+        assert_eq!(hist.buckets.iter().sum::<u64>(), hist.count, "{name} buckets sum to count");
+    }
+
+    // Per-shard e2e histograms merge associatively into the aggregate.
+    let mut merged = cdat::obs::HistogramSnapshot::default();
+    for shard in &snapshot.per_shard_e2e {
+        merged.merge(shard);
+    }
+    assert_eq!(merged.count, snapshot.e2e.count);
+    assert_eq!(merged.sum, snapshot.e2e.sum);
+    assert_eq!(merged.buckets, snapshot.e2e.buckets);
+
+    // compute_us aggregates the ORIGINAL solve cost of every answer, so
+    // it is at least the solver time actually spent this run.
+    assert!(snapshot.engine.served_compute_us >= snapshot.engine.solve.sum);
+
+    // Both renderings parse / scrape cleanly.
+    let stats = protocol::stats_line(&json::Value::Num(1.0), &router.stats(), &snapshot);
+    assert!(json::parse(&stats).is_ok(), "{stats}");
+    let text = protocol::metrics_text(&snapshot);
+    assert!(text.contains("cdat_requests_total{family=\"deterministic\"} 24"), "{text}");
+}
+
+#[test]
+fn trace_jsonl_parses_strictly_under_concurrent_shard_writes() {
+    let path = unique_path("trace");
+    let trace = TraceWriter::open(&path).expect("open trace file");
+    let plain =
+        Router::new(RouterConfig { shards: 4, ..RouterConfig::default() }).expect("memory router");
+    let traced = Router::new(RouterConfig {
+        shards: 4,
+        trace: Some(trace.clone()),
+        ..RouterConfig::default()
+    })
+    .expect("memory router");
+
+    // Dispatch asynchronously so all four shards run (and emit trace
+    // lines) concurrently.
+    let batch = requests(16, 4);
+    let expected = batch.len();
+    let (tx, rx) = channel::<Reply>();
+    traced.dispatch(
+        batch.iter().enumerate().map(|(i, r)| (i as u64, r.clone(), tx.clone())).collect(),
+    );
+    drop(tx);
+    let mut traced_lines: Vec<Reply> = rx.iter().collect();
+    assert_eq!(traced_lines.len(), expected);
+    traced_lines.sort_by_key(|(seq, _)| *seq);
+    trace.flush();
+
+    // Out of band: the traced router answers byte-identically to a plain
+    // one.
+    let traced_lines: Vec<String> = traced_lines.into_iter().map(|(_, line)| line).collect();
+    assert_eq!(traced_lines, plain.solve(batch));
+
+    // Every line of the concurrently written trace is whole, strict JSON
+    // with the span schema; every engine stage appears.
+    let text = std::fs::read_to_string(&path).expect("read trace file");
+    let mut stages: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let value = json::parse(line).unwrap_or_else(|e| panic!("torn trace line {line:?}: {e}"));
+        for field in ["ts_us", "dur_us"] {
+            assert!(
+                matches!(value.get(field), Some(json::Value::Num(_))),
+                "span missing {field}: {line}"
+            );
+        }
+        let Some(json::Value::Str(stage)) = value.get("stage") else {
+            panic!("span missing stage: {line}");
+        };
+        stages.push(stage.clone());
+    }
+    let count = |name: &str| stages.iter().filter(|s| s.as_str() == name).count();
+    assert_eq!(count("canonicalize"), expected, "one routing-hash span per request");
+    assert_eq!(count("cache_lookup"), expected, "one lookup span per request");
+    assert_eq!(count("solve"), 16, "one solve span per distinct tree");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn store_metrics_flow_into_the_server_snapshot() {
+    let path = unique_path("store");
+    let config =
+        || RouterConfig { shards: 2, store: Some(path.clone()), ..RouterConfig::default() };
+    let cold = Router::new(config()).expect("open store");
+    let cold_lines = cold.solve(requests(6, 1));
+    let appended = cold.snapshot().store.expect("store snapshot").append.count;
+    assert_eq!(appended, 6, "every computed front appends once");
+    drop(cold);
+
+    let warm = Router::new(config()).expect("reopen store");
+    let warm_lines = warm.solve(requests(6, 1));
+    assert_eq!(warm_lines, cold_lines, "warm restart answers byte-identically");
+    let snapshot = warm.snapshot();
+    let store = snapshot.store.expect("store snapshot");
+    assert_eq!(store.read.count, 6, "every warm answer reads one record");
+    assert!(store.read_bytes > 0);
+    assert_eq!(store.scanned_records, 12, "both shard handles scan the 6 records at open");
+    let disk_hits: u64 = snapshot.engine.families.iter().map(|f| f.disk_hits).sum();
+    assert_eq!(disk_hits, 6);
+    let _ = std::fs::remove_file(&path);
+}
