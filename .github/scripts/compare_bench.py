@@ -24,6 +24,9 @@ the *same* run, so their intra-run ratio is hardware-independent:
 * `<scenario>_cold` vs `<scenario>_warm_restart` — a workload solved into
   a fresh persistent store against a fresh engine warm-restarted on that
   store; decoding fronts from disk must beat recomputing them.
+* `<scenario>_scratch` vs `<scenario>_incremental` — a what-if sweep solved
+  per-variant from scratch against the incremental delta path (subtree-front
+  memo plus dirty-path recompute); the incremental half must win.
 
 The script always exits 0 (2 on usage errors): the lane tracks the
 trajectory, it does not gate merges. `--self-test` runs the built-in
@@ -113,6 +116,28 @@ def compare(current, baseline, threshold):
                 )
     else:
         print("::warning::perf-trajectory: no cold/warm-restart scenario pairs found in the run")
+
+    # Scratch-vs-incremental pairs: also intra-run. The incremental what-if
+    # sweep recomputes only dirty root paths against the subtree-front memo,
+    # so it must beat re-solving every variant from scratch.
+    pairs = sorted(
+        n for n in current
+        if n.endswith("_scratch") and n[: -len("_scratch")] + "_incremental" in current
+    )
+    if pairs:
+        print("\nscratch vs incremental what-if sweep (same run):")
+        for scratch_name in pairs:
+            incr_name = scratch_name[: -len("_scratch")] + "_incremental"
+            scratch, incr = current[scratch_name], current[incr_name]
+            speedup = scratch / incr if incr > 0 else float("inf")
+            print(f"  {scratch_name:<{width}}  incremental {speedup:5.2f}x faster than scratch")
+            if incr >= scratch:
+                print(
+                    f"::warning::perf-trajectory: {incr_name} ({incr:.6f}s) no longer beats "
+                    f"its scratch loop ({scratch:.6f}s) — the subtree memo stopped paying for itself"
+                )
+    else:
+        print("::warning::perf-trajectory: no scratch/incremental scenario pairs found in the run")
     return regressions
 
 
@@ -158,6 +183,13 @@ def self_test():
     _, text = run({"store_b_cold": 0.1, "store_b_warm_restart": 1.0}, {})
     assert "stopped paying for itself" in text, text
 
+    # Scratch/incremental pairing: the incremental sweep must beat scratch.
+    _, text = run({"whatif_x_scratch": 1.0, "whatif_x_incremental": 0.05}, {})
+    assert "incremental 20.00x faster than scratch" in text, text
+    assert "stopped paying for itself" not in text, text
+    _, text = run({"whatif_x_scratch": 0.05, "whatif_x_incremental": 1.0}, {})
+    assert "the subtree memo stopped paying for itself" in text, text
+
     # Latency-percentile keys pass through informationally: never a
     # regression, even when far over baseline or missing from the run.
     regressions, text = run(
@@ -172,6 +204,7 @@ def self_test():
     _, text = run({"lonely": 1.0}, {})
     assert "no kernel/oracle scenario pairs" in text, text
     assert "no cold/warm-restart scenario pairs" in text, text
+    assert "no scratch/incremental scenario pairs" in text, text
 
     print("compare_bench.py --self-test: all checks passed")
 

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# whatif-smoke: prove the incremental what-if path is an implementation
+# detail, not a different answer. A 200-variant sweep (cost edits, damage
+# edits, gate swaps on the paper's factory example) is sent through
+# `cdat serve --stdio` **twice in one session** — the first sweep runs
+# against a cold subtree memo, the second against a warm one — and both
+# response streams are diffed byte-for-byte against `cdat batch` solving
+# every materialized variant from scratch. Per the protocol's batch
+# contract, stripping the `id`/`variant` prefix from a sweep line and the
+# `doc`/`name`/`cache` fields from a batch line must leave equal bytes.
+#
+# Usage: whatif_smoke.sh [path/to/cdat] [variants]
+set -euo pipefail
+
+CDAT=${1:-target/release/cdat}
+VARIANTS=${2:-200}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+"$CDAT" example > "$workdir/base.cdat"
+
+# Build the sweep request (one `sweep` op per server pass, same patches)
+# and the scratch suite (every patch materialized as its own document,
+# textually — the patches only touch attributes and gate types, so the
+# variant documents stay valid `cdat-format`).
+python3 - "$workdir" "$VARIANTS" <<'EOF'
+import json, sys
+
+workdir, n = sys.argv[1], int(sys.argv[2])
+base = open(workdir + "/base.cdat").read()
+patches, docs = [], []
+for k in range(n):
+    cls = k % 3
+    if cls == 0:
+        patches.append({"cost": {"cyberattack": 1 + k}})
+        text = base.replace("bas cyberattack cost=1",
+                            "bas cyberattack cost=%d" % (1 + k))
+    elif cls == 1:
+        patches.append({"damage": {"destroy robot": 100 + k}})
+        text = base.replace('and "destroy robot" damage=100',
+                            'and "destroy robot" damage=%d' % (100 + k))
+    else:
+        patches.append({"gate": {"destroy robot": "or"},
+                        "cost": {"force door": 2 + k}})
+        text = base.replace('and "destroy robot"', 'or "destroy robot"') \
+                   .replace('bas "force door" cost=2',
+                            'bas "force door" cost=%d' % (2 + k))
+    docs.append("--- v%d\n%s" % (k, text))
+
+tree = json.dumps(base)
+body = json.dumps(patches)
+with open(workdir + "/requests.jsonl", "w") as f:
+    for rid in (0, 1):
+        f.write('{"id":%d,"op":"sweep","tree":%s,"query":"cdpf",'
+                '"witnesses":true,"patches":%s}\n' % (rid, tree, body))
+with open(workdir + "/suite.cdat", "w") as f:
+    f.write("".join(docs))
+EOF
+
+# One server session, two sweep passes: id 0 hits a cold memo (its base
+# solve populates it), id 1 a warm one. Each sweep's lines arrive in
+# patch order; the two sweeps' lines may interleave, so split by id.
+"$CDAT" serve --stdio --workers 2 --batch-window-us 500 \
+  < "$workdir/requests.jsonl" > "$workdir/serve.out"
+grep '"id":0,' "$workdir/serve.out" \
+  | sed -E 's/^\{"id":0,"variant":[0-9]+,/{/' > "$workdir/cold.out"
+grep '"id":1,' "$workdir/serve.out" \
+  | sed -E 's/^\{"id":1,"variant":[0-9]+,/{/' > "$workdir/warm.out"
+
+[ "$(wc -l < "$workdir/cold.out")" -eq "$VARIANTS" ] \
+  || { echo "whatif-smoke: expected $VARIANTS cold sweep responses" >&2; exit 1; }
+
+# The scratch reference: every variant solved as its own document.
+"$CDAT" batch "$workdir/suite.cdat" --cdpf --witnesses --workers 2 \
+  | sed -E 's/^\{"doc":[0-9]+,"name":"v[0-9]+",/{/; s/"cache":"(hit|miss)",//' \
+  > "$workdir/scratch.out"
+
+echo "--- $VARIANTS-variant sweep: cold memo vs per-variant scratch batch ---"
+diff -u "$workdir/scratch.out" "$workdir/cold.out" \
+  || { echo "whatif-smoke: cold sweep diverged from scratch solves" >&2; exit 1; }
+echo "--- $VARIANTS-variant sweep: warm memo vs cold memo ---"
+diff -u "$workdir/cold.out" "$workdir/warm.out" \
+  || { echo "whatif-smoke: warm sweep diverged from the cold sweep" >&2; exit 1; }
+
+echo "whatif-smoke: $VARIANTS incremental variants byte-identical to scratch, cold and warm"

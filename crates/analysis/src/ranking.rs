@@ -6,8 +6,21 @@
 //! Sorting ascending by residual damage yields the defense priority list;
 //! the paper's case-study narratives ("security improvements should focus on
 //! …") are instances of this computation.
+//!
+//! On treelike trees the whole candidate set is answered through **one
+//! incremental sweep** ([`cdat_engine::Engine::sweep`]): the base tree is
+//! solved once, its per-node fronts are retained, and each candidate defense
+//! recomputes only the defended BAS's root path. A defended BAS's front
+//! collapses to the do-nothing entry — the identity of the gate fold — so the
+//! residual damages are exactly (bit-for-bit) what the scratch solve of each
+//! [`defend`]-pruned residual tree returns, at a fraction of the cost.
+//! DAG-like trees keep the per-variant scratch path (BILP has no incremental
+//! form).
 
-use cdat_core::{BasId, CdAttackTree, NotTreelike};
+use std::sync::Arc;
+
+use cdat_core::{BasId, CdAttackTree, CdpAttackTree, NotTreelike, TreePatch};
+use cdat_engine::{DeltaRequest, Engine, Query, Response};
 
 use crate::whatif::{defend, Defended};
 
@@ -31,19 +44,24 @@ pub struct DefenseEffect {
 /// Works on treelike and DAG-like trees (dispatching to the appropriate
 /// solver per residual tree — defenses can change the shape).
 pub fn rank_single_defenses(cd: &CdAttackTree, budget: f64) -> Vec<DefenseEffect> {
+    let residual_damages = residual_damages(cd, budget);
     let mut effects: Vec<DefenseEffect> = cd
         .tree()
         .bas_ids()
         .map(|bas| {
             let name = cd.tree().name(cd.tree().node_of_bas(bas)).to_owned();
-            let (residual_damage, residual_max_damage) = match defend(cd, &[bas]) {
-                Defended::Neutralized => (0.0, 0.0),
-                Defended::Residual(residual, _) => {
-                    let damage = dgc_any(&residual, budget);
-                    (damage, residual.max_damage())
-                }
+            // Residual max damage is a pure attribute sum over the pruned
+            // tree — no solver involved, so the prune stays worthwhile.
+            let residual_max_damage = match defend(cd, &[bas]) {
+                Defended::Neutralized => 0.0,
+                Defended::Residual(residual, _) => residual.max_damage(),
             };
-            DefenseEffect { bas, name, residual_damage, residual_max_damage }
+            DefenseEffect {
+                bas,
+                name,
+                residual_damage: residual_damages[bas.index()],
+                residual_max_damage,
+            }
         })
         .collect();
     effects.sort_by(|a, b| {
@@ -53,6 +71,52 @@ pub fn rank_single_defenses(cd: &CdAttackTree, budget: f64) -> Vec<DefenseEffect
             .then_with(|| a.name.cmp(&b.name))
     });
     effects
+}
+
+/// Residual DgC damage per single-BAS defense, indexed by BAS id.
+///
+/// Treelike trees answer every candidate through one incremental sweep —
+/// one defend patch per BAS against the retained base solve — instead of a
+/// per-variant scratch re-solve loop. DAG-like trees (no incremental form)
+/// and NaN budgets (which admit no attack) keep the direct evaluation.
+fn residual_damages(cd: &CdAttackTree, budget: f64) -> Vec<f64> {
+    let n = cd.tree().bas_count();
+    if budget.is_nan() {
+        // A NaN budget admits no attack (every cost comparison is false) —
+        // short-circuit it instead of tripping the solvers' not-NaN budget
+        // contract.
+        return vec![0.0; n];
+    }
+    if !cd.tree().is_treelike() {
+        return cd
+            .tree()
+            .bas_ids()
+            .map(|bas| match defend(cd, &[bas]) {
+                Defended::Neutralized => 0.0,
+                Defended::Residual(residual, _) => dgc_any(&residual, budget),
+            })
+            .collect();
+    }
+    // The engine's delta path works on cdp-ATs; unit probabilities make the
+    // deterministic queries read the cd-AT unchanged.
+    let tree = Arc::new(
+        CdpAttackTree::from_parts(cd.clone(), vec![1.0; n]).expect("unit probabilities are valid"),
+    );
+    let patches: Vec<TreePatch> = cd
+        .tree()
+        .bas_ids()
+        .map(|bas| TreePatch { defends: vec![bas], ..TreePatch::default() })
+        .collect();
+    let request = DeltaRequest::sweep(tree, Query::Dgc(budget), patches);
+    Engine::new(1)
+        .sweep(&request)
+        .into_iter()
+        .map(|result| match result.response {
+            Response::Entry(Some(e)) => e.point.damage,
+            Response::Entry(None) => 0.0,
+            other => unreachable!("treelike DgC deltas answer entries, got {other:?}"),
+        })
+        .collect()
 }
 
 /// DgC on any tree shape.

@@ -44,8 +44,9 @@ fn budgeted_router(c: &mut Criterion) {
     let requests = server_route_requests();
     let mut group = c.benchmark_group("server_budgeted");
     group.sample_size(10).measurement_time(Duration::from_secs(2));
-    let router = Router::new(RouterConfig { shards: 4, cache_budget: Some(64), ..RouterConfig::default() })
-        .expect("memory-only router");
+    let router =
+        Router::new(RouterConfig { shards: 4, cache_budget: Some(64), ..RouterConfig::default() })
+            .expect("memory-only router");
     router.solve(requests.clone());
     group.bench_with_input(BenchmarkId::new("cdpf_evicting", 4), &requests, |b, requests| {
         b.iter(|| black_box(router.solve(black_box(requests.clone()))))

@@ -1,0 +1,52 @@
+//! Incremental what-if sweeps vs per-variant scratch re-solves.
+//!
+//! Measures the shared `whatif_sweep` reference workload (the balanced
+//! alternating tree with case-study-style shallow damage, 200 single-cost
+//! variants) through `Engine::sweep` — one retained base solve plus a
+//! dirty-path recompute per variant — against the honest alternative: a
+//! fresh engine solving every materialized variant from scratch. Response
+//! agreement is asserted before anything is measured; the speedup is only
+//! meaningful because both sides answer identically.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cdat_bench::{whatif_sweep_patches, whatif_sweep_tree};
+use cdat_engine::{BatchRequest, DeltaRequest, Engine, Query};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn whatif_sweep(c: &mut Criterion) {
+    let base = whatif_sweep_tree();
+    let patches = whatif_sweep_patches(&base, 200);
+    let scratch_requests: Vec<BatchRequest> = patches
+        .iter()
+        .map(|p| {
+            let patched = p.apply(&base).expect("cost edits materialize");
+            BatchRequest::new(Arc::new(patched), Query::Cdpf)
+        })
+        .collect();
+    let request = DeltaRequest::sweep(base, Query::Cdpf, patches);
+
+    // Agreement before measurement: the incremental sweep must answer
+    // exactly what the per-variant scratch loop answers.
+    let scratch_results = Engine::new(1).run(&scratch_requests);
+    let delta_results = Engine::new(1).sweep(&request);
+    assert_eq!(scratch_results.len(), delta_results.len());
+    for (s, d) in scratch_results.iter().zip(&delta_results) {
+        assert_eq!(s.response, d.response, "incremental sweep must match scratch");
+    }
+
+    let mut group = c.benchmark_group("whatif_sweep");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_with_input(BenchmarkId::new("scratch", 200), &scratch_requests, |b, requests| {
+        b.iter(|| Engine::new(1).run(black_box(requests)))
+    });
+    group.bench_with_input(BenchmarkId::new("incremental", 200), &request, |b, request| {
+        b.iter(|| Engine::new(1).sweep(black_box(request)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, whatif_sweep);
+criterion_main!(benches);

@@ -26,8 +26,8 @@ use cdat_core::{CdAttackTree, CdpAttackTree};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
-const USAGE: &str =
-    "usage: experiments [all|fig3|fig6a|fig6b|fig6c|table3|fig7|serve-sweep|bench-json] [options]
+const USAGE: &str = "usage: experiments \
+[all|fig3|fig6a|fig6b|fig6c|table3|fig7|sensitivity|serve-sweep|bench-json] [options]
 
 targets:
   all         every figure and table in its quick configuration
@@ -36,6 +36,9 @@ targets:
   table3      case-study timings (add --with-enum for the slow column)
   fig7        random-suite sweep (--cap-seconds F, --max-n N, --per-n K,
               --threads W to sweep through the batch engine on W workers)
+  sensitivity cost-sensitivity sweep of the panda AT through the incremental
+              what-if engine, checked against per-variant scratch re-solves
+              (--variants N, default 1000)
   serve-sweep the serving router over the reference workload at 1/2/4/8
               shards, cold and warm, plus the evicting budgeted path
   bench-json  quick perf-trajectory scenarios as JSON (--out FILE; CI lane)
@@ -89,6 +92,10 @@ fn main() {
         } else {
             fig7(cap, max_n, per_n);
         }
+    }
+    if wants("sensitivity") {
+        let variants: usize = opt_value("--variants").and_then(|v| v.parse().ok()).unwrap_or(1000);
+        sensitivity(variants);
     }
     if wants("serve-sweep") {
         serve_sweep();
@@ -425,6 +432,80 @@ fn sweep_engine(
     );
 }
 
+/// Cost-sensitivity analysis of the panda AT through the incremental
+/// what-if engine: every BAS repriced over a grid of surcharges, answered
+/// as one streaming sweep against the retained base solve. A per-variant
+/// scratch re-solve loop runs first as the agreement reference — the sweep
+/// must match it answer for answer — and the wall-clock ratio between the
+/// two is the point of the incremental path.
+fn sensitivity(variants: usize) {
+    use cdat_engine::{BatchRequest, DeltaRequest, Engine, Query, Response};
+
+    header(&format!(
+        "Sensitivity — {variants} cost variants of the panda AT, incremental vs scratch"
+    ));
+    let base = std::sync::Arc::new(cdat_models::panda_cdp());
+    let patches = cdat_bench::whatif_sweep_patches(&base, variants);
+    let base_front = cdat_bottomup::cdpf(base.cd()).expect("treelike");
+    let base_points: Vec<_> = base_front.entries().iter().map(|e| e.point).collect();
+    let rounds = variants.div_ceil(base.tree().bas_count());
+
+    // Scratch reference: materialize every variant (outside the timers)
+    // and re-solve each one independently.
+    let scratch_requests: Vec<BatchRequest> = patches
+        .iter()
+        .map(|p| {
+            let patched = p.apply(&base).expect("cost edits materialize");
+            BatchRequest::new(std::sync::Arc::new(patched), Query::Cdpf)
+        })
+        .collect();
+    let (scratch_results, scratch_t) = timed(|| Engine::new(1).run(&scratch_requests));
+
+    // The incremental path: one engine, one streaming sweep.
+    let request = DeltaRequest::sweep(base.clone(), Query::Cdpf, patches.clone());
+    let (delta_results, delta_t) = timed(|| Engine::new(1).sweep(&request));
+
+    let mut shifted: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut dirty = 0usize;
+    let mut reused = 0usize;
+    for ((patch, scratch), delta) in patches.iter().zip(&scratch_results).zip(&delta_results) {
+        assert_eq!(
+            scratch.response, delta.response,
+            "the incremental sweep must match the scratch re-solve"
+        );
+        dirty += delta.dirty_nodes;
+        reused += delta.subtree_hits;
+        let Response::Front(front) = &delta.response else { continue };
+        if front.entries().iter().map(|e| e.point).ne(base_points.iter().copied()) {
+            let (bas, _) = patch.costs[0];
+            *shifted.entry(base.tree().name(base.tree().node_of_bas(bas))).or_default() += 1;
+        }
+    }
+    println!("all {variants} incremental answers equal their scratch re-solves");
+    println!(
+        "scratch {} | incremental {} | speedup {:.1}x",
+        fmt_duration(scratch_t),
+        fmt_duration(delta_t),
+        scratch_t.as_secs_f64() / delta_t.as_secs_f64()
+    );
+    println!(
+        "per variant: {:.1} of {} nodes recomputed, {:.1} memoized subtree fronts reused",
+        dirty as f64 / variants as f64,
+        base.tree().node_count(),
+        reused as f64 / variants as f64
+    );
+    let mut ranked: Vec<(&str, usize)> = shifted.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    println!(
+        "front-shifting BASs ({} of {}; count = surcharges out of {rounds} that move the front):",
+        ranked.len(),
+        base.tree().bas_count()
+    );
+    for (name, count) in ranked.iter().take(8) {
+        println!("  {count:>3}/{rounds}  {name}");
+    }
+}
+
 /// The serving-router shard sweep: the reference workload (120 CDPF
 /// requests) through `cdat_server::Router` at several shard counts, cold
 /// and warm, plus the evicting budgeted configuration.
@@ -629,6 +710,38 @@ fn bench_json(out: Option<String>) {
             "serve_router_cdpf_120_4s_queue_wait_p99_us",
             snap.engine.queue_wait.p99() as f64,
         ));
+    }
+
+    // Incremental what-if scenarios: a 1000-variant cost sweep over the
+    // balanced reference tree, answered per-variant from scratch and as one
+    // incremental sweep against the retained base solve. The `_scratch`/`_incremental`
+    // suffix pair is a reporting convention compare_bench.py understands:
+    // like cold/warm-restart, the intra-run ratio is hardware-independent,
+    // and the incremental half must win.
+    {
+        use cdat_engine::{BatchRequest, DeltaRequest, Query};
+        let base = cdat_bench::whatif_sweep_tree();
+        let patches = cdat_bench::whatif_sweep_patches(&base, 1000);
+        let scratch_requests: Vec<BatchRequest> = patches
+            .iter()
+            .map(|p| {
+                let patched = p.apply(&base).expect("cost edits materialize");
+                BatchRequest::new(std::sync::Arc::new(patched), Query::Cdpf)
+            })
+            .collect();
+        let request = DeltaRequest::sweep(base, Query::Cdpf, patches);
+        // Agreement first, timing second: the speedup only counts because
+        // the sweep answers exactly what the scratch loop answers.
+        let scratch_results = Engine::new(1).run(&scratch_requests);
+        let delta_results = Engine::new(1).sweep(&request);
+        assert_eq!(scratch_results.len(), delta_results.len());
+        for (s, d) in scratch_results.iter().zip(&delta_results) {
+            assert_eq!(s.response, d.response, "incremental sweep must match scratch");
+        }
+        let (_, t) = timed(|| black_box(Engine::new(1).run(black_box(&scratch_requests))));
+        scenarios.push(("whatif_sweep_1000_scratch", t.as_secs_f64()));
+        let (_, t) = timed(|| black_box(Engine::new(1).sweep(black_box(&request))));
+        scenarios.push(("whatif_sweep_1000_incremental", t.as_secs_f64()));
     }
 
     // Persistent-store scenarios: cold solves every front into a fresh

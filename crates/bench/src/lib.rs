@@ -144,6 +144,83 @@ pub fn engine_batch_requests() -> Vec<cdat_engine::BatchRequest> {
         .collect()
 }
 
+/// A deterministic grid of single-cost-edit patches against `base`:
+/// variant `i` reprices BAS `i % n` to its base cost plus surcharge
+/// `i / n + 1`, cycling every BAS through every surcharge. Every patch
+/// materializes (no defends), so a per-variant scratch solve of
+/// [`TreePatch::apply`](cdat_core::TreePatch::apply) is the reference an
+/// incremental sweep must answer identically. Shared by the
+/// `whatif_sweep` criterion bench and the `experiments` `sensitivity` /
+/// `bench-json` targets.
+pub fn whatif_sweep_patches(base: &CdpAttackTree, variants: usize) -> Vec<cdat_core::TreePatch> {
+    use cdat_core::{BasId, TreePatch};
+    let n = base.tree().bas_count();
+    (0..variants)
+        .map(|i| {
+            let bas = BasId::new(i % n);
+            let cost = base.cd().cost(bas) + (i / n + 1) as f64;
+            TreePatch { costs: vec![(bas, cost)], ..TreePatch::default() }
+        })
+        .collect()
+}
+
+/// The incremental what-if reference tree for the `whatif_sweep_1000`
+/// bench-json pair and the `whatif_sweep` criterion bench: a balanced
+/// alternating OR/AND tree of fanout 3 and depth 5 (243 BASs, 364 nodes),
+/// small-integer costs, and — like the paper's case studies — damage
+/// concentrated at the root and the top two gate levels. The few distinct
+/// attainable damage totals keep every staircase front small, so per-node
+/// solve cost stays roughly uniform across levels and a single-leaf edit
+/// (6 dirty nodes of 364) costs a small fraction of the scratch solve:
+/// the regime the subtree-front memo exists for. Had the damages been
+/// spread over every node instead, the near-root fronts would dwarf the
+/// rest and the always-dirty root path would dominate both sides of the
+/// comparison.
+pub fn whatif_sweep_tree() -> std::sync::Arc<CdpAttackTree> {
+    use cdat_core::{AttackTreeBuilder, NodeId, NodeType};
+    use rand::prelude::*;
+    fn grow(b: &mut AttackTreeBuilder, depth: usize, and: bool, next: &mut usize) -> NodeId {
+        let id = *next;
+        *next += 1;
+        if depth == 0 {
+            return b.bas(&format!("b{id}"));
+        }
+        let kids: Vec<NodeId> = (0..3).map(|_| grow(b, depth - 1, !and, next)).collect();
+        if and {
+            b.and(&format!("g{id}"), kids)
+        } else {
+            b.or(&format!("g{id}"), kids)
+        }
+    }
+    let mut b = AttackTreeBuilder::new();
+    grow(&mut b, 5, false, &mut 0);
+    let tree = b.build().expect("balanced alternating tree is a valid treelike AT");
+    let mut depth = vec![0usize; tree.node_count()];
+    let mut order: Vec<NodeId> = vec![tree.root()];
+    while let Some(v) = order.pop() {
+        for &c in tree.children(v) {
+            depth[c.index()] = depth[v.index()] + 1;
+            order.push(c);
+        }
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x51EE9);
+    let costs: Vec<f64> = (0..tree.bas_count()).map(|_| rng.gen_range(1..=6) as f64).collect();
+    let damages: Vec<f64> = (0..tree.node_count())
+        .map(|i| match depth[i] {
+            0 => 50.0,
+            1 => [10.0, 20.0, 40.0][rng.gen_range(0..3usize)],
+            2 if tree.node_type(NodeId::new(i)) != NodeType::Bas => {
+                [0.0, 5.0, 10.0][rng.gen_range(0..3usize)]
+            }
+            _ => 0.0,
+        })
+        .collect();
+    let probs: Vec<f64> =
+        (0..tree.bas_count()).map(|_| rng.gen_range(1..=10) as f64 / 10.0).collect();
+    let cd = CdAttackTree::from_parts(tree, costs, damages).expect("grid attributes are valid");
+    std::sync::Arc::new(CdpAttackTree::from_parts(cd, probs).expect("grid probabilities are valid"))
+}
+
 /// The same reference workload shaped for the serving router: one
 /// [`RouteRequest`](cdat_server::RouteRequest) per tree, numeric-id
 /// prefixes, shared by the `server_throughput` criterion bench and the

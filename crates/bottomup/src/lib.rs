@@ -57,7 +57,9 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod delta;
 mod recursion;
 mod solver;
 
+pub use delta::{retain_cdpf, retain_cedpf, DeltaStats, RetainedFronts};
 pub use solver::{cdpf, cedpf, cgd, cged, dgc, edgc, max_prob, min_time, BottomUp};

@@ -17,11 +17,11 @@ use cdat_pareto::{Activation, AttributeDomain, CdTriples, GateScratch, Staircase
 pub(crate) type Entry<A> = (Triple<A>, Option<Attack>);
 
 /// A per-node front in kernel form, on the cost–damage domain.
-type Front<A> = Staircase<CdTriples<A>, Option<Attack>>;
+pub(crate) type Front<A> = Staircase<CdTriples<A>, Option<Attack>>;
 
 /// Witness combination for a product entry: the union of the two child
 /// attacks (or `None` when witness tracking is off).
-fn join_witnesses(a: &Option<Attack>, b: &Option<Attack>) -> Option<Attack> {
+pub(crate) fn join_witnesses(a: &Option<Attack>, b: &Option<Attack>) -> Option<Attack> {
     match (a, b) {
         (Some(a), Some(b)) => Some(a.union(b)),
         _ => None,
@@ -62,6 +62,26 @@ pub(crate) fn node_fronts<A, F>(
     budget: Option<f64>,
     witnesses: bool,
 ) -> Result<Vec<Vec<Entry<A>>>, NotTreelike>
+where
+    A: Activation,
+    F: Fn(cdat_core::BasId) -> Triple<A>,
+{
+    Ok(staircase_fronts(tree, damages, leaf, budget, witnesses)?
+        .into_iter()
+        .map(Staircase::into_entries)
+        .collect())
+}
+
+/// [`node_fronts`] before the final unwrap: every per-node front retained in
+/// kernel (staircase) form, ready for reuse by the incremental delta solver
+/// ([`crate::delta`]) without re-minimization.
+pub(crate) fn staircase_fronts<A, F>(
+    tree: &AttackTree,
+    damages: &[f64],
+    leaf: F,
+    budget: Option<f64>,
+    witnesses: bool,
+) -> Result<Vec<Front<A>>, NotTreelike>
 where
     A: Activation,
     F: Fn(cdat_core::BasId) -> Triple<A>,
@@ -112,7 +132,7 @@ where
         };
         fronts.push(front);
     }
-    Ok(fronts.into_iter().map(Staircase::into_entries).collect())
+    Ok(fronts)
 }
 
 /// Computes the Pareto front of attribute triples at the **root**,

@@ -264,7 +264,7 @@ pub(crate) fn prob_leaf(cdp: &CdpAttackTree) -> impl Fn(cdat_core::BasId) -> Tri
 
 /// Projects root triples to the cost-damage plane and minimizes (the map `π`
 /// followed by `min` — Theorems 4 and 9).
-fn project<A: cdat_pareto::Activation>(front: Vec<Entry<A>>) -> ParetoFront {
+pub(crate) fn project<A: cdat_pareto::Activation>(front: Vec<Entry<A>>) -> ParetoFront {
     ParetoFront::from_entries(
         front.into_iter().map(|(t, w)| FrontEntry { point: t.project(), witness: w }),
     )

@@ -172,6 +172,56 @@ pub fn hash_cdp(cdp: &CdpAttackTree) -> StructuralHash {
     hash_impl(cdp.tree(), Some(cdp.cd().costs()), Some(cdp.cd().damages()), Some(cdp.probs()))
 }
 
+/// Shared worker for [`subtree_hashes_cd`] / [`subtree_hashes_cdp`]: applies
+/// the [`finish_hash`] recipe to the sub-DAG rooted at every node.
+fn subtree_hashes_impl(
+    tree: &AttackTree,
+    cost: Option<&[f64]>,
+    damage: Option<&[f64]>,
+    prob: Option<&[f64]>,
+) -> Vec<StructuralHash> {
+    let digest = digests(tree, cost, damage, prob);
+    tree.node_ids()
+        .map(|v| {
+            let members = tree.descendants(v);
+            let bas = members.iter().filter(|m| tree.bas_of_node(**m).is_some()).count();
+            let mut all: Vec<u128> = members.iter().map(|m| digest[m.index()]).collect();
+            all.sort_unstable();
+            let mut h = digest[v.index()];
+            h = fold(h, members.len() as u128);
+            h = fold(h, bas as u128);
+            for d in all {
+                h = fold(h, d);
+            }
+            StructuralHash(scramble(h))
+        })
+        .collect()
+}
+
+/// Per-subtree canonical digests of a cd-AT, indexed by `NodeId::index()`.
+///
+/// Entry `v` hashes the sub-DAG reachable from `v` with exactly the
+/// `finish_hash` discipline the root hash uses: the bottom-up digest of
+/// `v`, the subtree's node and BAS counts, and the sorted multiset of the
+/// member digests — so the digest is stable under sibling permutation and
+/// isomorphic renaming, distinguishes a shared subtree from two copies of
+/// it, and **agrees with [`hash_cd`] at the root node**. The engine's
+/// subtree-front memo keys on these digests.
+pub fn subtree_hashes_cd(cd: &CdAttackTree) -> Vec<StructuralHash> {
+    subtree_hashes_impl(cd.tree(), Some(cd.costs()), Some(cd.damages()), None)
+}
+
+/// Per-subtree canonical digests of a cdp-AT (probabilities folded in);
+/// entry `tree().root()` agrees with [`hash_cdp`]. See [`subtree_hashes_cd`].
+pub fn subtree_hashes_cdp(cdp: &CdpAttackTree) -> Vec<StructuralHash> {
+    subtree_hashes_impl(
+        cdp.tree(),
+        Some(cdp.cd().costs()),
+        Some(cdp.cd().damages()),
+        Some(cdp.probs()),
+    )
+}
+
 /// A tree's canonicalization: its structural hash plus the canonical BAS
 /// permutation (see [`canonicalize_cd`] / [`canonicalize_cdp`]).
 ///
@@ -530,6 +580,84 @@ mod tests {
             class(&c2.bas_order, [0, 1]),
             "shared-vs-copied BASs must land on the same canonical positions"
         );
+    }
+
+    #[test]
+    fn subtree_digest_at_root_agrees_with_the_tree_hash() {
+        let cd = factory_cd(factory(["ca", "pb", "fd", "dr", "ps"], false));
+        let per_node = subtree_hashes_cd(&cd);
+        assert_eq!(per_node.len(), cd.tree().node_count());
+        assert_eq!(per_node[cd.tree().root().index()], hash_cd(&cd));
+
+        let p = CdpAttackTree::from_parts(cd.clone(), vec![0.2, 0.4, 0.9]).unwrap();
+        let per_node_p = subtree_hashes_cdp(&p);
+        assert_eq!(per_node_p[p.tree().root().index()], hash_cdp(&p));
+        // The probabilistic digests differ from the deterministic ones at
+        // every node whose subtree contains a BAS (here: all of them).
+        for (d, dp) in per_node.iter().zip(&per_node_p) {
+            assert_ne!(d, dp);
+        }
+    }
+
+    #[test]
+    fn subtree_digests_ignore_sibling_order_and_names() {
+        // Flipping child order and renaming keeps node ids (insertion order
+        // is unchanged), so digests must match index-for-index.
+        let cd_a = factory_cd(factory(["ca", "pb", "fd", "dr", "ps"], false));
+        let flipped = factory(["u1", "u2", "u3", "u4", "u5"], true);
+        let mut damage = vec![0.0; 5];
+        damage[3] = 100.0;
+        damage[4] = 200.0;
+        let cd_b = CdAttackTree::from_parts(flipped, vec![1.0, 3.0, 2.0], damage).unwrap();
+        assert_eq!(subtree_hashes_cd(&cd_a), subtree_hashes_cd(&cd_b));
+    }
+
+    #[test]
+    fn subtree_digests_separate_shared_from_copied() {
+        // Same construction as `shared_and_copied_subtrees_differ`: the two
+        // OR parents p1 = OR(g, a) and p2 = OR(g, b) over a SHARED g...
+        let mut b = AttackTreeBuilder::new();
+        let x = b.bas("x");
+        let y = b.bas("y");
+        let g = b.or("g", [x, y]);
+        let a = b.bas("a");
+        let bb = b.bas("b");
+        let p1 = b.or("p1", [g, a]);
+        let p2 = b.or("p2", [g, bb]);
+        let r = b.and("r", [p1, p2]);
+        let shared = b.build().unwrap();
+        let n = shared.node_count();
+        let cd_shared = CdAttackTree::from_parts(shared, vec![1.0; 4], vec![2.0; n]).unwrap();
+
+        // ... versus two COPIES of g under the same parent shapes.
+        let mut b = AttackTreeBuilder::new();
+        let x1 = b.bas("x1");
+        let y1 = b.bas("y1");
+        let g1 = b.or("g1", [x1, y1]);
+        let x2 = b.bas("x2");
+        let y2 = b.bas("y2");
+        let g2 = b.or("g2", [x2, y2]);
+        let a = b.bas("a");
+        let bb = b.bas("b");
+        let c1 = b.or("p1", [g1, a]);
+        let c2 = b.or("p2", [g2, bb]);
+        let rc = b.and("r", [c1, c2]);
+        let copied = b.build().unwrap();
+        let m = copied.node_count();
+        let cd_copied = CdAttackTree::from_parts(copied, vec![1.0; 6], vec![2.0; m]).unwrap();
+
+        let ds = subtree_hashes_cd(&cd_shared);
+        let dc = subtree_hashes_cd(&cd_copied);
+        // The parent subtrees p1/p2 are honest trees in both variants and
+        // attribute-identical, so their digests coincide across variants...
+        assert_eq!(ds[p1.index()], dc[c1.index()]);
+        assert_eq!(ds[p2.index()], dc[c2.index()]);
+        // ... but the roots differ: g's digest occurs once in the shared
+        // multiset and twice in the copied one.
+        assert_ne!(ds[r.index()], dc[rc.index()]);
+        // And each root digest agrees with the whole-tree hash.
+        assert_eq!(ds[r.index()], hash_cd(&cd_shared));
+        assert_eq!(dc[rc.index()], hash_cd(&cd_copied));
     }
 
     #[test]

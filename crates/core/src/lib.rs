@@ -69,6 +69,7 @@ pub mod canonical;
 mod dot;
 mod error;
 mod node;
+mod patch;
 mod structure;
 pub mod theory;
 mod tree;
@@ -82,5 +83,6 @@ pub use canonical::StructuralHash;
 pub use dot::{to_dot, to_dot_cd, to_dot_cdp};
 pub use error::{AttributeError, BuildError};
 pub use node::{BasId, NodeId, NodeType};
+pub use patch::TreePatch;
 pub use structure::NotTreelike;
 pub use tree::AttackTree;

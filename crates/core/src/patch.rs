@@ -1,0 +1,267 @@
+//! Small edits to a decorated attack tree, for incremental what-if solving.
+//!
+//! A [`TreePatch`] names a handful of changes against a *base* cdp-AT:
+//! attribute edits (costs, damages, probabilities), gate-type swaps and BAS
+//! *defends* (forcing a basic attack step off, as if a defender neutralized
+//! it). The engine's delta path applies a patch without rebuilding the tree —
+//! only the patched nodes and their ancestors are recomputed — so the patch
+//! deliberately cannot change the tree's *shape*: no adding or removing
+//! nodes, no rewiring edges.
+//!
+//! [`TreePatch::apply`] materializes the patched model as a standalone
+//! cdp-AT with identical node/BAS numbering, which is what the scratch
+//! reference in tests and benches solves. Defends have no materialized
+//! equivalent (a BAS cannot be attribute-edited into impossibility in the
+//! deterministic semantics), so `apply` rejects them; the delta path handles
+//! them natively.
+
+use crate::attributes::{CdAttackTree, CdpAttackTree};
+use crate::builder::AttackTreeBuilder;
+use crate::node::{BasId, NodeId, NodeType};
+use crate::tree::AttackTree;
+
+/// A set of edits against a base cdp-AT (see the module docs).
+///
+/// All ids refer to the base tree's numbering. An empty patch is valid and
+/// leaves the model unchanged.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TreePatch {
+    /// Cost edits: `(bas, new_cost)`.
+    pub costs: Vec<(BasId, f64)>,
+    /// Probability edits: `(bas, new_probability)`.
+    pub probs: Vec<(BasId, f64)>,
+    /// Damage edits: `(node, new_damage)`.
+    pub damages: Vec<(NodeId, f64)>,
+    /// Gate-type swaps: `(gate_node, new_type)`; the node must be a gate and
+    /// the new type must be a gate type.
+    pub gates: Vec<(NodeId, NodeType)>,
+    /// BASs forced off (defended): their leaf front collapses to the
+    /// do-nothing entry.
+    pub defends: Vec<BasId>,
+}
+
+impl TreePatch {
+    /// `true` when the patch contains no edits at all.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+            && self.probs.is_empty()
+            && self.damages.is_empty()
+            && self.gates.is_empty()
+            && self.defends.is_empty()
+    }
+
+    /// Total number of individual edits.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+            + self.probs.len()
+            + self.damages.len()
+            + self.gates.len()
+            + self.defends.len()
+    }
+
+    /// Checks every edit against the base tree: ids in range, values obeying
+    /// the same rules the attribute validators enforce (costs and damages
+    /// finite and non-negative, probabilities finite in `[0, 1]`), gate swaps
+    /// naming gates and gate types only.
+    pub fn validate(&self, base: &CdpAttackTree) -> Result<(), String> {
+        let tree = base.tree();
+        let bas_name = |b: BasId| tree.name(tree.node_of_bas(b)).to_owned();
+        for &(b, _) in self.costs.iter().chain(&self.probs) {
+            if b.index() >= tree.bas_count() {
+                return Err(format!("patch names BAS {b} but the tree has {}", tree.bas_count()));
+            }
+        }
+        for &b in &self.defends {
+            if b.index() >= tree.bas_count() {
+                return Err(format!("patch defends BAS {b} but the tree has {}", tree.bas_count()));
+            }
+        }
+        let nodes = self.damages.iter().map(|&(v, _)| v).chain(self.gates.iter().map(|&(v, _)| v));
+        for v in nodes {
+            if v.index() >= tree.node_count() {
+                return Err(format!("patch names node {v} but the tree has {}", tree.node_count()));
+            }
+        }
+        for &(b, c) in &self.costs {
+            if !(c.is_finite() && c >= 0.0) {
+                return Err(format!("invalid cost {c} for \"{}\"", bas_name(b)));
+            }
+        }
+        for &(b, p) in &self.probs {
+            if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+                return Err(format!("invalid probability {p} for \"{}\"", bas_name(b)));
+            }
+        }
+        for &(v, d) in &self.damages {
+            if !(d.is_finite() && d >= 0.0) {
+                return Err(format!("invalid damage {d} for \"{}\"", tree.name(v)));
+            }
+        }
+        for &(v, ty) in &self.gates {
+            if !tree.node_type(v).is_gate() {
+                return Err(format!("gate swap targets \"{}\", which is a BAS", tree.name(v)));
+            }
+            if !ty.is_gate() {
+                return Err(format!("gate swap on \"{}\" names a non-gate type", tree.name(v)));
+            }
+        }
+        Ok(())
+    }
+
+    /// The nodes whose own front changes under this patch (before ancestor
+    /// propagation): the BAS node of every cost/probability edit and defend,
+    /// plus every damage-edited or gate-swapped node. Sorted, deduplicated.
+    pub fn touched(&self, tree: &AttackTree) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .costs
+            .iter()
+            .chain(&self.probs)
+            .map(|&(b, _)| tree.node_of_bas(b))
+            .chain(self.defends.iter().map(|&b| tree.node_of_bas(b)))
+            .chain(self.damages.iter().map(|&(v, _)| v))
+            .chain(self.gates.iter().map(|&(v, _)| v))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Materializes the patched model as a standalone cdp-AT with the exact
+    /// node and BAS numbering of the base (the rebuild walks nodes in id
+    /// order, so insertion order — and with it every id — is preserved).
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid patch (see [`validate`](Self::validate)) or if the
+    /// patch contains defends, which have no materialized equivalent.
+    pub fn apply(&self, base: &CdpAttackTree) -> Result<CdpAttackTree, String> {
+        self.validate(base)?;
+        if !self.defends.is_empty() {
+            return Err("defend edits cannot be materialized as a standalone tree".to_owned());
+        }
+        let tree = base.tree();
+        let mut types: Vec<NodeType> = tree.node_ids().map(|v| tree.node_type(v)).collect();
+        for &(v, ty) in &self.gates {
+            types[v.index()] = ty;
+        }
+        let mut b = AttackTreeBuilder::new();
+        for v in tree.node_ids() {
+            match types[v.index()] {
+                NodeType::Bas => b.bas(tree.name(v)),
+                ty => b.gate(tree.name(v), ty, tree.children(v).iter().copied()),
+            };
+        }
+        let rebuilt = b.build().map_err(|e| e.to_string())?;
+
+        let mut costs = base.cd().costs().to_vec();
+        for &(bas, c) in &self.costs {
+            costs[bas.index()] = c;
+        }
+        let mut damages = base.cd().damages().to_vec();
+        for &(v, d) in &self.damages {
+            damages[v.index()] = d;
+        }
+        let mut probs = base.probs().to_vec();
+        for &(bas, p) in &self.probs {
+            probs[bas.index()] = p;
+        }
+        let cd = CdAttackTree::from_parts(rebuilt, costs, damages).map_err(|e| e.to_string())?;
+        CdpAttackTree::from_parts(cd, probs).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::{hash_cdp, subtree_hashes_cdp};
+
+    fn factory() -> CdpAttackTree {
+        let mut b = AttackTreeBuilder::new();
+        let ca = b.bas("ca");
+        let pb = b.bas("pb");
+        let fd = b.bas("fd");
+        let dr = b.and("dr", [pb, fd]);
+        let _ps = b.or("ps", [ca, dr]);
+        let tree = b.build().unwrap();
+        let mut damage = vec![0.0; 5];
+        damage[3] = 100.0;
+        damage[4] = 200.0;
+        let cd = CdAttackTree::from_parts(tree, vec![1.0, 3.0, 2.0], damage).unwrap();
+        CdpAttackTree::from_parts(cd, vec![0.2, 0.4, 0.9]).unwrap()
+    }
+
+    #[test]
+    fn empty_patch_applies_to_an_identical_model() {
+        let base = factory();
+        let patched = TreePatch::default().apply(&base).unwrap();
+        assert_eq!(hash_cdp(&base), hash_cdp(&patched));
+        assert_eq!(base.probs(), patched.probs());
+        assert!(TreePatch::default().is_empty());
+    }
+
+    #[test]
+    fn apply_preserves_numbering_and_edits_attributes() {
+        let base = factory();
+        let patch = TreePatch {
+            costs: vec![(BasId::new(1), 7.0)],
+            probs: vec![(BasId::new(0), 0.5)],
+            damages: vec![(NodeId::new(4), 150.0)],
+            gates: vec![(NodeId::new(3), NodeType::Or)],
+            defends: vec![],
+        };
+        let patched = patch.apply(&base).unwrap();
+        assert_eq!(patched.tree().name(NodeId::new(3)), "dr");
+        assert_eq!(patched.tree().node_type(NodeId::new(3)), NodeType::Or);
+        assert_eq!(patched.cd().cost(BasId::new(1)), 7.0);
+        assert_eq!(patched.prob(BasId::new(0)), 0.5);
+        assert_eq!(patched.cd().damage(NodeId::new(4)), 150.0);
+        // Untouched attributes survive verbatim.
+        assert_eq!(patched.cd().cost(BasId::new(0)), 1.0);
+        assert_ne!(hash_cdp(&base), hash_cdp(&patched));
+        // Subtrees below every touched node keep their digests: only the
+        // dirty root path changes.
+        let before = subtree_hashes_cdp(&base);
+        let after = subtree_hashes_cdp(&patched);
+        assert_eq!(before[2], after[2], "fd is untouched");
+        assert_ne!(before[3], after[3], "dr was swapped");
+    }
+
+    #[test]
+    fn touched_covers_every_edit_class() {
+        let base = factory();
+        let patch = TreePatch {
+            costs: vec![(BasId::new(2), 1.0)],
+            probs: vec![(BasId::new(2), 0.1)],
+            damages: vec![(NodeId::new(4), 1.0)],
+            gates: vec![(NodeId::new(3), NodeType::And)],
+            defends: vec![BasId::new(0)],
+        };
+        assert_eq!(
+            patch.touched(base.tree()),
+            vec![NodeId::new(0), NodeId::new(2), NodeId::new(3), NodeId::new(4)]
+        );
+        assert_eq!(patch.len(), 5);
+    }
+
+    #[test]
+    fn validation_rejects_bad_edits() {
+        let base = factory();
+        let bad = |p: TreePatch| p.validate(&base).unwrap_err();
+        assert!(bad(TreePatch { costs: vec![(BasId::new(9), 1.0)], ..Default::default() })
+            .contains("BAS"));
+        assert!(bad(TreePatch { costs: vec![(BasId::new(0), -1.0)], ..Default::default() })
+            .contains("invalid cost"));
+        assert!(bad(TreePatch { probs: vec![(BasId::new(0), 1.5)], ..Default::default() })
+            .contains("invalid probability"));
+        assert!(bad(TreePatch { damages: vec![(NodeId::new(0), f64::NAN)], ..Default::default() })
+            .contains("invalid damage"));
+        assert!(bad(TreePatch {
+            gates: vec![(NodeId::new(0), NodeType::And)],
+            ..Default::default()
+        })
+        .contains("which is a BAS"));
+        let defended = TreePatch { defends: vec![BasId::new(0)], ..Default::default() };
+        assert!(defended.validate(&base).is_ok());
+        assert!(defended.apply(&base).unwrap_err().contains("defend"));
+    }
+}

@@ -8,11 +8,14 @@ use std::time::Duration;
 use cdat_core::StructuralHash;
 use cdat_pareto::ParetoFront;
 
+use crate::delta::SubtreeMemo;
 use crate::FrontKind;
 
 /// What a batch ultimately memoizes: one computed front (or the error that
 /// computing it produced — errors are structural, so they cache equally
-/// well) plus the solver wall time that produced it.
+/// well) plus the solver wall time that produced it, and — for treelike
+/// bottom-up solves — the retained per-subtree fronts the incremental
+/// what-if path reuses ([`SubtreeMemo`]).
 #[derive(Clone, Debug)]
 pub struct CachedFront {
     /// The Pareto front — witnesses stored in canonical BAS positions (see
@@ -20,6 +23,12 @@ pub struct CachedFront {
     pub result: Result<ParetoFront, String>,
     /// Solver wall time of the original computation.
     pub compute: Duration,
+    /// The subtree-front memo retained by a treelike bottom-up solve, used
+    /// by [`Engine::sweep`](crate::Engine::sweep) to recompute only dirty
+    /// root paths. Memory-only: persisted records never carry it, so
+    /// disk-promoted entries start with `None` until a delta request
+    /// rebuilds one.
+    pub memo: Option<Arc<SubtreeMemo>>,
 }
 
 impl CachedFront {
@@ -27,14 +36,17 @@ impl CachedFront {
     /// points **plus one extra point per stored witness** (a witnessed
     /// point retains a BAS set alongside its two coordinates, so it weighs
     /// twice a bare one), minimum 1 (errors and empty fronts still occupy
-    /// a slot).
+    /// a slot). An attached [`SubtreeMemo`] adds its own points
+    /// ([`SubtreeMemo::points`]) so retained per-subtree fronts are charged
+    /// to the same budget and eviction stays bounded.
     pub fn weight(&self) -> usize {
+        let memo = self.memo.as_ref().map_or(0, |m| m.points());
         match &self.result {
             Ok(front) => {
                 let witnessed = front.entries().iter().filter(|e| e.witness.is_some()).count();
-                (front.len() + witnessed).max(1)
+                (front.len() + witnessed).max(1) + memo
             }
-            Err(_) => 1,
+            Err(_) => 1 + memo,
         }
     }
 }
@@ -274,12 +286,21 @@ impl FrontCache {
     /// key are deterministic.
     ///
     /// Under a points budget, least-recently-used entries are evicted
-    /// until the shard fits its slice again; an entry heavier than the
-    /// whole slice is returned uncached.
-    pub fn insert(&self, key: CacheKey, entry: CachedFront) -> Arc<CachedFront> {
-        let weight = entry.weight();
+    /// until the shard fits its slice again. An entry heavier than the
+    /// whole slice first sheds its (memory-only, rebuildable) subtree
+    /// memo — counted as an eviction — so the front itself still caches
+    /// under budgets that predate memos; only if it is *still* too heavy
+    /// is it returned uncached.
+    pub fn insert(&self, key: CacheKey, mut entry: CachedFront) -> Arc<CachedFront> {
         let index = self.shard_index(&key);
         let slice = self.budgets.as_ref().map(|b| b[index]);
+        if let Some(budget) = slice {
+            if entry.weight() > budget && entry.memo.is_some() {
+                entry.memo = None;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let weight = entry.weight();
         let mut shard = self.shards[index].lock().expect("cache shard poisoned");
         if let Some(slot) = shard.map.get(&key) {
             return slot.entry.clone();
@@ -299,6 +320,55 @@ impl FrontCache {
             while shard.points > budget {
                 // The newest entry carries the max clock and fits the
                 // budget alone, so the LRU victim is always an older one.
+                let (_, victim) = shard.lru.pop_first().expect("a shard over budget is nonempty");
+                let slot = shard.map.remove(&victim).expect("lru mirrors the map");
+                shard.points -= slot.weight;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        entry
+    }
+
+    /// Stores `entry` for `key`, **overwriting** any existing entry — the
+    /// exception to the first-writer-wins rule, used by the delta path to
+    /// attach a freshly built [`SubtreeMemo`] to an entry that lacks one
+    /// (e.g. a disk-promoted record). Safe because the replacement's front
+    /// is byte-identical to the replaced one; only the memo differs.
+    ///
+    /// Points accounting matches [`insert`](Self::insert): the old weight
+    /// is released, the new one charged, and LRU eviction runs if the
+    /// shard overflows its slice. An entry heavier than the whole slice
+    /// sheds its memo first (counted as an eviction, like `insert`); if
+    /// still too heavy it leaves the cache untouched and is returned
+    /// uncached.
+    pub(crate) fn replace(&self, key: CacheKey, mut entry: CachedFront) -> Arc<CachedFront> {
+        let index = self.shard_index(&key);
+        let slice = self.budgets.as_ref().map(|b| b[index]);
+        if let Some(budget) = slice {
+            if entry.weight() > budget && entry.memo.is_some() {
+                entry.memo = None;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let weight = entry.weight();
+        let mut shard = self.shards[index].lock().expect("cache shard poisoned");
+        let entry = Arc::new(entry);
+        if let Some(budget) = slice {
+            if weight > budget {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                return entry;
+            }
+        }
+        let now = shard.tick();
+        if let Some(old) = shard.map.remove(&key) {
+            shard.points -= old.weight;
+            shard.lru.remove(&old.last_used);
+        }
+        shard.points += weight;
+        shard.map.insert(key, Slot { entry: entry.clone(), weight, last_used: now });
+        if let Some(budget) = slice {
+            shard.lru.insert(now, key);
+            while shard.points > budget {
                 let (_, victim) = shard.lru.pop_first().expect("a shard over budget is nonempty");
                 let slot = shard.map.remove(&victim).expect("lru mirrors the map");
                 shard.points -= slot.weight;
@@ -368,6 +438,7 @@ mod tests {
         CachedFront {
             result: Ok(ParetoFront::from_points(points)),
             compute: Duration::from_micros(5),
+            memo: None,
         }
     }
 
@@ -400,8 +471,10 @@ mod tests {
         let k = key(9);
         let stats_before = cache.stats();
         let first = cache.insert(k, entry());
-        let second =
-            cache.insert(k, CachedFront { result: Err("late".into()), compute: Duration::ZERO });
+        let second = cache.insert(
+            k,
+            CachedFront { result: Err("late".into()), compute: Duration::ZERO, memo: None },
+        );
         assert!(Arc::ptr_eq(&first, &second), "the losing insert must return the existing Arc");
         assert!(second.result.is_ok());
         let stats = cache.stats();
@@ -518,11 +591,32 @@ mod tests {
                 FrontEntry::point(2.0, 3.0),
             ])),
             compute: Duration::ZERO,
+            memo: None,
         };
         assert_eq!(witnessed.weight(), 5, "3 points + 2 witnesses");
         assert_eq!(entry_of(4).weight(), 4, "bare points weigh one each");
-        let error = CachedFront { result: Err("x".into()), compute: Duration::ZERO };
+        let error = CachedFront { result: Err("x".into()), compute: Duration::ZERO, memo: None };
         assert_eq!(error.weight(), 1);
+    }
+
+    #[test]
+    fn overweight_entries_shed_their_memo_before_refusing() {
+        use crate::delta::SubtreeMemo;
+        let tree = Arc::new(cdat_models::factory_cdp());
+        let (front, memo) =
+            SubtreeMemo::build(FrontKind::Deterministic, &tree).expect("factory is treelike");
+        let with_memo =
+            CachedFront { result: Ok(front), compute: Duration::ZERO, memo: Some(Arc::new(memo)) };
+        let bare_weight = CachedFront { memo: None, ..with_memo.clone() }.weight();
+        assert!(with_memo.weight() > bare_weight, "the memo must actually add weight");
+        // A slice exactly the bare front's weight: the memo is shed (one
+        // eviction) and the front itself still caches.
+        let cache = FrontCache::with_budget(1, bare_weight);
+        let stored = cache.insert(key(3), with_memo);
+        assert!(stored.memo.is_none(), "the memo is shed, not the front");
+        assert!(cache.contains(&key(3)));
+        assert_eq!(cache.points(), bare_weight);
+        assert_eq!(cache.stats().evictions, 1);
     }
 
     #[test]

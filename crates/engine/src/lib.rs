@@ -91,6 +91,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod delta;
 mod metrics;
 mod persist;
 
@@ -104,7 +105,11 @@ use cdat_obs::{TraceField, TraceWriter};
 use cdat_pareto::{FrontEntry, ParetoFront};
 
 pub use cache::{CacheKey, CacheStats, CachedFront, FrontCache};
+pub use cdat_core::TreePatch;
 pub use cdat_store::StoreMetrics;
+pub use delta::{
+    DeltaRequest, DeltaResult, SubtreeMemo, DELTA_DAG_UNSUPPORTED, DELTA_SCALAR_UNSUPPORTED,
+};
 pub use metrics::{EngineMetrics, EngineSnapshot, FamilyCounters, FamilySnapshot, StoreSnapshot};
 pub use persist::PersistentFrontCache;
 
@@ -540,7 +545,7 @@ impl Engine {
         type CanonEntry = (StructuralHash, Arc<Vec<BasId>>);
         let mut translations: Vec<Option<Arc<Vec<BasId>>>> = Vec::with_capacity(requests.len());
         let mut canon_of_tree: CanonMemo = Default::default();
-        let mut jobs: Vec<(CacheKey, &CdpAttackTree, SolverHint)> = Vec::new();
+        let mut jobs: Vec<(CacheKey, &Arc<CdpAttackTree>, SolverHint)> = Vec::new();
         let mut job_of_key: std::collections::HashMap<CacheKey, usize> = Default::default();
         // Disk answers already fetched this batch: later same-key requests
         // reuse the held Arc as hits (mirroring job followers), so their
@@ -675,7 +680,7 @@ impl Engine {
                 metrics.queue_wait_us.observe_since(run_started);
             }
             let start = Instant::now();
-            let result = compute_front(key.kind, tree, *hint);
+            let (result, memo) = compute_entry(key.kind, tree, *hint);
             let compute = start.elapsed();
             if let Some(metrics) = &self.metrics {
                 metrics.solve_us.observe_duration(compute);
@@ -683,7 +688,7 @@ impl Engine {
             if let Some(trace) = &self.trace {
                 trace.emit("solve", compute, &[("kind", TraceField::Str(key.kind.label()))]);
             }
-            let entry = CachedFront { result, compute };
+            let entry = CachedFront { result, compute, memo };
             let entry = self.tier.memory().insert(*key, entry);
             // Jobs are deduplicated per key, so exactly one worker appends
             // each new front to the disk tier (which is itself
@@ -789,6 +794,42 @@ impl Engine {
             })
             .collect()
     }
+}
+
+/// Computes one cache entry's payload: the front of `kind` plus, when the
+/// solve goes bottom-up on a treelike tree (the only shape with an
+/// incremental path), the [`SubtreeMemo`] retaining every per-subtree
+/// front for later what-if requests ([`Engine::sweep`]). The memoized root
+/// front is bit-for-bit what [`compute_front`] returns — the retained
+/// solve runs the identical recursion, just without discarding the
+/// intermediate staircases — so memoized and plain entries are
+/// interchangeable.
+fn compute_entry(
+    kind: FrontKind,
+    cdp: &Arc<CdpAttackTree>,
+    hint: SolverHint,
+) -> (Result<ParetoFront, String>, Option<Arc<SubtreeMemo>>) {
+    let bottom_up = match kind {
+        FrontKind::Deterministic => match hint {
+            SolverHint::Auto => cdp.tree().is_treelike(),
+            SolverHint::BottomUp => true,
+            SolverHint::Bilp => false,
+        },
+        FrontKind::Probabilistic => cdp.tree().is_treelike(),
+        FrontKind::MinTime | FrontKind::MaxProb => false,
+    };
+    if bottom_up {
+        if let Some((front, memo)) = SubtreeMemo::build(kind, cdp) {
+            let canonical = match kind {
+                FrontKind::Deterministic => canonicalize_cd(cdp.cd()),
+                _ => canonicalize_cdp(cdp),
+            };
+            let position = canonical.positions();
+            let stored = front.map_witnesses(position.len(), |b| BasId::new(position[b.index()]));
+            return (Ok(stored), Some(Arc::new(memo)));
+        }
+    }
+    (compute_front(kind, cdp, hint), None)
 }
 
 /// Computes the front of `kind` for one tree. `SolverHint::Auto` dispatches

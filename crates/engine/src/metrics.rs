@@ -41,6 +41,16 @@ pub struct FamilyCounters {
     pub disk_hits: Counter,
     /// Designated misses (a solver ran).
     pub misses: Counter,
+    /// What-if delta requests answered (one per patch of a sweep,
+    /// including rejected patches). Counted separately from `requests`:
+    /// the tier-counter partition `hits + disk_hits + misses == requests`
+    /// ignores the delta path entirely.
+    pub delta_requests: Counter,
+    /// Clean subtree fronts reused from the memo across delta requests.
+    pub subtree_hits: Counter,
+    /// Nodes re-evaluated (patched nodes plus ancestors) across delta
+    /// requests.
+    pub dirty_nodes: Counter,
 }
 
 /// Shared, thread-safe engine telemetry (see the module docs for the
@@ -62,6 +72,11 @@ pub struct EngineMetrics {
     /// front's recorded compute time, not zero — the cost a cacheless
     /// deployment would have paid.
     pub served_compute_us: Counter,
+    /// Dirty-path length (nodes recomputed) of each delta request.
+    /// Exactly one observation per counted delta request — rejected
+    /// patches observe 0 — so `dirty_path_len.count` equals the summed
+    /// per-family `delta_requests`.
+    pub dirty_path_len: Histogram,
     /// Per-family tier counters, indexed by [`FrontKind::index`].
     pub families: [FamilyCounters; 4],
 }
@@ -94,6 +109,12 @@ pub struct FamilySnapshot {
     pub disk_hits: u64,
     /// See [`FamilyCounters::misses`].
     pub misses: u64,
+    /// See [`FamilyCounters::delta_requests`].
+    pub delta_requests: u64,
+    /// See [`FamilyCounters::subtree_hits`].
+    pub subtree_hits: u64,
+    /// See [`FamilyCounters::dirty_nodes`].
+    pub dirty_nodes: u64,
 }
 
 /// A point-in-time aggregate of one or more [`EngineMetrics`] instances
@@ -109,6 +130,9 @@ pub struct EngineSnapshot {
     pub invalid_hints: u64,
     /// Summed original solve cost of every served answer, µs.
     pub served_compute_us: u64,
+    /// Merged dirty-path-length histogram (one observation per delta
+    /// request).
+    pub dirty_path_len: HistogramSnapshot,
     /// Per-family counters, indexed by [`FrontKind::index`].
     pub families: [FamilySnapshot; 4],
 }
@@ -125,11 +149,15 @@ impl EngineSnapshot {
         self.solve.merge(&metrics.solve_us.snapshot());
         self.invalid_hints += metrics.invalid_hints.get();
         self.served_compute_us += metrics.served_compute_us.get();
+        self.dirty_path_len.merge(&metrics.dirty_path_len.snapshot());
         for (acc, fam) in self.families.iter_mut().zip(&metrics.families) {
             acc.requests += fam.requests.get();
             acc.hits += fam.hits.get();
             acc.disk_hits += fam.disk_hits.get();
             acc.misses += fam.misses.get();
+            acc.delta_requests += fam.delta_requests.get();
+            acc.subtree_hits += fam.subtree_hits.get();
+            acc.dirty_nodes += fam.dirty_nodes.get();
         }
     }
 
@@ -163,6 +191,26 @@ impl EngineSnapshot {
             let fam = self.families[kind.index()];
             sample(out, "cdat_cache_misses_total", &[("family", kind.label())], fam.misses);
         }
+        type_line(out, "cdat_delta_requests_total", "counter");
+        for kind in FrontKind::ALL {
+            let fam = self.families[kind.index()];
+            sample(
+                out,
+                "cdat_delta_requests_total",
+                &[("family", kind.label())],
+                fam.delta_requests,
+            );
+        }
+        type_line(out, "cdat_subtree_hits_total", "counter");
+        for kind in FrontKind::ALL {
+            let fam = self.families[kind.index()];
+            sample(out, "cdat_subtree_hits_total", &[("family", kind.label())], fam.subtree_hits);
+        }
+        type_line(out, "cdat_dirty_nodes_total", "counter");
+        for kind in FrontKind::ALL {
+            let fam = self.families[kind.index()];
+            sample(out, "cdat_dirty_nodes_total", &[("family", kind.label())], fam.dirty_nodes);
+        }
         type_line(out, "cdat_invalid_hints_total", "counter");
         sample(out, "cdat_invalid_hints_total", &[], self.invalid_hints);
         type_line(out, "cdat_served_compute_us_total", "counter");
@@ -171,6 +219,8 @@ impl EngineSnapshot {
         histogram_samples(out, "cdat_queue_wait_us", &[], &self.queue_wait);
         type_line(out, "cdat_solve_us", "histogram");
         histogram_samples(out, "cdat_solve_us", &[], &self.solve);
+        type_line(out, "cdat_dirty_path_len", "histogram");
+        histogram_samples(out, "cdat_dirty_path_len", &[], &self.dirty_path_len);
     }
 }
 

@@ -90,9 +90,12 @@ impl PersistentFrontCache {
         let stored =
             self.store.lock().expect("store lock poisoned").get(key.hash, family(key.kind))?;
         self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        // Subtree memos are memory-only (never written to disk, see
+        // `CachedFront::memo`), so promoted records start without one.
         let entry = CachedFront {
             result: stored.result,
             compute: Duration::from_micros(stored.compute_micros),
+            memo: None,
         };
         Some(self.memory.insert(*key, entry))
     }

@@ -80,6 +80,7 @@ mod router;
 mod serve;
 
 pub use router::{
-    DispatchMetrics, Reply, RouteRequest, Router, RouterConfig, ServerSnapshot, ShardTelemetry,
+    DeltaRouteRequest, DispatchMetrics, Reply, RouteRequest, Router, RouterConfig, ServerSnapshot,
+    ShardTelemetry,
 };
 pub use serve::{serve_stdio, serve_tcp, ServeConfig};

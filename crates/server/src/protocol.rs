@@ -37,6 +37,29 @@
 //! * `{"op":"metrics"}` — answers immediately with the same telemetry as
 //!   Prometheus text exposition, JSON-escaped into a single `metrics`
 //!   string field.
+//! * `{"op":"whatif","tree":...,"patch":{...}}` — answers the query on
+//!   the *patched* tree incrementally: only the dirty root paths are
+//!   recomputed, every clean subtree front is reused from the memo the
+//!   base tree's normal solve populated. Response bytes are identical to
+//!   solving the patched tree from scratch.
+//! * `{"op":"sweep","tree":...,"patches":[{...},...]}` — a what-if per
+//!   patch, answered as one response line per patch **in patch order**,
+//!   each carrying `"variant":k` (the patch's index). All patches share
+//!   one subtree memo, so a long sweep pays the base solve once.
+//!
+//! A *patch* object maps edit classes to name-keyed edits against the
+//! request's own tree:
+//!
+//! ```text
+//! {"cost":{"bas-name":2},"prob":{"bas-name":0.5},"damage":{"node":100},
+//!  "gate":{"node":"and"},"defend":["bas-name"]}
+//! ```
+//!
+//! `cost`/`prob`/`defend` name BASs, `damage` any node, `gate` a gate
+//! (with the new type `"and"` or `"or"`). The `whatif`/`sweep` ops take
+//! the same `query`/`arg`/`witnesses` fields as solves but only the six
+//! cost-damage queries (`min-time`/`max-prob` have no incremental path)
+//! and only a single `tree` (no `suite`, no `solver`).
 //!
 //! # Responses
 //!
@@ -52,7 +75,7 @@
 
 use std::sync::Arc;
 
-use cdat_core::CdpAttackTree;
+use cdat_core::{CdpAttackTree, NodeType, TreePatch};
 use cdat_engine::{CacheStats, FrontKind, Query, Response, SolverHint};
 use cdat_format::json::{self, Value};
 use cdat_obs::{histogram_samples, type_line, HistogramSnapshot};
@@ -64,6 +87,8 @@ use crate::router::ServerSnapshot;
 pub enum Request {
     /// A solve request: one query against one tree or a whole suite.
     Solve(SolveRequest),
+    /// A `whatif`/`sweep` op: incremental solves of patched variants.
+    Delta(DeltaSolveRequest),
     /// The `stats` control operation.
     Stats {
         /// The echoed request id.
@@ -74,6 +99,24 @@ pub enum Request {
         /// The echoed request id.
         id: Value,
     },
+}
+
+/// A parsed `whatif` or `sweep` request: one base tree, one query, and
+/// the patches whose variants to answer (exactly one for `whatif`).
+#[derive(Debug)]
+pub struct DeltaSolveRequest {
+    /// The echoed request id.
+    pub id: Value,
+    /// The parsed base tree.
+    pub tree: Arc<CdpAttackTree>,
+    /// The query to answer on every patched variant.
+    pub query: Query,
+    /// Whether responses should carry witness attacks.
+    pub witnesses: bool,
+    /// The patches, already resolved to base-tree ids.
+    pub patches: Vec<TreePatch>,
+    /// Whether the op was `sweep` (responses then carry `variant`).
+    pub sweep: bool,
 }
 
 /// A parsed solve request.
@@ -123,9 +166,11 @@ pub fn parse_request(line: &str) -> Result<Request, (Value, String)> {
         return match op.as_str() {
             Some("stats") => Ok(Request::Stats { id }),
             Some("metrics") => Ok(Request::Metrics { id }),
-            Some(other) => {
-                Err(fail(format!("unknown op {other:?} (expected \"stats\" or \"metrics\")")))
-            }
+            Some("whatif") => parse_delta(&value, pairs, id, false),
+            Some("sweep") => parse_delta(&value, pairs, id, true),
+            Some(other) => Err(fail(format!(
+                "unknown op {other:?} (expected \"stats\", \"metrics\", \"whatif\" or \"sweep\")"
+            ))),
             None => Err(fail("op must be a string".into())),
         };
     }
@@ -184,6 +229,142 @@ pub fn parse_request(line: &str) -> Result<Request, (Value, String)> {
         (None, None) => return Err(fail("missing tree or suite".into())),
     };
     Ok(Request::Solve(SolveRequest { id, docs, suite, query, hint, witnesses }))
+}
+
+/// Parses the body of a `whatif`/`sweep` op (see the module docs for the
+/// wire shape): the base tree, the shared query/witness fields, and one
+/// patch (`whatif`) or a patch array (`sweep`), each resolved to base-tree
+/// ids by node name.
+fn parse_delta(
+    value: &Value,
+    pairs: &[(String, Value)],
+    id: Value,
+    sweep: bool,
+) -> Result<Request, (Value, String)> {
+    let fail = |message: String| (id.clone(), message);
+    let patch_field = if sweep { "patches" } else { "patch" };
+    for (key, _) in pairs {
+        let known = matches!(key.as_str(), "op" | "id" | "tree" | "query" | "arg" | "witnesses")
+            || key == patch_field;
+        if !known {
+            return Err(fail(format!("unknown request field {key:?}")));
+        }
+    }
+
+    let query_name = match value.get("query") {
+        None => "cdpf",
+        Some(Value::Str(s)) => s.as_str(),
+        Some(_) => return Err(fail("query must be a string".into())),
+    };
+    let arg = match value.get("arg") {
+        None => None,
+        Some(Value::Num(v)) => Some(*v),
+        Some(_) => return Err(fail("arg must be a number".into())),
+    };
+    let query = parse_query(query_name, arg).map_err(&fail)?;
+
+    let witnesses = match value.get("witnesses") {
+        None => false,
+        Some(Value::Bool(w)) => *w,
+        Some(_) => return Err(fail("witnesses must be a boolean".into())),
+    };
+
+    let tree = match value.get("tree") {
+        Some(Value::Str(text)) => {
+            Arc::new(cdat_format::parse(text).map_err(|e| fail(format!("tree: {e}")))?)
+        }
+        Some(_) => return Err(fail("tree must be a string".into())),
+        None => return Err(fail("missing tree".into())),
+    };
+
+    let patches = if sweep {
+        match value.get("patches") {
+            Some(Value::Arr(specs)) => {
+                if specs.is_empty() {
+                    return Err(fail("patches must not be empty".into()));
+                }
+                specs
+                    .iter()
+                    .map(|spec| parse_patch(spec, &tree))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(&fail)?
+            }
+            Some(_) => return Err(fail("patches must be an array of patch objects".into())),
+            None => return Err(fail("missing patches".into())),
+        }
+    } else {
+        match value.get("patch") {
+            Some(spec) => vec![parse_patch(spec, &tree).map_err(&fail)?],
+            None => return Err(fail("missing patch".into())),
+        }
+    };
+    Ok(Request::Delta(DeltaSolveRequest { id, tree, query, witnesses, patches, sweep }))
+}
+
+/// Resolves one wire patch object against `tree` by node name (see the
+/// module docs for the shape). Name resolution and shape errors are
+/// reported here; *value* validation (finite costs, probabilities in
+/// range, gates actually being gates) stays with [`TreePatch::validate`]
+/// in the engine, so the CLI and the server reject identically.
+pub fn parse_patch(spec: &Value, tree: &CdpAttackTree) -> Result<TreePatch, String> {
+    let Value::Obj(pairs) = spec else {
+        return Err("patch must be a JSON object".into());
+    };
+    let structure = tree.tree();
+    let node = |name: &str| {
+        structure.find(name).ok_or_else(|| format!("patch names unknown node {name:?}"))
+    };
+    let bas = |name: &str| {
+        node(name).and_then(|v| {
+            structure.bas_of_node(v).ok_or_else(|| format!("{name:?} is not a basic attack step"))
+        })
+    };
+    let mut patch = TreePatch::default();
+    for (key, value) in pairs {
+        match key.as_str() {
+            "cost" | "prob" | "damage" => {
+                let Value::Obj(edits) = value else {
+                    return Err(format!("{key} must map names to numbers"));
+                };
+                for (name, new) in edits {
+                    let Value::Num(new) = new else {
+                        return Err(format!("{key} must map names to numbers"));
+                    };
+                    match key.as_str() {
+                        "cost" => patch.costs.push((bas(name)?, *new)),
+                        "prob" => patch.probs.push((bas(name)?, *new)),
+                        _ => patch.damages.push((node(name)?, *new)),
+                    }
+                }
+            }
+            "gate" => {
+                let Value::Obj(swaps) = value else {
+                    return Err("gate must map gate names to \"and\" or \"or\"".into());
+                };
+                for (name, new) in swaps {
+                    let new = match new.as_str() {
+                        Some("and") => NodeType::And,
+                        Some("or") => NodeType::Or,
+                        _ => return Err("gate must map gate names to \"and\" or \"or\"".into()),
+                    };
+                    patch.gates.push((node(name)?, new));
+                }
+            }
+            "defend" => {
+                let Value::Arr(names) = value else {
+                    return Err("defend must be an array of BAS names".into());
+                };
+                for name in names {
+                    let Value::Str(name) = name else {
+                        return Err("defend must be an array of BAS names".into());
+                    };
+                    patch.defends.push(bas(name)?);
+                }
+            }
+            other => return Err(format!("unknown patch field {other:?}")),
+        }
+    }
+    Ok(patch)
 }
 
 /// Parses a query name plus optional argument into an engine [`Query`].
@@ -333,6 +514,21 @@ pub fn response_prefix(id: &Value, doc: Option<(usize, Option<&str>)>, query: Qu
     s
 }
 
+/// Renders the opening of a `whatif`/`sweep` response line:
+/// `{"id":...[,"variant":K],"query":...`. `variant` (the patch's index in
+/// the request's `patches` array) appears for sweep responses only, so a
+/// single `whatif` answer carries exactly the bytes a scratch solve of
+/// the patched tree would.
+pub fn delta_response_prefix(id: &Value, variant: Option<usize>, query: Query) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!("{{\"id\":{id}");
+    if let Some(variant) = variant {
+        let _ = write!(s, ",\"variant\":{variant}");
+    }
+    let _ = write!(s, ",{}", query_fragment(query));
+    s
+}
+
 /// Renders a complete error response line.
 pub fn error_line(id: &Value, message: &str) -> String {
     format!("{{\"id\":{id},\"error\":\"{}\"}}", json::escape(message))
@@ -396,12 +592,13 @@ pub fn stats_line(id: &Value, shards: &[CacheStats], snapshot: &ServerSnapshot) 
     let _ = write!(
         line,
         ",\"histograms\":{{\"queue_wait_us\":{},\"solve_us\":{},\"e2e_us\":{},\"batch_fill\":{},\
-         \"dispatch_us\":{}}}",
+         \"dispatch_us\":{},\"dirty_path_len\":{}}}",
         histogram_json(&snapshot.engine.queue_wait),
         histogram_json(&snapshot.engine.solve),
         histogram_json(&snapshot.e2e),
         histogram_json(&snapshot.batch_fill),
         histogram_json(&snapshot.dispatch),
+        histogram_json(&snapshot.engine.dirty_path_len),
     );
     line.push_str(",\"families\":{");
     for (i, kind) in FrontKind::ALL.into_iter().enumerate() {
@@ -411,12 +608,16 @@ pub fn stats_line(id: &Value, shards: &[CacheStats], snapshot: &ServerSnapshot) 
         let fam = snapshot.engine.families[kind.index()];
         let _ = write!(
             line,
-            "\"{}\":{{\"requests\":{},\"hits\":{},\"disk_hits\":{},\"misses\":{}}}",
+            "\"{}\":{{\"requests\":{},\"hits\":{},\"disk_hits\":{},\"misses\":{},\
+             \"delta_requests\":{},\"subtree_hits\":{},\"dirty_nodes\":{}}}",
             kind.label(),
             fam.requests,
             fam.hits,
             fam.disk_hits,
-            fam.misses
+            fam.misses,
+            fam.delta_requests,
+            fam.subtree_hits,
+            fam.dirty_nodes
         );
     }
     line.push_str("},\"shards\":[");
@@ -503,6 +704,94 @@ mod tests {
             parse_request(r#"{"op":"metrics","id":1}"#).unwrap(),
             Request::Metrics { id: Value::Num(_) }
         ));
+    }
+
+    #[test]
+    fn parses_whatif_and_sweep_ops_with_name_resolved_patches() {
+        let tree = r#""tree":"or root damage=5\n  bas x cost=1\n  bas y cost=2\n""#;
+        let line = format!(
+            "{{\"op\":\"whatif\",\"id\":4,{tree},\"query\":\"dgc\",\"arg\":3,\
+             \"patch\":{{\"cost\":{{\"x\":7}},\"damage\":{{\"root\":9}},\"defend\":[\"y\"]}}}}"
+        );
+        let Request::Delta(req) = parse_request(&line).unwrap() else { panic!("not a delta") };
+        assert!(!req.sweep);
+        assert_eq!(req.query, Query::Dgc(3.0));
+        assert_eq!(req.patches.len(), 1);
+        let patch = &req.patches[0];
+        assert_eq!(patch.costs, vec![(cdat_core::BasId::new(0), 7.0)]);
+        // The format numbers leaves before their gate: `root` is node 2.
+        assert_eq!(patch.damages, vec![(cdat_core::NodeId::new(2), 9.0)]);
+        assert_eq!(patch.defends, vec![cdat_core::BasId::new(1)]);
+
+        let line = format!(
+            "{{\"op\":\"sweep\",\"id\":5,{tree},\"witnesses\":true,\
+             \"patches\":[{{\"cost\":{{\"x\":1}}}},{{\"gate\":{{\"root\":\"and\"}}}},{{}}]}}"
+        );
+        let Request::Delta(req) = parse_request(&line).unwrap() else { panic!("not a delta") };
+        assert!(req.sweep && req.witnesses);
+        assert_eq!(req.query, Query::Cdpf, "query defaults to cdpf");
+        assert_eq!(req.patches.len(), 3);
+        assert_eq!(req.patches[1].gates, vec![(cdat_core::NodeId::new(2), NodeType::And)]);
+        assert!(req.patches[2].is_empty(), "an empty patch object is the unpatched base");
+    }
+
+    #[test]
+    fn rejects_malformed_delta_requests() {
+        let tree = r#""tree":"or root damage=5\n  bas x cost=1\n""#;
+        for (line, needle) in [
+            (format!("{{\"op\":\"whatif\",\"id\":3,{tree}}}"), "missing patch"),
+            (format!("{{\"op\":\"sweep\",\"id\":3,{tree}}}"), "missing patches"),
+            (format!("{{\"op\":\"sweep\",\"id\":3,{tree},\"patches\":[]}}"), "must not be empty"),
+            (
+                format!("{{\"op\":\"whatif\",\"id\":3,{tree},\"patch\":7}}"),
+                "patch must be a JSON object",
+            ),
+            (
+                format!("{{\"op\":\"whatif\",\"id\":3,{tree},\"patch\":{{\"frob\":1}}}}"),
+                "unknown patch field",
+            ),
+            (
+                format!("{{\"op\":\"whatif\",\"id\":3,{tree},\"patch\":{{\"cost\":{{\"z\":1}}}}}}"),
+                "unknown node \"z\"",
+            ),
+            (
+                format!(
+                    "{{\"op\":\"whatif\",\"id\":3,{tree},\"patch\":{{\"cost\":{{\"root\":1}}}}}}"
+                ),
+                "not a basic attack step",
+            ),
+            (
+                format!(
+                    "{{\"op\":\"whatif\",\"id\":3,{tree},\"patch\":{{\"gate\":{{\"root\":\"x\"}}}}}}"
+                ),
+                "gate must map gate names",
+            ),
+            (
+                format!("{{\"op\":\"whatif\",\"id\":3,{tree},\"patch\":{{}},\"solver\":\"bilp\"}}"),
+                "unknown request field",
+            ),
+            (
+                format!("{{\"op\":\"whatif\",\"id\":3,{tree},\"patch\":{{}},\"patches\":[]}}"),
+                "unknown request field",
+            ),
+            ("{\"op\":\"whatif\",\"id\":3,\"patch\":{}}".to_string(), "missing tree"),
+        ] {
+            let (id, message) = parse_request(&line).unwrap_err();
+            assert!(message.contains(needle), "{line}: {message}");
+            assert_eq!(id, Value::Num(3.0), "{line}");
+        }
+    }
+
+    #[test]
+    fn delta_prefixes_render_variants_for_sweeps_only() {
+        assert_eq!(
+            delta_response_prefix(&Value::Num(4.0), None, Query::Cdpf),
+            "{\"id\":4,\"query\":\"cdpf\""
+        );
+        assert_eq!(
+            delta_response_prefix(&Value::Num(4.0), Some(17), Query::Dgc(3.0)),
+            "{\"id\":4,\"variant\":17,\"query\":\"dgc\",\"arg\":3"
+        );
     }
 
     #[test]
@@ -620,6 +909,14 @@ mod tests {
         engine.families[FrontKind::Deterministic.index()].requests = 4;
         engine.families[FrontKind::Deterministic.index()].hits = 3;
         engine.families[FrontKind::Deterministic.index()].misses = 1;
+        engine.families[FrontKind::Deterministic.index()].delta_requests = 6;
+        engine.families[FrontKind::Deterministic.index()].subtree_hits = 12;
+        engine.families[FrontKind::Deterministic.index()].dirty_nodes = 9;
+        let dirty = cdat_obs::Histogram::new();
+        for len in [0, 1, 1, 2, 2, 3] {
+            dirty.observe(len);
+        }
+        engine.dirty_path_len = dirty.snapshot();
         ServerSnapshot {
             uptime_us: 55,
             engine,
@@ -676,9 +973,14 @@ mod tests {
         assert!(
             line.contains(
                 "\"families\":{\"deterministic\":{\"requests\":4,\"hits\":3,\"disk_hits\":0,\
-                 \"misses\":1},\"probabilistic\":{\"requests\":0,"
+                 \"misses\":1,\"delta_requests\":6,\"subtree_hits\":12,\"dirty_nodes\":9},\
+                 \"probabilistic\":{\"requests\":0,"
             ),
             "{line}"
+        );
+        assert!(
+            line.contains(",\"dirty_path_len\":{\"count\":6,\"sum\":9,"),
+            "the delta histogram joins the histograms object: {line}"
         );
         assert!(line.contains("\"shards\":[{"), "{line}");
         assert!(line.contains("\"disk_hits\":1,\"disk_entries\":9}"), "{line}");

@@ -25,8 +25,8 @@ use std::time::Instant;
 use cdat_core::canonical::{hash_cd, hash_cdp};
 use cdat_core::{CdpAttackTree, StructuralHash};
 use cdat_engine::{
-    BatchRequest, CacheStats, Engine, EngineMetrics, EngineSnapshot, FrontCache, FrontKind,
-    PersistentFrontCache, Query, SolverHint, StoreMetrics, StoreSnapshot,
+    BatchRequest, CacheStats, DeltaRequest, Engine, EngineMetrics, EngineSnapshot, FrontCache,
+    FrontKind, PersistentFrontCache, Query, SolverHint, StoreMetrics, StoreSnapshot, TreePatch,
 };
 use cdat_obs::{Histogram, HistogramSnapshot, TraceWriter};
 
@@ -127,6 +127,26 @@ pub struct RouteRequest {
     pub prefix: String,
 }
 
+/// One routed what-if job: the base tree, the query, and the patches
+/// whose variants to answer. The job routes to the shard owning the
+/// *base* tree's cache slice — that shard's memo (populated by the base
+/// tree's normal solves) answers every clean subtree — and streams one
+/// reply per patch, in patch order, at consecutive sequence numbers.
+#[derive(Clone, Debug)]
+pub struct DeltaRouteRequest {
+    /// The parsed base tree.
+    pub tree: Arc<CdpAttackTree>,
+    /// The query to answer on every patched variant.
+    pub query: Query,
+    /// Whether responses should carry witness attacks.
+    pub witnesses: bool,
+    /// The patches, resolved to base-tree ids.
+    pub patches: Vec<TreePatch>,
+    /// One response-line prefix per patch (same length as `patches`); the
+    /// shard appends the body fragment exactly as for solves.
+    pub prefixes: Vec<String>,
+}
+
 /// A completed response: the submission sequence number (for callers that
 /// want to restore submission order) and the rendered line.
 pub type Reply = (u64, String);
@@ -138,6 +158,7 @@ type ShardJob = (u64, RouteRequest, Sender<Reply>, StructuralHash);
 
 enum ShardMsg {
     Batch(Vec<ShardJob>),
+    Delta(u64, DeltaRouteRequest, Sender<Reply>, StructuralHash),
     Stats(Sender<CacheStats>),
 }
 
@@ -239,13 +260,19 @@ impl Router {
         self.budgets.as_ref().map(|slices| slices.iter().sum())
     }
 
+    /// The routing hash of a tree under a query: the same canonical hash
+    /// that keys its cache entry.
+    fn hash_for(tree: &CdpAttackTree, query: Query) -> StructuralHash {
+        match query.kind() {
+            FrontKind::Deterministic | FrontKind::MinTime => hash_cd(tree.cd()),
+            FrontKind::Probabilistic | FrontKind::MaxProb => hash_cdp(tree),
+        }
+    }
+
     /// The routing hash of a request: the same canonical hash that keys
     /// its cache entry.
     fn route_hash(request: &RouteRequest) -> StructuralHash {
-        match request.query.kind() {
-            FrontKind::Deterministic | FrontKind::MinTime => hash_cd(request.tree.cd()),
-            FrontKind::Probabilistic | FrontKind::MaxProb => hash_cdp(&request.tree),
-        }
+        Self::hash_for(&request.tree, request.query)
     }
 
     /// The shard a request routes to: its cache hash modulo the shard
@@ -283,6 +310,46 @@ impl Router {
                 let _ = self.txs[shard].send(ShardMsg::Batch(group));
             }
         }
+    }
+
+    /// Routes one what-if job to the shard owning its base tree's cache
+    /// slice (the routing hash is the base hash, so the job meets the
+    /// memo its base tree's normal solves populated). The reply sender
+    /// receives one `(seq + k, line)` per patch `k`, in patch order.
+    ///
+    /// Deltas bypass the micro-batching dispatcher: a sweep is already a
+    /// batch, and holding it for a window would only delay its first
+    /// response line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patches` and `prefixes` disagree in length.
+    pub fn dispatch_delta(&self, seq: u64, request: DeltaRouteRequest, reply: Sender<Reply>) {
+        assert_eq!(request.patches.len(), request.prefixes.len(), "one prefix per patch");
+        let hash_started = Instant::now();
+        let hash = Self::hash_for(&request.tree, request.query);
+        if let Some(trace) = &self.trace {
+            trace.emit(
+                "canonicalize",
+                hash_started.elapsed(),
+                &[("kind", cdat_obs::TraceField::Str(request.query.kind().label()))],
+            );
+        }
+        let shard = (hash.0 % self.txs.len() as u128) as usize;
+        let _ = self.txs[shard].send(ShardMsg::Delta(seq, request, reply, hash));
+    }
+
+    /// Answers one what-if sweep synchronously, returning the rendered
+    /// lines in patch order. Library entry point for benches, tests and
+    /// the CLI; the serving loops stream instead.
+    pub fn sweep(&self, request: DeltaRouteRequest) -> Vec<String> {
+        let (tx, rx) = channel();
+        let count = request.patches.len();
+        self.dispatch_delta(0, request, tx);
+        let mut lines: Vec<Reply> = rx.iter().collect();
+        debug_assert_eq!(lines.len(), count);
+        lines.sort_by_key(|(seq, _)| *seq);
+        lines.into_iter().map(|(_, line)| line).collect()
     }
 
     /// Solves one batch synchronously: scatters, gathers, and returns the
@@ -387,6 +454,18 @@ fn shard_loop(rx: Receiver<ShardMsg>, engine: Engine, telemetry: Arc<ShardTeleme
                     // Per-op end-to-end latency inside the shard: batch
                     // receipt to this op's reply send.
                     telemetry.e2e_us.observe_since(batch_started);
+                }
+            }
+            ShardMsg::Delta(seq, job, reply, hash) => {
+                let started = Instant::now();
+                let request = DeltaRequest::sweep(job.tree, job.query, job.patches)
+                    .with_witnesses(job.witnesses)
+                    .with_hash(hash);
+                let results = engine.sweep(&request);
+                for (k, (result, prefix)) in results.into_iter().zip(job.prefixes).enumerate() {
+                    let line = format!("{}{}}}", prefix, body_fragment(&result.response));
+                    let _ = reply.send((seq + k as u64, line));
+                    telemetry.e2e_us.observe_since(started);
                 }
             }
             ShardMsg::Stats(tx) => {
@@ -524,6 +603,42 @@ mod tests {
             lines[1], "{\"id\":1,\"front\":[[0,0],[1,200],[3,210],[5,310]]}",
             "unwitnessed requests keep the pre-witness bytes"
         );
+    }
+
+    #[test]
+    fn sweeps_stream_in_patch_order_with_scratch_solve_bytes() {
+        use cdat_core::BasId;
+        let router = router(4, None);
+        let tree = Arc::new(cdat_models::factory_cdp());
+        // A normal solve populates the owning shard's subtree memo.
+        router.solve(vec![request(tree.clone(), Query::Cdpf, 99)]);
+        let patches: Vec<TreePatch> = (1..=5)
+            .map(|i| TreePatch {
+                costs: vec![(BasId::new(0), f64::from(i))],
+                ..TreePatch::default()
+            })
+            .collect();
+        let prefixes = (0..patches.len()).map(|k| format!("{{\"id\":7,\"variant\":{k}")).collect();
+        let lines = router.sweep(DeltaRouteRequest {
+            tree: tree.clone(),
+            query: Query::Cdpf,
+            witnesses: true,
+            patches: patches.clone(),
+            prefixes,
+        });
+        assert_eq!(lines.len(), 5);
+        for (k, (line, patch)) in lines.iter().zip(&patches).enumerate() {
+            assert!(line.starts_with(&format!("{{\"id\":7,\"variant\":{k},")), "{line}");
+            // The body bytes must equal an independent scratch solve of
+            // the patched tree.
+            let variant = Arc::new(patch.apply(&tree).expect("attribute patch applies"));
+            let mut scratch = request(variant, Query::Cdpf, 7);
+            scratch.witnesses = true;
+            let scratch_line = self::router(1, None).solve(vec![scratch]).pop().unwrap();
+            let body = &line[line.find(",\"front\"").expect("front body")..];
+            let scratch_body = &scratch_line[scratch_line.find(",\"front\"").expect("front")..];
+            assert_eq!(body, scratch_body, "variant {k}");
+        }
     }
 
     #[test]

@@ -30,9 +30,10 @@ use std::time::{Duration, Instant};
 use cdat_obs::{TraceField, TraceWriter};
 
 use crate::protocol::{
-    error_line, metrics_line, parse_request, response_prefix, stats_line, Request,
+    delta_response_prefix, error_line, metrics_line, parse_request, response_prefix, stats_line,
+    Request,
 };
-use crate::router::{Reply, RouteRequest, Router, RouterConfig};
+use crate::router::{DeltaRouteRequest, Reply, RouteRequest, Router, RouterConfig};
 
 /// Serving configuration.
 #[derive(Clone, Debug)]
@@ -174,6 +175,33 @@ fn read_loop<R: BufRead>(
             }
             Ok(Request::Metrics { id }) => {
                 let _ = reply.send((next_seq(), metrics_line(&id, router)));
+            }
+            Ok(Request::Delta(request)) => {
+                // Whatif/sweep jobs skip the micro-batcher (a sweep is
+                // already a batch) and go straight to the shard owning the
+                // base tree; replies stream back one line per patch, in
+                // patch order.
+                let first = next_seq();
+                for _ in 1..request.patches.len() {
+                    next_seq();
+                }
+                let prefixes = (0..request.patches.len())
+                    .map(|k| {
+                        delta_response_prefix(
+                            &request.id,
+                            request.sweep.then_some(k),
+                            request.query,
+                        )
+                    })
+                    .collect();
+                let job = DeltaRouteRequest {
+                    tree: request.tree,
+                    query: request.query,
+                    witnesses: request.witnesses,
+                    patches: request.patches,
+                    prefixes,
+                };
+                router.dispatch_delta(first, job, reply.clone());
             }
             Ok(Request::Solve(request)) => {
                 for doc in &request.docs {
@@ -413,6 +441,51 @@ mod tests {
         assert_eq!(
             lines[2],
             "{\"id\":2,\"query\":\"dgc\",\"arg\":5,\"point\":[1,200],\"witness\":[0]}"
+        );
+    }
+
+    #[test]
+    fn whatif_and_sweep_ops_serve_patched_variants() {
+        let tree = r#""tree":"or root damage=200\n  bas ca cost=1\n  bas cb cost=3\n""#;
+        let input = format!(
+            concat!(
+                "{{\"id\":0,{tree},\"query\":\"cdpf\"}}\n",
+                "{{\"op\":\"whatif\",\"id\":1,{tree},\"patch\":{{\"cost\":{{\"ca\":2}}}}}}\n",
+                "{{\"op\":\"sweep\",\"id\":2,{tree},\"witnesses\":true,\"patches\":",
+                "[{{\"cost\":{{\"ca\":5}}}},{{\"defend\":[\"ca\"]}},",
+                "{{\"gate\":{{\"root\":\"and\"}}}}]}}\n",
+                "{{\"op\":\"whatif\",\"id\":3,{tree},\"query\":\"min-time\",\"patch\":{{}}}}\n",
+            ),
+            tree = tree
+        );
+        let lines = sorted_by_id(serve_text(&input, &ServeConfig::default()));
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[0], "{\"id\":0,\"query\":\"cdpf\",\"front\":[[0,0],[1,200]]}");
+        // The whatif answer carries exactly the bytes a scratch solve of
+        // the patched tree would (no variant field).
+        assert_eq!(lines[1], "{\"id\":1,\"query\":\"cdpf\",\"front\":[[0,0],[2,200]]}");
+        assert_eq!(
+            lines[2],
+            "{\"id\":2,\"variant\":0,\"query\":\"cdpf\",\"front\":[[0,0],[3,200]],\
+             \"witnesses\":[[],[1]]}",
+            "raising ca to 5 makes cb the cheapest attack"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"id\":2,\"variant\":1,\"query\":\"cdpf\",\"front\":[[0,0],[3,200]],\
+             \"witnesses\":[[],[1]]}",
+            "defending ca leaves cb as the cheapest attack"
+        );
+        assert_eq!(
+            lines[4],
+            "{\"id\":2,\"variant\":2,\"query\":\"cdpf\",\"front\":[[0,0],[4,200]],\
+             \"witnesses\":[[],[0,1]]}",
+            "the or→and swap needs both BASs"
+        );
+        assert!(
+            lines[5].starts_with("{\"id\":3,\"query\":\"min-time\",\"error\":"),
+            "scalar families have no incremental path: {}",
+            lines[5]
         );
     }
 

@@ -8,15 +8,26 @@
 //!
 //! This example runs that loop on the panda case study with `cdat-analysis`:
 //! rank single defenses, apply the best ones, recompute the front, repeat.
+//! The per-round "new cost-damage analysis" goes through the incremental
+//! what-if engine: one [`Engine`] holds the base solve, and every round asks
+//! for the front under the *accumulated* defends as a delta — only the
+//! defended BASs' root paths recompute, and the answer is byte-identical to
+//! solving the defended tree from scratch.
 //!
 //! Run with `cargo run --release --example defense_planning`.
 
+use std::sync::Arc;
+
 use cdat::analysis::{defend, minimal_attacks, rank_single_defenses, whatif::Defended};
+use cdat::solve::{DeltaRequest, Engine, Query, Response, TreePatch};
 use cdat::{solve, BasId, CdAttackTree};
 
 fn main() {
     let budget = 7.0; // the attacker profile we defend against
     let mut current: CdAttackTree = cdat_models::panda();
+    let base = Arc::new(cdat_models::panda_cdp());
+    let engine = Engine::new(1);
+    let mut defended: Vec<BasId> = Vec::new(); // in the base tree's numbering
     println!(
         "attacker budget {budget}: undefended worst-case damage = {}",
         solve::dgc(&current, budget).expect("budget ≥ 0").point.damage
@@ -45,6 +56,15 @@ fn main() {
             best.residual_damage,
             solve::dgc(&current, budget).expect("budget ≥ 0").point.damage,
         );
+        // Surviving names are preserved by the prune, so the best defense
+        // maps back to the base tree's numbering by name — the accumulated
+        // defend set is one patch against the fixed base.
+        let base_bas = base
+            .tree()
+            .find(&best.name)
+            .and_then(|v| base.tree().bas_of_node(v))
+            .expect("defense names come from the base tree");
+        defended.push(base_bas);
         let victim: BasId = best.bas;
         match defend(&current, &[victim]) {
             Defended::Residual(next, _) => current = next,
@@ -53,8 +73,19 @@ fn main() {
                 return;
             }
         }
-        // "a new cost-damage analysis is needed":
-        let front = solve::cdpf(&current);
-        println!("         residual front: {front}  (max damage {})", current.max_damage());
+        // "a new cost-damage analysis is needed" — answered incrementally:
+        // the engine reuses the retained base solve and recomputes only the
+        // defended root paths (byte-identical to a scratch solve).
+        let patch = TreePatch { defends: defended.clone(), ..TreePatch::default() };
+        let result = engine.whatif(&DeltaRequest::new(base.clone(), Query::Cdpf, patch));
+        let Response::Front(front) = result.response else {
+            panic!("treelike CDPF deltas answer fronts");
+        };
+        println!(
+            "         residual front: {front}  (max damage {}; {} dirty nodes, {} subtree fronts reused)",
+            current.max_damage(),
+            result.dirty_nodes,
+            result.subtree_hits,
+        );
     }
 }

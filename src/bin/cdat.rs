@@ -10,6 +10,7 @@
 //! cdat rank    <tree.cdat> <budget>     best single-BAS defenses
 //! cdat dot     <tree.cdat>              Graphviz export (stdout)
 //! cdat batch   <suite.cdat> [flags]     parallel batch solve (JSON lines)
+//! cdat whatif  <tree.cdat> [edits]      incremental solve of a patched variant
 //! cdat serve   [flags]                  long-running query server (stdio/TCP)
 //! cdat query   --connect <addr> <suite> client for a running `cdat serve`
 //! cdat example                          print a sample document
@@ -24,7 +25,11 @@
 //! translated from the shared cache entry when documents deduplicate.
 //! `serve` keeps the same engine warm behind a micro-batching,
 //! shard-by-hash JSON-lines protocol (`cdat::serve`); its responses carry
-//! the same bytes as `batch`, witnesses included.
+//! the same bytes as `batch`, witnesses included. `whatif` solves one
+//! patched variant of a tree through the incremental what-if engine (only
+//! nodes on dirty root paths recompute; answers stay byte-identical to
+//! scratch solves), and `query --sweep` streams a whole patch list the
+//! same way — locally or against a running server.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -65,6 +70,9 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if command == "batch" {
         return batch(&args[1..]);
+    }
+    if command == "whatif" {
+        return whatif(&args[1..]);
     }
     if command == "serve" {
         return serve(&args[1..]);
@@ -146,6 +154,7 @@ fn usage() -> String {
         ("rank    <file> <budget>", "rank single-BAS defenses by residual damage"),
         ("dot     <file>", "Graphviz export"),
         ("batch   <suite> [flags]", "parallel batch solve of a multi-tree suite"),
+        ("whatif  <file> [edits] [query]", "incremental solve of a patched variant"),
         ("serve   [flags]", "long-running micro-batching query server"),
         ("query   --connect <addr> <suite> [flags]", "client for a running serve"),
         ("example", "print a sample document"),
@@ -174,6 +183,13 @@ fn usage() -> String {
          second run on the same store starts warm\n  \
          --cdpf --cedpf --dgc B --cgd D --edgc B --cged D --min-time --max-prob\n                     \
          queries to run per document, repeatable (default: --cdpf)\n\
+         \nwhatif edits (repeatable; the answer is byte-identical to solving the\n\
+         patched tree from scratch, but only dirty root-path nodes recompute):\n  \
+         --set cost:NAME=V  override a BAS cost (likewise prob:NAME=V for a BAS\n                     \
+         probability, damage:NAME=V for any node's damage)\n  \
+         --gate NAME=and|or swap a gate's type\n  \
+         --defend NAME      remove a BAS (the defender disables it)\n  \
+         plus at most one query flag (default: --cdpf) and --witnesses\n\
          \nserve flags:\n  \
          --stdio            serve stdin→stdout, exit at EOF (default)\n  \
          --addr HOST:PORT   serve TCP connections (port 0 picks one; the\n                     \
@@ -190,7 +206,11 @@ fn usage() -> String {
          stderr); sends the suite to a running `cdat serve` and prints\n  \
          responses in request order. With --store PATH instead of --connect,\n  \
          answers locally through the store (no server needed), printing the\n  \
-         same response lines a server on that store would.\n",
+         same response lines a server on that store would. With --sweep\n  \
+         PATCHES.jsonl (one patch object per line, the sweep op's wire shape)\n  \
+         the suite must hold one tree; every patch variant streams back as its\n  \
+         own response line through the incremental what-if engine — over\n  \
+         --connect, through --store, or memory-only when neither is given.\n",
     );
     s
 }
@@ -365,6 +385,103 @@ fn batch(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `cdat whatif <file> [edits] [query]`: solve one patched variant of a
+/// tree through the incremental what-if engine — only the nodes on dirty
+/// root paths are recomputed; clean subtrees reuse memoized fronts. The
+/// response line is byte-identical to solving the patched tree from
+/// scratch; a recompute summary goes to stderr.
+fn whatif(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(|| format!("missing file argument\n{}", usage()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let cdp = std::sync::Arc::new(cdat_format::parse(&text).map_err(|e| format!("{path}: {e}"))?);
+
+    let (mut queries, rest) = parse_query_flags(&args[1..])?;
+    let mut costs: Vec<(String, json::Value)> = Vec::new();
+    let mut probs: Vec<(String, json::Value)> = Vec::new();
+    let mut damages: Vec<(String, json::Value)> = Vec::new();
+    let mut gates: Vec<(String, json::Value)> = Vec::new();
+    let mut defends: Vec<json::Value> = Vec::new();
+    let mut witnesses = false;
+    let mut it = rest.into_iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--set" => {
+                let spec = it.next().ok_or("--set needs cost|prob|damage:NAME=VALUE")?;
+                let (class, assign) = spec.split_once(':').ok_or_else(|| {
+                    format!("--set {spec:?}: expected cost:NAME=VALUE, prob:NAME=VALUE or damage:NAME=VALUE")
+                })?;
+                let (name, value) = assign
+                    .rsplit_once('=')
+                    .ok_or_else(|| format!("--set {spec:?}: expected {class}:NAME=VALUE"))?;
+                let value: f64 =
+                    value.parse().map_err(|_| format!("--set {spec:?}: value must be a number"))?;
+                let slot = match class {
+                    "cost" => &mut costs,
+                    "prob" => &mut probs,
+                    "damage" => &mut damages,
+                    other => {
+                        return Err(format!(
+                            "--set: unknown attribute class {other:?} (cost, prob or damage)"
+                        ))
+                    }
+                };
+                slot.push((name.to_owned(), json::Value::Num(value)));
+            }
+            "--gate" => {
+                let spec = it.next().ok_or("--gate needs NAME=and|or")?;
+                let (name, kind) = spec
+                    .rsplit_once('=')
+                    .ok_or_else(|| format!("--gate {spec:?}: expected NAME=and or NAME=or"))?;
+                gates.push((name.to_owned(), json::Value::Str(kind.to_owned())));
+            }
+            "--defend" => {
+                let name = it.next().ok_or("--defend needs a BAS name")?;
+                defends.push(json::Value::Str(name.clone()));
+            }
+            "--witnesses" => witnesses = true,
+            other => return Err(format!("unknown whatif flag {other:?}\n{}", usage())),
+        }
+    }
+
+    // Assemble the edits as the wire-format patch object and parse it with
+    // the server's own parser, so the CLI resolves names and rejects bad
+    // patches with exactly the serving semantics.
+    let mut fields: Vec<(String, json::Value)> = Vec::new();
+    for (key, entries) in [("cost", costs), ("prob", probs), ("damage", damages), ("gate", gates)] {
+        if !entries.is_empty() {
+            fields.push((key.to_owned(), json::Value::Obj(entries)));
+        }
+    }
+    if !defends.is_empty() {
+        fields.push(("defend".to_owned(), json::Value::Arr(defends)));
+    }
+    if fields.is_empty() {
+        return Err("whatif needs at least one edit (--set, --gate or --defend)".into());
+    }
+    let patch = protocol::parse_patch(&json::Value::Obj(fields), &cdp)?;
+
+    if queries.len() > 1 {
+        return Err("whatif takes at most one query flag".into());
+    }
+    let query = queries.pop().unwrap_or(solve::Query::Cdpf);
+    let engine = solve::Engine::new(1);
+    let request = solve::DeltaRequest::new(cdp, query, patch).with_witnesses(witnesses);
+    let result = engine.whatif(&request);
+    if let solve::Response::Error(message) = &result.response {
+        return Err(message.clone());
+    }
+    println!(
+        "{{{}{}}}",
+        protocol::query_fragment(query),
+        protocol::body_fragment(&result.response)
+    );
+    eprintln!(
+        "whatif: {} dirty nodes recomputed, {} memoized subtree fronts reused",
+        result.dirty_nodes, result.subtree_hits
+    );
+    Ok(())
+}
+
 /// Opens the `--trace PATH` JSONL flight recorder, when requested.
 fn open_trace(path: Option<&String>) -> Result<Option<cdat::obs::TraceWriter>, String> {
     match path {
@@ -482,6 +599,28 @@ fn query(args: &[String]) -> Result<(), String> {
     let addr = take_value(&mut rest, "--connect")?.cloned();
     let store = take_value(&mut rest, "--store")?.cloned();
     let solver = take_value(&mut rest, "--solver")?.cloned();
+    let sweep = match take_value(&mut rest, "--sweep")? {
+        Some(patches_path) => {
+            let patches_text = std::fs::read_to_string(patches_path)
+                .map_err(|e| format!("cannot read {patches_path}: {e}"))?;
+            let patches: Vec<String> = patches_text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_owned)
+                .collect();
+            if patches.is_empty() {
+                return Err(format!("{patches_path}: no patches (one JSON object per line)"));
+            }
+            Some(patches)
+        }
+        None => None,
+    };
+    if sweep.is_some() && solver.is_some() {
+        return Err("--solver does not apply to --sweep (delta requests reuse the base \
+                    tree's solver choice)"
+            .into());
+    }
     let mut take_switch = |flag: &str| match rest.iter().position(|f| f.as_str() == flag) {
         Some(i) => {
             rest.remove(i);
@@ -504,23 +643,36 @@ fn query(args: &[String]) -> Result<(), String> {
         None => solve::SolverHint::Auto,
     };
 
-    let mut lines = match (addr, store) {
-        (Some(_), Some(_)) => {
+    let mut lines = match (addr, store, &sweep) {
+        (Some(_), Some(_), _) => {
             return Err("--connect and --store are mutually exclusive".into());
         }
-        (None, None) => {
+        (None, None, None) => {
             return Err(format!("query needs --connect HOST:PORT or --store PATH\n{}", usage()));
         }
-        (Some(addr), None) => {
+        (Some(addr), None, Some(patches)) => {
+            query_sweep_remote(&addr, &text, &queries, witnesses, patches, metrics_dump)?
+        }
+        (Some(addr), None, None) => {
             query_remote(&addr, &text, &queries, solver.as_deref(), witnesses, metrics_dump)?
         }
-        (None, Some(store)) => {
+        (None, store, Some(patches)) => query_sweep_local(
+            path,
+            store.as_deref(),
+            &text,
+            &queries,
+            witnesses,
+            patches,
+            metrics_dump,
+        )?,
+        (None, Some(store), None) => {
             query_local(path, &store, &text, &queries, hint, witnesses, metrics_dump)?
         }
     };
     // Request order, then document order within a request (responses may
-    // arrive interleaved across shards). This client always sends numeric
-    // ids; anything unparseable sorts last.
+    // arrive interleaved across shards); sweep responses order by variant.
+    // This client always sends numeric ids; anything unparseable sorts
+    // last.
     let sort_key = |line: &str| {
         let value = json::parse(line).ok();
         let field = |name: &str| -> u64 {
@@ -530,7 +682,7 @@ fn query(args: &[String]) -> Result<(), String> {
                 .and_then(json::Value::as_f64)
                 .map_or(u64::MAX, |v| v as u64)
         };
-        (field("id"), field("doc"))
+        (field("id"), field("doc"), field("variant"))
     };
     lines.sort_by_key(|line| sort_key(line));
     let mut out = String::new();
@@ -552,11 +704,6 @@ fn query_remote(
     witnesses: bool,
     metrics_dump: bool,
 ) -> Result<Vec<String>, String> {
-    use std::io::{BufRead, BufReader, Write as _};
-
-    let stream =
-        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
     let mut request_lines = String::new();
     for (i, &query) in queries.iter().enumerate() {
         use std::fmt::Write as _;
@@ -570,6 +717,55 @@ fn query_remote(
         }
         request_lines.push_str("}\n");
     }
+    exchange(addr, request_lines, metrics_dump)
+}
+
+/// The remote sweep client: sends one `sweep` op per query (the whole
+/// patch list inline) and collects the per-variant response lines.
+fn query_sweep_remote(
+    addr: &str,
+    text: &str,
+    queries: &[solve::Query],
+    witnesses: bool,
+    patches: &[String],
+    metrics_dump: bool,
+) -> Result<Vec<String>, String> {
+    // Validate each patch line is well-formed JSON client-side for a
+    // friendly error naming the line (the server only sees the batch).
+    for (k, line) in patches.iter().enumerate() {
+        json::parse(line).map_err(|e| format!("patch line {}: {e}", k + 1))?;
+    }
+    let mut request_lines = String::new();
+    for (i, &query) in queries.iter().enumerate() {
+        use std::fmt::Write as _;
+        let _ = write!(
+            request_lines,
+            "{{\"op\":\"sweep\",\"id\":{i},\"tree\":\"{}\"",
+            json::escape(text)
+        );
+        let _ = write!(request_lines, ",{}", protocol::query_fragment(query));
+        if witnesses {
+            request_lines.push_str(",\"witnesses\":true");
+        }
+        let _ = write!(request_lines, ",\"patches\":[{}]", patches.join(","));
+        request_lines.push_str("}\n");
+    }
+    exchange(addr, request_lines, metrics_dump)
+}
+
+/// Sends pre-rendered request lines to a running `cdat serve`, half-closes,
+/// and collects the response lines (extracting a `metrics` answer to
+/// stderr when one was requested).
+fn exchange(
+    addr: &str,
+    mut request_lines: String,
+    metrics_dump: bool,
+) -> Result<Vec<String>, String> {
+    use std::io::{BufRead, BufReader, Write as _};
+
+    let stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
     if metrics_dump {
         // Asked last so the scrape reflects the answers above.
         request_lines.push_str("{\"op\":\"metrics\",\"id\":\"metrics\"}\n");
@@ -640,6 +836,68 @@ fn query_local(
         }
     }
     let lines = router.solve(requests);
+    if metrics_dump {
+        eprint!("{}", protocol::metrics_text(&router.snapshot()));
+    }
+    Ok(lines)
+}
+
+/// The local sweep mode: answers the patch list through a local router
+/// (store-backed when `--store` was given, memory-only otherwise), one
+/// response line per variant — the same lines a server would stream for
+/// the `sweep` op.
+fn query_sweep_local(
+    path: &str,
+    store: Option<&str>,
+    text: &str,
+    queries: &[solve::Query],
+    witnesses: bool,
+    patches: &[String],
+    metrics_dump: bool,
+) -> Result<Vec<String>, String> {
+    use cdat::serve::{DeltaRouteRequest, Router, RouterConfig};
+
+    let documents = cdat_format::parse_multi(text).map_err(|e| format!("{path}: {e}"))?;
+    let [document] = documents.as_slice() else {
+        return Err(format!(
+            "--sweep needs a single-tree file, {path} has {} documents",
+            documents.len()
+        ));
+    };
+    let tree = std::sync::Arc::new(document.tree.clone());
+    let parsed: Vec<solve::TreePatch> = patches
+        .iter()
+        .enumerate()
+        .map(|(k, line)| {
+            json::parse(line)
+                .map_err(|e| e.to_string())
+                .and_then(|value| protocol::parse_patch(&value, &tree))
+                .map_err(|e| format!("patch line {}: {e}", k + 1))
+        })
+        .collect::<Result<_, _>>()?;
+    let config = RouterConfig {
+        shards: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        store: store.map(std::path::PathBuf::from),
+        ..RouterConfig::default()
+    };
+    let router = Router::new(config)
+        .map_err(|e| format!("cannot open store {}: {e}", store.unwrap_or_default()))?;
+    let mut lines = Vec::new();
+    for (i, &query) in queries.iter().enumerate() {
+        lines.extend(
+            router.sweep(DeltaRouteRequest {
+                tree: tree.clone(),
+                query,
+                witnesses,
+                patches: parsed.clone(),
+                prefixes: (0..parsed.len())
+                    .map(|k| {
+                        protocol::delta_response_prefix(&json::Value::Num(i as f64), Some(k), query)
+                    })
+                    .collect(),
+            }),
+        );
+    }
     if metrics_dump {
         eprint!("{}", protocol::metrics_text(&router.snapshot()));
     }

@@ -36,6 +36,6 @@
 //! ```
 
 pub use cdat_server::{
-    protocol, serve_stdio, serve_tcp, DispatchMetrics, Reply, RouteRequest, Router, RouterConfig,
-    ServeConfig, ServerSnapshot, ShardTelemetry,
+    protocol, serve_stdio, serve_tcp, DeltaRouteRequest, DispatchMetrics, Reply, RouteRequest,
+    Router, RouterConfig, ServeConfig, ServerSnapshot, ShardTelemetry,
 };

@@ -9,8 +9,9 @@ use cdat_core::{CdAttackTree, CdpAttackTree};
 use cdat_pareto::{FrontEntry, ParetoFront};
 
 pub use cdat_engine::{
-    BatchRequest, BatchResult, CacheStats, Engine, EngineMetrics, EngineSnapshot, FrontCache,
-    FrontKind, PersistentFrontCache, Query, Response, SolverHint, StoreSnapshot,
+    BatchRequest, BatchResult, CacheStats, DeltaRequest, DeltaResult, Engine, EngineMetrics,
+    EngineSnapshot, FrontCache, FrontKind, PersistentFrontCache, Query, Response, SolverHint,
+    StoreSnapshot, SubtreeMemo, TreePatch,
 };
 
 /// Which backend [`cdpf`] and friends will pick for a tree.

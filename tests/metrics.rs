@@ -101,6 +101,77 @@ fn server_counters_and_histograms_are_consistent() {
 }
 
 #[test]
+fn delta_counters_stay_out_of_the_tier_partition_and_tie_to_their_histogram() {
+    use cdat::serve::DeltaRouteRequest;
+    use cdat::solve::TreePatch;
+    use cdat::BasId;
+    let router =
+        Router::new(RouterConfig { shards: 3, ..RouterConfig::default() }).expect("memory router");
+    // Normal solves first: they populate the subtree memos.
+    router.solve(requests(8, 3));
+
+    // One sweep per distinct tree: 5 valid patches plus one invalid
+    // (rejected patches still count one delta request and one zero-length
+    // dirty-path observation).
+    let trees: Vec<Arc<CdpAttackTree>> = requests(8, 1).into_iter().map(|r| r.tree).collect();
+    let mut patches: Vec<TreePatch> = (1..=5)
+        .map(|i| TreePatch { costs: vec![(BasId::new(0), f64::from(i))], ..TreePatch::default() })
+        .collect();
+    patches.push(TreePatch { costs: vec![(BasId::new(0), -1.0)], ..TreePatch::default() });
+    for tree in &trees {
+        let lines = router.sweep(DeltaRouteRequest {
+            tree: tree.clone(),
+            query: Query::Cdpf,
+            witnesses: false,
+            patches: patches.clone(),
+            prefixes: (0..patches.len()).map(|k| format!("{{\"id\":{k}")).collect(),
+        });
+        assert_eq!(lines.len(), patches.len());
+        assert!(lines[5].contains("\"error\":"), "the invalid patch answers an error line");
+    }
+
+    let snapshot = router.snapshot();
+    let families = &snapshot.engine.families;
+    let delta_requests: u64 = families.iter().map(|f| f.delta_requests).sum();
+    assert_eq!(delta_requests, (trees.len() * patches.len()) as u64);
+    assert!(families.iter().map(|f| f.subtree_hits).sum::<u64>() > 0);
+    assert!(families.iter().map(|f| f.dirty_nodes).sum::<u64>() > 0);
+
+    // Exactly one dirty-path observation per delta request ties the
+    // histogram to the counters.
+    assert_eq!(snapshot.engine.dirty_path_len.count, delta_requests);
+    assert_eq!(
+        snapshot.engine.dirty_path_len.buckets.iter().sum::<u64>(),
+        snapshot.engine.dirty_path_len.count
+    );
+
+    // Delta traffic never leaks into the solve-path invariants: the tier
+    // counters still partition the 24 batch requests, and the solve/queue
+    // histograms saw only those.
+    let requests_total: u64 = families.iter().map(|f| f.requests).sum();
+    let hits: u64 = families.iter().map(|f| f.hits).sum();
+    let misses: u64 = families.iter().map(|f| f.misses).sum();
+    assert_eq!(requests_total, 24);
+    assert_eq!(hits + misses, requests_total);
+    assert_eq!(snapshot.engine.queue_wait.count, requests_total);
+    assert_eq!(snapshot.engine.solve.count, misses);
+
+    // Both renderings carry the new counters and stay parseable.
+    let stats = protocol::stats_line(&json::Value::Num(1.0), &router.stats(), &snapshot);
+    assert!(json::parse(&stats).is_ok(), "{stats}");
+    assert!(stats.contains("\"delta_requests\":"), "{stats}");
+    assert!(stats.contains("\"dirty_path_len\":"), "{stats}");
+    let text = protocol::metrics_text(&snapshot);
+    assert!(
+        text.contains(&format!(
+            "cdat_delta_requests_total{{family=\"deterministic\"}} {delta_requests}"
+        )),
+        "{text}"
+    );
+    assert!(text.contains("cdat_dirty_path_len_count"), "{text}");
+}
+
+#[test]
 fn trace_jsonl_parses_strictly_under_concurrent_shard_writes() {
     let path = unique_path("trace");
     let trace = TraceWriter::open(&path).expect("open trace file");

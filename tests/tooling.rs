@@ -257,6 +257,82 @@ fn readme_example_output_lines_are_real() {
     let _ = std::fs::remove_file(&single);
 }
 
+/// The README's what-if sweep example is the binary's actual bytes: run
+/// the documented `cdat whatif` edit and the documented three-patch
+/// `cdat query --sweep` pipeline on the factory example and require
+/// every documented JSON line (and the whatif stderr summary) verbatim
+/// in both the README and the real output.
+#[test]
+fn readme_whatif_sweep_example_is_real() {
+    let run = |args: &[&str]| {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_cdat"))
+            .args(args)
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "cdat {args:?} failed");
+        (
+            String::from_utf8(out.stdout).expect("utf-8 stdout"),
+            String::from_utf8(out.stderr).expect("utf-8 stderr"),
+        )
+    };
+
+    let (example, _) = run(&["example"]);
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let single = dir.join(format!("cdat-tooling-whatif-{pid}.cdat"));
+    let suite = dir.join(format!("cdat-tooling-whatif-suite-{pid}.cdat"));
+    let patches = dir.join(format!("cdat-tooling-whatif-patches-{pid}.jsonl"));
+    std::fs::write(&single, &example).expect("temp file writable");
+    std::fs::write(&suite, format!("--- factory\n{example}")).expect("temp suite writable");
+    std::fs::write(
+        &patches,
+        "{\"cost\":{\"cyberattack\":2}}\n{\"defend\":[\"cyberattack\"]}\n\
+         {\"gate\":{\"production shutdown\":\"and\"}}\n",
+    )
+    .expect("temp patches writable");
+
+    let (stdout, stderr) = run(&[
+        "whatif",
+        single.to_str().expect("utf-8 temp path"),
+        "--set",
+        "cost:cyberattack=4",
+        "--defend",
+        "place bomb",
+    ]);
+    let front = r#"{"query":"cdpf","front":[[0,0],[2,10],[4,200],[6,210]]}"#;
+    let summary = "whatif: 4 dirty nodes recomputed, 1 memoized subtree fronts reused";
+    assert!(
+        readme().contains(front) && stdout.lines().any(|l| l == front),
+        "README whatif line has drifted from `cdat whatif` output: {stdout}"
+    );
+    assert!(
+        readme().contains(summary) && stderr.lines().any(|l| l == summary),
+        "README whatif summary has drifted from `cdat whatif` stderr: {stderr}"
+    );
+
+    let (stdout, _) = run(&[
+        "query",
+        suite.to_str().expect("utf-8 temp path"),
+        "--sweep",
+        patches.to_str().expect("utf-8 temp path"),
+        "--dgc",
+        "3",
+    ]);
+    for documented in [
+        r#"{"id":0,"variant":0,"query":"dgc","arg":3,"point":[2,200]}"#,
+        r#"{"id":0,"variant":1,"query":"dgc","arg":3,"point":[2,10]}"#,
+        r#"{"id":0,"variant":2,"query":"dgc","arg":3,"point":[2,10]}"#,
+    ] {
+        assert!(
+            readme().contains(documented) && stdout.lines().any(|l| l == documented),
+            "README sweep line has drifted from `cdat query --sweep` output: {documented}"
+        );
+    }
+    let _ = std::fs::remove_file(&single);
+    let _ = std::fs::remove_file(&suite);
+    let _ = std::fs::remove_file(&patches);
+}
+
 /// Example 6 of the paper: a front of size 2^|B| exists, so CDPF is
 /// necessarily exponential in the worst case (Theorem 5's lower bound).
 #[test]

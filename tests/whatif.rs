@@ -1,0 +1,213 @@
+//! Subtree-digest and incremental what-if invariants.
+//!
+//! The engine's subtree-front memo keys on the per-subtree canonical
+//! digests of [`cdat::core::canonical::subtree_hashes_cd`] /
+//! [`subtree_hashes_cdp`], so the digests must obey exactly the root
+//! hash's discipline: invariant under renaming, renumbering and sibling
+//! permutation; sensitive to sharing (a shared subtree is not two copies
+//! of it); and literally equal to the root [`StructuralHash`] at the root
+//! node. Each property gets a test here, plus a randomized end-to-end
+//! check that the incremental what-if path answers byte-identically to a
+//! scratch solve of the materialized variant.
+
+use std::sync::Arc;
+
+use cdat::core::canonical::{hash_cd, hash_cdp, subtree_hashes_cd, subtree_hashes_cdp};
+use cdat::engine::{BatchRequest, DeltaRequest, Engine, Query, TreePatch};
+use cdat::gen::{decorate_prob, isomorphic_copy, random_small};
+use cdat::{AttackTreeBuilder, BasId, CdAttackTree, NodeId, NodeType};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+const CASES: u64 = 24;
+
+/// Digest multisets (and the root digest) survive `isomorphic_copy`: the
+/// copy renames every node, renumbers them in a random topological order
+/// and shuffles every gate's children, yet each subtree keeps its digest.
+#[test]
+fn subtree_digests_are_stable_under_isomorphic_renumbering() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5D1_0000 + seed);
+        let treelike = seed % 2 == 0;
+        let cdp = decorate_prob(random_small(&mut rng, 16, treelike), &mut rng);
+        let copy = isomorphic_copy(&cdp, &mut rng);
+
+        // Node ids are permuted, so compare digests as sorted multisets…
+        let mut ours = subtree_hashes_cdp(&cdp);
+        let mut theirs = subtree_hashes_cdp(&copy);
+        let (our_root, their_root) =
+            (ours[cdp.tree().root().index()], theirs[copy.tree().root().index()]);
+        ours.sort_unstable();
+        theirs.sort_unstable();
+        assert_eq!(ours, theirs, "digest multiset changed under renumbering (seed {seed})");
+        // …except the root's, which is id-addressable on both sides.
+        assert_eq!(our_root, their_root, "root digest changed under renumbering (seed {seed})");
+
+        // Same discipline without probabilities.
+        let mut ours = subtree_hashes_cd(cdp.cd());
+        let mut theirs = subtree_hashes_cd(copy.cd());
+        ours.sort_unstable();
+        theirs.sort_unstable();
+        assert_eq!(ours, theirs, "cd digest multiset changed under renumbering (seed {seed})");
+    }
+}
+
+/// Two builds of the same tree that differ only in the order children are
+/// listed get identical node numbering, and identical digests node for
+/// node.
+#[test]
+fn subtree_digests_ignore_sibling_permutation() {
+    let build = |permute: bool| {
+        let mut b = AttackTreeBuilder::new();
+        let ca = b.bas("cyberattack");
+        let pb = b.bas("place bomb");
+        let fd = b.bas("force door");
+        let dr = if permute {
+            b.and("destroy robot", [fd, pb])
+        } else {
+            b.and("destroy robot", [pb, fd])
+        };
+        if permute {
+            b.or("production shutdown", [dr, ca]);
+        } else {
+            b.or("production shutdown", [ca, dr]);
+        }
+        let tree = b.build().expect("valid tree");
+        let cost = vec![1.0, 3.0, 2.0];
+        let damage = vec![0.0, 0.0, 10.0, 100.0, 200.0];
+        CdAttackTree::from_parts(tree, cost, damage).expect("valid attributes")
+    };
+    let (plain, permuted) = (build(false), build(true));
+    assert_eq!(
+        subtree_hashes_cd(&plain),
+        subtree_hashes_cd(&permuted),
+        "sibling order leaked into a subtree digest"
+    );
+    assert_eq!(hash_cd(&plain), hash_cd(&permuted));
+}
+
+/// A subtree shared by two parents is not the same tree as two equal-shape
+/// copies of it: the copies themselves hash like the shared original (an
+/// equal-shape sub-DAG is an equal digest), but any ancestor that can see
+/// the sharing hashes differently.
+#[test]
+fn subtree_digests_distinguish_shared_from_copied() {
+    // S: d = AND(x, y) shared by both OR arms.
+    let mut b = AttackTreeBuilder::new();
+    let x = b.bas("x");
+    let y = b.bas("y");
+    let a = b.bas("a");
+    let c = b.bas("c");
+    let d = b.and("d", [x, y]);
+    let u_s = b.or("u", [d, a]);
+    let v_s = b.or("v", [d, c]);
+    let root_s = b.and("root", [u_s, v_s]);
+    let shared = CdAttackTree::from_parts(
+        b.build().expect("valid tree"),
+        vec![2.0, 3.0, 5.0, 7.0],
+        vec![0.0; 8],
+    )
+    .expect("valid attributes");
+
+    // C: the same shape except each OR arm owns its private copy of d.
+    let mut b = AttackTreeBuilder::new();
+    let x1 = b.bas("x1");
+    let y1 = b.bas("y1");
+    let x2 = b.bas("x2");
+    let y2 = b.bas("y2");
+    let a = b.bas("a");
+    let c = b.bas("c");
+    let d1 = b.and("d1", [x1, y1]);
+    let d2 = b.and("d2", [x2, y2]);
+    let u_c = b.or("u", [d1, a]);
+    let v_c = b.or("v", [d2, c]);
+    let root_c = b.and("root", [u_c, v_c]);
+    let copied = CdAttackTree::from_parts(
+        b.build().expect("valid tree"),
+        vec![2.0, 3.0, 2.0, 3.0, 5.0, 7.0],
+        vec![0.0; 11],
+    )
+    .expect("valid attributes");
+
+    let ds = subtree_hashes_cd(&shared);
+    let dc = subtree_hashes_cd(&copied);
+    // The copies are equal-shape sub-DAGs of the shared original, so all
+    // three carry one digest…
+    assert_eq!(ds[d.index()], dc[d1.index()]);
+    assert_eq!(ds[d.index()], dc[d2.index()]);
+    // …and from inside a single OR arm the sharing is invisible…
+    assert_eq!(ds[u_s.index()], dc[u_c.index()]);
+    // …but the root sees d once in S and twice in C.
+    assert_ne!(
+        ds[root_s.index()],
+        dc[root_c.index()],
+        "root digest failed to distinguish a shared subtree from two copies"
+    );
+    assert_ne!(hash_cd(&shared), hash_cd(&copied));
+}
+
+/// At the root node the per-subtree digest IS the canonical structural
+/// hash — the identity that lets the memo share keys with the front cache.
+#[test]
+fn root_digest_agrees_with_the_structural_hash() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5D1_1000 + seed);
+        let cdp = decorate_prob(random_small(&mut rng, 16, seed % 2 == 0), &mut rng);
+        let root = cdp.tree().root().index();
+        assert_eq!(
+            subtree_hashes_cdp(&cdp)[root],
+            hash_cdp(&cdp),
+            "cdp root digest diverged from hash_cdp (seed {seed})"
+        );
+        assert_eq!(
+            subtree_hashes_cd(cdp.cd())[root],
+            hash_cd(cdp.cd()),
+            "cd root digest diverged from hash_cd (seed {seed})"
+        );
+    }
+}
+
+/// End to end: on random treelike trees, a what-if answer through the
+/// incremental path equals a scratch solve of the materialized variant —
+/// for attribute edits and gate swaps, deterministic and probabilistic.
+#[test]
+fn whatif_answers_equal_scratch_solves_of_the_materialized_variant() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5D1_2000 + seed);
+        let base = Arc::new(decorate_prob(random_small(&mut rng, 12, true), &mut rng));
+        let tree = base.tree();
+
+        let bas = BasId::new(rng.gen_range(0..tree.bas_count()));
+        let node = NodeId::new(rng.gen_range(0..tree.node_count()));
+        // A single-BAS tree has no gate to swap; the attribute edits still
+        // exercise the delta path there.
+        let gates: Vec<NodeId> =
+            tree.node_ids().filter(|&v| tree.node_type(v) != NodeType::Bas).collect();
+        let gate_swaps = match gates.as_slice() {
+            [] => vec![],
+            _ => {
+                let gate = gates[rng.gen_range(0..gates.len())];
+                let flipped =
+                    if tree.node_type(gate) == NodeType::Or { NodeType::And } else { NodeType::Or };
+                vec![(gate, flipped)]
+            }
+        };
+        let patch = TreePatch {
+            costs: vec![(bas, base.cd().cost(bas) + 2.0)],
+            damages: vec![(node, base.cd().damage(node) + 5.0)],
+            gates: gate_swaps,
+            ..TreePatch::default()
+        };
+        let patched = Arc::new(patch.apply(&base).expect("patch materializes"));
+
+        for query in [Query::Cdpf, Query::Cedpf, Query::Dgc(6.0), Query::Edgc(6.0)] {
+            let scratch = Engine::new(1).run(&[BatchRequest::new(patched.clone(), query)]);
+            let delta =
+                Engine::new(1).whatif(&DeltaRequest::new(base.clone(), query, patch.clone()));
+            assert_eq!(
+                scratch[0].response, delta.response,
+                "incremental what-if diverged from scratch (seed {seed}, query {query:?})"
+            );
+        }
+    }
+}
