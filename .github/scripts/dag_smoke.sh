@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# dag-smoke: generate a DAG-heavy suite with `cdat gen`, solve it through
+# `cdat serve --stdio` under the explicit `bdd` solver hint, and byte-diff
+# every front against the enumerative oracle run via `cdat batch --solver
+# enumerative` on the small (≤ 20-BAS) slice. A second, 120-BAS slice is
+# beyond the enumerative cap, so it only has to solve cleanly under the
+# `bdd` hint: every response carries a front, none carries an error.
+#
+# Usage: dag_smoke.sh [path/to/cdat]
+set -euo pipefail
+
+CDAT=${1:-target/release/cdat}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# --- small slice: fused vs enumerative, byte-for-byte --------------------
+# 6 DAGs at 14 BASs each (same flags, same bytes — `cdat gen` is
+# deterministic, so the serve and batch sides see identical documents).
+"$CDAT" gen --count 6 --bas 14 --sharing 0.5 --seed 11 > "$workdir/small.cdat"
+grep -q 'ref ' "$workdir/small.cdat" \
+  || { echo "dag-smoke: the generated suite has no shared nodes" >&2; exit 1; }
+
+# One serve request per (document × query), doc-major like batch's output
+# order, each pinned to the BDD-fused backend. The document bodies become
+# JSON string literals: escape backslashes and quotes, join lines with
+# literal \n.
+awk '
+  function emit() {
+    if (body == "") return
+    printf "{\"id\":%d,\"tree\":\"%s\",\"query\":\"cdpf\",\"witnesses\":true,\"solver\":\"bdd\"}\n", id++, body
+    printf "{\"id\":%d,\"tree\":\"%s\",\"query\":\"cedpf\",\"witnesses\":true,\"solver\":\"bdd\"}\n", id++, body
+    body = ""
+  }
+  /^--- / { emit(); next }
+  { line = $0; gsub(/\\/, "\\\\", line); gsub(/"/, "\\\"", line); body = body line "\\n" }
+  END { emit() }
+' "$workdir/small.cdat" > "$workdir/requests.jsonl"
+
+"$CDAT" batch "$workdir/small.cdat" --cdpf --cedpf --witnesses --solver enumerative 2>/dev/null \
+  | sed -E 's/"doc":[0-9]+,("name":"[^"]*",)?//; s/"cache":"(hit|miss)",//' \
+  > "$workdir/oracle.out"
+
+"$CDAT" serve --stdio --workers 2 --batch-window-us 500 < "$workdir/requests.jsonl" \
+  | sort -t: -k2 -n \
+  | sed -E 's/"id":[0-9]+,//' \
+  > "$workdir/fused.out"
+
+grep -q '"error"' "$workdir/oracle.out" \
+  && { echo "dag-smoke: the enumerative oracle errored" >&2; cat "$workdir/oracle.out"; exit 1; }
+diff -u "$workdir/oracle.out" "$workdir/fused.out"
+echo "dag-smoke: BDD-fused serve and the enumerative batch oracle agree" \
+     "byte-for-byte on 6 DAGs x 2 queries"
+
+# --- large slice: beyond the enumerative cap -----------------------------
+# 120 BASs per DAG is far past MAX_ENUM_BAS; sparse damage (--density 0.1)
+# keeps the fused solver's damage diagram inside its node budget.
+"$CDAT" gen --count 2 --bas 120 --sharing 0.4 --density 0.1 --seed 36 > "$workdir/large.cdat"
+
+awk '
+  function emit() {
+    if (body == "") return
+    printf "{\"id\":%d,\"tree\":\"%s\",\"query\":\"cdpf\",\"solver\":\"bdd\"}\n", id++, body
+    body = ""
+  }
+  /^--- / { emit(); next }
+  { line = $0; gsub(/\\/, "\\\\", line); gsub(/"/, "\\\"", line); body = body line "\\n" }
+  END { emit() }
+' "$workdir/large.cdat" > "$workdir/requests-large.jsonl"
+
+"$CDAT" serve --stdio --workers 2 --batch-window-us 500 < "$workdir/requests-large.jsonl" \
+  > "$workdir/large.out"
+grep -q '"error"' "$workdir/large.out" \
+  && { echo "dag-smoke: the 120-BAS slice errored under the bdd hint" >&2; \
+       cat "$workdir/large.out"; exit 1; }
+[ "$(grep -c '"front":\[\[' "$workdir/large.out")" -eq 2 ] \
+  || { echo "dag-smoke: expected 2 fronts from the 120-BAS slice" >&2; \
+       cat "$workdir/large.out"; exit 1; }
+echo "dag-smoke: 2 DAGs at 120 BASs solved under the bdd hint (enumerative cap is 30)"

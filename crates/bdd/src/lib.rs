@@ -30,6 +30,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod add;
+pub mod fuse;
+
 use std::collections::HashMap;
 
 use cdat_core::{AttackTree, NodeType};

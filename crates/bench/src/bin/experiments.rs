@@ -249,19 +249,30 @@ fn fig7(cap_seconds: f64, max_n: usize, per_n: usize) {
         tree_suite.iter().map(|t| cdat_gen::decorate_prob(t.clone(), &mut rng)).collect();
     let dag_det: Vec<CdAttackTree> =
         dag_suite.iter().map(|t| cdat_gen::decorate(t.clone(), &mut rng)).collect();
+    let dag_prob: Vec<CdpAttackTree> =
+        dag_suite.iter().map(|t| cdat_gen::decorate_prob(t.clone(), &mut rng)).collect();
 
     println!("\n(a) T_tree deterministic ({} ATs)", tree_det.len());
     sweep("Enum", cap_seconds, &tree_det, |cd| run_det(Method::Enumerative, cd).map(|x| x.1));
     sweep("BU", cap_seconds, &tree_det, |cd| run_det(Method::BottomUp, cd).map(|x| x.1));
+    sweep("BDD", cap_seconds, &tree_det, |cd| run_det(Method::BddFused, cd).map(|x| x.1));
     sweep("BILP", cap_seconds, &tree_det, |cd| run_det(Method::Bilp, cd).map(|x| x.1));
 
     println!("\n(b) T_tree probabilistic ({} ATs)", tree_prob.len());
     sweep("Enum", cap_seconds, &tree_prob, |c| run_prob(Method::Enumerative, c).map(|x| x.1));
     sweep("BU", cap_seconds, &tree_prob, |c| run_prob(Method::BottomUp, c).map(|x| x.1));
+    sweep("BDD", cap_seconds, &tree_prob, |c| run_prob(Method::BddFused, c).map(|x| x.1));
 
     println!("\n(c) T_DAG deterministic ({} ATs)", dag_det.len());
     sweep("Enum", cap_seconds, &dag_det, |cd| run_det(Method::Enumerative, cd).map(|x| x.1));
+    sweep("BDD", cap_seconds, &dag_det, |cd| run_det(Method::BddFused, cd).map(|x| x.1));
     sweep("BILP", cap_seconds, &dag_det, |cd| run_det(Method::Bilp, cd).map(|x| x.1));
+
+    // Beyond the paper: the probabilistic DAG family it left open, now
+    // covered by the fused backend (enumeration as the small-size oracle).
+    println!("\n(d) T_DAG probabilistic ({} ATs)", dag_prob.len());
+    sweep("Enum", cap_seconds, &dag_prob, |c| run_prob(Method::Enumerative, c).map(|x| x.1));
+    sweep("BDD", cap_seconds, &dag_prob, |c| run_prob(Method::BddFused, c).map(|x| x.1));
 }
 
 trait HasTree {
@@ -628,6 +639,59 @@ fn bench_json(out: Option<String>) {
             }
         });
         scenarios.push((oracle_name, t.as_secs_f64()));
+    }
+
+    // BDD-fused DAG scenarios over the DAG-heavy generator. The 18-BAS
+    // slice is small enough for the enumerative oracle, so the `_bdd`/
+    // `_enum` pair is agreement-checked entry for entry before either
+    // side is timed — the timings only count because both answer the same
+    // fronts. The 120-BAS suite (2^120 attacks) is infeasible for the
+    // enumerative path and the BILP encoding alike: the fused backend is
+    // the only solver in the workspace that completes it.
+    {
+        let mut rng = StdRng::seed_from_u64(0xDA6);
+        let small: Vec<_> = cdat_gen::dag_heavy_suite(12, 18, 0.5, 0xDA6)
+            .into_iter()
+            .map(|t| cdat_gen::decorate(t, &mut rng))
+            .collect();
+        for (i, cd) in small.iter().enumerate() {
+            let fused = cdat_bdd::fuse::cdpf(cd).expect("18-BAS DAGs fit the diagram budget");
+            let oracle = cdat_enumerative::cdpf(cd, true);
+            assert_eq!(
+                fused.to_string(),
+                oracle.to_string(),
+                "DAG {i}: fused front must match the enumerative oracle"
+            );
+        }
+        let (_, t) = timed(|| {
+            for cd in &small {
+                black_box(cdat_bdd::fuse::cdpf(black_box(cd)).expect("within budget"));
+            }
+        });
+        scenarios.push(("dag_cdpf_18bas_bdd_x12", t.as_secs_f64()));
+        let (_, t) = timed(|| {
+            for cd in &small {
+                black_box(cdat_enumerative::cdpf(black_box(cd), false));
+            }
+        });
+        scenarios.push(("dag_cdpf_18bas_enum_x12", t.as_secs_f64()));
+
+        // Sparse damage (10% of nodes) keeps the damage diagram's
+        // partial-sum state small; dense damage on 120 BASs overruns the
+        // node budget no matter how local the sharing is.
+        let large: Vec<_> = cdat_gen::dag_heavy_suite(8, 120, 0.4, 0xB16)
+            .into_iter()
+            .map(|t| cdat_gen::decorate_sparse(t, &mut rng, 0.1))
+            .collect();
+        assert!(large.iter().all(|cd| !cd.tree().is_treelike()), "the suite must be all DAGs");
+        let (_, t) = timed(|| {
+            for cd in &large {
+                black_box(
+                    cdat_bdd::fuse::cdpf(black_box(cd)).expect("sparse damage fits the budget"),
+                );
+            }
+        });
+        scenarios.push(("dag_cdpf_120bas_bdd_x8", t.as_secs_f64()));
     }
 
     // Scalar attribute-domain scenarios: the generic staircase kernel

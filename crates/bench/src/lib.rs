@@ -98,11 +98,15 @@ impl RunStats {
     }
 }
 
-/// The solvers compared across the experiments, as labelled in the paper.
+/// The solvers compared across the experiments: the paper's three plus the
+/// BDD-fused backend (exact on DAGs, both query families).
 #[derive(Copy, Clone, Eq, PartialEq, Debug)]
 pub enum Method {
     /// Bottom-up propagation (treelike only).
     BottomUp,
+    /// BDD-fused front computation (any shape, any family; `None` only
+    /// when the decision diagram exceeds its node budget).
+    BddFused,
     /// Bi-objective integer linear programming (deterministic only).
     Bilp,
     /// Exhaustive enumeration.
@@ -113,6 +117,7 @@ impl std::fmt::Display for Method {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
             Method::BottomUp => "BU",
+            Method::BddFused => "BDD",
             Method::Bilp => "BILP",
             Method::Enumerative => "Enum",
         };
@@ -301,12 +306,16 @@ pub fn run_det(method: Method, cd: &CdAttackTree) -> Option<(ParetoFront, Durati
             let (front, t) = timed(|| cdat_bottomup::cdpf(cd).expect("treelike"));
             Some((front, t))
         }
+        Method::BddFused => {
+            let (front, t) = timed(|| cdat_bdd::fuse::cdpf(cd));
+            front.ok().map(|front| (front, t))
+        }
         Method::Bilp => {
             let (front, t) = timed(|| cdat_bilp::cdpf(cd));
             Some((front, t))
         }
         Method::Enumerative => {
-            if cd.tree().bas_count() > 25 {
+            if cd.tree().bas_count() > cdat_enumerative::MAX_ENUM_BAS {
                 return None;
             }
             let (front, t) = timed(|| cdat_enumerative::cdpf(cd, false));
@@ -326,13 +335,22 @@ pub fn run_prob(method: Method, cdp: &CdpAttackTree) -> Option<(ParetoFront, Dur
             let (front, t) = timed(|| cdat_bottomup::cedpf(cdp).expect("treelike"));
             Some((front, t))
         }
-        Method::Bilp => None, // open problem in the paper
+        Method::BddFused => {
+            let (front, t) = timed(|| cdat_bdd::fuse::cedpf(cdp));
+            front.ok().map(|front| (front, t))
+        }
+        // BILP has no probabilistic encoding (the paper's open problem; the
+        // fused backend is the DAG path now).
+        Method::Bilp => None,
         Method::Enumerative => {
-            if !cdp.tree().is_treelike() || cdp.tree().bas_count() > 25 {
+            if cdp.tree().bas_count() > cdat_enumerative::MAX_ENUM_BAS {
                 return None;
             }
-            let (front, t) =
-                timed(|| cdat_enumerative::cedpf_treelike(cdp, false).expect("treelike"));
+            let (front, t) = if cdp.tree().is_treelike() {
+                timed(|| cdat_enumerative::cedpf_treelike(cdp, false).expect("treelike"))
+            } else {
+                timed(|| cdat_enumerative::cedpf_dag(cdp, false))
+            };
             Some((front, t))
         }
     }
@@ -374,15 +392,26 @@ mod tests {
         assert!(run_det(Method::BottomUp, &panda).is_some());
         assert!(run_det(Method::BottomUp, &server).is_none(), "DAG rejected by BU");
         assert!(run_det(Method::Bilp, &server).is_some());
+        assert!(run_det(Method::BddFused, &server).is_some(), "fused handles DAGs");
     }
 
     #[test]
     fn all_applicable_methods_agree_on_the_factory() {
         let cd = cdat_models::factory();
         let (bu, _) = run_det(Method::BottomUp, &cd).unwrap();
+        let (bdd, _) = run_det(Method::BddFused, &cd).unwrap();
         let (bilp, _) = run_det(Method::Bilp, &cd).unwrap();
         let (en, _) = run_det(Method::Enumerative, &cd).unwrap();
+        assert!(bu.approx_eq(&bdd, 1e-9));
         assert!(bu.approx_eq(&bilp, 1e-9));
         assert!(bu.approx_eq(&en, 1e-9));
+    }
+
+    #[test]
+    fn fused_method_agrees_with_enumeration_on_the_dag_case_study() {
+        let server = cdat_models::dataserver();
+        let (bdd, _) = run_det(Method::BddFused, &server).unwrap();
+        let (en, _) = run_det(Method::Enumerative, &server).unwrap();
+        assert!(bdd.approx_eq(&en, 1e-9));
     }
 }

@@ -136,8 +136,9 @@ impl BottomUp {
     ///
     /// # Errors
     ///
-    /// Returns [`NotTreelike`] for DAG-like trees (open problem in the paper;
-    /// `cdat-enumerative` offers an exact exponential fallback).
+    /// Returns [`NotTreelike`] for DAG-like trees — the tree recursion
+    /// would double-count shared subtrees; `cdat-bdd::fuse` solves those
+    /// exactly, and `cdat-enumerative` offers an exponential oracle.
     pub fn cedpf(&self, cdp: &CdpAttackTree) -> Result<ParetoFront, NotTreelike> {
         let front = self.prob_front(cdp, None)?;
         Ok(project(front))

@@ -120,6 +120,18 @@ impl Attack {
     pub fn as_bitset(&self) -> &BitSet {
         &self.bits
     }
+
+    /// Compares two attacks as binary numbers over their BAS bits — the order
+    /// in which [`Attack::all`] enumerates them. Solvers that must pick the
+    /// same witness as the enumerative baseline (first match wins there)
+    /// minimize under this order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attacks range over different universes.
+    pub fn cmp_numeric(&self, other: &Attack) -> std::cmp::Ordering {
+        self.bits.cmp_numeric(&other.bits)
+    }
 }
 
 impl fmt::Debug for Attack {
@@ -247,5 +259,13 @@ mod tests {
         let y = Attack::from_bas_ids(4, [b(1)]);
         assert!(x.is_disjoint(&y));
         assert!(!x.is_disjoint(&x));
+    }
+
+    #[test]
+    fn numeric_order_matches_enumeration_order() {
+        let attacks: Vec<Attack> = Attack::all(4).collect();
+        for pair in attacks.windows(2) {
+            assert_eq!(pair[0].cmp_numeric(&pair[1]), std::cmp::Ordering::Less);
+        }
     }
 }

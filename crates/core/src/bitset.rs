@@ -148,6 +148,29 @@ impl BitSet {
         })
     }
 
+    /// Compares two sets as unsigned binary numbers (bit `i` has weight
+    /// `2^i`), most significant word first.
+    ///
+    /// The derived `Ord` is lexicographic on the words with the **lowest**
+    /// word first, which does not coincide with numeric order once a set
+    /// spans several words; this comparison does, and is the order in which
+    /// [`Attack::all`](crate::Attack::all) enumerates attacks — solvers that
+    /// must break witness ties exactly like the enumerative baseline use it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different lengths.
+    pub fn cmp_numeric(&self, other: &BitSet) -> std::cmp::Ordering {
+        assert_eq!(self.len, other.len, "bit set length mismatch");
+        for (w, o) in self.words.iter().rev().zip(other.words.iter().rev()) {
+            match w.cmp(o) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
     /// Loads the lowest 128 bits from `bits` (used by exhaustive enumeration).
     ///
     /// # Panics
@@ -263,6 +286,28 @@ mod tests {
         assert!(a < b || b < a);
         let c = a.clone();
         assert_eq!(a.cmp(&c), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn numeric_ordering_is_high_word_first() {
+        // Bit 70 (word 1) numerically outweighs any word-0 content; the
+        // derived lexicographic Ord gets this pair backwards.
+        let mut hi = BitSet::new(128);
+        hi.insert(70);
+        let mut lo = BitSet::new(128);
+        lo.insert(0);
+        lo.insert(63);
+        assert_eq!(hi.cmp_numeric(&lo), std::cmp::Ordering::Greater);
+        assert_eq!(lo.cmp_numeric(&hi), std::cmp::Ordering::Less);
+        assert!(hi < lo, "derived Ord disagrees — that is why cmp_numeric exists");
+        assert_eq!(hi.cmp_numeric(&hi.clone()), std::cmp::Ordering::Equal);
+        // Single-word sets: numeric and value order coincide.
+        let mut a = BitSet::new(8);
+        a.insert(1);
+        let mut b = BitSet::new(8);
+        b.insert(0);
+        b.insert(2);
+        assert_eq!(a.cmp_numeric(&b), std::cmp::Ordering::Less);
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! The solver-backend layer: per-family capability declarations and the
+//! single dispatch point.
+//!
+//! Every cache miss is computed by exactly one [`SolverBackend`], chosen by
+//! [`SolverBackend::select`] from the request's [`SolverHint`], its query's
+//! [`FrontKind`], and the tree's shape. Selection happens in phase 1 of
+//! [`Engine::run`](crate::Engine::run) — *before* cache keying — so an
+//! unsupported combination is rejected with an immediate error response and
+//! can never poison a shared cache entry.
+//!
+//! The backend never changes *what* is computed, only *how*: every backend
+//! returns the same exact front (points and witness BAS sets) for the
+//! workloads the generator produces, so hinted and unhinted requests share
+//! cache entries, and `Auto` is free to pick the fastest supported backend
+//! per shape — bottom-up on treelike trees, the BDD-fused solver on
+//! DAG-like ones. This retires the enumerative exponential cliff (and the
+//! "open problem" error for probabilistic DAGs) as the only DAG story.
+
+use cdat_core::CdpAttackTree;
+use cdat_pareto::ParetoFront;
+
+use crate::{FrontKind, SolverHint};
+
+/// The solver families a cache miss can be dispatched to.
+///
+/// The capability matrix (see [`supports`](SolverBackend::supports); `✓*`
+/// means size-gated at validation time):
+///
+/// | backend       | deterministic | probabilistic | min_time | max_prob | shape    |
+/// |---------------|---------------|---------------|----------|----------|----------|
+/// | `bottomup`    | ✓             | ✓             | ✓        | ✓        | treelike |
+/// | `bdd`         | ✓             | ✓             | ✓        | ✓        | any      |
+/// | `enumerative` | ✓*            | ✓*            | ✓*       | ✓*       | any      |
+/// | `bilp`        | ✓             | —             | —        | —        | any      |
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum SolverBackend {
+    /// The paper's bottom-up staircase solver (exact on treelike trees
+    /// only: DAG sharing double-counts).
+    BottomUp,
+    /// The BDD-fused front solver ([`cdat_bdd::fuse`]): staircase-merges
+    /// over a decision diagram of the queried attribute, exact on any
+    /// shape. Its only failure mode is the decision-diagram node budget,
+    /// reported as a clean, cacheable error.
+    BddFused,
+    /// The exhaustive oracle ([`cdat_enumerative`]): exact on any shape but
+    /// exponential in the BAS count, so it is size-gated at validation time
+    /// ([`cdat_enumerative::MAX_ENUM_BAS`]) and never auto-selected.
+    Enumerative,
+    /// The BILP encoding ([`cdat_bilp`]): deterministic cost-damage queries
+    /// only, any shape.
+    Bilp,
+}
+
+impl SolverBackend {
+    /// Every backend, in [`SolverBackend::index`] order.
+    pub const ALL: [SolverBackend; 4] = [
+        SolverBackend::BottomUp,
+        SolverBackend::BddFused,
+        SolverBackend::Enumerative,
+        SolverBackend::Bilp,
+    ];
+
+    /// A stable dense index (0..4), used to key per-backend metrics.
+    pub fn index(self) -> usize {
+        match self {
+            SolverBackend::BottomUp => 0,
+            SolverBackend::BddFused => 1,
+            SolverBackend::Enumerative => 2,
+            SolverBackend::Bilp => 3,
+        }
+    }
+
+    /// The stable label used in metric names and the protocol's `solver`
+    /// hint values.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolverBackend::BottomUp => "bottomup",
+            SolverBackend::BddFused => "bdd",
+            SolverBackend::Enumerative => "enumerative",
+            SolverBackend::Bilp => "bilp",
+        }
+    }
+
+    /// The capability matrix: whether this backend can answer `kind` on
+    /// this tree's shape. Size limits (the enumerative BAS cap) are *not*
+    /// part of the matrix; [`select`](SolverBackend::select) enforces them
+    /// as validation errors.
+    pub fn supports(self, kind: FrontKind, cdp: &CdpAttackTree) -> bool {
+        match self {
+            SolverBackend::BottomUp => cdp.tree().is_treelike(),
+            SolverBackend::BddFused | SolverBackend::Enumerative => true,
+            SolverBackend::Bilp => kind == FrontKind::Deterministic,
+        }
+    }
+
+    /// The single dispatch point: resolves a request's hint to the backend
+    /// that will compute its front on a cache miss.
+    ///
+    /// `Auto` picks by shape — treelike → [`BottomUp`](Self::BottomUp),
+    /// DAG-like → [`BddFused`](Self::BddFused) — for every front family and
+    /// never fails. Explicit hints force their backend and fail with a
+    /// stable message when the capability matrix (or the enumerative size
+    /// gate) says no; the caller turns that into an immediate error
+    /// response without consulting the cache.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the unsupported combination.
+    pub fn select(
+        hint: SolverHint,
+        kind: FrontKind,
+        cdp: &CdpAttackTree,
+    ) -> Result<SolverBackend, String> {
+        let backend = match hint {
+            SolverHint::Auto => {
+                if cdp.tree().is_treelike() {
+                    SolverBackend::BottomUp
+                } else {
+                    SolverBackend::BddFused
+                }
+            }
+            SolverHint::BottomUp => SolverBackend::BottomUp,
+            SolverHint::Bdd => SolverBackend::BddFused,
+            SolverHint::Enumerative => SolverBackend::Enumerative,
+            SolverHint::Bilp => SolverBackend::Bilp,
+        };
+        match backend {
+            SolverBackend::BottomUp if !cdp.tree().is_treelike() => {
+                Err("the bottom-up solver requires a treelike tree; use solver auto or bdd"
+                    .to_owned())
+            }
+            SolverBackend::Bilp if kind == FrontKind::Probabilistic => {
+                Err("the BILP solver has no probabilistic encoding; use solver auto or bottomup"
+                    .to_owned())
+            }
+            SolverBackend::Bilp if matches!(kind, FrontKind::MinTime | FrontKind::MaxProb) => {
+                Err("the BILP solver answers only cost-damage queries; use solver auto or bottomup"
+                    .to_owned())
+            }
+            SolverBackend::Enumerative
+                if cdp.tree().bas_count() > cdat_enumerative::MAX_ENUM_BAS =>
+            {
+                Err(format!(
+                    "the enumerative solver enumerates attacks and supports at most {} \
+                     basic attack steps (this tree has {}); use solver auto or bdd",
+                    cdat_enumerative::MAX_ENUM_BAS,
+                    cdp.tree().bas_count()
+                ))
+            }
+            _ => Ok(backend),
+        }
+    }
+
+    /// Computes the front of `kind` with this backend, witnesses included
+    /// (in the tree's own numbering; the engine re-expresses them in
+    /// canonical positions before caching).
+    ///
+    /// # Errors
+    ///
+    /// Only the BDD-fused backend can fail — by exhausting its
+    /// decision-diagram node budget ([`cdat_bdd::add::AddLimit`]). The
+    /// message is stable and deterministic for a given tree, so the engine
+    /// caches it like any computed result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combination was never validated by
+    /// [`select`](SolverBackend::select) (e.g. bottom-up on a DAG).
+    pub fn compute(self, kind: FrontKind, cdp: &CdpAttackTree) -> Result<ParetoFront, String> {
+        let fused = |r: Result<ParetoFront, cdat_bdd::add::AddLimit>| r.map_err(|e| e.to_string());
+        match self {
+            SolverBackend::BottomUp => Ok(match kind {
+                FrontKind::Deterministic => cdat_bottomup::cdpf(cdp.cd()),
+                FrontKind::Probabilistic => cdat_bottomup::cedpf(cdp),
+                FrontKind::MinTime => cdat_bottomup::min_time(cdp.cd()),
+                FrontKind::MaxProb => cdat_bottomup::max_prob(cdp),
+            }
+            .expect("the bottom-up backend is selected for treelike trees only")),
+            SolverBackend::BddFused => match kind {
+                FrontKind::Deterministic => fused(cdat_bdd::fuse::cdpf(cdp.cd())),
+                FrontKind::Probabilistic => fused(cdat_bdd::fuse::cedpf(cdp)),
+                FrontKind::MinTime => fused(cdat_bdd::fuse::min_time(cdp.cd())),
+                FrontKind::MaxProb => fused(cdat_bdd::fuse::max_prob(cdp)),
+            },
+            SolverBackend::Enumerative => Ok(match kind {
+                FrontKind::Deterministic => cdat_enumerative::cdpf(cdp.cd(), true),
+                FrontKind::Probabilistic => cdat_enumerative::cedpf_dag(cdp, true),
+                FrontKind::MinTime => cdat_enumerative::min_time(cdp.cd(), true),
+                FrontKind::MaxProb => cdat_enumerative::max_prob(cdp, true),
+            }),
+            SolverBackend::Bilp => match kind {
+                FrontKind::Deterministic => Ok(cdat_bilp::cdpf(cdp.cd())),
+                _ => unreachable!("the BILP backend answers deterministic queries only"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn dag() -> Arc<CdpAttackTree> {
+        let cd = cdat_models::dataserver();
+        let n = cd.tree().bas_count();
+        Arc::new(CdpAttackTree::from_parts(cd, vec![1.0; n]).unwrap())
+    }
+
+    fn treelike() -> Arc<CdpAttackTree> {
+        Arc::new(cdat_models::factory_cdp())
+    }
+
+    #[test]
+    fn auto_dispatches_by_shape_for_every_family() {
+        for kind in FrontKind::ALL {
+            assert_eq!(
+                SolverBackend::select(SolverHint::Auto, kind, &treelike()),
+                Ok(SolverBackend::BottomUp),
+                "{kind:?}"
+            );
+            assert_eq!(
+                SolverBackend::select(SolverHint::Auto, kind, &dag()),
+                Ok(SolverBackend::BddFused),
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn capability_matrix_gates_explicit_hints() {
+        let dag = dag();
+        let err = SolverBackend::select(SolverHint::BottomUp, FrontKind::Deterministic, &dag)
+            .unwrap_err();
+        assert!(err.contains("treelike"), "{err}");
+        let err = SolverBackend::select(SolverHint::Bilp, FrontKind::Probabilistic, &treelike())
+            .unwrap_err();
+        assert!(err.contains("no probabilistic encoding"), "{err}");
+        let err =
+            SolverBackend::select(SolverHint::Bilp, FrontKind::MinTime, &treelike()).unwrap_err();
+        assert!(err.contains("cost-damage queries"), "{err}");
+        assert_eq!(
+            SolverBackend::select(SolverHint::Bdd, FrontKind::Probabilistic, &dag),
+            Ok(SolverBackend::BddFused)
+        );
+        assert_eq!(
+            SolverBackend::select(SolverHint::Enumerative, FrontKind::MaxProb, &dag),
+            Ok(SolverBackend::Enumerative)
+        );
+    }
+
+    #[test]
+    fn every_backend_supports_what_it_claims() {
+        for backend in SolverBackend::ALL {
+            for kind in FrontKind::ALL {
+                for tree in [treelike(), dag()] {
+                    if backend.supports(kind, &tree) {
+                        let front = backend.compute(kind, &tree);
+                        assert!(front.is_ok(), "{backend:?} {kind:?}: {front:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels_and_indices_are_stable() {
+        let labels: Vec<&str> = SolverBackend::ALL.iter().map(|b| b.label()).collect();
+        assert_eq!(labels, ["bottomup", "bdd", "enumerative", "bilp"]);
+        for (i, backend) in SolverBackend::ALL.into_iter().enumerate() {
+            assert_eq!(backend.index(), i);
+        }
+    }
+}

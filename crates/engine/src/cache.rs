@@ -9,7 +9,7 @@ use cdat_core::StructuralHash;
 use cdat_pareto::ParetoFront;
 
 use crate::delta::SubtreeMemo;
-use crate::FrontKind;
+use crate::{FrontKind, SolverBackend};
 
 /// What a batch ultimately memoizes: one computed front (or the error that
 /// computing it produced — errors are structural, so they cache equally
@@ -29,6 +29,11 @@ pub struct CachedFront {
     /// disk-promoted entries start with `None` until a delta request
     /// rebuilds one.
     pub memo: Option<Arc<SubtreeMemo>>,
+    /// Which backend computed this entry — observability only, never part
+    /// of the answer (all backends return the same exact front). `None`
+    /// for entries promoted from the disk tier, whose records do not store
+    /// provenance.
+    pub backend: Option<SolverBackend>,
 }
 
 impl CachedFront {
@@ -439,6 +444,7 @@ mod tests {
             result: Ok(ParetoFront::from_points(points)),
             compute: Duration::from_micros(5),
             memo: None,
+            backend: Some(SolverBackend::BottomUp),
         }
     }
 
@@ -473,7 +479,12 @@ mod tests {
         let first = cache.insert(k, entry());
         let second = cache.insert(
             k,
-            CachedFront { result: Err("late".into()), compute: Duration::ZERO, memo: None },
+            CachedFront {
+                result: Err("late".into()),
+                compute: Duration::ZERO,
+                memo: None,
+                backend: None,
+            },
         );
         assert!(Arc::ptr_eq(&first, &second), "the losing insert must return the existing Arc");
         assert!(second.result.is_ok());
@@ -592,10 +603,16 @@ mod tests {
             ])),
             compute: Duration::ZERO,
             memo: None,
+            backend: None,
         };
         assert_eq!(witnessed.weight(), 5, "3 points + 2 witnesses");
         assert_eq!(entry_of(4).weight(), 4, "bare points weigh one each");
-        let error = CachedFront { result: Err("x".into()), compute: Duration::ZERO, memo: None };
+        let error = CachedFront {
+            result: Err("x".into()),
+            compute: Duration::ZERO,
+            memo: None,
+            backend: None,
+        };
         assert_eq!(error.weight(), 1);
     }
 
@@ -605,8 +622,12 @@ mod tests {
         let tree = Arc::new(cdat_models::factory_cdp());
         let (front, memo) =
             SubtreeMemo::build(FrontKind::Deterministic, &tree).expect("factory is treelike");
-        let with_memo =
-            CachedFront { result: Ok(front), compute: Duration::ZERO, memo: Some(Arc::new(memo)) };
+        let with_memo = CachedFront {
+            result: Ok(front),
+            compute: Duration::ZERO,
+            memo: Some(Arc::new(memo)),
+            backend: Some(SolverBackend::BottomUp),
+        };
         let bare_weight = CachedFront { memo: None, ..with_memo.clone() }.weight();
         assert!(with_memo.weight() > bare_weight, "the memo must actually add weight");
         // A slice exactly the bare front's weight: the memo is shed (one

@@ -432,7 +432,12 @@ impl Engine {
         if let Some(trace) = &self.trace {
             trace.emit("delta_build", compute, &[("kind", TraceField::Str(kind.label()))]);
         }
-        let entry = CachedFront { result: Ok(stored), compute, memo: Some(memo.clone()) };
+        let entry = CachedFront {
+            result: Ok(stored),
+            compute,
+            memo: Some(memo.clone()),
+            backend: Some(crate::SolverBackend::BottomUp),
+        };
         // Memos are memory-only: deliberately no `persist` here.
         self.tier.memory().replace(key, entry);
         (memo, false)

@@ -90,6 +90,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod cache;
 mod delta;
 mod metrics;
@@ -104,6 +105,7 @@ use cdat_core::{BasId, CdAttackTree, CdpAttackTree, StructuralHash};
 use cdat_obs::{TraceField, TraceWriter};
 use cdat_pareto::{FrontEntry, ParetoFront};
 
+pub use backend::SolverBackend;
 pub use cache::{CacheKey, CacheStats, CachedFront, FrontCache};
 pub use cdat_core::TreePatch;
 pub use cdat_store::StoreMetrics;
@@ -112,11 +114,6 @@ pub use delta::{
 };
 pub use metrics::{EngineMetrics, EngineSnapshot, FamilyCounters, FamilySnapshot, StoreSnapshot};
 pub use persist::PersistentFrontCache;
-
-/// The stable error message cached for probabilistic queries on DAG-like
-/// trees (the paper's open problem).
-pub const DAG_PROBABILISTIC_OPEN: &str =
-    "probabilistic analysis of DAG-like attack trees is an open problem";
 
 /// The front families a query can need.
 ///
@@ -204,25 +201,32 @@ impl Query {
 
 /// Which solver computes a front on a cache miss.
 ///
-/// The hint never changes *what* is computed — all solvers return the same
-/// exact front, so hinted and unhinted requests share cache entries — only
-/// *how*. Incompatible hints (bottom-up on a DAG-like tree, BILP on a
-/// probabilistic query) are rejected with a [`Response::Error`] before the
-/// cache is consulted, so a bad hint can never poison a shared entry.
+/// The hint never changes *what* is computed — all backends return the
+/// same exact front, so hinted and unhinted requests share cache entries —
+/// only *how*. Hints resolve to a [`SolverBackend`] through
+/// [`SolverBackend::select`]; incompatible combinations (bottom-up on a
+/// DAG-like tree, BILP on a probabilistic query, enumerative past its BAS
+/// cap) are rejected with a [`Response::Error`] before the cache is
+/// consulted, so a bad hint can never poison a shared entry.
 #[derive(Copy, Clone, Eq, PartialEq, Hash, Debug, Default)]
 pub enum SolverHint {
-    /// Dispatch on shape like `cdat::solve`: treelike → bottom-up,
-    /// DAG-like → BILP.
+    /// Dispatch on shape: treelike → bottom-up, DAG-like → the BDD-fused
+    /// solver.
     #[default]
     Auto,
     /// Force the bottom-up solver (treelike trees only).
     BottomUp,
+    /// Force the BDD-fused solver (any shape, any family).
+    Bdd,
+    /// Force the enumerative oracle (any shape, size-gated).
+    Enumerative,
     /// Force the BILP solver (deterministic queries only).
     Bilp,
 }
 
 impl SolverHint {
-    /// Parses the protocol spelling (`auto` / `bottomup` / `bilp`).
+    /// Parses the protocol spelling (`auto` / `bottomup` / `bdd` /
+    /// `enumerative` / `bilp`).
     ///
     /// # Errors
     ///
@@ -231,8 +235,12 @@ impl SolverHint {
         match name {
             "auto" => Ok(SolverHint::Auto),
             "bottomup" | "bottom-up" | "bu" => Ok(SolverHint::BottomUp),
+            "bdd" => Ok(SolverHint::Bdd),
+            "enumerative" | "enum" => Ok(SolverHint::Enumerative),
             "bilp" => Ok(SolverHint::Bilp),
-            other => Err(format!("unknown solver {other:?} (expected auto, bottomup or bilp)")),
+            other => Err(format!(
+                "unknown solver {other:?} (expected auto, bottomup, bdd, enumerative or bilp)"
+            )),
         }
     }
 }
@@ -302,30 +310,6 @@ impl BatchRequest {
     pub fn with_hash(mut self, hash: StructuralHash) -> Self {
         self.hash = Some(hash);
         self
-    }
-}
-
-/// Why a hinted request cannot be served. Checked before cache keying, so
-/// an invalid hint produces an immediate error response and never touches
-/// (or poisons) the shared cache.
-fn hint_error(request: &BatchRequest) -> Option<String> {
-    match request.hint {
-        SolverHint::Auto => None,
-        SolverHint::Bilp if request.query.kind() == FrontKind::Probabilistic => Some(
-            "the BILP solver has no probabilistic encoding; use solver auto or bottomup".into(),
-        ),
-        SolverHint::Bilp
-            if matches!(request.query.kind(), FrontKind::MinTime | FrontKind::MaxProb) =>
-        {
-            Some(
-                "the BILP solver answers only cost-damage queries; use solver auto or bottomup"
-                    .into(),
-            )
-        }
-        SolverHint::BottomUp if !request.tree.tree().is_treelike() => {
-            Some("the bottom-up solver requires a treelike tree; use solver auto or bilp".into())
-        }
-        _ => None,
     }
 }
 
@@ -545,7 +529,7 @@ impl Engine {
         type CanonEntry = (StructuralHash, Arc<Vec<BasId>>);
         let mut translations: Vec<Option<Arc<Vec<BasId>>>> = Vec::with_capacity(requests.len());
         let mut canon_of_tree: CanonMemo = Default::default();
-        let mut jobs: Vec<(CacheKey, &Arc<CdpAttackTree>, SolverHint)> = Vec::new();
+        let mut jobs: Vec<(CacheKey, &Arc<CdpAttackTree>, SolverBackend)> = Vec::new();
         let mut job_of_key: std::collections::HashMap<CacheKey, usize> = Default::default();
         // Disk answers already fetched this batch: later same-key requests
         // reuse the held Arc as hits (mirroring job followers), so their
@@ -555,15 +539,25 @@ impl Engine {
             Default::default();
         let (mut hits, mut misses) = (0u64, 0u64);
         for (i, request) in requests.iter().enumerate() {
-            if let Some(message) = hint_error(request) {
-                if let Some(metrics) = &self.metrics {
-                    metrics.invalid_hints.inc();
-                }
-                sources.push(Source::Invalid(message));
-                translations.push(None);
-                continue;
-            }
             let kind = request.query.kind();
+            // The single dispatch point: every valid request resolves to
+            // the one backend that would compute its front on a miss,
+            // before cache keying — so an invalid hint errors immediately
+            // and can never poison a shared entry.
+            let backend = match SolverBackend::select(request.hint, kind, &request.tree) {
+                Ok(backend) => backend,
+                Err(message) => {
+                    if let Some(metrics) = &self.metrics {
+                        metrics.invalid_hints.inc();
+                    }
+                    sources.push(Source::Invalid(message));
+                    translations.push(None);
+                    continue;
+                }
+            };
+            if let Some(metrics) = &self.metrics {
+                metrics.backend_requests[backend.index()].inc();
+            }
             let canonical = request.witnesses.then(|| {
                 canon_of_tree
                     .entry((Arc::as_ptr(&request.tree), kind))
@@ -640,7 +634,7 @@ impl Engine {
                 tier_label = "miss";
                 job_of_key.insert(key, jobs.len());
                 sources.push(Source::Job(jobs.len()));
-                jobs.push((key, &request.tree, request.hint));
+                jobs.push((key, &request.tree, backend));
             }
             if let Some(metrics) = &self.metrics {
                 let family = metrics.family(kind);
@@ -675,12 +669,12 @@ impl Engine {
         let persistent = matches!(self.tier, Tier::Persistent(_));
         let worker = || loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
-            let Some((key, tree, hint)) = jobs.get(i) else { break };
+            let Some((key, tree, backend)) = jobs.get(i) else { break };
             if let Some(metrics) = &self.metrics {
                 metrics.queue_wait_us.observe_since(run_started);
             }
             let start = Instant::now();
-            let (result, memo) = compute_entry(key.kind, tree, *hint);
+            let (result, memo) = compute_entry(key.kind, tree, *backend);
             let compute = start.elapsed();
             if let Some(metrics) = &self.metrics {
                 metrics.solve_us.observe_duration(compute);
@@ -688,7 +682,7 @@ impl Engine {
             if let Some(trace) = &self.trace {
                 trace.emit("solve", compute, &[("kind", TraceField::Str(key.kind.label()))]);
             }
-            let entry = CachedFront { result, compute, memo };
+            let entry = CachedFront { result, compute, memo, backend: Some(*backend) };
             let entry = self.tier.memory().insert(*key, entry);
             // Jobs are deduplicated per key, so exactly one worker appends
             // each new front to the disk tier (which is itself
@@ -807,18 +801,11 @@ impl Engine {
 fn compute_entry(
     kind: FrontKind,
     cdp: &Arc<CdpAttackTree>,
-    hint: SolverHint,
+    backend: SolverBackend,
 ) -> (Result<ParetoFront, String>, Option<Arc<SubtreeMemo>>) {
-    let bottom_up = match kind {
-        FrontKind::Deterministic => match hint {
-            SolverHint::Auto => cdp.tree().is_treelike(),
-            SolverHint::BottomUp => true,
-            SolverHint::Bilp => false,
-        },
-        FrontKind::Probabilistic => cdp.tree().is_treelike(),
-        FrontKind::MinTime | FrontKind::MaxProb => false,
-    };
-    if bottom_up {
+    let memoizable = backend == SolverBackend::BottomUp
+        && matches!(kind, FrontKind::Deterministic | FrontKind::Probabilistic);
+    if memoizable {
         if let Some((front, memo)) = SubtreeMemo::build(kind, cdp) {
             let canonical = match kind {
                 FrontKind::Deterministic => canonicalize_cd(cdp.cd()),
@@ -829,14 +816,11 @@ fn compute_entry(
             return (Ok(stored), Some(Arc::new(memo)));
         }
     }
-    (compute_front(kind, cdp, hint), None)
+    (compute_front(kind, cdp, backend), None)
 }
 
-/// Computes the front of `kind` for one tree. `SolverHint::Auto` dispatches
-/// on shape like `cdat::solve` (treelike → bottom-up, DAG-like → BILP;
-/// probabilistic DAG-like → the paper's open problem, reported as a cached
-/// error); explicit hints force their solver (validated in phase 1, see
-/// [`hint_error`]).
+/// Computes the front of `kind` with the backend phase 1 selected
+/// ([`SolverBackend::select`]), so no shape/size re-checks happen here.
 ///
 /// Witnesses are kept, re-expressed in **canonical BAS positions**: the
 /// cache answers renamed/reordered copies of this tree whose BAS numbering
@@ -846,64 +830,15 @@ fn compute_entry(
 fn compute_front(
     kind: FrontKind,
     cdp: &CdpAttackTree,
-    hint: SolverHint,
+    backend: SolverBackend,
 ) -> Result<ParetoFront, String> {
-    let front = match kind {
-        FrontKind::Deterministic => {
-            let bottom_up = match hint {
-                SolverHint::Auto => cdp.tree().is_treelike(),
-                SolverHint::BottomUp => true,
-                SolverHint::Bilp => false,
-            };
-            if bottom_up {
-                cdat_bottomup::cdpf(cdp.cd()).expect("hint validated against shape")
-            } else {
-                cdat_bilp::cdpf(cdp.cd())
-            }
-        }
-        FrontKind::Probabilistic => {
-            cdat_bottomup::cedpf(cdp).map_err(|_| DAG_PROBABILISTIC_OPEN.to_owned())?
-        }
-        FrontKind::MinTime => {
-            if cdp.tree().is_treelike() {
-                cdat_bottomup::min_time(cdp.cd()).expect("treelike checked")
-            } else {
-                enum_guard(cdp)?;
-                cdat_enumerative::min_time(cdp.cd(), true)
-            }
-        }
-        FrontKind::MaxProb => {
-            if cdp.tree().is_treelike() {
-                cdat_bottomup::max_prob(cdp).expect("treelike checked")
-            } else {
-                enum_guard(cdp)?;
-                cdat_enumerative::max_prob(cdp, true)
-            }
-        }
-    };
+    let front = backend.compute(kind, cdp)?;
     let canonical = match kind {
         FrontKind::Deterministic | FrontKind::MinTime => canonicalize_cd(cdp.cd()),
         FrontKind::Probabilistic | FrontKind::MaxProb => canonicalize_cdp(cdp),
     };
     let position = canonical.positions();
     Ok(front.map_witnesses(position.len(), |b| BasId::new(position[b.index()])))
-}
-
-/// Gate for the enumerative DAG fallback of the scalar queries: the
-/// exhaustive oracle is exponential in the BAS count, so trees past
-/// [`cdat_enumerative::MAX_ENUM_BAS`] get a stable, cacheable error
-/// instead of an unbounded computation (the oracle itself would assert).
-fn enum_guard(cdp: &CdpAttackTree) -> Result<(), String> {
-    let n = cdp.tree().bas_count();
-    if n > cdat_enumerative::MAX_ENUM_BAS {
-        Err(format!(
-            "scalar queries on DAG-like trees enumerate attacks and support at most {} \
-             basic attack steps (this tree has {n})",
-            cdat_enumerative::MAX_ENUM_BAS
-        ))
-    } else {
-        Ok(())
-    }
 }
 
 /// Answers a query from its (cached) front. `translation`, present exactly
@@ -1027,21 +962,21 @@ mod tests {
     }
 
     #[test]
-    fn dag_probabilistic_is_a_cached_error() {
+    fn dag_probabilistic_is_solved_exactly_by_the_fused_backend() {
         let dag = dag_cdp();
+        let oracle = cdat_enumerative::cedpf_dag(&dag, false);
         let engine = Engine::new(2);
         let results = engine.run(&[
             BatchRequest::new(dag.clone(), Query::Cedpf),
             BatchRequest::new(dag, Query::Edgc(10.0)),
         ]);
-        for r in &results {
-            match &r.response {
-                Response::Error(m) => assert_eq!(m, DAG_PROBABILISTIC_OPEN),
-                other => panic!("{other:?}"),
-            }
+        match &results[0].response {
+            Response::Front(front) => assert_eq!(front.to_string(), oracle.to_string()),
+            other => panic!("{other:?}"),
         }
+        assert!(matches!(&results[1].response, Response::Entry(Some(_))));
         assert!(!results[0].cache_hit);
-        assert!(results[1].cache_hit, "the error memoizes like a front");
+        assert!(results[1].cache_hit, "both queries share the one fused front");
     }
 
     #[test]
@@ -1120,13 +1055,15 @@ mod tests {
         let results = engine.run(&[
             BatchRequest::new(factory(), Query::Cdpf).with_hint(SolverHint::Bilp),
             BatchRequest::new(factory(), Query::Cdpf).with_hint(SolverHint::BottomUp),
+            BatchRequest::new(factory(), Query::Cdpf).with_hint(SolverHint::Bdd),
+            BatchRequest::new(factory(), Query::Cdpf).with_hint(SolverHint::Enumerative),
             BatchRequest::new(factory(), Query::Cdpf),
         ]);
         assert!(!results[0].cache_hit, "the BILP-hinted request computes the front");
-        assert!(results[1].cache_hit, "hinted and unhinted requests share the entry");
-        assert!(results[2].cache_hit);
-        assert_eq!(results[0].response, results[1].response);
-        assert_eq!(results[0].response, results[2].response);
+        for r in &results[1..] {
+            assert!(r.cache_hit, "hinted and unhinted requests share the entry");
+            assert_eq!(results[0].response, r.response);
+        }
         assert!(matches!(&results[0].response, Response::Front(f)
             if f.to_string() == "{(0, 0), (1, 200), (3, 210), (5, 310)}"));
         assert_eq!(engine.cache().stats().entries, 1);
@@ -1348,7 +1285,7 @@ mod tests {
     }
 
     #[test]
-    fn dag_scalar_queries_fall_back_to_enumeration() {
+    fn dag_scalar_queries_are_solved_fused_and_agree_with_the_oracle() {
         let dag = dag_cdp();
         let engine = Engine::new(2);
         let results = engine.run(&[
@@ -1370,9 +1307,10 @@ mod tests {
     }
 
     #[test]
-    fn oversized_dag_scalar_queries_error_cleanly() {
-        // A DAG with MAX_ENUM_BAS + 1 shared BASs: both scalar queries must
-        // produce a stable error instead of a 2^31-attack enumeration.
+    fn oversized_enumerative_hints_error_cleanly_and_auto_still_solves() {
+        // A DAG with MAX_ENUM_BAS + 1 shared BASs: an explicit enumerative
+        // hint must produce a stable validation error instead of a
+        // 2^31-attack enumeration, while auto (BDD-fused) solves it.
         let mut b = cdat_core::AttackTreeBuilder::new();
         let n = cdat_enumerative::MAX_ENUM_BAS + 1;
         let names: Vec<String> = (0..n).map(|i| format!("b{i}")).collect();
@@ -1384,15 +1322,21 @@ mod tests {
         let cdp = Arc::new(cd.with_probabilities().finish().unwrap());
         let engine = Engine::new(1);
         let results = engine.run(&[
-            BatchRequest::new(cdp.clone(), Query::MinTime),
-            BatchRequest::new(cdp, Query::MaxProb),
+            BatchRequest::new(cdp.clone(), Query::MinTime).with_hint(SolverHint::Enumerative),
+            BatchRequest::new(cdp.clone(), Query::MaxProb).with_hint(SolverHint::Enumerative),
+            BatchRequest::new(cdp, Query::MinTime),
         ]);
-        for r in &results {
+        for r in &results[..2] {
             match &r.response {
                 Response::Error(m) => assert!(m.contains("at most"), "{m}"),
                 other => panic!("{other:?}"),
             }
         }
+        // Every BAS is shared by both OR gates, so the cheapest attack is a
+        // single zero-cost BAS reaching both conjuncts at once.
+        assert_eq!(results[2].response, Response::Value(Some(FrontEntry::point(0.0, 0.0))));
+        // Hint rejections happen before cache keying: only auto's entry.
+        assert_eq!(engine.cache().stats().entries, 1);
     }
 
     #[test]
@@ -1594,6 +1538,13 @@ mod tests {
         assert_eq!(metrics.family(FrontKind::Deterministic).requests.get(), 6);
         assert_eq!(metrics.family(FrontKind::Deterministic).misses.get(), 1);
         assert_eq!(metrics.family(FrontKind::Deterministic).hits.get(), 5);
+
+        // Backend counters partition the counted requests: every valid
+        // request was routed (all bottom-up here — the tree is treelike
+        // and every hint was auto).
+        let backends: u64 = metrics.backend_requests.iter().map(|c| c.get()).sum();
+        assert_eq!(backends, requests_total);
+        assert_eq!(metrics.backend_requests[SolverBackend::BottomUp.index()].get(), 8);
 
         // Histograms tie to the counters: one queue-wait observation per
         // counted request, one solve observation per counted miss, and

@@ -28,7 +28,7 @@
 use cdat_obs::{histogram_samples, sample, type_line, Counter, Histogram, HistogramSnapshot};
 use cdat_store::StoreMetrics;
 
-use crate::FrontKind;
+use crate::{FrontKind, SolverBackend};
 
 /// Cache-tier outcome counters for one [`FrontKind`] family.
 #[derive(Debug, Default)]
@@ -77,6 +77,11 @@ pub struct EngineMetrics {
     /// patches observe 0 — so `dirty_path_len.count` equals the summed
     /// per-family `delta_requests`.
     pub dirty_path_len: Histogram,
+    /// Per-backend request counters, indexed by [`SolverBackend::index`]:
+    /// each counted request increments the backend phase 1 selected for it
+    /// ([`SolverBackend::select`]), hit or miss alike — so the backend
+    /// counters partition `requests` exactly, like the tier counters do.
+    pub backend_requests: [Counter; 4],
     /// Per-family tier counters, indexed by [`FrontKind::index`].
     pub families: [FamilyCounters; 4],
 }
@@ -133,6 +138,9 @@ pub struct EngineSnapshot {
     /// Merged dirty-path-length histogram (one observation per delta
     /// request).
     pub dirty_path_len: HistogramSnapshot,
+    /// Summed per-backend request counts, indexed by
+    /// [`SolverBackend::index`].
+    pub backends: [u64; 4],
     /// Per-family counters, indexed by [`FrontKind::index`].
     pub families: [FamilySnapshot; 4],
 }
@@ -150,6 +158,9 @@ impl EngineSnapshot {
         self.invalid_hints += metrics.invalid_hints.get();
         self.served_compute_us += metrics.served_compute_us.get();
         self.dirty_path_len.merge(&metrics.dirty_path_len.snapshot());
+        for (acc, counter) in self.backends.iter_mut().zip(&metrics.backend_requests) {
+            *acc += counter.get();
+        }
         for (acc, fam) in self.families.iter_mut().zip(&metrics.families) {
             acc.requests += fam.requests.get();
             acc.hits += fam.hits.get();
@@ -210,6 +221,15 @@ impl EngineSnapshot {
         for kind in FrontKind::ALL {
             let fam = self.families[kind.index()];
             sample(out, "cdat_dirty_nodes_total", &[("family", kind.label())], fam.dirty_nodes);
+        }
+        type_line(out, "cdat_backend_requests_total", "counter");
+        for backend in SolverBackend::ALL {
+            sample(
+                out,
+                "cdat_backend_requests_total",
+                &[("backend", backend.label())],
+                self.backends[backend.index()],
+            );
         }
         type_line(out, "cdat_invalid_hints_total", "counter");
         sample(out, "cdat_invalid_hints_total", &[], self.invalid_hints);

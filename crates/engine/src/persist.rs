@@ -96,6 +96,7 @@ impl PersistentFrontCache {
             result: stored.result,
             compute: Duration::from_micros(stored.compute_micros),
             memo: None,
+            backend: None,
         };
         Some(self.memory.insert(*key, entry))
     }

@@ -31,9 +31,12 @@ use cdat_pareto::{CostDamage, FrontEntry, ParetoFront};
 
 /// Largest BAS count the `2^|B|` enumerations here accept before panicking.
 ///
-/// Exported so callers that fall back to enumeration on DAG inputs (the
-/// engine's `min-time`/`max-prob` paths) can pre-check and return a clean
-/// error instead of tripping the assertion.
+/// Every enumeration in this crate — deterministic, probabilistic, and the
+/// DAG-exact [`cedpf_dag`] — shares this one cap. Exported so serving
+/// layers can pre-check and return a clean, cacheable error instead of
+/// tripping the assertion: the engine's backend selection
+/// (`SolverBackend::select`) rejects enumerative requests past this cap at
+/// validation time, so no serve path reaches the panics below.
 pub const MAX_ENUM_BAS: usize = 30;
 
 /// Hard cap on `|B|` for the deterministic enumerations.
@@ -408,10 +411,10 @@ pub fn expected_damage_conditioning(cdp: &CdpAttackTree, attack: &Attack) -> f64
 ///
 /// # Panics
 ///
-/// Panics if the tree has more than 25 BASs.
+/// Panics if the tree has more than [`MAX_ENUM_BAS`] BASs.
 pub fn cedpf_dag(cdp: &CdpAttackTree, witnesses: bool) -> ParetoFront {
     let n = cdp.tree().bas_count();
-    assert!(n <= 25, "exact DAG CEDPF over 2^{n} attacks is intractable");
+    assert!(n <= MAX_BAS_PROB, "exact DAG CEDPF over 2^{n} attacks is intractable");
     let eval = DagEvaluator::new(cdp);
     let value = |x: &Attack| CostDamage::new(cdp.cost_of(x), eval.expected_damage(x));
     let front = stream_front(Attack::all(n).map(|x| value(&x)));

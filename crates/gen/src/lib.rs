@@ -185,6 +185,31 @@ pub fn decorate(tree: AttackTree, rng: &mut impl Rng) -> CdAttackTree {
     CdAttackTree::from_parts(tree, cost, damage).expect("random attributes are valid")
 }
 
+/// [`decorate`] with damage concentrated on a few nodes: each node carries
+/// a damage in `{1,…,10}` with probability `density` (the root always
+/// does), and `0` otherwise.
+///
+/// Dense damage makes the fused solver's damage diagram track one state
+/// per distinct partial damage sum, which outgrows the diagram budget on
+/// 100+-BAS suites; sparse damage keeps those suites solvable and matches
+/// the case studies, where damage sits at a handful of assets rather than
+/// at every gate.
+pub fn decorate_sparse(tree: AttackTree, rng: &mut impl Rng, density: f64) -> CdAttackTree {
+    assert!((0.0..=1.0).contains(&density), "density must lie in [0, 1]");
+    let root = tree.root();
+    let cost: Vec<f64> = (0..tree.bas_count()).map(|_| rng.gen_range(1..=10) as f64).collect();
+    let damage: Vec<f64> = (0..tree.node_count())
+        .map(|v| {
+            if v == root.index() || rng.gen_bool(density) {
+                rng.gen_range(1..=10) as f64
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    CdAttackTree::from_parts(tree, cost, damage).expect("random attributes are valid")
+}
+
 /// [`decorate`] plus random success probabilities in `{0.1, 0.2, …, 1.0}`.
 pub fn decorate_prob(tree: AttackTree, rng: &mut impl Rng) -> CdpAttackTree {
     let n = tree.bas_count();
@@ -302,6 +327,111 @@ pub fn random_small(rng: &mut impl Rng, max_bas: usize, treelike: bool) -> Attac
         roots.push(builder.gate(&name, ty, children));
     }
     builder.build().expect("random small tree is valid")
+}
+
+/// Generates a DAG-heavy random attack tree with **exactly** `bas` BASs
+/// and a controllable `sharing` factor in `[0, 1]`.
+///
+/// BASs are created in clusters of 4–7, each folded into a small random
+/// gate tree; every cluster additionally adopts each BAS of the *previous*
+/// cluster with probability `sharing`, giving those BASs a second parent
+/// (the DAG edges). Cluster roots are then chained under random gates.
+/// Sharing is deliberately local — only adjacent clusters overlap — so the
+/// BDD of the structure function under the natural BAS order stays small
+/// and the BDD-fused solver scales to hundreds of BASs, while the
+/// enumerative path is infeasible past [`cdat_enumerative::MAX_ENUM_BAS`]
+/// (not a dependency of this crate; the cap is 30).
+///
+/// `sharing = 0.0` yields a treelike AT; at `0.5` most multi-cluster
+/// results are DAGs.
+pub fn random_dag(rng: &mut impl Rng, bas: usize, sharing: f64) -> AttackTree {
+    assert!(bas >= 1, "need at least one BAS");
+    assert!((0.0..=1.0).contains(&sharing), "sharing factor must be in [0, 1]");
+    let mut builder = AttackTreeBuilder::new();
+    let mut counter = 0usize;
+    let mut remaining = bas;
+    let mut cluster_roots: Vec<NodeId> = Vec::new();
+    let mut previous_cluster: Vec<NodeId> = Vec::new();
+    while remaining > 0 {
+        let size = rng.gen_range(4..=7usize).min(remaining);
+        remaining -= size;
+        let fresh: Vec<NodeId> = (0..size)
+            .map(|_| {
+                let name = format!("n{counter}");
+                counter += 1;
+                builder.bas(&name)
+            })
+            .collect();
+        let mut roots = fresh.clone();
+        for &shared in &previous_cluster {
+            if rng.gen_bool(sharing) {
+                roots.push(shared);
+            }
+        }
+        // Fold the cluster's leaves into a small random gate tree.
+        while roots.len() > 1 {
+            let arity = rng.gen_range(2..=3.min(roots.len()));
+            let mut children: Vec<NodeId> = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                let i = rng.gen_range(0..roots.len());
+                children.push(roots.swap_remove(i));
+            }
+            let ty = if rng.gen_bool(0.5) { NodeType::Or } else { NodeType::And };
+            let name = format!("n{counter}");
+            counter += 1;
+            roots.push(builder.gate(&name, ty, children));
+        }
+        cluster_roots.push(roots[0]);
+        previous_cluster = fresh;
+    }
+    // Chain the cluster roots under random gates (keeps sharing local in
+    // the final topological order too).
+    let mut acc = cluster_roots[0];
+    for &root in &cluster_roots[1..] {
+        let ty = if rng.gen_bool(0.5) { NodeType::Or } else { NodeType::And };
+        let name = format!("n{counter}");
+        counter += 1;
+        acc = builder.gate(&name, ty, [acc, root]);
+    }
+    builder.build().expect("random DAG-heavy tree is valid")
+}
+
+/// One call, one DAG suite: `count` independently drawn [`random_dag`]
+/// trees with exactly `bas` BASs each and the given sharing factor —
+/// the generator mode behind the `dag_cdpf_*` bench scenarios and the CI
+/// `dag-smoke` suite, where 50–200-BAS DAG workloads are needed in bulk.
+pub fn dag_heavy_suite(count: usize, bas: usize, sharing: f64, seed: u64) -> Vec<AttackTree> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| random_dag(&mut rng, bas, sharing)).collect()
+}
+
+/// [`dag_heavy_suite`] decorated in one deterministic call: the same seed
+/// drives structure and attributes, so callers that hold no RNG of their
+/// own (the `cdat gen` subcommand, the CI dag-smoke script) reproduce a
+/// whole suite from `(count, bas, sharing, density, seed)` alone. Damage
+/// is drawn per [`decorate_sparse`] — `density` `1.0` puts damage on every
+/// node, smaller values keep 100+-BAS suites inside the fused solver's
+/// diagram budget — and every BAS gets a success probability in
+/// `{0.1, …, 1.0}` as in [`decorate_prob`].
+pub fn decorated_dag_suite(
+    count: usize,
+    bas: usize,
+    sharing: f64,
+    density: f64,
+    seed: u64,
+) -> Vec<CdpAttackTree> {
+    // A distinct stream for the attributes: the trees see exactly the
+    // draws `dag_heavy_suite(_, _, _, seed)` makes.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA77E);
+    dag_heavy_suite(count, bas, sharing, seed)
+        .into_iter()
+        .map(|tree| {
+            let n = tree.bas_count();
+            let cd = decorate_sparse(tree, &mut rng, density);
+            let prob: Vec<f64> = (0..n).map(|_| rng.gen_range(1..=10) as f64 / 10.0).collect();
+            CdpAttackTree::from_parts(cd, prob).expect("random probabilities are valid")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -423,6 +553,35 @@ mod tests {
             permuted |= copy.cd().costs() != cdp.cd().costs();
         }
         assert!(permuted, "30 shuffles must permute at least one cost table");
+    }
+
+    #[test]
+    fn dag_heavy_suites_hit_the_exact_bas_count_and_share() {
+        for bas in [1, 5, 20, 120] {
+            let suite = dag_heavy_suite(4, bas, 0.5, 77);
+            assert_eq!(suite.len(), 4);
+            for (i, t) in suite.iter().enumerate() {
+                assert_eq!(t.bas_count(), bas, "suite AT {i} at target {bas}");
+                assert!(t.reaches_root(&t.full_attack()));
+            }
+        }
+        // At sharing 0.5, multi-cluster trees are overwhelmingly DAGs …
+        let suite = dag_heavy_suite(10, 40, 0.5, 78);
+        assert!(
+            suite.iter().filter(|t| !t.is_treelike()).count() >= 9,
+            "a 0.5 sharing factor must produce DAGs"
+        );
+        // … and sharing 0 turns the generator treelike.
+        assert!(dag_heavy_suite(10, 40, 0.0, 79).iter().all(|t| t.is_treelike()));
+    }
+
+    #[test]
+    fn dag_heavy_suites_are_reproducible_by_seed() {
+        let a = dag_heavy_suite(3, 60, 0.4, 42);
+        let b = dag_heavy_suite(3, 60, 0.4, 42);
+        let sizes_a: Vec<usize> = a.iter().map(|t| t.node_count()).collect();
+        let sizes_b: Vec<usize> = b.iter().map(|t| t.node_count()).collect();
+        assert_eq!(sizes_a, sizes_b);
     }
 
     #[test]

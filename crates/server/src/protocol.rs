@@ -24,8 +24,11 @@
 //! * `query` — `cdpf` (default), `cedpf`, `dgc`, `cgd`, `edgc`, `cged`,
 //!   `min-time` or `max-prob`; the four thresholded queries require a
 //!   finite `arg`, the others reject one.
-//! * `solver` — `auto` (default), `bottomup` or `bilp`; per-request solver
-//!   choice, validated against the tree's shape by the engine.
+//! * `solver` — `auto` (default), `bottomup`, `bdd`, `enumerative` or
+//!   `bilp`; per-request solver choice, validated against the tree's shape
+//!   and the query's family by the engine (`SolverBackend::select`). Hints
+//!   never change the answer — every backend returns the same exact front —
+//!   so hinted and unhinted requests share cache entries.
 //! * `witnesses` — `true` to include witness attacks in the response
 //!   (default `false`): each front point (and each single optimum) then
 //!   carries the BAS ids of an attack achieving it, numbered in the
@@ -688,6 +691,24 @@ mod tests {
         assert_eq!(req.docs.len(), 2);
         assert_eq!(req.docs[1].name.as_deref(), Some("b"));
         assert_eq!(req.docs[1].doc, 1);
+    }
+
+    #[test]
+    fn parses_every_solver_hint_spelling() {
+        for (spelling, hint) in [
+            ("auto", SolverHint::Auto),
+            ("bottomup", SolverHint::BottomUp),
+            ("bottom-up", SolverHint::BottomUp),
+            ("bu", SolverHint::BottomUp),
+            ("bdd", SolverHint::Bdd),
+            ("enumerative", SolverHint::Enumerative),
+            ("enum", SolverHint::Enumerative),
+            ("bilp", SolverHint::Bilp),
+        ] {
+            let line = format!(r#"{{"id":1,"tree":"or a\n  bas x\n","solver":"{spelling}"}}"#);
+            let Request::Solve(req) = parse_request(&line).unwrap() else { panic!("not a solve") };
+            assert_eq!(req.hint, hint, "spelling {spelling:?}");
+        }
     }
 
     #[test]

@@ -95,9 +95,9 @@ const MAX_PAYLOAD: u32 = 1 << 28;
 /// or timing accounting).
 #[derive(Clone, Debug, PartialEq)]
 pub struct StoredFront {
-    /// The computed front, or the in-band solver error (e.g. the paper's
-    /// probabilistic-DAG open problem) — errors are structural, so they
-    /// cache and persist exactly like fronts.
+    /// The computed front, or the in-band solver error (e.g. a DAG whose
+    /// decision diagram overruns the fused solver's node budget) — errors
+    /// are structural, so they cache and persist exactly like fronts.
     pub result: Result<ParetoFront, String>,
     /// Original compute duration in microseconds.
     pub compute_micros: u64,

@@ -1,5 +1,6 @@
 //! The paper's second case study: a data server on a network behind a
-//! firewall (Fig. 5 / Fig. 6c) — a DAG-like tree solved by BILP.
+//! firewall (Fig. 5 / Fig. 6c) — a DAG-like tree solved by the BDD-fused
+//! backend (the BILP encoding remains as a fallback).
 //!
 //! Run with `cargo run --release --example data_server`.
 
@@ -19,7 +20,7 @@ fn main() {
         solve::backend_for(&cd)
     );
 
-    // ── Fig. 6c: the Pareto front via bi-objective ILP ──────────────────
+    // ── Fig. 6c: the Pareto front via the BDD-fused solver ──────────────
     let front = solve::cdpf(&cd);
     println!("\ncost-damage Pareto front ({} points):", front.len());
     println!("{:>6} {:>8} {:>4}  attack (paper BAS numbers)", "cost", "damage", "top");

@@ -13,6 +13,7 @@
 //! cdat whatif  <tree.cdat> [edits]      incremental solve of a patched variant
 //! cdat serve   [flags]                  long-running query server (stdio/TCP)
 //! cdat query   --connect <addr> <suite> client for a running `cdat serve`
+//! cdat gen     [flags]                  print a generated DAG-heavy suite
 //! cdat example                          print a sample document
 //! ```
 //!
@@ -67,6 +68,9 @@ fn run(args: &[String]) -> Result<(), String> {
     if command == "example" {
         print!("{EXAMPLE}");
         return Ok(());
+    }
+    if command == "gen" {
+        return gen(&args[1..]);
     }
     if command == "batch" {
         return batch(&args[1..]);
@@ -157,6 +161,7 @@ fn usage() -> String {
         ("whatif  <file> [edits] [query]", "incremental solve of a patched variant"),
         ("serve   [flags]", "long-running micro-batching query server"),
         ("query   --connect <addr> <suite> [flags]", "client for a running serve"),
+        ("gen     [flags]", "print a generated DAG-heavy suite (deterministic)"),
         ("example", "print a sample document"),
     ] {
         s.push_str(&format!("  {cmd:<28} {help}\n"));
@@ -181,6 +186,11 @@ fn usage() -> String {
          --store PATH       persistent front store below the cache: misses read\n                     \
          through to PATH, computed fronts append to it, so a\n                     \
          second run on the same store starts warm\n  \
+         --solver S         pin every request to one solver backend: auto\n                     \
+         (default; treelike trees bottom-up, DAGs BDD-fused),\n                     \
+         bottomup, bdd, enumerative or bilp — incompatible\n                     \
+         hints answer as per-request errors, and all backends\n                     \
+         return the same front (hints share cache entries)\n  \
          --cdpf --cedpf --dgc B --cgd D --edgc B --cged D --min-time --max-prob\n                     \
          queries to run per document, repeatable (default: --cdpf)\n\
          \nwhatif edits (repeatable; the answer is byte-identical to solving the\n\
@@ -202,7 +212,7 @@ fn usage() -> String {
          --store PATH       persistent front store shared by the shards; a\n                     \
          restarted server on the same PATH starts warm\n\
          \nquery flags: --connect HOST:PORT plus the batch query flags,\n  \
-         --witnesses and --metrics (scrapes the server's metrics op to\n  \
+         --solver, --witnesses and --metrics (scrapes the server's metrics op to\n  \
          stderr); sends the suite to a running `cdat serve` and prints\n  \
          responses in request order. With --store PATH instead of --connect,\n  \
          answers locally through the store (no server needed), printing the\n  \
@@ -210,7 +220,16 @@ fn usage() -> String {
          PATCHES.jsonl (one patch object per line, the sweep op's wire shape)\n  \
          the suite must hold one tree; every patch variant streams back as its\n  \
          own response line through the incremental what-if engine — over\n  \
-         --connect, through --store, or memory-only when neither is given.\n",
+         --connect, through --store, or memory-only when neither is given.\n\
+         \ngen flags (same flags, same bytes — the suite is deterministic):\n  \
+         --count N          documents in the suite (default 8)\n  \
+         --bas N            BASs per tree (default 12)\n  \
+         --sharing S        fraction of extra shared `ref` edges, in [0, 1]\n                     \
+         (default 0.5; anything above 0 yields DAGs)\n  \
+         --density D        fraction of nodes carrying damage, in [0, 1]\n                     \
+         (default 1; sparse damage keeps 100+-BAS suites\n                     \
+         inside the fused solver's diagram budget)\n  \
+         --seed X           generator seed (default 7)\n",
     );
     s
 }
@@ -267,6 +286,61 @@ fn parse_count(flag: &str, text: &str) -> Result<usize, String> {
     text.parse().map_err(|_| format!("{flag}: expected a nonnegative integer, got {text:?}"))
 }
 
+/// `cdat gen [flags]`: print a deterministic DAG-heavy multi-document
+/// suite on stdout — the generator behind the `dag_cdpf_*` bench
+/// scenarios, exposed so scripts (the CI dag-smoke, ad-hoc load tests)
+/// can materialize reproducible DAG workloads without checked-in
+/// fixtures. Same flags, same bytes.
+fn gen(args: &[String]) -> Result<(), String> {
+    let mut rest: Vec<&String> = args.iter().collect();
+    let fraction = |flag: &str, text: &str| -> Result<f64, String> {
+        let v: f64 = text
+            .parse()
+            .map_err(|_| format!("{flag}: expected a number in [0, 1], got {text:?}"))?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("{flag}: expected a number in [0, 1], got {text:?}"));
+        }
+        Ok(v)
+    };
+    let count = match take_value(&mut rest, "--count")? {
+        Some(text) => parse_count("--count", text)?,
+        None => 8,
+    };
+    let bas = match take_value(&mut rest, "--bas")? {
+        Some(text) => parse_count("--bas", text)?,
+        None => 12,
+    };
+    let sharing = match take_value(&mut rest, "--sharing")? {
+        Some(text) => fraction("--sharing", text)?,
+        None => 0.5,
+    };
+    let density = match take_value(&mut rest, "--density")? {
+        Some(text) => fraction("--density", text)?,
+        None => 1.0,
+    };
+    let seed = match take_value(&mut rest, "--seed")? {
+        Some(text) => text
+            .parse::<u64>()
+            .map_err(|_| format!("--seed: expected a nonnegative integer, got {text:?}"))?,
+        None => 7,
+    };
+    if let Some(flag) = rest.first() {
+        return Err(format!("unknown gen flag {flag:?}\n{}", usage()));
+    }
+    if bas == 0 {
+        return Err("--bas: count must be a positive integer".into());
+    }
+    let suite = cdat::gen::decorated_dag_suite(count, bas, sharing, density, seed);
+    let names: Vec<String> = (0..suite.len()).map(|i| format!("dag{i}")).collect();
+    print!(
+        "{}",
+        cdat_format::write_multi(
+            suite.iter().enumerate().map(|(i, tree)| (Some(names[i].as_str()), tree))
+        )
+    );
+    Ok(())
+}
+
 /// `cdat batch <suite> [flags]`: solve every (document × query) request on
 /// a worker pool, one JSON object per line on stdout, summary on stderr.
 fn batch(args: &[String]) -> Result<(), String> {
@@ -291,6 +365,10 @@ fn batch(args: &[String]) -> Result<(), String> {
         .map(|text| parse_count("--cache-budget", text))
         .transpose()?;
     let store = take_value(&mut rest, "--store")?.cloned();
+    let hint = match take_value(&mut rest, "--solver")? {
+        Some(solver) => solve::SolverHint::parse(solver)?,
+        None => solve::SolverHint::Auto,
+    };
     let trace = open_trace(take_value(&mut rest, "--trace")?)?;
     let mut timings = false;
     let mut cache_stats = false;
@@ -314,7 +392,11 @@ fn batch(args: &[String]) -> Result<(), String> {
     let mut requests = Vec::with_capacity(documents.len() * queries.len());
     for tree in &trees {
         for &query in &queries {
-            requests.push(solve::BatchRequest::new(tree.clone(), query).with_witnesses(witnesses));
+            requests.push(
+                solve::BatchRequest::new(tree.clone(), query)
+                    .with_hint(hint)
+                    .with_witnesses(witnesses),
+            );
         }
     }
 

@@ -1,41 +1,39 @@
 //! One-call solvers that dispatch on the shape of the tree.
 //!
 //! The paper's algorithm choice depends on the tree (Table I): treelike
-//! trees use the bottom-up propagation, DAG-like trees the BILP encoding
-//! (deterministic only — the probabilistic DAG case is the paper's open
-//! problem). These functions make that choice automatically.
+//! trees use the bottom-up propagation, DAG-like trees the BDD-fused front
+//! solver (`cdat_bdd::fuse`), which staircase-merges over a decision
+//! diagram of the queried attribute and is exact under shared BASs — the
+//! direction the paper's conclusion sketches for its open problem. These
+//! functions make that choice automatically; the batch engine exposes the
+//! same choice (and the BILP and enumerative alternatives) as
+//! [`SolverBackend`] with per-request [`SolverHint`]s.
 
 use cdat_core::{CdAttackTree, CdpAttackTree};
 use cdat_pareto::{FrontEntry, ParetoFront};
 
+pub use cdat_bdd::add::AddLimit;
 pub use cdat_engine::{
     BatchRequest, BatchResult, CacheStats, DeltaRequest, DeltaResult, Engine, EngineMetrics,
-    EngineSnapshot, FrontCache, FrontKind, PersistentFrontCache, Query, Response, SolverHint,
-    StoreSnapshot, SubtreeMemo, TreePatch,
+    EngineSnapshot, FrontCache, FrontKind, PersistentFrontCache, Query, Response, SolverBackend,
+    SolverHint, StoreSnapshot, SubtreeMemo, TreePatch,
 };
 
-/// Which backend [`cdpf`] and friends will pick for a tree.
-#[derive(Copy, Clone, Eq, PartialEq, Debug)]
-pub enum Backend {
-    /// Treelike tree: bottom-up Pareto propagation (`cdat-bottomup`).
-    BottomUp,
-    /// DAG-like tree: bi-objective ILP (`cdat-bilp`).
-    Bilp,
-}
-
-/// The backend the dispatching solvers will use for this tree.
-pub fn backend_for(cd: &CdAttackTree) -> Backend {
+/// The backend the dispatching solvers will use for this tree — what
+/// [`SolverBackend::select`] picks for an `auto` hint.
+pub fn backend_for(cd: &CdAttackTree) -> SolverBackend {
     if cd.tree().is_treelike() {
-        Backend::BottomUp
+        SolverBackend::BottomUp
     } else {
-        Backend::Bilp
+        SolverBackend::BddFused
     }
 }
 
 /// Cost-damage Pareto front of any cd-AT (CDPF).
 ///
-/// Treelike trees use the bottom-up solver, DAG-like trees the BILP solver;
-/// both return exact fronts with witness attacks.
+/// Treelike trees use the bottom-up solver, DAG-like trees the BDD-fused
+/// solver (with the BILP encoding as fallback if the decision diagram
+/// exceeds its node budget); all return exact fronts with witness attacks.
 ///
 /// # Example
 ///
@@ -45,8 +43,8 @@ pub fn backend_for(cd: &CdAttackTree) -> Backend {
 /// ```
 pub fn cdpf(cd: &CdAttackTree) -> ParetoFront {
     match backend_for(cd) {
-        Backend::BottomUp => cdat_bottomup::cdpf(cd).expect("dispatched on shape"),
-        Backend::Bilp => cdat_bilp::cdpf(cd),
+        SolverBackend::BottomUp => cdat_bottomup::cdpf(cd).expect("dispatched on shape"),
+        _ => cdat_bdd::fuse::cdpf(cd).unwrap_or_else(|_| cdat_bilp::cdpf(cd)),
     }
 }
 
@@ -54,8 +52,8 @@ pub fn cdpf(cd: &CdAttackTree) -> ParetoFront {
 /// budget.
 pub fn dgc(cd: &CdAttackTree, budget: f64) -> Option<FrontEntry> {
     match backend_for(cd) {
-        Backend::BottomUp => cdat_bottomup::dgc(cd, budget).expect("dispatched on shape"),
-        Backend::Bilp => cdat_bilp::dgc(cd, budget),
+        SolverBackend::BottomUp => cdat_bottomup::dgc(cd, budget).expect("dispatched on shape"),
+        _ => cdpf(cd).max_damage_within(budget).cloned(),
     }
 }
 
@@ -63,58 +61,52 @@ pub fn dgc(cd: &CdAttackTree, budget: f64) -> Option<FrontEntry> {
 /// threshold exceeds the maximal damage.
 pub fn cgd(cd: &CdAttackTree, threshold: f64) -> Option<FrontEntry> {
     match backend_for(cd) {
-        Backend::BottomUp => cdat_bottomup::cgd(cd, threshold).expect("dispatched on shape"),
-        Backend::Bilp => cdat_bilp::cgd(cd, threshold),
+        SolverBackend::BottomUp => cdat_bottomup::cgd(cd, threshold).expect("dispatched on shape"),
+        _ => cdpf(cd).min_cost_achieving(threshold).cloned(),
     }
 }
 
-/// Error: the probabilistic problems on DAG-like trees have no known
-/// efficient algorithm (the paper's open problem).
+/// Cost–expected-damage Pareto front (CEDPF) of any cdp-AT.
 ///
-/// [`cedpf_exhaustive`] offers an exact exponential fallback for small trees.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub struct DagProbabilisticOpen;
-
-impl std::fmt::Display for DagProbabilisticOpen {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "probabilistic analysis of DAG-like attack trees is an open problem; \
-             use cdat::solve::cedpf_exhaustive for an exact exponential fallback"
-        )
-    }
-}
-
-impl std::error::Error for DagProbabilisticOpen {}
-
-/// Cost–expected-damage Pareto front (CEDPF) of a treelike cdp-AT.
+/// Treelike trees use the bottom-up solver; DAG-like trees the BDD-fused
+/// solver, which is exact under shared BASs (the paper's open problem;
+/// see `cdat_bdd::fuse`).
 ///
 /// # Errors
 ///
-/// Returns [`DagProbabilisticOpen`] on DAG-like trees.
-pub fn cedpf(cdp: &CdpAttackTree) -> Result<ParetoFront, DagProbabilisticOpen> {
-    cdat_bottomup::cedpf(cdp).map_err(|_| DagProbabilisticOpen)
+/// Returns [`AddLimit`] when a DAG-like tree's decision diagram exceeds
+/// the node budget — the only failure mode.
+pub fn cedpf(cdp: &CdpAttackTree) -> Result<ParetoFront, AddLimit> {
+    match cdat_bottomup::cedpf(cdp) {
+        Ok(front) => Ok(front),
+        Err(_) => cdat_bdd::fuse::cedpf(cdp),
+    }
 }
 
 /// Maximal expected damage within a cost budget (EDgC).
 ///
 /// # Errors
 ///
-/// Returns [`DagProbabilisticOpen`] on DAG-like trees.
-pub fn edgc(cdp: &CdpAttackTree, budget: f64) -> Result<Option<FrontEntry>, DagProbabilisticOpen> {
-    cdat_bottomup::edgc(cdp, budget).map_err(|_| DagProbabilisticOpen)
+/// Returns [`AddLimit`] when a DAG-like tree's decision diagram exceeds
+/// the node budget.
+pub fn edgc(cdp: &CdpAttackTree, budget: f64) -> Result<Option<FrontEntry>, AddLimit> {
+    match cdat_bottomup::edgc(cdp, budget) {
+        Ok(entry) => Ok(entry),
+        Err(_) => Ok(cdat_bdd::fuse::cedpf(cdp)?.max_damage_within(budget).cloned()),
+    }
 }
 
 /// Minimal cost achieving an expected-damage threshold (CgED).
 ///
 /// # Errors
 ///
-/// Returns [`DagProbabilisticOpen`] on DAG-like trees.
-pub fn cged(
-    cdp: &CdpAttackTree,
-    threshold: f64,
-) -> Result<Option<FrontEntry>, DagProbabilisticOpen> {
-    cdat_bottomup::cged(cdp, threshold).map_err(|_| DagProbabilisticOpen)
+/// Returns [`AddLimit`] when a DAG-like tree's decision diagram exceeds
+/// the node budget.
+pub fn cged(cdp: &CdpAttackTree, threshold: f64) -> Result<Option<FrontEntry>, AddLimit> {
+    match cdat_bottomup::cged(cdp, threshold) {
+        Ok(entry) => Ok(entry),
+        Err(_) => Ok(cdat_bdd::fuse::cedpf(cdp)?.min_cost_achieving(threshold).cloned()),
+    }
 }
 
 /// Minimal time-to-attack of any cd-AT, reading each BAS's cost attribute
@@ -123,18 +115,22 @@ pub fn cged(
 /// [`cdat_pareto::MinTime`]). The returned entry carries the duration in
 /// its cost slot (damage 0) and a witness attack achieving it.
 ///
-/// Treelike trees run the bottom-up kernel; DAG-like trees fall back to
-/// exact enumeration (shared BASs are counted once).
+/// Treelike trees run the bottom-up kernel; DAG-like trees the BDD-fused
+/// kernel (shared BASs are counted once), with exact enumeration as
+/// fallback if the decision diagram exceeds its node budget.
 ///
 /// # Panics
 ///
-/// Panics on DAG-like trees with more than
-/// [`cdat_enumerative::MAX_ENUM_BAS`] BASs, where the enumerative fallback
-/// is intractable (the batch engine returns a clean error instead).
+/// Panics on DAG-like trees that exhaust the diagram budget *and* have
+/// more than [`cdat_enumerative::MAX_ENUM_BAS`] BASs, where the
+/// enumerative fallback is intractable too (the batch engine returns a
+/// clean error instead).
 pub fn min_time(cd: &CdAttackTree) -> Option<FrontEntry> {
     let front = match cdat_bottomup::min_time(cd) {
         Ok(front) => front,
-        Err(_) => cdat_enumerative::min_time(cd, true),
+        Err(_) => {
+            cdat_bdd::fuse::min_time(cd).unwrap_or_else(|_| cdat_enumerative::min_time(cd, true))
+        }
     };
     front.entries().first().cloned()
 }
@@ -146,29 +142,34 @@ pub fn min_time(cd: &CdAttackTree) -> Option<FrontEntry> {
 /// several alternatives. The returned entry carries the probability in its
 /// cost slot (damage 0) and a witness attack achieving it.
 ///
-/// Treelike trees run the bottom-up kernel; DAG-like trees fall back to
-/// exact enumeration (shared BASs succeed once, so their probability is
-/// multiplied once).
+/// Treelike trees run the bottom-up kernel; DAG-like trees the BDD-fused
+/// kernel (shared BASs succeed once, so their probability is multiplied
+/// once), with exact enumeration as fallback if the decision diagram
+/// exceeds its node budget.
 ///
 /// # Panics
 ///
-/// Panics on DAG-like trees with more than
-/// [`cdat_enumerative::MAX_ENUM_BAS`] BASs (the batch engine returns a
-/// clean error instead).
+/// Panics on DAG-like trees that exhaust the diagram budget *and* have
+/// more than [`cdat_enumerative::MAX_ENUM_BAS`] BASs (the batch engine
+/// returns a clean error instead).
 pub fn max_prob(cdp: &CdpAttackTree) -> Option<FrontEntry> {
     let front = match cdat_bottomup::max_prob(cdp) {
         Ok(front) => front,
-        Err(_) => cdat_enumerative::max_prob(cdp, true),
+        Err(_) => {
+            cdat_bdd::fuse::max_prob(cdp).unwrap_or_else(|_| cdat_enumerative::max_prob(cdp, true))
+        }
     };
     front.entries().first().cloned()
 }
 
-/// Exact CEDPF for **any** cdp-AT, exponential on DAG-like trees (extension
-/// beyond the paper: BDD-exact per-attack expected damage).
+/// Exact CEDPF for **any** cdp-AT by exhaustive enumeration on DAG-like
+/// trees (BDD-exact per-attack expected damage) — the oracle the polynomial
+/// [`cedpf`] path is differentially tested against.
 ///
 /// # Panics
 ///
-/// Panics on DAG-like trees with more than 25 BASs, where the fallback is
+/// Panics on DAG-like trees with more than
+/// [`cdat_enumerative::MAX_ENUM_BAS`] BASs, where enumeration is
 /// intractable.
 pub fn cedpf_exhaustive(cdp: &CdpAttackTree) -> ParetoFront {
     match cdat_bottomup::cedpf(cdp) {

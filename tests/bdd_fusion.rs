@@ -1,0 +1,227 @@
+//! Differential suite for the BDD-fused solver backend: on random DAGs
+//! small enough for the enumerative oracle, the fused fronts must be
+//! entry-for-entry identical — points *and* witness BAS sets — in both the
+//! deterministic and the probabilistic family, whether the answer is
+//! computed cold, replayed from the memory cache, squeezed through
+//! eviction, or read back from a persistent store across a restart. A
+//! final test drives a 120-BAS suite (far beyond the enumerative cap)
+//! through the engine under the explicit `bdd` hint.
+
+use std::sync::Arc;
+
+use cdat::solve::{
+    BatchRequest, Engine, FrontCache, PersistentFrontCache, Query, Response, SolverHint,
+};
+use cdat::{CdpAttackTree, ParetoFront};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn temp_store(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("cdat-fusion-{tag}-{}.cdatstore", std::process::id()))
+}
+
+/// Seeded DAG-heavy cdp-ATs from the sharing-factor generator, sized for
+/// the enumerative oracle.
+fn oracle_sized_suite(seed: u64, sizes: &[usize]) -> Vec<Arc<CdpAttackTree>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    sizes
+        .iter()
+        .map(|&bas| {
+            let tree = cdat::gen::random_dag(&mut rng, bas, 0.5);
+            Arc::new(cdat::gen::decorate_prob(tree, &mut rng))
+        })
+        .collect()
+}
+
+fn front_of(response: &Response) -> &ParetoFront {
+    match response {
+        Response::Front(front) => front,
+        other => panic!("expected a front, got {other:?}"),
+    }
+}
+
+/// Points and witness BAS sets must both agree; `ParetoFront` equality
+/// covers the points, the explicit loop pins the witnesses to the oracle's
+/// first-match-wins attacks.
+fn assert_identical(fused: &ParetoFront, oracle: &ParetoFront, context: &str) {
+    assert_eq!(fused, oracle, "{context}: fronts differ");
+    for (f, o) in fused.entries().iter().zip(oracle.entries()) {
+        assert_eq!(
+            f.witness, o.witness,
+            "{context}: witness mismatch at ({}, {})",
+            f.point.cost, f.point.damage
+        );
+    }
+}
+
+/// Deterministic family: the fused CDPF equals the witnessed enumerative
+/// oracle on random DAGs up to 20 BASs.
+#[test]
+fn fused_cdpf_matches_enumeration_on_random_dags() {
+    let suite = oracle_sized_suite(31, &[4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 16, 20]);
+    let mut saw_dag = false;
+    for (i, cdp) in suite.iter().enumerate() {
+        saw_dag |= !cdp.tree().is_treelike();
+        let fused = cdat::bdd::fuse::cdpf(cdp.cd()).expect("oracle-sized DAGs fit the budget");
+        let oracle = cdat::enumerative::cdpf(cdp.cd(), true);
+        assert_identical(&fused, &oracle, &format!("tree {i} (det)"));
+    }
+    assert!(saw_dag, "the suite must contain actual DAGs");
+}
+
+/// Probabilistic family: the fused CEDPF equals the BDD-exact enumerative
+/// oracle bitwise — `Add::prob_transform` evaluates the same expected
+/// damage expression as per-attack `Bdd::probability`.
+#[test]
+fn fused_cedpf_matches_enumeration_on_random_dags() {
+    let suite = oracle_sized_suite(32, &[4, 5, 6, 7, 8, 9, 10, 11, 12]);
+    let mut saw_dag = false;
+    for (i, cdp) in suite.iter().enumerate() {
+        saw_dag |= !cdp.tree().is_treelike();
+        let fused = cdat::bdd::fuse::cedpf(cdp).expect("oracle-sized DAGs fit the budget");
+        let oracle = cdat::enumerative::cedpf_dag(cdp, true);
+        assert_identical(&fused, &oracle, &format!("tree {i} (prob)"));
+    }
+    assert!(saw_dag, "the suite must contain actual DAGs");
+}
+
+/// The engine under the explicit `bdd` hint answers with the oracle fronts
+/// cold, replays them byte-for-byte warm — and the warm replay *without*
+/// a hint hits the same cache entries, because hints never change what is
+/// computed.
+#[test]
+fn engine_bdd_hint_agrees_cold_and_warm() {
+    let suite = oracle_sized_suite(33, &[5, 7, 9, 11]);
+    let hinted: Vec<BatchRequest> = suite
+        .iter()
+        .flat_map(|cdp| {
+            [Query::Cdpf, Query::Cedpf].map(|q| {
+                BatchRequest::new(cdp.clone(), q).with_hint(SolverHint::Bdd).with_witnesses(true)
+            })
+        })
+        .collect();
+    let engine = Engine::new(2);
+    let cold = engine.run(&hinted);
+    assert!(cold.iter().all(|r| !r.cache_hit));
+    for (i, cdp) in suite.iter().enumerate() {
+        let det = cdat::enumerative::cdpf(cdp.cd(), true);
+        assert_identical(front_of(&cold[2 * i].response), &det, &format!("tree {i} (det)"));
+        let prob = cdat::enumerative::cedpf_dag(cdp, true);
+        assert_identical(front_of(&cold[2 * i + 1].response), &prob, &format!("tree {i} (prob)"));
+    }
+
+    // Warm replay, hint dropped: every request must hit the entries the
+    // hinted run populated (the cache key ignores the hint).
+    let unhinted: Vec<BatchRequest> = suite
+        .iter()
+        .flat_map(|cdp| {
+            [Query::Cdpf, Query::Cedpf]
+                .map(|q| BatchRequest::new(cdp.clone(), q).with_witnesses(true))
+        })
+        .collect();
+    let warm = engine.run(&unhinted);
+    assert!(warm.iter().all(|r| r.cache_hit), "hinted and unhinted requests share entries");
+    for (w, c) in warm.iter().zip(&cold) {
+        assert_eq!(w.response, c.response, "warm answers are byte-for-byte the cold ones");
+    }
+}
+
+/// Eviction pressure must never change a fused answer: a cache too small
+/// for the workload keeps evicting and re-solving, yet every round replays
+/// the unbounded reference responses.
+#[test]
+fn fused_answers_survive_eviction() {
+    let suite = oracle_sized_suite(34, &[5, 6, 7, 8, 9, 10]);
+    let requests: Vec<BatchRequest> = suite
+        .iter()
+        .flat_map(|cdp| {
+            [Query::Cdpf, Query::Cedpf].map(|q| {
+                BatchRequest::new(cdp.clone(), q).with_hint(SolverHint::Bdd).with_witnesses(true)
+            })
+        })
+        .collect();
+    let reference = Engine::new(1).run(&requests);
+    let tight = Engine::with_cache(3, FrontCache::with_budget(2, 8));
+    for round in 0..3 {
+        let results = tight.run(&requests);
+        for (i, (got, want)) in results.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                got.response, want.response,
+                "round {round}, request {i}: eviction changed a fused answer"
+            );
+        }
+    }
+    assert!(tight.stats().evictions > 0, "the budget must actually evict");
+}
+
+/// Fused fronts persist: a store populated under the `bdd` hint answers a
+/// fresh engine's *unhinted* requests from disk, byte-for-byte.
+#[test]
+fn fused_fronts_survive_a_store_warm_restart() {
+    let path = temp_store("dags");
+    let _ = std::fs::remove_file(&path);
+    let suite = oracle_sized_suite(35, &[5, 7, 9]);
+    let open = |workers| {
+        let cache = PersistentFrontCache::open(&path, FrontCache::default()).expect("store opens");
+        Engine::with_persistent(workers, cache)
+    };
+    let build = |hint: SolverHint| -> Vec<BatchRequest> {
+        suite
+            .iter()
+            .flat_map(|cdp| {
+                [Query::Cdpf, Query::Cedpf]
+                    .map(|q| BatchRequest::new(cdp.clone(), q).with_hint(hint).with_witnesses(true))
+            })
+            .collect()
+    };
+
+    let session1 = open(2);
+    let cold = session1.run(&build(SolverHint::Bdd));
+    assert_eq!(session1.stats().disk_entries, cold.len());
+    drop(session1);
+
+    let session2 = open(1);
+    let warm = session2.run(&build(SolverHint::Auto));
+    assert_eq!(session2.stats().disk_hits, cold.len() as u64, "every answer comes from disk");
+    for (w, c) in warm.iter().zip(&cold) {
+        assert_eq!(w.response, c.response, "a restart must reproduce the cold bytes");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A 120-BAS DAG suite — 2^120 attacks, unreachable for the enumerative
+/// oracle and the BILP encoding alike — solves through the engine under
+/// the explicit `bdd` hint.
+#[test]
+fn engine_solves_beyond_the_enumerative_cap_with_the_bdd_hint() {
+    let mut rng = StdRng::seed_from_u64(36);
+    let suite: Vec<Arc<CdpAttackTree>> = cdat::gen::dag_heavy_suite(2, 120, 0.4, 36)
+        .into_iter()
+        .map(|tree| {
+            let cd = cdat::gen::decorate_sparse(tree, &mut rng, 0.1);
+            let probs: Vec<f64> =
+                (0..cd.tree().bas_count()).map(|_| rng.gen_range(1..=10) as f64 / 10.0).collect();
+            Arc::new(CdpAttackTree::from_parts(cd, probs).expect("valid probabilities"))
+        })
+        .collect();
+    assert!(suite.iter().all(|cdp| !cdp.tree().is_treelike()), "the suite must be all DAGs");
+    let requests: Vec<BatchRequest> = suite
+        .iter()
+        .map(|cdp| {
+            BatchRequest::new(cdp.clone(), Query::Cdpf)
+                .with_hint(SolverHint::Bdd)
+                .with_witnesses(true)
+        })
+        .collect();
+    let results = Engine::new(2).run(&requests);
+    for (i, result) in results.iter().enumerate() {
+        let front = front_of(&result.response);
+        assert!(!front.entries().is_empty(), "tree {i}: the root is attackable");
+        for entry in front.entries() {
+            let w = entry.witness.as_ref().expect("witnesses were requested");
+            let cd = suite[i].cd();
+            assert_eq!(cd.cost_of(w), entry.point.cost, "tree {i}: witness cost mismatch");
+            assert_eq!(cd.damage_of(w), entry.point.damage, "tree {i}: witness damage mismatch");
+        }
+    }
+}

@@ -133,11 +133,12 @@ fn panda_probabilistic_front_snapshot() {
     }
 }
 
-/// Fig. 6c: the data-server front, solved by BILP (the tree is DAG-like).
+/// Fig. 6c: the data-server front, solved by the BDD-fused backend (the
+/// tree is DAG-like).
 #[test]
 fn dataserver_front_is_fig_6c() {
     let cd = dataserver();
-    assert_eq!(solve::backend_for(&cd), solve::Backend::Bilp);
+    assert_eq!(solve::backend_for(&cd), solve::SolverBackend::BddFused);
     let front = solve::cdpf(&cd);
     let expect =
         [(0.0, 0.0), (250.0, 24.0), (568.0, 60.0), (976.0, 70.8), (1131.0, 75.8), (1281.0, 82.8)];
@@ -200,16 +201,19 @@ fn probabilistic_single_objective_answers_match_front() {
         let direct = solve::cged(&cdp, threshold).unwrap().map(|e| e.point.cost);
         assert_eq!(direct, via_front, "CgED({threshold})");
     }
-    // The probabilistic DAG case remains open.
+    // The probabilistic DAG case — open in the paper — is now solved by
+    // the BDD-fused backend; the exhaustive oracle (2^12 attacks, cheap)
+    // confirms the polynomial pass bit for bit.
     let ds = dataserver().with_probabilities().finish().unwrap();
-    assert!(solve::cedpf(&ds).is_err());
+    let fused = solve::cedpf(&ds).expect("the data server fits the diagram budget");
+    assert_eq!(fused.to_string(), solve::cedpf_exhaustive(&ds).to_string());
 }
 
 /// The running example end-to-end through the dispatcher (Fig. 3).
 #[test]
 fn factory_example_fig_3() {
     let cd = cdat_models::factory();
-    assert_eq!(solve::backend_for(&cd), solve::Backend::BottomUp);
+    assert_eq!(solve::backend_for(&cd), solve::SolverBackend::BottomUp);
     let front = solve::cdpf(&cd);
     assert_eq!(front.to_string(), "{(0, 0), (1, 200), (3, 210), (5, 310)}");
     assert_eq!(solve::dgc(&cd, 2.0).unwrap().point.damage, 200.0);

@@ -103,7 +103,7 @@ fn helpful_errors_and_exit_codes() {
 }
 
 #[test]
-fn dag_documents_use_bilp_and_reject_cedpf() {
+fn dag_documents_dispatch_to_the_fused_backend() {
     // Render the data-server model to a file through the library, then
     // analyze it through the CLI.
     let text = cdat_format::write_cd(&cdat_models::dataserver());
@@ -114,16 +114,21 @@ fn dag_documents_use_bilp_and_reject_cedpf() {
     let out = cdat(&["info", path_str]);
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("DAG-like"), "{text}");
-    assert!(text.contains("Bilp"), "{text}");
+    assert!(text.contains("BddFused"), "{text}");
 
     let out = cdat(&["cdpf", path_str]);
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("6 Pareto-optimal points"), "{text}");
     assert!(text.contains("82.8"), "{text}");
 
+    // The probabilistic DAG query — open in the paper — now solves through
+    // the fused backend (all probabilities default to 1, so the expected
+    // damages equal the deterministic ones).
     let out = cdat(&["cedpf", path_str]);
-    assert!(!out.status.success(), "probabilistic DAG analysis is open");
-    assert!(String::from_utf8(out.stderr).unwrap().contains("open problem"));
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("6 Pareto-optimal points"), "{text}");
+    assert!(text.contains("82.8"), "{text}");
 
     let _ = std::fs::remove_file(&path);
 }
@@ -240,9 +245,11 @@ fn batch_witnesses_translate_across_deduplicated_documents() {
     let _ = std::fs::remove_file(&path);
 }
 
-/// Batch flag validation and probabilistic-DAG errors surface cleanly.
+/// Batch flag validation and solver hints: DAG documents solve in-band
+/// through the fused backend, and incompatible hints report per-request
+/// errors while the batch keeps going.
 #[test]
-fn batch_flags_and_dag_errors() {
+fn batch_flags_and_solver_hints() {
     let out = cdat(&["batch", "/nonexistent/suite.cdat"]);
     assert!(!out.status.success());
     assert!(String::from_utf8(out.stderr).unwrap().contains("cannot read"));
@@ -257,18 +264,33 @@ fn batch_flags_and_dag_errors() {
     let out = cdat(&["batch", path_str, "--dgc"]);
     assert!(!out.status.success());
     assert!(String::from_utf8(out.stderr).unwrap().contains("--dgc needs a budget"));
+    let out = cdat(&["batch", path_str, "--solver", "frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown solver"));
     let _ = std::fs::remove_file(&path);
 
-    // A DAG document under a probabilistic query reports the open problem
-    // in-band (the batch keeps going).
+    // A DAG document solves under every query family (the probabilistic
+    // family through the fused backend; the paper left it open).
     let dag = "or root\n  and g1\n    bas x cost=1\n    bas y cost=2\n  and g2\n    ref x\n    bas z cost=3\n";
     let path = unique_path("dagsuite");
     std::fs::write(&path, dag).unwrap();
     let out = cdat(&["batch", path.to_str().unwrap(), "--cedpf", "--cdpf"]);
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
-    assert!(text.contains("\"error\":\"probabilistic analysis of DAG-like"), "{text}");
+    assert!(text.contains("\"query\":\"cedpf\",\"cache\":\"miss\",\"front\":"), "{text}");
     assert!(text.contains("\"query\":\"cdpf\",\"cache\":\"miss\",\"front\":"), "{text}");
+
+    // An explicit bottom-up hint on the same DAG errors in-band.
+    let out = cdat(&["batch", path.to_str().unwrap(), "--cdpf", "--solver", "bottomup"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("\"error\":\"the bottom-up solver requires a treelike tree"), "{text}");
+
+    // An explicit --solver bdd reproduces the auto-dispatched bytes.
+    let auto = cdat(&["batch", path.to_str().unwrap(), "--cdpf"]);
+    let bdd = cdat(&["batch", path.to_str().unwrap(), "--cdpf", "--solver", "bdd"]);
+    assert!(bdd.status.success());
+    assert_eq!(auto.stdout, bdd.stdout, "hints must not change what is computed");
     let _ = std::fs::remove_file(&path);
 }
 

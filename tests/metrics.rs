@@ -172,6 +172,73 @@ fn delta_counters_stay_out_of_the_tier_partition_and_tie_to_their_histogram() {
 }
 
 #[test]
+fn backend_counters_partition_requests_across_a_server() {
+    let router =
+        Router::new(RouterConfig { shards: 2, ..RouterConfig::default() }).expect("memory router");
+    let treelike: Vec<RouteRequest> = requests(4, 3);
+    let dag: Arc<CdpAttackTree> = Arc::new(
+        cdat_format::parse(
+            "or root damage=9\n  and g1\n    bas x cost=1\n    bas y cost=2\n  and g2\n    ref x\n    bas z cost=3 damage=4\n",
+        )
+        .expect("valid DAG"),
+    );
+    let hinted = |tree: &Arc<CdpAttackTree>, hint, id: usize| RouteRequest {
+        tree: tree.clone(),
+        query: Query::Cdpf,
+        hint,
+        witnesses: false,
+        prefix: format!("{{\"id\":{id}"),
+    };
+    let mut batch = treelike;
+    // Auto on a DAG routes to the fused solver; explicit hints force their
+    // backend; bottom-up on a DAG is the one invalid combination here.
+    batch.push(hinted(&dag, SolverHint::Auto, 100));
+    batch.push(hinted(&dag, SolverHint::Auto, 101));
+    let bu_tree = batch[0].tree.clone();
+    batch.push(hinted(&bu_tree, SolverHint::Bdd, 102));
+    batch.push(hinted(&dag, SolverHint::Enumerative, 103));
+    batch.push(hinted(&dag, SolverHint::Enumerative, 104));
+    batch.push(hinted(&bu_tree, SolverHint::Bilp, 105));
+    batch.push(hinted(&dag, SolverHint::BottomUp, 106));
+    let expected = batch.len();
+    let lines = router.solve(batch);
+    assert_eq!(lines.len(), expected);
+    let errors: Vec<&String> = lines.iter().filter(|l| l.contains("\"error\":")).collect();
+    assert_eq!(errors.len(), 1, "only the bottom-up-on-a-DAG request errors");
+    assert!(
+        errors[0].contains("the bottom-up solver requires a treelike tree; use solver auto or bdd"),
+        "{}",
+        errors[0]
+    );
+
+    // Backend counters partition the counted requests exactly: the
+    // rejected hint is counted in invalid_hints and nowhere else.
+    let snapshot = router.snapshot();
+    let families_total: u64 = snapshot.engine.families.iter().map(|f| f.requests).sum();
+    let backends_total: u64 = snapshot.engine.backends.iter().sum();
+    assert_eq!(families_total, (expected - 1) as u64);
+    assert_eq!(backends_total, families_total, "backends partition counted requests");
+    assert_eq!(snapshot.engine.invalid_hints, 1);
+    // index order: bottomup, bdd, enumerative, bilp (SolverBackend::ALL).
+    assert_eq!(snapshot.engine.backends, [12, 3, 2, 1]);
+
+    // The exposition carries one labeled sample per backend.
+    let text = protocol::metrics_text(&snapshot);
+    for (label, count) in [("bottomup", 12), ("bdd", 3), ("enumerative", 2), ("bilp", 1)] {
+        let sample = format!("cdat_backend_requests_total{{backend=\"{label}\"}} {count}");
+        assert!(text.contains(&sample), "missing {sample} in:\n{text}");
+    }
+    assert!(text.contains("cdat_invalid_hints_total 1"), "{text}");
+
+    // Backend transparency: the hinted fused request on the treelike tree
+    // answered the same bytes as its auto-routed bottom-up twin.
+    let body = |line: &str| line.split_once(',').expect("prefix,body").1.to_owned();
+    let twin = lines.iter().find(|l| l.starts_with("{\"id\":0,")).expect("auto twin");
+    let hinted_line = lines.iter().find(|l| l.starts_with("{\"id\":102,")).expect("hinted line");
+    assert_eq!(body(twin), body(hinted_line), "hints never change response bytes");
+}
+
+#[test]
 fn trace_jsonl_parses_strictly_under_concurrent_shard_writes() {
     let path = unique_path("trace");
     let trace = TraceWriter::open(&path).expect("open trace file");

@@ -333,6 +333,57 @@ fn readme_whatif_sweep_example_is_real() {
     let _ = std::fs::remove_file(&patches);
 }
 
+/// The README's "DAG analysis" section is the binary's actual bytes: its
+/// `ref`-sharing model block parses, `cdat info` reports the fused
+/// backend, and every documented batch JSON line appears verbatim in the
+/// real output.
+#[test]
+fn readme_dag_example_output_lines_are_real() {
+    let readme = readme();
+    let model = fenced_blocks(&readme, "text")
+        .into_iter()
+        .find(|b| b.contains("ref x"))
+        .expect("README carries the shared-x DAG model as a ```text block");
+    let cdp = format::parse(&model).expect("the README DAG model must stay parseable");
+    assert!(!cdp.tree().is_treelike(), "the model must actually be a DAG");
+
+    let path = std::env::temp_dir().join(format!("cdat-tooling-dag-{}.cdat", std::process::id()));
+    std::fs::write(&path, &model).expect("temp file writable");
+    let run = |args: &[&str]| {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_cdat"))
+            .args(args)
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "cdat {args:?} failed");
+        String::from_utf8(out.stdout).expect("utf-8 output")
+    };
+    let path_str = path.to_str().expect("utf-8 temp path");
+
+    let info = run(&["info", path_str]);
+    for documented in ["shape:     DAG-like", "solver for CDPF: BddFused"] {
+        assert!(
+            readme.contains(documented) && info.lines().any(|l| l == documented),
+            "README info line has drifted from `cdat info` output: {documented}"
+        );
+    }
+
+    let batch = run(&["batch", path_str, "--cdpf", "--cedpf", "--witnesses"]);
+    for documented in [
+        r#"{"doc":0,"query":"cdpf","cache":"miss","front":[[0,0],[5,1],[8,111],[9,121],[12,131]],"witnesses":[[],[0],[0,1],[0,2],[0,1,2]]}"#,
+        r#"{"doc":0,"query":"cedpf","cache":"miss","front":[[0,0],[5,0.5],[8,41.75],[12,47.375]],"witnesses":[[],[0],[0,1],[0,1,2]]}"#,
+    ] {
+        assert!(
+            readme.contains(documented) && batch.lines().any(|l| l == documented),
+            "README line has drifted from `cdat batch` output: {documented}"
+        );
+    }
+    // The hinted run answers with the same bytes — backend choice is
+    // invisible in output (determinism invariant 5).
+    let hinted = run(&["batch", path_str, "--cdpf", "--cedpf", "--witnesses", "--solver", "bdd"]);
+    assert_eq!(hinted, batch, "--solver bdd must not change response bytes");
+    let _ = std::fs::remove_file(&path);
+}
+
 /// Example 6 of the paper: a front of size 2^|B| exists, so CDPF is
 /// necessarily exponential in the worst case (Theorem 5's lower bound).
 #[test]

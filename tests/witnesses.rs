@@ -1,10 +1,11 @@
 //! The witness-preserving-dedup acceptance suite: engine batch responses
 //! with witnesses enabled must be entry-for-entry identical — points *and*
 //! witness BAS sets, translated to each copy's numbering — to the one-call
-//! solvers (`cdat_bottomup`, `cdat_bilp`) run directly on every
-//! renamed/reordered copy, while `CacheStats` proves the copies were served
-//! from one cached entry. Covered: both solver hints, warm and cold cache,
-//! worker counts, and a points-budgeted cache under eviction.
+//! solvers (`cdat_bottomup`, `cdat_bdd::fuse`, `cdat_enumerative`,
+//! `cdat_bilp`) run directly on every renamed/reordered copy, while
+//! `CacheStats` proves the copies were served from one cached entry.
+//! Covered: every solver hint, warm and cold cache, worker counts, and a
+//! points-budgeted cache under eviction.
 //!
 //! # Why exact equality is provable here
 //!
@@ -56,15 +57,16 @@ fn copied_suite(seed: u64, bases: usize, treelike: bool) -> Vec<Vec<Arc<CdpAttac
 
 /// The one-call reference for a deterministic front under a solver hint.
 fn reference_cdpf(cdp: &CdpAttackTree, hint: SolverHint) -> ParetoFront {
-    let bottom_up = match hint {
-        SolverHint::Auto => cdp.tree().is_treelike(),
-        SolverHint::BottomUp => true,
-        SolverHint::Bilp => false,
-    };
-    if bottom_up {
-        cdat_bottomup::cdpf(cdp.cd()).expect("hint only used on treelike trees")
-    } else {
-        cdat_bilp::cdpf(cdp.cd())
+    match hint {
+        SolverHint::Auto | SolverHint::BottomUp if cdp.tree().is_treelike() => {
+            cdat_bottomup::cdpf(cdp.cd()).expect("dispatched on shape")
+        }
+        SolverHint::BottomUp => panic!("the bottom-up hint is only referenced on treelike trees"),
+        SolverHint::Auto | SolverHint::Bdd => {
+            cdat_bdd::fuse::cdpf(cdp.cd()).expect("small trees fit the diagram budget")
+        }
+        SolverHint::Enumerative => cdat_enumerative::cdpf(cdp.cd(), true),
+        SolverHint::Bilp => cdat_bilp::cdpf(cdp.cd()),
     }
 }
 
@@ -106,7 +108,13 @@ fn engine_witnesses_match_one_call_solvers_on_renamed_copies() {
     let mut requests: Vec<BatchRequest> = Vec::new();
     for instances in &suite {
         for cdp in instances {
-            for hint in [SolverHint::Auto, SolverHint::BottomUp, SolverHint::Bilp] {
+            for hint in [
+                SolverHint::Auto,
+                SolverHint::BottomUp,
+                SolverHint::Bdd,
+                SolverHint::Enumerative,
+                SolverHint::Bilp,
+            ] {
                 requests.push(
                     BatchRequest::new(cdp.clone(), Query::Cdpf)
                         .with_hint(hint)
@@ -132,7 +140,13 @@ fn engine_witnesses_match_one_call_solvers_on_renamed_copies() {
     let mut i = 0;
     for (t, instances) in suite.iter().enumerate() {
         for (c, cdp) in instances.iter().enumerate() {
-            for hint in [SolverHint::Auto, SolverHint::BottomUp, SolverHint::Bilp] {
+            for hint in [
+                SolverHint::Auto,
+                SolverHint::BottomUp,
+                SolverHint::Bdd,
+                SolverHint::Enumerative,
+                SolverHint::Bilp,
+            ] {
                 let what = format!("tree {t} copy {c} hint {hint:?}");
                 let reference = reference_cdpf(cdp, hint);
                 assert_fronts_identical(front_of(&results[i].response, &what), &reference, &what);
@@ -163,9 +177,11 @@ fn engine_witnesses_match_one_call_solvers_on_renamed_copies() {
     assert_eq!(i, results.len());
 }
 
-/// The same criterion on a DAG suite through the BILP backend.
+/// The same criterion on a DAG suite through the auto-dispatched BDD-fused
+/// backend (witnesses are forced by the power-of-two costs, so the fused
+/// fronts must match the direct one-call run bit for bit).
 #[test]
-fn dag_witnesses_match_bilp_on_renamed_copies() {
+fn dag_witnesses_match_the_fused_backend_on_renamed_copies() {
     let suite = copied_suite(5002, 4, false);
     let requests: Vec<BatchRequest> = suite
         .iter()
